@@ -1,0 +1,89 @@
+// Ablation — the detector's hot-path containers: open-addressing
+// FlatSet/FlatMap vs the node-based std::unordered_* they replaced.
+// DESIGN.md calls this choice out; this bench quantifies it on the
+// exact workload (per-source destination sets and port maps fed by a
+// scan-shaped insert stream).
+
+#include <benchmark/benchmark.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/ipv6.hpp"
+#include "util/flat_hash.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace v6sonar;
+
+std::vector<net::Ipv6Address> scan_destinations(std::size_t n) {
+  // Telescope-shaped destinations: structured /64s, low IIDs, ~20%
+  // repeats (SYN retries and re-scans).
+  util::Xoshiro256 rng(42);
+  std::vector<net::Ipv6Address> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!out.empty() && rng.chance(0.2)) {
+      out.push_back(out[rng.below(out.size())]);
+    } else {
+      out.emplace_back(net::Ipv6Address{0x2600'0000'0000'0000ULL | rng.below(1 << 20) << 16,
+                                        1 + rng.below(200)});
+    }
+  }
+  return out;
+}
+
+void BM_DstSet_Flat(benchmark::State& state) {
+  const auto dsts = scan_destinations(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    util::FlatSet<net::Ipv6Address> set;
+    std::uint64_t distinct = 0;
+    for (const auto& d : dsts) distinct += set.insert(d);
+    benchmark::DoNotOptimize(distinct);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_DstSet_Flat)->Arg(1'000)->Arg(100'000)->Unit(benchmark::kMicrosecond);
+
+void BM_DstSet_Std(benchmark::State& state) {
+  const auto dsts = scan_destinations(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::unordered_set<net::Ipv6Address> set;
+    std::uint64_t distinct = 0;
+    for (const auto& d : dsts) distinct += set.insert(d).second;
+    benchmark::DoNotOptimize(distinct);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_DstSet_Std)->Arg(1'000)->Arg(100'000)->Unit(benchmark::kMicrosecond);
+
+void BM_PortMap_Flat(benchmark::State& state) {
+  util::Xoshiro256 rng(7);
+  std::vector<std::uint32_t> ports;
+  for (int i = 0; i < 100'000; ++i) ports.push_back(static_cast<std::uint32_t>(rng.below(45'000)));
+  for (auto _ : state) {
+    util::FlatMap<std::uint32_t, std::uint64_t, util::IntHash> map;
+    for (auto p : ports) ++map[p];
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100'000);
+}
+BENCHMARK(BM_PortMap_Flat)->Unit(benchmark::kMicrosecond);
+
+void BM_PortMap_Std(benchmark::State& state) {
+  util::Xoshiro256 rng(7);
+  std::vector<std::uint16_t> ports;
+  for (int i = 0; i < 100'000; ++i) ports.push_back(static_cast<std::uint16_t>(rng.below(45'000)));
+  for (auto _ : state) {
+    std::unordered_map<std::uint16_t, std::uint64_t> map;
+    for (auto p : ports) ++map[p];
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100'000);
+}
+BENCHMARK(BM_PortMap_Std)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

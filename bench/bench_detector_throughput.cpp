@@ -1,0 +1,73 @@
+// Ablation / scaling — streaming detector throughput: packets/second
+// as a function of tracked-source population and aggregation level,
+// plus trie longest-prefix-match cost (the AS-attribution join).
+
+#include <benchmark/benchmark.h>
+
+#include "core/detector.hpp"
+#include "net/trie.hpp"
+#include "util/rng.hpp"
+#include "util/timebase.hpp"
+
+namespace {
+
+using namespace v6sonar;
+
+std::vector<sim::LogRecord> synthetic_traffic(std::size_t records, std::size_t sources) {
+  util::Xoshiro256 rng(9);
+  std::vector<sim::LogRecord> out;
+  out.reserve(records);
+  sim::TimeUs t = sim::us_from_seconds(util::kWindowStart);
+  for (std::size_t i = 0; i < records; ++i) {
+    sim::LogRecord r;
+    t += 1 + static_cast<sim::TimeUs>(rng.below(200'000));
+    r.ts_us = t;
+    r.src = net::Ipv6Address{0x2A10'0000'0000'0000ULL | rng.below(sources) << 16, rng.below(4)};
+    r.dst = net::Ipv6Address{0x2600ULL << 48, rng.below(1 << 18)};
+    r.dst_port = static_cast<std::uint16_t>(rng.below(1'000));
+    r.src_asn = 1;
+    out.push_back(r);
+  }
+  return out;
+}
+
+void BM_DetectorThroughput(benchmark::State& state) {
+  const auto traffic = synthetic_traffic(400'000, static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    core::ScanDetector det({.source_prefix_len = static_cast<int>(state.range(0))},
+                           [](core::ScanEvent&&) {});
+    for (const auto& r : traffic) det.feed(r);
+    det.flush();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(traffic.size()));
+}
+BENCHMARK(BM_DetectorThroughput)
+    ->Args({128, 100})
+    ->Args({128, 10'000})
+    ->Args({64, 100})
+    ->Args({64, 10'000})
+    ->Args({48, 10'000})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TrieLongestMatch(benchmark::State& state) {
+  util::Xoshiro256 rng(4);
+  net::PrefixTrie<std::uint32_t> trie;
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(state.range(0)); ++i) {
+    const net::Ipv6Address a{rng(), 0};
+    trie.insert(net::Ipv6Prefix{a, 32 + static_cast<int>(rng.below(17))}, i);
+  }
+  std::vector<net::Ipv6Address> probes;
+  for (int i = 0; i < 10'000; ++i) probes.emplace_back(net::Ipv6Address{rng(), rng()});
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    for (const auto& p : probes) hits += trie.longest_match(p).has_value();
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10'000);
+}
+BENCHMARK(BM_TrieLongestMatch)->Arg(1'000)->Arg(100'000)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// Target-generation discovery workflow: what the paper's §5 predicts
+// scanners will increasingly do (and what its AS #1 visibly does after
+// its May 27, 2021 hitlist-seeding day).
+//
+//   1. start from a hitlist of known-active addresses (text file, one
+//      address per line — pass your own, or the example synthesizes
+//      one from the simulated telescope),
+//   2. learn two TGA models from half of it (Entropy/IP-style
+//      per-nibble structure, and 6Gen-style dense-cluster
+//      enumeration),
+//   3. generate candidates and measure how many *previously unknown*
+//      active addresses each strategy discovers.
+//
+// Usage: tga_discovery [hitlist.txt] [candidates]
+
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "scanner/tga.hpp"
+#include "telescope/world.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace v6sonar;
+
+  std::size_t candidates = 100'000;
+  std::string hitlist_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::atoi(argv[i]) > 0)
+      candidates = static_cast<std::size_t>(std::atoll(argv[i]));
+    else
+      hitlist_path = argv[i];
+  }
+
+  // The ground-truth active population: supplied hitlist, or the
+  // simulated telescope's full deployment.
+  std::vector<net::Ipv6Address> actives;
+  if (!hitlist_path.empty()) {
+    actives = scanner::Hitlist::load_addresses(hitlist_path);
+    std::printf("loaded %zu active addresses from %s\n", actives.size(),
+                hitlist_path.c_str());
+  } else {
+    telescope::WorldConfig config;  // metadata only; no traffic is generated
+    telescope::CdnWorld world(config);
+    actives = world.telescope().all_addresses();
+    std::printf("synthesized %zu active addresses from the simulated telescope\n",
+                actives.size());
+  }
+  if (actives.size() < 100) {
+    std::fprintf(stderr, "need at least 100 active addresses\n");
+    return 1;
+  }
+
+  // Learn from the first half; the second half is the "unknown
+  // internet" a scanner hopes to discover.
+  const std::size_t split = actives.size() / 2;
+  const std::span<const net::Ipv6Address> train(actives.data(), split);
+  std::unordered_set<net::Ipv6Address> known(actives.begin(),
+                                             actives.begin() + static_cast<std::ptrdiff_t>(split));
+  std::unordered_set<net::Ipv6Address> unknown(actives.begin() + static_cast<std::ptrdiff_t>(split),
+                                               actives.end());
+
+  const auto entropy_model = scanner::EntropyIpModel::learn(train);
+  const auto cluster_model = scanner::ClusterTga::learn(train);
+  std::printf("Entropy/IP model: %.1f bits effective space; cluster model: %zu dense /64s\n\n",
+              entropy_model.total_entropy_bits(), cluster_model.cluster_count());
+
+  struct Outcome {
+    std::size_t rediscovered = 0;  // hit an address we trained on
+    std::size_t discovered = 0;    // hit a previously unknown active
+  };
+  auto evaluate = [&](auto&& generate) {
+    Outcome o;
+    util::Xoshiro256 rng(1);
+    for (std::size_t i = 0; i < candidates; ++i) {
+      const auto c = generate(rng);
+      if (known.contains(c))
+        ++o.rediscovered;
+      else if (unknown.contains(c))
+        ++o.discovered;
+    }
+    return o;
+  };
+
+  const auto entropy = evaluate(
+      [&](util::Xoshiro256& rng) { return entropy_model.generate(rng); });
+  const auto cluster = evaluate(
+      [&](util::Xoshiro256& rng) { return cluster_model.generate(rng); });
+  const auto random = evaluate(
+      [&](util::Xoshiro256& rng) { return net::Ipv6Address{rng(), rng()}; });
+
+  util::TextTable table(
+      {"strategy", "candidates", "rediscovered", "newly discovered", "discovery rate"});
+  auto row = [&](const char* name, const Outcome& o) {
+    table.add_row({name, util::with_commas(candidates), util::with_commas(o.rediscovered),
+                   util::with_commas(o.discovered),
+                   util::fixed(100.0 * static_cast<double>(o.discovered) /
+                                   static_cast<double>(candidates),
+                               3) +
+                       "%"});
+  };
+  row("random 128-bit", random);
+  row("Entropy/IP TGA", entropy);
+  row("cluster enumeration", cluster);
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("This is the paper's closing warning made concrete: once targetable\n"
+              "addresses become learnable, the 'IPv6 is too big to scan' defence\n"
+              "erodes — structured generation finds unknown hosts at rates random\n"
+              "probing never will.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+#include "analysis/dns_targeting.hpp"
+
+namespace v6sonar::analysis {
+
+DnsTargetingReport dns_targeting(const std::vector<core::ScanEvent>& events,
+                                 std::uint32_t exclude_asn) {
+  struct Acc {
+    std::uint64_t dsts = 0;
+    std::uint64_t in_dns = 0;
+  };
+  std::map<net::Ipv6Prefix, Acc> by_source;
+  for (const auto& ev : events) {
+    if (exclude_asn != 0 && ev.src_asn == exclude_asn) continue;
+    auto& a = by_source[ev.source];
+    // Summing per-event distinct counts can double-count targets hit in
+    // several events of one source; the in/not-in ratio is what §3.3
+    // reports and it is preserved.
+    a.dsts += ev.distinct_dsts;
+    a.in_dns += ev.distinct_dsts_in_dns;
+  }
+
+  DnsTargetingReport rep;
+  rep.sources = by_source.size();
+  if (by_source.empty()) return rep;
+  std::size_t all_in = 0, third_not = 0;
+  for (const auto& [src, a] : by_source) {
+    const double not_in =
+        a.dsts == 0 ? 0.0
+                    : static_cast<double>(a.dsts - a.in_dns) / static_cast<double>(a.dsts);
+    rep.not_in_dns_fraction.emplace(src, not_in);
+    all_in += not_in == 0.0;
+    third_not += not_in >= 1.0 / 3.0;
+  }
+  rep.all_in_dns_fraction = static_cast<double>(all_in) / static_cast<double>(by_source.size());
+  rep.third_not_in_dns_fraction =
+      static_cast<double>(third_not) / static_cast<double>(by_source.size());
+  return rep;
+}
+
+NearbyProbeAnalysis::NearbyProbeAnalysis(std::vector<net::Ipv6Prefix> sources,
+                                         int source_prefix_len)
+    : len_(source_prefix_len) {
+  for (const auto& s : sources) {
+    results_.emplace(s, SourceResult{});
+    seen_.emplace(s, Seen{});
+  }
+}
+
+void NearbyProbeAnalysis::feed(const sim::LogRecord& r) {
+  const net::Ipv6Prefix src{r.src, len_};
+  const auto it = results_.find(src);
+  if (it == results_.end()) return;
+  Seen& seen = seen_.at(src);
+
+  if (r.dst_in_dns) {
+    for (int w = 0; w < 4; ++w)
+      seen.in_dns_by_window[w].insert(r.dst.masked(kWindows[w]));
+    return;
+  }
+  ++it->second.not_in_dns_probes;
+  for (int w = 0; w < 4; ++w)
+    it->second.preceded[w] += seen.in_dns_by_window[w].contains(r.dst.masked(kWindows[w]));
+}
+
+}  // namespace v6sonar::analysis

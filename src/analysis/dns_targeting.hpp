@@ -1,0 +1,69 @@
+// Targeted-address analyses (§3.3): how much of each scan source's
+// targeting is DNS-exposed, and whether not-in-DNS targets were
+// preceded by a nearby in-DNS probe.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/scan_event.hpp"
+#include "net/prefix.hpp"
+#include "sim/record.hpp"
+
+namespace v6sonar::analysis {
+
+/// Per-source in-DNS targeting summary, folded over scan events.
+struct DnsTargetingReport {
+  std::size_t sources = 0;
+  /// Fraction of sources all of whose distinct targets are in DNS.
+  double all_in_dns_fraction = 0;
+  /// Fraction of sources with >= 1/3 of distinct targets NOT in DNS.
+  double third_not_in_dns_fraction = 0;
+  /// Per-source not-in-DNS fraction, keyed by source (for drill-down).
+  std::map<net::Ipv6Prefix, double> not_in_dns_fraction;
+};
+
+/// `exclude_asn` (0 = none) removes one AS (the paper reports AS #18
+/// separately since it holds 80% of /64 sources).
+[[nodiscard]] DnsTargetingReport dns_targeting(const std::vector<core::ScanEvent>& events,
+                                               std::uint32_t exclude_asn = 0);
+
+/// Streaming nearby-probe analysis: for each watched source, and for
+/// each probe to a not-in-DNS address, checks whether the same source
+/// previously probed an in-DNS address within the same /124, /120,
+/// /116, and /112. Feed it the *filtered* record stream.
+class NearbyProbeAnalysis {
+ public:
+  /// Watch these sources (at the given aggregation length).
+  NearbyProbeAnalysis(std::vector<net::Ipv6Prefix> sources, int source_prefix_len);
+
+  void feed(const sim::LogRecord& r);
+
+  struct SourceResult {
+    std::uint64_t not_in_dns_probes = 0;
+    /// Of those, how many had a previous in-DNS probe within the same
+    /// /124 [0], /120 [1], /116 [2], /112 [3].
+    std::uint64_t preceded[4] = {};
+  };
+
+  [[nodiscard]] const std::map<net::Ipv6Prefix, SourceResult>& results() const noexcept {
+    return results_;
+  }
+
+  static constexpr int kWindows[4] = {124, 120, 116, 112};
+
+ private:
+  int len_;
+  std::map<net::Ipv6Prefix, SourceResult> results_;  // watched sources only
+  /// Per source: set of /112-masked in-DNS probe prefixes seen, plus
+  /// finer masks derived on lookup.
+  struct Seen {
+    std::unordered_set<net::Ipv6Address> in_dns_by_window[4];
+  };
+  std::map<net::Ipv6Prefix, Seen> seen_;
+};
+
+}  // namespace v6sonar::analysis

@@ -1,0 +1,141 @@
+#include "analysis/fingerprint.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace v6sonar::analysis {
+
+FingerprintCollector::FingerprintCollector(std::vector<net::Ipv6Prefix> sources,
+                                           int source_prefix_len)
+    : len_(source_prefix_len) {
+  for (const auto& s : sources) accs_.emplace(s, Acc{});
+}
+
+void FingerprintCollector::feed(const sim::LogRecord& r) {
+  const auto it = accs_.find(net::Ipv6Prefix{r.src, len_});
+  if (it == accs_.end()) return;
+  Acc& a = it->second;
+  if (a.packets > 0) {
+    const double gap = static_cast<double>(r.ts_us - a.last_ts) / 1e6;
+    a.gap_sum += gap;
+    a.gap_sq_sum += gap * gap;
+    ++a.gaps;
+  }
+  a.last_ts = r.ts_us;
+  ++a.packets;
+  ++a.ports[r.dst_port];
+  ++a.frame_lens[r.frame_len];
+  a.icmp += r.proto == wire::IpProto::kIcmpv6;
+  if (a.targets.insert(r.dst)) {
+    a.targets_in_dns += r.dst_in_dns;
+    a.hw_sum += static_cast<std::uint64_t>(r.dst.iid_hamming_weight());
+    ++a.dst64s[r.dst.masked(64).hi()];
+  }
+}
+
+namespace {
+
+double normalized_entropy_of(const util::FlatMap<std::uint32_t, std::uint64_t,
+                                                 util::IntHash>& counts) {
+  std::vector<std::uint64_t> v;
+  v.reserve(counts.size());
+  counts.for_each([&](std::uint32_t, std::uint64_t n) { v.push_back(n); });
+  return util::normalized_entropy(v);
+}
+
+}  // namespace
+
+std::map<net::Ipv6Prefix, Fingerprint> FingerprintCollector::fingerprints() const {
+  std::map<net::Ipv6Prefix, Fingerprint> out;
+  for (const auto& [src, a] : accs_) {
+    if (a.packets == 0) continue;
+    Fingerprint f;
+    f.packets = a.packets;
+    f.port_entropy = normalized_entropy_of(a.ports);
+    f.distinct_ports = static_cast<std::uint32_t>(a.ports.size());
+    std::uint64_t best = 0;
+    a.ports.for_each([&](std::uint32_t port, std::uint64_t n) {
+      if (n > best) {
+        best = n;
+        f.top_port = static_cast<std::uint16_t>(port);
+      }
+    });
+    const double targets = static_cast<double>(a.targets.size());
+    if (targets > 0) {
+      f.mean_iid_hamming = static_cast<double>(a.hw_sum) / targets;
+      f.in_dns_fraction = static_cast<double>(a.targets_in_dns) / targets;
+      f.targets_per_dst64 = targets / static_cast<double>(a.dst64s.size());
+    }
+    f.frame_len_entropy = normalized_entropy_of(a.frame_lens);
+    if (a.gaps > 0) {
+      f.mean_gap_sec = a.gap_sum / static_cast<double>(a.gaps);
+      const double var =
+          a.gap_sq_sum / static_cast<double>(a.gaps) - f.mean_gap_sec * f.mean_gap_sec;
+      f.gap_cv = f.mean_gap_sec > 0 ? std::sqrt(std::max(0.0, var)) / f.mean_gap_sec : 0;
+    }
+    f.icmp_fraction = static_cast<double>(a.icmp) / static_cast<double>(a.packets);
+    out.emplace(src, f);
+  }
+  return out;
+}
+
+namespace {
+
+/// Closeness of two non-negative scalars: 1 when equal, falling toward
+/// 0 as they diverge (ratio-based, symmetric).
+double ratio_closeness(double x, double y) {
+  if (x == 0 && y == 0) return 1.0;
+  const double lo = std::min(x, y), hi = std::max(x, y);
+  return hi > 0 ? (lo + 1e-9) / (hi + 1e-9) : 1.0;
+}
+
+/// Closeness of two fractions in [0,1]: 1 - |difference|.
+double frac_closeness(double x, double y) { return 1.0 - std::min(1.0, std::fabs(x - y)); }
+
+}  // namespace
+
+double fingerprint_similarity(const Fingerprint& a, const Fingerprint& b) {
+  // Weighted geometric blend: behavioural features only — deliberately
+  // no packet-count term (the A.4 pair differs 3x in volume).
+  struct Term {
+    double score;
+    double weight;
+  };
+  const Term terms[] = {
+      {frac_closeness(a.port_entropy, b.port_entropy), 2.0},
+      {ratio_closeness(a.distinct_ports, b.distinct_ports), 2.0},
+      {a.top_port == b.top_port ? 1.0 : 0.6, 1.0},
+      {ratio_closeness(a.mean_iid_hamming, b.mean_iid_hamming), 2.0},
+      {ratio_closeness(a.targets_per_dst64, b.targets_per_dst64), 1.0},
+      {frac_closeness(a.in_dns_fraction, b.in_dns_fraction), 2.0},
+      {frac_closeness(a.frame_len_entropy, b.frame_len_entropy), 1.0},
+      {frac_closeness(a.icmp_fraction, b.icmp_fraction), 1.0},
+      {ratio_closeness(a.gap_cv, b.gap_cv), 0.5},
+  };
+  double log_sum = 0, weight_sum = 0;
+  for (const auto& t : terms) {
+    log_sum += t.weight * std::log(std::max(t.score, 1e-6));
+    weight_sum += t.weight;
+  }
+  return std::exp(log_sum / weight_sum);
+}
+
+std::vector<ActorLink> link_actors(const std::map<net::Ipv6Prefix, Fingerprint>& fingerprints,
+                                   double threshold) {
+  std::vector<ActorLink> links;
+  for (auto i = fingerprints.begin(); i != fingerprints.end(); ++i) {
+    for (auto j = std::next(i); j != fingerprints.end(); ++j) {
+      const double s = fingerprint_similarity(i->second, j->second);
+      if (s >= threshold) links.push_back({i->first, j->first, s});
+    }
+  }
+  std::stable_sort(links.begin(), links.end(),
+                   [](const ActorLink& x, const ActorLink& y) {
+                     return x.similarity > y.similarity;
+                   });
+  return links;
+}
+
+}  // namespace v6sonar::analysis

@@ -1,0 +1,50 @@
+#include "analysis/hamming.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace v6sonar::analysis {
+
+TargetAnalysis::TargetAnalysis(std::vector<net::Ipv6Prefix> sources, int source_prefix_len,
+                               sim::TimeUs from_us, sim::TimeUs to_us)
+    : len_(source_prefix_len), from_us_(from_us), to_us_(to_us) {
+  for (const auto& s : sources) {
+    results_.emplace(s, SourceResult{});
+    seen_.emplace(s, std::unordered_set<net::Ipv6Address>{});
+  }
+}
+
+void TargetAnalysis::feed(const sim::LogRecord& r) {
+  if (from_us_ != 0 && r.ts_us < from_us_) return;
+  if (to_us_ != 0 && r.ts_us >= to_us_) return;
+  const net::Ipv6Prefix src{r.src, len_};
+  const auto it = results_.find(src);
+  if (it == results_.end()) return;
+  if (!seen_.at(src).insert(r.dst).second) return;  // count distinct targets once
+
+  SourceResult& res = it->second;
+  ++res.distinct_targets;
+  ++res.hw_histogram[static_cast<std::size_t>(r.dst.iid_hamming_weight())];
+  ++res.per_dst64[r.dst.masked(64)];
+  res.targets.push_back(r.dst);
+}
+
+double TargetAnalysis::median_targets_per_dst64(const SourceResult& r) {
+  if (r.per_dst64.empty()) return 0.0;
+  std::vector<double> counts;
+  counts.reserve(r.per_dst64.size());
+  for (const auto& [p, n] : r.per_dst64) counts.push_back(n);
+  return util::median(std::move(counts));
+}
+
+double TargetAnalysis::mean_hamming_weight(const SourceResult& r) {
+  std::uint64_t total = 0, weighted = 0;
+  for (std::size_t hw = 0; hw < r.hw_histogram.size(); ++hw) {
+    total += r.hw_histogram[hw];
+    weighted += r.hw_histogram[hw] * hw;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(weighted) / static_cast<double>(total);
+}
+
+}  // namespace v6sonar::analysis

@@ -1,0 +1,56 @@
+// Target-address randomness analysis (§4, Fig. 7, Appendix A.2):
+// Hamming-weight distribution of target IIDs per watched source, plus
+// per-destination-/64 target counts (the "targets far apart" check).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/prefix.hpp"
+#include "sim/record.hpp"
+
+namespace v6sonar::analysis {
+
+class TargetAnalysis {
+ public:
+  /// Watch these sources at the given aggregation length; optionally
+  /// restrict to a time range (for per-day snapshots like "AS #1 on
+  /// May 27 vs May 28"). Zero bounds = unbounded.
+  TargetAnalysis(std::vector<net::Ipv6Prefix> sources, int source_prefix_len,
+                 sim::TimeUs from_us = 0, sim::TimeUs to_us = 0);
+
+  void feed(const sim::LogRecord& r);
+
+  struct SourceResult {
+    /// Histogram of IID Hamming weights over *distinct* targets, 0..64.
+    std::vector<std::uint64_t> hw_histogram = std::vector<std::uint64_t>(65, 0);
+    /// Distinct targets per destination /64 (for the median-targets-
+    /// per-/64 statistic).
+    std::unordered_map<net::Ipv6Address, std::uint32_t> per_dst64;
+    std::uint64_t distinct_targets = 0;
+    /// The distinct targets themselves (hitlist-overlap checks).
+    std::vector<net::Ipv6Address> targets;
+  };
+
+  [[nodiscard]] const std::map<net::Ipv6Prefix, SourceResult>& results() const noexcept {
+    return results_;
+  }
+
+  /// Median of distinct targets per destination /64 for one source.
+  [[nodiscard]] static double median_targets_per_dst64(const SourceResult& r);
+
+  /// Mean Hamming weight of one source's targets.
+  [[nodiscard]] static double mean_hamming_weight(const SourceResult& r);
+
+ private:
+  int len_;
+  sim::TimeUs from_us_;
+  sim::TimeUs to_us_;
+  std::map<net::Ipv6Prefix, SourceResult> results_;
+  std::map<net::Ipv6Prefix, std::unordered_set<net::Ipv6Address>> seen_;
+};
+
+}  // namespace v6sonar::analysis

@@ -1,0 +1,106 @@
+#include "analysis/ports.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "net/prefix.hpp"
+
+namespace v6sonar::analysis {
+
+PortBucket classify_ports(const core::ScanEvent& ev) noexcept {
+  const double f = ev.top_port_fraction();
+  if (f > 0.5) return PortBucket::kSingle;
+  if (f > 0.09) return PortBucket::kUnder10;
+  if (f > 0.009) return PortBucket::kUnder100;
+  return PortBucket::kOver100;
+}
+
+std::string_view to_string(PortBucket b) noexcept {
+  switch (b) {
+    case PortBucket::kSingle: return "1 port";
+    case PortBucket::kUnder10: return "<10 ports";
+    case PortBucket::kUnder100: return "<100 ports";
+    case PortBucket::kOver100: return ">100 ports";
+  }
+  return "?";
+}
+
+PortBucketShares port_bucket_shares(const std::vector<core::ScanEvent>& events) {
+  PortBucketShares out;
+  std::uint64_t scans[4] = {}, packets[4] = {};
+  std::map<net::Ipv6Prefix, int> source_bucket;  // source -> coarsest bucket seen
+  std::uint64_t total_packets = 0;
+
+  for (const auto& ev : events) {
+    const int b = static_cast<int>(classify_ports(ev));
+    ++scans[b];
+    packets[b] += ev.packets;
+    total_packets += ev.packets;
+    // A source that ever ran a multi-port scan counts in the widest
+    // bucket it exhibited.
+    auto [it, inserted] = source_bucket.try_emplace(ev.source, b);
+    if (!inserted) it->second = std::max(it->second, b);
+  }
+  std::uint64_t sources[4] = {};
+  for (const auto& [src, b] : source_bucket) ++sources[static_cast<std::size_t>(b)];
+
+  out.total_scans = events.size();
+  const double ns = static_cast<double>(events.size());
+  const double nsrc = static_cast<double>(source_bucket.size());
+  const double np = static_cast<double>(total_packets);
+  for (int b = 0; b < 4; ++b) {
+    out.scans[b] = ns > 0 ? scans[b] / ns : 0;
+    out.sources[b] = nsrc > 0 ? sources[b] / nsrc : 0;
+    out.packets[b] = np > 0 ? static_cast<double>(packets[b]) / np : 0;
+  }
+  return out;
+}
+
+TopPorts top_ports(const std::vector<core::ScanEvent>& events, std::size_t n,
+                   const std::function<bool(const core::ScanEvent&)>& exclude) {
+  std::map<std::uint16_t, std::uint64_t> pkts_by_port;
+  std::map<std::uint16_t, std::uint64_t> scans_by_port;
+  std::map<std::uint16_t, std::set<net::Ipv6Prefix>> sources_by_port;
+  std::uint64_t total_packets = 0;
+  std::uint64_t total_scans = 0;
+  std::set<net::Ipv6Prefix> all_sources;
+
+  for (const auto& ev : events) {
+    if (exclude && exclude(ev)) continue;
+    ++total_scans;
+    all_sources.insert(ev.source);
+    for (const auto& [port, pkts] : ev.port_packets) {
+      pkts_by_port[port] += pkts;
+      total_packets += pkts;
+      ++scans_by_port[port];
+      sources_by_port[port].insert(ev.source);
+    }
+  }
+
+  auto rank = [n](std::vector<TopPortsRow> rows) {
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const TopPortsRow& a, const TopPortsRow& b) { return a.share > b.share; });
+    if (rows.size() > n) rows.resize(n);
+    return rows;
+  };
+  auto shares = [](const auto& m, double denom, auto&& value_of) {
+    std::vector<TopPortsRow> rows;
+    rows.reserve(m.size());
+    for (const auto& [port, v] : m)
+      rows.push_back({port, denom > 0 ? value_of(v) / denom : 0.0});
+    return rows;
+  };
+
+  TopPorts out;
+  out.by_packets = rank(shares(pkts_by_port, static_cast<double>(total_packets),
+                               [](std::uint64_t v) { return static_cast<double>(v); }));
+  out.by_scans = rank(shares(scans_by_port, static_cast<double>(total_scans),
+                             [](std::uint64_t v) { return static_cast<double>(v); }));
+  out.by_sources =
+      rank(shares(sources_by_port, static_cast<double>(all_sources.size()),
+                  [](const std::set<net::Ipv6Prefix>& v) { return static_cast<double>(v.size()); }));
+  return out;
+}
+
+}  // namespace v6sonar::analysis

@@ -1,0 +1,52 @@
+// Port-targeting analyses (§3.3, Figs. 4 and 8, Table 3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "core/scan_event.hpp"
+
+namespace v6sonar::analysis {
+
+/// Footnote-9 classification of a scan by the fraction f of its
+/// packets hitting its most common port:
+///   f > 0.5    -> single port
+///   f > 0.09   -> fewer than 10 ports
+///   f > 0.009  -> fewer than 100 ports
+///   otherwise  -> more than 100 ports.
+enum class PortBucket { kSingle, kUnder10, kUnder100, kOver100 };
+
+[[nodiscard]] PortBucket classify_ports(const core::ScanEvent& ev) noexcept;
+[[nodiscard]] std::string_view to_string(PortBucket b) noexcept;
+
+/// Fig. 4 / Fig. 8 rows: per bucket, the share of scans, of distinct
+/// scan sources, and of scan packets.
+struct PortBucketShares {
+  double scans[4] = {};
+  double sources[4] = {};
+  double packets[4] = {};
+  std::uint64_t total_scans = 0;
+};
+
+[[nodiscard]] PortBucketShares port_bucket_shares(const std::vector<core::ScanEvent>& events);
+
+/// Table 3: top ports ranked three ways. `exclude` (optional) removes
+/// events (e.g. AS #18's, which §3.3 reports separately because it
+/// holds 80% of /64 sources).
+struct TopPortsRow {
+  std::uint16_t port = 0;
+  double share = 0;  ///< meaning depends on the ranking
+};
+
+struct TopPorts {
+  std::vector<TopPortsRow> by_packets;  ///< share of all scan packets
+  std::vector<TopPortsRow> by_scans;    ///< share of scans targeting the port
+  std::vector<TopPortsRow> by_sources;  ///< share of sources targeting the port
+};
+
+[[nodiscard]] TopPorts top_ports(const std::vector<core::ScanEvent>& events, std::size_t n,
+                                 const std::function<bool(const core::ScanEvent&)>& exclude = {});
+
+}  // namespace v6sonar::analysis

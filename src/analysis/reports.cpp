@@ -1,0 +1,68 @@
+#include "analysis/reports.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/stats.hpp"
+
+namespace v6sonar::analysis {
+
+std::vector<SourceReport> fold_sources(const std::vector<core::ScanEvent>& events) {
+  std::map<net::Ipv6Prefix, SourceReport> by_source;
+  for (const auto& ev : events) {
+    auto& s = by_source[ev.source];
+    s.source = ev.source;
+    s.asn = ev.src_asn;
+    ++s.scans;
+    s.packets += ev.packets;
+    s.distinct_dsts_max = std::max<std::uint64_t>(s.distinct_dsts_max, ev.distinct_dsts);
+  }
+  std::vector<SourceReport> out;
+  out.reserve(by_source.size());
+  for (auto& [src, s] : by_source) out.push_back(s);
+  return out;
+}
+
+AggregateTotals totals(const std::vector<core::ScanEvent>& events) {
+  AggregateTotals t;
+  std::set<net::Ipv6Prefix> sources;
+  std::set<std::uint32_t> ases;
+  for (const auto& ev : events) {
+    ++t.scans;
+    t.packets += ev.packets;
+    sources.insert(ev.source);
+    if (ev.src_asn != 0) ases.insert(ev.src_asn);
+  }
+  t.sources = sources.size();
+  t.ases = ases.size();
+  return t;
+}
+
+std::map<std::uint32_t, AsSources> fold_by_as(const std::vector<core::ScanEvent>& events) {
+  std::map<std::uint32_t, AsSources> by_as;
+  std::map<std::uint32_t, std::set<net::Ipv6Prefix>> sources;
+  for (const auto& ev : events) {
+    auto& a = by_as[ev.src_asn];
+    a.asn = ev.src_asn;
+    a.packets += ev.packets;
+    ++a.scans;
+    sources[ev.src_asn].insert(ev.source);
+  }
+  for (auto& [asn, a] : by_as) a.sources = sources[asn].size();
+  return by_as;
+}
+
+DurationStats duration_stats(const std::vector<core::ScanEvent>& events) {
+  DurationStats d;
+  d.events = events.size();
+  if (events.empty()) return d;
+  std::vector<double> secs;
+  secs.reserve(events.size());
+  for (const auto& ev : events) secs.push_back(ev.duration_sec());
+  d.median_sec = util::quantile(secs, 0.5);
+  d.p90_sec = util::quantile(secs, 0.9);
+  d.max_sec = util::quantile(secs, 1.0);
+  return d;
+}
+
+}  // namespace v6sonar::analysis

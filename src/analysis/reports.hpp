@@ -1,0 +1,59 @@
+// Folding scan events into the paper's summary statistics: per-source
+// and per-AS reports (Tables 1 and 2), and duration statistics (§3.1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/scan_event.hpp"
+#include "net/prefix.hpp"
+
+namespace v6sonar::analysis {
+
+/// Totals for one detected scan source (a prefix at the detector's
+/// aggregation level) across all of its scan events.
+struct SourceReport {
+  net::Ipv6Prefix source;
+  std::uint32_t asn = 0;
+  std::uint64_t scans = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t distinct_dsts_max = 0;  ///< largest single-event target count
+};
+
+/// Table 1 row: totals for one aggregation level.
+struct AggregateTotals {
+  std::uint64_t scans = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t sources = 0;
+  std::uint64_t ases = 0;
+};
+
+[[nodiscard]] std::vector<SourceReport> fold_sources(const std::vector<core::ScanEvent>& events);
+
+[[nodiscard]] AggregateTotals totals(const std::vector<core::ScanEvent>& events);
+
+/// Table 2 rows: per-AS packet totals and source counts at one
+/// aggregation level. Keyed by ASN, sorted by packets descending when
+/// rendered by the bench.
+struct AsSources {
+  std::uint32_t asn = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t sources = 0;
+  std::uint64_t scans = 0;
+};
+
+[[nodiscard]] std::map<std::uint32_t, AsSources> fold_by_as(
+    const std::vector<core::ScanEvent>& events);
+
+/// §3.1 scan durations: quantiles over event durations in seconds.
+struct DurationStats {
+  double median_sec = 0;
+  double p90_sec = 0;
+  double max_sec = 0;
+  std::size_t events = 0;
+};
+
+[[nodiscard]] DurationStats duration_stats(const std::vector<core::ScanEvent>& events);
+
+}  // namespace v6sonar::analysis

@@ -1,0 +1,37 @@
+#include "analysis/similarity.hpp"
+
+namespace v6sonar::analysis {
+
+SimilarityAnalysis::SimilarityAnalysis(std::vector<net::Ipv6Prefix> sources,
+                                       int source_prefix_len)
+    : len_(source_prefix_len) {
+  for (const auto& s : sources) profiles_.emplace(s, SourceProfile{});
+}
+
+void SimilarityAnalysis::feed(const sim::LogRecord& r) {
+  const net::Ipv6Prefix src{r.src, len_};
+  const auto it = profiles_.find(src);
+  if (it == profiles_.end()) return;
+  SourceProfile& p = it->second;
+  if (p.packets == 0) p.first_us = r.ts_us;
+  p.last_us = r.ts_us;
+  ++p.packets;
+  p.ports.insert(r.dst_port);
+  if (p.targets.insert(r.dst).second) {
+    if (r.dst_in_dns)
+      ++p.targets_in_dns;
+    else
+      ++p.targets_not_in_dns;
+  }
+}
+
+double SimilarityAnalysis::target_jaccard(const SourceProfile& a, const SourceProfile& b) {
+  const auto& small = a.targets.size() <= b.targets.size() ? a.targets : b.targets;
+  const auto& large = a.targets.size() <= b.targets.size() ? b.targets : a.targets;
+  std::size_t common = 0;
+  for (const auto& t : small) common += large.contains(t);
+  const std::size_t uni = a.targets.size() + b.targets.size() - common;
+  return uni == 0 ? 0.0 : static_cast<double>(common) / static_cast<double>(uni);
+}
+
+}  // namespace v6sonar::analysis

@@ -1,0 +1,52 @@
+// Actor-similarity analysis (Appendix A.4): evidence that two source
+// prefixes are the same scanning entity — overlapping target sets,
+// matching in-DNS/not-in-DNS ratios, activity at both ends of the
+// window, comparable port coverage.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "net/prefix.hpp"
+#include "sim/record.hpp"
+
+namespace v6sonar::analysis {
+
+class SimilarityAnalysis {
+ public:
+  SimilarityAnalysis(std::vector<net::Ipv6Prefix> sources, int source_prefix_len);
+
+  void feed(const sim::LogRecord& r);
+
+  struct SourceProfile {
+    std::uint64_t packets = 0;
+    std::uint64_t targets_in_dns = 0;
+    std::uint64_t targets_not_in_dns = 0;
+    sim::TimeUs first_us = 0;
+    sim::TimeUs last_us = 0;
+    std::set<std::uint16_t> ports;
+    std::unordered_set<net::Ipv6Address> targets;
+
+    [[nodiscard]] double in_dns_fraction() const noexcept {
+      const std::uint64_t total = targets_in_dns + targets_not_in_dns;
+      return total == 0 ? 0.0
+                        : static_cast<double>(targets_in_dns) / static_cast<double>(total);
+    }
+  };
+
+  [[nodiscard]] const std::map<net::Ipv6Prefix, SourceProfile>& profiles() const noexcept {
+    return profiles_;
+  }
+
+  /// |A ∩ B| / |A ∪ B| over the two sources' distinct target sets.
+  [[nodiscard]] static double target_jaccard(const SourceProfile& a, const SourceProfile& b);
+
+ private:
+  int len_;
+  std::map<net::Ipv6Prefix, SourceProfile> profiles_;
+};
+
+}  // namespace v6sonar::analysis

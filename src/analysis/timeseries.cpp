@@ -1,0 +1,61 @@
+#include "analysis/timeseries.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace v6sonar::analysis {
+
+namespace {
+
+/// week -> (source -> packets)
+using WeeklySources = std::map<std::int32_t, std::map<net::Ipv6Prefix, std::uint64_t>>;
+
+WeeklySources fold_weekly(const std::vector<core::ScanEvent>& events) {
+  WeeklySources ws;
+  for (const auto& ev : events)
+    for (const auto& [week, pkts] : ev.weekly_packets) ws[week][ev.source] += pkts;
+  return ws;
+}
+
+}  // namespace
+
+std::vector<WeekPoint> weekly_series(const std::vector<core::ScanEvent>& events) {
+  std::vector<WeekPoint> out;
+  for (const auto& [week, sources] : fold_weekly(events)) {
+    WeekPoint p;
+    p.week = week;
+    p.active_sources = sources.size();
+    std::vector<std::uint64_t> counts;
+    counts.reserve(sources.size());
+    for (const auto& [src, pkts] : sources) {
+      p.packets += pkts;
+      counts.push_back(pkts);
+    }
+    p.top1_share = util::top_k_share(counts, 1);
+    p.top2_share = util::top_k_share(counts, 2);
+    p.top3_share = util::top_k_share(counts, 3);
+    out.push_back(p);
+  }
+  return out;
+}
+
+double overall_top_k_share(const std::vector<core::ScanEvent>& events, std::size_t k) {
+  std::map<net::Ipv6Prefix, std::uint64_t> per_source;
+  for (const auto& ev : events) per_source[ev.source] += ev.packets;
+  std::vector<std::uint64_t> counts;
+  counts.reserve(per_source.size());
+  for (const auto& [src, pkts] : per_source) counts.push_back(pkts);
+  return util::top_k_share(std::move(counts), k);
+}
+
+double mean_weekly_top_k_share(const std::vector<core::ScanEvent>& events, std::size_t k) {
+  const auto series = weekly_series(events);
+  if (series.empty()) return 0.0;
+  double sum = 0;
+  for (const auto& p : series)
+    sum += k == 1 ? p.top1_share : (k == 2 ? p.top2_share : p.top3_share);
+  return sum / static_cast<double>(series.size());
+}
+
+}  // namespace v6sonar::analysis

@@ -1,0 +1,37 @@
+// Weekly time series over scan events (Figs. 2 and 3) and traffic
+// concentration (top-k source share).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/scan_event.hpp"
+#include "net/prefix.hpp"
+
+namespace v6sonar::analysis {
+
+/// One week of Fig. 2 / Fig. 3 data at one aggregation level.
+struct WeekPoint {
+  std::int32_t week = 0;
+  std::uint64_t active_sources = 0;  ///< distinct scan sources with packets this week
+  std::uint64_t packets = 0;         ///< scan packets logged this week
+  double top1_share = 0;             ///< fraction of packets from the busiest source
+  double top2_share = 0;             ///< ... busiest two sources
+  double top3_share = 0;
+};
+
+/// Weekly series from a set of qualified scan events. Weeks with no
+/// scan activity are omitted.
+[[nodiscard]] std::vector<WeekPoint> weekly_series(const std::vector<core::ScanEvent>& events);
+
+/// Overall top-k packet share across sources (the "two most active
+/// sources account for 70% of all logged scan traffic" statistic).
+[[nodiscard]] double overall_top_k_share(const std::vector<core::ScanEvent>& events,
+                                         std::size_t k);
+
+/// Mean of the weekly top-k shares (the "92% week-by-week" statistic).
+[[nodiscard]] double mean_weekly_top_k_share(const std::vector<core::ScanEvent>& events,
+                                             std::size_t k);
+
+}  // namespace v6sonar::analysis

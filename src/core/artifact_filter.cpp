@@ -1,0 +1,74 @@
+#include "core/artifact_filter.hpp"
+
+#include <stdexcept>
+
+namespace v6sonar::core {
+
+ArtifactFilter::ArtifactFilter(const ArtifactFilterConfig& config, RecordSink out,
+                               StatsSink stats)
+    : config_(config), out_(std::move(out)), stats_(std::move(stats)) {
+  if (!out_) throw std::invalid_argument("ArtifactFilter: null output sink");
+  if (config_.max_duplicate_fraction < 0 || config_.max_duplicate_fraction > 1)
+    throw std::invalid_argument("ArtifactFilter: bad duplicate fraction");
+  if (config_.source_prefix_len < 0 || config_.source_prefix_len > 128)
+    throw std::invalid_argument("ArtifactFilter: bad aggregation length");
+}
+
+void ArtifactFilter::feed(const sim::LogRecord& r) {
+  if (r.ts_us < last_ts_)
+    throw std::invalid_argument("ArtifactFilter: records must be time-ordered");
+  last_ts_ = r.ts_us;
+
+  const std::int64_t day = sim::seconds_of(r.ts_us) / 86'400;
+  if (day != current_day_) {
+    close_day();
+    current_day_ = day;
+  }
+
+  buffer_.push_back(r);
+  SourceDay& sd = sources_[net::Ipv6Prefix{r.src, config_.source_prefix_len}];
+  ++sd.packets;
+  if (++sd.hits[FlowKey{r.dst, proto_port_key(r.proto, r.dst_port)}] >
+      config_.duplicate_threshold)
+    ++sd.duplicates;
+}
+
+void ArtifactFilter::close_day() {
+  if (buffer_.empty()) {
+    sources_.clear();
+    return;
+  }
+  FilterDayStats stats;
+  stats.day = current_day_;
+  stats.packets_in = buffer_.size();
+  stats.sources_seen = sources_.size();
+
+  // Decide which sources to drop today.
+  std::unordered_map<net::Ipv6Prefix, bool> dropped;
+  dropped.reserve(sources_.size());
+  for (const auto& [src, sd] : sources_) {
+    const bool drop = static_cast<double>(sd.duplicates) >
+                      config_.max_duplicate_fraction * static_cast<double>(sd.packets);
+    dropped.emplace(src, drop);
+    stats.sources_dropped += drop;
+  }
+
+  for (const auto& r : buffer_) {
+    if (dropped.at(net::Ipv6Prefix{r.src, config_.source_prefix_len})) {
+      ++stats.packets_dropped;
+      ++stats.dropped_by_port[proto_port_key(r.proto, r.dst_port)];
+    } else {
+      out_(r);
+    }
+  }
+  buffer_.clear();
+  sources_.clear();
+  if (stats_) stats_(stats);
+}
+
+void ArtifactFilter::flush() {
+  close_day();
+  current_day_ = INT64_MIN;
+}
+
+}  // namespace v6sonar::core

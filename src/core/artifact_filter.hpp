@@ -1,0 +1,99 @@
+// CDN artifact pre-filter (§2.1, Appendix A.1).
+//
+// Port-agnostic "5-duplicate" rule: within each UTC day, a packet is a
+// 5-duplicate if it is the 6th-or-later packet from its source /64 to
+// the same (destination IP, destination port). Source /64s whose daily
+// traffic is more than 30% 5-duplicates are dropped for that day.
+//
+// Streaming with one-day buffering: records are held until their day
+// completes, then flagged sources' records are discarded and the rest
+// released in order.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "net/prefix.hpp"
+#include "sim/record.hpp"
+#include "util/flat_hash.hpp"
+
+namespace v6sonar::core {
+
+struct ArtifactFilterConfig {
+  /// A (dst IP, dst port) hit more than this many times per day marks
+  /// subsequent packets as duplicates.
+  std::uint32_t duplicate_threshold = 5;
+  /// Sources above this duplicate fraction are removed.
+  double max_duplicate_fraction = 0.30;
+  /// Aggregation for the source accounting (paper: /64).
+  int source_prefix_len = 64;
+};
+
+/// Per-day summary of what the filter removed — Appendix A.1's table.
+struct FilterDayStats {
+  std::int64_t day = 0;  ///< days since epoch (UTC)
+  std::uint64_t packets_in = 0;
+  std::uint64_t packets_dropped = 0;
+  std::uint64_t sources_seen = 0;
+  std::uint64_t sources_dropped = 0;
+  /// Packets dropped per destination port (proto-qualified key:
+  /// proto number << 16 | port).
+  std::unordered_map<std::uint32_t, std::uint64_t> dropped_by_port;
+};
+
+class ArtifactFilter {
+ public:
+  using RecordSink = std::function<void(const sim::LogRecord&)>;
+  using StatsSink = std::function<void(const FilterDayStats&)>;
+
+  /// Clean records are forwarded to `out` in their original order
+  /// (whole days at a time). `stats` (optional) receives one summary
+  /// per completed day.
+  ArtifactFilter(const ArtifactFilterConfig& config, RecordSink out, StatsSink stats = {});
+
+  /// Feed one record; records must be in non-decreasing time order.
+  void feed(const sim::LogRecord& r);
+
+  /// Flush the final partial day.
+  void flush();
+
+ private:
+  void close_day();
+
+  /// (dst address, proto+port) composite flow key.
+  struct FlowKey {
+    net::Ipv6Address dst;
+    std::uint32_t proto_port = 0;
+    friend bool operator==(const FlowKey&, const FlowKey&) = default;
+  };
+  struct FlowKeyHash {
+    std::size_t operator()(const FlowKey& k) const noexcept {
+      return std::hash<net::Ipv6Address>{}(k.dst) ^
+             util::IntHash{}(0x9E37'0000ULL + k.proto_port);
+    }
+  };
+
+  struct SourceDay {
+    std::uint64_t packets = 0;
+    std::uint64_t duplicates = 0;
+    util::FlatMap<FlowKey, std::uint32_t, FlowKeyHash> hits;
+  };
+
+  ArtifactFilterConfig config_;
+  RecordSink out_;
+  StatsSink stats_;
+  std::int64_t current_day_ = INT64_MIN;
+  std::deque<sim::LogRecord> buffer_;
+  std::unordered_map<net::Ipv6Prefix, SourceDay> sources_;
+  sim::TimeUs last_ts_ = INT64_MIN;
+};
+
+/// Proto-qualified port key used in FilterDayStats::dropped_by_port.
+[[nodiscard]] constexpr std::uint32_t proto_port_key(wire::IpProto proto,
+                                                     std::uint16_t port) noexcept {
+  return static_cast<std::uint32_t>(static_cast<std::uint8_t>(proto)) << 16 | port;
+}
+
+}  // namespace v6sonar::core

@@ -1,0 +1,125 @@
+#include "core/detector.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "util/timebase.hpp"
+
+namespace v6sonar::core {
+
+ScanDetector::ScanDetector(const DetectorConfig& config, EventSink sink)
+    : config_(config), sink_(std::move(sink)) {
+  if (config_.source_prefix_len < 0 || config_.source_prefix_len > 128)
+    throw std::invalid_argument("ScanDetector: bad aggregation length");
+  if (config_.min_destinations == 0)
+    throw std::invalid_argument("ScanDetector: min_destinations must be positive");
+  if (config_.timeout_us <= 0) throw std::invalid_argument("ScanDetector: bad timeout");
+  if (!sink_) throw std::invalid_argument("ScanDetector: null sink");
+}
+
+void ScanDetector::feed(const sim::LogRecord& r) {
+  if (r.ts_us < last_ts_)
+    throw std::invalid_argument("ScanDetector: records must be time-ordered");
+  last_ts_ = r.ts_us;
+  ++packets_seen_;
+
+  expire_up_to(r.ts_us);
+
+  const net::Ipv6Prefix key{r.src, config_.source_prefix_len};
+  auto [it, inserted] = states_.try_emplace(key);
+  SourceState& st = it->second;
+  if (inserted) {
+    st.first_us = r.ts_us;
+    st.asn = r.src_asn;
+    expiries_.push(Expiry{r.ts_us + config_.timeout_us, key});
+  } else if (r.ts_us - st.last_us > config_.timeout_us) {
+    // The previous event of this source ended; finalize it and start a
+    // fresh one in place.
+    finalize(key, st);
+    st = SourceState{};
+    st.first_us = r.ts_us;
+    st.asn = r.src_asn;
+    expiries_.push(Expiry{r.ts_us + config_.timeout_us, key});
+  }
+  st.last_us = r.ts_us;
+  ++st.packets;
+  if (st.dsts.insert(r.dst) && r.dst_in_dns) ++st.dsts_in_dns;
+  ++st.ports[r.dst_port];
+  ++st.weekly[static_cast<std::uint32_t>(util::window_week(sim::seconds_of(r.ts_us)))];
+}
+
+void ScanDetector::finalize(const net::Ipv6Prefix& key, SourceState& st) {
+  if (st.dsts.size() < config_.min_destinations) return;
+  ScanEvent ev;
+  ev.source = key;
+  ev.first_us = st.first_us;
+  ev.last_us = st.last_us;
+  ev.packets = st.packets;
+  ev.distinct_dsts = static_cast<std::uint32_t>(st.dsts.size());
+  ev.distinct_dsts_in_dns = st.dsts_in_dns;
+  ev.src_asn = st.asn;
+  ev.port_packets.reserve(st.ports.size());
+  st.ports.for_each([&](std::uint32_t port, std::uint64_t n) {
+    ev.port_packets.emplace_back(static_cast<std::uint16_t>(port), n);
+  });
+  std::sort(ev.port_packets.begin(), ev.port_packets.end());
+  ev.weekly_packets.reserve(st.weekly.size());
+  st.weekly.for_each([&](std::uint32_t week, std::uint64_t n) {
+    ev.weekly_packets.emplace_back(static_cast<std::int32_t>(week), n);
+  });
+  std::sort(ev.weekly_packets.begin(), ev.weekly_packets.end());
+  sink_(std::move(ev));
+}
+
+void ScanDetector::expire_up_to(sim::TimeUs now) {
+  // Strictly-less throughout: an entry due exactly now must neither be
+  // finalized (its gap equals the timeout, which feed() keeps) nor
+  // re-pushed-and-repopped at the same `at` (livelock).
+  while (!expiries_.empty() && expiries_.top().at < now) {
+    const Expiry e = expiries_.top();
+    expiries_.pop();
+    const auto it = states_.find(e.key);
+    if (it == states_.end()) continue;
+    const sim::TimeUs due = it->second.last_us + config_.timeout_us;
+    // Strictly-less: a gap of exactly the timeout still belongs to the
+    // same event (feed() uses the matching strict > to split).
+    if (due < now) {
+      finalize(e.key, it->second);
+      states_.erase(it);
+    } else {
+      expiries_.push(Expiry{due, e.key});
+    }
+  }
+}
+
+void ScanDetector::flush() {
+  // Finalize in key order so flushed-event order is deterministic
+  // regardless of hash-table iteration order.
+  std::vector<const net::Ipv6Prefix*> keys;
+  keys.reserve(states_.size());
+  for (const auto& [key, st] : states_) keys.push_back(&key);
+  std::sort(keys.begin(), keys.end(),
+            [](const net::Ipv6Prefix* a, const net::Ipv6Prefix* b) { return *a < *b; });
+  for (const auto* key : keys) finalize(*key, states_.at(*key));
+  states_.clear();
+  while (!expiries_.empty()) expiries_.pop();
+}
+
+std::vector<std::vector<ScanEvent>> detect_multi(sim::RecordStream& stream,
+                                                 const std::vector<DetectorConfig>& configs) {
+  std::vector<std::vector<ScanEvent>> results(configs.size());
+  std::vector<std::unique_ptr<ScanDetector>> detectors;
+  detectors.reserve(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    detectors.push_back(std::make_unique<ScanDetector>(
+        configs[i], [&results, i](ScanEvent&& ev) { results[i].push_back(std::move(ev)); }));
+  }
+  while (auto r = stream.next()) {
+    for (auto& d : detectors) d->feed(*r);
+  }
+  for (auto& d : detectors) d->flush();
+  return results;
+}
+
+}  // namespace v6sonar::core

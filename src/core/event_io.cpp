@@ -1,0 +1,111 @@
+#include "core/event_io.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace v6sonar::core {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x56'36'45'56'54'53'30'31ULL;  // "V6EVTS01"
+
+struct File {
+  std::FILE* f = nullptr;
+  File(const std::string& path, const char* mode) : f(std::fopen(path.c_str(), mode)) {
+    if (!f) throw std::runtime_error("event_io: cannot open " + path);
+  }
+  ~File() {
+    if (f) std::fclose(f);
+  }
+};
+
+void put(std::FILE* f, const void* p, std::size_t n) {
+  if (std::fwrite(p, 1, n, f) != n) throw std::runtime_error("event_io: write failed");
+}
+
+void get(std::FILE* f, void* p, std::size_t n) {
+  if (std::fread(p, 1, n, f) != n) throw std::runtime_error("event_io: truncated file");
+}
+
+template <typename T>
+void put_v(std::FILE* f, T v) {
+  put(f, &v, sizeof v);
+}
+
+template <typename T>
+T get_v(std::FILE* f) {
+  T v{};
+  get(f, &v, sizeof v);
+  return v;
+}
+
+}  // namespace
+
+void write_events(const std::string& path, const std::vector<ScanEvent>& events) {
+  File file(path, "wb");
+  std::setvbuf(file.f, nullptr, _IOFBF, 1 << 20);
+  put_v(file.f, kMagic);
+  put_v<std::uint64_t>(file.f, events.size());
+  for (const auto& ev : events) {
+    put_v(file.f, ev.source.address().hi());
+    put_v(file.f, ev.source.address().lo());
+    put_v<std::int32_t>(file.f, ev.source.length());
+    put_v(file.f, ev.first_us);
+    put_v(file.f, ev.last_us);
+    put_v(file.f, ev.packets);
+    put_v(file.f, ev.distinct_dsts);
+    put_v(file.f, ev.distinct_dsts_in_dns);
+    put_v(file.f, ev.src_asn);
+    put_v<std::uint32_t>(file.f, static_cast<std::uint32_t>(ev.port_packets.size()));
+    for (const auto& [port, n] : ev.port_packets) {
+      put_v(file.f, port);
+      put_v(file.f, n);
+    }
+    put_v<std::uint32_t>(file.f, static_cast<std::uint32_t>(ev.weekly_packets.size()));
+    for (const auto& [week, n] : ev.weekly_packets) {
+      put_v(file.f, week);
+      put_v(file.f, n);
+    }
+  }
+}
+
+std::vector<ScanEvent> read_events(const std::string& path) {
+  File file(path, "rb");
+  std::setvbuf(file.f, nullptr, _IOFBF, 1 << 20);
+  if (get_v<std::uint64_t>(file.f) != kMagic)
+    throw std::runtime_error("event_io: not an event file: " + path);
+  const auto count = get_v<std::uint64_t>(file.f);
+  std::vector<ScanEvent> events;
+  events.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ScanEvent ev;
+    const auto hi = get_v<std::uint64_t>(file.f);
+    const auto lo = get_v<std::uint64_t>(file.f);
+    const auto len = get_v<std::int32_t>(file.f);
+    ev.source = net::Ipv6Prefix{net::Ipv6Address{hi, lo}, len};
+    ev.first_us = get_v<sim::TimeUs>(file.f);
+    ev.last_us = get_v<sim::TimeUs>(file.f);
+    ev.packets = get_v<std::uint64_t>(file.f);
+    ev.distinct_dsts = get_v<std::uint32_t>(file.f);
+    ev.distinct_dsts_in_dns = get_v<std::uint32_t>(file.f);
+    ev.src_asn = get_v<std::uint32_t>(file.f);
+    const auto nports = get_v<std::uint32_t>(file.f);
+    ev.port_packets.reserve(nports);
+    for (std::uint32_t p = 0; p < nports; ++p) {
+      const auto port = get_v<std::uint16_t>(file.f);
+      const auto n = get_v<std::uint64_t>(file.f);
+      ev.port_packets.emplace_back(port, n);
+    }
+    const auto nweeks = get_v<std::uint32_t>(file.f);
+    ev.weekly_packets.reserve(nweeks);
+    for (std::uint32_t w = 0; w < nweeks; ++w) {
+      const auto week = get_v<std::int32_t>(file.f);
+      const auto n = get_v<std::uint64_t>(file.f);
+      ev.weekly_packets.emplace_back(week, n);
+    }
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+}  // namespace v6sonar::core

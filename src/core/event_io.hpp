@@ -1,0 +1,21 @@
+// Binary serialization of scan events.
+//
+// The bench harness detects once over the 15-month world and caches
+// the event sets per aggregation level; every table/figure bench then
+// loads events in milliseconds instead of re-running detection.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/scan_event.hpp"
+
+namespace v6sonar::core {
+
+/// Write events to `path`. Throws std::runtime_error on I/O failure.
+void write_events(const std::string& path, const std::vector<ScanEvent>& events);
+
+/// Read events back. Throws std::runtime_error on missing/corrupt files.
+[[nodiscard]] std::vector<ScanEvent> read_events(const std::string& path);
+
+}  // namespace v6sonar::core

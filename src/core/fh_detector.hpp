@@ -1,0 +1,48 @@
+// Extended Fukuda–Heidemann scan detection for public traces (§4).
+//
+// The paper's MAWI cross-check uses a per-capture-window definition
+// adapted from Fukuda & Heidemann (IMC'18), extended to large scans:
+// a (source, destination port) pair is a scan component if the source
+//   (i)   targets at least `min_destinations` destination IPs,
+//   (ii)  on a single destination port,
+//   (iii) with fewer than `max_packets_per_dst` packets per (port,
+//         destination IP), and
+//   (iv)  packet-length entropy below `max_length_entropy`.
+// Components of one source that probed different ports are then merged
+// into a single per-source scan report.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/prefix.hpp"
+#include "sim/record.hpp"
+
+namespace v6sonar::core {
+
+struct FhConfig {
+  int source_prefix_len = 64;
+  /// Paper: 100 (large-scale); Fukuda–Heidemann original: 5.
+  std::uint32_t min_destinations = 100;
+  std::uint32_t max_packets_per_dst = 10;  ///< condition (iii): fewer than this
+  double max_length_entropy = 0.1;         ///< condition (iv), normalized
+};
+
+/// Per-source scan report for one capture window, after merging the
+/// per-port components.
+struct FhScan {
+  net::Ipv6Prefix source;
+  std::uint32_t src_asn = 0;
+  std::uint64_t packets = 0;       ///< across qualifying components
+  std::uint32_t distinct_dsts = 0;  ///< union over qualifying components
+  std::vector<std::uint16_t> ports;  ///< qualifying ports, ascending
+  bool icmpv6 = false;              ///< any qualifying component was ICMPv6
+};
+
+/// Analyze one capture window (e.g. a 15-minute MAWI slice). Records
+/// need not be sorted. Reports are ordered by source prefix.
+[[nodiscard]] std::vector<FhScan> fh_detect(std::span<const sim::LogRecord> window,
+                                            const FhConfig& config);
+
+}  // namespace v6sonar::core

@@ -1,0 +1,49 @@
+// Scan event: the detector's output unit.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/prefix.hpp"
+#include "sim/record.hpp"
+
+namespace v6sonar::core {
+
+/// One detected scan: a source (at the detector's aggregation level)
+/// that targeted >= N destination addresses with no intra-event packet
+/// gap exceeding the timeout (§2.2's large-scale scan definition).
+struct ScanEvent {
+  net::Ipv6Prefix source;    ///< aggregated source prefix
+  sim::TimeUs first_us = 0;  ///< first packet
+  sim::TimeUs last_us = 0;   ///< last packet
+  std::uint64_t packets = 0;
+  std::uint32_t distinct_dsts = 0;
+  std::uint32_t distinct_dsts_in_dns = 0;  ///< of which DNS-exposed
+  std::uint32_t src_asn = 0;
+
+  /// Per-port packet counts, sorted by port. For ICMPv6 records the
+  /// "port" is type<<8|code.
+  std::vector<std::pair<std::uint16_t, std::uint64_t>> port_packets;
+
+  /// Packet counts per measurement-window week (week 0 = the week of
+  /// Jan 1, 2021), sorted by week — events can span many weeks, and
+  /// the weekly time-series figures need the split.
+  std::vector<std::pair<std::int32_t, std::uint64_t>> weekly_packets;
+
+  [[nodiscard]] double duration_sec() const noexcept {
+    return static_cast<double>(last_us - first_us) / 1e6;
+  }
+
+  [[nodiscard]] std::size_t distinct_ports() const noexcept { return port_packets.size(); }
+
+  /// Fraction of packets on the most common port (footnote 9's f).
+  [[nodiscard]] double top_port_fraction() const noexcept {
+    if (packets == 0) return 0.0;
+    std::uint64_t best = 0;
+    for (const auto& [port, n] : port_packets) best = best > n ? best : n;
+    return static_cast<double>(best) / static_cast<double>(packets);
+  }
+};
+
+}  // namespace v6sonar::core

@@ -1,0 +1,66 @@
+#include "core/streaming_ids.hpp"
+
+#include <stdexcept>
+
+namespace v6sonar::core {
+
+StreamingIds::StreamingIds(const IdsConfig& config, AlertSink sink)
+    : config_(config), sink_(std::move(sink)) {
+  if (!sink_) throw std::invalid_argument("StreamingIds: null sink");
+  if (config_.reattribution_period_us <= 0)
+    throw std::invalid_argument("StreamingIds: bad reattribution period");
+  events_.resize(config_.adaptive.ladder.size());
+  for (std::size_t i = 0; i < config_.adaptive.ladder.size(); ++i) {
+    detectors_.push_back(std::make_unique<ScanDetector>(
+        DetectorConfig{.source_prefix_len = config_.adaptive.ladder[i],
+                       .min_destinations = config_.min_destinations,
+                       .timeout_us = config_.timeout_us},
+        [this, i](ScanEvent&& ev) {
+          // Scan events carry heavy per-port vectors; the attribution
+          // pass only needs source/packets/asn, so slim them down.
+          ScanEvent slim;
+          slim.source = ev.source;
+          slim.first_us = ev.first_us;
+          slim.last_us = ev.last_us;
+          slim.packets = ev.packets;
+          slim.distinct_dsts = ev.distinct_dsts;
+          slim.src_asn = ev.src_asn;
+          events_[i].push_back(std::move(slim));
+        }));
+  }
+}
+
+void StreamingIds::feed(const sim::LogRecord& r) {
+  if (next_pass_us_ == 0) next_pass_us_ = r.ts_us + config_.reattribution_period_us;
+  for (auto& d : detectors_) d->feed(r);
+  if (r.ts_us >= next_pass_us_) {
+    reattribute(r.ts_us);
+    next_pass_us_ = r.ts_us + config_.reattribution_period_us;
+  }
+}
+
+void StreamingIds::flush() {
+  for (auto& d : detectors_) d->flush();
+  reattribute(next_pass_us_);
+}
+
+void StreamingIds::reattribute(sim::TimeUs now) {
+  blocklist_ = attribute_adaptive(events_, config_.adaptive);
+  for (const auto& a : blocklist_) {
+    const auto it = alerted_.find(a.source);
+    if (it != alerted_.end() && it->second == a.level) continue;  // already known
+    IdsAlert alert;
+    alert.attribution = a;
+    alert.at_us = now;
+    // Escalation: a previously alerted finer prefix is now covered by
+    // this coarser attribution.
+    bool covers_known = false;
+    for (const auto& [prefix, level] : alerted_)
+      covers_known |= a.source != prefix && a.source.contains(prefix);
+    alert.is_new = !covers_known && it == alerted_.end();
+    alerted_[a.source] = a.level;
+    sink_(alert);
+  }
+}
+
+}  // namespace v6sonar::core

@@ -1,0 +1,73 @@
+// Streaming intrusion-detection front end (§5, "IDSes should determine
+// the aggregation in real-time ... track simultaneously various
+// aggregations").
+//
+// Runs scan detectors at every ladder level over one packet stream,
+// and periodically re-attributes the accumulated scan activity with
+// the adaptive algorithm. Whenever a scanning actor first appears, or
+// its best attribution escalates to a coarser prefix (an AS #18-style
+// spread actor coming into focus), an alert is emitted — the feed an
+// operator would wire into a blocklist.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/adaptive.hpp"
+#include "core/detector.hpp"
+
+namespace v6sonar::core {
+
+struct IdsConfig {
+  AdaptiveConfig adaptive;
+  /// Detection thresholds applied at every ladder level.
+  std::uint32_t min_destinations = 100;
+  sim::TimeUs timeout_us = 3'600LL * 1'000'000;
+  /// How often the attribution pass re-runs over accumulated activity.
+  sim::TimeUs reattribution_period_us = 24LL * 3'600 * 1'000'000;
+};
+
+/// One blocklist alert.
+struct IdsAlert {
+  Attribution attribution;
+  /// True the first time the prefix is attributed; false when an
+  /// existing entry escalated to a coarser level (the attribution's
+  /// prefix then covers previously alerted finer entries).
+  bool is_new = true;
+  sim::TimeUs at_us = 0;
+};
+
+class StreamingIds {
+ public:
+  using AlertSink = std::function<void(const IdsAlert&)>;
+
+  StreamingIds(const IdsConfig& config, AlertSink sink);
+
+  /// Feed one record (time-ordered).
+  void feed(const sim::LogRecord& r);
+
+  /// Finalize all in-flight events and run a last attribution pass.
+  void flush();
+
+  /// Current blocklist: attributed scanning prefixes at their chosen
+  /// aggregation level.
+  [[nodiscard]] const std::vector<Attribution>& blocklist() const noexcept {
+    return blocklist_;
+  }
+
+ private:
+  void reattribute(sim::TimeUs now);
+
+  IdsConfig config_;
+  AlertSink sink_;
+  std::vector<std::unique_ptr<ScanDetector>> detectors_;
+  std::vector<std::vector<ScanEvent>> events_;  ///< accumulated per ladder level
+  std::vector<Attribution> blocklist_;
+  std::map<net::Ipv6Prefix, int> alerted_;  ///< prefix -> level already alerted
+  sim::TimeUs next_pass_us_ = 0;
+};
+
+}  // namespace v6sonar::core

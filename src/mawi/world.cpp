@@ -1,0 +1,300 @@
+#include "mawi/world.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "scanner/cast.hpp"
+#include "scanner/ports.hpp"
+#include "util/rng.hpp"
+#include "wire/packet.hpp"
+#include "wire/pcap.hpp"
+#include "wire/pcapng.hpp"
+
+namespace v6sonar::mawi {
+
+namespace {
+
+using net::Ipv6Address;
+using net::Ipv6Prefix;
+using sim::LogRecord;
+using sim::TimeUs;
+
+/// MAWI-side ASNs (disjoint from the CDN cast's 200000+rank range
+/// except AS #1 and AS #3, which are the same real-world entities).
+constexpr std::uint32_t kAs1 = 200'001;
+constexpr std::uint32_t kAs3 = 200'003;
+constexpr std::uint32_t kDec24As = 210'000;
+constexpr std::uint32_t kIcmpAsBase = 211'000;
+constexpr std::uint32_t kTcpAsBase = 212'000;
+constexpr std::uint32_t kNoiseAs = 213'000;
+
+/// The "rest of the internet" destination space behind the transit
+/// link: random /64s under 3900::/16 with structured or random IIDs.
+Ipv6Address random_wide_dst(util::Xoshiro256& rng, bool random_iid) {
+  const std::uint64_t hi = 0x3900'0000'0000'0000ULL | (rng() & 0x0000'FFFF'FFFF'FFFFULL);
+  return {hi, random_iid ? rng() : 1 + rng.below(0xFFFF)};
+}
+
+/// Discovery-style target: low-but-not-minimal Hamming weight IID
+/// (TGA-generated addresses; Fig. 7's "May 28" shape).
+Ipv6Address discovery_dst(util::Xoshiro256& rng) {
+  const std::uint64_t hi = 0x3900'0000'0000'0000ULL | (rng() & 0x0000'FFFF'FFFF'FFFFULL);
+  return {hi, rng() & 0xFFFF'FFFFULL};  // 32 random bits -> mean HW 16
+}
+
+constexpr std::int64_t kJul6 = util::time_of(util::CivilDate{2021, 7, 6});
+constexpr std::int64_t kDec24 = util::time_of(util::CivilDate{2021, 12, 24});
+constexpr std::int64_t kMay27 = util::time_of(util::CivilDate{2021, 5, 27});
+
+}  // namespace
+
+int day_index(util::CivilDate d) noexcept {
+  return static_cast<int>((util::time_of(d) - util::kWindowStart) / util::kSecondsPerDay);
+}
+
+MawiWorld::MawiWorld(const MawiConfig& config, sim::AsRegistry& registry,
+                     const scanner::Hitlist& hitlist)
+    : cfg_(config), hitlist_(&hitlist) {
+  util::Xoshiro256 rng(util::derive_seed(cfg_.seed, 0x3A3171));
+
+  auto add_as = [&](std::uint32_t asn, sim::AsType type, const char* cc,
+                    const Ipv6Prefix& alloc) {
+    if (registry.find(asn) == nullptr) {
+      sim::AsInfo info;
+      info.asn = asn;
+      info.type = type;
+      info.country = cc;
+      info.allocations = {alloc};
+      registry.add(std::move(info));
+    }
+  };
+
+  // AS #1 / AS #3 reuse the CDN cast's allocations (same entities).
+  add_as(kAs1, sim::AsType::kDatacenter, "CN", scanner::scanner_as_prefix(1));
+  add_as(kAs3, sim::AsType::kCybersecurity, "US", scanner::scanner_as_prefix(3));
+  as1_addr_ = scanner::scanner_as_prefix(1).address().with_iid(0x15);
+  as1_src64_ = Ipv6Prefix{as1_addr_, 64};
+
+  const Ipv6Prefix jul6_alloc = scanner::scanner_as_prefix(3);
+  jul6_src64_ = Ipv6Prefix{jul6_alloc.address().with_iid(0xE000), 64};
+
+  const std::uint64_t dec24_hi = (0x2A10'F000ULL) << 32;
+  add_as(kDec24As, sim::AsType::kCloud, "US", Ipv6Prefix{Ipv6Address{dec24_hi, 0}, 32});
+  dec24_src64_ = Ipv6Prefix{Ipv6Address{dec24_hi, 0}, 64};
+
+  for (int i = 0; i < cfg_.icmp_scanner_pool; ++i) {
+    const std::uint32_t asn = kIcmpAsBase + static_cast<std::uint32_t>(i);
+    const std::uint64_t hi = (0x2A10'E000ULL + static_cast<std::uint64_t>(i)) << 32;
+    add_as(asn, sim::AsType::kCloud, "various", Ipv6Prefix{Ipv6Address{hi, 0}, 32});
+    icmp_scanners_.push_back(Ipv6Address{hi | rng.below(0x10000), 1 + rng.below(0xFF)});
+  }
+  for (int i = 0; i < cfg_.tcp_scanner_pool; ++i) {
+    const std::uint32_t asn = kTcpAsBase + static_cast<std::uint32_t>(i);
+    const std::uint64_t hi = (0x2A10'D000ULL + static_cast<std::uint64_t>(i)) << 32;
+    add_as(asn, sim::AsType::kCloud, "various", Ipv6Prefix{Ipv6Address{hi, 0}, 32});
+    tcp_scanners_.push_back(Ipv6Address{hi | rng.below(0x10000), 1 + rng.below(0xFF)});
+  }
+  add_as(kNoiseAs, sim::AsType::kIsp, "JP",
+         Ipv6Prefix{Ipv6Address{0x2400'F000ULL << 32, 0}, 32});
+}
+
+std::vector<LogRecord> MawiWorld::generate_day(int d) const {
+  util::Xoshiro256 rng(util::derive_seed(cfg_.seed, 0xDA'0000ULL + static_cast<std::uint64_t>(d)));
+  const std::int64_t day_sec = util::kWindowStart + static_cast<std::int64_t>(d) * util::kSecondsPerDay;
+  const TimeUs w0 = sim::us_from_seconds(day_sec + cfg_.window_start_hour * 3'600);
+  const TimeUs wlen = static_cast<TimeUs>(cfg_.capture_minutes) * 60 * sim::kUsPerSecond;
+
+  std::vector<LogRecord> out;
+
+  auto emit = [&](const Ipv6Address& src, const Ipv6Address& dst, wire::IpProto proto,
+                  std::uint16_t sport, std::uint16_t dport, std::uint16_t len,
+                  std::uint32_t asn) {
+    LogRecord r;
+    r.ts_us = w0 + static_cast<TimeUs>(rng.below(static_cast<std::uint64_t>(wlen)));
+    r.src = src;
+    r.dst = dst;
+    r.proto = proto;
+    r.src_port = sport;
+    r.dst_port = dport;
+    r.frame_len = len;
+    r.src_asn = asn;
+    out.push_back(r);
+  };
+
+  const auto poisson_count = [&](double pps) {
+    const double mean = pps * cfg_.capture_minutes * 60.0;
+    // Normal approximation is fine at these counts; clamp at 0.
+    const double v = mean + std::sqrt(mean) * util::standard_normal(rng);
+    return static_cast<std::uint64_t>(std::max(0.0, v));
+  };
+
+  // --- Background flows: varied ports, varied lengths, repeated
+  // packets per destination — fails every FH condition.
+  for (int f = 0; f < cfg_.background_flows; ++f) {
+    const Ipv6Address client{0x2400'F000'0000'0000ULL | rng.below(0x1'0000'0000ULL), rng()};
+    const Ipv6Address server = random_wide_dst(rng, false);
+    const std::uint16_t dport = rng.chance(0.7) ? 443 : static_cast<std::uint16_t>(rng.below(65'536));
+    const std::uint16_t sport = static_cast<std::uint16_t>(32'768 + rng.below(28'000));
+    const int pkts = 2 + static_cast<int>(rng.below(40));
+    for (int i = 0; i < pkts; ++i)
+      emit(client, server, wire::IpProto::kTcp, sport, dport,
+           static_cast<std::uint16_t>(74 + rng.below(1'392)), kNoiseAs);
+  }
+
+  // --- Small probers: constant-length single-port scans of 5-90
+  // destinations. Only the 5-destination threshold sees them (Fig. 5's
+  // order-of-magnitude gap).
+  for (int p = 0; p < cfg_.small_probers_per_day; ++p) {
+    const Ipv6Address src{0x2400'F000'0000'0000ULL | rng.below(0x1'0000'0000ULL),
+                          1 + rng.below(0xFFFF)};
+    const std::uint16_t dport = static_cast<std::uint16_t>(1 + rng.below(10'000));
+    const std::uint64_t dsts = 5 + rng.below(86);
+    for (std::uint64_t i = 0; i < dsts; ++i)
+      emit(src, random_wide_dst(rng, false), wire::IpProto::kTcp,
+           static_cast<std::uint16_t>(40'000 + rng.below(20'000)), dport, 74, kNoiseAs);
+  }
+
+  // --- Persistent ICMPv6 scanner pool (the paper sees ICMPv6 scan
+  // sources on 342/439 days, often the majority of sources).
+  const bool icmp_day = rng.chance(cfg_.icmp_day_prob);
+  for (std::size_t i = 0; i < icmp_scanners_.size(); ++i) {
+    if (!icmp_day || !rng.chance(cfg_.icmp_scanner_daily_prob)) continue;
+    const std::uint64_t n = poisson_count(cfg_.icmp_scanner_pps);
+    for (std::uint64_t k = 0; k < n; ++k)
+      emit(icmp_scanners_[i], discovery_dst(rng), wire::IpProto::kIcmpv6, 0,
+           128 << 8, 70, kIcmpAsBase + static_cast<std::uint32_t>(i));
+  }
+
+  // --- Secondary TCP scanners. The first two spread each probe over
+  // ~10 source addresses of their /64 — under the large-scale
+  // threshold each address stays below the bar while the aggregated
+  // /64 qualifies, so Fig. 5's per-aggregation curves separate at the
+  // MAWI vantage point too.
+  for (std::size_t i = 0; i < tcp_scanners_.size(); ++i) {
+    if (!rng.chance(cfg_.tcp_scanner_daily_prob)) continue;
+    const std::uint16_t dport = scanner::ports::pen_test_set()[rng.below(30)];
+    const std::uint64_t n = poisson_count(cfg_.tcp_scanner_pps);
+    const bool spread = i < 2;
+    for (std::uint64_t k = 0; k < n; ++k) {
+      const Ipv6Address src = spread
+          ? tcp_scanners_[i].with_iid((tcp_scanners_[i].lo() & ~0xFULL) | rng.below(10))
+          : tcp_scanners_[i];
+      emit(src, random_wide_dst(rng, false), wire::IpProto::kTcp,
+           static_cast<std::uint16_t>(40'000 + rng.below(20'000)), dport, 74,
+           kTcpAsBase + static_cast<std::uint32_t>(i));
+    }
+  }
+
+  // --- The dominant scanner (AS #1): every day, one source address,
+  // targets far apart (median 2 per destination /64).
+  {
+    const std::uint64_t n = poisson_count(cfg_.as1_pps);
+    const bool early = day_sec < kMay27;
+    const bool seed_day = day_sec == kMay27;
+    const auto& hl = hitlist_->addresses();
+    static const std::uint16_t late_ports[] = {22, 80, 443, 3389, 8080, 8443};
+    const auto ports444 = scanner::ports::large_set_444();
+    for (std::uint64_t k = 0; k < n; ++k) {
+      std::uint16_t dport;
+      Ipv6Address dst;
+      if (seed_day) {
+        dport = late_ports[rng.below(6)];
+        dst = hl[rng.below(std::min<std::size_t>(2'300, hl.size()))];
+      } else if (early) {
+        dport = ports444[rng.below(ports444.size())];
+        dst = discovery_dst(rng);
+      } else {
+        dport = late_ports[rng.below(6)];
+        dst = discovery_dst(rng);
+      }
+      emit(as1_addr_, dst, wire::IpProto::kTcp,
+           static_cast<std::uint16_t>(50'000 + rng.below(10'000)), dport, 74, kAs1);
+    }
+  }
+
+  // --- July 6, 2021: ICMPv6 peak from seven sources in one /124
+  // (AS #3, the cybersecurity network).
+  if (day_sec == kJul6) {
+    const Ipv6Address base = jul6_src64_.address().with_iid(0xE0);
+    const std::uint64_t n = poisson_count(cfg_.jul6_pps);
+    for (std::uint64_t k = 0; k < n; ++k)
+      emit(base.plus(rng.below(7)), discovery_dst(rng), wire::IpProto::kIcmpv6, 0, 128 << 8,
+           70, kAs3);
+  }
+
+  // --- December 24, 2021: the by-far largest peak — one /128 from a
+  // US cloud provider, every packet a distinct destination /64,
+  // fully random IIDs (Gaussian Hamming weights).
+  if (day_sec == kDec24) {
+    const Ipv6Address src = dec24_src64_.address().with_iid(0x1);
+    const std::uint64_t n = poisson_count(cfg_.dec24_pps);
+    for (std::uint64_t k = 0; k < n; ++k)
+      emit(src, random_wide_dst(rng, true), wire::IpProto::kIcmpv6, 0, 128 << 8, 70, kDec24As);
+  }
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const LogRecord& a, const LogRecord& b) { return a.ts_us < b.ts_us; });
+  return out;
+}
+
+std::uint64_t MawiWorld::export_pcap(int d, const std::string& path) const {
+  const auto records = generate_day(d);
+  wire::PcapWriter writer(path, /*nanosecond=*/false);
+  for (const auto& r : records) {
+    std::vector<std::uint8_t> frame;
+    switch (r.proto) {
+      case wire::IpProto::kTcp:
+        frame = wire::FrameBuilder::tcp(r.src, r.dst, r.src_port, r.dst_port);
+        break;
+      case wire::IpProto::kUdp:
+        frame = wire::FrameBuilder::udp(r.src, r.dst, r.src_port, r.dst_port);
+        break;
+      case wire::IpProto::kIcmpv6:
+        frame = wire::FrameBuilder::icmpv6_echo(r.src, r.dst, 0x77,
+                                                static_cast<std::uint16_t>(r.ts_us & 0xFFFF));
+        break;
+    }
+    // Pad to the logged frame length so length-entropy analyses of the
+    // re-imported pcap match the simulated records.
+    if (frame.size() < r.frame_len) frame.resize(r.frame_len, 0);
+    writer.write(sim::seconds_of(r.ts_us), static_cast<std::uint32_t>(r.ts_us % 1'000'000),
+                 frame);
+  }
+  writer.close();
+  return records.size();
+}
+
+std::vector<LogRecord> MawiWorld::import_pcap(const std::string& path, std::uint64_t* skipped) {
+  std::vector<LogRecord> out;
+  std::uint64_t bad = 0;
+  const auto consume = [&](const wire::PcapRecord& rec, bool nanosecond) {
+    const auto parsed = wire::parse_frame(rec.data);
+    if (!parsed) {
+      ++bad;
+      return;
+    }
+    LogRecord r;
+    r.ts_us = rec.ts_nanos(nanosecond) / 1'000;
+    r.src = parsed->src;
+    r.dst = parsed->dst;
+    r.proto = parsed->proto;
+    r.src_port = parsed->src_port;
+    r.dst_port = parsed->dst_port;
+    r.frame_len = static_cast<std::uint16_t>(parsed->length);
+    out.push_back(r);
+  };
+
+  // Both capture generations are accepted; pcapng records already
+  // carry microsecond fractions.
+  if (wire::detect_capture_format(path) == wire::CaptureFormat::kPcapng) {
+    wire::PcapngReader reader(path);
+    while (auto rec = reader.next()) consume(*rec, /*nanosecond=*/false);
+  } else {
+    wire::PcapReader reader(path);
+    while (auto rec = reader.next()) consume(*rec, reader.nanosecond());
+  }
+  if (skipped) *skipped = bad;
+  return out;
+}
+
+}  // namespace v6sonar::mawi

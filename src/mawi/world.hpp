@@ -1,0 +1,105 @@
+// MAWI-style transit-link simulation (§4, Appendix A.2).
+//
+// The public MAWI archive provides one 15-minute capture per day at a
+// Japanese transit link. This module generates the equivalent: per
+// day, a time-sorted record vector containing background traffic,
+// small probers, the persistent ICMPv6 scanner population, the
+// dominant TCP scanner (the same AS #1 entity the CDN sees), and the
+// two ICMPv6 peak events (July 6: seven sources in one /124 from the
+// AS #3 cybersecurity network; December 24: one /128 from a US cloud
+// provider scanning random IIDs at extreme rate).
+//
+// Windows can be exported to and re-imported from real .pcap files, so
+// the identical pipeline runs on actual MAWI captures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scanner/hitlist.hpp"
+#include "sim/as_registry.hpp"
+#include "sim/record.hpp"
+#include "util/timebase.hpp"
+
+namespace v6sonar::mawi {
+
+struct MawiConfig {
+  std::uint64_t seed = 99;
+  /// Daily capture window length.
+  int capture_minutes = 15;
+  /// Window start offset within the day (05:00 UTC = 14:00 JST).
+  int window_start_hour = 5;
+
+  /// Visible packet rate of the dominant scanner (AS #1). The paper
+  /// attributes 92.8% of all MAWI scan packets to it.
+  double as1_pps = 110.0;
+  /// Persistent ICMPv6 scanner pool. Campaigns are day-correlated:
+  /// with probability `icmp_day_prob` a day carries ICMPv6 scanning at
+  /// all (the paper sees it on 342/439 days = 78%), and on such days
+  /// each pool member is active with `icmp_scanner_daily_prob` — so
+  /// when ICMPv6 scanning happens, its sources usually outnumber the
+  /// TCP scanners (majority on 236 days).
+  int icmp_scanner_pool = 8;
+  double icmp_day_prob = 0.78;
+  double icmp_scanner_daily_prob = 0.55;
+  double icmp_scanner_pps = 0.35;
+  /// Secondary TCP scanners (median 6 scan sources/day overall).
+  int tcp_scanner_pool = 5;
+  double tcp_scanner_daily_prob = 0.5;
+  double tcp_scanner_pps = 0.3;
+  /// Background bidirectional flows per window (non-scan traffic).
+  int background_flows = 300;
+  /// Small probers (5-90 destinations): visible only under the
+  /// original Fukuda-Heidemann threshold of 5 destinations.
+  int small_probers_per_day = 60;
+  /// Peak-day visible rates.
+  double jul6_pps = 900.0;
+  double dec24_pps = 3'000.0;
+};
+
+/// Well-known days (window-relative indices).
+[[nodiscard]] int day_index(util::CivilDate d) noexcept;
+
+class MawiWorld {
+ public:
+  /// Registers the MAWI-side ASes in `registry`; `hitlist` provides
+  /// the known-active addresses for the May 27 seeding day.
+  MawiWorld(const MawiConfig& config, sim::AsRegistry& registry,
+            const scanner::Hitlist& hitlist);
+
+  /// Generate the capture window of day `d` (0 = Jan 1, 2021);
+  /// deterministic per (seed, day). Records are time-sorted and
+  /// annotated with src_asn (dst_in_dns is always false here — the
+  /// MAWI vantage point has no DNS ground truth).
+  [[nodiscard]] std::vector<sim::LogRecord> generate_day(int d) const;
+
+  [[nodiscard]] int days() const noexcept { return static_cast<int>(util::kWindowDays) + 1; }
+
+  /// The dominant scanner's source prefix (for per-source analyses).
+  [[nodiscard]] net::Ipv6Prefix as1_source64() const noexcept { return as1_src64_; }
+  [[nodiscard]] net::Ipv6Prefix jul6_source64() const noexcept { return jul6_src64_; }
+  [[nodiscard]] net::Ipv6Prefix dec24_source64() const noexcept { return dec24_src64_; }
+
+  /// Export one day's window as a pcap file (synthesized frames with
+  /// valid headers/checksums); returns the number of frames written.
+  std::uint64_t export_pcap(int d, const std::string& path) const;
+
+  /// Read a pcap file back into log records (works on real captures
+  /// too). Unparseable frames are skipped; `skipped` (optional)
+  /// reports how many.
+  [[nodiscard]] static std::vector<sim::LogRecord> import_pcap(const std::string& path,
+                                                               std::uint64_t* skipped = nullptr);
+
+ private:
+  MawiConfig cfg_;
+  const scanner::Hitlist* hitlist_;
+  net::Ipv6Prefix as1_src64_;
+  net::Ipv6Prefix jul6_src64_;
+  net::Ipv6Prefix dec24_src64_;
+  net::Ipv6Address as1_addr_;
+  std::vector<net::Ipv6Address> icmp_scanners_;
+  std::vector<net::Ipv6Address> tcp_scanners_;
+};
+
+}  // namespace v6sonar::mawi

@@ -1,0 +1,188 @@
+#include "net/ipv6.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace v6sonar::net {
+
+namespace {
+
+/// Parse up to 4 hex digits; advances pos. Returns nullopt if no hex
+/// digit is present at pos.
+std::optional<std::uint16_t> parse_hex_group(std::string_view s, std::size_t& pos) noexcept {
+  std::uint32_t v = 0;
+  std::size_t digits = 0;
+  while (pos < s.size() && digits < 4) {
+    const char c = s[pos];
+    std::uint32_t d;
+    if (c >= '0' && c <= '9')
+      d = static_cast<std::uint32_t>(c - '0');
+    else if (c >= 'a' && c <= 'f')
+      d = static_cast<std::uint32_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F')
+      d = static_cast<std::uint32_t>(c - 'A' + 10);
+    else
+      break;
+    v = v << 4 | d;
+    ++pos;
+    ++digits;
+  }
+  if (digits == 0) return std::nullopt;
+  return static_cast<std::uint16_t>(v);
+}
+
+/// Parse a dotted-quad IPv4 tail ("192.0.2.1") into two 16-bit groups.
+std::optional<std::array<std::uint16_t, 2>> parse_ipv4_tail(std::string_view s) noexcept {
+  std::array<std::uint32_t, 4> octets{};
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (pos >= s.size() || s[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+    std::uint32_t v = 0;
+    std::size_t digits = 0;
+    while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9' && digits < 3) {
+      v = v * 10 + static_cast<std::uint32_t>(s[pos] - '0');
+      ++pos;
+      ++digits;
+    }
+    if (digits == 0 || v > 255) return std::nullopt;
+    if (digits > 1 && s[pos - digits] == '0') return std::nullopt;  // no leading zeros
+    octets[static_cast<std::size_t>(i)] = v;
+  }
+  if (pos != s.size()) return std::nullopt;
+  return std::array<std::uint16_t, 2>{
+      static_cast<std::uint16_t>(octets[0] << 8 | octets[1]),
+      static_cast<std::uint16_t>(octets[2] << 8 | octets[3])};
+}
+
+}  // namespace
+
+std::optional<Ipv6Address> Ipv6Address::parse(std::string_view text) noexcept {
+  if (text.size() < 2 || text.size() > 45) return std::nullopt;
+
+  std::array<std::uint16_t, 8> groups{};
+  int n_before = 0;        // groups before "::"
+  int n_after = 0;         // groups after "::"
+  bool has_gap = false;    // saw "::"
+  bool has_v4 = false;     // dotted-quad tail consumed
+  std::array<std::uint16_t, 8> before{};
+  std::array<std::uint16_t, 8> after{};
+
+  std::size_t pos = 0;
+
+  // Leading "::"?
+  if (text.size() >= 2 && text[0] == ':' && text[1] == ':') {
+    has_gap = true;
+    pos = 2;
+  } else if (text[0] == ':') {
+    return std::nullopt;  // single leading colon
+  }
+
+  auto cur_count = [&]() -> int& { return has_gap ? n_after : n_before; };
+  auto cur_array = [&]() -> std::array<std::uint16_t, 8>& { return has_gap ? after : before; };
+
+  while (pos < text.size()) {
+    if (cur_count() + (has_gap ? n_before : 0) >= 8) return std::nullopt;
+
+    // An IPv4 tail is possible for the last 32 bits: detect a dot
+    // before the next colon.
+    const std::size_t rest_start = pos;
+    const std::size_t next_colon = text.find(':', pos);
+    const std::size_t next_dot = text.find('.', pos);
+    if (next_dot != std::string_view::npos &&
+        (next_colon == std::string_view::npos || next_dot < next_colon)) {
+      const auto v4 = parse_ipv4_tail(text.substr(rest_start));
+      if (!v4) return std::nullopt;
+      if (cur_count() + 2 > 8) return std::nullopt;
+      cur_array()[static_cast<std::size_t>(cur_count()++)] = (*v4)[0];
+      cur_array()[static_cast<std::size_t>(cur_count()++)] = (*v4)[1];
+      has_v4 = true;
+      pos = text.size();
+      break;
+    }
+
+    const auto g = parse_hex_group(text, pos);
+    if (!g) return std::nullopt;
+    cur_array()[static_cast<std::size_t>(cur_count()++)] = *g;
+
+    if (pos == text.size()) break;
+    if (text[pos] != ':') return std::nullopt;
+    ++pos;
+    if (pos < text.size() && text[pos] == ':') {
+      if (has_gap) return std::nullopt;  // second "::"
+      has_gap = true;
+      ++pos;
+      if (pos == text.size()) break;  // trailing "::"
+    } else if (pos == text.size()) {
+      return std::nullopt;  // trailing single colon
+    }
+  }
+  (void)has_v4;
+
+  const int total = n_before + n_after;
+  if (has_gap) {
+    if (total >= 8) return std::nullopt;  // "::" must cover >= 1 group
+  } else {
+    if (total != 8) return std::nullopt;
+  }
+
+  int gi = 0;
+  for (int i = 0; i < n_before; ++i) groups[static_cast<std::size_t>(gi++)] = before[static_cast<std::size_t>(i)];
+  for (int i = 0; i < 8 - total && has_gap; ++i) groups[static_cast<std::size_t>(gi++)] = 0;
+  for (int i = 0; i < n_after; ++i) groups[static_cast<std::size_t>(gi++)] = after[static_cast<std::size_t>(i)];
+
+  std::uint64_t hi = 0, lo = 0;
+  for (int i = 0; i < 4; ++i) hi = hi << 16 | groups[static_cast<std::size_t>(i)];
+  for (int i = 4; i < 8; ++i) lo = lo << 16 | groups[static_cast<std::size_t>(i)];
+  return Ipv6Address{hi, lo};
+}
+
+Ipv6Address Ipv6Address::parse_or_throw(std::string_view text) {
+  auto a = parse(text);
+  if (!a) throw std::invalid_argument("invalid IPv6 address: " + std::string(text));
+  return *a;
+}
+
+std::string Ipv6Address::to_string() const {
+  std::array<std::uint16_t, 8> g{};
+  for (int i = 0; i < 8; ++i) g[static_cast<std::size_t>(i)] = group(i);
+
+  // Find the longest run of zero groups (length >= 2, leftmost wins).
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (g[static_cast<std::size_t>(i)] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && g[static_cast<std::size_t>(j)] == 0) ++j;
+    if (j - i > best_len) {
+      best_start = i;
+      best_len = j - i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;  // RFC 5952 §4.2.2: never compress one group
+
+  std::string out;
+  out.reserve(40);
+  char buf[8];
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len;
+      if (i == 8) break;
+      continue;
+    }
+    if (i != 0 && !(best_start >= 0 && i == best_start + best_len)) out += ':';
+    std::snprintf(buf, sizeof buf, "%x", g[static_cast<std::size_t>(i)]);
+    out += buf;
+    ++i;
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+}  // namespace v6sonar::net

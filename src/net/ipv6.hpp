@@ -1,0 +1,194 @@
+// IPv6 address value type.
+//
+// A 128-bit address held as two 64-bit words, with total ordering,
+// hashing, bit manipulation, and from-scratch RFC 4291 parsing /
+// RFC 5952 canonical formatting. No OS networking headers are used so
+// the type behaves identically everywhere (and in constexpr contexts).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace v6sonar::net {
+
+class Ipv6Address {
+ public:
+  /// The unspecified address "::".
+  constexpr Ipv6Address() noexcept = default;
+
+  /// From the two big-endian 64-bit halves: hi = bits 127..64 (network
+  /// prefix side), lo = bits 63..0 (interface identifier side).
+  constexpr Ipv6Address(std::uint64_t hi, std::uint64_t lo) noexcept : hi_(hi), lo_(lo) {}
+
+  /// From 16 bytes in network byte order.
+  [[nodiscard]] static constexpr Ipv6Address from_bytes(
+      const std::array<std::uint8_t, 16>& b) noexcept {
+    std::uint64_t hi = 0, lo = 0;
+    for (int i = 0; i < 8; ++i) hi = hi << 8 | b[static_cast<std::size_t>(i)];
+    for (int i = 8; i < 16; ++i) lo = lo << 8 | b[static_cast<std::size_t>(i)];
+    return {hi, lo};
+  }
+
+  /// Parse any RFC 4291 textual form ("::", "2001:db8::1",
+  /// "::ffff:192.0.2.1", full 8-group form). Returns nullopt on
+  /// malformed input; never throws.
+  [[nodiscard]] static std::optional<Ipv6Address> parse(std::string_view text) noexcept;
+
+  /// Parse or throw std::invalid_argument — for literals in configs/tests.
+  [[nodiscard]] static Ipv6Address parse_or_throw(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint64_t hi() const noexcept { return hi_; }
+  [[nodiscard]] constexpr std::uint64_t lo() const noexcept { return lo_; }
+
+  [[nodiscard]] constexpr std::array<std::uint8_t, 16> bytes() const noexcept {
+    std::array<std::uint8_t, 16> b{};
+    for (int i = 0; i < 8; ++i)
+      b[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(hi_ >> (56 - 8 * i));
+    for (int i = 0; i < 8; ++i)
+      b[static_cast<std::size_t>(8 + i)] = static_cast<std::uint8_t>(lo_ >> (56 - 8 * i));
+    return b;
+  }
+
+  /// The sixteen-bit group at index 0..7 (group 0 is the leftmost).
+  [[nodiscard]] constexpr std::uint16_t group(int i) const noexcept {
+    const std::uint64_t w = i < 4 ? hi_ : lo_;
+    const int shift = 48 - 16 * (i & 3);
+    return static_cast<std::uint16_t>(w >> shift);
+  }
+
+  /// Bit at position `pos`, where pos 0 is the most significant bit
+  /// (leftmost / network side). pos must be in [0, 128).
+  [[nodiscard]] constexpr bool bit(int pos) const noexcept {
+    return pos < 64 ? (hi_ >> (63 - pos)) & 1 : (lo_ >> (127 - pos)) & 1;
+  }
+
+  /// Copy with bit `pos` set to `value` (pos as in bit()).
+  [[nodiscard]] constexpr Ipv6Address with_bit(int pos, bool value) const noexcept {
+    Ipv6Address r = *this;
+    if (pos < 64) {
+      const std::uint64_t m = 1ULL << (63 - pos);
+      r.hi_ = value ? r.hi_ | m : r.hi_ & ~m;
+    } else {
+      const std::uint64_t m = 1ULL << (127 - pos);
+      r.lo_ = value ? r.lo_ | m : r.lo_ & ~m;
+    }
+    return r;
+  }
+
+  /// Address with all bits below the first `len` bits cleared
+  /// (the network address for a /len prefix). len in [0, 128].
+  [[nodiscard]] constexpr Ipv6Address masked(int len) const noexcept {
+    if (len <= 0) return {};
+    if (len >= 128) return *this;
+    if (len <= 64) {
+      const std::uint64_t m = len == 64 ? ~0ULL : ~(~0ULL >> len);
+      return {hi_ & m, 0};
+    }
+    const std::uint64_t m = ~(~0ULL >> (len - 64));
+    return {hi_, lo_ & m};
+  }
+
+  /// Length of the common prefix with another address, in bits [0,128].
+  [[nodiscard]] constexpr int common_prefix_len(const Ipv6Address& o) const noexcept {
+    if (hi_ != o.hi_) return countl_zero64(hi_ ^ o.hi_);
+    if (lo_ != o.lo_) return 64 + countl_zero64(lo_ ^ o.lo_);
+    return 128;
+  }
+
+  /// Number of 1-bits in the whole address.
+  [[nodiscard]] constexpr int popcount() const noexcept {
+    return popcount64(hi_) + popcount64(lo_);
+  }
+
+  /// Hamming weight of the interface identifier (lowest 64 bits) —
+  /// the address-randomness indicator used in §4 / Fig. 7.
+  [[nodiscard]] constexpr int iid_hamming_weight() const noexcept { return popcount64(lo_); }
+
+  /// Arithmetic: address + offset (wraps mod 2^128). Used by target
+  /// generators walking nearby addresses.
+  [[nodiscard]] constexpr Ipv6Address plus(std::uint64_t offset) const noexcept {
+    const std::uint64_t new_lo = lo_ + offset;
+    return {new_lo < lo_ ? hi_ + 1 : hi_, new_lo};
+  }
+
+  /// Bitwise OR of the low 64 bits with an IID value.
+  [[nodiscard]] constexpr Ipv6Address with_iid(std::uint64_t iid) const noexcept {
+    return {hi_, iid};
+  }
+
+  /// RFC 5952 canonical text: lowercase hex, longest zero-run
+  /// compressed (leftmost on tie, never a single group).
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Ipv6Address&, const Ipv6Address&) noexcept = default;
+
+ private:
+  [[nodiscard]] static constexpr int countl_zero64(std::uint64_t v) noexcept {
+    if (v == 0) return 64;
+    int n = 0;
+    for (std::uint64_t m = 1ULL << 63; (v & m) == 0; m >>= 1) ++n;
+    return n;
+  }
+  [[nodiscard]] static constexpr int popcount64(std::uint64_t v) noexcept {
+    int n = 0;
+    while (v) {
+      v &= v - 1;
+      ++n;
+    }
+    return n;
+  }
+
+  std::uint64_t hi_ = 0;
+  std::uint64_t lo_ = 0;
+};
+
+/// RFC 4291 address scopes — telescope ingest uses this to discard
+/// traffic that cannot legitimately arrive over the public internet
+/// (link-local, loopback, unique-local sources).
+enum class AddressScope {
+  kUnspecified,  ///< ::
+  kLoopback,     ///< ::1
+  kLinkLocal,    ///< fe80::/10
+  kUniqueLocal,  ///< fc00::/7
+  kMulticast,    ///< ff00::/8
+  kGlobal,       ///< everything else
+};
+
+[[nodiscard]] constexpr AddressScope address_scope(const Ipv6Address& a) noexcept {
+  if (a.hi() == 0 && a.lo() == 0) return AddressScope::kUnspecified;
+  if (a.hi() == 0 && a.lo() == 1) return AddressScope::kLoopback;
+  const auto top10 = static_cast<std::uint16_t>(a.hi() >> 54);
+  if (top10 == 0x3FA) return AddressScope::kLinkLocal;  // fe80::/10
+  const auto top8 = static_cast<std::uint8_t>(a.hi() >> 56);
+  if ((top8 & 0xFE) == 0xFC) return AddressScope::kUniqueLocal;  // fc00::/7
+  if (top8 == 0xFF) return AddressScope::kMulticast;             // ff00::/8
+  return AddressScope::kGlobal;
+}
+
+/// Is this a plausible public unicast source for telescope traffic?
+[[nodiscard]] constexpr bool is_global_unicast(const Ipv6Address& a) noexcept {
+  return address_scope(a) == AddressScope::kGlobal;
+}
+
+/// 2001:db8::/32 (RFC 3849) — never valid on the wire.
+[[nodiscard]] constexpr bool is_documentation(const Ipv6Address& a) noexcept {
+  return (a.hi() >> 32) == 0x2001'0db8ULL;
+}
+
+}  // namespace v6sonar::net
+
+template <>
+struct std::hash<v6sonar::net::Ipv6Address> {
+  std::size_t operator()(const v6sonar::net::Ipv6Address& a) const noexcept {
+    // Mix the halves; SplitMix-style finalizer for avalanche.
+    std::uint64_t z = a.hi() ^ (a.lo() * 0x9e3779b97f4a7c15ULL + 0xbf58476d1ce4e5b9ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};

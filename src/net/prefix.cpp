@@ -1,0 +1,34 @@
+#include "net/prefix.hpp"
+
+#include <stdexcept>
+
+namespace v6sonar::net {
+
+std::optional<Ipv6Prefix> Ipv6Prefix::parse(std::string_view text) noexcept {
+  const std::size_t slash = text.rfind('/');
+  if (slash == std::string_view::npos || slash == 0 || slash + 1 >= text.size())
+    return std::nullopt;
+  const auto addr = Ipv6Address::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  int len = 0;
+  for (std::size_t i = slash + 1; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    len = len * 10 + (c - '0');
+    if (len > 128) return std::nullopt;
+  }
+  if (text.size() - slash - 1 > 3) return std::nullopt;
+  return Ipv6Prefix{*addr, len};
+}
+
+Ipv6Prefix Ipv6Prefix::parse_or_throw(std::string_view text) {
+  auto p = parse(text);
+  if (!p) throw std::invalid_argument("invalid IPv6 prefix: " + std::string(text));
+  return *p;
+}
+
+std::string Ipv6Prefix::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(len_);
+}
+
+}  // namespace v6sonar::net

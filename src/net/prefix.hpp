@@ -1,0 +1,88 @@
+// IPv6 prefix (CIDR) value type.
+#pragma once
+
+#include <compare>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/ipv6.hpp"
+
+namespace v6sonar::net {
+
+/// An IPv6 prefix: a network address plus a prefix length in [0, 128].
+/// Always stored canonically (host bits zero), so equality is semantic.
+class Ipv6Prefix {
+ public:
+  /// "::/0".
+  constexpr Ipv6Prefix() noexcept = default;
+
+  /// Canonicalizes: host bits of `addr` below `len` are cleared.
+  /// len is clamped to [0, 128].
+  constexpr Ipv6Prefix(const Ipv6Address& addr, int len) noexcept
+      : len_(len < 0 ? 0 : (len > 128 ? 128 : len)), addr_(addr.masked(len_)) {}
+
+  /// Parse "2001:db8::/32". Returns nullopt on malformed input.
+  [[nodiscard]] static std::optional<Ipv6Prefix> parse(std::string_view text) noexcept;
+
+  /// Parse or throw std::invalid_argument.
+  [[nodiscard]] static Ipv6Prefix parse_or_throw(std::string_view text);
+
+  [[nodiscard]] constexpr const Ipv6Address& address() const noexcept { return addr_; }
+  [[nodiscard]] constexpr int length() const noexcept { return len_; }
+
+  /// Does this prefix cover the address?
+  [[nodiscard]] constexpr bool contains(const Ipv6Address& a) const noexcept {
+    return a.masked(len_) == addr_;
+  }
+
+  /// Does this prefix cover the other (equal or more-specific) prefix?
+  [[nodiscard]] constexpr bool contains(const Ipv6Prefix& o) const noexcept {
+    return o.len_ >= len_ && contains(o.addr_);
+  }
+
+  /// The first and last addresses covered.
+  [[nodiscard]] constexpr Ipv6Address first() const noexcept { return addr_; }
+  [[nodiscard]] constexpr Ipv6Address last() const noexcept {
+    if (len_ == 0) return {~0ULL, ~0ULL};
+    if (len_ >= 128) return addr_;
+    if (len_ <= 64) {
+      const std::uint64_t m = len_ == 64 ? 0 : (~0ULL >> len_);
+      return {addr_.hi() | m, ~0ULL};
+    }
+    return {addr_.hi(), addr_.lo() | (~0ULL >> (len_ - 64))};
+  }
+
+  /// This prefix re-expressed at a shorter (less specific) length.
+  /// new_len must be <= length().
+  [[nodiscard]] constexpr Ipv6Prefix parent(int new_len) const noexcept {
+    return {addr_, new_len < len_ ? new_len : len_};
+  }
+
+  /// "2001:db8::/32".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Ordered by network address, then by length (shorter first) — the
+  /// natural address-space ordering.
+  friend constexpr std::strong_ordering operator<=>(const Ipv6Prefix& a,
+                                                    const Ipv6Prefix& b) noexcept {
+    if (const auto c = a.addr_ <=> b.addr_; c != 0) return c;
+    return a.len_ <=> b.len_;
+  }
+  friend constexpr bool operator==(const Ipv6Prefix&, const Ipv6Prefix&) noexcept = default;
+
+ private:
+  int len_ = 0;  // declared before addr_: the constructor masks with it
+  Ipv6Address addr_;
+};
+
+}  // namespace v6sonar::net
+
+template <>
+struct std::hash<v6sonar::net::Ipv6Prefix> {
+  std::size_t operator()(const v6sonar::net::Ipv6Prefix& p) const noexcept {
+    return std::hash<v6sonar::net::Ipv6Address>{}(p.address()) ^
+           (static_cast<std::size_t>(p.length()) * 0x9e3779b97f4a7c15ULL);
+  }
+};

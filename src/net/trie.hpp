@@ -1,0 +1,120 @@
+// Binary radix (Patricia-style) trie keyed by IPv6 prefixes.
+//
+// Supports exact insert/lookup, longest-prefix match, and subtree
+// visitation. Used for AS attribution (prefix -> AS), allocation
+// tables, and the adaptive-aggregation detector, which needs to ask
+// "how many active more-specific prefixes live under this parent?".
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/prefix.hpp"
+
+namespace v6sonar::net {
+
+template <typename T>
+class PrefixTrie {
+ public:
+  PrefixTrie() : root_(std::make_unique<Node>()) {}
+
+  /// Insert or overwrite the value at an exact prefix.
+  /// Returns a reference to the stored value.
+  T& insert(const Ipv6Prefix& p, T value) {
+    Node* n = root_.get();
+    for (int depth = 0; depth < p.length(); ++depth) {
+      auto& child = n->child[p.address().bit(depth) ? 1 : 0];
+      if (!child) child = std::make_unique<Node>();
+      n = child.get();
+    }
+    if (!n->value) ++size_;
+    n->value = std::move(value);
+    return *n->value;
+  }
+
+  /// Value stored at exactly this prefix, if any.
+  [[nodiscard]] const T* find(const Ipv6Prefix& p) const noexcept {
+    const Node* n = descend(p.address(), p.length());
+    return n && n->value ? &*n->value : nullptr;
+  }
+
+  [[nodiscard]] T* find(const Ipv6Prefix& p) noexcept {
+    return const_cast<T*>(std::as_const(*this).find(p));
+  }
+
+  /// Longest-prefix match: the most specific stored prefix covering
+  /// the address, or nullopt.
+  [[nodiscard]] std::optional<std::pair<Ipv6Prefix, const T*>> longest_match(
+      const Ipv6Address& a) const noexcept {
+    const Node* n = root_.get();
+    const Node* best = n->value ? n : nullptr;
+    int best_len = 0;
+    for (int depth = 0; depth < 128 && n; ++depth) {
+      n = n->child[a.bit(depth) ? 1 : 0].get();
+      if (n && n->value) {
+        best = n;
+        best_len = depth + 1;
+      }
+    }
+    if (!best) return std::nullopt;
+    return std::pair{Ipv6Prefix{a, best_len}, &*best->value};
+  }
+
+  /// Visit every stored (prefix, value) pair under `scope` (inclusive),
+  /// in address order.
+  template <typename Fn>
+  void visit_under(const Ipv6Prefix& scope, Fn&& fn) const {
+    const Node* n = descend(scope.address(), scope.length());
+    if (n) visit(n, scope.address(), scope.length(), fn);
+  }
+
+  /// Visit all stored pairs.
+  template <typename Fn>
+  void visit_all(Fn&& fn) const {
+    visit(root_.get(), Ipv6Address{}, 0, fn);
+  }
+
+  /// Number of stored prefixes strictly or loosely under `scope`.
+  [[nodiscard]] std::size_t count_under(const Ipv6Prefix& scope) const noexcept {
+    std::size_t n = 0;
+    visit_under(scope, [&](const Ipv6Prefix&, const T&) { ++n; });
+    return n;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  void clear() {
+    root_ = std::make_unique<Node>();
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    std::optional<T> value;
+    std::unique_ptr<Node> child[2];
+  };
+
+  [[nodiscard]] const Node* descend(const Ipv6Address& a, int len) const noexcept {
+    const Node* n = root_.get();
+    for (int depth = 0; depth < len && n; ++depth) n = n->child[a.bit(depth) ? 1 : 0].get();
+    return n;
+  }
+
+  template <typename Fn>
+  static void visit(const Node* n, Ipv6Address path, int depth, Fn& fn) {
+    if (n->value) fn(Ipv6Prefix{path, depth}, *n->value);
+    if (depth >= 128) return;
+    if (n->child[0]) visit(n->child[0].get(), path.with_bit(depth, false), depth + 1, fn);
+    if (n->child[1]) visit(n->child[1].get(), path.with_bit(depth, true), depth + 1, fn);
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace v6sonar::net

@@ -1,0 +1,150 @@
+#include "scanner/actor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/timebase.hpp"
+
+namespace v6sonar::scanner {
+
+namespace {
+
+/// Frame length of a minimal probe (Ethernet + IPv6 + transport).
+std::uint16_t probe_frame_len(wire::IpProto proto) noexcept {
+  switch (proto) {
+    case wire::IpProto::kTcp: return 14 + 40 + 20;
+    case wire::IpProto::kUdp: return 14 + 40 + 8;
+    case wire::IpProto::kIcmpv6: return 14 + 40 + 8 + 8;  // echo + small payload
+  }
+  return 60;
+}
+
+}  // namespace
+
+ScanActor::ScanActor(ActorConfig config, std::unique_ptr<PortStrategy> ports,
+                     std::unique_ptr<SourceStrategy> sources,
+                     std::unique_ptr<TargetStrategy> targets)
+    : config_(std::move(config)),
+      ports_(std::move(ports)),
+      sources_(std::move(sources)),
+      targets_(std::move(targets)),
+      rng_(util::derive_seed(config_.seed, 0xAC7012)) {
+  if (!ports_ || !sources_ || !targets_)
+    throw std::invalid_argument("ScanActor: null strategy");
+  if (config_.pps <= 0) throw std::invalid_argument("ScanActor: pps must be positive");
+  if (config_.start_us == 0 && config_.end_us == 0) {
+    config_.start_us = sim::us_from_seconds(util::kWindowStart);
+    config_.end_us = sim::us_from_seconds(util::kWindowEnd);
+  }
+  if (config_.end_us <= config_.start_us)
+    throw std::invalid_argument("ScanActor: empty active interval");
+  if (config_.session_targets_min == 0 ||
+      config_.session_targets_max < config_.session_targets_min)
+    throw std::invalid_argument("ScanActor: bad session target bounds");
+  if (config_.probes_per_target < 1)
+    throw std::invalid_argument("ScanActor: probes_per_target must be >= 1");
+
+  now_us_ = config_.start_us;
+  if (config_.continuous) {
+    in_session_ = true;
+    session_end_us_ = config_.end_us;
+    session_targets_left_ = ~0ULL;  // unbounded; the interval ends the session
+    sources_->on_session_start(rng_);
+    ports_->on_session_start(rng_);
+  } else {
+    begin_next_session();
+  }
+}
+
+void ScanActor::begin_next_session() {
+  // Next session start: Poisson arrivals at sessions_per_week.
+  const double rate_per_sec = config_.sessions_per_week / (7.0 * 86'400.0);
+  const double gap_sec = util::exponential_gap(rng_, rate_per_sec);
+  if (gap_sec > 4e17) {  // effectively never (rate 0)
+    exhausted_ = true;
+    return;
+  }
+  now_us_ += static_cast<sim::TimeUs>(gap_sec * sim::kUsPerSecond);
+  if (now_us_ >= config_.end_us) {
+    exhausted_ = true;
+    return;
+  }
+  // Log-uniform target count.
+  const double lo = std::log(static_cast<double>(config_.session_targets_min));
+  const double hi = std::log(static_cast<double>(config_.session_targets_max) + 1.0);
+  session_targets_left_ =
+      static_cast<std::uint64_t>(std::exp(lo + rng_.unit() * (hi - lo)));
+  if (session_targets_left_ == 0) session_targets_left_ = 1;
+  session_end_us_ = config_.end_us;  // sessions are count-bounded, not time-bounded
+  in_session_ = true;
+  sources_->on_session_start(rng_);
+  ports_->on_session_start(rng_);
+}
+
+sim::LogRecord ScanActor::make_record(const net::Ipv6Address& src,
+                                      const net::Ipv6Address& dst, std::uint16_t port) {
+  sim::LogRecord r;
+  r.ts_us = now_us_;
+  r.src = src;
+  r.dst = dst;
+  r.proto = config_.proto;
+  r.src_port = static_cast<std::uint16_t>(49'152 + rng_.below(16'384));
+  r.dst_port = port;
+  r.frame_len = probe_frame_len(config_.proto);
+  r.src_asn = config_.asn;
+  return r;
+}
+
+std::optional<sim::LogRecord> ScanActor::next() {
+  while (!exhausted_) {
+    // Pending retries are serviced before the next fresh target is
+    // picked (they re-probe the current target ~1 s apart).
+    if (retries_left_ > 0) {
+      now_us_ = std::max(now_us_, retry_at_us_);
+      if (now_us_ >= config_.end_us) {
+        exhausted_ = true;
+        return std::nullopt;
+      }
+      --retries_left_;
+      retry_at_us_ = now_us_ + sim::kUsPerSecond + static_cast<sim::TimeUs>(rng_.below(500'000));
+      return make_record(retry_src_, retry_dst_, retry_port_);
+    }
+
+    const double gap_sec = util::exponential_gap(rng_, config_.pps);
+    now_us_ += static_cast<sim::TimeUs>(gap_sec * sim::kUsPerSecond) + 1;
+    if (now_us_ >= config_.end_us) {
+      exhausted_ = true;
+      return std::nullopt;
+    }
+    if (!in_session_) continue;  // unreachable; sessions are begun eagerly
+
+    if (session_targets_left_ == 0 || now_us_ >= session_end_us_) {
+      in_session_ = false;
+      if (config_.continuous) {
+        exhausted_ = true;
+        return std::nullopt;
+      }
+      begin_next_session();
+      continue;
+    }
+    --session_targets_left_;
+
+    const net::Ipv6Address src = sources_->next(rng_, now_us_);
+    ports_->observe_source(src);
+    const std::uint16_t port = ports_->next(rng_, now_us_);
+    targets_->observe_time(now_us_);
+    const net::Ipv6Address dst = targets_->next(rng_);
+    if (config_.probes_per_target > 1) {
+      retry_src_ = src;
+      retry_dst_ = dst;
+      retry_port_ = port;
+      retries_left_ = config_.probes_per_target - 1;
+      retry_at_us_ = now_us_ + sim::kUsPerSecond + static_cast<sim::TimeUs>(rng_.below(500'000));
+    }
+    return make_record(src, dst, port);
+  }
+  return std::nullopt;
+}
+
+}  // namespace v6sonar::scanner

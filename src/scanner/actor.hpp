@@ -1,0 +1,90 @@
+// A scan actor: schedule + rate + port/source/target strategies,
+// exposed as a time-ordered RecordStream.
+//
+// Actors emit probes in "sessions" (scanning episodes). Session
+// boundaries are what the detector's one-hour timeout carves scan
+// events out of; continuous actors (the paper's AS #1) produce one
+// multi-month event at coarse aggregation.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "scanner/ports.hpp"
+#include "scanner/sourcing.hpp"
+#include "scanner/targeting.hpp"
+#include "sim/record.hpp"
+#include "util/rng.hpp"
+
+namespace v6sonar::scanner {
+
+struct ActorConfig {
+  std::string label;
+  std::uint32_t asn = 0;
+  wire::IpProto proto = wire::IpProto::kTcp;
+
+  /// Probe rate while a session is active, packets/second, after
+  /// thinning. (Poisson arrivals.)
+  double pps = 1.0;
+
+  /// The sampling factor applied to the real-world actor's rate:
+  /// pps = real_rate * thinning. Benches divide packet counts by this
+  /// to report paper-window-equivalent volumes.
+  double thinning = 1.0;
+
+  /// Active interval (defaults to the paper's full window).
+  sim::TimeUs start_us = 0;
+  sim::TimeUs end_us = 0;
+
+  /// Session structure. continuous = one session spanning the whole
+  /// active interval.
+  bool continuous = false;
+  double sessions_per_week = 3.0;
+  /// Distinct targets per session, sampled log-uniformly.
+  std::uint64_t session_targets_min = 200;
+  std::uint64_t session_targets_max = 2'000;
+
+  /// Probes sent to each (target, port) pick — SYN retries. Retries
+  /// follow the initial probe after ~1 s.
+  int probes_per_target = 1;
+
+  std::uint64_t seed = 0;
+};
+
+class ScanActor final : public sim::RecordStream {
+ public:
+  /// Strategies are owned by the actor. All must be non-null.
+  ScanActor(ActorConfig config, std::unique_ptr<PortStrategy> ports,
+            std::unique_ptr<SourceStrategy> sources,
+            std::unique_ptr<TargetStrategy> targets);
+
+  [[nodiscard]] std::optional<sim::LogRecord> next() override;
+
+  [[nodiscard]] const ActorConfig& config() const noexcept { return config_; }
+
+ private:
+  void begin_next_session();
+  [[nodiscard]] sim::LogRecord make_record(const net::Ipv6Address& src,
+                                           const net::Ipv6Address& dst, std::uint16_t port);
+
+  ActorConfig config_;
+  std::unique_ptr<PortStrategy> ports_;
+  std::unique_ptr<SourceStrategy> sources_;
+  std::unique_ptr<TargetStrategy> targets_;
+  util::Xoshiro256 rng_;
+
+  sim::TimeUs now_us_ = 0;
+  sim::TimeUs session_end_us_ = 0;
+  std::uint64_t session_targets_left_ = 0;
+  bool in_session_ = false;
+  bool exhausted_ = false;
+
+  // Pending retry probes for the current target.
+  net::Ipv6Address retry_src_;
+  net::Ipv6Address retry_dst_;
+  std::uint16_t retry_port_ = 0;
+  int retries_left_ = 0;
+  sim::TimeUs retry_at_us_ = 0;
+};
+
+}  // namespace v6sonar::scanner

@@ -1,0 +1,554 @@
+#include "scanner/cast.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+#include "util/timebase.hpp"
+
+namespace v6sonar::scanner {
+
+namespace {
+
+using net::Ipv6Address;
+using net::Ipv6Prefix;
+using sim::TimeUs;
+
+constexpr TimeUs kStart = sim::us_from_seconds(util::kWindowStart);
+constexpr TimeUs kEnd = sim::us_from_seconds(util::kWindowEnd);
+/// AS #1's strategy change and hitlist-seeding day (May 27, 2021).
+constexpr std::int64_t kMay27 = util::time_of(util::CivilDate{2021, 5, 27});
+constexpr TimeUs kSwitchUs = sim::us_from_seconds(kMay27);
+constexpr TimeUs kSeedDayEndUs = sim::us_from_seconds(kMay27 + util::kSecondsPerDay);
+/// AS #9 appears in November 2021 (the Fig. 2 /128 uptick).
+constexpr TimeUs kNov1Us = sim::us_from_seconds(util::kNov2021Start);
+
+/// AS #1's post-switch targeting: a hitlist-seeding day on May 27
+/// (small known-active subset only, the paper's 99.2%-overlap day),
+/// then discovery mode (DNS sweep plus some learned non-DNS targets).
+class As1LateTargets final : public TargetStrategy {
+ public:
+  As1LateTargets(TargetList dns, TargetList all, const Hitlist& hitlist, std::uint64_t seed) {
+    // Seed-day subset: a small slice of the hitlist (the paper sees
+    // unique destinations drop from 50k+ to 2.3k with 99.2% overlap).
+    const auto& hl = hitlist.addresses();
+    auto subset = std::make_shared<std::vector<Ipv6Address>>();
+    const std::size_t n = std::min<std::size_t>(2'300, hl.size());
+    subset->assign(hl.begin(), hl.begin() + static_cast<std::ptrdiff_t>(n));
+    seed_day_ = std::make_unique<ListSampleTargets>(std::move(subset));
+
+    std::vector<MixedTargets::Component> comps;
+    comps.push_back({std::make_unique<ListSweepTargets>(std::move(dns), seed ^ 1), 0.92});
+    comps.push_back({std::make_unique<ListSampleTargets>(std::move(all)), 0.08});
+    late_ = std::make_unique<MixedTargets>(std::move(comps));
+  }
+
+  void observe_time(TimeUs now) override { now_ = now; }
+
+  [[nodiscard]] Ipv6Address next(util::Xoshiro256& rng) override {
+    return now_ < kSeedDayEndUs ? seed_day_->next(rng) : late_->next(rng);
+  }
+
+ private:
+  std::unique_ptr<TargetStrategy> seed_day_;
+  std::unique_ptr<TargetStrategy> late_;
+  TimeUs now_ = 0;
+};
+
+/// Registers actor network `k` and returns its /32.
+Ipv6Prefix register_actor_as(sim::AsRegistry& registry, const CastConfig& cfg,
+                             std::uint32_t k, sim::AsType type, std::string country) {
+  sim::AsInfo info;
+  info.asn = cfg.first_asn + k;
+  info.type = type;
+  info.country = std::move(country);
+  info.allocations = {scanner_as_prefix(k)};
+  registry.add(std::move(info));
+  return scanner_as_prefix(k);
+}
+
+/// `n` pool addresses spread over `n64` /64s (grouped into `n48` /48s)
+/// below the given /32. IIDs are small (structured server addresses).
+/// Addresses are *blocked* by /64 (consecutive pool entries share a
+/// /64): with sequential rotation, each /64 hosts one contiguous
+/// activity stretch per pool cycle instead of a comb of short visits
+/// whose gaps straddle detector timeouts.
+std::vector<Ipv6Address> make_pool(util::Xoshiro256& rng, const Ipv6Prefix& alloc,
+                                   std::size_t n, std::size_t n48, std::size_t n64) {
+  std::vector<std::uint64_t> hi48(n48), hi64(n64);
+  for (auto& h : hi48) h = rng.below(0x10000);
+  for (std::size_t i = 0; i < n64; ++i)
+    hi64[i] = (hi48[i % n48] << 16) | rng.below(0x10000);
+  std::vector<Ipv6Address> pool;
+  pool.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t hi = alloc.address().hi() | hi64[i * n64 / n];
+    pool.emplace_back(Ipv6Address{hi, 1 + rng.below(0xFFFF)});
+  }
+  return pool;
+}
+
+struct Builder {
+  const CastConfig& cfg;
+  sim::AsRegistry& registry;
+  TargetList dns;
+  TargetList all;
+  const Hitlist& hitlist;
+  CastResult out;
+  util::Xoshiro256 rng{0};
+
+  std::uint64_t actor_seed(std::uint32_t k) const {
+    return util::derive_seed(cfg.seed, 0xCA57'0000ULL + k);
+  }
+
+  void add(ActorConfig ac, std::unique_ptr<PortStrategy> ports,
+           std::unique_ptr<SourceStrategy> sources, std::unique_ptr<TargetStrategy> targets,
+           int rank) {
+    if (!ac.continuous) {
+      ac.sessions_per_week *= cfg.session_scale;
+      ac.thinning *= cfg.session_scale;
+    }
+    ActorMeta meta{ac.asn, ac.label, rank, ac.thinning};
+    out.streams.push_back(std::make_unique<ScanActor>(
+        std::move(ac), std::move(ports), std::move(sources), std::move(targets)));
+    out.actors.push_back(std::move(meta));
+  }
+
+  ActorConfig base(std::uint32_t k, std::string label, double thinning) const {
+    ActorConfig ac;
+    ac.label = std::move(label);
+    ac.asn = cfg.first_asn + k;
+    ac.thinning = thinning;
+    ac.start_us = kStart;
+    ac.end_us = kEnd;
+    ac.seed = actor_seed(k);
+    return ac;
+  }
+};
+
+}  // namespace
+
+Ipv6Prefix scanner_as_prefix(std::uint32_t k) {
+  const std::uint64_t hi = (0x2A10'0000ULL + k) << 32;
+  return {Ipv6Address{hi, 0}, 32};
+}
+
+CastResult build_cast(const CastConfig& cfg, sim::AsRegistry& registry, TargetList dns,
+                      TargetList all, const Hitlist& hitlist) {
+  if (!dns || dns->empty() || !all || all->empty())
+    throw std::invalid_argument("build_cast: empty target lists");
+
+  Builder b{cfg, registry, dns, all, hitlist, {}, util::Xoshiro256(util::derive_seed(cfg.seed, 0xCA57))};
+
+  // ---- Rank 1: Datacenter (CN). One /128, continuous. Two phases
+  // with a short reconfiguration pause on May 27, 2021: 444 ports over
+  // the hitlist first, then {22,3389,8080,8443} in discovery mode
+  // (opened by the hitlist-seeding day).
+  {
+    const auto alloc = register_actor_as(registry, cfg, 1, sim::AsType::kDatacenter, "CN");
+    const auto addr = alloc.address().with_iid(0x15);
+
+    auto early = b.base(1, "AS#1 Datacenter (CN)", cfg.megascanner_thinning);
+    early.continuous = true;
+    early.pps = 22.1 * cfg.megascanner_thinning;
+    early.end_us = kSwitchUs;
+    b.add(std::move(early), std::make_unique<PortSetCycle>(ports::large_set_444()),
+          std::make_unique<FixedSource>(addr),
+          std::make_unique<ListSweepTargets>(hitlist.as_target_list(), b.actor_seed(1)), 1);
+
+    auto late = b.base(1, "AS#1 Datacenter (CN)", cfg.megascanner_thinning);
+    late.continuous = true;
+    late.pps = 22.1 * cfg.megascanner_thinning;
+    late.start_us = kSwitchUs + 2 * 3'600 * sim::kUsPerSecond;
+    late.seed = b.actor_seed(1) ^ 0x1A7E;
+    b.add(std::move(late), std::make_unique<PortSetCycle>(ports::as1_late_set()),
+          std::make_unique<FixedSource>(addr),
+          std::make_unique<As1LateTargets>(dns, all, hitlist, b.actor_seed(1)), 1);
+  }
+
+  // ---- Rank 2: Datacenter (CN). 5 /128s in one /64, ~635 ports,
+  // continuous with slow source rotation.
+  {
+    const auto alloc = register_actor_as(registry, cfg, 2, sim::AsType::kDatacenter, "CN");
+    auto ac = b.base(2, "AS#2 Datacenter (CN)", cfg.megascanner_thinning);
+    ac.continuous = true;
+    ac.pps = 19.6 * cfg.megascanner_thinning;
+    std::vector<Ipv6Address> pool;
+    for (std::uint64_t i = 0; i < 5; ++i) pool.push_back(alloc.address().with_iid(0x100 + i));
+    // Ports are walked progressively, one per two-hour episode — at
+    // /128 this yields thousands of single-port scans, while the
+    // source-aggregated view shows one ~635-port scanner (App. A.3).
+    b.add(std::move(ac),
+          std::make_unique<EpisodicPortWalk>(ports::large_set_635(),
+                                             2 * 3'600 * sim::kUsPerSecond),
+          std::make_unique<RotatingPool>(std::move(pool), 2 * 3'600 * sim::kUsPerSecond),
+          std::make_unique<ListSweepTargets>(dns, b.actor_seed(2) ^ 7), 2);
+  }
+
+  // ---- Rank 3: Cybersecurity (US). 12 /128s in one /64, sweeps
+  // almost the whole TCP port space, continuous.
+  {
+    const auto alloc = register_actor_as(registry, cfg, 3, sim::AsType::kCybersecurity, "US");
+    auto ac = b.base(3, "AS#3 Cybersecurity (US)", cfg.megascanner_thinning);
+    ac.continuous = true;
+    ac.pps = 7.25 * cfg.megascanner_thinning;
+    std::vector<Ipv6Address> pool;
+    for (std::uint64_t i = 0; i < 12; ++i) pool.push_back(alloc.address().with_iid(0x20 + i));
+    b.add(std::move(ac), std::make_unique<PortRangeSweep>(1, 45'000),
+          std::make_unique<RotatingPool>(std::move(pool), 3'600 * sim::kUsPerSecond),
+          std::make_unique<ListSweepTargets>(dns, b.actor_seed(3) ^ 7), 3);
+  }
+
+  // ---- Rank 4: Cloud (US/global). 512 /128s across 2 /64s, bursty
+  // short-lived sources (3-minute rotation).
+  {
+    const auto alloc = register_actor_as(registry, cfg, 4, sim::AsType::kCloud, "US/global");
+    auto ac = b.base(4, "AS#4 Cloud (US/global)", 1.0 / 50.0);
+    ac.pps = 1.2;
+    ac.sessions_per_week = 4.0;
+    ac.session_targets_min = 1'500;
+    ac.session_targets_max = 15'000;
+    b.add(std::move(ac), std::make_unique<SessionPortSubset>(b.rng()),
+          std::make_unique<RotatingPool>(make_pool(b.rng, alloc, 512, 2, 2),
+                                         180 * sim::kUsPerSecond, RotationMode::kSegment, 30, 2),
+          std::make_unique<ListSampleTargets>(dns), 4);
+  }
+
+  // ---- Rank 5: Cloud (DE). 59 /128s, one per /64, across 3 /48s.
+  {
+    const auto alloc = register_actor_as(registry, cfg, 5, sim::AsType::kCloud, "DE");
+    auto ac = b.base(5, "AS#5 Cloud (DE)", 1.0 / 100.0);
+    ac.pps = 0.5;
+    ac.sessions_per_week = 1.0;
+    ac.session_targets_min = 2'000;
+    ac.session_targets_max = 20'000;
+    b.add(std::move(ac), std::make_unique<PerSourcePorts>(b.rng()),
+          std::make_unique<RotatingPool>(make_pool(b.rng, alloc, 59, 3, 59),
+                                         3'600 * sim::kUsPerSecond, RotationMode::kSegment, 10, 1),
+          std::make_unique<ListSampleTargets>(dns), 5);
+  }
+
+  // ---- Rank 6: Cloud (US/global), the Appendix A.4 case. Three
+  // streams: two "common actor" /64s in different /48s sweeping nearly
+  // the same large target set (one at 3x the rate), plus a pool of VM
+  // tenants on >/96 allocations.
+  {
+    const auto alloc = register_actor_as(registry, cfg, 6, sim::AsType::kCloud, "US/global");
+    // Shared subset of the full address universe for the pair,
+    // sampled by machine pair (client-facing and non-client-facing
+    // addresses are adjacent in `all`): keeping pairs together is what
+    // lets a later nearby-probe check find the in-DNS twin about half
+    // the time (Section 3.3's "for other sources ... about half").
+    util::Xoshiro256 prng(b.actor_seed(6) ^ 0xA4);
+    auto common = std::make_shared<std::vector<Ipv6Address>>();
+    for (std::size_t i = 0; i + 1 < all->size(); i += 2) {
+      if (!prng.chance(0.33)) continue;
+      if (prng.chance(0.8)) common->push_back((*all)[i]);
+      if (prng.chance(0.8)) common->push_back((*all)[i + 1]);
+    }
+    auto subset = [&](std::uint64_t salt) {
+      util::Xoshiro256 srng(b.actor_seed(6) ^ salt);
+      auto v = std::make_shared<std::vector<Ipv6Address>>();
+      for (const auto& a : *common)
+        if (srng.chance(0.89)) v->push_back(a);
+      return v;
+    };
+    const std::uint64_t hi_a = alloc.address().hi() | (0x00A1ULL << 16) | 0x0001;
+    const std::uint64_t hi_b = alloc.address().hi() | (0x00B2ULL << 16) | 0x0002;
+    const auto pair_ports = ports::pen_test_subset(b.rng);
+    for (int which = 0; which < 2; ++which) {
+      auto ac = b.base(6, "AS#6 Cloud (US/global)", 1.0 / 50.0);
+      ac.continuous = true;
+      ac.pps = which == 0 ? 0.03 : 0.01;  // "one did three times as many probes"
+      ac.seed = b.actor_seed(6) ^ static_cast<std::uint64_t>(which + 1);
+      b.add(std::move(ac), std::make_unique<PortSetCycle>(pair_ports),
+            std::make_unique<FixedSource>(
+                Ipv6Address{which == 0 ? hi_a : hi_b, 0xDE'00'01}),
+            std::make_unique<ListSweepTargets>(subset(which == 0 ? 0xAA : 0xBB),
+                                               b.actor_seed(6) ^ (0xF0 + which)),
+            6);
+    }
+    // VM tenants: ~230 /124 allocations over 13 /64s in 8 /48s.
+    std::vector<Ipv6Prefix> vms;
+    std::vector<std::uint64_t> hi48(8), hi64(13);
+    for (auto& h : hi48) h = b.rng.below(0x10000);
+    for (std::size_t i = 0; i < hi64.size(); ++i)
+      hi64[i] = (hi48[i % hi48.size()] << 16) | b.rng.below(0x10000);
+    for (std::size_t i = 0; i < 230; ++i) {
+      const std::uint64_t hi = alloc.address().hi() | hi64[i % hi64.size()];
+      vms.emplace_back(Ipv6Address{hi, b.rng() << 4}, 124);
+    }
+    auto ac = b.base(6, "AS#6 Cloud (US/global)", 1.0 / 50.0);
+    ac.pps = 2.0;
+    ac.sessions_per_week = 7.0;
+    ac.session_targets_min = 300;
+    ac.session_targets_max = 3'000;
+    ac.seed = b.actor_seed(6) ^ 3;
+    b.add(std::move(ac), std::make_unique<PerSourcePorts>(b.rng()),
+          std::make_unique<VmPoolSource>(std::move(vms)),
+          std::make_unique<ListSampleTargets>(all), 6);
+  }
+
+  // ---- Rank 7: Cloud (US/global). 123 /128s over 9 /64s in 9 /48s.
+  {
+    const auto alloc = register_actor_as(registry, cfg, 7, sim::AsType::kCloud, "US/global");
+    auto ac = b.base(7, "AS#7 Cloud (US/global)", 1.0 / 100.0);
+    ac.pps = 0.5;
+    ac.sessions_per_week = 1.0;
+    ac.session_targets_min = 1'600;
+    ac.session_targets_max = 16'000;
+    b.add(std::move(ac), std::make_unique<PerSourcePorts>(b.rng()),
+          std::make_unique<RotatingPool>(make_pool(b.rng, alloc, 123, 9, 9),
+                                         300 * sim::kUsPerSecond, RotationMode::kSegment, 45, 2),
+          std::make_unique<ListSampleTargets>(dns), 7);
+  }
+
+  // ---- Rank 8: Cloud (CN). 53 /128s over 5 /64s in 5 /48s.
+  {
+    const auto alloc = register_actor_as(registry, cfg, 8, sim::AsType::kCloud, "CN");
+    auto ac = b.base(8, "AS#8 Cloud (CN)", 1.0 / 100.0);
+    ac.pps = 0.5;
+    ac.sessions_per_week = 0.75;
+    ac.session_targets_min = 1'200;
+    ac.session_targets_max = 12'000;
+    b.add(std::move(ac), std::make_unique<PerSourcePorts>(b.rng()),
+          std::make_unique<RotatingPool>(make_pool(b.rng, alloc, 53, 5, 5),
+                                         300 * sim::kUsPerSecond, RotationMode::kSegment, 35, 1),
+          std::make_unique<ListSampleTargets>(dns), 8);
+  }
+
+  // ---- Rank 9: Transit (global) — the US security company behind the
+  // Fig. 2 /128 uptick: ~956 source addresses varying the lowest 7-9
+  // bits across two /64s of one /48, active from November 2021.
+  {
+    const auto alloc = register_actor_as(registry, cfg, 9, sim::AsType::kTransit, "global");
+    auto ac = b.base(9, "AS#9 Transit (global)", 1.0 / 8.0);
+    ac.start_us = kNov1Us;
+    ac.pps = 3.0;
+    ac.sessions_per_week = 10.0;
+    ac.session_targets_min = 2'000;
+    ac.session_targets_max = 20'000;
+    const std::uint64_t h48 = alloc.address().hi() | (0x0042ULL << 16);
+    std::vector<Ipv6Address> pool;
+    pool.reserve(956);
+    util::Xoshiro256 prng(b.actor_seed(9) ^ 0x99);
+    for (int half = 0; half < 2; ++half) {
+      const std::uint64_t h64 = h48 | static_cast<std::uint64_t>(0x10 + half);
+      std::unordered_set<std::uint64_t> seen;
+      while (seen.size() < 478) seen.insert(prng.below(512));  // low 9 bits vary
+      for (auto v : seen) pool.emplace_back(Ipv6Address{h64, 0x5000 | v});
+    }
+    b.add(std::move(ac), std::make_unique<SessionPortSubset>(b.rng()),
+          std::make_unique<RotatingPool>(std::move(pool), 50 * sim::kUsPerSecond, RotationMode::kSegment, 80, 20),
+          std::make_unique<ListSampleTargets>(dns), 9);
+  }
+
+  // ---- Rank 10: Cloud (CN). 7 /128s in one /64.
+  {
+    const auto alloc = register_actor_as(registry, cfg, 10, sim::AsType::kCloud, "CN");
+    auto ac = b.base(10, "AS#10 Cloud (CN)", 1.0 / 50.0);
+    ac.pps = 0.5;
+    ac.sessions_per_week = 0.5;
+    ac.session_targets_min = 1'200;
+    ac.session_targets_max = 12'000;
+    b.add(std::move(ac), std::make_unique<SessionPortSubset>(b.rng()),
+          std::make_unique<RotatingPool>(make_pool(b.rng, alloc, 7, 1, 1),
+                                         600 * sim::kUsPerSecond, RotationMode::kSegment, 7, 1),
+          std::make_unique<ListSampleTargets>(dns), 10);
+  }
+
+  // ---- Rank 11: Cloud (US/global). 353 /128s in one /64, 90-second
+  // source rotation (drives the 94-second /128 median duration).
+  {
+    const auto alloc = register_actor_as(registry, cfg, 11, sim::AsType::kCloud, "US/global");
+    auto ac = b.base(11, "AS#11 Cloud (US/global)", 1.0 / 3.0);
+    ac.pps = 2.2;
+    ac.sessions_per_week = 2.0;
+    ac.session_targets_min = 4'000;
+    ac.session_targets_max = 40'000;
+    b.add(std::move(ac), std::make_unique<SessionPortSubset>(b.rng()),
+          std::make_unique<RotatingPool>(make_pool(b.rng, alloc, 353, 1, 1),
+                                         90 * sim::kUsPerSecond, RotationMode::kSegment, 45, 3),
+          std::make_unique<ListSampleTargets>(dns), 11);
+  }
+
+  // ---- Rank 12: Datacenter (CN). 19 /128s over 12 /64s in 9 /48s.
+  {
+    const auto alloc = register_actor_as(registry, cfg, 12, sim::AsType::kDatacenter, "CN");
+    auto ac = b.base(12, "AS#12 Datacenter (CN)", 1.0 / 16.0);
+    ac.pps = 0.4;
+    ac.sessions_per_week = 0.6;
+    ac.session_targets_min = 1'200;
+    ac.session_targets_max = 12'000;
+    b.add(std::move(ac), std::make_unique<PerSourcePorts>(b.rng()),
+          std::make_unique<RotatingPool>(make_pool(b.rng, alloc, 19, 9, 12),
+                                         400 * sim::kUsPerSecond, RotationMode::kSegment, 19, 1),
+          std::make_unique<ListSampleTargets>(dns), 12);
+  }
+
+  // ---- Ranks 13-17, 19-20: single-machine scanners (ISPs, research,
+  // universities).
+  struct Small {
+    std::uint32_t k;
+    sim::AsType type;
+    const char* country;
+    const char* label;
+    double sessions_per_week;
+    std::uint64_t tmin, tmax;
+    double thinning;
+    int pool;  // /128s, all in one /64
+  };
+  const Small smalls[] = {
+      {13, sim::AsType::kIsp, "VN", "AS#13 ISP (VN)", 0.5, 1'200, 12'000, 1.0 / 16, 1},
+      {14, sim::AsType::kDatacenter, "CN", "AS#14 Datacenter (CN)", 0.4, 1'200, 12'000, 1.0 / 16, 2},
+      {15, sim::AsType::kResearch, "DE", "AS#15 Research (DE)", 0.15, 4'000, 32'000, 1.0 / 8, 1},
+      {16, sim::AsType::kIsp, "RU", "AS#16 ISP (RU)", 0.35, 1'200, 12'000, 1.0 / 8, 2},
+      {17, sim::AsType::kUniversity, "DE", "AS#17 University (DE)", 0.3, 1'200, 12'000, 1.0 / 8, 2},
+      {19, sim::AsType::kIsp, "RU", "AS#19 ISP (RU)", 0.2, 1'200, 12'000, 1.0 / 8, 1},
+      {20, sim::AsType::kUniversity, "DE", "AS#20 University (DE)", 0.18, 1'200, 12'000, 1.0 / 8, 1},
+  };
+  for (const auto& s : smalls) {
+    const auto alloc = register_actor_as(registry, cfg, s.k, s.type, s.country);
+    auto ac = b.base(s.k, s.label, s.thinning);
+    ac.pps = 0.3;
+    ac.sessions_per_week = s.sessions_per_week;
+    ac.session_targets_min = s.tmin;
+    ac.session_targets_max = s.tmax;
+    std::unique_ptr<SourceStrategy> src;
+    if (s.pool == 1) {
+      src = std::make_unique<FixedSource>(alloc.address().with_iid(0x77));
+    } else {
+      src = std::make_unique<RotatingPool>(
+          make_pool(b.rng, alloc, static_cast<std::size_t>(s.pool), 1, 1), 0);
+    }
+    b.add(std::move(ac), std::make_unique<SessionPortSubset>(b.rng()),
+          std::move(src), std::make_unique<ListSampleTargets>(dns),
+          static_cast<int>(s.k));
+  }
+
+  // ---- Rank 18: Cloud/Transit (DE) — the /32-spreading single-port
+  // fleet. Each burst uses one fresh address from across the /32;
+  // most bursts fall below the 100-destination bar, which is exactly
+  // why aggregation level dominates what a detector sees. Probes
+  // TCP/22 only, twice per target (SYN retry). Never thinned: its
+  // source structure is the phenomenon.
+  {
+    register_actor_as(registry, cfg, 18, sim::AsType::kCloudTransit, "DE");
+    const auto alloc = scanner_as_prefix(18);
+    auto small = b.base(18, "AS#18 Cloud/Transit (DE)", 1.0);
+    small.pps = 0.04;
+    small.sessions_per_week = 400.0;
+    small.session_targets_min = 15;
+    small.session_targets_max = 70;
+    small.probes_per_target = 2;
+    small.seed = b.actor_seed(18) ^ 0xA;
+    b.add(std::move(small), std::make_unique<FixedPort>(22),
+          std::make_unique<PrefixSpread>(alloc, 20'000, 0.2),
+          std::make_unique<ListSampleTargets>(all), 18);
+
+    auto large = b.base(18, "AS#18 Cloud/Transit (DE)", 1.0);
+    large.pps = 0.05;
+    large.sessions_per_week = 19.0;
+    large.session_targets_min = 100;
+    large.session_targets_max = 400;
+    large.probes_per_target = 2;
+    large.seed = b.actor_seed(18) ^ 0xB;
+    b.add(std::move(large), std::make_unique<FixedPort>(22),
+          std::make_unique<PrefixSpread>(alloc, 20'000, 0.35),
+          std::make_unique<ListSampleTargets>(all), 18);
+
+    // A sub-fleet that additionally rotates across /64s *within* each
+    // session's /48 — its /48s qualify while none of its /64s do,
+    // which is how the /48 source count comes to exceed the /64 count
+    // (Table 2's caption).
+    auto spread = b.base(18, "AS#18 Cloud/Transit (DE)", 1.0);
+    spread.pps = 0.05;
+    spread.sessions_per_week = 3.0;
+    spread.session_targets_min = 110;
+    spread.session_targets_max = 250;
+    spread.probes_per_target = 2;
+    spread.seed = b.actor_seed(18) ^ 0xC;
+    b.add(std::move(spread), std::make_unique<FixedPort>(22),
+          std::make_unique<Spread48Session>(alloc, 20'000, 6, 180 * sim::kUsPerSecond),
+          std::make_unique<ListSampleTargets>(all), 18);
+  }
+
+  // ---- Minor scanning ASes beyond the top-20.
+  if (cfg.include_minor_ases) {
+    util::Xoshiro256& r = b.rng;
+    std::uint32_t k = 100;
+
+    // Plain single-source occasional scanners.
+    for (int i = 0; i < 30; ++i, ++k) {
+      const auto alloc = register_actor_as(
+          registry, cfg, k, r.chance(0.5) ? sim::AsType::kCloud : sim::AsType::kIsp,
+          r.chance(0.5) ? "US/global" : "EU");
+      auto ac = b.base(k, "minor-" + std::to_string(k), 1.0);
+      ac.pps = 0.4;
+      ac.sessions_per_week = 0.04 + r.unit() * 0.08;
+      ac.session_targets_min = 150;
+      ac.session_targets_max = 1'500;
+      if (i < 2) {
+        // The neighbourhood walkers emit ~18 probes per 32-address
+        // window but only ~2 land on live machines; they need larger
+        // probe budgets to cross the 100-destination bar.
+        ac.pps = 1.0;
+        ac.session_targets_min = 5'000;
+        ac.session_targets_max = 15'000;
+      }
+      // A few minors probe learned non-DNS targets; two walk address
+      // neighbourhoods exhaustively (the §3.3 nearby-probe sources);
+      // a few hunt one specific service (the single-port scan tail).
+      std::unique_ptr<TargetStrategy> tgt;
+      if (i < 2)
+        tgt = std::make_unique<ExhaustiveNearbyTargets>(dns, 5);
+      else if (i < 5)
+        tgt = std::make_unique<ListSampleTargets>(all);
+      else
+        tgt = std::make_unique<ListSampleTargets>(dns);
+      static constexpr std::uint16_t kSinglePorts[] = {1433, 5900, 23, 8888, 445, 3306};
+      std::unique_ptr<PortStrategy> prt;
+      if (i >= 5 && i < 11)
+        prt = std::make_unique<FixedPort>(kSinglePorts[i - 5]);
+      else
+        prt = std::make_unique<SessionPortSubset>(b.rng());
+      b.add(std::move(ac), std::move(prt),
+            std::make_unique<FixedSource>(alloc.address().with_iid(0x31)), std::move(tgt), 0);
+    }
+
+    // IID rotators: /64 qualifies, individual /128s never do.
+    for (int i = 0; i < 10; ++i, ++k) {
+      const auto alloc =
+          register_actor_as(registry, cfg, k, sim::AsType::kCloud, "US/global");
+      auto ac = b.base(k, "minor-" + std::to_string(k), 1.0);
+      ac.pps = 0.5;
+      ac.sessions_per_week = 0.1;
+      ac.session_targets_min = 300;
+      ac.session_targets_max = 800;
+      b.add(std::move(ac), std::make_unique<SessionPortSubset>(b.rng()),
+            std::make_unique<RotatingPool>(make_pool(r, alloc, 50, 1, 1),
+                                           60 * sim::kUsPerSecond, RotationMode::kSegment, 25, 2),
+            std::make_unique<ListSampleTargets>(dns), 0);
+    }
+
+    // /48 spreaders: sources rotate across 10 /64s of one /48 so that
+    // only the /48 aggregate crosses the 100-destination bar.
+    for (int i = 0; i < 14; ++i, ++k) {
+      const auto alloc = register_actor_as(registry, cfg, k, sim::AsType::kCloud, "EU");
+      auto ac = b.base(k, "minor-" + std::to_string(k), 1.0);
+      ac.pps = 0.8;
+      ac.sessions_per_week = 0.1;
+      ac.session_targets_min = 200;
+      ac.session_targets_max = 600;
+      b.add(std::move(ac), std::make_unique<SessionPortSubset>(b.rng()),
+            std::make_unique<RotatingPool>(make_pool(r, alloc, 12, 1, 12),
+                                           50 * sim::kUsPerSecond, RotationMode::kSegment, 12, 1),
+            std::make_unique<ListSampleTargets>(dns), 0);
+    }
+  }
+
+  return std::move(b.out);
+}
+
+}  // namespace v6sonar::scanner

@@ -1,0 +1,61 @@
+// The default scan-actor cast: one behaviour model per actor the paper
+// characterizes (Table 2's top-20 ASes) plus a tail of minor scanning
+// ASes, with allocations registered in the shared AS registry.
+//
+// Packet volumes of the three megascanners (ranks 1-3) are thinned by
+// `megascanner_thinning`; per-actor thinning factors are returned so
+// benches can report paper-window-equivalent volumes. Source-structure
+// parameters (how many /128s//64s//48s an actor uses) are absolute,
+// never scaled — they are what Table 1/2 measure.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scanner/actor.hpp"
+#include "scanner/hitlist.hpp"
+#include "sim/as_registry.hpp"
+#include "sim/record.hpp"
+
+namespace v6sonar::scanner {
+
+struct CastConfig {
+  std::uint64_t seed = 42;
+  /// Sampling factor for the continuous megascanners (AS ranks 1-3).
+  double megascanner_thinning = 1.0 / 64.0;
+  /// Multiplier on every session actor's sessions-per-week: 1.0 is the
+  /// calibrated paper-shape default; tests use small values for speed.
+  double session_scale = 1.0;
+  /// Include the ~40 minor scanning ASes beyond the top-20.
+  bool include_minor_ases = true;
+  /// First ASN for scanner networks.
+  std::uint32_t first_asn = 200'000;
+};
+
+struct ActorMeta {
+  std::uint32_t asn = 0;
+  std::string label;       ///< e.g. "AS#1 Datacenter (CN)"
+  int paper_rank = 0;      ///< 1-20 for Table 2 actors, 0 for minors
+  double thinning = 1.0;   ///< divide measured packets by this for paper-equivalent
+};
+
+struct CastResult {
+  std::vector<std::unique_ptr<sim::RecordStream>> streams;
+  std::vector<ActorMeta> actors;
+};
+
+/// Build the full cast. `dns_targets` are DNS-exposed telescope
+/// addresses (what hitlist-style targeting can learn), `all_targets`
+/// additionally includes non-client-facing addresses (what an actor
+/// that learned targets "by other means" probes). Registers one AS per
+/// actor network in `registry`.
+[[nodiscard]] CastResult build_cast(const CastConfig& config, sim::AsRegistry& registry,
+                                    TargetList dns_targets, TargetList all_targets,
+                                    const Hitlist& hitlist);
+
+/// The scanner AS address plan: actor network k owns 2a10:k::/32.
+[[nodiscard]] net::Ipv6Prefix scanner_as_prefix(std::uint32_t k);
+
+}  // namespace v6sonar::scanner

@@ -1,0 +1,69 @@
+#include "scanner/hitlist.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace v6sonar::scanner {
+
+Hitlist::Hitlist(const Config& config, const std::vector<net::Ipv6Address>& dns_addresses) {
+  util::Xoshiro256 rng(util::derive_seed(config.seed, 0x417157));
+  addresses_.reserve(
+      static_cast<std::size_t>(static_cast<double>(dns_addresses.size()) * config.dns_coverage) +
+      config.external_addresses);
+
+  for (const auto& a : dns_addresses)
+    if (rng.chance(config.dns_coverage)) addresses_.push_back(a);
+
+  // External active addresses: structured IIDs (services numbered low,
+  // SLAAC-free), under the 3000::/8 "rest of the internet" region —
+  // disjoint from the telescope (2600::/24 region), scanner sources
+  // (2a10::/16 region), and artifact clients (2400::/16 region).
+  for (std::size_t i = 0; i < config.external_addresses; ++i) {
+    const std::uint64_t hi = 0x3000'0000'0000'0000ULL | (rng() & 0x00FF'FFFF'FFFF'0000ULL);
+    const std::uint64_t iid = 1 + rng.below(0xFFFF);  // low Hamming weight
+    addresses_.emplace_back(hi, iid);
+  }
+
+  set_.insert(addresses_.begin(), addresses_.end());
+  list_ = std::make_shared<const std::vector<net::Ipv6Address>>(addresses_);
+}
+
+void Hitlist::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Hitlist: cannot write " + path);
+  for (const auto& a : addresses_) out << a.to_string() << '\n';
+  if (!out) throw std::runtime_error("Hitlist: write failed for " + path);
+}
+
+std::vector<net::Ipv6Address> Hitlist::load_addresses(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("Hitlist: cannot read " + path);
+  std::vector<net::Ipv6Address> out;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Trim trailing CR/whitespace and skip comments/blanks.
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ' || line.back() == '\t'))
+      line.pop_back();
+    std::size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    const auto a = net::Ipv6Address::parse(line.substr(start));
+    if (!a)
+      throw std::invalid_argument("Hitlist: bad address at " + path + ":" +
+                                  std::to_string(lineno) + ": " + line);
+    out.push_back(*a);
+  }
+  return out;
+}
+
+double Hitlist::overlap(const std::vector<net::Ipv6Address>& targets) const {
+  if (targets.empty()) return 0.0;
+  std::size_t hits = 0;
+  for (const auto& t : targets) hits += set_.contains(t);
+  return static_cast<double>(hits) / static_cast<double>(targets.size());
+}
+
+}  // namespace v6sonar::scanner

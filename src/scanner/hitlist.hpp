@@ -1,0 +1,63 @@
+// Synthetic IPv6 hitlist.
+//
+// Stands in for the public IPv6 hitlist service the paper checks
+// target overlap against (Appendix A.2): a set of known-active,
+// structured (low Hamming-weight IID) addresses. It contains most of
+// the telescope's DNS-exposed addresses plus external active addresses
+// the telescope never sees.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "net/ipv6.hpp"
+#include "scanner/targeting.hpp"
+
+namespace v6sonar::scanner {
+
+class Hitlist {
+ public:
+  struct Config {
+    std::uint64_t seed = 7;
+    /// Fraction of the provided DNS-exposed addresses included.
+    double dns_coverage = 0.9;
+    /// Number of additional external active addresses.
+    std::size_t external_addresses = 50'000;
+  };
+
+  Hitlist(const Config& config, const std::vector<net::Ipv6Address>& dns_addresses);
+
+  [[nodiscard]] bool contains(const net::Ipv6Address& a) const noexcept {
+    return set_.contains(a);
+  }
+
+  [[nodiscard]] const std::vector<net::Ipv6Address>& addresses() const noexcept {
+    return addresses_;
+  }
+
+  /// Shareable list for target strategies.
+  [[nodiscard]] TargetList as_target_list() const { return list_; }
+
+  /// |targets ∩ hitlist| / |targets| for an address set.
+  [[nodiscard]] double overlap(const std::vector<net::Ipv6Address>& targets) const;
+
+  /// Write the addresses as text, one per line (the interchange format
+  /// public hitlist services publish). Throws std::runtime_error on
+  /// I/O failure.
+  void save(const std::string& path) const;
+
+  /// Read a one-address-per-line text file ('#' comments and blank
+  /// lines skipped). Throws std::runtime_error on unreadable files and
+  /// std::invalid_argument on unparseable addresses.
+  [[nodiscard]] static std::vector<net::Ipv6Address> load_addresses(const std::string& path);
+
+ private:
+  std::vector<net::Ipv6Address> addresses_;
+  std::unordered_set<net::Ipv6Address> set_;
+  TargetList list_;
+};
+
+}  // namespace v6sonar::scanner

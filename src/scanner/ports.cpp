@@ -1,0 +1,142 @@
+#include "scanner/ports.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace v6sonar::scanner {
+
+SessionPortSubset::SessionPortSubset(std::uint64_t base_seed, double session_keep,
+                                     bool redraw_per_session)
+    : session_keep_(session_keep), redraw_per_session_(redraw_per_session) {
+  util::Xoshiro256 rng(base_seed);
+  base_ = ports::pen_test_subset(rng);
+  ports_ = base_;
+}
+
+void SessionPortSubset::on_session_start(util::Xoshiro256& rng) {
+  if (redraw_per_session_) {
+    ports_ = ports::pen_test_subset(rng);
+    pos_ = 0;
+    return;
+  }
+  ports_.clear();
+  for (const auto p : base_)
+    if (rng.chance(session_keep_)) ports_.push_back(p);
+  if (ports_.empty()) ports_.push_back(base_[rng.below(base_.size())]);
+  pos_ = 0;
+}
+
+void PerSourcePorts::observe_source(const net::Ipv6Address& src) {
+  const std::uint64_t key = src.masked(64).hi();
+  auto [it, inserted] = by_source_.try_emplace(key);
+  if (inserted) {
+    util::Xoshiro256 rng(util::derive_seed(seed_, key));
+    it->second.ports = ports::pen_test_subset(rng);
+  }
+  current_ = &it->second;
+}
+
+std::uint16_t PerSourcePorts::next(util::Xoshiro256& rng, sim::TimeUs) {
+  if (!current_) {
+    // No source observed yet (defensive): fall back to a fresh draw.
+    observe_source(net::Ipv6Address{rng(), 0});
+  }
+  const std::uint16_t p = current_->ports[current_->pos];
+  current_->pos = (current_->pos + 1) % current_->ports.size();
+  return p;
+}
+
+PortSetCycle::PortSetCycle(std::vector<std::uint16_t> ports) : ports_(std::move(ports)) {
+  if (ports_.empty()) throw std::invalid_argument("PortSetCycle: empty set");
+}
+
+PortRangeSweep::PortRangeSweep(std::uint16_t lo, std::uint16_t hi) : lo_(lo), hi_(hi), cur_(lo) {
+  if (lo > hi) throw std::invalid_argument("PortRangeSweep: lo > hi");
+}
+
+EpisodicPortWalk::EpisodicPortWalk(std::vector<std::uint16_t> ports, sim::TimeUs episode_us)
+    : ports_(std::move(ports)), episode_us_(episode_us) {
+  if (ports_.empty()) throw std::invalid_argument("EpisodicPortWalk: empty set");
+  if (episode_us_ <= 0) throw std::invalid_argument("EpisodicPortWalk: bad episode length");
+}
+
+EpisodicSwitch::EpisodicSwitch(sim::TimeUs switch_at, std::unique_ptr<PortStrategy> before,
+                               std::unique_ptr<PortStrategy> after)
+    : switch_at_(switch_at), before_(std::move(before)), after_(std::move(after)) {
+  if (!before_ || !after_) throw std::invalid_argument("EpisodicSwitch: null strategy");
+}
+
+namespace ports {
+
+std::vector<std::uint16_t> pen_test_set() {
+  // Table 3's head ports plus the usual suspects a generic pen-test
+  // sweep covers. TCP/80 and TCP/443 are deliberately present: real
+  // scanners probe them even though this telescope cannot log them.
+  return {21,   22,   23,  25,   53,   80,  110, 111,  135,  139,
+          143,  443,  445, 993,  995,  1080, 1433, 1521, 2222, 3128,
+          3306, 3389, 5432, 5900, 6379, 8000, 8080, 8081, 8443, 8888};
+}
+
+std::vector<std::uint16_t> pen_test_subset(util::Xoshiro256& rng) {
+  // (port, inclusion probability). Head probabilities are tuned to the
+  // paper's Table 3 "/64s" column: 1433 in ~60% of sources, the
+  // 22/23/21/8080 cluster in ~39-44%.
+  struct Weighted {
+    std::uint16_t port;
+    double p;
+  };
+  static constexpr Weighted kWeights[] = {
+      {1433, 0.60}, {22, 0.45},   {23, 0.44},  {21, 0.43},  {8080, 0.43}, {3389, 0.40},
+      {8000, 0.40}, {3128, 0.40}, {110, 0.39}, {8443, 0.39}, {25, 0.38},  {5900, 0.37},
+      {993, 0.36},  {8081, 0.36}, {995, 0.33}, {8888, 0.33}, {445, 0.28}, {3306, 0.26},
+      {5432, 0.24}, {6379, 0.22}, {53, 0.20},  {143, 0.18},  {111, 0.16}, {135, 0.15},
+      {139, 0.14},  {1080, 0.13}, {1521, 0.12}, {2222, 0.12}, {80, 0.25},  {443, 0.25},
+      {8082, 0.10}, {9200, 0.10}, {27017, 0.10}, {11211, 0.08}, {2375, 0.08}, {5601, 0.08},
+  };
+  std::vector<std::uint16_t> out;
+  for (const auto& w : kWeights)
+    if (rng.chance(w.p)) out.push_back(w.port);
+  if (out.empty()) out.push_back(1433);  // never an empty set
+  return out;
+}
+
+namespace {
+
+std::vector<std::uint16_t> anchored_set(std::size_t size,
+                                        std::initializer_list<std::uint16_t> anchors,
+                                        std::uint16_t stride, std::uint16_t base) {
+  std::vector<std::uint16_t> out(anchors);
+  std::uint16_t p = base;
+  while (out.size() < size) {
+    if (std::find(out.begin(), out.end(), p) == out.end()) out.push_back(p);
+    p = static_cast<std::uint16_t>(p + stride);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint16_t> large_set_444() {
+  auto anchors = pen_test_set();
+  std::vector<std::uint16_t> out = anchored_set(
+      444, {22, 3389, 8080, 8443}, /*stride=*/23, /*base=*/1024);
+  // Ensure the pen-test head is inside the 444 set too.
+  for (auto p : anchors)
+    if (std::find(out.begin(), out.end(), p) == out.end()) {
+      out.pop_back();
+      out.push_back(p);
+    }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::uint16_t> large_set_635() {
+  return anchored_set(635, {22, 23, 25, 8080, 8443, 3389}, /*stride=*/31, /*base=*/2000);
+}
+
+std::vector<std::uint16_t> as1_late_set() { return {22, 3389, 8080, 8443}; }
+
+}  // namespace ports
+
+}  // namespace v6sonar::scanner

@@ -1,0 +1,193 @@
+// Port-selection strategies for scan actors.
+//
+// The paper's actors differ sharply here (§3.3): one scanner probes
+// 444 ports then switches to 4, one probes a fixed set of ~635, one
+// sweeps almost the whole TCP port space, the AS #18 fleet probes only
+// TCP/22, and a population of mid-tier scanners probes a common
+// penetration-testing set.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/ipv6.hpp"
+#include "sim/record.hpp"
+#include "util/rng.hpp"
+
+namespace v6sonar::scanner {
+
+/// Yields the destination port for each probe.
+class PortStrategy {
+ public:
+  virtual ~PortStrategy() = default;
+  [[nodiscard]] virtual std::uint16_t next(util::Xoshiro256& rng, sim::TimeUs now) = 0;
+  /// Called when a new scan session begins.
+  virtual void on_session_start(util::Xoshiro256&) {}
+  /// Called with the source address a probe will be sent from, before
+  /// next() — lets strategies keep per-machine port preferences.
+  virtual void observe_source(const net::Ipv6Address&) {}
+};
+
+/// Per-machine port preferences for actors whose pool spans many /64s
+/// (one tenant per /64): each source /64 gets its own stable pen-test
+/// subset, derived deterministically from `seed` and the /64 prefix.
+/// This keeps Table 3's per-source port shares at the per-machine
+/// inclusion probabilities even for sources active in many sessions.
+class PerSourcePorts final : public PortStrategy {
+ public:
+  explicit PerSourcePorts(std::uint64_t seed) : seed_(seed) {}
+  void observe_source(const net::Ipv6Address& src) override;
+  [[nodiscard]] std::uint16_t next(util::Xoshiro256&, sim::TimeUs) override;
+
+ private:
+  struct Prefs {
+    std::vector<std::uint16_t> ports;
+    std::size_t pos = 0;
+  };
+  std::uint64_t seed_;
+  std::map<std::uint64_t, Prefs> by_source_;  ///< keyed by /64 prefix bits
+  Prefs* current_ = nullptr;
+};
+
+/// An actor-stable pen-test port preference (drawn once from
+/// ports::pen_test_subset) of which each session probes a fresh random
+/// sample. Actor stability drives Table 3's per-source column
+/// (TCP/1433 in ~60% of /64 sources); per-session sampling drives the
+/// per-scan column (the 36-46% band).
+class SessionPortSubset final : public PortStrategy {
+ public:
+  /// `base_seed` fixes the actor's base preference; `session_keep` is
+  /// the probability a base port appears in a given session. With
+  /// `redraw_per_session`, a fresh base is drawn each session instead —
+  /// the right model for actors whose sessions come from different
+  /// machines (one VM per session).
+  explicit SessionPortSubset(std::uint64_t base_seed, double session_keep = 0.8,
+                             bool redraw_per_session = false);
+  [[nodiscard]] std::uint16_t next(util::Xoshiro256&, sim::TimeUs) override {
+    const std::uint16_t p = ports_[pos_];
+    pos_ = (pos_ + 1) % ports_.size();
+    return p;
+  }
+  void on_session_start(util::Xoshiro256& rng) override;
+
+  [[nodiscard]] const std::vector<std::uint16_t>& base() const noexcept { return base_; }
+
+ private:
+  std::vector<std::uint16_t> base_;
+  double session_keep_;
+  bool redraw_per_session_;
+  std::vector<std::uint16_t> ports_;
+  std::size_t pos_ = 0;
+};
+
+/// Always the same port (AS #18: TCP/22).
+class FixedPort final : public PortStrategy {
+ public:
+  explicit FixedPort(std::uint16_t port) noexcept : port_(port) {}
+  [[nodiscard]] std::uint16_t next(util::Xoshiro256&, sim::TimeUs) override { return port_; }
+
+ private:
+  std::uint16_t port_;
+};
+
+/// Cycles deterministically through a fixed set. Uniform coverage
+/// makes the footnote-9 fraction f ~ 1/|set|, classifying the scan
+/// into the right ports-per-scan bucket.
+class PortSetCycle final : public PortStrategy {
+ public:
+  explicit PortSetCycle(std::vector<std::uint16_t> ports);
+  [[nodiscard]] std::uint16_t next(util::Xoshiro256&, sim::TimeUs) override {
+    const std::uint16_t p = ports_[pos_];
+    pos_ = (pos_ + 1) % ports_.size();
+    return p;
+  }
+
+ private:
+  std::vector<std::uint16_t> ports_;
+  std::size_t pos_ = 0;
+};
+
+/// Sweeps an inclusive port range (AS #3: almost the whole TCP space).
+class PortRangeSweep final : public PortStrategy {
+ public:
+  PortRangeSweep(std::uint16_t lo, std::uint16_t hi);
+  [[nodiscard]] std::uint16_t next(util::Xoshiro256&, sim::TimeUs) override {
+    const std::uint16_t p = cur_;
+    cur_ = cur_ == hi_ ? lo_ : static_cast<std::uint16_t>(cur_ + 1);
+    return p;
+  }
+
+ private:
+  std::uint16_t lo_;
+  std::uint16_t hi_;
+  std::uint16_t cur_;
+};
+
+/// Walks a port list one port per episode: every `episode_us` the
+/// active port advances (Appendix A.3's "one scanning entity that
+/// scans for different port numbers progressively in distinct scanning
+/// episodes" — single-port scans at /128, one big multi-port scan when
+/// source-aggregated).
+class EpisodicPortWalk final : public PortStrategy {
+ public:
+  EpisodicPortWalk(std::vector<std::uint16_t> ports, sim::TimeUs episode_us);
+  [[nodiscard]] std::uint16_t next(util::Xoshiro256&, sim::TimeUs now) override {
+    if (now - episode_start_ >= episode_us_) {
+      pos_ = (pos_ + 1) % ports_.size();
+      episode_start_ = now;
+    }
+    return ports_[pos_];
+  }
+
+ private:
+  std::vector<std::uint16_t> ports_;
+  sim::TimeUs episode_us_;
+  std::size_t pos_ = 0;
+  sim::TimeUs episode_start_ = 0;
+};
+
+/// Switches from one inner strategy to another at a fixed time
+/// (AS #1: 444 ports until May 27, 2021, then {22, 3389, 8080, 8443}).
+class EpisodicSwitch final : public PortStrategy {
+ public:
+  EpisodicSwitch(sim::TimeUs switch_at, std::unique_ptr<PortStrategy> before,
+                 std::unique_ptr<PortStrategy> after);
+  [[nodiscard]] std::uint16_t next(util::Xoshiro256& rng, sim::TimeUs now) override {
+    return (now < switch_at_ ? *before_ : *after_).next(rng, now);
+  }
+
+ private:
+  sim::TimeUs switch_at_;
+  std::unique_ptr<PortStrategy> before_;
+  std::unique_ptr<PortStrategy> after_;
+};
+
+/// Named port sets used by the default cast.
+namespace ports {
+
+/// The ~30-port generic penetration-testing set shared by mid-tier
+/// scanners; drives the Table 3 "/64s" column (TCP/1433 on top).
+[[nodiscard]] std::vector<std::uint16_t> pen_test_set();
+
+/// A per-actor penetration-testing subset: each well-known port is
+/// included with its empirical popularity (TCP/1433 the most popular,
+/// then 22/23/21/8080/...), plus a sprinkle of rarer ports. This is
+/// what makes Table 3's per-scan and per-source port shares land in
+/// the paper's 36-60% band instead of a degenerate 100%.
+[[nodiscard]] std::vector<std::uint16_t> pen_test_subset(util::Xoshiro256& rng);
+
+/// A 444-port set (AS #1's early-2021 behaviour), anchored on the
+/// paper's observed survivors {22, 3389, 8080, 8443}.
+[[nodiscard]] std::vector<std::uint16_t> large_set_444();
+
+/// A ~635-port set (AS #2).
+[[nodiscard]] std::vector<std::uint16_t> large_set_635();
+
+/// AS #1's post-May-2021 set.
+[[nodiscard]] std::vector<std::uint16_t> as1_late_set();
+
+}  // namespace ports
+
+}  // namespace v6sonar::scanner

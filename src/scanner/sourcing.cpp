@@ -1,0 +1,127 @@
+#include "scanner/sourcing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace v6sonar::scanner {
+
+RotatingPool::RotatingPool(std::vector<net::Ipv6Address> pool, sim::TimeUs rotation_period_us,
+                           RotationMode mode, std::size_t segment_len,
+                           std::size_t segment_shift)
+    : pool_(std::move(pool)),
+      rotation_period_us_(rotation_period_us),
+      mode_(mode),
+      segment_len_(segment_len),
+      segment_shift_(segment_shift) {
+  if (pool_.empty()) throw std::invalid_argument("RotatingPool: empty pool");
+  if (mode_ == RotationMode::kSegment && (segment_len_ == 0 || segment_shift_ == 0))
+    throw std::invalid_argument("RotatingPool: segment mode needs len and shift");
+}
+
+net::Ipv6Address RotatingPool::next(util::Xoshiro256& rng, sim::TimeUs now) {
+  if (rotation_period_us_ > 0 && now - rotated_at_ >= rotation_period_us_) {
+    switch (mode_) {
+      case RotationMode::kRandom: active_ = rng.below(pool_.size()); break;
+      case RotationMode::kSequential: active_ = (active_ + 1) % pool_.size(); break;
+      case RotationMode::kSegment:
+        ++slot_;
+        active_ = (segment_start_ + slot_ % segment_len_) % pool_.size();
+        break;
+    }
+    rotated_at_ = now;
+  }
+  return pool_[active_];
+}
+
+void RotatingPool::on_session_start(util::Xoshiro256& rng) {
+  if (mode_ == RotationMode::kSegment) {
+    segment_start_ = (segment_start_ + segment_shift_) % pool_.size();
+    slot_ = 0;
+    active_ = segment_start_;
+  } else {
+    active_ = rng.below(pool_.size());
+  }
+  rotated_at_ = 0;  // rotate timer restarts on first packet
+}
+
+LowBitsVarying::LowBitsVarying(std::vector<net::Ipv6Address> bases, int bits)
+    : bases_(std::move(bases)), bits_(bits) {
+  if (bases_.empty()) throw std::invalid_argument("LowBitsVarying: no bases");
+  if (bits_ < 1 || bits_ > 16) throw std::invalid_argument("LowBitsVarying: bits out of range");
+}
+
+net::Ipv6Address LowBitsVarying::next(util::Xoshiro256& rng, sim::TimeUs) {
+  const net::Ipv6Address& base = bases_[rng.below(bases_.size())];
+  const std::uint64_t mask = (1ULL << bits_) - 1;
+  return base.with_iid((base.lo() & ~mask) | (rng() & mask));
+}
+
+PrefixSpread::PrefixSpread(net::Ipv6Prefix allocation, std::uint32_t n48, double zipf_s)
+    : allocation_(allocation), n48_(n48) {
+  if (allocation_.length() > 48) throw std::invalid_argument("PrefixSpread: allocation too specific");
+  if (n48_ == 0) throw std::invalid_argument("PrefixSpread: n48 must be positive");
+  const int spare48 = 48 - allocation_.length();
+  if (spare48 < 32) n48_ = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(n48_, 1ULL << spare48));
+  if (zipf_s > 0) zipf_ = std::make_unique<util::ZipfSampler>(n48_, zipf_s);
+  current_ = allocation_.address();
+}
+
+void PrefixSpread::on_session_start(util::Xoshiro256& rng) {
+  // /48 index within the structured subset, then a random /64 and IID.
+  const std::uint64_t idx48 = zipf_ ? zipf_->sample(rng) : rng.below(n48_);
+  const std::uint64_t idx64 = rng.below(0x10000);
+  const std::uint64_t hi = allocation_.address().hi() | (idx48 << 16) | idx64;
+  current_ = net::Ipv6Address{hi, rng()};
+}
+
+Spread48Session::Spread48Session(net::Ipv6Prefix allocation, std::uint32_t n48, int n64,
+                                 sim::TimeUs rotation_period_us)
+    : allocation_(allocation), n48_(n48), n64_(n64), rotation_period_us_(rotation_period_us) {
+  if (allocation_.length() > 48)
+    throw std::invalid_argument("Spread48Session: allocation too specific");
+  if (n48_ == 0 || n64_ < 1) throw std::invalid_argument("Spread48Session: bad spread counts");
+  const int spare48 = 48 - allocation_.length();
+  if (spare48 < 32)
+    n48_ = static_cast<std::uint32_t>(std::min<std::uint64_t>(n48_, 1ULL << spare48));
+  session_addrs_.assign(1, allocation_.address());
+}
+
+void Spread48Session::on_session_start(util::Xoshiro256& rng) {
+  const std::uint64_t idx48 = rng.below(n48_);
+  session_addrs_.clear();
+  for (int i = 0; i < n64_; ++i) {
+    const std::uint64_t hi = allocation_.address().hi() | (idx48 << 16) | rng.below(0x10000);
+    session_addrs_.push_back(net::Ipv6Address{hi, rng()});
+  }
+  active_ = 0;
+  rotated_at_ = 0;
+}
+
+net::Ipv6Address Spread48Session::next(util::Xoshiro256& rng, sim::TimeUs now) {
+  if (rotation_period_us_ > 0 && now - rotated_at_ >= rotation_period_us_) {
+    active_ = rng.below(session_addrs_.size());
+    rotated_at_ = now;
+  }
+  return session_addrs_[active_];
+}
+
+VmPoolSource::VmPoolSource(std::vector<net::Ipv6Prefix> vm_prefixes)
+    : vm_prefixes_(std::move(vm_prefixes)) {
+  if (vm_prefixes_.empty()) throw std::invalid_argument("VmPoolSource: empty pool");
+  for (const auto& p : vm_prefixes_) {
+    if (p.length() <= 96)
+      throw std::invalid_argument("VmPoolSource: VM allocations must be more specific than /96");
+  }
+  current_ = vm_prefixes_.front().address();
+}
+
+void VmPoolSource::on_session_start(util::Xoshiro256& rng) {
+  // Each VM keeps its one stable address within its tiny allocation
+  // (the lowest host number) — per-session rotation switches VMs, not
+  // addresses within a VM.
+  const auto& p = vm_prefixes_[rng.below(vm_prefixes_.size())];
+  current_ = p.address().plus(1);
+}
+
+}  // namespace v6sonar::scanner

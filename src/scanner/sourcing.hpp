@@ -1,0 +1,152 @@
+// Source-address selection strategies.
+//
+// §3.2's central observation: scan actors source packets anywhere from
+// one fixed /128 up to an entire routed /32, which is what makes
+// source aggregation a first-class detection knob.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/ipv6.hpp"
+#include "net/prefix.hpp"
+#include "sim/record.hpp"
+#include "util/rng.hpp"
+
+namespace v6sonar::scanner {
+
+/// Yields the source address for each probe. `now` lets strategies
+/// rotate addresses on a schedule (short-lived /128 bursts are why the
+/// paper's /128-level scan durations have a 94-second median).
+class SourceStrategy {
+ public:
+  virtual ~SourceStrategy() = default;
+  [[nodiscard]] virtual net::Ipv6Address next(util::Xoshiro256& rng, sim::TimeUs now) = 0;
+  /// Called when a new scan session begins.
+  virtual void on_session_start(util::Xoshiro256&) {}
+};
+
+/// A single fixed address (the paper's AS #1: one /128 for 839M packets).
+class FixedSource final : public SourceStrategy {
+ public:
+  explicit FixedSource(const net::Ipv6Address& a) noexcept : addr_(a) {}
+  [[nodiscard]] net::Ipv6Address next(util::Xoshiro256&, sim::TimeUs) override { return addr_; }
+
+ private:
+  net::Ipv6Address addr_;
+};
+
+/// A fixed pool of addresses, one active at a time, rotated every
+/// `rotation_period_us` (0 = rotate only per session). Drives actors
+/// like AS #4 (512 /128s in 2 /64s) and AS #11 (353 /128s in one /64).
+///
+/// Rotation modes.
+///
+/// kRandom re-picks uniformly per rotation (an address can recur at
+/// any time). kSequential walks the whole pool from a random
+/// per-session offset. kSegment models how real fleets burn addresses:
+/// each session works a contiguous pool segment of `segment_len`
+/// addresses, cycling it one address per rotation period; the segment
+/// advances by `segment_shift` per session. This yields all three of
+/// the paper's /128-level statistics at once — many short scans per
+/// address-week (the 94 s median), a bounded weekly working set
+/// (Fig. 2's y-axis), and full pool coverage over 15 months (Table 2's
+/// source counts) — because an address re-bursts only after the whole
+/// segment cycled past the one-hour detector timeout.
+enum class RotationMode { kRandom, kSequential, kSegment };
+
+class RotatingPool final : public SourceStrategy {
+ public:
+  RotatingPool(std::vector<net::Ipv6Address> pool, sim::TimeUs rotation_period_us,
+               RotationMode mode = RotationMode::kRandom, std::size_t segment_len = 0,
+               std::size_t segment_shift = 1);
+  [[nodiscard]] net::Ipv6Address next(util::Xoshiro256& rng, sim::TimeUs now) override;
+  void on_session_start(util::Xoshiro256& rng) override;
+
+ private:
+  std::vector<net::Ipv6Address> pool_;
+  sim::TimeUs rotation_period_us_;
+  RotationMode mode_;
+  std::size_t segment_len_;
+  std::size_t segment_shift_;
+  std::size_t segment_start_ = 0;
+  std::size_t slot_ = 0;     ///< rotation count within the session (kSegment)
+  std::size_t active_ = 0;
+  sim::TimeUs rotated_at_ = 0;
+};
+
+/// Base address with the lowest `bits` bits randomized per packet
+/// (AS #9: a security company varying the lowest 7-9 bits, yielding
+/// ~956 distinct /128s across two /64s).
+class LowBitsVarying final : public SourceStrategy {
+ public:
+  /// Multiple bases model the actor's two /64s.
+  LowBitsVarying(std::vector<net::Ipv6Address> bases, int bits);
+  [[nodiscard]] net::Ipv6Address next(util::Xoshiro256& rng, sim::TimeUs) override;
+
+ private:
+  std::vector<net::Ipv6Address> bases_;
+  int bits_;
+};
+
+/// One random address per session, drawn from a structured subset of a
+/// large allocation: a /48 below `allocation` (within `n48` choices,
+/// Zipf-popular so that busy /48s see multiple overlapping bursts),
+/// random /64 inside it, random IID (AS #18: sources spread across an
+/// entire routed /32).
+class PrefixSpread final : public SourceStrategy {
+ public:
+  /// zipf_s = 0 gives uniform /48 choice.
+  PrefixSpread(net::Ipv6Prefix allocation, std::uint32_t n48, double zipf_s = 0.0);
+  [[nodiscard]] net::Ipv6Address next(util::Xoshiro256&, sim::TimeUs) override {
+    return current_;
+  }
+  void on_session_start(util::Xoshiro256& rng) override;
+
+ private:
+  net::Ipv6Prefix allocation_;
+  std::uint32_t n48_;
+  std::unique_ptr<util::ZipfSampler> zipf_;  ///< null = uniform
+  net::Ipv6Address current_;
+};
+
+/// Per session: pick a random /48 below the allocation, then rotate
+/// across `n64` random /64s inside it during the session (one address
+/// per /64). Each /64 stays below the detection bar while the /48
+/// aggregate crosses it — the pure "visible only at /48" spread
+/// pattern of §3.2.
+class Spread48Session final : public SourceStrategy {
+ public:
+  Spread48Session(net::Ipv6Prefix allocation, std::uint32_t n48, int n64,
+                  sim::TimeUs rotation_period_us);
+  [[nodiscard]] net::Ipv6Address next(util::Xoshiro256& rng, sim::TimeUs now) override;
+  void on_session_start(util::Xoshiro256& rng) override;
+
+ private:
+  net::Ipv6Prefix allocation_;
+  std::uint32_t n48_;
+  int n64_;
+  sim::TimeUs rotation_period_us_;
+  std::vector<net::Ipv6Address> session_addrs_;
+  std::size_t active_ = 0;
+  sim::TimeUs rotated_at_ = 0;
+};
+
+/// Random address within one of several very specific VM allocations
+/// (more specific than /96, like the paper's AS #6 cloud provider),
+/// re-picked per session.
+class VmPoolSource final : public SourceStrategy {
+ public:
+  explicit VmPoolSource(std::vector<net::Ipv6Prefix> vm_prefixes);
+  [[nodiscard]] net::Ipv6Address next(util::Xoshiro256&, sim::TimeUs) override {
+    return current_;
+  }
+  void on_session_start(util::Xoshiro256& rng) override;
+
+ private:
+  std::vector<net::Ipv6Prefix> vm_prefixes_;
+  net::Ipv6Address current_;
+};
+
+}  // namespace v6sonar::scanner

@@ -1,0 +1,125 @@
+#include "scanner/targeting.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace v6sonar::scanner {
+
+namespace {
+
+std::uint64_t gcd64(std::uint64_t a, std::uint64_t b) noexcept {
+  while (b != 0) {
+    const std::uint64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+}  // namespace
+
+ListSweepTargets::ListSweepTargets(TargetList list, std::uint64_t seed)
+    : list_(std::move(list)) {
+  if (!list_ || list_->empty()) throw std::invalid_argument("ListSweepTargets: empty list");
+  util::Xoshiro256 rng(seed);
+  const std::uint64_t n = list_->size();
+  pos_ = rng.below(n);
+  // An odd stride near n*phi, adjusted to be coprime with n, visits
+  // every element before repeating (a full sweep, in scrambled order).
+  stride_ = 1 + rng.below(n);
+  while (gcd64(stride_, n) != 1) stride_ = stride_ % n + 1;
+}
+
+net::Ipv6Address ListSweepTargets::next(util::Xoshiro256&) {
+  const auto& v = *list_;
+  const net::Ipv6Address a = v[pos_ % v.size()];
+  pos_ = (pos_ + stride_) % v.size();
+  return a;
+}
+
+ListSampleTargets::ListSampleTargets(TargetList list) : list_(std::move(list)) {
+  if (!list_ || list_->empty()) throw std::invalid_argument("ListSampleTargets: empty list");
+}
+
+net::Ipv6Address ListSampleTargets::next(util::Xoshiro256& rng) {
+  return (*list_)[rng.below(list_->size())];
+}
+
+NearbyExpansionTargets::NearbyExpansionTargets(TargetList dns_list, double expand_prob,
+                                               int nearby_bits)
+    : list_(std::move(dns_list)), expand_prob_(expand_prob), nearby_bits_(nearby_bits) {
+  if (!list_ || list_->empty())
+    throw std::invalid_argument("NearbyExpansionTargets: empty list");
+  if (nearby_bits_ < 1 || nearby_bits_ > 32)
+    throw std::invalid_argument("NearbyExpansionTargets: nearby_bits out of range");
+}
+
+net::Ipv6Address NearbyExpansionTargets::next(util::Xoshiro256& rng) {
+  if (has_last_ && rng.chance(expand_prob_)) {
+    // Randomize the low bits of the last in-DNS target: stays within
+    // the same /(128 - nearby_bits) prefix.
+    const std::uint64_t mask = nearby_bits_ >= 64 ? ~0ULL : (1ULL << nearby_bits_) - 1;
+    const std::uint64_t iid = (last_dns_.lo() & ~mask) | (rng() & mask);
+    return last_dns_.with_iid(iid);
+  }
+  last_dns_ = (*list_)[rng.below(list_->size())];
+  has_last_ = true;
+  return last_dns_;
+}
+
+RandomIidTargets::RandomIidTargets(net::Ipv6Prefix region) : region_(region) {
+  if (region_.length() > 64)
+    throw std::invalid_argument("RandomIidTargets: region must be /64 or shorter");
+}
+
+net::Ipv6Address RandomIidTargets::next(util::Xoshiro256& rng) {
+  // Random bits between the region prefix and the /64 boundary pick
+  // the destination /64; the IID is fully random.
+  const int spare = 64 - region_.length();
+  const std::uint64_t net_mask = spare >= 64 ? ~0ULL : (1ULL << spare) - 1;
+  const std::uint64_t hi = region_.address().hi() | (rng() & net_mask);
+  return net::Ipv6Address{hi, rng()};
+}
+
+ExhaustiveNearbyTargets::ExhaustiveNearbyTargets(TargetList dns_list, int nearby_bits)
+    : list_(std::move(dns_list)), nearby_bits_(nearby_bits) {
+  if (!list_ || list_->empty())
+    throw std::invalid_argument("ExhaustiveNearbyTargets: empty list");
+  if (nearby_bits_ < 1 || nearby_bits_ > 8)
+    throw std::invalid_argument("ExhaustiveNearbyTargets: nearby_bits out of range");
+}
+
+net::Ipv6Address ExhaustiveNearbyTargets::next(util::Xoshiro256& rng) {
+  const std::uint64_t window = 1ULL << nearby_bits_;
+  if (enum_pos_ == 0) {
+    // Probe a fresh in-DNS address first, then walk its window.
+    const net::Ipv6Address dns = (*list_)[rng.below(list_->size())];
+    window_base_ = dns.with_iid(dns.lo() & ~(window - 1));
+    enum_pos_ = 1;
+    return dns;
+  }
+  const net::Ipv6Address a = window_base_.plus(enum_pos_ - 1);
+  if (++enum_pos_ > window) enum_pos_ = 0;
+  return a;
+}
+
+MixedTargets::MixedTargets(std::vector<Component> components)
+    : components_(std::move(components)) {
+  if (components_.empty()) throw std::invalid_argument("MixedTargets: no components");
+  for (const auto& c : components_) {
+    if (!c.strategy || c.weight <= 0)
+      throw std::invalid_argument("MixedTargets: bad component");
+    total_weight_ += c.weight;
+  }
+}
+
+net::Ipv6Address MixedTargets::next(util::Xoshiro256& rng) {
+  double u = rng.unit() * total_weight_;
+  for (auto& c : components_) {
+    u -= c.weight;
+    if (u < 0) return c.strategy->next(rng);
+  }
+  return components_.back().strategy->next(rng);
+}
+
+}  // namespace v6sonar::scanner

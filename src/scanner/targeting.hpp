@@ -1,0 +1,127 @@
+// Target-address generation strategies.
+//
+// §3.3 and §4 of the paper infer how scanners pick IPv6 targets:
+// sweeping DNS-exposed addresses / hitlists (low Hamming-weight IIDs),
+// expanding to nearby addresses after an in-DNS hit, probing learned
+// non-DNS addresses, or generating fully random IIDs (the Dec 24, 2021
+// ICMPv6 scanner, whose IID Hamming weights are Gaussian).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/ipv6.hpp"
+#include "net/prefix.hpp"
+#include "sim/record.hpp"
+#include "util/rng.hpp"
+
+namespace v6sonar::scanner {
+
+/// Yields the destination address for each probe.
+class TargetStrategy {
+ public:
+  virtual ~TargetStrategy() = default;
+  [[nodiscard]] virtual net::Ipv6Address next(util::Xoshiro256& rng) = 0;
+  /// Called by the actor before each next() with the current
+  /// simulation time; strategies with time-dependent behaviour (the
+  /// paper's AS #1 switches targeting on May 27, 2021) override this.
+  virtual void observe_time(sim::TimeUs) {}
+};
+
+/// Shared, immutable target list (e.g. the telescope's DNS-exposed
+/// addresses, a hitlist, or the omniscient all-addresses list).
+using TargetList = std::shared_ptr<const std::vector<net::Ipv6Address>>;
+
+/// Deterministically sweeps a list in a seed-dependent order, cycling
+/// forever (continuous rescans, like the top scanners).
+class ListSweepTargets final : public TargetStrategy {
+ public:
+  /// `stride` must be coprime with the list size for full coverage;
+  /// the constructor adjusts it if needed.
+  ListSweepTargets(TargetList list, std::uint64_t seed);
+  [[nodiscard]] net::Ipv6Address next(util::Xoshiro256&) override;
+
+ private:
+  TargetList list_;
+  std::uint64_t stride_;
+  std::uint64_t pos_;
+};
+
+/// Samples a list uniformly with replacement (bursty scanners that
+/// probe random known addresses).
+class ListSampleTargets final : public TargetStrategy {
+ public:
+  explicit ListSampleTargets(TargetList list);
+  [[nodiscard]] net::Ipv6Address next(util::Xoshiro256& rng) override;
+
+ private:
+  TargetList list_;
+};
+
+/// Probes an in-DNS address, then with probability `expand_prob`
+/// follows up with probes near a recent in-DNS target: same /124 to
+/// /112, random low bits. Reproduces the "previous nearby in-DNS
+/// probe" signature of §3.3.
+class NearbyExpansionTargets final : public TargetStrategy {
+ public:
+  /// nearby_bits: how many low bits to randomize on expansion (4..16,
+  /// i.e. within the same /124 .. /112).
+  NearbyExpansionTargets(TargetList dns_list, double expand_prob, int nearby_bits);
+  [[nodiscard]] net::Ipv6Address next(util::Xoshiro256& rng) override;
+
+ private:
+  TargetList list_;
+  double expand_prob_;
+  int nearby_bits_;
+  net::Ipv6Address last_dns_;
+  bool has_last_ = false;
+};
+
+/// Fully random IIDs under random /64s drawn from a region prefix —
+/// every probe targets a distinct /64 and the IID Hamming weight is
+/// Binomial(64, 1/2) (visually Gaussian, Fig. 7's Dec 24 outlier).
+class RandomIidTargets final : public TargetStrategy {
+ public:
+  explicit RandomIidTargets(net::Ipv6Prefix region);
+  [[nodiscard]] net::Ipv6Address next(util::Xoshiro256& rng) override;
+
+ private:
+  net::Ipv6Prefix region_;
+};
+
+/// Picks an in-DNS address, then exhaustively enumerates its /(128-n)
+/// neighbourhood before picking the next one. Against the telescope's
+/// paired deployment this yields ~1/3 of *captured* probes on
+/// not-in-DNS addresses, every one preceded by a nearby in-DNS probe —
+/// the strongest signature in §3.3's nearby-probe analysis.
+class ExhaustiveNearbyTargets final : public TargetStrategy {
+ public:
+  /// nearby_bits in [1, 8]: enumerate 2^bits consecutive addresses.
+  ExhaustiveNearbyTargets(TargetList dns_list, int nearby_bits);
+  [[nodiscard]] net::Ipv6Address next(util::Xoshiro256& rng) override;
+
+ private:
+  TargetList list_;
+  int nearby_bits_;
+  net::Ipv6Address window_base_;
+  std::uint64_t enum_pos_ = 0;  ///< next offset within the window; 0 = pick new
+};
+
+/// Weighted mixture of strategies (e.g. 85% hitlist sweep + 15%
+/// learned non-DNS addresses).
+class MixedTargets final : public TargetStrategy {
+ public:
+  struct Component {
+    std::unique_ptr<TargetStrategy> strategy;
+    double weight = 1.0;
+  };
+  explicit MixedTargets(std::vector<Component> components);
+  [[nodiscard]] net::Ipv6Address next(util::Xoshiro256& rng) override;
+
+ private:
+  std::vector<Component> components_;
+  double total_weight_ = 0;
+};
+
+}  // namespace v6sonar::scanner

@@ -1,0 +1,138 @@
+#include "scanner/tga.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace v6sonar::scanner {
+
+namespace {
+
+/// Nibble `i` of an address (0 = most significant).
+std::uint8_t nibble_of(const net::Ipv6Address& a, int i) noexcept {
+  const std::uint64_t w = i < 16 ? a.hi() : a.lo();
+  const int shift = 60 - 4 * (i & 15);
+  return static_cast<std::uint8_t>(w >> shift & 0xF);
+}
+
+}  // namespace
+
+EntropyIpModel EntropyIpModel::learn(std::span<const net::Ipv6Address> seeds) {
+  if (seeds.empty()) throw std::invalid_argument("EntropyIpModel: empty seed set");
+  EntropyIpModel m;
+  m.seeds_ = seeds.size();
+  for (const auto& a : seeds)
+    for (int i = 0; i < 32; ++i) ++m.counts_[static_cast<std::size_t>(i)][nibble_of(a, i)];
+  return m;
+}
+
+net::Ipv6Address EntropyIpModel::generate(util::Xoshiro256& rng) const {
+  std::uint64_t hi = 0, lo = 0;
+  for (int i = 0; i < 32; ++i) {
+    const auto& c = counts_[static_cast<std::size_t>(i)];
+    std::uint64_t pick = rng.below(seeds_);
+    std::uint8_t value = 15;
+    for (std::uint8_t v = 0; v < 16; ++v) {
+      if (pick < c[v]) {
+        value = v;
+        break;
+      }
+      pick -= c[v];
+    }
+    if (i < 16)
+      hi |= static_cast<std::uint64_t>(value) << (60 - 4 * i);
+    else
+      lo |= static_cast<std::uint64_t>(value) << (60 - 4 * (i - 16));
+  }
+  return {hi, lo};
+}
+
+double EntropyIpModel::nibble_entropy(int i) const {
+  if (i < 0 || i >= 32) throw std::out_of_range("EntropyIpModel::nibble_entropy");
+  double h = 0;
+  for (const auto c : counts_[static_cast<std::size_t>(i)]) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(seeds_);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double EntropyIpModel::total_entropy_bits() const {
+  double h = 0;
+  for (int i = 0; i < 32; ++i) h += nibble_entropy(i);
+  return h;
+}
+
+ClusterTga ClusterTga::learn(std::span<const net::Ipv6Address> seeds) {
+  return learn(seeds, Config{});
+}
+
+ClusterTga ClusterTga::learn(std::span<const net::Ipv6Address> seeds, Config config) {
+  if (seeds.empty()) throw std::invalid_argument("ClusterTga: empty seed set");
+  if (config.max_clusters == 0 || config.window == 0)
+    throw std::invalid_argument("ClusterTga: bad config");
+
+  std::unordered_map<std::uint64_t, Cluster> by64;
+  for (const auto& a : seeds) by64[a.masked(64).hi()].seed_iids.push_back(a.lo());
+
+  ClusterTga m;
+  m.config_ = config;
+  m.clusters_.assign(by64.begin(), by64.end());
+  // Densest clusters first; cap the working set.
+  std::stable_sort(m.clusters_.begin(), m.clusters_.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second.seed_iids.size() > b.second.seed_iids.size();
+                   });
+  if (m.clusters_.size() > config.max_clusters) m.clusters_.resize(config.max_clusters);
+
+  double acc = 0;
+  m.weight_cdf_.reserve(m.clusters_.size());
+  for (const auto& [hi, c] : m.clusters_) {
+    acc += static_cast<double>(c.seed_iids.size());
+    m.weight_cdf_.push_back(acc);
+  }
+  for (auto& w : m.weight_cdf_) w /= acc;
+  m.weight_cdf_.back() = 1.0;
+  return m;
+}
+
+net::Ipv6Address ClusterTga::generate(util::Xoshiro256& rng) const {
+  const double u = rng.unit();
+  const auto it = std::lower_bound(weight_cdf_.begin(), weight_cdf_.end(), u);
+  const auto& [hi, cluster] =
+      clusters_[static_cast<std::size_t>(std::distance(weight_cdf_.begin(), it))];
+  const std::uint64_t seed_iid = cluster.seed_iids[rng.below(cluster.seed_iids.size())];
+  // Explore the neighbourhood symmetrically, clamped at the IID space
+  // boundaries (low service IIDs sit right at 0).
+  const std::uint64_t lo = seed_iid >= config_.window ? seed_iid - config_.window : 0;
+  const std::uint64_t hi_bound =
+      seed_iid <= ~0ULL - config_.window ? seed_iid + config_.window : ~0ULL;
+  return net::Ipv6Address{hi, lo + rng.below(hi_bound - lo + 1)};
+}
+
+double cluster_tga_hit_rate(const ClusterTga& model, std::span<const net::Ipv6Address> actives,
+                            std::size_t candidates, std::uint64_t seed) {
+  if (candidates == 0) return 0.0;
+  std::unordered_set<net::Ipv6Address> active_set(actives.begin(), actives.end());
+  util::Xoshiro256 rng(seed);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < candidates; ++i)
+    hits += active_set.contains(model.generate(rng));
+  return static_cast<double>(hits) / static_cast<double>(candidates);
+}
+
+double tga_hit_rate(const EntropyIpModel& model, std::span<const net::Ipv6Address> actives,
+                    std::size_t candidates, std::uint64_t seed) {
+  if (candidates == 0) return 0.0;
+  std::unordered_set<net::Ipv6Address> active_set(actives.begin(), actives.end());
+  util::Xoshiro256 rng(seed);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < candidates; ++i)
+    hits += active_set.contains(model.generate(rng));
+  return static_cast<double>(hits) / static_cast<double>(candidates);
+}
+
+}  // namespace v6sonar::scanner

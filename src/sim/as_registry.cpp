@@ -1,0 +1,74 @@
+#include "sim/as_registry.hpp"
+
+#include <stdexcept>
+
+namespace v6sonar::sim {
+
+std::string_view to_string(AsType t) noexcept {
+  switch (t) {
+    case AsType::kDatacenter: return "Datacenter";
+    case AsType::kCloud: return "Cloud";
+    case AsType::kCloudTransit: return "Cloud/Transit";
+    case AsType::kTransit: return "Transit";
+    case AsType::kIsp: return "ISP";
+    case AsType::kResearch: return "Research";
+    case AsType::kUniversity: return "University";
+    case AsType::kCybersecurity: return "Cybersecurity";
+    case AsType::kCdn: return "CDN";
+  }
+  return "?";
+}
+
+void AsRegistry::add(AsInfo info) {
+  if (info.asn == 0) throw std::invalid_argument("AsRegistry: ASN 0 is reserved");
+  if (find(info.asn) != nullptr)
+    throw std::invalid_argument("AsRegistry: duplicate ASN " + std::to_string(info.asn));
+  auto allocations = info.allocations;
+  info.allocations.clear();
+  infos_.push_back(std::move(info));
+  try {
+    for (const auto& p : allocations) allocate(infos_.back().asn, p);
+  } catch (...) {
+    infos_.pop_back();
+    throw;
+  }
+}
+
+void AsRegistry::allocate(std::uint32_t asn, const net::Ipv6Prefix& prefix) {
+  AsInfo* info = nullptr;
+  for (auto& i : infos_)
+    if (i.asn == asn) info = &i;
+  if (!info) throw std::invalid_argument("AsRegistry: unknown ASN " + std::to_string(asn));
+  // Reject overlap in either direction: an existing allocation covering
+  // this prefix, or this prefix covering an existing allocation.
+  if (const auto m = by_prefix_.longest_match(prefix.address());
+      m && m->first.length() <= prefix.length() && m->first.contains(prefix)) {
+    throw std::invalid_argument("AsRegistry: overlapping allocation " + prefix.to_string());
+  }
+  if (by_prefix_.count_under(prefix) != 0)
+    throw std::invalid_argument("AsRegistry: allocation covers existing " + prefix.to_string());
+  by_prefix_.insert(prefix, asn);
+  info->allocations.push_back(prefix);
+}
+
+const AsInfo* AsRegistry::find(std::uint32_t asn) const noexcept {
+  for (const auto& i : infos_)
+    if (i.asn == asn) return &i;
+  return nullptr;
+}
+
+std::uint32_t AsRegistry::asn_of(const net::Ipv6Address& a) const noexcept {
+  const auto m = by_prefix_.longest_match(a);
+  return m ? *m->second : 0;
+}
+
+std::optional<net::Ipv6Prefix> AsRegistry::allocation_of(
+    const net::Ipv6Address& a) const noexcept {
+  const auto m = by_prefix_.longest_match(a);
+  if (!m) return std::nullopt;
+  // The trie reconstructs the matched prefix from the probe address,
+  // which is exactly the stored allocation (host bits masked).
+  return m->first;
+}
+
+}  // namespace v6sonar::sim

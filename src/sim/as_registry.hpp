@@ -1,0 +1,69 @@
+// AS metadata and prefix-allocation registry.
+//
+// Stands in for the WHOIS/BGP joins the paper performed: generators
+// draw source addresses from an AS's allocations, and analyses map
+// source prefixes back to ASes via longest-prefix match.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/prefix.hpp"
+#include "net/trie.hpp"
+
+namespace v6sonar::sim {
+
+/// Network types used in the paper's Table 2.
+enum class AsType {
+  kDatacenter,
+  kCloud,
+  kCloudTransit,
+  kTransit,
+  kIsp,
+  kResearch,
+  kUniversity,
+  kCybersecurity,
+  kCdn,  ///< the telescope's own deployment networks
+};
+
+[[nodiscard]] std::string_view to_string(AsType t) noexcept;
+
+struct AsInfo {
+  std::uint32_t asn = 0;
+  AsType type = AsType::kIsp;
+  std::string country;  ///< ISO-3166-ish label, e.g. "CN", "US/global"
+  std::vector<net::Ipv6Prefix> allocations;
+};
+
+class AsRegistry {
+ public:
+  /// Register an AS. Throws std::invalid_argument on duplicate ASN,
+  /// asn == 0, or an allocation overlapping another AS's allocation.
+  void add(AsInfo info);
+
+  /// Register an additional allocation for an existing AS.
+  void allocate(std::uint32_t asn, const net::Ipv6Prefix& prefix);
+
+  [[nodiscard]] const AsInfo* find(std::uint32_t asn) const noexcept;
+
+  /// Longest-prefix-match the address to its owning AS (0 if none).
+  [[nodiscard]] std::uint32_t asn_of(const net::Ipv6Address& a) const noexcept;
+
+  /// The covering allocation of an address, if any.
+  [[nodiscard]] std::optional<net::Ipv6Prefix> allocation_of(
+      const net::Ipv6Address& a) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return infos_.size(); }
+
+  /// All registered ASes, in registration order.
+  [[nodiscard]] const std::vector<AsInfo>& all() const noexcept { return infos_; }
+
+ private:
+  std::vector<AsInfo> infos_;
+  net::PrefixTrie<std::uint32_t> by_prefix_;  // allocation -> ASN
+};
+
+}  // namespace v6sonar::sim

@@ -1,0 +1,127 @@
+#include "sim/log_io.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace v6sonar::sim {
+
+namespace {
+
+constexpr std::size_t kRecordBytes = 52;
+
+/// Serialize little-endian into a fixed buffer. Explicit byte writes
+/// keep the format stable across hosts.
+void pack(const LogRecord& r, std::uint8_t* out) noexcept {
+  auto put = [&out](std::uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) *out++ = static_cast<std::uint8_t>(v >> (8 * i));
+  };
+  put(static_cast<std::uint64_t>(r.ts_us), 8);
+  put(r.src.hi(), 8);
+  put(r.src.lo(), 8);
+  put(r.dst.hi(), 8);
+  put(r.dst.lo(), 8);
+  put(r.src_asn, 4);
+  put(r.src_port, 2);
+  put(r.dst_port, 2);
+  put(r.frame_len, 2);
+  put(static_cast<std::uint8_t>(r.proto), 1);
+  put(r.dst_in_dns ? 1 : 0, 1);
+}
+
+LogRecord unpack(const std::uint8_t* in) noexcept {
+  auto get = [&in](int bytes) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < bytes; ++i) v |= static_cast<std::uint64_t>(*in++) << (8 * i);
+    return v;
+  };
+  LogRecord r;
+  r.ts_us = static_cast<TimeUs>(get(8));
+  const std::uint64_t shi = get(8), slo = get(8), dhi = get(8), dlo = get(8);
+  r.src = net::Ipv6Address{shi, slo};
+  r.dst = net::Ipv6Address{dhi, dlo};
+  r.src_asn = static_cast<std::uint32_t>(get(4));
+  r.src_port = static_cast<std::uint16_t>(get(2));
+  r.dst_port = static_cast<std::uint16_t>(get(2));
+  r.frame_len = static_cast<std::uint16_t>(get(2));
+  r.proto = static_cast<wire::IpProto>(get(1));
+  r.dst_in_dns = get(1) != 0;
+  return r;
+}
+
+struct File {
+  std::FILE* f = nullptr;
+  File(const std::string& path, const char* mode) : f(std::fopen(path.c_str(), mode)) {
+    if (!f) throw std::runtime_error("log_io: cannot open " + path);
+  }
+  ~File() {
+    if (f) std::fclose(f);
+  }
+};
+
+}  // namespace
+
+struct LogWriter::Impl {
+  explicit Impl(const std::string& path) : file(path, "wb") {
+    std::setvbuf(file.f, nullptr, _IOFBF, 1 << 20);
+    const std::uint64_t header[2] = {kLogMagic, 0};
+    if (std::fwrite(header, 8, 2, file.f) != 2)
+      throw std::runtime_error("log_io: header write failed");
+  }
+  File file;
+};
+
+LogWriter::LogWriter(const std::string& path) : impl_(std::make_unique<Impl>(path)) {}
+LogWriter::~LogWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor must not throw; an incomplete file is detectable by
+    // its header count of 0xFFFF... never written.
+  }
+}
+
+void LogWriter::write(const LogRecord& r) {
+  if (!impl_) throw std::runtime_error("log_io: writer closed");
+  std::array<std::uint8_t, kRecordBytes> buf;
+  pack(r, buf.data());
+  if (std::fwrite(buf.data(), 1, buf.size(), impl_->file.f) != buf.size())
+    throw std::runtime_error("log_io: record write failed");
+  ++count_;
+}
+
+void LogWriter::close() {
+  if (!impl_) return;
+  if (std::fseek(impl_->file.f, 8, SEEK_SET) != 0 ||
+      std::fwrite(&count_, 8, 1, impl_->file.f) != 1)
+    throw std::runtime_error("log_io: header finalize failed");
+  impl_.reset();
+}
+
+struct LogReader::Impl {
+  explicit Impl(const std::string& path) : file(path, "rb") {
+    std::setvbuf(file.f, nullptr, _IOFBF, 1 << 20);
+    std::uint64_t header[2] = {};
+    if (std::fread(header, 8, 2, file.f) != 2 || header[0] != kLogMagic)
+      throw std::runtime_error("log_io: not a v6sonar log: " + path);
+    total = header[1];
+  }
+  File file;
+  std::uint64_t total = 0;
+};
+
+LogReader::LogReader(const std::string& path) : impl_(std::make_unique<Impl>(path)) {}
+LogReader::~LogReader() = default;
+
+std::optional<LogRecord> LogReader::next() {
+  std::array<std::uint8_t, kRecordBytes> buf;
+  const std::size_t got = std::fread(buf.data(), 1, buf.size(), impl_->file.f);
+  if (got == 0) return std::nullopt;
+  if (got != buf.size()) throw std::runtime_error("log_io: truncated record");
+  return unpack(buf.data());
+}
+
+std::uint64_t LogReader::total_records() const noexcept { return impl_->total; }
+
+}  // namespace v6sonar::sim

@@ -1,0 +1,59 @@
+// Binary firewall-log serialization.
+//
+// The CDN pipeline in the paper works from stored firewall logs; this
+// is the equivalent persistent form of our LogRecord stream. Fixed
+// 52-byte little-endian records behind a small header. Used by the
+// bench harness to generate the 15-month world once and stream it into
+// every experiment, and usable as a general interchange format.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "sim/record.hpp"
+
+namespace v6sonar::sim {
+
+inline constexpr std::uint64_t kLogMagic = 0x56'36'53'4C'4F'47'30'31ULL;  // "V6SLOG01"
+
+/// Streaming writer. Throws std::runtime_error on I/O errors.
+class LogWriter {
+ public:
+  explicit LogWriter(const std::string& path);
+  ~LogWriter();
+  LogWriter(const LogWriter&) = delete;
+  LogWriter& operator=(const LogWriter&) = delete;
+
+  void write(const LogRecord& r);
+  /// Finalize the header (record count) and close.
+  void close();
+
+  [[nodiscard]] std::uint64_t written() const noexcept { return count_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::uint64_t count_ = 0;
+};
+
+/// Streaming reader; a RecordStream, so it plugs into the pipeline
+/// anywhere a generator does.
+class LogReader final : public RecordStream {
+ public:
+  explicit LogReader(const std::string& path);
+  ~LogReader() override;
+  LogReader(const LogReader&) = delete;
+  LogReader& operator=(const LogReader&) = delete;
+
+  [[nodiscard]] std::optional<LogRecord> next() override;
+
+  [[nodiscard]] std::uint64_t total_records() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace v6sonar::sim

@@ -1,0 +1,18 @@
+#include "sim/merge.hpp"
+
+#include <algorithm>
+
+namespace v6sonar::sim {
+
+VectorStream::VectorStream(std::vector<LogRecord> records) : records_(std::move(records)) {
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const LogRecord& a, const LogRecord& b) { return a.ts_us < b.ts_us; });
+}
+
+std::vector<LogRecord> drain(RecordStream& s) {
+  std::vector<LogRecord> out;
+  while (auto r = s.next()) out.push_back(*r);
+  return out;
+}
+
+}  // namespace v6sonar::sim

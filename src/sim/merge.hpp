@@ -1,0 +1,69 @@
+// K-way time-ordered merge of record streams.
+#pragma once
+
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/record.hpp"
+
+namespace v6sonar::sim {
+
+/// Merges any number of time-sorted RecordStreams into one sorted
+/// stream. Ties are broken by source index, keeping the merge stable
+/// and deterministic.
+class MergedStream final : public RecordStream {
+ public:
+  explicit MergedStream(std::vector<std::unique_ptr<RecordStream>> sources)
+      : sources_(std::move(sources)) {
+    for (std::size_t i = 0; i < sources_.size(); ++i) refill(i);
+  }
+
+  [[nodiscard]] std::optional<LogRecord> next() override {
+    if (heap_.empty()) return std::nullopt;
+    Entry top = heap_.top();
+    heap_.pop();
+    refill(top.source);
+    return top.rec;
+  }
+
+ private:
+  struct Entry {
+    LogRecord rec;
+    std::size_t source;
+    // Min-heap on (timestamp, source index) via reversed comparison.
+    friend bool operator<(const Entry& a, const Entry& b) noexcept {
+      if (a.rec.ts_us != b.rec.ts_us) return a.rec.ts_us > b.rec.ts_us;
+      return a.source > b.source;
+    }
+  };
+
+  void refill(std::size_t i) {
+    if (auto r = sources_[i]->next()) heap_.push(Entry{*r, i});
+  }
+
+  std::vector<std::unique_ptr<RecordStream>> sources_;
+  std::priority_queue<Entry> heap_;
+};
+
+/// Adapts a pre-built vector of records (sorted by the constructor)
+/// into a stream; convenient in tests.
+class VectorStream final : public RecordStream {
+ public:
+  explicit VectorStream(std::vector<LogRecord> records);
+
+  [[nodiscard]] std::optional<LogRecord> next() override {
+    if (pos_ >= records_.size()) return std::nullopt;
+    return records_[pos_++];
+  }
+
+ private:
+  std::vector<LogRecord> records_;
+  std::size_t pos_ = 0;
+};
+
+/// Drains a stream to a vector (tests/small worlds only).
+[[nodiscard]] std::vector<LogRecord> drain(RecordStream& s);
+
+}  // namespace v6sonar::sim

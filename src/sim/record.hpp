@@ -1,0 +1,55 @@
+// The unsolicited-traffic log record: the unit every stage of the
+// pipeline exchanges (scanner generators -> telescope filter ->
+// artifact filter -> scan detector -> analyses).
+//
+// This mirrors the fields available in the paper's CDN firewall logs
+// plus two ground-truth annotations (source ASN, DNS exposure of the
+// destination) that the paper derived by joining external data; here
+// the simulator provides them and analyses must join the same way.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/ipv6.hpp"
+#include "wire/packet.hpp"
+
+namespace v6sonar::sim {
+
+/// Microsecond-resolution simulation timestamp (Unix epoch, UTC).
+using TimeUs = std::int64_t;
+
+inline constexpr TimeUs kUsPerSecond = 1'000'000;
+
+[[nodiscard]] constexpr TimeUs us_from_seconds(std::int64_t sec) noexcept {
+  return sec * kUsPerSecond;
+}
+[[nodiscard]] constexpr std::int64_t seconds_of(TimeUs us) noexcept {
+  return us / kUsPerSecond;
+}
+
+struct LogRecord {
+  TimeUs ts_us = 0;
+  net::Ipv6Address src;
+  net::Ipv6Address dst;
+  wire::IpProto proto = wire::IpProto::kTcp;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t frame_len = 0;
+
+  // Ground-truth annotations (filled by the telescope / registry join).
+  std::uint32_t src_asn = 0;  ///< 0 = unknown
+  bool dst_in_dns = false;    ///< destination address is DNS-exposed
+
+  friend bool operator==(const LogRecord&, const LogRecord&) = default;
+};
+
+/// Pull-based record stream. Implementations yield records in
+/// non-decreasing timestamp order; nullopt ends the stream.
+class RecordStream {
+ public:
+  virtual ~RecordStream() = default;
+  [[nodiscard]] virtual std::optional<LogRecord> next() = 0;
+};
+
+}  // namespace v6sonar::sim

@@ -1,0 +1,197 @@
+#include "telescope/artifacts.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/timebase.hpp"
+
+namespace v6sonar::telescope {
+
+namespace {
+
+using net::Ipv6Address;
+using sim::TimeUs;
+
+constexpr TimeUs kStart = sim::us_from_seconds(util::kWindowStart);
+constexpr TimeUs kEnd = sim::us_from_seconds(util::kWindowEnd);
+
+/// One artifact source: a /64 with a handful of /128s that repeatedly
+/// contacts a fixed destination set on one service port, for a span of
+/// days. Packets are emitted day by day at jittered times (sorted).
+class ArtifactSource final : public sim::RecordStream {
+ public:
+  struct Params {
+    std::uint64_t seed = 0;
+    Ipv6Address src_base;          ///< the source /64 (IID bits free)
+    int n128 = 1;                  ///< distinct source addresses used
+    std::uint32_t asn = 0;
+    wire::IpProto proto = wire::IpProto::kTcp;
+    std::uint16_t port = 25;
+    std::vector<Ipv6Address> destinations;  ///< the CDN machines hit
+    double repeats_per_day = 12;   ///< mean packets per destination per day
+    TimeUs first_day = kStart;
+    int active_days = 5;
+    bool random_iid = true;        ///< SLAAC-like random IIDs (vs low ones)
+  };
+
+  explicit ArtifactSource(Params p) : p_(std::move(p)), rng_(p_.seed) {
+    if (p_.destinations.empty()) throw std::invalid_argument("ArtifactSource: no destinations");
+    if (p_.n128 < 1) throw std::invalid_argument("ArtifactSource: n128 must be >= 1");
+    srcs_.reserve(static_cast<std::size_t>(p_.n128));
+    for (int i = 0; i < p_.n128; ++i)
+      srcs_.push_back(p_.src_base.with_iid(p_.random_iid ? rng_() : 0x10 + static_cast<std::uint64_t>(i)));
+    begin_day();
+  }
+
+  // Retries follow real MTA/IKE behaviour: each destination is revisited
+  // once per round, rounds spread evenly through the day. Iterating
+  // (round, destination) in order yields monotone timestamps with O(1)
+  // state — important because thousands of artifact streams are alive
+  // inside one merge.
+  [[nodiscard]] std::optional<sim::LogRecord> next() override {
+    while (true) {
+      if (day_ >= p_.active_days) return std::nullopt;
+      if (round_ >= rounds_today_) {
+        ++day_;
+        begin_day();
+        continue;
+      }
+      const TimeUs day_start = p_.first_day + day_ * 86'400LL * sim::kUsPerSecond;
+      if (day_start >= kEnd) return std::nullopt;
+      const std::size_t n = p_.destinations.size();
+      const TimeUs slot = 86'400LL * sim::kUsPerSecond / rounds_today_;
+      const TimeUs sub = slot / static_cast<TimeUs>(n);
+      sim::LogRecord r;
+      r.ts_us = day_start + round_ * slot + static_cast<TimeUs>(dst_pos_) * sub +
+                static_cast<TimeUs>(rng_.below(static_cast<std::uint64_t>(sub > 1 ? sub : 1)));
+      r.src = srcs_[rng_.below(srcs_.size())];
+      r.dst = p_.destinations[dst_pos_];
+      r.proto = p_.proto;
+      r.src_port = static_cast<std::uint16_t>(32'768 + rng_.below(28'000));
+      r.dst_port = p_.port;
+      // Artifact frames vary in size (real handshakes and payloads),
+      // unlike the constant-size scan probes.
+      r.frame_len = static_cast<std::uint16_t>(74 + rng_.below(400));
+      r.src_asn = p_.asn;
+      if (++dst_pos_ >= n) {
+        dst_pos_ = 0;
+        ++round_;
+      }
+      return r;
+    }
+  }
+
+ private:
+  void begin_day() {
+    // Rounds per day: Poisson-ish around repeats_per_day, at least 1.
+    const double jitter = 0.5 + rng_.unit();
+    rounds_today_ = std::max<TimeUs>(1, static_cast<TimeUs>(p_.repeats_per_day * jitter));
+    round_ = 0;
+    dst_pos_ = 0;
+  }
+
+  Params p_;
+  util::Xoshiro256 rng_;
+  std::vector<Ipv6Address> srcs_;
+  int day_ = 0;
+  TimeUs rounds_today_ = 1;
+  TimeUs round_ = 0;
+  std::size_t dst_pos_ = 0;
+};
+
+}  // namespace
+
+net::Ipv6Prefix client_as_prefix(std::uint32_t k) {
+  const std::uint64_t hi = (0x2400'0000ULL + k) << 32;
+  return {Ipv6Address{hi, 0}, 32};
+}
+
+std::vector<std::unique_ptr<sim::RecordStream>> build_artifacts(
+    const ArtifactConfig& cfg, sim::AsRegistry& registry, scanner::TargetList dns) {
+  if (!dns || dns->empty()) throw std::invalid_argument("build_artifacts: empty target list");
+
+  util::Xoshiro256 rng(util::derive_seed(cfg.seed, 0xA271FAC7));
+
+  for (std::uint32_t k = 0; k < cfg.client_networks; ++k) {
+    sim::AsInfo info;
+    info.asn = cfg.first_asn + k;
+    info.type = sim::AsType::kIsp;
+    info.country = "various";
+    info.allocations = {client_as_prefix(k)};
+    registry.add(std::move(info));
+  }
+
+  auto src_base = [&](std::uint32_t k) {
+    return Ipv6Address{client_as_prefix(k).address().hi() | rng.below(0x1'0000'0000ULL), 0};
+  };
+  auto pick_destinations = [&](std::size_t n) {
+    std::vector<Ipv6Address> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back((*dns)[rng.below(dns->size())]);
+    return out;
+  };
+  const std::int64_t window_days = (kEnd - kStart) / (86'400LL * sim::kUsPerSecond);
+
+  std::vector<std::unique_ptr<sim::RecordStream>> out;
+  out.reserve(cfg.smtp_sources + cfg.ipsec_sources + cfg.misc_clients);
+
+  for (std::size_t i = 0; i < cfg.smtp_sources; ++i) {
+    ArtifactSource::Params p;
+    p.seed = util::derive_seed(cfg.seed, 0x511D0 + i);
+    p.asn = cfg.first_asn + static_cast<std::uint32_t>(rng.below(cfg.client_networks));
+    p.src_base = src_base(p.asn - cfg.first_asn);
+    p.n128 = 1 + static_cast<int>(rng.below(3));
+    p.proto = wire::IpProto::kTcp;
+    p.port = 25;
+    // The CDN mapping process spreads one failing domain across many
+    // machines over time.
+    p.destinations = pick_destinations(20 + rng.below(180));
+    // Real MTA retry schedules revisit every 15-60 minutes; well above
+    // the 5-duplicate bar even on the slowest days.
+    p.repeats_per_day = 20 + rng.unit() * 40;
+    p.first_day = kStart + static_cast<TimeUs>(rng.below(static_cast<std::uint64_t>(window_days))) *
+                               86'400LL * sim::kUsPerSecond;
+    p.active_days = 2 + static_cast<int>(rng.below(9));
+    out.push_back(std::make_unique<ArtifactSource>(std::move(p)));
+  }
+
+  for (std::size_t i = 0; i < cfg.ipsec_sources; ++i) {
+    ArtifactSource::Params p;
+    p.seed = util::derive_seed(cfg.seed, 0x1b5ec0 + i);
+    p.asn = cfg.first_asn + static_cast<std::uint32_t>(rng.below(cfg.client_networks));
+    p.src_base = src_base(p.asn - cfg.first_asn);
+    p.n128 = 1 + static_cast<int>(rng.below(2));
+    p.proto = wire::IpProto::kUdp;
+    p.port = 500;
+    p.destinations = pick_destinations(10 + rng.below(150));
+    p.repeats_per_day = 16 + rng.unit() * 30;
+    p.first_day = kStart + static_cast<TimeUs>(rng.below(static_cast<std::uint64_t>(window_days))) *
+                               86'400LL * sim::kUsPerSecond;
+    p.active_days = 2 + static_cast<int>(rng.below(7));
+    out.push_back(std::make_unique<ArtifactSource>(std::move(p)));
+  }
+
+  // Misconfigured clients: 1-5 destinations, a couple of packets,
+  // one or two days; Fig. 1's near-origin mass.
+  const std::uint16_t odd_ports[] = {137, 139, 445, 1900, 3702, 5060, 5355};
+  for (std::size_t i = 0; i < cfg.misc_clients; ++i) {
+    ArtifactSource::Params p;
+    p.seed = util::derive_seed(cfg.seed, 0x3175C0 + i);
+    p.asn = cfg.first_asn + static_cast<std::uint32_t>(rng.below(cfg.client_networks));
+    p.src_base = src_base(p.asn - cfg.first_asn);
+    p.n128 = 1;
+    p.proto = rng.chance(0.5) ? wire::IpProto::kUdp : wire::IpProto::kTcp;
+    p.port = odd_ports[rng.below(std::size(odd_ports))];
+    p.destinations = pick_destinations(1 + rng.below(5));
+    p.repeats_per_day = 1 + rng.unit() * 2;
+    p.first_day = kStart + static_cast<TimeUs>(rng.below(static_cast<std::uint64_t>(window_days))) *
+                               86'400LL * sim::kUsPerSecond;
+    p.active_days = 1 + static_cast<int>(rng.below(2));
+    out.push_back(std::make_unique<ArtifactSource>(std::move(p)));
+  }
+
+  return out;
+}
+
+}  // namespace v6sonar::telescope

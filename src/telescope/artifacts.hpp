@@ -1,0 +1,45 @@
+// CDN connection-artifact traffic (§2.1, Appendix A.1).
+//
+// The telescope's client-facing addresses attract traffic that looks
+// scan-like but isn't: SMTP servers falling back to AAAA records when
+// a CDN-hosted domain has no MX (TCP/25 retries against many
+// machines), hosts retrying ISAKMP/IPsec (UDP/500), and misconfigured
+// web clients coupling odd-port probes to ordinary connections. These
+// populate the near-origin mass of Fig. 1 and are what the
+// 5-duplicate filter exists to remove.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "scanner/targeting.hpp"
+#include "sim/as_registry.hpp"
+#include "sim/record.hpp"
+
+namespace v6sonar::telescope {
+
+struct ArtifactConfig {
+  std::uint64_t seed = 5;
+  /// SMTP MX-fallback retry sources (TCP/25, heavy 5-duplicates).
+  std::size_t smtp_sources = 600;
+  /// ISAKMP/IPsec retry sources (UDP/500, heavy 5-duplicates).
+  std::size_t ipsec_sources = 400;
+  /// Misconfigured clients: few destinations, few packets each.
+  std::size_t misc_clients = 25'000;
+  /// Client networks the artifact sources live in.
+  std::size_t client_networks = 250;
+  std::uint32_t first_asn = 300'000;
+};
+
+/// Build the artifact source streams and register the client ISP ASes.
+/// `dns_targets` must be the telescope's client-facing addresses (only
+/// those attract artifacts).
+[[nodiscard]] std::vector<std::unique_ptr<sim::RecordStream>> build_artifacts(
+    const ArtifactConfig& config, sim::AsRegistry& registry,
+    scanner::TargetList dns_targets);
+
+/// The artifact client address plan: client network k owns 2400:k::/32.
+[[nodiscard]] net::Ipv6Prefix client_as_prefix(std::uint32_t k);
+
+}  // namespace v6sonar::telescope

@@ -1,0 +1,124 @@
+#include "telescope/deployment.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace v6sonar::telescope {
+
+namespace {
+
+/// CDN deployment address plan: AS j owns 0x2600'0000+j::/32. This
+/// region is reserved for the telescope; scanner/artifact ASes are
+/// allocated elsewhere (see scanner::Cast and telescope::artifacts).
+net::Ipv6Prefix cdn_as_prefix(std::size_t j) {
+  const std::uint64_t hi = (0x2600'0000ULL + j) << 32;
+  return {net::Ipv6Address{hi, 0}, 32};
+}
+
+}  // namespace
+
+CdnTelescope::CdnTelescope(const DeploymentConfig& config, sim::AsRegistry& registry)
+    : registry_(&registry) {
+  if (config.machines == 0 || config.networks == 0)
+    throw std::invalid_argument("CdnTelescope: empty deployment");
+  if (config.dns_pair_subset > config.machines)
+    throw std::invalid_argument("CdnTelescope: pair subset exceeds machine count");
+
+  util::Xoshiro256 rng(util::derive_seed(config.seed, /*stream=*/0xCD17));
+
+  // Register the CDN ASes. Network sizes are skewed: a few large
+  // deployment networks host most machines (matching how CDNs deploy).
+  for (std::size_t j = 0; j < config.networks; ++j) {
+    sim::AsInfo info;
+    info.asn = config.first_asn + static_cast<std::uint32_t>(j);
+    info.type = sim::AsType::kCdn;
+    info.country = "various";
+    info.allocations = {cdn_as_prefix(j)};
+    registry.add(std::move(info));
+  }
+  util::ZipfSampler network_popularity(config.networks, 1.0);
+
+  machines_.reserve(config.machines);
+  dns_addresses_.reserve(config.machines);
+  all_addresses_.reserve(config.machines * 2);
+  dns_set_.reserve(config.machines * 2);
+  all_set_.reserve(config.machines * 4);
+
+  for (std::size_t i = 0; i < config.machines; ++i) {
+    const std::size_t j = network_popularity.sample(rng);
+    const net::Ipv6Prefix as_prefix = cdn_as_prefix(j);
+
+    // Each machine sits in a rack /64: AS /32 + structured site bits
+    // (deployments number racks, they don't randomize them — which is
+    // exactly why Entropy/IP-style TGAs work against real networks;
+    // see bench_tga).
+    const std::uint64_t site = rng.below(4'096);
+    const net::Ipv6Address base{as_prefix.address().hi() | site, 0};
+
+    // Server IIDs are operator-assigned and structured (low Hamming
+    // weight), matching what public hitlists observe: a small host
+    // index within the rack /64.
+    const std::uint64_t host_index = 1 + rng.below(200);
+    Machine m;
+    m.asn = config.first_asn + static_cast<std::uint32_t>(j);
+    m.client_facing = base.with_iid(host_index);
+    // The non-client-facing twin is nearby: within the same /123 most
+    // of the time (low-5-bit perturbation), otherwise within the /120.
+    if (rng.chance(0.8)) {
+      m.non_client_facing = base.with_iid(host_index ^ (1 + rng.below(31)));
+    } else {
+      m.non_client_facing = m.client_facing.plus(32 + rng.below(220));
+    }
+
+    if (all_set_.contains(m.client_facing) || all_set_.contains(m.non_client_facing)) {
+      --i;  // rare /64 collision: retry with a fresh site
+      continue;
+    }
+    all_set_.insert(m.client_facing);
+    all_set_.insert(m.non_client_facing);
+    dns_set_.insert(m.client_facing);
+    dns_addresses_.push_back(m.client_facing);
+    all_addresses_.push_back(m.client_facing);
+    all_addresses_.push_back(m.non_client_facing);
+    machines_.push_back(m);
+  }
+
+  // The §3.3 pair study uses the subset whose pairs are tightest in
+  // address space (within a /123).
+  pair_study_.reserve(config.dns_pair_subset);
+  for (const auto& m : machines_) {
+    if (pair_study_.size() >= config.dns_pair_subset) break;
+    if (m.client_facing.common_prefix_len(m.non_client_facing) >= 123)
+      pair_study_.push_back(m);
+  }
+}
+
+bool CdnTelescope::owns(const net::Ipv6Address& a) const noexcept {
+  return all_set_.contains(a);
+}
+
+bool CdnTelescope::in_dns(const net::Ipv6Address& a) const noexcept {
+  return dns_set_.contains(a);
+}
+
+bool CdnTelescope::captures(const sim::LogRecord& r) const noexcept {
+  if (r.proto == wire::IpProto::kIcmpv6) return false;
+  if (r.proto == wire::IpProto::kTcp && (r.dst_port == 80 || r.dst_port == 443)) return false;
+  // Non-global sources (link-local, ULA, loopback, multicast) cannot
+  // legitimately arrive over the public internet; real ingest drops
+  // them before any accounting.
+  if (!net::is_global_unicast(r.src)) return false;
+  return owns(r.dst);
+}
+
+bool CdnTelescope::capture_and_annotate(sim::LogRecord& r) const noexcept {
+  if (!captures(r)) return false;
+  r.dst_in_dns = in_dns(r.dst);
+  // Generators stamp their ASN; the registry join is the (slower)
+  // fallback for externally produced records, e.g. pcap imports.
+  if (r.src_asn == 0) r.src_asn = registry_->asn_of(r.src);
+  return true;
+}
+
+}  // namespace v6sonar::telescope

@@ -1,0 +1,94 @@
+// CDN telescope deployment model.
+//
+// Simulates the paper's vantage point (§2.1): ~230,000 machines in
+// 700+ ASes, each machine holding a client-facing (DNS-exposed) IPv6
+// address and a non-client-facing address nearby in address space
+// (often within the same /123), plus the firewall capture rule
+// (unsolicited packets except TCP/80, TCP/443, and ICMPv6).
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "net/ipv6.hpp"
+#include "net/prefix.hpp"
+#include "sim/as_registry.hpp"
+#include "sim/record.hpp"
+
+namespace v6sonar::telescope {
+
+struct DeploymentConfig {
+  std::uint64_t seed = 1;
+  std::size_t machines = 230'000;
+  std::size_t networks = 700;        ///< CDN ASes hosting machines
+  std::size_t dns_pair_subset = 160'000;  ///< §3.3 in/not-in-DNS pair study size
+  std::uint32_t first_asn = 64'512;  ///< CDN AS numbers start here (private range)
+};
+
+/// One CDN machine's address pair.
+struct Machine {
+  net::Ipv6Address client_facing;      ///< returned in DNS responses
+  net::Ipv6Address non_client_facing;  ///< never in DNS; close in address space
+  std::uint32_t asn = 0;
+};
+
+class CdnTelescope {
+ public:
+  /// Builds the deployment and registers the CDN ASes in `registry`.
+  /// The registry must outlive the telescope.
+  CdnTelescope(const DeploymentConfig& config, sim::AsRegistry& registry);
+
+  [[nodiscard]] const std::vector<Machine>& machines() const noexcept { return machines_; }
+  [[nodiscard]] std::size_t machine_count() const noexcept { return machines_.size(); }
+
+  /// Is this address one of ours (either kind)?
+  [[nodiscard]] bool owns(const net::Ipv6Address& a) const noexcept;
+
+  /// Is this address DNS-exposed (client-facing)?
+  [[nodiscard]] bool in_dns(const net::Ipv6Address& a) const noexcept;
+
+  /// Firewall capture predicate (§2.1): true if an unsolicited packet
+  /// to this destination/port/proto would be logged. TCP/80 and
+  /// TCP/443 serve production traffic and are not logged; ICMPv6 is
+  /// not collected.
+  [[nodiscard]] bool captures(const sim::LogRecord& r) const noexcept;
+
+  /// Annotate a record with ground truth (dst_in_dns, src_asn) using
+  /// the shared registry. Returns false if the destination is not a
+  /// telescope address or the firewall would not log it.
+  [[nodiscard]] bool capture_and_annotate(sim::LogRecord& r) const noexcept;
+
+  /// All client-facing addresses — what a DNS-based target strategy
+  /// or a public hitlist would learn.
+  [[nodiscard]] const std::vector<net::Ipv6Address>& dns_addresses() const noexcept {
+    return dns_addresses_;
+  }
+
+  /// All addresses (client- and non-client-facing), the full target
+  /// universe an omniscient scanner could hit.
+  [[nodiscard]] const std::vector<net::Ipv6Address>& all_addresses() const noexcept {
+    return all_addresses_;
+  }
+
+  /// The §3.3 pair-study subset: machines whose (in-DNS, not-in-DNS)
+  /// address pair lies within a small window (/123), enabling the
+  /// "nearby probe" inference.
+  [[nodiscard]] const std::vector<Machine>& dns_pair_study() const noexcept {
+    return pair_study_;
+  }
+
+  CdnTelescope(const CdnTelescope&) = delete;
+  CdnTelescope& operator=(const CdnTelescope&) = delete;
+
+ private:
+  const sim::AsRegistry* registry_;
+  std::vector<Machine> machines_;
+  std::vector<Machine> pair_study_;
+  std::vector<net::Ipv6Address> dns_addresses_;
+  std::vector<net::Ipv6Address> all_addresses_;
+  std::unordered_set<net::Ipv6Address> dns_set_;
+  std::unordered_set<net::Ipv6Address> all_set_;
+};
+
+}  // namespace v6sonar::telescope

@@ -1,0 +1,91 @@
+#include "telescope/world.hpp"
+
+#include <stdexcept>
+
+#include "sim/merge.hpp"
+#include "util/rng.hpp"
+
+namespace v6sonar::telescope {
+
+WorldConfig WorldConfig::small() {
+  WorldConfig w;
+  w.deployment.machines = 8'000;
+  w.deployment.networks = 120;
+  w.deployment.dns_pair_subset = 5'000;
+  w.hitlist.external_addresses = 5'000;
+  w.artifacts.smtp_sources = 60;
+  w.artifacts.ipsec_sources = 40;
+  w.artifacts.misc_clients = 800;
+  w.artifacts.client_networks = 40;
+  w.cast.megascanner_thinning = 1.0 / 512.0;
+  return w;
+}
+
+CdnWorld::CdnWorld(const WorldConfig& config) : config_(config) {
+  // Derive sub-seeds so components get independent streams even if the
+  // sub-configs share default seeds.
+  config_.deployment.seed = util::derive_seed(config_.seed, 1);
+  config_.hitlist.seed = util::derive_seed(config_.seed, 2);
+  config_.artifacts.seed = util::derive_seed(config_.seed, 3);
+  config_.cast.seed = util::derive_seed(config_.seed, 4);
+
+  telescope_ = std::make_unique<CdnTelescope>(config_.deployment, registry_);
+  hitlist_ = std::make_unique<scanner::Hitlist>(config_.hitlist, telescope_->dns_addresses());
+
+  auto dns = std::make_shared<const std::vector<net::Ipv6Address>>(telescope_->dns_addresses());
+  auto all = std::make_shared<const std::vector<net::Ipv6Address>>(telescope_->all_addresses());
+
+  auto cast = scanner::build_cast(config_.cast, registry_, dns, all, *hitlist_);
+  actors_ = std::move(cast.actors);
+  streams_ = std::move(cast.streams);
+
+  auto artifacts = build_artifacts(config_.artifacts, registry_, dns);
+  for (auto& s : artifacts) streams_.push_back(std::move(s));
+}
+
+std::uint32_t CdnWorld::asn_of_rank(int rank) const noexcept {
+  for (const auto& a : actors_)
+    if (a.paper_rank == rank) return a.asn;
+  return 0;
+}
+
+void CdnWorld::run(const std::function<void(const sim::LogRecord&)>& sink,
+                   core::ArtifactFilter::StatsSink filter_stats) {
+  if (consumed_)
+    throw std::logic_error("CdnWorld::run: generators already consumed; build a new world");
+  consumed_ = true;
+
+  sim::MergedStream merged(std::move(streams_));
+  streams_.clear();
+
+  if (config_.apply_artifact_filter) {
+    core::ArtifactFilter filter({}, sink, std::move(filter_stats));
+    while (auto r = merged.next()) {
+      if (telescope_->capture_and_annotate(*r)) filter.feed(*r);
+    }
+    filter.flush();
+  } else {
+    while (auto r = merged.next()) {
+      if (telescope_->capture_and_annotate(*r)) sink(*r);
+    }
+  }
+}
+
+std::vector<std::vector<core::ScanEvent>> CdnWorld::run_detectors(
+    const std::vector<core::DetectorConfig>& configs) {
+  std::vector<std::vector<core::ScanEvent>> results(configs.size());
+  std::vector<std::unique_ptr<core::ScanDetector>> detectors;
+  detectors.reserve(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    detectors.push_back(std::make_unique<core::ScanDetector>(
+        configs[i],
+        [&results, i](core::ScanEvent&& ev) { results[i].push_back(std::move(ev)); }));
+  }
+  run([&](const sim::LogRecord& r) {
+    for (auto& d : detectors) d->feed(r);
+  });
+  for (auto& d : detectors) d->flush();
+  return results;
+}
+
+}  // namespace v6sonar::telescope

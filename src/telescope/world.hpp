@@ -1,0 +1,70 @@
+// CdnWorld: the full CDN-vantage-point simulation wired together —
+// registry, telescope deployment, hitlist, scan-actor cast, artifact
+// traffic, firewall capture, and the 5-duplicate artifact filter.
+// This is the object benches, tests, and examples instantiate.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/artifact_filter.hpp"
+#include "core/detector.hpp"
+#include "scanner/cast.hpp"
+#include "scanner/hitlist.hpp"
+#include "sim/as_registry.hpp"
+#include "telescope/artifacts.hpp"
+#include "telescope/deployment.hpp"
+
+namespace v6sonar::telescope {
+
+struct WorldConfig {
+  std::uint64_t seed = 42;
+  DeploymentConfig deployment;
+  scanner::Hitlist::Config hitlist;
+  ArtifactConfig artifacts;
+  scanner::CastConfig cast;
+  /// Apply the §2.1 5-duplicate filter before handing records out.
+  bool apply_artifact_filter = true;
+
+  /// A reduced world for tests and fast benches: fewer machines,
+  /// fewer artifact sources, heavier thinning.
+  [[nodiscard]] static WorldConfig small();
+};
+
+class CdnWorld {
+ public:
+  explicit CdnWorld(const WorldConfig& config);
+
+  [[nodiscard]] const sim::AsRegistry& registry() const noexcept { return registry_; }
+  [[nodiscard]] const CdnTelescope& telescope() const noexcept { return *telescope_; }
+  [[nodiscard]] const scanner::Hitlist& hitlist() const noexcept { return *hitlist_; }
+  [[nodiscard]] const std::vector<scanner::ActorMeta>& actors() const noexcept {
+    return actors_;
+  }
+  /// The cast's ASN for a paper rank (0 if absent).
+  [[nodiscard]] std::uint32_t asn_of_rank(int rank) const noexcept;
+
+  /// Stream the full 15-month log through `sink` (captured, annotated,
+  /// and — unless disabled — artifact-filtered) in time order.
+  /// Single-shot: the generators are consumed. `filter_stats`
+  /// (optional) receives per-day artifact-filter summaries.
+  void run(const std::function<void(const sim::LogRecord&)>& sink,
+           core::ArtifactFilter::StatsSink filter_stats = {});
+
+  /// Convenience: run once, feeding detectors at each config, and
+  /// return the scan events per config.
+  [[nodiscard]] std::vector<std::vector<core::ScanEvent>> run_detectors(
+      const std::vector<core::DetectorConfig>& configs);
+
+ private:
+  WorldConfig config_;
+  sim::AsRegistry registry_;
+  std::unique_ptr<CdnTelescope> telescope_;
+  std::unique_ptr<scanner::Hitlist> hitlist_;
+  std::vector<scanner::ActorMeta> actors_;
+  std::vector<std::unique_ptr<sim::RecordStream>> streams_;
+  bool consumed_ = false;
+};
+
+}  // namespace v6sonar::telescope

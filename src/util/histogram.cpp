@@ -1,0 +1,70 @@
+#include "util/histogram.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace v6sonar::util {
+
+LogHistogram2D::LogHistogram2D(std::size_t decades_x, std::size_t decades_y)
+    : dx_(decades_x), dy_(decades_y), cells_(decades_x * decades_y, 0) {
+  if (decades_x == 0 || decades_y == 0)
+    throw std::invalid_argument("LogHistogram2D: zero-sized axis");
+}
+
+std::size_t LogHistogram2D::decade_of(std::uint64_t v, std::size_t max_bins) noexcept {
+  if (v < 10) return 0;
+  std::size_t d = 0;
+  while (v >= 10 && d + 1 < max_bins) {
+    v /= 10;
+    ++d;
+  }
+  return d;
+}
+
+void LogHistogram2D::add(std::uint64_t x, std::uint64_t y, std::uint64_t weight) noexcept {
+  const std::size_t bx = decade_of(x == 0 ? 1 : x, dx_);
+  const std::size_t by = decade_of(y == 0 ? 1 : y, dy_);
+  cells_[by * dx_ + bx] += weight;
+}
+
+std::uint64_t LogHistogram2D::at(std::size_t bx, std::size_t by) const {
+  if (bx >= dx_ || by >= dy_) throw std::out_of_range("LogHistogram2D::at");
+  return cells_[by * dx_ + bx];
+}
+
+std::uint64_t LogHistogram2D::total() const noexcept {
+  std::uint64_t t = 0;
+  for (auto c : cells_) t += c;
+  return t;
+}
+
+std::string LogHistogram2D::render(const std::string& x_label,
+                                   const std::string& y_label) const {
+  std::string out;
+  out += y_label + " (decades, top = largest)\n";
+  for (std::size_t by = dy_; by-- > 0;) {
+    char head[32];
+    std::snprintf(head, sizeof head, "10^%zu | ", by);
+    out += head;
+    for (std::size_t bx = 0; bx < dx_; ++bx) {
+      char cell[24];
+      std::snprintf(cell, sizeof cell, "%10llu",
+                    static_cast<unsigned long long>(cells_[by * dx_ + bx]));
+      out += cell;
+    }
+    out += '\n';
+  }
+  out += "      +";
+  for (std::size_t bx = 0; bx < dx_; ++bx) out += "----------";
+  out += '\n';
+  out += "        ";
+  for (std::size_t bx = 0; bx < dx_; ++bx) {
+    char cell[24];
+    std::snprintf(cell, sizeof cell, "%9s%zu", "10^", bx);
+    out += cell;
+  }
+  out += "   <- " + x_label + '\n';
+  return out;
+}
+
+}  // namespace v6sonar::util

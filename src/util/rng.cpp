@@ -1,0 +1,41 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace v6sonar::util {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: empty support");
+  if (s < 0.0) throw std::invalid_argument("ZipfSampler: negative exponent");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = acc;
+  }
+  for (auto& v : cdf_) v /= acc;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfSampler::sample(Xoshiro256& rng) const noexcept {
+  const double u = rng.unit();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(std::distance(cdf_.begin(), it));
+}
+
+double exponential_gap(Xoshiro256& rng, double rate_per_sec) noexcept {
+  if (rate_per_sec <= 0.0) return 1e18;  // effectively never
+  // unit() is in [0,1); 1-u is in (0,1] so the log is finite.
+  return -std::log(1.0 - rng.unit()) / rate_per_sec;
+}
+
+double standard_normal(Xoshiro256& rng) noexcept {
+  double u1 = rng.unit();
+  while (u1 <= 0.0) u1 = rng.unit();
+  const double u2 = rng.unit();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+}  // namespace v6sonar::util

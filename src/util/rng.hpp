@@ -1,0 +1,139 @@
+// Deterministic pseudo-random number generation for simulation.
+//
+// All randomness in v6sonar flows through these generators. They are
+// seeded explicitly (never from wall clock or global state), so a given
+// WorldConfig seed reproduces byte-identical experiment tables.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace v6sonar::util {
+
+/// SplitMix64: fast 64-bit mixer, used to derive independent sub-seeds
+/// from a master seed. Passes BigCrush when used as a generator.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64-bit value.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless mix of a seed and a stream id; used to derive per-component
+/// seeds so that adding a component never perturbs another's stream.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t master,
+                                                  std::uint64_t stream) noexcept {
+  SplitMix64 sm(master ^ (0x6a09e667f3bcc909ULL + stream * 0x9e3779b97f4a7c15ULL));
+  sm.next();
+  return sm.next();
+}
+
+/// xoshiro256**: the workhorse generator. Satisfies
+/// std::uniform_random_bit_generator so it can drive <random>
+/// distributions where needed, though most call sites use the bounded
+/// helpers below (which are portable across standard libraries).
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed) noexcept : s_{} {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound == 0 returns 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    __extension__ using Uint128 = unsigned __int128;
+    std::uint64_t x = (*this)();
+    Uint128 m = static_cast<Uint128>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<Uint128>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  constexpr std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double unit() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  constexpr bool chance(double p) noexcept { return unit() < p; }
+
+  /// Pick a uniformly random element index of a non-empty span.
+  template <typename T>
+  [[nodiscard]] constexpr const T& pick(std::span<const T> items) noexcept {
+    return items[static_cast<std::size_t>(below(items.size()))];
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+/// Samples ranks from a Zipf(s) distribution over {0, ..., n-1} using
+/// inverse-CDF on a precomputed table. Heavy-tailed popularity is the
+/// natural model for scanner port preferences and target popularity.
+class ZipfSampler {
+ public:
+  /// n: support size (>0); s: exponent (s >= 0; s = 0 is uniform).
+  ZipfSampler(std::size_t n, double s);
+
+  /// Draw a rank in [0, n).
+  [[nodiscard]] std::size_t sample(Xoshiro256& rng) const noexcept;
+
+  [[nodiscard]] std::size_t support() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Exponential inter-arrival sampler for Poisson processes: returns the
+/// gap to the next event, in seconds, for a process of the given rate
+/// (events per second).
+[[nodiscard]] double exponential_gap(Xoshiro256& rng, double rate_per_sec) noexcept;
+
+/// Standard normal variate (Box–Muller, one value per call).
+[[nodiscard]] double standard_normal(Xoshiro256& rng) noexcept;
+
+}  // namespace v6sonar::util

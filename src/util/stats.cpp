@@ -1,0 +1,74 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace v6sonar::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) throw std::invalid_argument("quantile: empty sample");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q out of [0,1]");
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= values.size()) return values.back();
+  return values[lo] * (1.0 - frac) + values[lo + 1] * frac;
+}
+
+double median(std::vector<double> values) { return quantile(std::move(values), 0.5); }
+
+double shannon_entropy(const std::vector<std::uint64_t>& counts) {
+  std::uint64_t total = 0;
+  for (auto c : counts) total += c;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (auto c : counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double normalized_entropy(const std::vector<std::uint64_t>& counts) {
+  std::size_t distinct = 0;
+  for (auto c : counts)
+    if (c != 0) ++distinct;
+  if (distinct <= 1) return 0.0;
+  return shannon_entropy(counts) / std::log2(static_cast<double>(distinct));
+}
+
+double top_k_share(std::vector<std::uint64_t> values, std::size_t k) {
+  if (values.empty() || k == 0) return 0.0;
+  std::sort(values.begin(), values.end(), std::greater<>());
+  std::uint64_t total = 0;
+  for (auto v : values) total += v;
+  if (total == 0) return 0.0;
+  std::uint64_t top = 0;
+  for (std::size_t i = 0; i < std::min(k, values.size()); ++i) top += values[i];
+  return static_cast<double>(top) / static_cast<double>(total);
+}
+
+}  // namespace v6sonar::util

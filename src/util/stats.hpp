@@ -1,0 +1,50 @@
+// Small statistics helpers shared by detectors and analyses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace v6sonar::util {
+
+/// Streaming count/mean/min/max accumulator (Welford for variance).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  ///< population variance
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact quantile of a sample (linear interpolation between order
+/// statistics, the "type 7" definition used by R and NumPy).
+/// q in [0,1]. Copies and sorts; intended for result-set sizes.
+[[nodiscard]] double quantile(std::vector<double> values, double q);
+
+/// Median shorthand.
+[[nodiscard]] double median(std::vector<double> values);
+
+/// Shannon entropy (base 2) of a discrete sample given per-symbol
+/// counts. Returns 0 for empty input. Normalized variants divide by
+/// log2(#distinct symbols), mapping to [0,1].
+[[nodiscard]] double shannon_entropy(const std::vector<std::uint64_t>& counts);
+[[nodiscard]] double normalized_entropy(const std::vector<std::uint64_t>& counts);
+
+/// Gini-style concentration: fraction of total mass held by the k
+/// largest values. values need not be sorted.
+[[nodiscard]] double top_k_share(std::vector<std::uint64_t> values, std::size_t k);
+
+}  // namespace v6sonar::util

@@ -1,0 +1,50 @@
+// Plain-text table rendering for bench output, mirroring the paper's
+// tables, plus a minimal CSV escape helper for machine-readable dumps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace v6sonar::util {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format
+/// with thousands separators so bench output reads like the paper.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Render with column alignment and a header rule.
+  [[nodiscard]] std::string render() const;
+
+  /// Render as CSV (RFC 4180 quoting).
+  [[nodiscard]] std::string render_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// 1234567 -> "1,234,567".
+[[nodiscard]] std::string with_commas(std::uint64_t v);
+
+/// Compact count like the paper's Table 2: 839000000 -> "839M",
+/// 4700000 -> "4.7M", 600000 -> "0.6M", 950 -> "950".
+[[nodiscard]] std::string compact_count(std::uint64_t v);
+
+/// Percentage with one decimal: 0.392 -> "39.2%"; values below 0.001
+/// render as "<=0.1%" like the paper.
+[[nodiscard]] std::string percent(double fraction);
+
+/// Fixed-precision double.
+[[nodiscard]] std::string fixed(double v, int decimals);
+
+/// RFC 4180 CSV field escaping.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+}  // namespace v6sonar::util

@@ -1,0 +1,25 @@
+#include "util/timebase.hpp"
+
+#include <cstdio>
+
+namespace v6sonar::util {
+
+std::string format_date(SimTime t) {
+  const CivilDate cd = date_of(t);
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02d", cd.year, cd.month, cd.day);
+  return buf;
+}
+
+std::string format_datetime(SimTime t) {
+  const CivilDate cd = date_of(t);
+  std::int64_t rem = t % kSecondsPerDay;
+  if (rem < 0) rem += kSecondsPerDay;
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02d %02d:%02d:%02d", cd.year, cd.month, cd.day,
+                static_cast<int>(rem / 3'600), static_cast<int>(rem / 60 % 60),
+                static_cast<int>(rem % 60));
+  return buf;
+}
+
+}  // namespace v6sonar::util

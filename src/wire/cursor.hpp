@@ -1,0 +1,92 @@
+// Bounds-checked big-endian byte cursors for header encode/decode.
+//
+// Decode paths return false / nullopt instead of throwing: malformed
+// packets are data, not errors (Core Guidelines E.* — exceptions are
+// for violated preconditions and unrecoverable states, and the packet
+// hot path must not pay for unwinding).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace v6sonar::wire {
+
+/// Reads big-endian integers from a byte span, tracking position.
+class Reader {
+ public:
+  explicit constexpr Reader(std::span<const std::uint8_t> data) noexcept : data_(data) {}
+
+  [[nodiscard]] constexpr std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] constexpr std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] constexpr bool ok() const noexcept { return !failed_; }
+
+  /// Read helpers: on underrun they set the failed flag and return 0;
+  /// callers check ok() once at the end (monadic style keeps the
+  /// decoders linear).
+  constexpr std::uint8_t u8() noexcept { return static_cast<std::uint8_t>(take(1)); }
+  constexpr std::uint16_t u16() noexcept { return static_cast<std::uint16_t>(take(2)); }
+  constexpr std::uint32_t u32() noexcept { return static_cast<std::uint32_t>(take(4)); }
+  constexpr std::uint64_t u64() noexcept { return take(8); }
+
+  /// View of the next n bytes (empty + failed on underrun); advances.
+  constexpr std::span<const std::uint8_t> bytes(std::size_t n) noexcept {
+    if (failed_ || remaining() < n) {
+      failed_ = true;
+      return {};
+    }
+    auto s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  constexpr void skip(std::size_t n) noexcept { (void)bytes(n); }
+
+ private:
+  constexpr std::uint64_t take(std::size_t n) noexcept {
+    if (failed_ || remaining() < n) {
+      failed_ = true;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < n; ++i) v = v << 8 | data_[pos_ + i];
+    pos_ += n;
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+/// Appends big-endian integers to a byte vector.
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out) noexcept : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+  void bytes(std::span<const std::uint8_t> b) { out_.insert(out_.end(), b.begin(), b.end()); }
+  void zeros(std::size_t n) { out_.insert(out_.end(), n, 0); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return out_.size(); }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+}  // namespace v6sonar::wire

@@ -1,0 +1,166 @@
+#include "wire/headers.hpp"
+
+#include <algorithm>
+
+namespace v6sonar::wire {
+
+void EthernetHeader::encode(Writer& w) const {
+  w.bytes(dst);
+  w.bytes(src);
+  w.u16(ether_type);
+}
+
+std::optional<EthernetHeader> EthernetHeader::decode(Reader& r) noexcept {
+  EthernetHeader h;
+  auto d = r.bytes(6);
+  auto s = r.bytes(6);
+  h.ether_type = r.u16();
+  if (!r.ok()) return std::nullopt;
+  std::copy(d.begin(), d.end(), h.dst.begin());
+  std::copy(s.begin(), s.end(), h.src.begin());
+  return h;
+}
+
+void Ipv6Header::encode(Writer& w) const {
+  w.u32(std::uint32_t{6} << 28 | std::uint32_t{traffic_class} << 20 |
+        (flow_label & 0xFFFFF));
+  w.u16(payload_length);
+  w.u8(next_header);
+  w.u8(hop_limit);
+  w.u64(src.hi());
+  w.u64(src.lo());
+  w.u64(dst.hi());
+  w.u64(dst.lo());
+}
+
+std::optional<Ipv6Header> Ipv6Header::decode(Reader& r) noexcept {
+  const std::uint32_t vtf = r.u32();
+  Ipv6Header h;
+  h.payload_length = r.u16();
+  h.next_header = r.u8();
+  h.hop_limit = r.u8();
+  const std::uint64_t shi = r.u64(), slo = r.u64();
+  const std::uint64_t dhi = r.u64(), dlo = r.u64();
+  if (!r.ok()) return std::nullopt;
+  if (vtf >> 28 != 6) return std::nullopt;  // version must be 6
+  h.traffic_class = static_cast<std::uint8_t>(vtf >> 20);
+  h.flow_label = vtf & 0xFFFFF;
+  h.src = net::Ipv6Address{shi, slo};
+  h.dst = net::Ipv6Address{dhi, dlo};
+  return h;
+}
+
+void TcpHeader::encode(Writer& w) const {
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u32(seq);
+  w.u32(ack);
+  w.u16(static_cast<std::uint16_t>(std::uint16_t{data_offset_words} << 12 | flags));
+  w.u16(window);
+  w.u16(checksum);
+  w.u16(urgent);
+}
+
+std::optional<TcpHeader> TcpHeader::decode(Reader& r) noexcept {
+  TcpHeader h;
+  h.src_port = r.u16();
+  h.dst_port = r.u16();
+  h.seq = r.u32();
+  h.ack = r.u32();
+  const std::uint16_t off_flags = r.u16();
+  h.window = r.u16();
+  h.checksum = r.u16();
+  h.urgent = r.u16();
+  if (!r.ok()) return std::nullopt;
+  h.data_offset_words = static_cast<std::uint8_t>(off_flags >> 12);
+  h.flags = static_cast<std::uint8_t>(off_flags & 0x3F);
+  if (h.data_offset_words < 5) return std::nullopt;  // invalid offset
+  // Skip options beyond the fixed 20 bytes.
+  const std::size_t options = (static_cast<std::size_t>(h.data_offset_words) - 5) * 4;
+  r.skip(options);
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+void UdpHeader::encode(Writer& w) const {
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u16(length);
+  w.u16(checksum);
+}
+
+std::optional<UdpHeader> UdpHeader::decode(Reader& r) noexcept {
+  UdpHeader h;
+  h.src_port = r.u16();
+  h.dst_port = r.u16();
+  h.length = r.u16();
+  h.checksum = r.u16();
+  if (!r.ok()) return std::nullopt;
+  if (h.length < kSize) return std::nullopt;
+  return h;
+}
+
+void Icmpv6Header::encode(Writer& w) const {
+  w.u8(type);
+  w.u8(code);
+  w.u16(checksum);
+  w.u16(ident);
+  w.u16(sequence);
+}
+
+std::optional<Icmpv6Header> Icmpv6Header::decode(Reader& r) noexcept {
+  Icmpv6Header h;
+  h.type = r.u8();
+  h.code = r.u8();
+  h.checksum = r.u16();
+  h.ident = r.u16();
+  h.sequence = r.u16();
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+std::optional<std::uint8_t> skip_extension_header(Reader& r, std::uint8_t next_header) noexcept {
+  // All four supported extensions lead with (next header, length), but
+  // the length encoding differs for fragments.
+  const std::uint8_t next = r.u8();
+  const std::uint8_t hdr_ext_len = r.u8();
+  if (!r.ok()) return std::nullopt;
+  if (next_header == static_cast<std::uint8_t>(ExtHeader::kFragment)) {
+    // Fragment header: fixed 8 bytes total; the second byte is reserved.
+    r.skip(6);
+  } else {
+    // Length in 8-octet units, not counting the first 8 octets.
+    r.skip(6 + static_cast<std::size_t>(hdr_ext_len) * 8);
+  }
+  if (!r.ok()) return std::nullopt;
+  return next;
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept {
+  std::uint64_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2)
+    sum += static_cast<std::uint64_t>(data[i]) << 8 | data[i + 1];
+  if (i < data.size()) sum += static_cast<std::uint64_t>(data[i]) << 8;
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+std::uint16_t transport_checksum(const net::Ipv6Address& src, const net::Ipv6Address& dst,
+                                 IpProto proto, std::span<const std::uint8_t> l4) noexcept {
+  // Pseudo-header: src (16) + dst (16) + length (4) + zeros (3) + next header (1).
+  std::vector<std::uint8_t> buf;
+  buf.reserve(40 + l4.size());
+  Writer w(buf);
+  w.u64(src.hi());
+  w.u64(src.lo());
+  w.u64(dst.hi());
+  w.u64(dst.lo());
+  w.u32(static_cast<std::uint32_t>(l4.size()));
+  w.zeros(3);
+  w.u8(static_cast<std::uint8_t>(proto));
+  w.bytes(l4);
+  return internet_checksum(buf);
+}
+
+}  // namespace v6sonar::wire

@@ -1,0 +1,131 @@
+// Protocol header encode/decode: Ethernet II, IPv6 fixed header, TCP,
+// UDP, ICMPv6 — the protocols visible at the paper's two vantage
+// points. All multi-byte fields are network byte order on the wire.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/ipv6.hpp"
+#include "wire/cursor.hpp"
+
+namespace v6sonar::wire {
+
+/// IANA protocol numbers we care about.
+enum class IpProto : std::uint8_t {
+  kTcp = 6,
+  kUdp = 17,
+  kIcmpv6 = 58,
+};
+
+/// IPv6 extension headers (RFC 8200 §4). Real captures carry these
+/// between the fixed header and the transport; decoders skip them.
+enum class ExtHeader : std::uint8_t {
+  kHopByHop = 0,
+  kRouting = 43,
+  kFragment = 44,
+  kDestOptions = 60,
+};
+
+[[nodiscard]] constexpr bool is_extension_header(std::uint8_t next_header) noexcept {
+  return next_header == 0 || next_header == 43 || next_header == 44 || next_header == 60;
+}
+
+/// Skip one extension header at the reader's position. Returns the
+/// next-header value, or nullopt on truncation. `next_header` is the
+/// value that announced this extension.
+[[nodiscard]] std::optional<std::uint8_t> skip_extension_header(Reader& r,
+                                                                std::uint8_t next_header) noexcept;
+
+/// EtherTypes.
+inline constexpr std::uint16_t kEtherTypeIpv6 = 0x86DD;
+
+struct EthernetHeader {
+  static constexpr std::size_t kSize = 14;
+  std::array<std::uint8_t, 6> dst{};
+  std::array<std::uint8_t, 6> src{};
+  std::uint16_t ether_type = kEtherTypeIpv6;
+
+  void encode(Writer& w) const;
+  [[nodiscard]] static std::optional<EthernetHeader> decode(Reader& r) noexcept;
+};
+
+/// IPv6 fixed header (RFC 8200 §3). No extension-header support is
+/// needed for the telescope traffic, but decode reports the
+/// next-header value so callers can skip unknown payloads explicitly.
+struct Ipv6Header {
+  static constexpr std::size_t kSize = 40;
+  std::uint8_t traffic_class = 0;
+  std::uint32_t flow_label = 0;  ///< 20 bits used
+  std::uint16_t payload_length = 0;
+  std::uint8_t next_header = 0;
+  std::uint8_t hop_limit = 64;
+  net::Ipv6Address src;
+  net::Ipv6Address dst;
+
+  void encode(Writer& w) const;
+  [[nodiscard]] static std::optional<Ipv6Header> decode(Reader& r) noexcept;
+};
+
+struct TcpHeader {
+  static constexpr std::size_t kSize = 20;  ///< without options
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t data_offset_words = 5;  ///< header length in 32-bit words
+  std::uint8_t flags = 0x02;           ///< SYN by default (scan probes)
+  std::uint16_t window = 65'535;
+  std::uint16_t checksum = 0;
+  std::uint16_t urgent = 0;
+
+  static constexpr std::uint8_t kFin = 0x01;
+  static constexpr std::uint8_t kSyn = 0x02;
+  static constexpr std::uint8_t kRst = 0x04;
+  static constexpr std::uint8_t kAck = 0x10;
+
+  void encode(Writer& w) const;
+  [[nodiscard]] static std::optional<TcpHeader> decode(Reader& r) noexcept;
+};
+
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = kSize;  ///< header + payload
+  std::uint16_t checksum = 0;
+
+  void encode(Writer& w) const;
+  [[nodiscard]] static std::optional<UdpHeader> decode(Reader& r) noexcept;
+};
+
+struct Icmpv6Header {
+  static constexpr std::size_t kSize = 8;  ///< incl. echo id/seq words
+  std::uint8_t type = 128;  ///< echo request
+  std::uint8_t code = 0;
+  std::uint16_t checksum = 0;
+  std::uint16_t ident = 0;
+  std::uint16_t sequence = 0;
+
+  static constexpr std::uint8_t kEchoRequest = 128;
+  static constexpr std::uint8_t kEchoReply = 129;
+
+  void encode(Writer& w) const;
+  [[nodiscard]] static std::optional<Icmpv6Header> decode(Reader& r) noexcept;
+};
+
+/// RFC 1071 Internet checksum over a byte span (pads odd length).
+[[nodiscard]] std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept;
+
+/// Transport checksum with the IPv6 pseudo-header (RFC 8200 §8.1).
+/// `l4` is the full transport header+payload with its checksum field
+/// zeroed (or as received, for verification: result 0 means valid).
+[[nodiscard]] std::uint16_t transport_checksum(const net::Ipv6Address& src,
+                                               const net::Ipv6Address& dst,
+                                               IpProto proto,
+                                               std::span<const std::uint8_t> l4) noexcept;
+
+}  // namespace v6sonar::wire

@@ -1,0 +1,153 @@
+#include "wire/packet.hpp"
+
+namespace v6sonar::wire {
+
+std::optional<PacketSummary> parse_frame(std::span<const std::uint8_t> frame) noexcept {
+  Reader r(frame);
+  const auto eth = EthernetHeader::decode(r);
+  if (!eth || eth->ether_type != kEtherTypeIpv6) return std::nullopt;
+  const auto ip = Ipv6Header::decode(r);
+  if (!ip) return std::nullopt;
+
+  PacketSummary s;
+  s.src = ip->src;
+  s.dst = ip->dst;
+  s.length = static_cast<std::uint32_t>(frame.size());
+  s.hop_limit = ip->hop_limit;
+
+  // Walk extension headers to the transport (bounded: a chain can't
+  // be longer than the frame; cap guards against crafted loops).
+  std::uint8_t next = ip->next_header;
+  for (int hops = 0; is_extension_header(next) && hops < 8; ++hops) {
+    const auto n = skip_extension_header(r, next);
+    if (!n) return std::nullopt;
+    next = *n;
+  }
+  if (is_extension_header(next)) return std::nullopt;  // chain too long
+
+  switch (next) {
+    case static_cast<std::uint8_t>(IpProto::kTcp): {
+      const auto tcp = TcpHeader::decode(r);
+      if (!tcp) return std::nullopt;
+      s.proto = IpProto::kTcp;
+      s.src_port = tcp->src_port;
+      s.dst_port = tcp->dst_port;
+      s.tcp_flags = tcp->flags;
+      return s;
+    }
+    case static_cast<std::uint8_t>(IpProto::kUdp): {
+      const auto udp = UdpHeader::decode(r);
+      if (!udp) return std::nullopt;
+      s.proto = IpProto::kUdp;
+      s.src_port = udp->src_port;
+      s.dst_port = udp->dst_port;
+      return s;
+    }
+    case static_cast<std::uint8_t>(IpProto::kIcmpv6): {
+      const auto icmp = Icmpv6Header::decode(r);
+      if (!icmp) return std::nullopt;
+      s.proto = IpProto::kIcmpv6;
+      s.src_port = 0;
+      s.dst_port = static_cast<std::uint16_t>(std::uint16_t{icmp->type} << 8 | icmp->code);
+      return s;
+    }
+    default:
+      return std::nullopt;  // extension headers / other transports: not telescope traffic
+  }
+}
+
+namespace {
+
+/// Common L2+L3 scaffold; returns the index where the L4 bytes start.
+std::size_t begin_frame(std::vector<std::uint8_t>& out, const net::Ipv6Address& src,
+                        const net::Ipv6Address& dst, IpProto proto,
+                        std::size_t l4_len) {
+  Writer w(out);
+  EthernetHeader eth;
+  // Locally administered, deterministic MACs derived from the address
+  // ends; cosmetic only.
+  eth.src = {0x02, 0, 0, 0, 0, static_cast<std::uint8_t>(src.lo())};
+  eth.dst = {0x02, 0, 0, 0, 1, static_cast<std::uint8_t>(dst.lo())};
+  eth.encode(w);
+
+  Ipv6Header ip;
+  ip.payload_length = static_cast<std::uint16_t>(l4_len);
+  ip.next_header = static_cast<std::uint8_t>(proto);
+  ip.src = src;
+  ip.dst = dst;
+  ip.encode(w);
+  return out.size();
+}
+
+void patch_checksum(std::vector<std::uint8_t>& out, std::size_t l4_start,
+                    std::size_t checksum_offset, const net::Ipv6Address& src,
+                    const net::Ipv6Address& dst, IpProto proto) {
+  const std::span<const std::uint8_t> l4{out.data() + l4_start, out.size() - l4_start};
+  const std::uint16_t ck = transport_checksum(src, dst, proto, l4);
+  out[l4_start + checksum_offset] = static_cast<std::uint8_t>(ck >> 8);
+  out[l4_start + checksum_offset + 1] = static_cast<std::uint8_t>(ck);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> FrameBuilder::tcp(const net::Ipv6Address& src,
+                                            const net::Ipv6Address& dst,
+                                            std::uint16_t src_port, std::uint16_t dst_port,
+                                            std::uint8_t flags, std::size_t payload_len) {
+  std::vector<std::uint8_t> out;
+  const std::size_t l4_len = TcpHeader::kSize + payload_len;
+  out.reserve(EthernetHeader::kSize + Ipv6Header::kSize + l4_len);
+  const std::size_t l4_start = begin_frame(out, src, dst, IpProto::kTcp, l4_len);
+  Writer w(out);
+  TcpHeader tcp;
+  tcp.src_port = src_port;
+  tcp.dst_port = dst_port;
+  tcp.flags = flags;
+  // Deterministic ISN derived from the endpoints, so identical probe
+  // parameters produce identical frames (reproducible pcaps).
+  tcp.seq = static_cast<std::uint32_t>(src.lo() ^ dst.lo() ^ (std::uint32_t{src_port} << 16 | dst_port));
+  tcp.encode(w);
+  w.zeros(payload_len);
+  patch_checksum(out, l4_start, 16, src, dst, IpProto::kTcp);
+  return out;
+}
+
+std::vector<std::uint8_t> FrameBuilder::udp(const net::Ipv6Address& src,
+                                            const net::Ipv6Address& dst,
+                                            std::uint16_t src_port, std::uint16_t dst_port,
+                                            std::size_t payload_len) {
+  std::vector<std::uint8_t> out;
+  const std::size_t l4_len = UdpHeader::kSize + payload_len;
+  out.reserve(EthernetHeader::kSize + Ipv6Header::kSize + l4_len);
+  const std::size_t l4_start = begin_frame(out, src, dst, IpProto::kUdp, l4_len);
+  Writer w(out);
+  UdpHeader udp;
+  udp.src_port = src_port;
+  udp.dst_port = dst_port;
+  udp.length = static_cast<std::uint16_t>(l4_len);
+  udp.encode(w);
+  w.zeros(payload_len);
+  patch_checksum(out, l4_start, 6, src, dst, IpProto::kUdp);
+  return out;
+}
+
+std::vector<std::uint8_t> FrameBuilder::icmpv6_echo(const net::Ipv6Address& src,
+                                                    const net::Ipv6Address& dst,
+                                                    std::uint16_t ident, std::uint16_t sequence,
+                                                    std::size_t payload_len) {
+  std::vector<std::uint8_t> out;
+  const std::size_t l4_len = Icmpv6Header::kSize + payload_len;
+  out.reserve(EthernetHeader::kSize + Ipv6Header::kSize + l4_len);
+  const std::size_t l4_start = begin_frame(out, src, dst, IpProto::kIcmpv6, l4_len);
+  Writer w(out);
+  Icmpv6Header icmp;
+  icmp.type = Icmpv6Header::kEchoRequest;
+  icmp.ident = ident;
+  icmp.sequence = sequence;
+  icmp.encode(w);
+  w.zeros(payload_len);
+  patch_checksum(out, l4_start, 2, src, dst, IpProto::kIcmpv6);
+  return out;
+}
+
+}  // namespace v6sonar::wire

@@ -1,0 +1,65 @@
+// Whole-frame building and parsing.
+//
+// FrameBuilder assembles a valid Ethernet/IPv6/{TCP,UDP,ICMPv6} frame
+// with correct lengths and checksums; PacketSummary is the decoded
+// five-tuple view the telescope and MAWI pipelines consume.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/ipv6.hpp"
+#include "wire/headers.hpp"
+
+namespace v6sonar::wire {
+
+/// The decoded fields every analysis in the paper needs. `length` is
+/// the full on-wire frame length (the FH detector's packet-length
+/// entropy runs over it).
+struct PacketSummary {
+  net::Ipv6Address src;
+  net::Ipv6Address dst;
+  IpProto proto = IpProto::kTcp;
+  std::uint16_t src_port = 0;  ///< 0 for ICMPv6
+  std::uint16_t dst_port = 0;  ///< ICMPv6: type<<8|code, mirroring common flow tools
+  std::uint32_t length = 0;
+  std::uint8_t hop_limit = 0;
+  std::uint8_t tcp_flags = 0;  ///< 0 unless TCP
+
+  friend bool operator==(const PacketSummary&, const PacketSummary&) = default;
+};
+
+/// Parse a full Ethernet frame into a summary. Returns nullopt for
+/// non-IPv6 frames, truncated headers, or unsupported transports.
+[[nodiscard]] std::optional<PacketSummary> parse_frame(
+    std::span<const std::uint8_t> frame) noexcept;
+
+/// Build frames with consistent lengths and valid checksums.
+class FrameBuilder {
+ public:
+  /// TCP probe (SYN by default) with `payload_len` bytes of zero payload.
+  [[nodiscard]] static std::vector<std::uint8_t> tcp(const net::Ipv6Address& src,
+                                                     const net::Ipv6Address& dst,
+                                                     std::uint16_t src_port,
+                                                     std::uint16_t dst_port,
+                                                     std::uint8_t flags = TcpHeader::kSyn,
+                                                     std::size_t payload_len = 0);
+
+  /// UDP datagram with `payload_len` bytes of zero payload.
+  [[nodiscard]] static std::vector<std::uint8_t> udp(const net::Ipv6Address& src,
+                                                     const net::Ipv6Address& dst,
+                                                     std::uint16_t src_port,
+                                                     std::uint16_t dst_port,
+                                                     std::size_t payload_len = 0);
+
+  /// ICMPv6 echo request with `payload_len` bytes of zero payload.
+  [[nodiscard]] static std::vector<std::uint8_t> icmpv6_echo(const net::Ipv6Address& src,
+                                                             const net::Ipv6Address& dst,
+                                                             std::uint16_t ident,
+                                                             std::uint16_t sequence,
+                                                             std::size_t payload_len = 0);
+};
+
+}  // namespace v6sonar::wire

@@ -1,0 +1,153 @@
+#include "wire/pcap.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <stdexcept>
+
+namespace v6sonar::wire {
+
+namespace {
+
+constexpr std::uint32_t kMagicMicro = 0xa1b2c3d4;
+constexpr std::uint32_t kMagicNano = 0xa1b23c4d;
+constexpr std::uint32_t kMagicMicroSwapped = 0xd4c3b2a1;
+constexpr std::uint32_t kMagicNanoSwapped = 0x4d3cb2a1;
+
+std::uint32_t bswap32(std::uint32_t v) noexcept {
+  return v << 24 | (v & 0xFF00) << 8 | (v >> 8 & 0xFF00) | v >> 24;
+}
+
+std::uint16_t bswap16(std::uint16_t v) noexcept {
+  return static_cast<std::uint16_t>(v << 8 | v >> 8);
+}
+
+/// RAII stdio handle. stdio is used (not fstream) for cheap unbuffered
+/// control and simple error reporting.
+struct File {
+  std::FILE* f = nullptr;
+  explicit File(const std::string& path, const char* mode) : f(std::fopen(path.c_str(), mode)) {
+    if (!f) throw std::runtime_error("pcap: cannot open " + path);
+  }
+  ~File() {
+    if (f) std::fclose(f);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+};
+
+void put32(std::FILE* f, std::uint32_t v) {
+  if (std::fwrite(&v, 4, 1, f) != 1) throw std::runtime_error("pcap: write failed");
+}
+void put16(std::FILE* f, std::uint16_t v) {
+  if (std::fwrite(&v, 2, 1, f) != 1) throw std::runtime_error("pcap: write failed");
+}
+
+}  // namespace
+
+struct PcapWriter::Impl {
+  Impl(const std::string& path, bool ns, std::uint32_t snap)
+      : file(path, "wb"), nanosecond(ns), snaplen(snap) {
+    put32(file.f, ns ? kMagicNano : kMagicMicro);
+    put16(file.f, 2);  // version major
+    put16(file.f, 4);  // version minor
+    put32(file.f, 0);  // thiszone
+    put32(file.f, 0);  // sigfigs
+    put32(file.f, snaplen);
+    put32(file.f, kLinkTypeEthernet);
+  }
+  File file;
+  bool nanosecond;
+  std::uint32_t snaplen;
+};
+
+PcapWriter::PcapWriter(const std::string& path, bool nanosecond, std::uint32_t snaplen)
+    : impl_(std::make_unique<Impl>(path, nanosecond, snaplen)) {}
+
+PcapWriter::~PcapWriter() = default;
+PcapWriter::PcapWriter(PcapWriter&&) noexcept = default;
+PcapWriter& PcapWriter::operator=(PcapWriter&&) noexcept = default;
+
+void PcapWriter::write(std::int64_t ts_sec, std::uint32_t ts_frac,
+                       std::span<const std::uint8_t> frame) {
+  if (!impl_) throw std::runtime_error("pcap: writer is closed");
+  const std::uint32_t incl =
+      static_cast<std::uint32_t>(std::min<std::size_t>(frame.size(), impl_->snaplen));
+  put32(impl_->file.f, static_cast<std::uint32_t>(ts_sec));
+  put32(impl_->file.f, ts_frac);
+  put32(impl_->file.f, incl);
+  put32(impl_->file.f, static_cast<std::uint32_t>(frame.size()));
+  if (incl != 0 && std::fwrite(frame.data(), 1, incl, impl_->file.f) != incl)
+    throw std::runtime_error("pcap: write failed");
+  ++count_;
+}
+
+void PcapWriter::close() { impl_.reset(); }
+
+struct PcapReader::Impl {
+  explicit Impl(const std::string& path) : file(path, "rb") {
+    std::uint32_t magic = 0;
+    if (std::fread(&magic, 4, 1, file.f) != 1)
+      throw std::runtime_error("pcap: empty or unreadable file: " + path);
+    switch (magic) {
+      case kMagicMicro: nanosecond = false; swapped = false; break;
+      case kMagicNano: nanosecond = true; swapped = false; break;
+      case kMagicMicroSwapped: nanosecond = false; swapped = true; break;
+      case kMagicNanoSwapped: nanosecond = true; swapped = true; break;
+      default: throw std::runtime_error("pcap: bad magic in " + path);
+    }
+    std::array<std::uint32_t, 5> rest{};  // ver, zone, sigfigs, snaplen, linktype
+    if (std::fread(rest.data(), 4, rest.size(), file.f) != rest.size())
+      throw std::runtime_error("pcap: truncated global header in " + path);
+    link_type = swapped ? bswap32(rest[4]) : rest[4];
+    snaplen = swapped ? bswap32(rest[3]) : rest[3];
+    (void)bswap16;  // 16-bit version fields are read as part of rest[0]
+  }
+  File file;
+  bool nanosecond = false;
+  bool swapped = false;
+  bool truncated = false;
+  std::uint32_t link_type = 0;
+  std::uint32_t snaplen = 0;
+};
+
+PcapReader::PcapReader(const std::string& path) : impl_(std::make_unique<Impl>(path)) {}
+PcapReader::~PcapReader() = default;
+PcapReader::PcapReader(PcapReader&&) noexcept = default;
+PcapReader& PcapReader::operator=(PcapReader&&) noexcept = default;
+
+std::optional<PcapRecord> PcapReader::next() {
+  std::array<std::uint32_t, 4> hdr{};
+  const std::size_t got = std::fread(hdr.data(), 4, hdr.size(), impl_->file.f);
+  if (got == 0) return std::nullopt;  // clean EOF
+  if (got != hdr.size()) {
+    impl_->truncated = true;
+    return std::nullopt;
+  }
+  if (impl_->swapped)
+    for (auto& v : hdr) v = bswap32(v);
+
+  PcapRecord rec;
+  rec.ts_sec = static_cast<std::int64_t>(hdr[0]);
+  rec.ts_frac = hdr[1];
+  const std::uint32_t incl_len = hdr[2];
+  // Sanity cap: a record claiming more than the snaplen (or an absurd
+  // size) indicates corruption.
+  if (incl_len > std::max<std::uint32_t>(impl_->snaplen, 262'144)) {
+    impl_->truncated = true;
+    return std::nullopt;
+  }
+  rec.data.resize(incl_len);
+  if (incl_len != 0 &&
+      std::fread(rec.data.data(), 1, incl_len, impl_->file.f) != incl_len) {
+    impl_->truncated = true;
+    return std::nullopt;
+  }
+  return rec;
+}
+
+bool PcapReader::nanosecond() const noexcept { return impl_->nanosecond; }
+std::uint32_t PcapReader::link_type() const noexcept { return impl_->link_type; }
+bool PcapReader::truncated() const noexcept { return impl_->truncated; }
+
+}  // namespace v6sonar::wire

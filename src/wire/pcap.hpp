@@ -1,0 +1,93 @@
+// libpcap classic file format, from scratch (no libpcap dependency).
+//
+// Supports both the microsecond (0xa1b2c3d4) and nanosecond
+// (0xa1b23c4d) magics, in either byte order, so real MAWI captures can
+// be fed to the same pipeline the simulator uses.
+// Format reference: https://wiki.wireshark.org/Development/LibpcapFileFormat
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace v6sonar::wire {
+
+/// Link types we write/accept.
+inline constexpr std::uint32_t kLinkTypeEthernet = 1;
+
+/// One captured record.
+struct PcapRecord {
+  std::int64_t ts_sec = 0;
+  std::uint32_t ts_frac = 0;  ///< micro- or nanoseconds per file resolution
+  std::vector<std::uint8_t> data;
+
+  /// Timestamp in nanoseconds since epoch (resolution-normalized by the reader).
+  [[nodiscard]] std::int64_t ts_nanos(bool nanosecond_file) const noexcept {
+    return ts_sec * 1'000'000'000LL +
+           static_cast<std::int64_t>(ts_frac) * (nanosecond_file ? 1 : 1'000);
+  }
+};
+
+/// Streaming pcap writer. Throws std::runtime_error on I/O failure
+/// (file errors are exceptional; packet content is not).
+class PcapWriter {
+ public:
+  /// Creates/truncates `path`. nanosecond: write the ns magic.
+  explicit PcapWriter(const std::string& path, bool nanosecond = false,
+                      std::uint32_t snaplen = 65'535);
+  ~PcapWriter();
+
+  PcapWriter(const PcapWriter&) = delete;
+  PcapWriter& operator=(const PcapWriter&) = delete;
+  PcapWriter(PcapWriter&&) noexcept;
+  PcapWriter& operator=(PcapWriter&&) noexcept;
+
+  /// Append one frame with the given timestamp (seconds + fractional
+  /// part in the file's resolution). Frames longer than snaplen are
+  /// truncated on disk with orig_len preserved, like real captures.
+  void write(std::int64_t ts_sec, std::uint32_t ts_frac,
+             std::span<const std::uint8_t> frame);
+
+  /// Flush and close; called by the destructor if not done explicitly.
+  void close();
+
+  [[nodiscard]] std::uint64_t records_written() const noexcept { return count_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::uint64_t count_ = 0;
+};
+
+/// Streaming pcap reader.
+class PcapReader {
+ public:
+  /// Opens and validates the global header. Throws std::runtime_error
+  /// if the file is missing or not a pcap.
+  explicit PcapReader(const std::string& path);
+  ~PcapReader();
+
+  PcapReader(const PcapReader&) = delete;
+  PcapReader& operator=(const PcapReader&) = delete;
+  PcapReader(PcapReader&&) noexcept;
+  PcapReader& operator=(PcapReader&&) noexcept;
+
+  /// Next record, or nullopt at clean EOF. A record truncated by an
+  /// interrupted capture also ends the stream (common in practice);
+  /// truncated() reports whether that happened.
+  [[nodiscard]] std::optional<PcapRecord> next();
+
+  [[nodiscard]] bool nanosecond() const noexcept;
+  [[nodiscard]] std::uint32_t link_type() const noexcept;
+  [[nodiscard]] bool truncated() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace v6sonar::wire

@@ -1,0 +1,241 @@
+#include "wire/pcapng.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace v6sonar::wire {
+
+namespace {
+
+constexpr std::uint32_t kShbType = 0x0A0D'0D0A;
+constexpr std::uint32_t kIdbType = 0x0000'0001;
+constexpr std::uint32_t kEpbType = 0x0000'0006;
+constexpr std::uint32_t kByteOrderMagic = 0x1A2B'3C4D;
+
+std::uint32_t bswap32(std::uint32_t v) noexcept {
+  return v << 24 | (v & 0xFF00) << 8 | (v >> 8 & 0xFF00) | v >> 24;
+}
+std::uint16_t bswap16(std::uint16_t v) noexcept {
+  return static_cast<std::uint16_t>(v << 8 | v >> 8);
+}
+
+struct File {
+  std::FILE* f = nullptr;
+  File(const std::string& path, const char* mode) : f(std::fopen(path.c_str(), mode)) {
+    if (!f) throw std::runtime_error("pcapng: cannot open " + path);
+  }
+  ~File() {
+    if (f) std::fclose(f);
+  }
+};
+
+void put(std::FILE* f, const void* p, std::size_t n) {
+  if (std::fwrite(p, 1, n, f) != n) throw std::runtime_error("pcapng: write failed");
+}
+void put32(std::FILE* f, std::uint32_t v) { put(f, &v, 4); }
+void put16(std::FILE* f, std::uint16_t v) { put(f, &v, 2); }
+
+}  // namespace
+
+struct PcapngWriter::Impl {
+  Impl(const std::string& path, std::uint32_t snaplen) : file(path, "wb") {
+    // Section Header Block: type, length, magic, version 1.0,
+    // section length unknown (-1), no options.
+    put32(file.f, kShbType);
+    put32(file.f, 28);
+    put32(file.f, kByteOrderMagic);
+    put16(file.f, 1);
+    put16(file.f, 0);
+    const std::uint64_t unknown = ~0ULL;
+    put(file.f, &unknown, 8);
+    put32(file.f, 28);
+    // Interface Description Block: Ethernet, snaplen, no options
+    // (if_tsresol defaults to microseconds).
+    put32(file.f, kIdbType);
+    put32(file.f, 20);
+    put16(file.f, static_cast<std::uint16_t>(kLinkTypeEthernet));
+    put16(file.f, 0);  // reserved
+    put32(file.f, snaplen);
+    put32(file.f, 20);
+  }
+  File file;
+};
+
+PcapngWriter::PcapngWriter(const std::string& path, std::uint32_t snaplen)
+    : impl_(std::make_unique<Impl>(path, snaplen)) {}
+
+PcapngWriter::~PcapngWriter() = default;
+
+void PcapngWriter::write(std::int64_t ts_us, std::span<const std::uint8_t> frame) {
+  if (!impl_) throw std::runtime_error("pcapng: writer closed");
+  const std::uint32_t cap = static_cast<std::uint32_t>(frame.size());
+  const std::uint32_t padded = (cap + 3) & ~3u;
+  const std::uint32_t total = 32 + padded;
+  std::FILE* f = impl_->file.f;
+  put32(f, kEpbType);
+  put32(f, total);
+  put32(f, 0);  // interface id
+  put32(f, static_cast<std::uint32_t>(static_cast<std::uint64_t>(ts_us) >> 32));
+  put32(f, static_cast<std::uint32_t>(static_cast<std::uint64_t>(ts_us)));
+  put32(f, cap);  // captured length
+  put32(f, cap);  // original length
+  if (cap) put(f, frame.data(), cap);
+  const std::uint8_t pad[4] = {};
+  if (padded != cap) put(f, pad, padded - cap);
+  put32(f, total);
+  ++count_;
+}
+
+void PcapngWriter::close() { impl_.reset(); }
+
+struct PcapngReader::Impl {
+  explicit Impl(const std::string& path) : file(path, "rb") {
+    // The SHB must come first; its byte-order magic tells us how to
+    // read every other field.
+    std::uint32_t type = 0, len = 0;
+    if (std::fread(&type, 4, 1, file.f) != 1 || std::fread(&len, 4, 1, file.f) != 1 ||
+        type != kShbType)
+      throw std::runtime_error("pcapng: not a pcapng file: " + path);
+    std::uint32_t magic = 0;
+    if (std::fread(&magic, 4, 1, file.f) != 1)
+      throw std::runtime_error("pcapng: truncated SHB in " + path);
+    if (magic == kByteOrderMagic)
+      swapped = false;
+    else if (bswap32(magic) == kByteOrderMagic)
+      swapped = true;
+    else
+      throw std::runtime_error("pcapng: bad byte-order magic in " + path);
+    const std::uint32_t block_len = swapped ? bswap32(len) : len;
+    if (block_len < 28) throw std::runtime_error("pcapng: bad SHB length");
+    // Skip the rest of the SHB (version, section length, options,
+    // trailing length).
+    skip(block_len - 12);
+  }
+
+  void skip(std::size_t n) {
+    if (std::fseek(file.f, static_cast<long>(n), SEEK_CUR) != 0)
+      throw std::runtime_error("pcapng: seek failed");
+  }
+
+  [[nodiscard]] std::uint32_t r32(const std::uint8_t* p) const noexcept {
+    std::uint32_t v;
+    std::memcpy(&v, p, 4);
+    return swapped ? bswap32(v) : v;
+  }
+  [[nodiscard]] std::uint16_t r16(const std::uint8_t* p) const noexcept {
+    std::uint16_t v;
+    std::memcpy(&v, p, 2);
+    return swapped ? bswap16(v) : v;
+  }
+
+  File file;
+  bool swapped = false;
+  bool truncated = false;
+  std::uint32_t link_type = kLinkTypeEthernet;
+  // Ticks per second of interface 0 (if_tsresol); default microseconds.
+  std::uint64_t ticks_per_sec = 1'000'000;
+};
+
+PcapngReader::PcapngReader(const std::string& path) : impl_(std::make_unique<Impl>(path)) {}
+PcapngReader::~PcapngReader() = default;
+
+std::optional<PcapRecord> PcapngReader::next() {
+  auto& im = *impl_;
+  while (true) {
+    std::uint8_t head[8];
+    const std::size_t got = std::fread(head, 1, 8, im.file.f);
+    if (got == 0) return std::nullopt;
+    if (got != 8) {
+      im.truncated = true;
+      return std::nullopt;
+    }
+    const std::uint32_t type = im.r32(head);
+    const std::uint32_t block_len = im.r32(head + 4);
+    if (block_len < 12 || block_len > (1u << 26)) {
+      im.truncated = true;
+      return std::nullopt;
+    }
+    std::vector<std::uint8_t> body(block_len - 12);
+    if (!body.empty() && std::fread(body.data(), 1, body.size(), im.file.f) != body.size()) {
+      im.truncated = true;
+      return std::nullopt;
+    }
+    std::uint8_t tail[4];
+    if (std::fread(tail, 1, 4, im.file.f) != 4) {
+      im.truncated = true;
+      return std::nullopt;
+    }
+
+    if (type == kIdbType && body.size() >= 8) {
+      im.link_type = im.r16(body.data());
+      // Walk options for if_tsresol (code 9, length 1).
+      std::size_t pos = 8;
+      while (pos + 4 <= body.size()) {
+        const std::uint16_t code = im.r16(body.data() + pos);
+        const std::uint16_t olen = im.r16(body.data() + pos + 2);
+        pos += 4;
+        if (pos + olen > body.size()) break;
+        if (code == 0) break;  // opt_endofopt
+        if (code == 9 && olen >= 1) {
+          const std::uint8_t resol = body[pos];
+          im.ticks_per_sec = 1;
+          if (resol & 0x80) {
+            for (int i = 0; i < (resol & 0x7F); ++i) im.ticks_per_sec *= 2;
+          } else {
+            for (int i = 0; i < resol; ++i) im.ticks_per_sec *= 10;
+          }
+        }
+        pos += (olen + 3u) & ~3u;
+      }
+      continue;
+    }
+    if (type != kEpbType) continue;  // skip anything else
+    if (body.size() < 20) {
+      im.truncated = true;
+      return std::nullopt;
+    }
+
+    const std::uint64_t ts_ticks =
+        (static_cast<std::uint64_t>(im.r32(body.data() + 4)) << 32) |
+        im.r32(body.data() + 8);
+    const std::uint32_t cap_len = im.r32(body.data() + 12);
+    if (20 + cap_len > body.size()) {
+      im.truncated = true;
+      return std::nullopt;
+    }
+    PcapRecord rec;
+    rec.ts_sec = static_cast<std::int64_t>(ts_ticks / im.ticks_per_sec);
+    // ts_frac is expressed in microseconds for pcapng records.
+    rec.ts_frac = static_cast<std::uint32_t>((ts_ticks % im.ticks_per_sec) * 1'000'000 /
+                                             im.ticks_per_sec);
+    rec.data.assign(body.begin() + 20, body.begin() + 20 + cap_len);
+    return rec;
+  }
+}
+
+std::uint32_t PcapngReader::link_type() const noexcept { return impl_->link_type; }
+bool PcapngReader::truncated() const noexcept { return impl_->truncated; }
+
+CaptureFormat detect_capture_format(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return CaptureFormat::kUnknown;
+  std::uint32_t magic = 0;
+  const bool ok = std::fread(&magic, 4, 1, f) == 1;
+  std::fclose(f);
+  if (!ok) return CaptureFormat::kUnknown;
+  if (magic == kShbType) return CaptureFormat::kPcapng;
+  switch (magic) {
+    case 0xa1b2c3d4:
+    case 0xa1b23c4d:
+    case 0xd4c3b2a1:
+    case 0x4d3cb2a1:
+      return CaptureFormat::kPcap;
+    default:
+      return CaptureFormat::kUnknown;
+  }
+}
+
+}  // namespace v6sonar::wire

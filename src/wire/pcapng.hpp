@@ -1,0 +1,72 @@
+// pcapng (pcap next generation) file format, from scratch.
+//
+// The classic pcap reader in wire/pcap.hpp covers the historic MAWI
+// archive; newer tooling (tcpdump -w on modern systems, Wireshark
+// exports) writes pcapng. Supported subset: Section Header Block,
+// Interface Description Block (with if_tsresol), Enhanced Packet
+// Block; other block types are skipped. Both byte orders are handled.
+// Format reference: draft-tuexen-opsawg-pcapng.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "wire/pcap.hpp"
+
+namespace v6sonar::wire {
+
+/// Streaming pcapng writer (one section, one Ethernet interface,
+/// microsecond timestamps). Throws std::runtime_error on I/O failure.
+class PcapngWriter {
+ public:
+  explicit PcapngWriter(const std::string& path, std::uint32_t snaplen = 65'535);
+  ~PcapngWriter();
+
+  PcapngWriter(const PcapngWriter&) = delete;
+  PcapngWriter& operator=(const PcapngWriter&) = delete;
+
+  /// Append one frame at the given microsecond timestamp.
+  void write(std::int64_t ts_us, std::span<const std::uint8_t> frame);
+
+  void close();
+
+  [[nodiscard]] std::uint64_t records_written() const noexcept { return count_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::uint64_t count_ = 0;
+};
+
+/// Streaming pcapng reader. Yields records with ts_frac in
+/// microseconds (timestamps are converted from the interface's
+/// declared resolution).
+class PcapngReader {
+ public:
+  explicit PcapngReader(const std::string& path);
+  ~PcapngReader();
+
+  PcapngReader(const PcapngReader&) = delete;
+  PcapngReader& operator=(const PcapngReader&) = delete;
+
+  /// Next packet record, or nullopt at end of file. Non-packet blocks
+  /// are skipped transparently.
+  [[nodiscard]] std::optional<PcapRecord> next();
+
+  [[nodiscard]] std::uint32_t link_type() const noexcept;
+  [[nodiscard]] bool truncated() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Sniff a file's capture format by magic number.
+enum class CaptureFormat { kPcap, kPcapng, kUnknown };
+[[nodiscard]] CaptureFormat detect_capture_format(const std::string& path);
+
+}  // namespace v6sonar::wire

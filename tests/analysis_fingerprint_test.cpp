@@ -1,0 +1,147 @@
+// Tests for scan-source fingerprinting and common-actor linking (§5,
+// A.4).
+#include <gtest/gtest.h>
+
+#include "analysis/fingerprint.hpp"
+#include "util/rng.hpp"
+
+namespace v6sonar::analysis {
+namespace {
+
+using net::Ipv6Address;
+using net::Ipv6Prefix;
+using sim::LogRecord;
+using sim::TimeUs;
+
+/// Emit a synthetic scanner's stream into the collector: fixed port
+/// set cycled, structured or random IIDs, constant frame size.
+void run_scanner(FingerprintCollector& fc, const Ipv6Address& src,
+                 const std::vector<std::uint16_t>& ports, bool random_iid, double gap_sec,
+                 int packets, std::uint64_t seed, double in_dns_prob = 1.0) {
+  util::Xoshiro256 rng(seed);
+  TimeUs t = static_cast<TimeUs>(rng.below(1'000'000));
+  for (int i = 0; i < packets; ++i) {
+    LogRecord r;
+    t += static_cast<TimeUs>(gap_sec * 1e6 * (0.5 + rng.unit()));
+    r.ts_us = t;
+    r.src = src;
+    r.dst = Ipv6Address{0x2600'0000'0000'0000ULL | rng.below(1 << 16) << 16,
+                        random_iid ? rng() : 1 + rng.below(200)};
+    r.dst_port = ports[static_cast<std::size_t>(i) % ports.size()];
+    r.frame_len = 74;
+    r.dst_in_dns = rng.chance(in_dns_prob);
+    fc.feed(r);
+  }
+}
+
+TEST(Fingerprint, CapturesPortAndTargetStructure) {
+  const auto src = Ipv6Prefix::parse_or_throw("2a10:1::15/128");
+  FingerprintCollector fc({src}, 128);
+  run_scanner(fc, Ipv6Address::parse_or_throw("2a10:1::15"), {22}, /*random_iid=*/false,
+              1.0, 500, 7);
+  const auto fps = fc.fingerprints();
+  ASSERT_EQ(fps.size(), 1u);
+  const auto& f = fps.at(src);
+  EXPECT_EQ(f.packets, 500u);
+  EXPECT_EQ(f.distinct_ports, 1u);
+  EXPECT_EQ(f.top_port, 22);
+  EXPECT_DOUBLE_EQ(f.port_entropy, 0.0);     // single port
+  EXPECT_DOUBLE_EQ(f.frame_len_entropy, 0.0);  // constant size
+  EXPECT_LT(f.mean_iid_hamming, 10.0);       // structured targets
+  EXPECT_DOUBLE_EQ(f.icmp_fraction, 0.0);
+  EXPECT_NEAR(f.in_dns_fraction, 1.0, 1e-9);
+}
+
+TEST(Fingerprint, RandomIidScannerLooksDifferent) {
+  const auto src = Ipv6Prefix::parse_or_throw("2a10:2::1/128");
+  FingerprintCollector fc({src}, 128);
+  run_scanner(fc, Ipv6Address::parse_or_throw("2a10:2::1"), {22}, /*random_iid=*/true, 1.0,
+              500, 9);
+  const auto& f = fc.fingerprints().at(src);
+  EXPECT_NEAR(f.mean_iid_hamming, 32.0, 2.0);
+  EXPECT_NEAR(f.targets_per_dst64, 1.0, 0.1);  // every probe a new /64
+}
+
+TEST(Fingerprint, UnwatchedSourcesIgnored) {
+  FingerprintCollector fc({Ipv6Prefix::parse_or_throw("2a10:1::/64")}, 64);
+  run_scanner(fc, Ipv6Address::parse_or_throw("2a10:99::1"), {22}, false, 1.0, 50, 3);
+  EXPECT_TRUE(fc.fingerprints().empty());
+}
+
+TEST(Fingerprint, SimilarityLinksSameActorAcrossPrefixes) {
+  // The A.4 scenario: two /64s running the same campaign at 3x
+  // different volume, plus an unrelated ICMPv6 random-IID scanner.
+  const auto a64 = Ipv6Prefix::parse_or_throw("2a10:6:a1:1::/64");
+  const auto b64 = Ipv6Prefix::parse_or_throw("2a10:6:b2:2::/64");
+  const auto other = Ipv6Prefix::parse_or_throw("2a10:9::/64");
+  FingerprintCollector fc({a64, b64, other}, 64);
+
+  const std::vector<std::uint16_t> campaign_ports = {21, 22, 23, 8080};
+  run_scanner(fc, Ipv6Address::parse_or_throw("2a10:6:a1:1::1"), campaign_ports, false, 2.0,
+              1'500, 11, 0.5);
+  run_scanner(fc, Ipv6Address::parse_or_throw("2a10:6:b2:2::1"), campaign_ports, false, 6.0,
+              500, 12, 0.5);
+
+  // Unrelated: ICMPv6-ish (port 0x8000 marker), random IIDs, all-DNS.
+  util::Xoshiro256 rng(13);
+  TimeUs t = 0;
+  for (int i = 0; i < 800; ++i) {
+    LogRecord r;
+    r.ts_us = t += 300'000;
+    r.src = Ipv6Address::parse_or_throw("2a10:9::42");
+    r.dst = Ipv6Address{0x3900ULL << 48 | rng.below(1 << 20), rng()};
+    r.proto = wire::IpProto::kIcmpv6;
+    r.dst_port = 128 << 8;
+    r.frame_len = 70;
+    r.dst_in_dns = false;
+    fc.feed(r);
+  }
+
+  const auto fps = fc.fingerprints();
+  const double same = fingerprint_similarity(fps.at(a64), fps.at(b64));
+  const double diff_a = fingerprint_similarity(fps.at(a64), fps.at(other));
+  EXPECT_GT(same, 0.9);
+  EXPECT_LT(diff_a, 0.7);
+  EXPECT_GT(same, diff_a + 0.2);
+
+  const auto links = link_actors(fps, 0.85);
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0].a, a64);
+  EXPECT_EQ(links[0].b, b64);
+  EXPECT_GT(links[0].similarity, 0.9);
+}
+
+TEST(Fingerprint, SelfSimilarityIsOne) {
+  Fingerprint f;
+  f.port_entropy = 0.4;
+  f.distinct_ports = 12;
+  f.top_port = 22;
+  f.mean_iid_hamming = 8;
+  f.targets_per_dst64 = 1.5;
+  f.in_dns_fraction = 0.5;
+  f.gap_cv = 0.9;
+  EXPECT_NEAR(fingerprint_similarity(f, f), 1.0, 1e-9);
+}
+
+TEST(Fingerprint, LinkActorsRespectsThreshold) {
+  std::map<net::Ipv6Prefix, Fingerprint> fps;
+  Fingerprint a;
+  a.distinct_ports = 1;
+  a.top_port = 22;
+  Fingerprint b = a;
+  Fingerprint c;
+  c.distinct_ports = 400;
+  c.top_port = 80;
+  c.port_entropy = 0.99;
+  c.mean_iid_hamming = 32;
+  c.in_dns_fraction = 1.0;
+  fps.emplace(Ipv6Prefix::parse_or_throw("2a10:1::/64"), a);
+  fps.emplace(Ipv6Prefix::parse_or_throw("2a10:2::/64"), b);
+  fps.emplace(Ipv6Prefix::parse_or_throw("2a10:3::/64"), c);
+  const auto links = link_actors(fps, 0.95);
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_NEAR(links[0].similarity, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace v6sonar::analysis

@@ -1,0 +1,379 @@
+// Tests for the analysis layer: report folding, port classification,
+// time series, DNS targeting, Hamming weights, actor similarity.
+#include <gtest/gtest.h>
+
+#include "analysis/dns_targeting.hpp"
+#include "analysis/hamming.hpp"
+#include "analysis/ports.hpp"
+#include "analysis/reports.hpp"
+#include "analysis/similarity.hpp"
+#include "analysis/timeseries.hpp"
+
+namespace v6sonar::analysis {
+namespace {
+
+using core::ScanEvent;
+using net::Ipv6Address;
+using net::Ipv6Prefix;
+
+ScanEvent ev(const char* src, std::uint64_t packets, std::uint32_t dsts,
+             std::uint32_t asn = 1) {
+  ScanEvent e;
+  e.source = Ipv6Prefix::parse_or_throw(src);
+  e.packets = packets;
+  e.distinct_dsts = dsts;
+  e.src_asn = asn;
+  e.port_packets = {{22, packets}};
+  e.weekly_packets = {{0, packets}};
+  return e;
+}
+
+TEST(Reports, FoldSourcesAggregatesPerPrefix) {
+  const std::vector<ScanEvent> events = {ev("2a10:1::/64", 100, 150),
+                                         ev("2a10:1::/64", 50, 120),
+                                         ev("2a10:2::/64", 10, 110)};
+  const auto sources = fold_sources(events);
+  ASSERT_EQ(sources.size(), 2u);
+  EXPECT_EQ(sources[0].scans, 2u);
+  EXPECT_EQ(sources[0].packets, 150u);
+  EXPECT_EQ(sources[0].distinct_dsts_max, 150u);
+  EXPECT_EQ(sources[1].scans, 1u);
+}
+
+TEST(Reports, TotalsMatchTable1Semantics) {
+  const std::vector<ScanEvent> events = {ev("2a10:1::/64", 100, 150, 1),
+                                         ev("2a10:1::/64", 50, 120, 1),
+                                         ev("2a10:2::/64", 10, 110, 2)};
+  const auto t = totals(events);
+  EXPECT_EQ(t.scans, 3u);
+  EXPECT_EQ(t.packets, 160u);
+  EXPECT_EQ(t.sources, 2u);
+  EXPECT_EQ(t.ases, 2u);
+  const auto empty = totals({});
+  EXPECT_EQ(empty.scans, 0u);
+  EXPECT_EQ(empty.sources, 0u);
+}
+
+TEST(Reports, FoldByAsCountsSourcesAndScans) {
+  const auto by_as = fold_by_as({ev("2a10:1::/64", 100, 150, 7),
+                                 ev("2a10:1:0:1::/64", 30, 120, 7),
+                                 ev("2a10:1::/64", 20, 130, 7)});
+  ASSERT_EQ(by_as.size(), 1u);
+  const auto& a = by_as.at(7);
+  EXPECT_EQ(a.packets, 150u);
+  EXPECT_EQ(a.sources, 2u);
+  EXPECT_EQ(a.scans, 3u);
+}
+
+TEST(Reports, DurationStats) {
+  std::vector<ScanEvent> events;
+  for (int secs : {10, 20, 30, 40, 1'000}) {
+    ScanEvent e = ev("2a10:1::/64", 10, 100);
+    e.first_us = 0;
+    e.last_us = static_cast<sim::TimeUs>(secs) * 1'000'000;
+    events.push_back(e);
+  }
+  const auto d = duration_stats(events);
+  EXPECT_EQ(d.events, 5u);
+  EXPECT_DOUBLE_EQ(d.median_sec, 30.0);
+  EXPECT_DOUBLE_EQ(d.max_sec, 1'000.0);
+  EXPECT_EQ(duration_stats({}).events, 0u);
+}
+
+ScanEvent with_ports(std::vector<std::pair<std::uint16_t, std::uint64_t>> pp,
+                     const char* src = "2a10:1::/64") {
+  ScanEvent e;
+  e.source = Ipv6Prefix::parse_or_throw(src);
+  e.src_asn = 1;
+  for (const auto& [port, n] : pp) e.packets += n;
+  e.distinct_dsts = 200;
+  e.port_packets = std::move(pp);
+  return e;
+}
+
+TEST(Ports, Footnote9Classification) {
+  // Single port: f = 1.
+  EXPECT_EQ(classify_ports(with_ports({{22, 100}})), PortBucket::kSingle);
+  // f > 0.5 still counts as "single port" even with stray packets;
+  // an even split does not.
+  EXPECT_EQ(classify_ports(with_ports({{22, 50}, {23, 50}})), PortBucket::kUnder10);
+  EXPECT_EQ(classify_ports(with_ports({{22, 51}, {23, 49}})), PortBucket::kSingle);
+  // 5 equal ports: f = 0.2 -> <10 ports.
+  EXPECT_EQ(classify_ports(with_ports({{1, 20}, {2, 20}, {3, 20}, {4, 20}, {5, 20}})),
+            PortBucket::kUnder10);
+  // 50 equal ports: f = 0.02 -> <100.
+  {
+    std::vector<std::pair<std::uint16_t, std::uint64_t>> pp;
+    for (std::uint16_t p = 1; p <= 50; ++p) pp.push_back({p, 10});
+    EXPECT_EQ(classify_ports(with_ports(std::move(pp))), PortBucket::kUnder100);
+  }
+  // 444 equal ports: f ~ 0.002 -> >100 (the AS#1 early pattern).
+  {
+    std::vector<std::pair<std::uint16_t, std::uint64_t>> pp;
+    for (std::uint16_t p = 1; p <= 444; ++p) pp.push_back({p, 10});
+    EXPECT_EQ(classify_ports(with_ports(std::move(pp))), PortBucket::kOver100);
+  }
+  EXPECT_EQ(to_string(PortBucket::kOver100), ">100 ports");
+}
+
+TEST(Ports, BucketSharesSumToOne) {
+  std::vector<ScanEvent> events = {with_ports({{22, 1'000}}, "2a10:1::/64"),
+                                   with_ports({{22, 10}, {23, 10}, {24, 10}}, "2a10:2::/64")};
+  const auto shares = port_bucket_shares(events);
+  double scan_sum = 0, src_sum = 0, pkt_sum = 0;
+  for (int b = 0; b < 4; ++b) {
+    scan_sum += shares.scans[b];
+    src_sum += shares.sources[b];
+    pkt_sum += shares.packets[b];
+  }
+  EXPECT_NEAR(scan_sum, 1.0, 1e-9);
+  EXPECT_NEAR(src_sum, 1.0, 1e-9);
+  EXPECT_NEAR(pkt_sum, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(shares.packets[0], 1'000.0 / 1'030.0);
+}
+
+TEST(Ports, SourceCountedInWidestBucket) {
+  // The same source runs a single-port scan and a 5-port scan: it
+  // counts once, in the multi-port bucket.
+  std::vector<ScanEvent> events = {
+      with_ports({{22, 100}}, "2a10:1::/64"),
+      with_ports({{1, 20}, {2, 20}, {3, 20}, {4, 20}, {5, 20}}, "2a10:1::/64")};
+  const auto shares = port_bucket_shares(events);
+  EXPECT_DOUBLE_EQ(shares.sources[static_cast<int>(PortBucket::kSingle)], 0.0);
+  EXPECT_DOUBLE_EQ(shares.sources[static_cast<int>(PortBucket::kUnder10)], 1.0);
+}
+
+TEST(Ports, TopPortsThreeRankings) {
+  std::vector<ScanEvent> events = {
+      with_ports({{22, 900}, {23, 100}}, "2a10:1::/64"),
+      with_ports({{23, 50}}, "2a10:2::/64"),
+      with_ports({{23, 30}}, "2a10:3::/64"),
+  };
+  const auto top = top_ports(events, 10);
+  // By packets: 22 (900/1080) over 23 (180/1080).
+  ASSERT_GE(top.by_packets.size(), 2u);
+  EXPECT_EQ(top.by_packets[0].port, 22);
+  EXPECT_NEAR(top.by_packets[0].share, 900.0 / 1'080.0, 1e-9);
+  // By scans: 23 appears in 3/3 scans, 22 in 1/3.
+  EXPECT_EQ(top.by_scans[0].port, 23);
+  EXPECT_NEAR(top.by_scans[0].share, 1.0, 1e-9);
+  // By sources: 23 in 3/3 sources.
+  EXPECT_EQ(top.by_sources[0].port, 23);
+}
+
+TEST(Ports, ExclusionFilterRemovesAs18Style) {
+  std::vector<ScanEvent> events = {with_ports({{22, 900}}, "2a10:12::/64"),
+                                   with_ports({{23, 10}}, "2a10:2::/64")};
+  events[0].src_asn = 18;
+  events[1].src_asn = 2;
+  const auto top =
+      top_ports(events, 10, [](const ScanEvent& e) { return e.src_asn == 18; });
+  ASSERT_EQ(top.by_packets.size(), 1u);
+  EXPECT_EQ(top.by_packets[0].port, 23);
+}
+
+TEST(TimeSeries, WeeklySeriesSplitsEvents) {
+  ScanEvent a = ev("2a10:1::/64", 0, 150);
+  a.weekly_packets = {{0, 100}, {1, 50}};
+  a.packets = 150;
+  ScanEvent b = ev("2a10:2::/64", 0, 150);
+  b.weekly_packets = {{1, 200}};
+  b.packets = 200;
+  const auto series = weekly_series({a, b});
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].week, 0);
+  EXPECT_EQ(series[0].active_sources, 1u);
+  EXPECT_EQ(series[0].packets, 100u);
+  EXPECT_EQ(series[1].week, 1);
+  EXPECT_EQ(series[1].active_sources, 2u);
+  EXPECT_EQ(series[1].packets, 250u);
+  EXPECT_DOUBLE_EQ(series[1].top1_share, 200.0 / 250.0);
+  EXPECT_DOUBLE_EQ(series[1].top2_share, 1.0);
+}
+
+TEST(TimeSeries, OverallTopKShare) {
+  const std::vector<ScanEvent> events = {ev("2a10:1::/64", 700, 150),
+                                         ev("2a10:2::/64", 200, 150),
+                                         ev("2a10:3::/64", 100, 150)};
+  EXPECT_DOUBLE_EQ(overall_top_k_share(events, 1), 0.7);
+  EXPECT_DOUBLE_EQ(overall_top_k_share(events, 2), 0.9);
+  EXPECT_DOUBLE_EQ(overall_top_k_share(events, 5), 1.0);
+}
+
+TEST(TimeSeries, MeanWeeklyShare) {
+  ScanEvent a = ev("2a10:1::/64", 0, 150);
+  a.weekly_packets = {{0, 90}, {1, 50}};
+  ScanEvent b = ev("2a10:2::/64", 0, 150);
+  b.weekly_packets = {{0, 10}, {1, 50}};
+  // Week 0: top1 = 0.9; week 1: top1 = 0.5 -> mean 0.7.
+  EXPECT_DOUBLE_EQ(mean_weekly_top_k_share({a, b}, 1), 0.7);
+  EXPECT_DOUBLE_EQ(mean_weekly_top_k_share({a, b}, 2), 1.0);
+}
+
+TEST(DnsTargeting, FractionsAndExclusion) {
+  ScanEvent all_dns = ev("2a10:1::/64", 100, 100, 1);
+  all_dns.distinct_dsts_in_dns = 100;
+  ScanEvent half = ev("2a10:2::/64", 100, 100, 18);
+  half.distinct_dsts_in_dns = 50;
+  ScanEvent two_thirds = ev("2a10:3::/64", 90, 90, 3);
+  two_thirds.distinct_dsts_in_dns = 60;
+
+  const auto rep = dns_targeting({all_dns, half, two_thirds});
+  EXPECT_EQ(rep.sources, 3u);
+  EXPECT_NEAR(rep.all_in_dns_fraction, 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(rep.third_not_in_dns_fraction, 2.0 / 3.0, 1e-9);
+
+  const auto excl = dns_targeting({all_dns, half, two_thirds}, /*exclude_asn=*/18);
+  EXPECT_EQ(excl.sources, 2u);
+  EXPECT_NEAR(excl.all_in_dns_fraction, 0.5, 1e-9);
+}
+
+TEST(DnsTargeting, NearbyProbeWindows) {
+  const auto src64 = Ipv6Prefix::parse_or_throw("2a10:9::/64");
+  NearbyProbeAnalysis analysis({src64}, 64);
+  auto rec = [&](std::uint64_t dst_lo, bool in_dns) {
+    sim::LogRecord r;
+    r.src = Ipv6Address::parse_or_throw("2a10:9::1");
+    r.dst = Ipv6Address{0x2600'0000'0000'0000ULL, dst_lo};
+    r.dst_in_dns = in_dns;
+    return r;
+  };
+  // In-DNS probe at ...0x100; then not-in-DNS at 0x10f (same /124),
+  // 0x1f0 (same /120), 0x10000 (same /112 only... actually /112 spans
+  // 16 bits: 0x100 vs 0x1100 differ in bit 12 -> same /112? 0x100 ^
+  // 0x1100 = 0x1000 -> bit 115 -> within /112 window yes).
+  analysis.feed(rec(0x100, true));
+  analysis.feed(rec(0x10f, false));   // same /124
+  analysis.feed(rec(0x1f0, false));   // same /120 but not /124
+  analysis.feed(rec(0x1100, false));  // same /112 but not /116
+  analysis.feed(rec(0x9'0000'0000, false));  // nowhere near
+  const auto& res = analysis.results().at(src64);
+  EXPECT_EQ(res.not_in_dns_probes, 4u);
+  EXPECT_EQ(res.preceded[0], 1u);  // /124
+  EXPECT_EQ(res.preceded[1], 2u);  // /120
+  EXPECT_EQ(res.preceded[2], 2u);  // /116
+  EXPECT_EQ(res.preceded[3], 3u);  // /112
+}
+
+TEST(DnsTargeting, NearbyProbeOrderMatters) {
+  const auto src64 = Ipv6Prefix::parse_or_throw("2a10:9::/64");
+  NearbyProbeAnalysis analysis({src64}, 64);
+  sim::LogRecord r;
+  r.src = Ipv6Address::parse_or_throw("2a10:9::1");
+  r.dst = Ipv6Address{0x2600'0000'0000'0000ULL, 0x101};
+  r.dst_in_dns = false;
+  analysis.feed(r);  // not-in-DNS FIRST: no previous in-DNS probe
+  r.dst = Ipv6Address{0x2600'0000'0000'0000ULL, 0x100};
+  r.dst_in_dns = true;
+  analysis.feed(r);
+  const auto& res = analysis.results().at(src64);
+  EXPECT_EQ(res.not_in_dns_probes, 1u);
+  EXPECT_EQ(res.preceded[0], 0u);
+}
+
+TEST(DnsTargeting, UnwatchedSourcesIgnored) {
+  NearbyProbeAnalysis analysis({Ipv6Prefix::parse_or_throw("2a10:9::/64")}, 64);
+  sim::LogRecord r;
+  r.src = Ipv6Address::parse_or_throw("2a10:ffff::1");
+  r.dst_in_dns = false;
+  analysis.feed(r);
+  EXPECT_EQ(analysis.results().at(Ipv6Prefix::parse_or_throw("2a10:9::/64")).not_in_dns_probes,
+            0u);
+}
+
+TEST(Hamming, HistogramAndDistinctness) {
+  const auto src = Ipv6Prefix::parse_or_throw("2a10:1::15/128");
+  TargetAnalysis ta({src}, 128);
+  auto rec = [&](std::uint64_t iid) {
+    sim::LogRecord r;
+    r.src = Ipv6Address::parse_or_throw("2a10:1::15");
+    r.dst = Ipv6Address{0x2600'0000'0000'0000ULL, iid};
+    r.ts_us = 1;
+    return r;
+  };
+  ta.feed(rec(0x3));   // HW 2
+  ta.feed(rec(0x3));   // duplicate: ignored
+  ta.feed(rec(0x7));   // HW 3
+  ta.feed(rec(0xFF));  // HW 8
+  const auto& res = ta.results().at(src);
+  EXPECT_EQ(res.distinct_targets, 3u);
+  EXPECT_EQ(res.hw_histogram[2], 1u);
+  EXPECT_EQ(res.hw_histogram[3], 1u);
+  EXPECT_EQ(res.hw_histogram[8], 1u);
+  EXPECT_NEAR(TargetAnalysis::mean_hamming_weight(res), (2 + 3 + 8) / 3.0, 1e-9);
+  EXPECT_EQ(res.targets.size(), 3u);
+}
+
+TEST(Hamming, TimeWindowRestricts) {
+  const auto src = Ipv6Prefix::parse_or_throw("2a10:1::15/128");
+  TargetAnalysis ta({src}, 128, /*from=*/100, /*to=*/200);
+  sim::LogRecord r;
+  r.src = Ipv6Address::parse_or_throw("2a10:1::15");
+  r.dst = Ipv6Address{1, 1};
+  r.ts_us = 50;
+  ta.feed(r);  // before window
+  r.ts_us = 150;
+  r.dst = Ipv6Address{1, 2};
+  ta.feed(r);  // inside
+  r.ts_us = 250;
+  r.dst = Ipv6Address{1, 3};
+  ta.feed(r);  // after
+  EXPECT_EQ(ta.results().at(src).distinct_targets, 1u);
+}
+
+TEST(Hamming, MedianTargetsPerDst64) {
+  const auto src = Ipv6Prefix::parse_or_throw("2a10:1::15/128");
+  TargetAnalysis ta({src}, 128);
+  sim::LogRecord r;
+  r.src = Ipv6Address::parse_or_throw("2a10:1::15");
+  r.ts_us = 1;
+  // /64 A gets 3 targets, /64 B gets 1.
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    r.dst = Ipv6Address{0xAA, i};
+    ta.feed(r);
+  }
+  r.dst = Ipv6Address{0xBB, 0};
+  ta.feed(r);
+  EXPECT_DOUBLE_EQ(TargetAnalysis::median_targets_per_dst64(ta.results().at(src)), 2.0);
+}
+
+TEST(Similarity, ProfilesAndJaccard) {
+  const auto a64 = Ipv6Prefix::parse_or_throw("2a10:6:0:1::/64");
+  const auto b64 = Ipv6Prefix::parse_or_throw("2a10:6:1:1::/64");
+  SimilarityAnalysis sa({a64, b64}, 64);
+  auto rec = [&](const char* src, std::uint64_t dst_lo, bool dns, std::uint16_t port,
+                 sim::TimeUs ts) {
+    sim::LogRecord r;
+    r.ts_us = ts;
+    r.src = Ipv6Address::parse_or_throw(src);
+    r.dst = Ipv6Address{0x2600'0000'0000'0000ULL, dst_lo};
+    r.dst_in_dns = dns;
+    r.dst_port = port;
+    return r;
+  };
+  // A targets {1,2,3}; B targets {2,3,4}: Jaccard 2/4 = 0.5.
+  sa.feed(rec("2a10:6:0:1::a", 1, true, 22, 10));
+  sa.feed(rec("2a10:6:0:1::a", 2, true, 22, 20));
+  sa.feed(rec("2a10:6:0:1::a", 3, false, 23, 30));
+  sa.feed(rec("2a10:6:1:1::b", 2, true, 22, 15));
+  sa.feed(rec("2a10:6:1:1::b", 3, false, 22, 25));
+  sa.feed(rec("2a10:6:1:1::b", 4, false, 22, 35));
+  const auto& pa = sa.profiles().at(a64);
+  const auto& pb = sa.profiles().at(b64);
+  EXPECT_EQ(pa.packets, 3u);
+  EXPECT_EQ(pa.targets_in_dns, 2u);
+  EXPECT_EQ(pa.targets_not_in_dns, 1u);
+  EXPECT_NEAR(pa.in_dns_fraction(), 2.0 / 3.0, 1e-9);
+  EXPECT_EQ(pa.ports.size(), 2u);
+  EXPECT_EQ(pa.first_us, 10);
+  EXPECT_EQ(pa.last_us, 30);
+  EXPECT_DOUBLE_EQ(SimilarityAnalysis::target_jaccard(pa, pb), 0.5);
+}
+
+TEST(Similarity, JaccardEdgeCases) {
+  SimilarityAnalysis::SourceProfile empty_a, empty_b;
+  EXPECT_DOUBLE_EQ(SimilarityAnalysis::target_jaccard(empty_a, empty_b), 0.0);
+}
+
+}  // namespace
+}  // namespace v6sonar::analysis

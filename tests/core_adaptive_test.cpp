@@ -1,0 +1,147 @@
+// Tests for adaptive source-aggregation attribution (§5).
+#include <gtest/gtest.h>
+
+#include "core/adaptive.hpp"
+
+namespace v6sonar::core {
+namespace {
+
+using net::Ipv6Prefix;
+
+ScanEvent ev(const char* prefix, std::uint64_t packets, std::uint32_t asn = 1) {
+  ScanEvent e;
+  e.source = Ipv6Prefix::parse_or_throw(prefix);
+  e.packets = packets;
+  e.distinct_dsts = 500;
+  e.src_asn = asn;
+  return e;
+}
+
+TEST(Adaptive, RejectsMismatchedInput) {
+  EXPECT_THROW(attribute_adaptive({{}}, AdaptiveConfig{}), std::invalid_argument);
+  AdaptiveConfig bad;
+  bad.ladder = {64, 128};  // must be finest first
+  EXPECT_THROW(attribute_adaptive({{}, {}}, bad), std::invalid_argument);
+}
+
+TEST(Adaptive, SingleAddressActorStaysAtSlash128) {
+  // The AS#1 pattern: one /128 does everything; parents add nothing.
+  const std::vector<std::vector<ScanEvent>> levels = {
+      {ev("2a10:1::15/128", 1'000'000)},
+      {ev("2a10:1::/64", 1'000'000)},
+      {ev("2a10:1::/48", 1'000'000)},
+      {ev("2a10:1::/32", 1'000'000)},
+  };
+  const auto out = attribute_adaptive(levels, {});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].level, 128);
+  EXPECT_EQ(out[0].source.to_string(), "2a10:1::15/128");
+}
+
+TEST(Adaptive, SpreadActorEscalatesToSlash32) {
+  // The AS#18 pattern: /48-level children see 600k packets; the /32
+  // parent sees 1.9M (the paper's exact case study numbers).
+  std::vector<ScanEvent> at48;
+  for (int i = 0; i < 3; ++i)
+    at48.push_back(ev(("2a10:12:" + std::to_string(i + 1) + "::/48").c_str(), 200'000));
+  const std::vector<std::vector<ScanEvent>> levels = {
+      {},    // nothing qualifies at /128
+      {},    // nothing at /64
+      at48,  // 600k packets across 3 /48s
+      {ev("2a10:12::/32", 1'900'000)},
+  };
+  const auto out = attribute_adaptive(levels, {});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].level, 32);
+  EXPECT_EQ(out[0].packets, 1'900'000u);
+  EXPECT_EQ(out[0].child_packets, 600'000u);
+  EXPECT_EQ(out[0].children, 3u);
+}
+
+TEST(Adaptive, CloudTenantsAreNotMerged) {
+  // The AS#6 pattern: two distinct tenants in one /48; the parent sees
+  // only their sum, so escalation would be pure collateral.
+  const std::vector<std::vector<ScanEvent>> levels = {
+      {ev("2a10:6:0:1::a/128", 500'000), ev("2a10:6:0:2::b/128", 400'000)},
+      {ev("2a10:6:0:1::/64", 500'000), ev("2a10:6:0:2::/64", 400'000)},
+      {ev("2a10:6::/48", 900'000)},
+      {ev("2a10:6::/32", 900'000)},
+  };
+  const auto out = attribute_adaptive(levels, {});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].level, 128);
+  EXPECT_EQ(out[1].level, 128);
+}
+
+TEST(Adaptive, EscalatesOneLevelWhenParentAddsEnough) {
+  // A /64 parent with 3x the packets of its lone /128 child: the actor
+  // sprays most traffic from below-threshold addresses in the /64.
+  const std::vector<std::vector<ScanEvent>> levels = {
+      {ev("2a10:9::1/128", 100'000)},
+      {ev("2a10:9::/64", 300'000)},
+      {ev("2a10:9::/48", 300'000)},
+      {ev("2a10:9::/32", 300'000)},
+  };
+  const auto out = attribute_adaptive(levels, {});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].level, 64);
+  EXPECT_EQ(out[0].packets, 300'000u);
+}
+
+TEST(Adaptive, PureSpreadActorWithNoChildrenAppears) {
+  // Nothing qualifies below /32 at all.
+  const std::vector<std::vector<ScanEvent>> levels = {
+      {}, {}, {}, {ev("2a10:77::/32", 50'000)}};
+  const auto out = attribute_adaptive(levels, {});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].level, 32);
+  EXPECT_EQ(out[0].children, 0u);
+}
+
+TEST(Adaptive, MaxChildrenGuardPreventsMassMerge) {
+  // 10 children whose parent has far more traffic, but the guard caps
+  // absorbable children at 4.
+  std::vector<ScanEvent> fine;
+  for (int i = 0; i < 10; ++i)
+    fine.push_back(ev(("2a10:5::" + std::to_string(i + 1) + "/128").c_str(), 1'000));
+  AdaptiveConfig cfg;
+  cfg.max_children_absorbed = 4;
+  const std::vector<std::vector<ScanEvent>> levels = {
+      fine, {ev("2a10:5::/64", 1'000'000)}, {}, {}};
+  const auto out = attribute_adaptive(levels, cfg);
+  EXPECT_EQ(out.size(), 10u);
+  for (const auto& a : out) EXPECT_EQ(a.level, 128);
+}
+
+TEST(Adaptive, IndependentActorsKeepIndependentLevels) {
+  const std::vector<std::vector<ScanEvent>> levels = {
+      {ev("2a10:1::15/128", 1'000'000, 1)},
+      {ev("2a10:1::/64", 1'000'000, 1)},
+      {ev("2a10:1::/48", 1'000'000, 1), ev("2a10:12:1::/48", 100'000, 18)},
+      {ev("2a10:1::/32", 1'000'000, 1), ev("2a10:12::/32", 900'000, 18)},
+  };
+  const auto out = attribute_adaptive(levels, {});
+  ASSERT_EQ(out.size(), 2u);
+  // Sorted by prefix: 2a10:1:: first.
+  EXPECT_EQ(out[0].level, 128);
+  EXPECT_EQ(out[0].src_asn, 1u);
+  EXPECT_EQ(out[1].level, 32);
+  EXPECT_EQ(out[1].src_asn, 18u);
+}
+
+TEST(Adaptive, MultipleEventsPerSourceFoldBeforeDeciding) {
+  // Two events of the same /128 sum to the parent's packet count.
+  const std::vector<std::vector<ScanEvent>> levels = {
+      {ev("2a10:2::9/128", 400), ev("2a10:2::9/128", 600)},
+      {ev("2a10:2::/64", 1'000)},
+      {ev("2a10:2::/48", 1'000)},
+      {ev("2a10:2::/32", 1'000)},
+  };
+  const auto out = attribute_adaptive(levels, {});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].level, 128);
+  EXPECT_EQ(out[0].packets, 1'000u);
+}
+
+}  // namespace
+}  // namespace v6sonar::core

@@ -1,0 +1,136 @@
+// Model-based property test: the streaming ScanDetector must agree
+// exactly with a trivially-correct batch reference implementation on
+// random traffic, across aggregation lengths, thresholds, and
+// timeouts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/detector.hpp"
+#include "util/rng.hpp"
+
+namespace v6sonar::core {
+namespace {
+
+using net::Ipv6Address;
+using net::Ipv6Prefix;
+using sim::LogRecord;
+using sim::TimeUs;
+
+struct RefEvent {
+  Ipv6Prefix source;
+  TimeUs first = 0, last = 0;
+  std::uint64_t packets = 0;
+  std::set<Ipv6Address> dsts;
+  std::map<std::uint16_t, std::uint64_t> ports;
+};
+
+/// O(n log n) batch reference: group by aggregated source, split on
+/// gaps > timeout, keep groups with enough distinct destinations.
+std::vector<RefEvent> reference(std::vector<LogRecord> records, const DetectorConfig& cfg) {
+  std::stable_sort(records.begin(), records.end(), [](const LogRecord& a, const LogRecord& b) {
+    return a.ts_us < b.ts_us;
+  });
+  std::map<Ipv6Prefix, std::vector<const LogRecord*>> by_src;
+  for (const auto& r : records) by_src[Ipv6Prefix{r.src, cfg.source_prefix_len}].push_back(&r);
+
+  std::vector<RefEvent> out;
+  for (const auto& [src, recs] : by_src) {
+    std::vector<std::vector<const LogRecord*>> runs(1);
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      if (i > 0 && recs[i]->ts_us - recs[i - 1]->ts_us > cfg.timeout_us)
+        runs.emplace_back();
+      runs.back().push_back(recs[i]);
+    }
+    for (const auto& run : runs) {
+      if (run.empty()) continue;
+      RefEvent ev;
+      ev.source = src;
+      ev.first = run.front()->ts_us;
+      ev.last = run.back()->ts_us;
+      for (const auto* r : run) {
+        ++ev.packets;
+        ev.dsts.insert(r->dst);
+        ++ev.ports[r->dst_port];
+      }
+      if (ev.dsts.size() >= cfg.min_destinations) out.push_back(std::move(ev));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const RefEvent& a, const RefEvent& b) {
+    return std::tie(a.source, a.first) < std::tie(b.source, b.first);
+  });
+  return out;
+}
+
+std::vector<LogRecord> random_traffic(std::uint64_t seed, std::size_t n) {
+  util::Xoshiro256 rng(seed);
+  std::vector<LogRecord> out;
+  out.reserve(n);
+  TimeUs t = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    LogRecord r;
+    // Bursty clock: mostly small steps, occasional > timeout jumps.
+    t += rng.chance(0.02) ? 4'000'000'000LL + static_cast<TimeUs>(rng.below(4'000'000'000ULL))
+                          : static_cast<TimeUs>(rng.below(30'000'000));
+    r.ts_us = t;
+    // A handful of /48s, /64s and addresses so aggregation matters.
+    const std::uint64_t hi =
+        0x2A10'0001'0000'0000ULL | (rng.below(3) << 16) | rng.below(3);
+    r.src = Ipv6Address{hi, rng.below(6)};
+    r.dst = Ipv6Address{0x2600ULL << 48, rng.below(400)};
+    r.dst_port = static_cast<std::uint16_t>(rng.below(5));
+    r.dst_in_dns = rng.chance(0.5);
+    out.push_back(r);
+  }
+  return out;
+}
+
+struct Params {
+  std::uint64_t seed;
+  int len;
+  std::uint32_t min_dsts;
+  TimeUs timeout;
+};
+
+class DetectorModel : public ::testing::TestWithParam<Params> {};
+
+TEST_P(DetectorModel, StreamingMatchesBatchReference) {
+  const auto [seed, len, min_dsts, timeout] = GetParam();
+  const DetectorConfig cfg{
+      .source_prefix_len = len, .min_destinations = min_dsts, .timeout_us = timeout};
+  const auto traffic = random_traffic(seed, 6'000);
+
+  std::vector<ScanEvent> got;
+  ScanDetector det(cfg, [&](ScanEvent&& ev) { got.push_back(std::move(ev)); });
+  for (const auto& r : traffic) det.feed(r);
+  det.flush();
+  std::sort(got.begin(), got.end(), [](const ScanEvent& a, const ScanEvent& b) {
+    return std::tie(a.source, a.first_us) < std::tie(b.source, b.first_us);
+  });
+
+  const auto want = reference(traffic, cfg);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].source, want[i].source) << i;
+    EXPECT_EQ(got[i].first_us, want[i].first) << i;
+    EXPECT_EQ(got[i].last_us, want[i].last) << i;
+    EXPECT_EQ(got[i].packets, want[i].packets) << i;
+    EXPECT_EQ(got[i].distinct_dsts, want[i].dsts.size()) << i;
+    ASSERT_EQ(got[i].port_packets.size(), want[i].ports.size()) << i;
+    for (const auto& [port, count] : got[i].port_packets)
+      EXPECT_EQ(want[i].ports.at(port), count) << i << " port " << port;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DetectorModel,
+    ::testing::Values(Params{1, 128, 50, 3'600'000'000LL}, Params{2, 64, 50, 3'600'000'000LL},
+                      Params{3, 48, 50, 3'600'000'000LL}, Params{4, 64, 100, 3'600'000'000LL},
+                      Params{5, 64, 5, 3'600'000'000LL}, Params{6, 64, 50, 900'000'000LL},
+                      Params{7, 64, 50, 7'200'000'000LL}, Params{8, 32, 50, 1'800'000'000LL},
+                      Params{9, 0, 50, 3'600'000'000LL}));
+
+}  // namespace
+}  // namespace v6sonar::core

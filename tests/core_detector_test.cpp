@@ -1,0 +1,303 @@
+// Tests for the streaming scan detector: the §2.2 scan definition,
+// aggregation semantics, timeout event-splitting, and accounting.
+#include <gtest/gtest.h>
+
+#include "core/detector.hpp"
+#include "sim/merge.hpp"
+#include "util/rng.hpp"
+#include "util/timebase.hpp"
+
+namespace v6sonar::core {
+namespace {
+
+using net::Ipv6Address;
+using net::Ipv6Prefix;
+using sim::LogRecord;
+using sim::TimeUs;
+
+constexpr TimeUs kSec = 1'000'000;
+constexpr TimeUs kHour = 3'600 * kSec;
+
+LogRecord probe(TimeUs ts, std::uint64_t src_lo, std::uint64_t dst_lo,
+                std::uint16_t port = 22, bool in_dns = false) {
+  LogRecord r;
+  r.ts_us = ts;
+  r.src = Ipv6Address{0x2A10'0001'0000'0000ULL, src_lo};
+  r.dst = Ipv6Address{0x2600'0000'0000'0000ULL, dst_lo};
+  r.proto = wire::IpProto::kTcp;
+  r.dst_port = port;
+  r.dst_in_dns = in_dns;
+  r.src_asn = 7;
+  return r;
+}
+
+std::vector<ScanEvent> run(const DetectorConfig& cfg, const std::vector<LogRecord>& records) {
+  std::vector<ScanEvent> events;
+  ScanDetector d(cfg, [&](ScanEvent&& ev) { events.push_back(std::move(ev)); });
+  for (const auto& r : records) d.feed(r);
+  d.flush();
+  return events;
+}
+
+TEST(ScanDetector, RejectsBadConfig) {
+  const auto sink = [](ScanEvent&&) {};
+  EXPECT_THROW(ScanDetector({.source_prefix_len = 129}, sink), std::invalid_argument);
+  EXPECT_THROW(ScanDetector({.source_prefix_len = -1}, sink), std::invalid_argument);
+  EXPECT_THROW(ScanDetector({.min_destinations = 0}, sink), std::invalid_argument);
+  EXPECT_THROW(ScanDetector({.timeout_us = 0}, sink), std::invalid_argument);
+  EXPECT_THROW(ScanDetector({}, nullptr), std::invalid_argument);
+}
+
+TEST(ScanDetector, BelowThresholdIsNotAScan) {
+  std::vector<LogRecord> recs;
+  for (std::uint64_t i = 0; i < 99; ++i) recs.push_back(probe(i * kSec, 1, i));
+  EXPECT_TRUE(run({.min_destinations = 100}, recs).empty());
+}
+
+TEST(ScanDetector, ExactlyThresholdQualifies) {
+  std::vector<LogRecord> recs;
+  for (std::uint64_t i = 0; i < 100; ++i) recs.push_back(probe(i * kSec, 1, i));
+  const auto events = run({.min_destinations = 100}, recs);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].distinct_dsts, 100u);
+  EXPECT_EQ(events[0].packets, 100u);
+  EXPECT_EQ(events[0].src_asn, 7u);
+}
+
+TEST(ScanDetector, RepeatPacketsDoNotInflateDistinctCount) {
+  std::vector<LogRecord> recs;
+  for (std::uint64_t i = 0; i < 300; ++i) recs.push_back(probe(i * kSec, 1, i % 50));
+  EXPECT_TRUE(run({.min_destinations = 100}, recs).empty());
+  const auto events = run({.min_destinations = 50}, recs);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].distinct_dsts, 50u);
+  EXPECT_EQ(events[0].packets, 300u);
+}
+
+TEST(ScanDetector, TimeoutSplitsEvents) {
+  std::vector<LogRecord> recs;
+  // Burst 1: 120 destinations over 2 minutes.
+  for (std::uint64_t i = 0; i < 120; ++i) recs.push_back(probe(i * kSec, 1, i));
+  // Gap of 2 hours (> 1h timeout), then burst 2: another 150.
+  const TimeUs t2 = 120 * kSec + 2 * kHour;
+  for (std::uint64_t i = 0; i < 150; ++i) recs.push_back(probe(t2 + i * kSec, 1, 1'000 + i));
+  const auto events = run({}, recs);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].distinct_dsts, 120u);
+  EXPECT_EQ(events[1].distinct_dsts, 150u);
+  EXPECT_LT(events[0].last_us, events[1].first_us);
+}
+
+TEST(ScanDetector, GapJustUnderTimeoutDoesNotSplit) {
+  std::vector<LogRecord> recs;
+  for (std::uint64_t i = 0; i < 60; ++i) recs.push_back(probe(i * kSec, 1, i));
+  const TimeUs t2 = 59 * kSec + kHour;  // exactly the timeout: still same event
+  for (std::uint64_t i = 0; i < 60; ++i) recs.push_back(probe(t2 + i * kSec, 1, 100 + i));
+  const auto events = run({}, recs);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].distinct_dsts, 120u);
+}
+
+TEST(ScanDetector, SubThresholdBurstsVanishSilently) {
+  // Two 60-destination bursts separated by 2h: neither qualifies alone.
+  std::vector<LogRecord> recs;
+  for (std::uint64_t i = 0; i < 60; ++i) recs.push_back(probe(i * kSec, 1, i));
+  for (std::uint64_t i = 0; i < 60; ++i)
+    recs.push_back(probe(2 * kHour + i * kSec, 1, 100 + i));
+  EXPECT_TRUE(run({}, recs).empty());
+}
+
+TEST(ScanDetector, AggregationMergesSpreadSources) {
+  // 10 source /128s in one /64, 20 destinations each: invisible at
+  // /128, one 200-destination scan at /64 — the paper's core point.
+  std::vector<LogRecord> recs;
+  for (std::uint64_t s = 0; s < 10; ++s)
+    for (std::uint64_t i = 0; i < 20; ++i)
+      recs.push_back(probe((s * 20 + i) * kSec, s, s * 20 + i));
+
+  EXPECT_TRUE(run({.source_prefix_len = 128}, recs).empty());
+  const auto at64 = run({.source_prefix_len = 64}, recs);
+  ASSERT_EQ(at64.size(), 1u);
+  EXPECT_EQ(at64[0].distinct_dsts, 200u);
+  EXPECT_EQ(at64[0].source.length(), 64);
+  EXPECT_EQ(at64[0].source.to_string(), "2a10:1::/64");
+}
+
+TEST(ScanDetector, Slash48AggregationCrossesSlash64s) {
+  // Sources in different /64s of one /48.
+  std::vector<LogRecord> recs;
+  for (std::uint64_t s = 0; s < 4; ++s)
+    for (std::uint64_t i = 0; i < 30; ++i) {
+      LogRecord r = probe((s * 30 + i) * kSec, i, s * 30 + i);
+      r.src = Ipv6Address{0x2A10'0001'0000'0000ULL | s, i};  // vary /64
+      recs.push_back(r);
+    }
+  EXPECT_TRUE(run({.source_prefix_len = 64}, recs).empty());
+  const auto at48 = run({.source_prefix_len = 48}, recs);
+  ASSERT_EQ(at48.size(), 1u);
+  EXPECT_EQ(at48[0].distinct_dsts, 120u);
+}
+
+TEST(ScanDetector, PortAccountingSortedAndComplete) {
+  std::vector<LogRecord> recs;
+  for (std::uint64_t i = 0; i < 120; ++i)
+    recs.push_back(probe(i * kSec, 1, i, i % 2 == 0 ? 443 : 22));
+  const auto events = run({}, recs);
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_EQ(events[0].port_packets.size(), 2u);
+  EXPECT_EQ(events[0].port_packets[0].first, 22);
+  EXPECT_EQ(events[0].port_packets[0].second, 60u);
+  EXPECT_EQ(events[0].port_packets[1].first, 443);
+  EXPECT_EQ(events[0].port_packets[1].second, 60u);
+  EXPECT_EQ(events[0].distinct_ports(), 2u);
+  EXPECT_DOUBLE_EQ(events[0].top_port_fraction(), 0.5);
+}
+
+TEST(ScanDetector, InDnsDistinctCounting) {
+  std::vector<LogRecord> recs;
+  for (std::uint64_t i = 0; i < 100; ++i)
+    recs.push_back(probe(i * kSec, 1, i, 22, /*in_dns=*/i < 75));
+  // Repeat an in-DNS destination: must not double count.
+  recs.push_back(probe(101 * kSec, 1, 0, 22, true));
+  const auto events = run({}, recs);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].distinct_dsts, 100u);
+  EXPECT_EQ(events[0].distinct_dsts_in_dns, 75u);
+}
+
+TEST(ScanDetector, WeeklyPacketSplit) {
+  // One event spanning a week boundary (timeout not exceeded thanks to
+  // steady packets).
+  std::vector<LogRecord> recs;
+  const TimeUs start = sim::us_from_seconds(util::kWindowStart) + 6 * 86'400 * kSec;
+  for (std::uint64_t i = 0; i < 200; ++i)
+    recs.push_back(probe(start + i * 30 * 60 * kSec, 1, i));  // every 30 min
+  const auto events = run({}, recs);
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_GE(events[0].weekly_packets.size(), 2u);
+  std::uint64_t total = 0;
+  for (const auto& [week, pkts] : events[0].weekly_packets) total += pkts;
+  EXPECT_EQ(total, events[0].packets);
+  for (std::size_t i = 1; i < events[0].weekly_packets.size(); ++i)
+    EXPECT_LT(events[0].weekly_packets[i - 1].first, events[0].weekly_packets[i].first);
+}
+
+TEST(ScanDetector, OutOfOrderInputThrows) {
+  ScanDetector d({}, [](ScanEvent&&) {});
+  d.feed(probe(100 * kSec, 1, 1));
+  EXPECT_THROW(d.feed(probe(99 * kSec, 1, 2)), std::invalid_argument);
+}
+
+TEST(ScanDetector, ExpiryEmitsWithoutFlush) {
+  std::vector<ScanEvent> events;
+  ScanDetector d({}, [&](ScanEvent&& ev) { events.push_back(std::move(ev)); });
+  for (std::uint64_t i = 0; i < 150; ++i) d.feed(probe(i * kSec, 1, i));
+  EXPECT_TRUE(events.empty());
+  // A packet from another source 2h later triggers expiry of source 1.
+  d.feed(probe(150 * kSec + 2 * kHour, 99, 1));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].distinct_dsts, 150u);
+  EXPECT_EQ(d.active_sources(), 1u);  // source 99 remains
+}
+
+TEST(ScanDetector, PacketsSeenCountsEverything) {
+  ScanDetector d({}, [](ScanEvent&&) {});
+  for (std::uint64_t i = 0; i < 5; ++i) d.feed(probe(i, 1, i));
+  EXPECT_EQ(d.packets_seen(), 5u);
+}
+
+TEST(ScanDetector, DetectMultiRunsAllConfigs) {
+  std::vector<LogRecord> recs;
+  for (std::uint64_t s = 0; s < 10; ++s)
+    for (std::uint64_t i = 0; i < 20; ++i)
+      recs.push_back(probe((s * 20 + i) * kSec, s, s * 20 + i));
+  sim::VectorStream stream(recs);
+  const auto results = detect_multi(
+      stream, {{.source_prefix_len = 128}, {.source_prefix_len = 64}});
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].empty());
+  EXPECT_EQ(results[1].size(), 1u);
+}
+
+// Property: scans(min_destinations = a) >= scans(min_destinations = b)
+// for a < b, on random traffic.
+class ThresholdMonotonicity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ThresholdMonotonicity, LowerThresholdFindsAtLeastAsMany) {
+  util::Xoshiro256 rng(GetParam());
+  std::vector<LogRecord> recs;
+  TimeUs t = 0;
+  for (int burst = 0; burst < 30; ++burst) {
+    const std::uint64_t src = rng.below(5);
+    const std::uint64_t n = 20 + rng.below(200);
+    for (std::uint64_t i = 0; i < n; ++i)
+      recs.push_back(probe(t += kSec, src, rng.below(400)));
+    t += static_cast<TimeUs>(rng.below(3)) * kHour;
+  }
+  std::size_t prev = SIZE_MAX;
+  for (std::uint32_t thr : {25u, 50u, 100u, 200u}) {
+    const auto n = run({.min_destinations = thr}, recs).size();
+    EXPECT_LE(n, prev) << "threshold " << thr;
+    prev = n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThresholdMonotonicity, ::testing::Values(1u, 2u, 3u, 4u));
+
+// Property: total packets across events at a coarser aggregation are
+// >= those at a finer one (coarse events absorb sub-threshold traffic;
+// Table 1's packet column).
+class AggregationMonotonicity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AggregationMonotonicity, CoarserSeesAtLeastAsManyPackets) {
+  util::Xoshiro256 rng(GetParam());
+  std::vector<LogRecord> recs;
+  TimeUs t = 0;
+  for (int burst = 0; burst < 40; ++burst) {
+    // Random sources across a few /48s and /64s.
+    const std::uint64_t hi = 0x2A10'0001'0000'0000ULL | (rng.below(4) << 16) | rng.below(4);
+    const std::uint64_t n = 30 + rng.below(150);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      LogRecord r = probe(t += kSec, rng.below(8), rng.below(4'000));
+      r.src = Ipv6Address{hi, rng.below(8)};
+      recs.push_back(r);
+    }
+    t += static_cast<TimeUs>(rng.below(2)) * kHour;
+  }
+  std::uint64_t prev = 0;
+  for (int len : {128, 64, 48, 32}) {
+    const auto events = run({.source_prefix_len = len}, recs);
+    std::uint64_t pkts = 0;
+    for (const auto& ev : events) pkts += ev.packets;
+    EXPECT_GE(pkts, prev) << "len " << len;
+    prev = pkts;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AggregationMonotonicity,
+                         ::testing::Values(10u, 20u, 30u, 40u));
+
+// Property: with a longer timeout, the number of events can only drop
+// (adjacent events merge) and packets stay identical.
+class TimeoutMonotonicity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TimeoutMonotonicity, LongerTimeoutMergesEvents) {
+  util::Xoshiro256 rng(GetParam());
+  std::vector<LogRecord> recs;
+  TimeUs t = 0;
+  for (int burst = 0; burst < 25; ++burst) {
+    for (std::uint64_t i = 0; i < 150; ++i) recs.push_back(probe(t += kSec, 1, rng.below(600)));
+    t += static_cast<TimeUs>(600 + rng.below(7'000)) * kSec;
+  }
+  std::size_t prev_events = SIZE_MAX;
+  for (TimeUs timeout : {900 * kSec, 1'800 * kSec, 3'600 * kSec, 7'200 * kSec}) {
+    const auto events = run({.min_destinations = 100, .timeout_us = timeout}, recs);
+    EXPECT_LE(events.size(), prev_events);
+    prev_events = events.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimeoutMonotonicity, ::testing::Values(5u, 6u, 7u));
+
+}  // namespace
+}  // namespace v6sonar::core

@@ -1,0 +1,88 @@
+// Tests for scan-event binary serialization (core/event_io).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/event_io.hpp"
+#include "util/rng.hpp"
+
+namespace v6sonar::core {
+namespace {
+
+class EventIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "v6sonar_eventio_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  [[nodiscard]] std::string path(const char* name) const { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+std::vector<ScanEvent> random_events(std::uint64_t seed, std::size_t n) {
+  util::Xoshiro256 rng(seed);
+  std::vector<ScanEvent> events;
+  events.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ScanEvent ev;
+    ev.source = net::Ipv6Prefix{net::Ipv6Address{rng(), rng()},
+                                static_cast<int>(rng.below(129))};
+    ev.first_us = static_cast<sim::TimeUs>(rng.below(1'700'000'000'000'000ULL));
+    ev.last_us = ev.first_us + static_cast<sim::TimeUs>(rng.below(86'400'000'000ULL));
+    ev.packets = rng();
+    ev.distinct_dsts = static_cast<std::uint32_t>(rng.below(1'000'000));
+    ev.distinct_dsts_in_dns = static_cast<std::uint32_t>(rng.below(ev.distinct_dsts + 1));
+    ev.src_asn = static_cast<std::uint32_t>(rng.below(1 << 20));
+    const auto nports = rng.below(20);
+    for (std::uint64_t p = 0; p < nports; ++p)
+      ev.port_packets.emplace_back(static_cast<std::uint16_t>(rng.below(65'536)), rng());
+    const auto nweeks = rng.below(10);
+    for (std::uint64_t w = 0; w < nweeks; ++w)
+      ev.weekly_packets.emplace_back(static_cast<std::int32_t>(w), rng());
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+bool equal(const ScanEvent& a, const ScanEvent& b) {
+  return a.source == b.source && a.first_us == b.first_us && a.last_us == b.last_us &&
+         a.packets == b.packets && a.distinct_dsts == b.distinct_dsts &&
+         a.distinct_dsts_in_dns == b.distinct_dsts_in_dns && a.src_asn == b.src_asn &&
+         a.port_packets == b.port_packets && a.weekly_packets == b.weekly_packets;
+}
+
+TEST_F(EventIoTest, RoundTripPreservesEverything) {
+  const auto original = random_events(5, 500);
+  const auto p = path("events.v6ev");
+  write_events(p, original);
+  const auto back = read_events(p);
+  ASSERT_EQ(back.size(), original.size());
+  for (std::size_t i = 0; i < back.size(); ++i) EXPECT_TRUE(equal(back[i], original[i])) << i;
+}
+
+TEST_F(EventIoTest, EmptySetRoundTrips) {
+  const auto p = path("empty.v6ev");
+  write_events(p, {});
+  EXPECT_TRUE(read_events(p).empty());
+}
+
+TEST_F(EventIoTest, RejectsGarbageAndTruncation) {
+  const auto p = path("garbage.v6ev");
+  {
+    std::FILE* f = std::fopen(p.c_str(), "wb");
+    std::fputs("nonsense", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW((void)read_events(p), std::runtime_error);
+
+  const auto t = path("trunc.v6ev");
+  write_events(t, random_events(7, 50));
+  std::filesystem::resize_file(t, std::filesystem::file_size(t) / 2);
+  EXPECT_THROW((void)read_events(t), std::runtime_error);
+
+  EXPECT_THROW((void)read_events(path("missing.v6ev")), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace v6sonar::core

@@ -1,0 +1,127 @@
+// Model-based property test: fh_detect must agree with a
+// trivially-correct reference implementation of the extended
+// Fukuda-Heidemann definition on random capture windows.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/fh_detector.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace v6sonar::core {
+namespace {
+
+using net::Ipv6Address;
+using net::Ipv6Prefix;
+using sim::LogRecord;
+
+/// Reference: literal restatement of the four conditions plus the
+/// per-source merge, with no shared code beyond the entropy helper.
+std::vector<FhScan> reference(const std::vector<LogRecord>& window, const FhConfig& cfg) {
+  struct Comp {
+    std::map<Ipv6Address, std::uint32_t> per_dst;
+    std::map<std::uint16_t, std::uint64_t> lens;
+    std::uint64_t packets = 0;
+    bool icmp = false;
+  };
+  std::map<std::pair<Ipv6Prefix, std::uint16_t>, Comp> comps;
+  std::map<Ipv6Prefix, std::uint32_t> asn;
+  for (const auto& r : window) {
+    const Ipv6Prefix src{r.src, cfg.source_prefix_len};
+    auto& c = comps[{src, r.dst_port}];
+    ++c.per_dst[r.dst];
+    ++c.lens[r.frame_len];
+    ++c.packets;
+    c.icmp |= r.proto == wire::IpProto::kIcmpv6;
+    asn.emplace(src, r.src_asn);
+  }
+  std::map<Ipv6Prefix, FhScan> merged;
+  std::map<Ipv6Prefix, std::set<Ipv6Address>> unions;
+  for (const auto& [key, c] : comps) {
+    if (c.per_dst.size() < cfg.min_destinations) continue;
+    bool heavy = false;
+    for (const auto& [d, n] : c.per_dst) heavy |= n >= cfg.max_packets_per_dst;
+    if (heavy) continue;
+    std::vector<std::uint64_t> counts;
+    for (const auto& [len, n] : c.lens) counts.push_back(n);
+    if (util::normalized_entropy(counts) >= cfg.max_length_entropy) continue;
+
+    auto& s = merged[key.first];
+    s.source = key.first;
+    s.src_asn = asn.at(key.first);
+    s.packets += c.packets;
+    s.ports.push_back(key.second);
+    s.icmpv6 |= c.icmp;
+    for (const auto& [d, n] : c.per_dst) unions[key.first].insert(d);
+  }
+  std::vector<FhScan> out;
+  for (auto& [src, s] : merged) {
+    s.distinct_dsts = static_cast<std::uint32_t>(unions[src].size());
+    std::sort(s.ports.begin(), s.ports.end());
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<LogRecord> random_window(std::uint64_t seed, std::size_t n) {
+  util::Xoshiro256 rng(seed);
+  std::vector<LogRecord> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    LogRecord r;
+    r.ts_us = static_cast<sim::TimeUs>(i);
+    // A few sources: some scanning cleanly, some hammering, some with
+    // noisy frame sizes.
+    const std::uint64_t actor = rng.below(6);
+    r.src = Ipv6Address{0x2A10'0000'0000'0000ULL | (actor << 32), rng.below(3)};
+    r.src_asn = static_cast<std::uint32_t>(100 + actor);
+    switch (actor % 3) {
+      case 0:  // clean scanner: distinct dsts, constant size, few ports
+        r.dst = Ipv6Address{0x2600, rng.below(400)};
+        r.dst_port = static_cast<std::uint16_t>(22 + rng.below(3));
+        r.frame_len = 74;
+        break;
+      case 1:  // repeat-heavy client
+        r.dst = Ipv6Address{0x2600, rng.below(4)};
+        r.dst_port = 443;
+        r.frame_len = 74;
+        break;
+      default:  // noisy sizes
+        r.dst = Ipv6Address{0x2600, rng.below(400)};
+        r.dst_port = 22;
+        r.frame_len = static_cast<std::uint16_t>(74 + rng.below(50));
+        break;
+    }
+    if (rng.chance(0.05)) r.proto = wire::IpProto::kIcmpv6;
+    out.push_back(r);
+  }
+  return out;
+}
+
+class FhModel : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FhModel, AgreesWithReference) {
+  for (const std::uint32_t min_dsts : {5u, 30u, 100u}) {
+    const FhConfig cfg{.source_prefix_len = 64, .min_destinations = min_dsts};
+    const auto window = random_window(GetParam(), 4'000);
+    const auto got = fh_detect(window, cfg);
+    const auto want = reference(window, cfg);
+    ASSERT_EQ(got.size(), want.size()) << "min_dsts " << min_dsts;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].source, want[i].source);
+      EXPECT_EQ(got[i].packets, want[i].packets);
+      EXPECT_EQ(got[i].distinct_dsts, want[i].distinct_dsts);
+      EXPECT_EQ(got[i].ports, want[i].ports);
+      EXPECT_EQ(got[i].icmpv6, want[i].icmpv6);
+      EXPECT_EQ(got[i].src_asn, want[i].src_asn);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FhModel, ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+}  // namespace
+}  // namespace v6sonar::core

@@ -1,0 +1,154 @@
+// Tests for the extended Fukuda–Heidemann detector used on MAWI-style
+// capture windows (§4): each of the four conditions, and the per-port
+// component merge.
+#include <gtest/gtest.h>
+
+#include "core/fh_detector.hpp"
+
+namespace v6sonar::core {
+namespace {
+
+using net::Ipv6Address;
+using sim::LogRecord;
+
+LogRecord pkt(std::uint64_t src_lo, std::uint64_t dst_lo, std::uint16_t port,
+              std::uint16_t len = 74, wire::IpProto proto = wire::IpProto::kTcp) {
+  LogRecord r;
+  r.ts_us = 0;
+  r.src = Ipv6Address{0x2A10'0001'0000'0000ULL, src_lo};
+  r.dst = Ipv6Address{0x3900'0000'0000'0000ULL, dst_lo};
+  r.proto = proto;
+  r.dst_port = port;
+  r.frame_len = len;
+  r.src_asn = 9;
+  return r;
+}
+
+FhConfig small() { return {.min_destinations = 10}; }
+
+TEST(FhDetector, CleanScanQualifies) {
+  std::vector<LogRecord> w;
+  for (std::uint64_t i = 0; i < 20; ++i) w.push_back(pkt(1, i, 22));
+  const auto scans = fh_detect(w, small());
+  ASSERT_EQ(scans.size(), 1u);
+  EXPECT_EQ(scans[0].distinct_dsts, 20u);
+  EXPECT_EQ(scans[0].packets, 20u);
+  EXPECT_EQ(scans[0].ports, std::vector<std::uint16_t>{22});
+  EXPECT_EQ(scans[0].src_asn, 9u);
+  EXPECT_FALSE(scans[0].icmpv6);
+}
+
+TEST(FhDetector, ConditionOneMinDestinations) {
+  std::vector<LogRecord> w;
+  for (std::uint64_t i = 0; i < 9; ++i) w.push_back(pkt(1, i, 22));
+  EXPECT_TRUE(fh_detect(w, small()).empty());
+}
+
+TEST(FhDetector, PaperVsFukudaThreshold) {
+  // 50 destinations: qualifies under the original threshold of 5, not
+  // under the paper's large-scale threshold of 100 (Fig. 5's gap).
+  std::vector<LogRecord> w;
+  for (std::uint64_t i = 0; i < 50; ++i) w.push_back(pkt(1, i, 22));
+  EXPECT_EQ(fh_detect(w, {.min_destinations = 5}).size(), 1u);
+  EXPECT_TRUE(fh_detect(w, {.min_destinations = 100}).empty());
+}
+
+TEST(FhDetector, ConditionThreeRepeatHeavyDisqualified) {
+  std::vector<LogRecord> w;
+  for (std::uint64_t i = 0; i < 20; ++i) w.push_back(pkt(1, i, 22));
+  // Hammer one destination with 10 packets on the same port.
+  for (int i = 0; i < 10; ++i) w.push_back(pkt(1, 0, 22));
+  EXPECT_TRUE(fh_detect(w, small()).empty());
+}
+
+TEST(FhDetector, ConditionFourLengthEntropyDisqualifies) {
+  std::vector<LogRecord> w;
+  for (std::uint64_t i = 0; i < 40; ++i)
+    w.push_back(pkt(1, i, 22, static_cast<std::uint16_t>(70 + i)));  // all lengths differ
+  EXPECT_TRUE(fh_detect(w, small()).empty());
+}
+
+TEST(FhDetector, NearConstantLengthPasses) {
+  // One odd-sized packet among hundreds keeps normalized entropy low.
+  std::vector<LogRecord> w;
+  for (std::uint64_t i = 0; i < 400; ++i) w.push_back(pkt(1, i, 22, 74));
+  w.push_back(pkt(1, 400, 22, 90));
+  EXPECT_EQ(fh_detect(w, small()).size(), 1u);
+}
+
+TEST(FhDetector, PortComponentsMergePerSource) {
+  std::vector<LogRecord> w;
+  for (std::uint64_t i = 0; i < 15; ++i) w.push_back(pkt(1, i, 22));
+  for (std::uint64_t i = 0; i < 15; ++i) w.push_back(pkt(1, 100 + i, 443));
+  const auto scans = fh_detect(w, small());
+  ASSERT_EQ(scans.size(), 1u);
+  EXPECT_EQ(scans[0].ports, (std::vector<std::uint16_t>{22, 443}));
+  EXPECT_EQ(scans[0].packets, 30u);
+  EXPECT_EQ(scans[0].distinct_dsts, 30u);
+}
+
+TEST(FhDetector, UnionCountsSharedDestinationsOnce) {
+  std::vector<LogRecord> w;
+  for (std::uint64_t i = 0; i < 15; ++i) w.push_back(pkt(1, i, 22));
+  for (std::uint64_t i = 0; i < 15; ++i) w.push_back(pkt(1, i, 443));  // same dsts
+  const auto scans = fh_detect(w, small());
+  ASSERT_EQ(scans.size(), 1u);
+  EXPECT_EQ(scans[0].distinct_dsts, 15u);
+}
+
+TEST(FhDetector, DisqualifiedComponentDoesNotPollute) {
+  std::vector<LogRecord> w;
+  for (std::uint64_t i = 0; i < 15; ++i) w.push_back(pkt(1, i, 22));
+  // A second, repeat-heavy component on port 80.
+  for (int i = 0; i < 12; ++i) w.push_back(pkt(1, 0, 80));
+  const auto scans = fh_detect(w, small());
+  ASSERT_EQ(scans.size(), 1u);
+  EXPECT_EQ(scans[0].ports, std::vector<std::uint16_t>{22});
+  EXPECT_EQ(scans[0].packets, 15u);
+}
+
+TEST(FhDetector, SourceAggregationMergesPrefix) {
+  // 16 /128s in one /64, one destination each on one port.
+  std::vector<LogRecord> w;
+  for (std::uint64_t s = 0; s < 16; ++s) w.push_back(pkt(s, s, 22));
+  EXPECT_TRUE(fh_detect(w, {.source_prefix_len = 128, .min_destinations = 10}).empty());
+  const auto scans = fh_detect(w, {.source_prefix_len = 64, .min_destinations = 10});
+  ASSERT_EQ(scans.size(), 1u);
+  EXPECT_EQ(scans[0].source.length(), 64);
+}
+
+TEST(FhDetector, IcmpFlagPropagates) {
+  std::vector<LogRecord> w;
+  for (std::uint64_t i = 0; i < 20; ++i)
+    w.push_back(pkt(1, i, 128 << 8, 70, wire::IpProto::kIcmpv6));
+  const auto scans = fh_detect(w, small());
+  ASSERT_EQ(scans.size(), 1u);
+  EXPECT_TRUE(scans[0].icmpv6);
+}
+
+TEST(FhDetector, BackgroundFlowsDoNotQualify) {
+  // A busy client-server flow: one destination, many packets, mixed
+  // sizes — fails (i), (iii) and (iv) all at once.
+  std::vector<LogRecord> w;
+  for (int i = 0; i < 200; ++i)
+    w.push_back(pkt(1, 0, 443, static_cast<std::uint16_t>(66 + i % 700)));
+  EXPECT_TRUE(fh_detect(w, small()).empty());
+}
+
+TEST(FhDetector, EmptyWindow) { EXPECT_TRUE(fh_detect({}, small()).empty()); }
+
+TEST(FhDetector, MultipleSourcesSortedBySource) {
+  std::vector<LogRecord> w;
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    LogRecord a = pkt(1, i, 22);
+    a.src = Ipv6Address{0x2A10'0002'0000'0000ULL, 1};
+    w.push_back(a);
+    w.push_back(pkt(1, i, 22));  // src 2A10:1::1
+  }
+  const auto scans = fh_detect(w, small());
+  ASSERT_EQ(scans.size(), 2u);
+  EXPECT_LT(scans[0].source, scans[1].source);
+}
+
+}  // namespace
+}  // namespace v6sonar::core

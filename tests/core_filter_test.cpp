@@ -1,0 +1,182 @@
+// Tests for the 5-duplicate CDN artifact filter (§2.1, A.1).
+#include <gtest/gtest.h>
+
+#include "core/artifact_filter.hpp"
+
+namespace v6sonar::core {
+namespace {
+
+using net::Ipv6Address;
+using sim::LogRecord;
+using sim::TimeUs;
+
+constexpr TimeUs kSec = 1'000'000;
+constexpr TimeUs kDay = 86'400 * kSec;
+
+LogRecord rec(TimeUs ts, std::uint64_t src_lo, std::uint64_t dst_lo, std::uint16_t port,
+              wire::IpProto proto = wire::IpProto::kTcp) {
+  LogRecord r;
+  r.ts_us = ts;
+  r.src = Ipv6Address{0x2400'0001'0000'0000ULL | (src_lo << 8), 1};
+  r.dst = Ipv6Address{0x2600'0000'0000'0000ULL, dst_lo};
+  r.proto = proto;
+  r.dst_port = port;
+  return r;
+}
+
+struct Run {
+  std::vector<LogRecord> passed;
+  std::vector<FilterDayStats> stats;
+};
+
+Run run_filter(const std::vector<LogRecord>& records, ArtifactFilterConfig cfg = {}) {
+  Run out;
+  ArtifactFilter f(
+      cfg, [&](const sim::LogRecord& r) { out.passed.push_back(r); },
+      [&](const FilterDayStats& s) { out.stats.push_back(s); });
+  for (const auto& r : records) f.feed(r);
+  f.flush();
+  return out;
+}
+
+TEST(ArtifactFilter, RejectsBadConfig) {
+  const auto sink = [](const sim::LogRecord&) {};
+  EXPECT_THROW(ArtifactFilter({.max_duplicate_fraction = 1.5}, sink), std::invalid_argument);
+  EXPECT_THROW(ArtifactFilter({.source_prefix_len = 200}, sink), std::invalid_argument);
+  EXPECT_THROW(ArtifactFilter({}, nullptr), std::invalid_argument);
+}
+
+TEST(ArtifactFilter, PassesCleanScanTraffic) {
+  // 200 packets, every destination distinct: zero duplicates.
+  std::vector<LogRecord> recs;
+  for (std::uint64_t i = 0; i < 200; ++i) recs.push_back(rec(i * kSec, 1, i, 22));
+  const auto out = run_filter(recs);
+  EXPECT_EQ(out.passed.size(), 200u);
+  ASSERT_EQ(out.stats.size(), 1u);
+  EXPECT_EQ(out.stats[0].packets_dropped, 0u);
+  EXPECT_EQ(out.stats[0].sources_dropped, 0u);
+}
+
+TEST(ArtifactFilter, DropsRetryHeavySource) {
+  // SMTP-like: 10 destinations hit 20x each in one day -> 75% of
+  // packets are 6th-or-later to the same (dst, port).
+  std::vector<LogRecord> recs;
+  TimeUs t = 0;
+  for (int round = 0; round < 20; ++round)
+    for (std::uint64_t d = 0; d < 10; ++d) recs.push_back(rec(t += kSec, 1, d, 25));
+  const auto out = run_filter(recs);
+  EXPECT_TRUE(out.passed.empty());
+  ASSERT_EQ(out.stats.size(), 1u);
+  EXPECT_EQ(out.stats[0].packets_dropped, 200u);
+  EXPECT_EQ(out.stats[0].sources_dropped, 1u);
+  // The A.1 per-port drop accounting names TCP/25.
+  EXPECT_EQ(out.stats[0].dropped_by_port.at(proto_port_key(wire::IpProto::kTcp, 25)), 200u);
+}
+
+TEST(ArtifactFilter, ThresholdBoundary) {
+  // 6 rounds to 10 dsts: exactly 1/6 ≈ 16.7% duplicates -> kept.
+  std::vector<LogRecord> recs;
+  TimeUs t = 0;
+  for (int round = 0; round < 6; ++round)
+    for (std::uint64_t d = 0; d < 10; ++d) recs.push_back(rec(t += kSec, 1, d, 500));
+  EXPECT_EQ(run_filter(recs).passed.size(), 60u);
+
+  // 10 rounds: 50% duplicates -> dropped.
+  recs.clear();
+  t = 0;
+  for (int round = 0; round < 10; ++round)
+    for (std::uint64_t d = 0; d < 10; ++d) recs.push_back(rec(t += kSec, 1, d, 500));
+  EXPECT_TRUE(run_filter(recs).passed.empty());
+}
+
+TEST(ArtifactFilter, PortsDistinguishFlows) {
+  // Same destination, 12 different ports, 3 packets each: no (dst,
+  // port) pair exceeds 5 -> all pass.
+  std::vector<LogRecord> recs;
+  TimeUs t = 0;
+  for (std::uint16_t port = 1; port <= 12; ++port)
+    for (int i = 0; i < 3; ++i) recs.push_back(rec(t += kSec, 1, 5, port));
+  EXPECT_EQ(run_filter(recs).passed.size(), 36u);
+}
+
+TEST(ArtifactFilter, ProtocolQualifiesTheFlowKey) {
+  // 4 TCP + 4 UDP packets to the same (dst, port): neither flow
+  // crosses the 5-duplicate bar.
+  std::vector<LogRecord> recs;
+  TimeUs t = 0;
+  for (int i = 0; i < 4; ++i) recs.push_back(rec(t += kSec, 1, 5, 53, wire::IpProto::kTcp));
+  for (int i = 0; i < 4; ++i) recs.push_back(rec(t += kSec, 1, 5, 53, wire::IpProto::kUdp));
+  EXPECT_EQ(run_filter(recs).passed.size(), 8u);
+}
+
+TEST(ArtifactFilter, DayBoundaryResetsCounters)
+{
+  // 5 hits/day across two days never exceeds the per-day bar.
+  std::vector<LogRecord> recs;
+  for (int day = 0; day < 2; ++day)
+    for (int i = 0; i < 5; ++i)
+      recs.push_back(rec(day * kDay + i * kSec, 1, 7, 25));
+  const auto out = run_filter(recs);
+  EXPECT_EQ(out.passed.size(), 10u);
+  EXPECT_EQ(out.stats.size(), 2u);
+}
+
+TEST(ArtifactFilter, DropIsPerDayNotForever) {
+  std::vector<LogRecord> recs;
+  // Day 0: retry-heavy (dropped). Day 1: clean scanning (kept).
+  TimeUs t = 0;
+  for (int round = 0; round < 20; ++round)
+    for (std::uint64_t d = 0; d < 10; ++d) recs.push_back(rec(t += kSec, 1, d, 25));
+  for (std::uint64_t i = 0; i < 150; ++i) recs.push_back(rec(kDay + i * kSec, 1, 100 + i, 25));
+  const auto out = run_filter(recs);
+  EXPECT_EQ(out.passed.size(), 150u);
+}
+
+TEST(ArtifactFilter, SourcesAreJudgedIndependently) {
+  std::vector<LogRecord> recs;
+  TimeUs t = 0;
+  // Source 1 retry-heavy; source 2 clean, interleaved.
+  for (int round = 0; round < 20; ++round) {
+    for (std::uint64_t d = 0; d < 10; ++d) recs.push_back(rec(t += kSec, 1, d, 25));
+    for (std::uint64_t d = 0; d < 10; ++d)
+      recs.push_back(rec(t += kSec, 2, 1'000 + round * 10 + d, 22));
+  }
+  const auto out = run_filter(recs);
+  EXPECT_EQ(out.passed.size(), 200u);
+  for (const auto& r : out.passed) EXPECT_EQ(r.src.hi() & 0xFF00, 0x0200u);
+}
+
+TEST(ArtifactFilter, SourceAggregationUsesSlash64) {
+  // Two /128s in the same /64 each hit the same destination 4x: the
+  // /64 aggregate (8 hits) crosses the duplicate bar together.
+  std::vector<LogRecord> recs;
+  TimeUs t = 0;
+  for (int i = 0; i < 4; ++i) {
+    LogRecord a = rec(t += kSec, 1, 5, 25);
+    a.src = Ipv6Address{a.src.hi(), 1};
+    LogRecord b = rec(t += kSec, 1, 5, 25);
+    b.src = Ipv6Address{b.src.hi(), 2};
+    recs.push_back(a);
+    recs.push_back(b);
+  }
+  const auto out = run_filter(recs);
+  // 8 packets to one (dst,port): packets 6-8 are duplicates = 37.5% > 30%.
+  EXPECT_TRUE(out.passed.empty());
+}
+
+TEST(ArtifactFilter, OutOfOrderThrows) {
+  ArtifactFilter f({}, [](const sim::LogRecord&) {});
+  f.feed(rec(kSec, 1, 1, 22));
+  EXPECT_THROW(f.feed(rec(0, 1, 2, 22)), std::invalid_argument);
+}
+
+TEST(ArtifactFilter, OrderPreservedWithinDay) {
+  std::vector<LogRecord> recs;
+  for (std::uint64_t i = 0; i < 50; ++i) recs.push_back(rec(i * kSec, 1, i, 22));
+  const auto out = run_filter(recs);
+  for (std::size_t i = 1; i < out.passed.size(); ++i)
+    EXPECT_LE(out.passed[i - 1].ts_us, out.passed[i].ts_us);
+}
+
+}  // namespace
+}  // namespace v6sonar::core

@@ -1,0 +1,256 @@
+// Unit and property tests for net::Ipv6Address parsing, formatting,
+// and bit manipulation.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/ipv6.hpp"
+#include "util/rng.hpp"
+
+namespace v6sonar::net {
+namespace {
+
+TEST(Ipv6Address, DefaultIsUnspecified) {
+  Ipv6Address a;
+  EXPECT_EQ(a.hi(), 0u);
+  EXPECT_EQ(a.lo(), 0u);
+  EXPECT_EQ(a.to_string(), "::");
+}
+
+TEST(Ipv6Address, ParseCanonicalForms) {
+  struct Case {
+    const char* text;
+    std::uint64_t hi;
+    std::uint64_t lo;
+  };
+  const Case cases[] = {
+      {"::", 0, 0},
+      {"::1", 0, 1},
+      {"1::", 0x0001000000000000ULL, 0},
+      {"2001:db8::1", 0x20010db800000000ULL, 1},
+      {"2001:db8:85a3::8a2e:370:7334", 0x20010db885a30000ULL, 0x00008a2e03707334ULL},
+      {"fe80::1ff:fe23:4567:890a", 0xfe80000000000000ULL, 0x01fffe234567890aULL},
+      {"1:2:3:4:5:6:7:8", 0x0001000200030004ULL, 0x0005000600070008ULL},
+      {"ff02::2", 0xff02000000000000ULL, 2},
+  };
+  for (const auto& c : cases) {
+    auto a = Ipv6Address::parse(c.text);
+    ASSERT_TRUE(a.has_value()) << c.text;
+    EXPECT_EQ(a->hi(), c.hi) << c.text;
+    EXPECT_EQ(a->lo(), c.lo) << c.text;
+  }
+}
+
+TEST(Ipv6Address, ParseUppercaseAndMixed) {
+  auto a = Ipv6Address::parse("2001:DB8::ABCD");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->to_string(), "2001:db8::abcd");
+}
+
+TEST(Ipv6Address, ParseEmbeddedIpv4) {
+  auto a = Ipv6Address::parse("::ffff:192.0.2.1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->lo(), 0x0000ffffc0000201ULL);
+
+  auto b = Ipv6Address::parse("64:ff9b::203.0.113.7");
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->hi(), 0x0064ff9b00000000ULL);
+  EXPECT_EQ(b->lo(), 0x00000000cb007107ULL);
+}
+
+TEST(Ipv6Address, ParseRejectsMalformed) {
+  const char* bad[] = {
+      "",
+      ":",
+      ":::",
+      "1",
+      "1:2",
+      "1:2:3:4:5:6:7",          // 7 groups, no gap
+      "1:2:3:4:5:6:7:8:9",      // 9 groups
+      "1::2::3",                // two gaps
+      "12345::",                // group too long
+      "g::1",                   // non-hex
+      "1:2:3:4:5:6:7:8::",      // gap covering zero groups
+      "::1.2.3.4.5",            // bad v4 tail
+      "::256.1.1.1",            // v4 octet out of range
+      "::01.1.1.1",             // v4 leading zero
+      "1:",                     // trailing colon
+      ":1::",                   // leading single colon
+      "2001:db8::1 ",           // trailing junk
+  };
+  for (const char* t : bad) {
+    EXPECT_FALSE(Ipv6Address::parse(t).has_value()) << "should reject: '" << t << "'";
+  }
+}
+
+TEST(Ipv6Address, ParseOrThrowThrows) {
+  EXPECT_THROW((void)Ipv6Address::parse_or_throw("nonsense"), std::invalid_argument);
+  EXPECT_EQ(Ipv6Address::parse_or_throw("::1").lo(), 1u);
+}
+
+TEST(Ipv6Address, Rfc5952Formatting) {
+  // RFC 5952 §4: lowercase, compress longest run, leftmost tie-break,
+  // never compress a single group.
+  struct Case {
+    const char* in;
+    const char* want;
+  };
+  const Case cases[] = {
+      {"2001:0db8:0000:0000:0000:0000:0000:0001", "2001:db8::1"},
+      {"2001:db8:0:1:1:1:1:1", "2001:db8:0:1:1:1:1:1"},  // single zero group not compressed
+      {"2001:0:0:1:0:0:0:1", "2001:0:0:1::1"},           // longest run wins
+      {"2001:db8:0:0:1:0:0:1", "2001:db8::1:0:0:1"},     // leftmost on tie
+      {"0:0:0:0:0:0:0:0", "::"},
+      {"0:0:0:0:0:0:0:1", "::1"},
+      {"1:0:0:0:0:0:0:0", "1::"},
+      {"fe80:0:0:0:0:0:0:1", "fe80::1"},
+  };
+  for (const auto& c : cases) {
+    auto a = Ipv6Address::parse(c.in);
+    ASSERT_TRUE(a.has_value()) << c.in;
+    EXPECT_EQ(a->to_string(), c.want);
+  }
+}
+
+TEST(Ipv6Address, GroupAccessor) {
+  const auto a = Ipv6Address::parse_or_throw("1:2:3:4:5:6:7:8");
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(a.group(i), i + 1);
+}
+
+TEST(Ipv6Address, BitAccessAndMutation) {
+  Ipv6Address a;
+  EXPECT_FALSE(a.bit(0));
+  a = a.with_bit(0, true);
+  EXPECT_TRUE(a.bit(0));
+  EXPECT_EQ(a.hi(), 1ULL << 63);
+  a = a.with_bit(127, true);
+  EXPECT_TRUE(a.bit(127));
+  EXPECT_EQ(a.lo(), 1u);
+  a = a.with_bit(0, false);
+  EXPECT_FALSE(a.bit(0));
+  EXPECT_EQ(a.hi(), 0u);
+}
+
+TEST(Ipv6Address, MaskedClearsHostBits) {
+  const auto a = Ipv6Address::parse_or_throw("2001:db8:ffff:ffff:ffff:ffff:ffff:ffff");
+  EXPECT_EQ(a.masked(32).to_string(), "2001:db8::");
+  EXPECT_EQ(a.masked(48).to_string(), "2001:db8:ffff::");
+  EXPECT_EQ(a.masked(64).to_string(), "2001:db8:ffff:ffff::");
+  EXPECT_EQ(a.masked(128), a);
+  EXPECT_EQ(a.masked(0), Ipv6Address{});
+}
+
+TEST(Ipv6Address, CommonPrefixLen) {
+  const auto a = Ipv6Address::parse_or_throw("2001:db8::1");
+  const auto b = Ipv6Address::parse_or_throw("2001:db8::2");
+  EXPECT_EQ(a.common_prefix_len(a), 128);
+  EXPECT_EQ(a.common_prefix_len(b), 126);  // ...01 vs ...10
+  const auto c = Ipv6Address::parse_or_throw("3001:db8::1");
+  EXPECT_EQ(a.common_prefix_len(c), 3);
+}
+
+TEST(Ipv6Address, HammingWeightOfIid) {
+  EXPECT_EQ(Ipv6Address(0, 0).iid_hamming_weight(), 0);
+  EXPECT_EQ(Ipv6Address(~0ULL, 0).iid_hamming_weight(), 0);  // hi bits don't count
+  EXPECT_EQ(Ipv6Address(0, ~0ULL).iid_hamming_weight(), 64);
+  EXPECT_EQ(Ipv6Address(0, 0xFF).iid_hamming_weight(), 8);
+}
+
+TEST(Ipv6Address, PlusWrapsIntoHighWord) {
+  const Ipv6Address a(5, ~0ULL);
+  const auto b = a.plus(1);
+  EXPECT_EQ(b.hi(), 6u);
+  EXPECT_EQ(b.lo(), 0u);
+  EXPECT_EQ(a.plus(0), a);
+}
+
+TEST(Ipv6Address, OrderingIsLexicographicOnWords) {
+  const Ipv6Address a(1, 0), b(1, 1), c(2, 0);
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, a);
+}
+
+TEST(Ipv6Address, HashSpreadsValues) {
+  std::hash<Ipv6Address> h;
+  EXPECT_NE(h(Ipv6Address(0, 1)), h(Ipv6Address(1, 0)));
+  EXPECT_NE(h(Ipv6Address(0, 1)), h(Ipv6Address(0, 2)));
+}
+
+TEST(Ipv6Address, BytesRoundTrip) {
+  const auto a = Ipv6Address::parse_or_throw("2001:db8:85a3::8a2e:370:7334");
+  EXPECT_EQ(Ipv6Address::from_bytes(a.bytes()), a);
+  const auto b = a.bytes();
+  EXPECT_EQ(b[0], 0x20);
+  EXPECT_EQ(b[1], 0x01);
+  EXPECT_EQ(b[15], 0x34);
+}
+
+TEST(Ipv6Address, AddressScopes) {
+  EXPECT_EQ(address_scope(Ipv6Address::parse_or_throw("::")), AddressScope::kUnspecified);
+  EXPECT_EQ(address_scope(Ipv6Address::parse_or_throw("::1")), AddressScope::kLoopback);
+  EXPECT_EQ(address_scope(Ipv6Address::parse_or_throw("fe80::1")), AddressScope::kLinkLocal);
+  EXPECT_EQ(address_scope(Ipv6Address::parse_or_throw("febf::1")), AddressScope::kLinkLocal);
+  EXPECT_EQ(address_scope(Ipv6Address::parse_or_throw("fec0::1")), AddressScope::kGlobal);
+  EXPECT_EQ(address_scope(Ipv6Address::parse_or_throw("fc00::1")), AddressScope::kUniqueLocal);
+  EXPECT_EQ(address_scope(Ipv6Address::parse_or_throw("fd12:3456::1")),
+            AddressScope::kUniqueLocal);
+  EXPECT_EQ(address_scope(Ipv6Address::parse_or_throw("ff02::1")), AddressScope::kMulticast);
+  EXPECT_EQ(address_scope(Ipv6Address::parse_or_throw("2600::1")), AddressScope::kGlobal);
+  EXPECT_TRUE(is_global_unicast(Ipv6Address::parse_or_throw("2a10:1::15")));
+  EXPECT_FALSE(is_global_unicast(Ipv6Address::parse_or_throw("fe80::1")));
+  EXPECT_TRUE(is_documentation(Ipv6Address::parse_or_throw("2001:db8:1::9")));
+  EXPECT_FALSE(is_documentation(Ipv6Address::parse_or_throw("2001:db9::9")));
+}
+
+// Property: parse(to_string(a)) == a for random addresses.
+class Ipv6RoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Ipv6RoundTrip, FormatThenParseIsIdentity) {
+  util::Xoshiro256 rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    // Mix of fully random and zero-run-rich addresses to exercise the
+    // RFC 5952 compressor.
+    Ipv6Address a{rng(), rng()};
+    if (rng.chance(0.5)) {
+      const int start = static_cast<int>(rng.below(8));
+      const int len = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(8 - start)));
+      auto bytes = a.bytes();
+      for (int g = start; g < start + len; ++g) {
+        bytes[static_cast<std::size_t>(2 * g)] = 0;
+        bytes[static_cast<std::size_t>(2 * g + 1)] = 0;
+      }
+      a = Ipv6Address::from_bytes(bytes);
+    }
+    const std::string s = a.to_string();
+    const auto back = Ipv6Address::parse(s);
+    ASSERT_TRUE(back.has_value()) << s;
+    EXPECT_EQ(*back, a) << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Ipv6RoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 42u, 0xdeadbeefu));
+
+// Property: masked() is idempotent and monotone in specificity.
+class Ipv6MaskProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(Ipv6MaskProperty, MaskLaws) {
+  const int len = GetParam();
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(len) * 1315423911u + 7);
+  for (int i = 0; i < 200; ++i) {
+    const Ipv6Address a{rng(), rng()};
+    const auto m = a.masked(len);
+    EXPECT_EQ(m.masked(len), m);                       // idempotent
+    EXPECT_EQ(a.masked(len).masked(len > 8 ? len - 8 : 0),
+              a.masked(len > 8 ? len - 8 : 0));        // coarser absorbs finer
+    EXPECT_GE(a.common_prefix_len(m), len);            // shares at least len bits
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, Ipv6MaskProperty,
+                         ::testing::Values(0, 1, 8, 32, 48, 63, 64, 65, 96, 124, 127, 128));
+
+}  // namespace
+}  // namespace v6sonar::net

@@ -1,0 +1,209 @@
+// Unit and property tests for net::Ipv6Prefix and net::PrefixTrie.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "net/prefix.hpp"
+#include "net/trie.hpp"
+#include "util/rng.hpp"
+
+namespace v6sonar::net {
+namespace {
+
+TEST(Ipv6Prefix, ParseAndFormat) {
+  const auto p = Ipv6Prefix::parse("2001:db8::/32");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 32);
+  EXPECT_EQ(p->to_string(), "2001:db8::/32");
+}
+
+TEST(Ipv6Prefix, ParseCanonicalizesHostBits) {
+  const auto p = Ipv6Prefix::parse("2001:db8::dead:beef/32");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->address().to_string(), "2001:db8::");
+}
+
+TEST(Ipv6Prefix, ParseRejectsMalformed) {
+  const char* bad[] = {"2001:db8::", "/32", "2001:db8::/", "2001:db8::/129",
+                       "2001:db8::/x", "2001:db8::/3 2", "::/1234", "nonsense/32"};
+  for (const char* t : bad) EXPECT_FALSE(Ipv6Prefix::parse(t).has_value()) << t;
+}
+
+TEST(Ipv6Prefix, ContainsAddress) {
+  const auto p = Ipv6Prefix::parse_or_throw("2001:db8::/32");
+  EXPECT_TRUE(p.contains(Ipv6Address::parse_or_throw("2001:db8::1")));
+  EXPECT_TRUE(p.contains(Ipv6Address::parse_or_throw("2001:db8:ffff::")));
+  EXPECT_FALSE(p.contains(Ipv6Address::parse_or_throw("2001:db9::")));
+}
+
+TEST(Ipv6Prefix, ContainsPrefix) {
+  const auto p32 = Ipv6Prefix::parse_or_throw("2001:db8::/32");
+  const auto p48 = Ipv6Prefix::parse_or_throw("2001:db8:1::/48");
+  const auto other = Ipv6Prefix::parse_or_throw("2001:db9::/48");
+  EXPECT_TRUE(p32.contains(p48));
+  EXPECT_FALSE(p48.contains(p32));
+  EXPECT_TRUE(p32.contains(p32));
+  EXPECT_FALSE(p32.contains(other));
+}
+
+TEST(Ipv6Prefix, FirstLastBounds) {
+  const auto p = Ipv6Prefix::parse_or_throw("2001:db8::/32");
+  EXPECT_EQ(p.first().to_string(), "2001:db8::");
+  EXPECT_EQ(p.last().to_string(), "2001:db8:ffff:ffff:ffff:ffff:ffff:ffff");
+  const auto host = Ipv6Prefix::parse_or_throw("::1/128");
+  EXPECT_EQ(host.first(), host.last());
+  const auto all = Ipv6Prefix{};
+  EXPECT_EQ(all.first(), Ipv6Address{});
+  EXPECT_EQ(all.last(), (Ipv6Address{~0ULL, ~0ULL}));
+}
+
+TEST(Ipv6Prefix, ParentReducesSpecificity) {
+  const auto p = Ipv6Prefix::parse_or_throw("2001:db8:1:2::/64");
+  EXPECT_EQ(p.parent(48).to_string(), "2001:db8:1::/48");
+  EXPECT_EQ(p.parent(64), p);  // clamped
+}
+
+TEST(Ipv6Prefix, LengthClamping) {
+  const Ipv6Prefix p{Ipv6Address::parse_or_throw("::1"), 200};
+  EXPECT_EQ(p.length(), 128);
+  const Ipv6Prefix q{Ipv6Address::parse_or_throw("::1"), -5};
+  EXPECT_EQ(q.length(), 0);
+}
+
+TEST(PrefixTrie, InsertAndFind) {
+  PrefixTrie<int> t;
+  EXPECT_TRUE(t.empty());
+  t.insert(Ipv6Prefix::parse_or_throw("2001:db8::/32"), 1);
+  t.insert(Ipv6Prefix::parse_or_throw("2001:db8:1::/48"), 2);
+  EXPECT_EQ(t.size(), 2u);
+  ASSERT_NE(t.find(Ipv6Prefix::parse_or_throw("2001:db8::/32")), nullptr);
+  EXPECT_EQ(*t.find(Ipv6Prefix::parse_or_throw("2001:db8::/32")), 1);
+  EXPECT_EQ(t.find(Ipv6Prefix::parse_or_throw("2001:db8::/33")), nullptr);
+}
+
+TEST(PrefixTrie, InsertOverwrites) {
+  PrefixTrie<int> t;
+  t.insert(Ipv6Prefix::parse_or_throw("::/0"), 1);
+  t.insert(Ipv6Prefix::parse_or_throw("::/0"), 9);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(*t.find(Ipv6Prefix{}), 9);
+}
+
+TEST(PrefixTrie, LongestMatchPrefersSpecific) {
+  PrefixTrie<int> t;
+  t.insert(Ipv6Prefix::parse_or_throw("2001:db8::/32"), 32);
+  t.insert(Ipv6Prefix::parse_or_throw("2001:db8:1::/48"), 48);
+  t.insert(Ipv6Prefix::parse_or_throw("2001:db8:1:2::/64"), 64);
+
+  auto m = t.longest_match(Ipv6Address::parse_or_throw("2001:db8:1:2::99"));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m->second, 64);
+  EXPECT_EQ(m->first.to_string(), "2001:db8:1:2::/64");
+
+  m = t.longest_match(Ipv6Address::parse_or_throw("2001:db8:1:3::99"));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m->second, 48);
+
+  m = t.longest_match(Ipv6Address::parse_or_throw("2001:db8:ffff::1"));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m->second, 32);
+
+  EXPECT_FALSE(t.longest_match(Ipv6Address::parse_or_throw("3fff::1")).has_value());
+}
+
+TEST(PrefixTrie, DefaultRouteMatchesEverything) {
+  PrefixTrie<int> t;
+  t.insert(Ipv6Prefix{}, 7);
+  const auto m = t.longest_match(Ipv6Address::parse_or_throw("abcd::1"));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m->second, 7);
+  EXPECT_EQ(m->first.length(), 0);
+}
+
+TEST(PrefixTrie, VisitUnderScope) {
+  PrefixTrie<int> t;
+  t.insert(Ipv6Prefix::parse_or_throw("2001:db8:1::/48"), 1);
+  t.insert(Ipv6Prefix::parse_or_throw("2001:db8:2::/48"), 2);
+  t.insert(Ipv6Prefix::parse_or_throw("2001:db9::/48"), 3);
+
+  std::vector<int> seen;
+  t.visit_under(Ipv6Prefix::parse_or_throw("2001:db8::/32"),
+                [&](const Ipv6Prefix&, const int& v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<int>{1, 2}));
+  EXPECT_EQ(t.count_under(Ipv6Prefix::parse_or_throw("2001:db8::/32")), 2u);
+  EXPECT_EQ(t.count_under(Ipv6Prefix{}), 3u);
+}
+
+TEST(PrefixTrie, VisitReconstructsPrefixes) {
+  PrefixTrie<int> t;
+  const auto p = Ipv6Prefix::parse_or_throw("2001:db8:85a3:77::/64");
+  t.insert(p, 5);
+  bool found = false;
+  t.visit_all([&](const Ipv6Prefix& q, const int&) {
+    found = true;
+    EXPECT_EQ(q, p);
+  });
+  EXPECT_TRUE(found);
+}
+
+TEST(PrefixTrie, ClearEmpties) {
+  PrefixTrie<int> t;
+  t.insert(Ipv6Prefix::parse_or_throw("::1/128"), 1);
+  t.clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.find(Ipv6Prefix::parse_or_throw("::1/128")), nullptr);
+}
+
+// Property: for random prefix sets, longest_match agrees with a naive
+// linear scan.
+class TrieMatchProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrieMatchProperty, MatchAgreesWithLinearScan) {
+  util::Xoshiro256 rng(GetParam());
+  PrefixTrie<std::size_t> t;
+  std::vector<Ipv6Prefix> prefixes;
+  for (std::size_t i = 0; i < 64; ++i) {
+    const Ipv6Address a{rng(), rng()};
+    const int len = static_cast<int>(rng.below(129));
+    const Ipv6Prefix p{a, len};
+    // Skip duplicates (insert would overwrite; the scan would then
+    // disagree about which index wins).
+    bool dup = false;
+    for (const auto& q : prefixes) dup |= (q == p);
+    if (dup) continue;
+    prefixes.push_back(p);
+    t.insert(p, prefixes.size() - 1);
+  }
+  for (int i = 0; i < 300; ++i) {
+    // Half the probes are random; half are inside a random prefix.
+    Ipv6Address probe{rng(), rng()};
+    if (!prefixes.empty() && rng.chance(0.5)) {
+      const auto& base = prefixes[static_cast<std::size_t>(rng.below(prefixes.size()))];
+      probe = base.address().plus(rng.below(1024));
+      if (!base.contains(probe)) probe = base.address();
+    }
+    int best_len = -1;
+    std::size_t best_idx = 0;
+    for (std::size_t j = 0; j < prefixes.size(); ++j) {
+      if (prefixes[j].contains(probe) && prefixes[j].length() > best_len) {
+        best_len = prefixes[j].length();
+        best_idx = j;
+      }
+    }
+    const auto m = t.longest_match(probe);
+    if (best_len < 0) {
+      EXPECT_FALSE(m.has_value());
+    } else {
+      ASSERT_TRUE(m.has_value());
+      EXPECT_EQ(*m->second, best_idx);
+      EXPECT_EQ(m->first.length(), best_len);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieMatchProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+}  // namespace
+}  // namespace v6sonar::net

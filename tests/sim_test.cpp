@@ -1,0 +1,222 @@
+// Tests for sim: AS registry, stream merging, and binary log I/O.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "sim/as_registry.hpp"
+#include "sim/log_io.hpp"
+#include "sim/merge.hpp"
+#include "util/rng.hpp"
+
+namespace v6sonar::sim {
+namespace {
+
+using net::Ipv6Address;
+using net::Ipv6Prefix;
+
+AsInfo make_as(std::uint32_t asn, const char* prefix) {
+  AsInfo info;
+  info.asn = asn;
+  info.type = AsType::kCloud;
+  info.country = "XX";
+  info.allocations = {Ipv6Prefix::parse_or_throw(prefix)};
+  return info;
+}
+
+TEST(AsRegistry, AddAndLookup) {
+  AsRegistry reg;
+  reg.add(make_as(100, "2001:db8::/32"));
+  reg.add(make_as(200, "2a00::/24"));
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.asn_of(Ipv6Address::parse_or_throw("2001:db8::5")), 100u);
+  EXPECT_EQ(reg.asn_of(Ipv6Address::parse_or_throw("2a00:77::1")), 200u);
+  EXPECT_EQ(reg.asn_of(Ipv6Address::parse_or_throw("3001::1")), 0u);
+  ASSERT_NE(reg.find(100), nullptr);
+  EXPECT_EQ(reg.find(100)->country, "XX");
+  EXPECT_EQ(reg.find(999), nullptr);
+}
+
+TEST(AsRegistry, AllocationOfReturnsCoveringPrefix) {
+  AsRegistry reg;
+  reg.add(make_as(100, "2001:db8::/32"));
+  const auto alloc = reg.allocation_of(Ipv6Address::parse_or_throw("2001:db8:ffff::1"));
+  ASSERT_TRUE(alloc.has_value());
+  EXPECT_EQ(alloc->to_string(), "2001:db8::/32");
+  EXPECT_FALSE(reg.allocation_of(Ipv6Address::parse_or_throw("::1")).has_value());
+}
+
+TEST(AsRegistry, RejectsDuplicateAsn) {
+  AsRegistry reg;
+  reg.add(make_as(100, "2001:db8::/32"));
+  EXPECT_THROW(reg.add(make_as(100, "2a00::/32")), std::invalid_argument);
+}
+
+TEST(AsRegistry, RejectsAsnZero) {
+  AsRegistry reg;
+  EXPECT_THROW(reg.add(make_as(0, "2001:db8::/32")), std::invalid_argument);
+}
+
+TEST(AsRegistry, RejectsOverlappingAllocations) {
+  AsRegistry reg;
+  reg.add(make_as(100, "2001:db8::/32"));
+  // More-specific inside an existing allocation.
+  EXPECT_THROW(reg.add(make_as(200, "2001:db8:1::/48")), std::invalid_argument);
+  // Less-specific covering an existing allocation.
+  EXPECT_THROW(reg.add(make_as(300, "2001::/16")), std::invalid_argument);
+  // Exact duplicate.
+  EXPECT_THROW(reg.add(make_as(400, "2001:db8::/32")), std::invalid_argument);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(AsRegistry, AllocateToUnknownAsnThrows) {
+  AsRegistry reg;
+  EXPECT_THROW(reg.allocate(5, Ipv6Prefix::parse_or_throw("2001:db8::/32")),
+               std::invalid_argument);
+}
+
+TEST(AsRegistry, MultipleAllocationsPerAs) {
+  AsRegistry reg;
+  reg.add(make_as(100, "2001:db8::/32"));
+  reg.allocate(100, Ipv6Prefix::parse_or_throw("2a00:1::/32"));
+  EXPECT_EQ(reg.find(100)->allocations.size(), 2u);
+  EXPECT_EQ(reg.asn_of(Ipv6Address::parse_or_throw("2a00:1::9")), 100u);
+}
+
+TEST(AsTypeNames, AllNamed) {
+  EXPECT_EQ(to_string(AsType::kDatacenter), "Datacenter");
+  EXPECT_EQ(to_string(AsType::kCloudTransit), "Cloud/Transit");
+  EXPECT_EQ(to_string(AsType::kCybersecurity), "Cybersecurity");
+}
+
+LogRecord rec(TimeUs ts, std::uint64_t src_lo = 1) {
+  LogRecord r;
+  r.ts_us = ts;
+  r.src = Ipv6Address{0x2001'0db8'0000'0000ULL, src_lo};
+  r.dst = Ipv6Address{0x2600'0000'0000'0000ULL, 42};
+  r.dst_port = 22;
+  return r;
+}
+
+TEST(Merge, InterleavesByTime) {
+  std::vector<std::unique_ptr<RecordStream>> sources;
+  sources.push_back(std::make_unique<VectorStream>(std::vector<LogRecord>{rec(10), rec(30)}));
+  sources.push_back(std::make_unique<VectorStream>(std::vector<LogRecord>{rec(20), rec(40)}));
+  MergedStream m(std::move(sources));
+  std::vector<TimeUs> ts;
+  while (auto r = m.next()) ts.push_back(r->ts_us);
+  EXPECT_EQ(ts, (std::vector<TimeUs>{10, 20, 30, 40}));
+}
+
+TEST(Merge, TieBreaksBySourceIndexDeterministically) {
+  std::vector<std::unique_ptr<RecordStream>> sources;
+  sources.push_back(std::make_unique<VectorStream>(std::vector<LogRecord>{rec(10, 111)}));
+  sources.push_back(std::make_unique<VectorStream>(std::vector<LogRecord>{rec(10, 222)}));
+  MergedStream m(std::move(sources));
+  EXPECT_EQ(m.next()->src.lo(), 111u);
+  EXPECT_EQ(m.next()->src.lo(), 222u);
+}
+
+TEST(Merge, EmptySourcesYieldNothing) {
+  std::vector<std::unique_ptr<RecordStream>> sources;
+  sources.push_back(std::make_unique<VectorStream>(std::vector<LogRecord>{}));
+  MergedStream m(std::move(sources));
+  EXPECT_FALSE(m.next().has_value());
+  MergedStream empty({});
+  EXPECT_FALSE(empty.next().has_value());
+}
+
+TEST(Merge, VectorStreamSortsItsInput) {
+  VectorStream v({rec(30), rec(10), rec(20)});
+  EXPECT_EQ(v.next()->ts_us, 10);
+  EXPECT_EQ(v.next()->ts_us, 20);
+  EXPECT_EQ(v.next()->ts_us, 30);
+  EXPECT_FALSE(v.next().has_value());
+}
+
+TEST(Merge, DrainCollectsAll) {
+  VectorStream v({rec(1), rec(2)});
+  EXPECT_EQ(drain(v).size(), 2u);
+}
+
+class LogIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "v6sonar_logio_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  [[nodiscard]] std::string path(const char* name) const { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(LogIoTest, RoundTripPreservesEveryField) {
+  const auto p = path("log.bin");
+  util::Xoshiro256 rng(4);
+  std::vector<LogRecord> original;
+  for (int i = 0; i < 1'000; ++i) {
+    LogRecord r;
+    r.ts_us = static_cast<TimeUs>(rng());
+    r.src = net::Ipv6Address{rng(), rng()};
+    r.dst = net::Ipv6Address{rng(), rng()};
+    r.proto = static_cast<wire::IpProto>(rng.chance(0.5) ? 6 : 17);
+    r.src_port = static_cast<std::uint16_t>(rng.below(65'536));
+    r.dst_port = static_cast<std::uint16_t>(rng.below(65'536));
+    r.frame_len = static_cast<std::uint16_t>(rng.below(1'500));
+    r.src_asn = static_cast<std::uint32_t>(rng.below(1 << 30));
+    r.dst_in_dns = rng.chance(0.5);
+    original.push_back(r);
+  }
+  {
+    LogWriter w(p);
+    for (const auto& r : original) w.write(r);
+    EXPECT_EQ(w.written(), original.size());
+    w.close();
+  }
+  LogReader reader(p);
+  EXPECT_EQ(reader.total_records(), original.size());
+  for (const auto& want : original) {
+    const auto got = reader.next();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, want);
+  }
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST_F(LogIoTest, ReaderRejectsGarbage) {
+  const auto p = path("garbage.bin");
+  {
+    std::FILE* f = std::fopen(p.c_str(), "wb");
+    std::fputs("not a log", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(LogReader{p}, std::runtime_error);
+}
+
+TEST_F(LogIoTest, TruncatedRecordThrows) {
+  const auto p = path("trunc.bin");
+  {
+    LogWriter w(p);
+    w.write(rec(1));
+    w.write(rec(2));
+    w.close();
+  }
+  std::filesystem::resize_file(p, std::filesystem::file_size(p) - 5);
+  LogReader reader(p);
+  EXPECT_TRUE(reader.next().has_value());
+  EXPECT_THROW((void)reader.next(), std::runtime_error);
+}
+
+TEST_F(LogIoTest, ReaderIsARecordStream) {
+  const auto p = path("stream.bin");
+  {
+    LogWriter w(p);
+    w.write(rec(5));
+    w.close();
+  }
+  LogReader reader(p);
+  RecordStream& s = reader;
+  EXPECT_EQ(drain(s).size(), 1u);
+}
+
+}  // namespace
+}  // namespace v6sonar::sim

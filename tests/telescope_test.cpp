@@ -1,0 +1,257 @@
+// Tests for the CDN telescope deployment, artifact traffic, and the
+// assembled world.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/detector.hpp"
+#include "sim/merge.hpp"
+#include "telescope/artifacts.hpp"
+#include "telescope/deployment.hpp"
+#include "telescope/world.hpp"
+#include "util/timebase.hpp"
+
+namespace v6sonar::telescope {
+namespace {
+
+using net::Ipv6Address;
+using net::Ipv6Prefix;
+
+DeploymentConfig tiny() {
+  DeploymentConfig c;
+  c.machines = 2'000;
+  c.networks = 20;
+  c.dns_pair_subset = 1'000;
+  return c;
+}
+
+TEST(Deployment, BuildsRequestedPopulation) {
+  sim::AsRegistry reg;
+  CdnTelescope t(tiny(), reg);
+  EXPECT_EQ(t.machine_count(), 2'000u);
+  EXPECT_EQ(reg.size(), 20u);
+  EXPECT_EQ(t.dns_addresses().size(), 2'000u);
+  EXPECT_EQ(t.all_addresses().size(), 4'000u);
+  EXPECT_EQ(t.dns_pair_study().size(), 1'000u);
+}
+
+TEST(Deployment, RejectsBadConfig) {
+  sim::AsRegistry reg;
+  DeploymentConfig c = tiny();
+  c.machines = 0;
+  EXPECT_THROW(CdnTelescope(c, reg), std::invalid_argument);
+  c = tiny();
+  c.dns_pair_subset = 10'000;  // more than machines
+  EXPECT_THROW(CdnTelescope(c, reg), std::invalid_argument);
+}
+
+TEST(Deployment, AddressKindsAreConsistent) {
+  sim::AsRegistry reg;
+  CdnTelescope t(tiny(), reg);
+  for (const auto& m : t.machines()) {
+    EXPECT_TRUE(t.owns(m.client_facing));
+    EXPECT_TRUE(t.owns(m.non_client_facing));
+    EXPECT_TRUE(t.in_dns(m.client_facing));
+    EXPECT_FALSE(t.in_dns(m.non_client_facing));
+    EXPECT_NE(m.client_facing, m.non_client_facing);
+    // The pair shares its /64 (same machine, same rack prefix).
+    EXPECT_GE(m.client_facing.common_prefix_len(m.non_client_facing), 64);
+    // Registry attributes the machine to its CDN AS.
+    EXPECT_EQ(reg.asn_of(m.client_facing), m.asn);
+  }
+}
+
+TEST(Deployment, PairStudyPairsAreWithinSlash123) {
+  sim::AsRegistry reg;
+  CdnTelescope t(tiny(), reg);
+  for (const auto& m : t.dns_pair_study())
+    EXPECT_GE(m.client_facing.common_prefix_len(m.non_client_facing), 123);
+}
+
+TEST(Deployment, CaptureRuleExcludesProductionPortsAndIcmp) {
+  sim::AsRegistry reg;
+  CdnTelescope t(tiny(), reg);
+  sim::LogRecord r;
+  r.src = Ipv6Address::parse_or_throw("2a10:1::15");  // a global unicast source
+  r.dst = t.machines()[0].client_facing;
+  r.proto = wire::IpProto::kTcp;
+  r.dst_port = 22;
+  EXPECT_TRUE(t.captures(r));
+  r.dst_port = 80;
+  EXPECT_FALSE(t.captures(r));
+  r.dst_port = 443;
+  EXPECT_FALSE(t.captures(r));
+  r.proto = wire::IpProto::kUdp;
+  r.dst_port = 443;  // UDP/443 (QUIC) is not excluded; only TCP is served
+  EXPECT_TRUE(t.captures(r));
+  r.proto = wire::IpProto::kIcmpv6;
+  r.dst_port = 128 << 8;
+  EXPECT_FALSE(t.captures(r));
+  r.proto = wire::IpProto::kTcp;
+  r.dst_port = 22;
+  r.dst = Ipv6Address::parse_or_throw("3fff::1");  // not ours
+  EXPECT_FALSE(t.captures(r));
+}
+
+TEST(Deployment, NonGlobalSourcesAreDropped) {
+  sim::AsRegistry reg;
+  CdnTelescope t(tiny(), reg);
+  sim::LogRecord r;
+  r.dst = t.machines()[0].client_facing;
+  r.proto = wire::IpProto::kTcp;
+  r.dst_port = 22;
+  r.src = Ipv6Address::parse_or_throw("2a10:1::15");
+  EXPECT_TRUE(t.captures(r));  // global unicast source
+  for (const char* bogon : {"fe80::1", "::1", "fc00::9", "ff02::1", "::"}) {
+    r.src = Ipv6Address::parse_or_throw(bogon);
+    EXPECT_FALSE(t.captures(r)) << bogon;
+  }
+}
+
+TEST(Deployment, AnnotationFillsDnsAndAsn) {
+  sim::AsRegistry reg;
+  CdnTelescope t(tiny(), reg);
+  sim::LogRecord r;
+  r.src = Ipv6Address::parse_or_throw("2a10:1::15");
+  r.dst = t.machines()[5].non_client_facing;
+  r.proto = wire::IpProto::kTcp;
+  r.dst_port = 22;
+  ASSERT_TRUE(t.capture_and_annotate(r));
+  EXPECT_FALSE(r.dst_in_dns);
+  EXPECT_EQ(r.src_asn, 0u);  // unknown source, registry has no entry
+
+  sim::LogRecord r2 = r;
+  r2.dst = t.machines()[5].client_facing;
+  r2.src = t.machines()[0].client_facing;  // a CDN address as source
+  ASSERT_TRUE(t.capture_and_annotate(r2));
+  EXPECT_TRUE(r2.dst_in_dns);
+  EXPECT_EQ(r2.src_asn, t.machines()[0].asn);
+}
+
+TEST(Deployment, DeterministicForSameSeed) {
+  sim::AsRegistry r1, r2;
+  CdnTelescope a(tiny(), r1), b(tiny(), r2);
+  ASSERT_EQ(a.machine_count(), b.machine_count());
+  for (std::size_t i = 0; i < a.machine_count(); i += 97) {
+    EXPECT_EQ(a.machines()[i].client_facing, b.machines()[i].client_facing);
+    EXPECT_EQ(a.machines()[i].non_client_facing, b.machines()[i].non_client_facing);
+  }
+  sim::AsRegistry r3;
+  DeploymentConfig other = tiny();
+  other.seed = 99;
+  CdnTelescope c(other, r3);
+  EXPECT_NE(a.machines()[0].client_facing, c.machines()[0].client_facing);
+}
+
+TEST(Artifacts, StreamsAreTimeOrderedAndTargetDnsAddresses) {
+  sim::AsRegistry reg;
+  CdnTelescope t(tiny(), reg);
+  auto dns = std::make_shared<const std::vector<Ipv6Address>>(t.dns_addresses());
+  ArtifactConfig cfg;
+  cfg.smtp_sources = 5;
+  cfg.ipsec_sources = 5;
+  cfg.misc_clients = 20;
+  cfg.client_networks = 4;
+  auto streams = build_artifacts(cfg, reg, dns);
+  EXPECT_EQ(streams.size(), 30u);
+  for (auto& s : streams) {
+    sim::TimeUs prev = INT64_MIN;
+    while (auto r = s->next()) {
+      EXPECT_GE(r->ts_us, prev);
+      prev = r->ts_us;
+      EXPECT_TRUE(t.in_dns(r->dst));
+      EXPECT_GE(r->src_asn, cfg.first_asn);
+    }
+  }
+}
+
+TEST(Artifacts, RetrySourcesAreCaughtByTheFilter) {
+  sim::AsRegistry reg;
+  CdnTelescope t(tiny(), reg);
+  auto dns = std::make_shared<const std::vector<Ipv6Address>>(t.dns_addresses());
+  ArtifactConfig cfg;
+  cfg.smtp_sources = 10;
+  cfg.ipsec_sources = 10;
+  cfg.misc_clients = 0;
+  cfg.client_networks = 4;
+  auto streams = build_artifacts(cfg, reg, dns);
+  sim::MergedStream merged(std::move(streams));
+
+  std::uint64_t passed = 0, dropped = 0;
+  core::ArtifactFilter filter(
+      {}, [&](const sim::LogRecord&) { ++passed; },
+      [&](const core::FilterDayStats& s) { dropped += s.packets_dropped; });
+  while (auto r = merged.next()) filter.feed(*r);
+  filter.flush();
+  ASSERT_GT(dropped + passed, 0u);
+  // Retry-heavy SMTP/IPsec artifact traffic is overwhelmingly removed.
+  EXPECT_GT(static_cast<double>(dropped) / static_cast<double>(dropped + passed), 0.95);
+}
+
+TEST(Artifacts, RejectsEmptyTargets) {
+  sim::AsRegistry reg;
+  auto empty = std::make_shared<std::vector<Ipv6Address>>();
+  EXPECT_THROW(build_artifacts({}, reg, empty), std::invalid_argument);
+}
+
+TEST(World, SmallWorldRunsDeterministically) {
+  WorldConfig cfg = WorldConfig::small();
+  cfg.deployment.machines = 1'500;
+  cfg.deployment.networks = 20;
+  cfg.deployment.dns_pair_subset = 500;
+  cfg.hitlist.external_addresses = 500;
+  cfg.artifacts.smtp_sources = 10;
+  cfg.artifacts.ipsec_sources = 5;
+  cfg.artifacts.misc_clients = 50;
+  cfg.artifacts.client_networks = 5;
+  cfg.cast.include_minor_ases = false;
+  cfg.cast.megascanner_thinning = 1.0 / 4096.0;
+  cfg.cast.session_scale = 0.02;
+
+  auto totals = [&] {
+    CdnWorld world(cfg);
+    std::uint64_t n = 0, sum = 0;
+    world.run([&](const sim::LogRecord& r) {
+      ++n;
+      sum += r.dst.lo() ^ static_cast<std::uint64_t>(r.ts_us);
+    });
+    return std::pair{n, sum};
+  };
+  const auto a = totals();
+  const auto b = totals();
+  EXPECT_EQ(a, b);  // byte-identical across runs
+  EXPECT_GT(a.first, 10'000u);
+}
+
+TEST(World, RunIsSingleShot) {
+  WorldConfig cfg = WorldConfig::small();
+  cfg.deployment.machines = 500;
+  cfg.deployment.networks = 5;
+  cfg.deployment.dns_pair_subset = 100;
+  cfg.artifacts.smtp_sources = 2;
+  cfg.artifacts.ipsec_sources = 2;
+  cfg.artifacts.misc_clients = 5;
+  cfg.artifacts.client_networks = 2;
+  cfg.cast.include_minor_ases = false;
+  cfg.cast.megascanner_thinning = 1.0 / 8192.0;
+  cfg.cast.session_scale = 0.01;
+  CdnWorld world(cfg);
+  world.run([](const sim::LogRecord&) {});
+  EXPECT_THROW(world.run([](const sim::LogRecord&) {}), std::logic_error);
+}
+
+TEST(World, ActorMetadataExposesPaperRanks) {
+  WorldConfig cfg = WorldConfig::small();
+  cfg.deployment.machines = 500;
+  cfg.deployment.networks = 5;
+  cfg.deployment.dns_pair_subset = 100;
+  CdnWorld world(cfg);
+  EXPECT_NE(world.asn_of_rank(1), 0u);
+  EXPECT_NE(world.asn_of_rank(18), 0u);
+  EXPECT_EQ(world.asn_of_rank(99), 0u);
+  EXPECT_EQ(world.registry().find(world.asn_of_rank(1))->type, sim::AsType::kDatacenter);
+  EXPECT_EQ(world.registry().find(world.asn_of_rank(18))->type, sim::AsType::kCloudTransit);
+}
+
+}  // namespace
+}  // namespace v6sonar::telescope

@@ -1,0 +1,115 @@
+// Tests for the open-addressing FlatSet/FlatMap, cross-checked against
+// the standard containers on random workloads.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/ipv6.hpp"
+#include "util/flat_hash.hpp"
+#include "util/rng.hpp"
+
+namespace v6sonar::util {
+namespace {
+
+TEST(FlatSet, BasicInsertContains) {
+  FlatSet<std::uint64_t, IntHash> s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.contains(5));
+  EXPECT_TRUE(s.insert(5));
+  EXPECT_FALSE(s.insert(5));  // duplicate
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_EQ(s.size(), 1u);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.contains(5));
+}
+
+TEST(FlatSet, GrowthPreservesMembers) {
+  FlatSet<std::uint64_t, IntHash> s;
+  for (std::uint64_t i = 0; i < 10'000; ++i) EXPECT_TRUE(s.insert(i * 7));
+  EXPECT_EQ(s.size(), 10'000u);
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    EXPECT_TRUE(s.contains(i * 7));
+    EXPECT_FALSE(s.contains(i * 7 + 1));
+  }
+}
+
+TEST(FlatSet, ForEachVisitsAllOnce) {
+  FlatSet<std::uint64_t, IntHash> s;
+  for (std::uint64_t i = 0; i < 100; ++i) s.insert(i);
+  std::unordered_set<std::uint64_t> seen;
+  s.for_each([&](std::uint64_t k) { EXPECT_TRUE(seen.insert(k).second); });
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(FlatMap, OperatorBracketDefaultsAndAccumulates) {
+  FlatMap<std::uint32_t, std::uint64_t, IntHash> m;
+  EXPECT_EQ(m[7], 0u);
+  ++m[7];
+  ++m[7];
+  m[9] = 5;
+  EXPECT_EQ(m.size(), 2u);
+  ASSERT_NE(m.find(7), nullptr);
+  EXPECT_EQ(*m.find(7), 2u);
+  EXPECT_EQ(m.find(8), nullptr);
+}
+
+TEST(FlatMap, ForEachMatchesContents) {
+  FlatMap<std::uint32_t, std::uint64_t, IntHash> m;
+  for (std::uint32_t i = 0; i < 500; ++i) m[i] = i * 2;
+  std::size_t n = 0;
+  m.for_each([&](std::uint32_t k, std::uint64_t v) {
+    EXPECT_EQ(v, k * 2u);
+    ++n;
+  });
+  EXPECT_EQ(n, 500u);
+}
+
+// Property: FlatSet agrees with std::unordered_set on random streams
+// of inserts (with duplicates), for both integer and address keys.
+class FlatVsStd : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlatVsStd, SetAgreesWithStd) {
+  Xoshiro256 rng(GetParam());
+  FlatSet<std::uint64_t, IntHash> flat;
+  std::unordered_set<std::uint64_t> ref;
+  for (int i = 0; i < 20'000; ++i) {
+    const std::uint64_t k = rng.below(5'000);  // plenty of duplicates
+    EXPECT_EQ(flat.insert(k), ref.insert(k).second);
+  }
+  EXPECT_EQ(flat.size(), ref.size());
+  for (std::uint64_t k = 0; k < 5'000; ++k) EXPECT_EQ(flat.contains(k), ref.contains(k));
+}
+
+TEST_P(FlatVsStd, AddressSetAgreesWithStd) {
+  Xoshiro256 rng(GetParam() ^ 0xABCD);
+  FlatSet<net::Ipv6Address> flat;
+  std::unordered_set<net::Ipv6Address> ref;
+  for (int i = 0; i < 5'000; ++i) {
+    const net::Ipv6Address a{rng.below(64), rng.below(64)};
+    EXPECT_EQ(flat.insert(a), ref.insert(a).second);
+  }
+  EXPECT_EQ(flat.size(), ref.size());
+}
+
+TEST_P(FlatVsStd, MapAgreesWithStd) {
+  Xoshiro256 rng(GetParam() ^ 0x1234);
+  FlatMap<std::uint32_t, std::uint64_t, IntHash> flat;
+  std::unordered_map<std::uint32_t, std::uint64_t> ref;
+  for (int i = 0; i < 20'000; ++i) {
+    const auto k = static_cast<std::uint32_t>(rng.below(2'000));
+    ++flat[k];
+    ++ref[k];
+  }
+  EXPECT_EQ(flat.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    ASSERT_NE(flat.find(k), nullptr);
+    EXPECT_EQ(*flat.find(k), v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlatVsStd, ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace v6sonar::util

@@ -1,0 +1,341 @@
+// Tests for wire: cursors, header codecs, checksums, frame building
+// and parsing.
+#include <gtest/gtest.h>
+
+#include "net/ipv6.hpp"
+#include "util/rng.hpp"
+#include "wire/cursor.hpp"
+#include "wire/headers.hpp"
+#include "wire/packet.hpp"
+
+namespace v6sonar::wire {
+namespace {
+
+using net::Ipv6Address;
+
+TEST(Cursor, ReaderBigEndian) {
+  const std::uint8_t data[] = {0x12, 0x34, 0x56, 0x78, 0x9A};
+  Reader r(data);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u8(), 0x56);
+  EXPECT_EQ(r.remaining(), 2u);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Cursor, ReaderUnderrunSetsFailed) {
+  const std::uint8_t data[] = {0x01, 0x02};
+  Reader r(data);
+  EXPECT_EQ(r.u32(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Cursor, WriterRoundTrip) {
+  std::vector<std::uint8_t> buf;
+  Writer w(buf);
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0102030405060708ULL);
+  Reader r(buf);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0102030405060708ULL);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Headers, Ipv6RoundTrip) {
+  Ipv6Header h;
+  h.traffic_class = 0x1C;
+  h.flow_label = 0xABCDE;
+  h.payload_length = 1234;
+  h.next_header = 6;
+  h.hop_limit = 57;
+  h.src = Ipv6Address::parse_or_throw("2001:db8::1");
+  h.dst = Ipv6Address::parse_or_throw("2001:db8::2");
+
+  std::vector<std::uint8_t> buf;
+  Writer w(buf);
+  h.encode(w);
+  ASSERT_EQ(buf.size(), Ipv6Header::kSize);
+  EXPECT_EQ(buf[0] >> 4, 6);  // version
+
+  Reader r(buf);
+  const auto back = Ipv6Header::decode(r);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->traffic_class, h.traffic_class);
+  EXPECT_EQ(back->flow_label, h.flow_label);
+  EXPECT_EQ(back->payload_length, h.payload_length);
+  EXPECT_EQ(back->next_header, h.next_header);
+  EXPECT_EQ(back->hop_limit, h.hop_limit);
+  EXPECT_EQ(back->src, h.src);
+  EXPECT_EQ(back->dst, h.dst);
+}
+
+TEST(Headers, Ipv6RejectsWrongVersion) {
+  std::vector<std::uint8_t> buf(Ipv6Header::kSize, 0);
+  buf[0] = 0x40;  // IPv4 version nibble
+  Reader r(buf);
+  EXPECT_FALSE(Ipv6Header::decode(r).has_value());
+}
+
+TEST(Headers, TcpRoundTripAndOptionSkip) {
+  TcpHeader h;
+  h.src_port = 49'152;
+  h.dst_port = 443;
+  h.seq = 0x11223344;
+  h.flags = TcpHeader::kSyn | TcpHeader::kAck;
+  h.data_offset_words = 6;  // 4 bytes of options
+
+  std::vector<std::uint8_t> buf;
+  Writer w(buf);
+  h.encode(w);
+  w.zeros(4);  // the options
+  Reader r(buf);
+  const auto back = TcpHeader::decode(r);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->dst_port, 443);
+  EXPECT_EQ(back->flags, h.flags);
+  EXPECT_EQ(r.remaining(), 0u);  // options were consumed
+}
+
+TEST(Headers, TcpRejectsBadOffset) {
+  TcpHeader h;
+  h.data_offset_words = 3;  // < 5 is invalid
+  std::vector<std::uint8_t> buf;
+  Writer w(buf);
+  h.encode(w);
+  Reader r(buf);
+  EXPECT_FALSE(TcpHeader::decode(r).has_value());
+}
+
+TEST(Headers, UdpRejectsShortLength) {
+  UdpHeader h;
+  h.length = 4;  // below the 8-byte header
+  std::vector<std::uint8_t> buf;
+  Writer w(buf);
+  h.encode(w);
+  Reader r(buf);
+  EXPECT_FALSE(UdpHeader::decode(r).has_value());
+}
+
+TEST(Checksum, Rfc1071Examples) {
+  // Classic example: checksum of {0x0001, 0xf203, 0xf4f5, 0xf6f7}.
+  const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Checksum, OddLengthPads) {
+  const std::uint8_t even[] = {0xAB, 0x00};
+  const std::uint8_t odd[] = {0xAB};
+  EXPECT_EQ(internet_checksum(even), internet_checksum(odd));
+}
+
+TEST(Checksum, AllZeros) {
+  const std::uint8_t data[4] = {};
+  EXPECT_EQ(internet_checksum(data), 0xFFFF);
+}
+
+TEST(FrameBuilder, TcpFrameParsesBack) {
+  const auto src = Ipv6Address::parse_or_throw("2001:db8::1");
+  const auto dst = Ipv6Address::parse_or_throw("2001:db8::2");
+  const auto frame = FrameBuilder::tcp(src, dst, 50'000, 22);
+  ASSERT_EQ(frame.size(), 74u);
+
+  const auto s = parse_frame(frame);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->src, src);
+  EXPECT_EQ(s->dst, dst);
+  EXPECT_EQ(s->proto, IpProto::kTcp);
+  EXPECT_EQ(s->src_port, 50'000);
+  EXPECT_EQ(s->dst_port, 22);
+  EXPECT_EQ(s->tcp_flags, TcpHeader::kSyn);
+  EXPECT_EQ(s->length, 74u);
+}
+
+TEST(FrameBuilder, TcpChecksumValidates) {
+  const auto frame = FrameBuilder::tcp(Ipv6Address::parse_or_throw("fe80::1"),
+                                       Ipv6Address::parse_or_throw("fe80::2"), 1, 2);
+  // Verifying: checksum over the transport segment including the
+  // stored checksum must be 0.
+  const std::span<const std::uint8_t> l4{frame.data() + 54, frame.size() - 54};
+  EXPECT_EQ(transport_checksum(Ipv6Address::parse_or_throw("fe80::1"),
+                               Ipv6Address::parse_or_throw("fe80::2"), IpProto::kTcp, l4),
+            0);
+}
+
+TEST(FrameBuilder, UdpAndIcmpChecksumsValidate) {
+  const auto a = Ipv6Address::parse_or_throw("2001:db8::a");
+  const auto b = Ipv6Address::parse_or_throw("2001:db8::b");
+  const auto udp = FrameBuilder::udp(a, b, 5000, 500, 16);
+  const std::span<const std::uint8_t> ul4{udp.data() + 54, udp.size() - 54};
+  EXPECT_EQ(transport_checksum(a, b, IpProto::kUdp, ul4), 0);
+
+  const auto icmp = FrameBuilder::icmpv6_echo(a, b, 7, 9, 8);
+  const std::span<const std::uint8_t> il4{icmp.data() + 54, icmp.size() - 54};
+  EXPECT_EQ(transport_checksum(a, b, IpProto::kIcmpv6, il4), 0);
+}
+
+TEST(FrameBuilder, IcmpParsesWithTypeCodePort) {
+  const auto frame = FrameBuilder::icmpv6_echo(Ipv6Address::parse_or_throw("::1"),
+                                               Ipv6Address::parse_or_throw("::2"), 1, 2);
+  const auto s = parse_frame(frame);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->proto, IpProto::kIcmpv6);
+  EXPECT_EQ(s->dst_port, 128 << 8);  // echo request, code 0
+  EXPECT_EQ(s->src_port, 0);
+}
+
+TEST(ParseFrame, RejectsNonIpv6EtherType) {
+  auto frame = FrameBuilder::tcp(Ipv6Address::parse_or_throw("::1"),
+                                 Ipv6Address::parse_or_throw("::2"), 1, 2);
+  frame[12] = 0x08;  // EtherType -> IPv4
+  frame[13] = 0x00;
+  EXPECT_FALSE(parse_frame(frame).has_value());
+}
+
+TEST(ParseFrame, RejectsTruncation) {
+  const auto frame = FrameBuilder::tcp(Ipv6Address::parse_or_throw("::1"),
+                                       Ipv6Address::parse_or_throw("::2"), 1, 2);
+  for (std::size_t cut : {0u, 10u, 20u, 54u, 70u}) {
+    const std::span<const std::uint8_t> part{frame.data(), cut};
+    EXPECT_FALSE(parse_frame(part).has_value()) << "cut at " << cut;
+  }
+}
+
+TEST(ParseFrame, SkipsExtensionHeaders) {
+  // Hand-build: Ethernet + IPv6(next=0 hop-by-hop) + HBH(next=60
+  // dest-opts, len 0) + DestOpts(next=6 TCP, len 1) + TCP.
+  const auto src = Ipv6Address::parse_or_throw("2a10:1::1");
+  const auto dst = Ipv6Address::parse_or_throw("2600::2");
+  std::vector<std::uint8_t> frame;
+  Writer w(frame);
+  EthernetHeader eth;
+  eth.encode(w);
+  Ipv6Header ip;
+  ip.next_header = 0;  // hop-by-hop
+  ip.payload_length = 8 + 16 + TcpHeader::kSize;
+  ip.src = src;
+  ip.dst = dst;
+  ip.encode(w);
+  // Hop-by-hop: next=60, len=0 (8 bytes total).
+  w.u8(60);
+  w.u8(0);
+  w.zeros(6);
+  // Destination options: next=6 (TCP), len=1 (16 bytes total).
+  w.u8(6);
+  w.u8(1);
+  w.zeros(14);
+  TcpHeader tcp;
+  tcp.src_port = 1234;
+  tcp.dst_port = 22;
+  tcp.encode(w);
+
+  const auto s = parse_frame(frame);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->proto, IpProto::kTcp);
+  EXPECT_EQ(s->src_port, 1234);
+  EXPECT_EQ(s->dst_port, 22);
+}
+
+TEST(ParseFrame, SkipsFragmentHeader) {
+  const auto src = Ipv6Address::parse_or_throw("2a10:1::1");
+  const auto dst = Ipv6Address::parse_or_throw("2600::2");
+  std::vector<std::uint8_t> frame;
+  Writer w(frame);
+  EthernetHeader eth;
+  eth.encode(w);
+  Ipv6Header ip;
+  ip.next_header = 44;  // fragment
+  ip.payload_length = 8 + UdpHeader::kSize;
+  ip.src = src;
+  ip.dst = dst;
+  ip.encode(w);
+  // Fragment header: next=17 (UDP), reserved, offset/flags, id.
+  w.u8(17);
+  w.u8(0);
+  w.u16(0);
+  w.u32(0xABCD);
+  UdpHeader udp;
+  udp.src_port = 53;
+  udp.dst_port = 500;
+  udp.encode(w);
+
+  const auto s = parse_frame(frame);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->proto, IpProto::kUdp);
+  EXPECT_EQ(s->dst_port, 500);
+}
+
+TEST(ParseFrame, TruncatedExtensionHeaderRejected) {
+  std::vector<std::uint8_t> frame;
+  Writer w(frame);
+  EthernetHeader eth;
+  eth.encode(w);
+  Ipv6Header ip;
+  ip.next_header = 0;
+  ip.src = Ipv6Address::parse_or_throw("::1");
+  ip.dst = Ipv6Address::parse_or_throw("::2");
+  ip.encode(w);
+  w.u8(6);  // claims TCP next, but the extension body is cut off
+  EXPECT_FALSE(parse_frame(frame).has_value());
+}
+
+TEST(ParseFrame, ExtensionHeaderLoopRejected) {
+  // 16 chained hop-by-hop headers exceed the sanity cap of 8.
+  std::vector<std::uint8_t> frame;
+  Writer w(frame);
+  EthernetHeader eth;
+  eth.encode(w);
+  Ipv6Header ip;
+  ip.next_header = 0;
+  ip.src = Ipv6Address::parse_or_throw("::1");
+  ip.dst = Ipv6Address::parse_or_throw("::2");
+  ip.encode(w);
+  for (int i = 0; i < 16; ++i) {
+    w.u8(0);  // next: another hop-by-hop
+    w.u8(0);
+    w.zeros(6);
+  }
+  EXPECT_FALSE(parse_frame(frame).has_value());
+}
+
+TEST(ParseFrame, RejectsUnknownTransport) {
+  auto frame = FrameBuilder::tcp(Ipv6Address::parse_or_throw("::1"),
+                                 Ipv6Address::parse_or_throw("::2"), 1, 2);
+  frame[14 + 6] = 47;  // next header -> GRE
+  EXPECT_FALSE(parse_frame(frame).has_value());
+}
+
+// Property: random frames round-trip through build+parse.
+class FrameRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FrameRoundTrip, BuildParseAgree) {
+  util::Xoshiro256 rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const Ipv6Address src{rng(), rng()};
+    const Ipv6Address dst{rng(), rng()};
+    const auto sport = static_cast<std::uint16_t>(rng.below(65'536));
+    const auto dport = static_cast<std::uint16_t>(rng.below(65'536));
+    const int kind = static_cast<int>(rng.below(3));
+    std::vector<std::uint8_t> frame;
+    switch (kind) {
+      case 0: frame = FrameBuilder::tcp(src, dst, sport, dport); break;
+      case 1: frame = FrameBuilder::udp(src, dst, sport, dport, rng.below(64)); break;
+      default: frame = FrameBuilder::icmpv6_echo(src, dst, sport, dport); break;
+    }
+    const auto s = parse_frame(frame);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(s->src, src);
+    EXPECT_EQ(s->dst, dst);
+    if (kind != 2) {
+      EXPECT_EQ(s->src_port, sport);
+      EXPECT_EQ(s->dst_port, dport);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrameRoundTrip, ::testing::Values(7u, 77u, 777u));
+
+}  // namespace
+}  // namespace v6sonar::wire

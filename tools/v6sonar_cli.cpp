@@ -1,0 +1,320 @@
+// v6sonar — command-line front end for the scan-detection pipeline.
+//
+// Works on the library's binary firewall logs (.v6slog) and on
+// standard pcap captures; every analysis the paper runs on its two
+// vantage points is available as a subcommand.
+//
+//   v6sonar info      <file>                    identify + count records
+//   v6sonar detect    <file> [options]          large-scale scan detection (§2.2)
+//   v6sonar fh        <file> [options]          Fukuda-Heidemann detection (§4)
+//   v6sonar filter    <in> <out.v6slog>         5-duplicate artifact filter (§2.1)
+//   v6sonar adaptive  <file>                    multi-level adaptive attribution (§5)
+//   v6sonar fingerprint <file> [options]        behavioural fingerprints + actor links (§5/A.4)
+//   v6sonar generate  <out.v6slog> [--small]    simulate the CDN telescope world
+//   v6sonar mawi-day  <YYYY-MM-DD> <out.pcap>   export a MAWI-style capture day
+//
+// Options for detect/fh: --agg <len>  --min-dsts <n>  --timeout <sec>  --top <n>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/fingerprint.hpp"
+#include "analysis/reports.hpp"
+#include "core/adaptive.hpp"
+#include "core/artifact_filter.hpp"
+#include "core/detector.hpp"
+#include "core/fh_detector.hpp"
+#include "mawi/world.hpp"
+#include "scanner/hitlist.hpp"
+#include "sim/log_io.hpp"
+#include "telescope/world.hpp"
+#include "util/table.hpp"
+#include "util/timebase.hpp"
+
+namespace {
+
+using namespace v6sonar;
+
+struct Options {
+  int agg = 64;
+  std::uint32_t min_dsts = 100;
+  std::int64_t timeout_sec = 3'600;
+  std::size_t top = 20;
+};
+
+[[noreturn]] void usage() {
+  std::fputs(
+      "usage: v6sonar <command> [arguments]\n"
+      "\n"
+      "commands:\n"
+      "  info      <file>                   identify a .v6slog/.pcap file and count records\n"
+      "  detect    <file> [options]         large-scale scan detection (>=100 dsts, 1h timeout)\n"
+      "  fh        <file> [options]         Fukuda-Heidemann per-window scan detection\n"
+      "  filter    <in> <out.v6slog>        remove 5-duplicate artifact traffic\n"
+      "  adaptive  <file>                   adaptive source-aggregation attribution\n"
+      "  fingerprint <file> [options]       behavioural fingerprints + common-actor links\n"
+      "  generate  <out.v6slog> [--small]   simulate the 15-month CDN telescope world\n"
+      "  mawi-day  <YYYY-MM-DD> <out.pcap>  export one simulated MAWI capture day\n"
+      "\n"
+      "options (detect/fh):\n"
+      "  --agg <len>       source aggregation prefix length (default 64)\n"
+      "  --min-dsts <n>    minimum distinct destinations (default 100)\n"
+      "  --timeout <sec>   scan inter-packet timeout, detect only (default 3600)\n"
+      "  --top <n>         rows to print (default 20)\n",
+      stderr);
+  std::exit(2);
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/// Load any supported input into records (pcap paths go through the
+/// frame parser; .v6slog streams through the log reader).
+std::vector<sim::LogRecord> load_records(const std::string& path) {
+  if (ends_with(path, ".pcap") || ends_with(path, ".cap")) {
+    std::uint64_t skipped = 0;
+    auto records = mawi::MawiWorld::import_pcap(path, &skipped);
+    if (skipped)
+      std::fprintf(stderr, "note: skipped %llu unparseable frames\n",
+                   static_cast<unsigned long long>(skipped));
+    return records;
+  }
+  sim::LogReader reader(path);
+  std::vector<sim::LogRecord> records;
+  records.reserve(reader.total_records());
+  while (auto r = reader.next()) records.push_back(*r);
+  return records;
+}
+
+Options parse_options(int argc, char** argv, int first) {
+  Options o;
+  for (int i = first; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--agg") == 0)
+      o.agg = std::atoi(need_value("--agg"));
+    else if (std::strcmp(argv[i], "--min-dsts") == 0)
+      o.min_dsts = static_cast<std::uint32_t>(std::atoi(need_value("--min-dsts")));
+    else if (std::strcmp(argv[i], "--timeout") == 0)
+      o.timeout_sec = std::atoll(need_value("--timeout"));
+    else if (std::strcmp(argv[i], "--top") == 0)
+      o.top = static_cast<std::size_t>(std::atoi(need_value("--top")));
+    else {
+      std::fprintf(stderr, "error: unknown option %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  return o;
+}
+
+int cmd_info(const std::string& path) {
+  const auto records = load_records(path);
+  std::printf("%s: %zu IPv6 records\n", path.c_str(), records.size());
+  if (records.empty()) return 0;
+  std::printf("time span: %s .. %s\n",
+              util::format_datetime(sim::seconds_of(records.front().ts_us)).c_str(),
+              util::format_datetime(sim::seconds_of(records.back().ts_us)).c_str());
+  std::uint64_t tcp = 0, udp = 0, icmp = 0;
+  for (const auto& r : records) {
+    tcp += r.proto == wire::IpProto::kTcp;
+    udp += r.proto == wire::IpProto::kUdp;
+    icmp += r.proto == wire::IpProto::kIcmpv6;
+  }
+  std::printf("protocols: TCP %llu, UDP %llu, ICMPv6 %llu\n",
+              static_cast<unsigned long long>(tcp), static_cast<unsigned long long>(udp),
+              static_cast<unsigned long long>(icmp));
+  return 0;
+}
+
+int cmd_detect(const std::string& path, const Options& o) {
+  const auto records = load_records(path);
+  std::vector<core::ScanEvent> events;
+  core::ScanDetector detector(
+      {.source_prefix_len = o.agg,
+       .min_destinations = o.min_dsts,
+       .timeout_us = o.timeout_sec * 1'000'000},
+      [&](core::ScanEvent&& ev) { events.push_back(std::move(ev)); });
+  for (const auto& r : records) detector.feed(r);
+  detector.flush();
+
+  const auto t = analysis::totals(events);
+  std::printf("%llu scans from %llu /%d sources (%llu packets attributed)\n",
+              static_cast<unsigned long long>(t.scans),
+              static_cast<unsigned long long>(t.sources), o.agg,
+              static_cast<unsigned long long>(t.packets));
+
+  auto sources = analysis::fold_sources(events);
+  std::sort(sources.begin(), sources.end(),
+            [](const analysis::SourceReport& a, const analysis::SourceReport& b) {
+              return a.packets > b.packets;
+            });
+  util::TextTable table({"source", "scans", "packets", "max dsts/scan"});
+  for (std::size_t i = 0; i < std::min(o.top, sources.size()); ++i) {
+    const auto& s = sources[i];
+    table.add_row({s.source.to_string(), util::with_commas(s.scans),
+                   util::with_commas(s.packets), util::with_commas(s.distinct_dsts_max)});
+  }
+  std::printf("%s", table.render().c_str());
+  if (sources.size() > o.top) std::printf("(+%zu more sources)\n", sources.size() - o.top);
+  return 0;
+}
+
+int cmd_fh(const std::string& path, const Options& o) {
+  const auto records = load_records(path);
+  const auto scans = core::fh_detect(
+      records, {.source_prefix_len = o.agg, .min_destinations = o.min_dsts});
+  std::printf("%zu Fukuda-Heidemann scan sources (window treated as one capture)\n",
+              scans.size());
+  util::TextTable table({"source", "packets", "dsts", "ports", "ICMPv6"});
+  for (std::size_t i = 0; i < std::min(o.top, scans.size()); ++i) {
+    const auto& s = scans[i];
+    table.add_row({s.source.to_string(), util::with_commas(s.packets),
+                   util::with_commas(s.distinct_dsts), util::with_commas(s.ports.size()),
+                   s.icmpv6 ? "yes" : "no"});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_filter(const std::string& in, const std::string& out) {
+  sim::LogReader reader(in);
+  sim::LogWriter writer(out);
+  std::uint64_t dropped = 0;
+  core::ArtifactFilter filter(
+      {}, [&](const sim::LogRecord& r) { writer.write(r); },
+      [&](const core::FilterDayStats& s) { dropped += s.packets_dropped; });
+  while (auto r = reader.next()) filter.feed(*r);
+  filter.flush();
+  writer.close();
+  std::printf("kept %llu records, dropped %llu 5-duplicate artifact records -> %s\n",
+              static_cast<unsigned long long>(writer.written()),
+              static_cast<unsigned long long>(dropped), out.c_str());
+  return 0;
+}
+
+int cmd_adaptive(const std::string& path) {
+  const auto records = load_records(path);
+  const std::vector<int> ladder = {128, 64, 48, 32};
+  std::vector<std::vector<core::ScanEvent>> events(ladder.size());
+  {
+    std::vector<std::unique_ptr<core::ScanDetector>> detectors;
+    for (std::size_t i = 0; i < ladder.size(); ++i)
+      detectors.push_back(std::make_unique<core::ScanDetector>(
+          core::DetectorConfig{.source_prefix_len = ladder[i]},
+          [&events, i](core::ScanEvent&& ev) { events[i].push_back(std::move(ev)); }));
+    for (const auto& r : records)
+      for (auto& d : detectors) d->feed(r);
+    for (auto& d : detectors) d->flush();
+  }
+  const auto attributions = core::attribute_adaptive(events, {});
+  util::TextTable table({"attributed prefix", "level", "packets", "covered sources"});
+  for (const auto& a : attributions)
+    table.add_row({a.source.to_string(), "/" + std::to_string(a.level),
+                   util::with_commas(a.packets), util::with_commas(a.children)});
+  std::printf("%s", table.render().c_str());
+  return 0;
+}
+
+int cmd_fingerprint(const std::string& path, const Options& o) {
+  const auto records = load_records(path);
+
+  // Pass 1: find the scan sources worth fingerprinting.
+  std::vector<core::ScanEvent> events;
+  core::ScanDetector detector(
+      {.source_prefix_len = o.agg, .min_destinations = o.min_dsts},
+      [&](core::ScanEvent&& ev) { events.push_back(std::move(ev)); });
+  for (const auto& r : records) detector.feed(r);
+  detector.flush();
+  std::vector<net::Ipv6Prefix> sources;
+  for (const auto& s : analysis::fold_sources(events)) sources.push_back(s.source);
+  std::printf("fingerprinting %zu scan sources\n", sources.size());
+
+  // Pass 2: behavioural features.
+  analysis::FingerprintCollector fc(sources, o.agg);
+  for (const auto& r : records) fc.feed(r);
+  const auto fps = fc.fingerprints();
+
+  util::TextTable table({"source", "pkts", "ports", "port H", "IID HW", "in-DNS",
+                         "tgt//64"});
+  std::size_t shown = 0;
+  for (const auto& [src, f] : fps) {
+    if (++shown > o.top) break;
+    table.add_row({src.to_string(), util::with_commas(f.packets),
+                   util::with_commas(f.distinct_ports), util::fixed(f.port_entropy, 2),
+                   util::fixed(f.mean_iid_hamming, 1), util::percent(f.in_dns_fraction),
+                   util::fixed(f.targets_per_dst64, 1)});
+  }
+  std::printf("%s", table.render().c_str());
+
+  const auto links = analysis::link_actors(fps, 0.9);
+  std::printf("\nlikely common actors (similarity >= 0.90): %zu pairs\n", links.size());
+  for (std::size_t i = 0; i < std::min<std::size_t>(links.size(), o.top); ++i)
+    std::printf("  %.3f  %s  <->  %s\n", links[i].similarity, links[i].a.to_string().c_str(),
+                links[i].b.to_string().c_str());
+  return 0;
+}
+
+int cmd_generate(const std::string& out, bool small) {
+  telescope::CdnWorld world(small ? telescope::WorldConfig::small()
+                                  : telescope::WorldConfig{});
+  sim::LogWriter writer(out);
+  world.run([&](const sim::LogRecord& r) { writer.write(r); });
+  writer.close();
+  std::printf("wrote %llu records to %s\n",
+              static_cast<unsigned long long>(writer.written()), out.c_str());
+  return 0;
+}
+
+int cmd_mawi_day(const std::string& date, const std::string& out) {
+  int y = 0, m = 0, d = 0;
+  if (std::sscanf(date.c_str(), "%d-%d-%d", &y, &m, &d) != 3) {
+    std::fprintf(stderr, "error: date must be YYYY-MM-DD\n");
+    return 2;
+  }
+  const int day = mawi::day_index(util::CivilDate{y, m, d});
+  sim::AsRegistry registry;
+  scanner::Hitlist hitlist({.seed = 3, .external_addresses = 20'000}, {});
+  mawi::MawiWorld world({}, registry, hitlist);
+  if (day < 0 || day >= world.days()) {
+    std::fprintf(stderr, "error: %s is outside the Jan 2021 - Mar 2022 window\n",
+                 date.c_str());
+    return 2;
+  }
+  const auto frames = world.export_pcap(day, out);
+  std::printf("wrote %llu frames for %s to %s\n",
+              static_cast<unsigned long long>(frames), date.c_str(), out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "info" && argc >= 3) return cmd_info(argv[2]);
+    if (cmd == "detect" && argc >= 3) return cmd_detect(argv[2], parse_options(argc, argv, 3));
+    if (cmd == "fh" && argc >= 3) return cmd_fh(argv[2], parse_options(argc, argv, 3));
+    if (cmd == "filter" && argc >= 4) return cmd_filter(argv[2], argv[3]);
+    if (cmd == "adaptive" && argc >= 3) return cmd_adaptive(argv[2]);
+    if (cmd == "fingerprint" && argc >= 3)
+      return cmd_fingerprint(argv[2], parse_options(argc, argv, 3));
+    if (cmd == "generate" && argc >= 3)
+      return cmd_generate(argv[2], argc >= 4 && std::strcmp(argv[3], "--small") == 0);
+    if (cmd == "mawi-day" && argc >= 4) return cmd_mawi_day(argv[2], argv[3]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+}
