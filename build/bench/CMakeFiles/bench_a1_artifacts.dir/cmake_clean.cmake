@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a1_artifacts.dir/bench_a1_artifacts.cpp.o"
+  "CMakeFiles/bench_a1_artifacts.dir/bench_a1_artifacts.cpp.o.d"
+  "bench_a1_artifacts"
+  "bench_a1_artifacts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a1_artifacts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

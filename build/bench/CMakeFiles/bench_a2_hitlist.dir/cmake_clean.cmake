@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_hitlist.dir/bench_a2_hitlist.cpp.o"
+  "CMakeFiles/bench_a2_hitlist.dir/bench_a2_hitlist.cpp.o.d"
+  "bench_a2_hitlist"
+  "bench_a2_hitlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_hitlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

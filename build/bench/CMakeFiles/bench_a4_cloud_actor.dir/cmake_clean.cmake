@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_cloud_actor.dir/bench_a4_cloud_actor.cpp.o"
+  "CMakeFiles/bench_a4_cloud_actor.dir/bench_a4_cloud_actor.cpp.o.d"
+  "bench_a4_cloud_actor"
+  "bench_a4_cloud_actor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_cloud_actor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_a4_cloud_actor.
+# This may be replaced when dependencies are built.

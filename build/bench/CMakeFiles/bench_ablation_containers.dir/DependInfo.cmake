@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_containers.cpp" "bench/CMakeFiles/bench_ablation_containers.dir/bench_ablation_containers.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_containers.dir/bench_ablation_containers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/v6sonar_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/telescope/CMakeFiles/v6sonar_telescope.dir/DependInfo.cmake"
+  "/root/repo/build/src/scanner/CMakeFiles/v6sonar_scanner.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/v6sonar_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/v6sonar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/v6sonar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/v6sonar_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/v6sonar_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/v6sonar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_as18_case.dir/bench_as18_case.cpp.o"
+  "CMakeFiles/bench_as18_case.dir/bench_as18_case.cpp.o.d"
+  "bench_as18_case"
+  "bench_as18_case.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_as18_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

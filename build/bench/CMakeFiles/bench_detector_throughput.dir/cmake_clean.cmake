@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_detector_throughput.dir/bench_detector_throughput.cpp.o"
+  "CMakeFiles/bench_detector_throughput.dir/bench_detector_throughput.cpp.o.d"
+  "bench_detector_throughput"
+  "bench_detector_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detector_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dns_targeting.dir/bench_dns_targeting.cpp.o"
+  "CMakeFiles/bench_dns_targeting.dir/bench_dns_targeting.cpp.o.d"
+  "bench_dns_targeting"
+  "bench_dns_targeting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dns_targeting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_durations.dir/bench_durations.cpp.o"
+  "CMakeFiles/bench_durations.dir/bench_durations.cpp.o.d"
+  "bench_durations"
+  "bench_durations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_durations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_weekly_sources.dir/bench_fig2_weekly_sources.cpp.o"
+  "CMakeFiles/bench_fig2_weekly_sources.dir/bench_fig2_weekly_sources.cpp.o.d"
+  "bench_fig2_weekly_sources"
+  "bench_fig2_weekly_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_weekly_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_weekly_packets.dir/bench_fig3_weekly_packets.cpp.o"
+  "CMakeFiles/bench_fig3_weekly_packets.dir/bench_fig3_weekly_packets.cpp.o.d"
+  "bench_fig3_weekly_packets"
+  "bench_fig3_weekly_packets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_weekly_packets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_ports_per_scan.dir/bench_fig4_ports_per_scan.cpp.o"
+  "CMakeFiles/bench_fig4_ports_per_scan.dir/bench_fig4_ports_per_scan.cpp.o.d"
+  "bench_fig4_ports_per_scan"
+  "bench_fig4_ports_per_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_ports_per_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

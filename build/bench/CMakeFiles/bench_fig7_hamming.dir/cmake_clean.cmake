@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_hamming.dir/bench_fig7_hamming.cpp.o"
+  "CMakeFiles/bench_fig7_hamming.dir/bench_fig7_hamming.cpp.o.d"
+  "bench_fig7_hamming"
+  "bench_fig7_hamming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_hamming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_ports_aggr.dir/bench_fig8_ports_aggr.cpp.o"
+  "CMakeFiles/bench_fig8_ports_aggr.dir/bench_fig8_ports_aggr.cpp.o.d"
+  "bench_fig8_ports_aggr"
+  "bench_fig8_ports_aggr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_ports_aggr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_icmpv6_peaks.dir/bench_icmpv6_peaks.cpp.o"
+  "CMakeFiles/bench_icmpv6_peaks.dir/bench_icmpv6_peaks.cpp.o.d"
+  "bench_icmpv6_peaks"
+  "bench_icmpv6_peaks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_icmpv6_peaks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

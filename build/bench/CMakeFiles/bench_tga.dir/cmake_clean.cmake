@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tga.dir/bench_tga.cpp.o"
+  "CMakeFiles/bench_tga.dir/bench_tga.cpp.o.d"
+  "bench_tga"
+  "bench_tga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6sonar_bench_common.dir/common.cpp.o"
+  "CMakeFiles/v6sonar_bench_common.dir/common.cpp.o.d"
+  "libv6sonar_bench_common.a"
+  "libv6sonar_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6sonar_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

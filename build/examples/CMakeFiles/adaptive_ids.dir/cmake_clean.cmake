@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_ids.dir/adaptive_ids.cpp.o"
+  "CMakeFiles/adaptive_ids.dir/adaptive_ids.cpp.o.d"
+  "adaptive_ids"
+  "adaptive_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

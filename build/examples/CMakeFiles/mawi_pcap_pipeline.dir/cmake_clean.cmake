@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mawi_pcap_pipeline.dir/mawi_pcap_pipeline.cpp.o"
+  "CMakeFiles/mawi_pcap_pipeline.dir/mawi_pcap_pipeline.cpp.o.d"
+  "mawi_pcap_pipeline"
+  "mawi_pcap_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mawi_pcap_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_forensics.dir/scan_forensics.cpp.o"
+  "CMakeFiles/scan_forensics.dir/scan_forensics.cpp.o.d"
+  "scan_forensics"
+  "scan_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

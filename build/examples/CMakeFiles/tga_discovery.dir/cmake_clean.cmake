@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tga_discovery.dir/tga_discovery.cpp.o"
+  "CMakeFiles/tga_discovery.dir/tga_discovery.cpp.o.d"
+  "tga_discovery"
+  "tga_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tga_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

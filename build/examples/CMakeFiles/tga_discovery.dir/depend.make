@@ -1,0 +1,2 @@
+# Empty dependencies file for tga_discovery.
+# This may be replaced when dependencies are built.

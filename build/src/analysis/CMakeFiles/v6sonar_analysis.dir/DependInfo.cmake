@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dns_targeting.cpp" "src/analysis/CMakeFiles/v6sonar_analysis.dir/dns_targeting.cpp.o" "gcc" "src/analysis/CMakeFiles/v6sonar_analysis.dir/dns_targeting.cpp.o.d"
+  "/root/repo/src/analysis/fingerprint.cpp" "src/analysis/CMakeFiles/v6sonar_analysis.dir/fingerprint.cpp.o" "gcc" "src/analysis/CMakeFiles/v6sonar_analysis.dir/fingerprint.cpp.o.d"
+  "/root/repo/src/analysis/hamming.cpp" "src/analysis/CMakeFiles/v6sonar_analysis.dir/hamming.cpp.o" "gcc" "src/analysis/CMakeFiles/v6sonar_analysis.dir/hamming.cpp.o.d"
+  "/root/repo/src/analysis/ports.cpp" "src/analysis/CMakeFiles/v6sonar_analysis.dir/ports.cpp.o" "gcc" "src/analysis/CMakeFiles/v6sonar_analysis.dir/ports.cpp.o.d"
+  "/root/repo/src/analysis/reports.cpp" "src/analysis/CMakeFiles/v6sonar_analysis.dir/reports.cpp.o" "gcc" "src/analysis/CMakeFiles/v6sonar_analysis.dir/reports.cpp.o.d"
+  "/root/repo/src/analysis/similarity.cpp" "src/analysis/CMakeFiles/v6sonar_analysis.dir/similarity.cpp.o" "gcc" "src/analysis/CMakeFiles/v6sonar_analysis.dir/similarity.cpp.o.d"
+  "/root/repo/src/analysis/timeseries.cpp" "src/analysis/CMakeFiles/v6sonar_analysis.dir/timeseries.cpp.o" "gcc" "src/analysis/CMakeFiles/v6sonar_analysis.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/v6sonar_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/v6sonar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/v6sonar_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/v6sonar_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/v6sonar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

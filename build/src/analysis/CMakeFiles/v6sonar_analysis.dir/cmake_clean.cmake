@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6sonar_analysis.dir/dns_targeting.cpp.o"
+  "CMakeFiles/v6sonar_analysis.dir/dns_targeting.cpp.o.d"
+  "CMakeFiles/v6sonar_analysis.dir/fingerprint.cpp.o"
+  "CMakeFiles/v6sonar_analysis.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/v6sonar_analysis.dir/hamming.cpp.o"
+  "CMakeFiles/v6sonar_analysis.dir/hamming.cpp.o.d"
+  "CMakeFiles/v6sonar_analysis.dir/ports.cpp.o"
+  "CMakeFiles/v6sonar_analysis.dir/ports.cpp.o.d"
+  "CMakeFiles/v6sonar_analysis.dir/reports.cpp.o"
+  "CMakeFiles/v6sonar_analysis.dir/reports.cpp.o.d"
+  "CMakeFiles/v6sonar_analysis.dir/similarity.cpp.o"
+  "CMakeFiles/v6sonar_analysis.dir/similarity.cpp.o.d"
+  "CMakeFiles/v6sonar_analysis.dir/timeseries.cpp.o"
+  "CMakeFiles/v6sonar_analysis.dir/timeseries.cpp.o.d"
+  "libv6sonar_analysis.a"
+  "libv6sonar_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6sonar_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cpp" "src/core/CMakeFiles/v6sonar_core.dir/adaptive.cpp.o" "gcc" "src/core/CMakeFiles/v6sonar_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/core/artifact_filter.cpp" "src/core/CMakeFiles/v6sonar_core.dir/artifact_filter.cpp.o" "gcc" "src/core/CMakeFiles/v6sonar_core.dir/artifact_filter.cpp.o.d"
+  "/root/repo/src/core/detector.cpp" "src/core/CMakeFiles/v6sonar_core.dir/detector.cpp.o" "gcc" "src/core/CMakeFiles/v6sonar_core.dir/detector.cpp.o.d"
+  "/root/repo/src/core/event_io.cpp" "src/core/CMakeFiles/v6sonar_core.dir/event_io.cpp.o" "gcc" "src/core/CMakeFiles/v6sonar_core.dir/event_io.cpp.o.d"
+  "/root/repo/src/core/fh_detector.cpp" "src/core/CMakeFiles/v6sonar_core.dir/fh_detector.cpp.o" "gcc" "src/core/CMakeFiles/v6sonar_core.dir/fh_detector.cpp.o.d"
+  "/root/repo/src/core/streaming_ids.cpp" "src/core/CMakeFiles/v6sonar_core.dir/streaming_ids.cpp.o" "gcc" "src/core/CMakeFiles/v6sonar_core.dir/streaming_ids.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/v6sonar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/v6sonar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/v6sonar_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/v6sonar_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

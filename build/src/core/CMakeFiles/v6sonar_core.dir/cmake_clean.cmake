@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6sonar_core.dir/adaptive.cpp.o"
+  "CMakeFiles/v6sonar_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/v6sonar_core.dir/artifact_filter.cpp.o"
+  "CMakeFiles/v6sonar_core.dir/artifact_filter.cpp.o.d"
+  "CMakeFiles/v6sonar_core.dir/detector.cpp.o"
+  "CMakeFiles/v6sonar_core.dir/detector.cpp.o.d"
+  "CMakeFiles/v6sonar_core.dir/event_io.cpp.o"
+  "CMakeFiles/v6sonar_core.dir/event_io.cpp.o.d"
+  "CMakeFiles/v6sonar_core.dir/fh_detector.cpp.o"
+  "CMakeFiles/v6sonar_core.dir/fh_detector.cpp.o.d"
+  "CMakeFiles/v6sonar_core.dir/streaming_ids.cpp.o"
+  "CMakeFiles/v6sonar_core.dir/streaming_ids.cpp.o.d"
+  "libv6sonar_core.a"
+  "libv6sonar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6sonar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6sonar_mawi.dir/world.cpp.o"
+  "CMakeFiles/v6sonar_mawi.dir/world.cpp.o.d"
+  "libv6sonar_mawi.a"
+  "libv6sonar_mawi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6sonar_mawi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6sonar_net.dir/ipv6.cpp.o"
+  "CMakeFiles/v6sonar_net.dir/ipv6.cpp.o.d"
+  "CMakeFiles/v6sonar_net.dir/prefix.cpp.o"
+  "CMakeFiles/v6sonar_net.dir/prefix.cpp.o.d"
+  "libv6sonar_net.a"
+  "libv6sonar_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6sonar_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scanner/actor.cpp" "src/scanner/CMakeFiles/v6sonar_scanner.dir/actor.cpp.o" "gcc" "src/scanner/CMakeFiles/v6sonar_scanner.dir/actor.cpp.o.d"
+  "/root/repo/src/scanner/cast.cpp" "src/scanner/CMakeFiles/v6sonar_scanner.dir/cast.cpp.o" "gcc" "src/scanner/CMakeFiles/v6sonar_scanner.dir/cast.cpp.o.d"
+  "/root/repo/src/scanner/hitlist.cpp" "src/scanner/CMakeFiles/v6sonar_scanner.dir/hitlist.cpp.o" "gcc" "src/scanner/CMakeFiles/v6sonar_scanner.dir/hitlist.cpp.o.d"
+  "/root/repo/src/scanner/ports.cpp" "src/scanner/CMakeFiles/v6sonar_scanner.dir/ports.cpp.o" "gcc" "src/scanner/CMakeFiles/v6sonar_scanner.dir/ports.cpp.o.d"
+  "/root/repo/src/scanner/sourcing.cpp" "src/scanner/CMakeFiles/v6sonar_scanner.dir/sourcing.cpp.o" "gcc" "src/scanner/CMakeFiles/v6sonar_scanner.dir/sourcing.cpp.o.d"
+  "/root/repo/src/scanner/targeting.cpp" "src/scanner/CMakeFiles/v6sonar_scanner.dir/targeting.cpp.o" "gcc" "src/scanner/CMakeFiles/v6sonar_scanner.dir/targeting.cpp.o.d"
+  "/root/repo/src/scanner/tga.cpp" "src/scanner/CMakeFiles/v6sonar_scanner.dir/tga.cpp.o" "gcc" "src/scanner/CMakeFiles/v6sonar_scanner.dir/tga.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/v6sonar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/v6sonar_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/v6sonar_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/v6sonar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

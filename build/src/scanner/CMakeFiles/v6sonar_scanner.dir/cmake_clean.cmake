@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6sonar_scanner.dir/actor.cpp.o"
+  "CMakeFiles/v6sonar_scanner.dir/actor.cpp.o.d"
+  "CMakeFiles/v6sonar_scanner.dir/cast.cpp.o"
+  "CMakeFiles/v6sonar_scanner.dir/cast.cpp.o.d"
+  "CMakeFiles/v6sonar_scanner.dir/hitlist.cpp.o"
+  "CMakeFiles/v6sonar_scanner.dir/hitlist.cpp.o.d"
+  "CMakeFiles/v6sonar_scanner.dir/ports.cpp.o"
+  "CMakeFiles/v6sonar_scanner.dir/ports.cpp.o.d"
+  "CMakeFiles/v6sonar_scanner.dir/sourcing.cpp.o"
+  "CMakeFiles/v6sonar_scanner.dir/sourcing.cpp.o.d"
+  "CMakeFiles/v6sonar_scanner.dir/targeting.cpp.o"
+  "CMakeFiles/v6sonar_scanner.dir/targeting.cpp.o.d"
+  "CMakeFiles/v6sonar_scanner.dir/tga.cpp.o"
+  "CMakeFiles/v6sonar_scanner.dir/tga.cpp.o.d"
+  "libv6sonar_scanner.a"
+  "libv6sonar_scanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6sonar_scanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

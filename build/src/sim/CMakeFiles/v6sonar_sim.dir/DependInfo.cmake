@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/as_registry.cpp" "src/sim/CMakeFiles/v6sonar_sim.dir/as_registry.cpp.o" "gcc" "src/sim/CMakeFiles/v6sonar_sim.dir/as_registry.cpp.o.d"
+  "/root/repo/src/sim/log_io.cpp" "src/sim/CMakeFiles/v6sonar_sim.dir/log_io.cpp.o" "gcc" "src/sim/CMakeFiles/v6sonar_sim.dir/log_io.cpp.o.d"
+  "/root/repo/src/sim/merge.cpp" "src/sim/CMakeFiles/v6sonar_sim.dir/merge.cpp.o" "gcc" "src/sim/CMakeFiles/v6sonar_sim.dir/merge.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/v6sonar_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/v6sonar_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/v6sonar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6sonar_sim.dir/as_registry.cpp.o"
+  "CMakeFiles/v6sonar_sim.dir/as_registry.cpp.o.d"
+  "CMakeFiles/v6sonar_sim.dir/log_io.cpp.o"
+  "CMakeFiles/v6sonar_sim.dir/log_io.cpp.o.d"
+  "CMakeFiles/v6sonar_sim.dir/merge.cpp.o"
+  "CMakeFiles/v6sonar_sim.dir/merge.cpp.o.d"
+  "libv6sonar_sim.a"
+  "libv6sonar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6sonar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6sonar_telescope.dir/artifacts.cpp.o"
+  "CMakeFiles/v6sonar_telescope.dir/artifacts.cpp.o.d"
+  "CMakeFiles/v6sonar_telescope.dir/deployment.cpp.o"
+  "CMakeFiles/v6sonar_telescope.dir/deployment.cpp.o.d"
+  "CMakeFiles/v6sonar_telescope.dir/world.cpp.o"
+  "CMakeFiles/v6sonar_telescope.dir/world.cpp.o.d"
+  "libv6sonar_telescope.a"
+  "libv6sonar_telescope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6sonar_telescope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6sonar_util.dir/histogram.cpp.o"
+  "CMakeFiles/v6sonar_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/v6sonar_util.dir/rng.cpp.o"
+  "CMakeFiles/v6sonar_util.dir/rng.cpp.o.d"
+  "CMakeFiles/v6sonar_util.dir/stats.cpp.o"
+  "CMakeFiles/v6sonar_util.dir/stats.cpp.o.d"
+  "CMakeFiles/v6sonar_util.dir/table.cpp.o"
+  "CMakeFiles/v6sonar_util.dir/table.cpp.o.d"
+  "CMakeFiles/v6sonar_util.dir/timebase.cpp.o"
+  "CMakeFiles/v6sonar_util.dir/timebase.cpp.o.d"
+  "libv6sonar_util.a"
+  "libv6sonar_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6sonar_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

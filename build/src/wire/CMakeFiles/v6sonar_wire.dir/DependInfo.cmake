@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wire/headers.cpp" "src/wire/CMakeFiles/v6sonar_wire.dir/headers.cpp.o" "gcc" "src/wire/CMakeFiles/v6sonar_wire.dir/headers.cpp.o.d"
+  "/root/repo/src/wire/packet.cpp" "src/wire/CMakeFiles/v6sonar_wire.dir/packet.cpp.o" "gcc" "src/wire/CMakeFiles/v6sonar_wire.dir/packet.cpp.o.d"
+  "/root/repo/src/wire/pcap.cpp" "src/wire/CMakeFiles/v6sonar_wire.dir/pcap.cpp.o" "gcc" "src/wire/CMakeFiles/v6sonar_wire.dir/pcap.cpp.o.d"
+  "/root/repo/src/wire/pcapng.cpp" "src/wire/CMakeFiles/v6sonar_wire.dir/pcapng.cpp.o" "gcc" "src/wire/CMakeFiles/v6sonar_wire.dir/pcapng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/v6sonar_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/v6sonar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

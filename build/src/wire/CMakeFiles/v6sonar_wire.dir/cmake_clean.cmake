@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6sonar_wire.dir/headers.cpp.o"
+  "CMakeFiles/v6sonar_wire.dir/headers.cpp.o.d"
+  "CMakeFiles/v6sonar_wire.dir/packet.cpp.o"
+  "CMakeFiles/v6sonar_wire.dir/packet.cpp.o.d"
+  "CMakeFiles/v6sonar_wire.dir/pcap.cpp.o"
+  "CMakeFiles/v6sonar_wire.dir/pcap.cpp.o.d"
+  "CMakeFiles/v6sonar_wire.dir/pcapng.cpp.o"
+  "CMakeFiles/v6sonar_wire.dir/pcapng.cpp.o.d"
+  "libv6sonar_wire.a"
+  "libv6sonar_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6sonar_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

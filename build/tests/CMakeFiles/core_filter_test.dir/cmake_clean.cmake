@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_filter_test.dir/core_filter_test.cpp.o"
+  "CMakeFiles/core_filter_test.dir/core_filter_test.cpp.o.d"
+  "core_filter_test"
+  "core_filter_test.pdb"
+  "core_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mawi_test.dir/mawi_test.cpp.o"
+  "CMakeFiles/mawi_test.dir/mawi_test.cpp.o.d"
+  "mawi_test"
+  "mawi_test.pdb"
+  "mawi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mawi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

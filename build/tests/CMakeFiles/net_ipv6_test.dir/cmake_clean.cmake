@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_ipv6_test.dir/net_ipv6_test.cpp.o"
+  "CMakeFiles/net_ipv6_test.dir/net_ipv6_test.cpp.o.d"
+  "net_ipv6_test"
+  "net_ipv6_test.pdb"
+  "net_ipv6_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_ipv6_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanner_tga_test.dir/scanner_tga_test.cpp.o"
+  "CMakeFiles/scanner_tga_test.dir/scanner_tga_test.cpp.o.d"
+  "scanner_tga_test"
+  "scanner_tga_test.pdb"
+  "scanner_tga_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanner_tga_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

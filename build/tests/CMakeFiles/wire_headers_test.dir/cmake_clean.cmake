@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_headers_test.dir/wire_headers_test.cpp.o"
+  "CMakeFiles/wire_headers_test.dir/wire_headers_test.cpp.o.d"
+  "wire_headers_test"
+  "wire_headers_test.pdb"
+  "wire_headers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_headers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/wire_pcap_test.cpp" "tests/CMakeFiles/wire_pcap_test.dir/wire_pcap_test.cpp.o" "gcc" "tests/CMakeFiles/wire_pcap_test.dir/wire_pcap_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wire/CMakeFiles/v6sonar_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/v6sonar_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/v6sonar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_pcap_test.dir/wire_pcap_test.cpp.o"
+  "CMakeFiles/wire_pcap_test.dir/wire_pcap_test.cpp.o.d"
+  "wire_pcap_test"
+  "wire_pcap_test.pdb"
+  "wire_pcap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_pcap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_pcapng_test.dir/wire_pcapng_test.cpp.o"
+  "CMakeFiles/wire_pcapng_test.dir/wire_pcapng_test.cpp.o.d"
+  "wire_pcapng_test"
+  "wire_pcapng_test.pdb"
+  "wire_pcapng_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_pcapng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

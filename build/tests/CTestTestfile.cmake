@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/util_flat_hash_test[1]_include.cmake")
+include("/root/repo/build/tests/net_ipv6_test[1]_include.cmake")
+include("/root/repo/build/tests/net_prefix_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_headers_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_pcap_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_pcapng_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/core_detector_test[1]_include.cmake")
+include("/root/repo/build/tests/core_filter_test[1]_include.cmake")
+include("/root/repo/build/tests/core_fh_test[1]_include.cmake")
+include("/root/repo/build/tests/core_fh_model_test[1]_include.cmake")
+include("/root/repo/build/tests/core_adaptive_test[1]_include.cmake")
+include("/root/repo/build/tests/core_event_io_test[1]_include.cmake")
+include("/root/repo/build/tests/core_detector_model_test[1]_include.cmake")
+include("/root/repo/build/tests/core_streaming_ids_test[1]_include.cmake")
+include("/root/repo/build/tests/scanner_test[1]_include.cmake")
+include("/root/repo/build/tests/scanner_tga_test[1]_include.cmake")
+include("/root/repo/build/tests/telescope_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_fingerprint_test[1]_include.cmake")
+include("/root/repo/build/tests/mawi_test[1]_include.cmake")
+add_test(integration_suite "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_suite PROPERTIES  TIMEOUT "900" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;82;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6sonar.dir/v6sonar_cli.cpp.o"
+  "CMakeFiles/v6sonar.dir/v6sonar_cli.cpp.o.d"
+  "v6sonar"
+  "v6sonar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6sonar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_pcap_pipeline "sh" "-c" "/root/repo/build/tools/v6sonar mawi-day 2021-12-24 cli_test.pcap     && /root/repo/build/tools/v6sonar info cli_test.pcap     && /root/repo/build/tools/v6sonar fh cli_test.pcap --min-dsts 100 --top 3     && rm cli_test.pcap")
+set_tests_properties(cli_pcap_pipeline PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
