@@ -1,0 +1,111 @@
+// Scaling — sharded parallel detection pipeline vs the serial
+// detector on identical synthetic traffic. Prints a speedup table
+// (the acceptance target is >=3x at 8 threads), then runs the
+// google-benchmark kernels for items/sec detail.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/detector.hpp"
+#include "core/parallel_pipeline.hpp"
+#include "util/rng.hpp"
+#include "util/timebase.hpp"
+
+namespace {
+
+using namespace v6sonar;
+
+std::vector<sim::LogRecord> synthetic_traffic(std::size_t records, std::size_t sources) {
+  util::Xoshiro256 rng(9);
+  std::vector<sim::LogRecord> out;
+  out.reserve(records);
+  sim::TimeUs t = sim::us_from_seconds(util::kWindowStart);
+  for (std::size_t i = 0; i < records; ++i) {
+    sim::LogRecord r;
+    // ~10ms mean gap keeps per-source gaps well under the 1h timeout,
+    // so sources accumulate enough destinations to emit real events.
+    t += 1 + static_cast<sim::TimeUs>(rng.below(20'000));
+    r.ts_us = t;
+    r.src = net::Ipv6Address{0x2A10'0000'0000'0000ULL | rng.below(sources) << 16, rng.below(4)};
+    r.dst = net::Ipv6Address{0x2600ULL << 48, rng.below(1 << 18)};
+    r.dst_port = static_cast<std::uint16_t>(rng.below(1'000));
+    r.src_asn = 1;
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::uint64_t run_serial(const std::vector<sim::LogRecord>& traffic) {
+  std::uint64_t events = 0;
+  core::ScanDetector det({.source_prefix_len = 64}, [&](core::ScanEvent&&) { ++events; });
+  for (const auto& r : traffic) det.feed(r);
+  det.flush();
+  return events;
+}
+
+std::uint64_t run_parallel(const std::vector<sim::LogRecord>& traffic, int threads) {
+  std::uint64_t events = 0;
+  core::ParallelScanPipeline pipe({.source_prefix_len = 64}, {.threads = threads},
+                                  [&](core::ScanEvent&&) { ++events; });
+  for (const auto& r : traffic) pipe.feed(r);
+  pipe.flush();
+  return events;
+}
+
+/// Wall-clock speedup table over one large pass; the acceptance gate
+/// for the sharded pipeline is the 8-thread row.
+void print_speedup_table() {
+  const auto traffic = synthetic_traffic(4'000'000, 20'000);
+  const auto time = [](auto&& fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t events = fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::pair{std::chrono::duration<double>(t1 - t0).count(), events};
+  };
+
+  const auto [serial_s, serial_events] = time([&] { return run_serial(traffic); });
+  std::printf("parallel pipeline scaling — %zu records, 20k /64 sources\n", traffic.size());
+  std::printf("  %-10s %10s %12s %9s  %s\n", "config", "seconds", "records/s", "speedup",
+              "events");
+  std::printf("  %-10s %10.3f %12.0f %9s  %llu\n", "serial", serial_s,
+              static_cast<double>(traffic.size()) / serial_s, "1.00x",
+              static_cast<unsigned long long>(serial_events));
+  for (const int threads : {1, 2, 4, 8}) {
+    const auto [par_s, par_events] = time([&] { return run_parallel(traffic, threads); });
+    std::printf("  %-2d threads %10.3f %12.0f %8.2fx  %llu%s\n", threads, par_s,
+                static_cast<double>(traffic.size()) / par_s, serial_s / par_s,
+                static_cast<unsigned long long>(par_events),
+                par_events == serial_events ? "" : "  EVENT MISMATCH");
+  }
+  std::printf("\n");
+}
+
+void BM_SerialDetector(benchmark::State& state) {
+  const auto traffic = synthetic_traffic(1'000'000, 20'000);
+  for (auto _ : state) benchmark::DoNotOptimize(run_serial(traffic));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(traffic.size()));
+}
+BENCHMARK(BM_SerialDetector)->Unit(benchmark::kMillisecond);
+
+void BM_ParallelPipeline(benchmark::State& state) {
+  const auto traffic = synthetic_traffic(1'000'000, 20'000);
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(run_parallel(traffic, threads));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(traffic.size()));
+}
+BENCHMARK(BM_ParallelPipeline)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_speedup_table();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

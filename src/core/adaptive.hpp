@@ -41,6 +41,8 @@ struct Attribution {
   std::uint64_t child_packets = 0;  ///< packets visible at the finer level
   std::size_t children = 0;      ///< qualified finer-level sources covered
   std::uint32_t src_asn = 0;
+
+  friend bool operator==(const Attribution&, const Attribution&) = default;
 };
 
 /// `events_per_level[i]` are the scan events detected at

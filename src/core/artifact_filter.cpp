@@ -33,6 +33,16 @@ void ArtifactFilter::feed(const sim::LogRecord& r) {
     ++sd.duplicates;
 }
 
+void ArtifactFilter::advance(sim::TimeUs now) {
+  if (now < last_ts_) return;
+  last_ts_ = now;
+  const std::int64_t day = sim::seconds_of(now) / 86'400;
+  if (current_day_ != INT64_MIN && day != current_day_) {
+    close_day();
+    current_day_ = day;
+  }
+}
+
 void ArtifactFilter::close_day() {
   if (buffer_.empty()) {
     sources_.clear();

@@ -56,6 +56,12 @@ class ArtifactFilter {
   /// Feed one record; records must be in non-decreasing time order.
   void feed(const sim::LogRecord& r);
 
+  /// Advance the clock without a packet: if `now` has moved past the
+  /// buffered day, close it and release its clean records — exactly
+  /// what the first record of a later day would have triggered. No-op
+  /// if `now` is not ahead.
+  void advance(sim::TimeUs now);
+
   /// Flush the final partial day.
   void flush();
 

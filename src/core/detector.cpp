@@ -72,6 +72,12 @@ void ScanDetector::finalize(const net::Ipv6Prefix& key, SourceState& st) {
   sink_(std::move(ev));
 }
 
+void ScanDetector::advance(sim::TimeUs now) {
+  if (now < last_ts_) return;
+  last_ts_ = now;
+  expire_up_to(now);
+}
+
 void ScanDetector::expire_up_to(sim::TimeUs now) {
   // Strictly-less throughout: an entry due exactly now must neither be
   // finalized (its gap equals the timeout, which feed() keeps) nor

@@ -43,12 +43,24 @@ class ScanDetector {
   /// Events that qualify are passed to `sink` as they are finalized
   /// (i.e. when their source goes quiet past the timeout, or at
   /// flush()). Sub-threshold activity is counted but never reported.
+  ///
+  /// Emission order is deterministic: timed-out events arrive sorted
+  /// by (last_us, source) — expiry time is last_us + timeout, so due
+  /// order is end-time order — and flush() then emits the remainder
+  /// sorted by source. core::ParallelScanPipeline reproduces exactly
+  /// this order from its per-shard detectors.
   ScanDetector(const DetectorConfig& config, EventSink sink);
 
   /// Feed one record. Records must arrive in non-decreasing time order
   /// (out-of-order input throws std::invalid_argument — feeding a
   /// detector unsorted logs is a programming error, not a data error).
   void feed(const sim::LogRecord& r);
+
+  /// Advance the clock without a packet: finalizes events whose source
+  /// has been quiet past the timeout as of `now`. No-op if `now` is
+  /// not ahead of the last record. The sharded pipeline ticks idle
+  /// shards with this so their events finalize without traffic.
+  void advance(sim::TimeUs now);
 
   /// Finalize all in-flight events. Call once after the last record.
   void flush();
@@ -79,11 +91,16 @@ class ScanDetector {
   std::unordered_map<net::Ipv6Prefix, SourceState> states_;
 
   // Lazy expiry heap: (earliest possible expiry, key). Stale entries
-  // (source was active since the push) are re-pushed on pop.
+  // (source was active since the push) are re-pushed on pop. Ties on
+  // expiry time break by key, which makes the emission order a total
+  // order — the contract the parallel pipeline's k-way merge relies on.
   struct Expiry {
     sim::TimeUs at;
     net::Ipv6Prefix key;
-    friend bool operator<(const Expiry& a, const Expiry& b) noexcept { return a.at > b.at; }
+    friend bool operator<(const Expiry& a, const Expiry& b) noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.key > b.key;
+    }
   };
   std::priority_queue<Expiry> expiries_;
 

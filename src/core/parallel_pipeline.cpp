@@ -1,0 +1,610 @@
+// Implementation notes.
+//
+// Equivalence argument (docs/ARCHITECTURE.md has the long form): the
+// serial detector emits timed-out events in (end-time, source) order
+// and flush() then emits the rest in source order. Sharding by the
+// aggregated source prefix puts every record of one detector key on
+// one worker, in stream order, so each worker's private detector
+// produces exactly the serial events of its key subset, in the same
+// two sorted runs. The merger recovers the global order: a timed-out
+// event finalizing at time D (D = last_us + timeout) is released once
+// no shard can still produce an event finalizing before D — each
+// shard's published watermark is a lower bound on its future
+// finalization times, because a detector that has processed up to
+// time T holds no state that could finalize before T.
+//
+// Ticks: a shard that receives no traffic never advances its
+// watermark, which would stall the merge (and, for the IDS, the
+// attribution barrier) indefinitely. The feeder therefore broadcasts
+// bare clock ticks; workers apply them with ScanDetector::advance /
+// ArtifactFilter::advance, which finalize exactly the events the
+// serial detector would have finalized by that time. In filtered
+// mode the detector clock only follows the filter's release frontier
+// (the start of the still-buffered day) — the buffered day's records
+// are behind it and must still be fed.
+
+#include "core/parallel_pipeline.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "util/spsc_ring.hpp"
+
+namespace v6sonar::core {
+namespace {
+
+/// One parcel on a feeder->worker ring: a record, or (tick=true) a
+/// bare clock advance whose time rides in rec.ts_us.
+struct InItem {
+  sim::LogRecord rec;
+  bool tick = false;
+};
+
+/// One parcel on a worker->merger ring.
+struct OutItem {
+  ScanEvent ev;
+  std::uint16_t level = 0;  ///< ladder index; 0 when single-level
+  bool flushed = false;     ///< emitted by flush(), not by timeout
+};
+
+/// One shard: a worker thread plus its two rings. The watermark
+/// publishes the worker's detector clock — every timed-out event the
+/// shard emits from now on finalizes at or after it — and jumps to
+/// INT64_MAX when the shard's stream phase is over for good.
+struct Shard {
+  Shard(std::size_t in_cap, std::size_t out_cap) : in(in_cap), out(out_cap) {}
+
+  util::SpscRing<InItem> in;
+  util::SpscRing<OutItem> out;
+  alignas(64) std::atomic<sim::TimeUs> watermark{INT64_MIN};
+  std::thread thread;
+  std::exception_ptr error;
+  std::vector<FilterDayStats> day_stats;  ///< filter mode; closed in day order
+};
+
+using ShardList = std::vector<std::unique_ptr<Shard>>;
+
+std::size_t shard_of(const net::Ipv6Address& src, int shard_len, std::size_t n) {
+  std::size_t h = std::hash<net::Ipv6Address>{}(src.masked(shard_len));
+  h ^= h >> 33;  // fmix64: the modulo must not correlate with the raw hash
+  h *= 0xff51'afd7'ed55'8ccdULL;
+  h ^= h >> 33;
+  return h % n;
+}
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw ? static_cast<int>(hw) : 4;
+}
+
+/// The filter's release frontier at wall-time `ts`: records before the
+/// start of ts's UTC day have been released, the rest are buffered.
+sim::TimeUs day_start(sim::TimeUs ts) {
+  return sim::us_from_seconds(sim::seconds_of(ts) / 86'400 * 86'400);
+}
+
+/// Drain a shard's output ring until it closes, discarding everything
+/// — used on error paths so producers never block on a dead consumer.
+void discard_outputs(ShardList& shards) {
+  for (auto& sp : shards)
+    while (!sp->out.drained())
+      if (!sp->out.try_pop()) std::this_thread::yield();
+}
+
+/// K-way merge of per-shard event streams back into serial order.
+///
+/// Each (shard, level) stream arrives as two sorted runs: timed-out
+/// events in (end-time, source) order, then flushed events in source
+/// order. Stream-run events are released once every shard either
+/// shows a later head or has published a watermark past the event's
+/// finalization time; flush-run events are released once every shard
+/// shows its flush head or is done. Optional barriers (the IDS
+/// attribution passes) run once everything finalizing before their
+/// time has been merged, and hold back everything after it.
+class EventMerger {
+ public:
+  EventMerger(ShardList& shards, std::size_t levels, sim::TimeUs timeout_us,
+              std::function<void(std::size_t, ScanEvent&&)> emit,
+              util::SpscRing<sim::TimeUs>* barriers = nullptr,
+              std::function<void(sim::TimeUs)> on_barrier = {})
+      : shards_(shards),
+        levels_(levels),
+        timeout_us_(timeout_us),
+        emit_(std::move(emit)),
+        barriers_(barriers),
+        on_barrier_(std::move(on_barrier)) {
+    bufs_.resize(shards_.size() * levels_);
+    wm_.assign(shards_.size(), INT64_MIN);
+    drained_.assign(shards_.size(), false);
+  }
+
+  void run() {
+    for (;;) {
+      const bool progress = step();
+      if (finished()) return;
+      if (!progress) std::this_thread::yield();
+    }
+  }
+
+ private:
+  [[nodiscard]] sim::TimeUs due(const OutItem& it) const noexcept {
+    return it.ev.last_us + timeout_us_;
+  }
+  [[nodiscard]] std::deque<OutItem>& buf(std::size_t s, std::size_t l) noexcept {
+    return bufs_[s * levels_ + l];
+  }
+
+  void drain() {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (drained_[s]) continue;
+      // The watermark must be read before the ring is drained: a
+      // stale watermark only delays a release, a fresh one paired
+      // with an undrained ring could release out of order.
+      wm_[s] = shards_[s]->watermark.load(std::memory_order_acquire);
+      while (auto it = shards_[s]->out.try_pop()) buf(s, it->level).push_back(std::move(*it));
+      if (shards_[s]->out.drained()) drained_[s] = true;
+    }
+  }
+
+  /// Floor on the finalization time of any event not yet buffered
+  /// here — the gate for barrier passes.
+  [[nodiscard]] sim::TimeUs min_unmerged() const {
+    sim::TimeUs m = INT64_MAX;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (!drained_[s]) m = std::min(m, wm_[s]);
+      for (std::size_t l = 0; l < levels_; ++l) {
+        const auto& b = bufs_[s * levels_ + l];
+        if (!b.empty() && !b.front().flushed)
+          m = std::min(m, b.front().ev.last_us + timeout_us_);
+      }
+    }
+    return m;
+  }
+
+  bool step() {
+    drain();
+    bool progress = false;
+    if (barriers_) {
+      if (!pending_) pending_ = barriers_->try_pop();
+      while (pending_ && min_unmerged() >= *pending_) {
+        on_barrier_(*pending_);
+        pending_ = barriers_->try_pop();
+        progress = true;
+      }
+    }
+    const sim::TimeUs gate = pending_ ? *pending_ : INT64_MAX;
+    for (std::size_t l = 0; l < levels_; ++l)
+      while (emit_one(l, gate)) progress = true;
+    return progress;
+  }
+
+  /// Try to release the next event at ladder level `l`.
+  bool emit_one(std::size_t l, sim::TimeUs gate) {
+    // Stream run: the smallest (end-time, source) head, releasable
+    // once no other shard can produce anything earlier.
+    std::size_t best = SIZE_MAX;
+    sim::TimeUs floor = INT64_MAX;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const auto& b = bufs_[s * levels_ + l];
+      if (!b.empty()) {
+        if (b.front().flushed) continue;  // this shard's stream run is over
+        if (best == SIZE_MAX || stream_less(b.front(), buf(best, l).front())) best = s;
+      } else if (!drained_[s]) {
+        // Nothing visible from this shard yet: bounded by watermark.
+        floor = std::min(floor, wm_[s]);
+      }
+    }
+    if (best != SIZE_MAX) {
+      OutItem& head = buf(best, l).front();
+      // Strict <: a shard sitting exactly at the watermark may still
+      // finalize an event at that very time with a smaller source.
+      if (due(head) < floor && due(head) < gate) {
+        emit_(l, std::move(head.ev));
+        buf(best, l).pop_front();
+        return true;
+      }
+      return false;
+    }
+    // Flush run: needs every shard's sorted-by-source head (or proof
+    // there is none) before the smallest source can be released.
+    std::size_t fbest = SIZE_MAX;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      const auto& b = bufs_[s * levels_ + l];
+      if (b.empty()) {
+        if (!drained_[s]) return false;  // head still unknown
+        continue;
+      }
+      if (fbest == SIZE_MAX || b.front().ev.source < buf(fbest, l).front().ev.source)
+        fbest = s;
+    }
+    if (fbest == SIZE_MAX) return false;
+    emit_(l, std::move(buf(fbest, l).front().ev));
+    buf(fbest, l).pop_front();
+    return true;
+  }
+
+  [[nodiscard]] bool stream_less(const OutItem& a, const OutItem& b) const noexcept {
+    if (a.ev.last_us != b.ev.last_us) return a.ev.last_us < b.ev.last_us;
+    return a.ev.source < b.ev.source;
+  }
+
+  [[nodiscard]] bool finished() const {
+    if (pending_) return false;
+    for (const bool d : drained_)
+      if (!d) return false;
+    for (const auto& b : bufs_)
+      if (!b.empty()) return false;
+    return true;
+  }
+
+  ShardList& shards_;
+  std::size_t levels_;
+  sim::TimeUs timeout_us_;
+  std::function<void(std::size_t, ScanEvent&&)> emit_;
+  util::SpscRing<sim::TimeUs>* barriers_;
+  std::function<void(sim::TimeUs)> on_barrier_;
+
+  std::vector<std::deque<OutItem>> bufs_;
+  std::vector<sim::TimeUs> wm_;
+  std::vector<bool> drained_;
+  std::optional<sim::TimeUs> pending_;
+};
+
+/// Feeder-side state shared by both pipelines: order validation,
+/// shard routing, and the periodic tick broadcast.
+struct Feeder {
+  int shard_len = 64;
+  sim::TimeUs tick_interval = 0;
+  sim::TimeUs next_tick = 0;
+  sim::TimeUs last_ts = INT64_MIN;
+  std::uint64_t fed = 0;
+
+  void route(ShardList& shards, const sim::LogRecord& r, const char* who) {
+    if (r.ts_us < last_ts)
+      throw std::invalid_argument(std::string(who) + ": records must be time-ordered");
+    last_ts = r.ts_us;
+    ++fed;
+    shards[shard_of(r.src, shard_len, shards.size())]->in.push(InItem{r, false});
+    if (next_tick == 0)
+      next_tick = r.ts_us + tick_interval;
+    else if (r.ts_us >= next_tick) {
+      broadcast_tick(shards, r.ts_us);
+      next_tick = r.ts_us + tick_interval;
+    }
+  }
+
+  static void broadcast_tick(ShardList& shards, sim::TimeUs t) {
+    InItem item;
+    item.rec.ts_us = t;
+    item.tick = true;
+    for (auto& sp : shards) sp->in.push(InItem{item});
+  }
+};
+
+void join_all(ShardList& shards, std::thread& merger) {
+  for (auto& sp : shards) sp->in.close();
+  for (auto& sp : shards)
+    if (sp->thread.joinable()) sp->thread.join();
+  if (merger.joinable()) merger.join();
+}
+
+void rethrow_first(const ShardList& shards, const std::exception_ptr& merger_error) {
+  for (const auto& sp : shards)
+    if (sp->error) std::rethrow_exception(sp->error);
+  if (merger_error) std::rethrow_exception(merger_error);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- //
+
+struct ParallelScanPipeline::Impl {
+  EventSink sink;
+  std::vector<FilterDayStats> merged_stats;
+  ShardList shards;
+  std::thread merger_thread;
+  std::exception_ptr merger_error;
+  Feeder feeder;
+  bool flushed = false;
+
+  ~Impl() { join_all(shards, merger_thread); }  // backstop; flush() normally joined
+
+  void start(const DetectorConfig& config, const std::optional<ArtifactFilterConfig>& filter,
+             const ParallelConfig& parallel, EventSink sink_in) {
+    // Fail fast, on the caller's thread, with the serial classes' own
+    // validation; the workers construct theirs later.
+    { ScanDetector probe(config, [](ScanEvent&&) {}); }
+    if (filter) {
+      ArtifactFilter probe(*filter, [](const sim::LogRecord&) {});
+    }
+    if (!sink_in) throw std::invalid_argument("ParallelScanPipeline: null sink");
+    sink = std::move(sink_in);
+
+    feeder.shard_len = filter ? std::min(config.source_prefix_len, filter->source_prefix_len)
+                              : config.source_prefix_len;
+    feeder.tick_interval =
+        parallel.tick_interval_us > 0 ? parallel.tick_interval_us : config.timeout_us;
+
+    const int n = resolve_threads(parallel.threads);
+    const std::size_t out_cap = std::max<std::size_t>(1024, parallel.ring_capacity / 4);
+    shards.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      shards.push_back(std::make_unique<Shard>(parallel.ring_capacity, out_cap));
+
+    for (auto& sp : shards) {
+      Shard& sh = *sp;
+      sh.thread = std::thread([&sh, config, filter] { worker_main(sh, config, filter); });
+    }
+    merger_thread = std::thread([this, timeout = config.timeout_us] {
+      try {
+        EventMerger merger(shards, 1, timeout,
+                           [this](std::size_t, ScanEvent&& ev) { sink(std::move(ev)); });
+        merger.run();
+      } catch (...) {
+        merger_error = std::current_exception();
+        discard_outputs(shards);
+      }
+    });
+  }
+
+  static void worker_main(Shard& sh, const DetectorConfig& config,
+                          const std::optional<ArtifactFilterConfig>& filter) {
+    try {
+      bool flushing = false;
+      sim::TimeUs det_time = INT64_MIN;
+      ScanDetector det(config,
+                       [&](ScanEvent&& ev) { sh.out.push(OutItem{std::move(ev), 0, flushing}); });
+      std::unique_ptr<ArtifactFilter> af;
+      if (filter)
+        af = std::make_unique<ArtifactFilter>(
+            *filter,
+            [&](const sim::LogRecord& rr) {
+              det.feed(rr);
+              det_time = rr.ts_us;
+            },
+            [&](const FilterDayStats& s) { sh.day_stats.push_back(s); });
+      while (auto item = sh.in.pop()) {
+        const sim::TimeUs ts = item->rec.ts_us;
+        if (!af) {
+          if (item->tick)
+            det.advance(ts);
+          else
+            det.feed(item->rec);
+          det_time = ts;
+        } else {
+          if (item->tick)
+            af->advance(ts);
+          else
+            af->feed(item->rec);
+          // The detector clock follows the filter's release frontier,
+          // never the raw stream clock: the open day's records are
+          // still buffered behind it.
+          det.advance(day_start(ts));
+          det_time = std::max(det_time, day_start(ts));
+        }
+        sh.watermark.store(det_time, std::memory_order_release);
+      }
+      if (af) af->flush();  // releases the final day into the detector
+      sh.watermark.store(INT64_MAX, std::memory_order_release);
+      flushing = true;
+      det.flush();
+    } catch (...) {
+      sh.error = std::current_exception();
+      while (sh.in.pop()) {
+      }  // keep the feeder unblocked
+    }
+    sh.out.close();
+  }
+
+  void flush() {
+    if (flushed) return;
+    flushed = true;
+    join_all(shards, merger_thread);
+
+    std::map<std::int64_t, FilterDayStats> by_day;
+    for (const auto& sp : shards)
+      for (const auto& s : sp->day_stats) {
+        FilterDayStats& d = by_day[s.day];
+        d.day = s.day;
+        d.packets_in += s.packets_in;
+        d.packets_dropped += s.packets_dropped;
+        d.sources_seen += s.sources_seen;
+        d.sources_dropped += s.sources_dropped;
+        for (const auto& [port, n] : s.dropped_by_port) d.dropped_by_port[port] += n;
+      }
+    merged_stats.reserve(by_day.size());
+    for (auto& [day, s] : by_day) merged_stats.push_back(std::move(s));
+
+    rethrow_first(shards, merger_error);
+  }
+};
+
+ParallelScanPipeline::ParallelScanPipeline(const DetectorConfig& config,
+                                           const ParallelConfig& parallel, EventSink sink)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->start(config, std::nullopt, parallel, std::move(sink));
+}
+
+ParallelScanPipeline::ParallelScanPipeline(const DetectorConfig& config,
+                                           const ArtifactFilterConfig& filter,
+                                           const ParallelConfig& parallel, EventSink sink)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->start(config, filter, parallel, std::move(sink));
+}
+
+ParallelScanPipeline::~ParallelScanPipeline() {
+  try {
+    impl_->flush();
+  } catch (...) {  // a dropped pipeline must not terminate
+  }
+}
+
+void ParallelScanPipeline::feed(const sim::LogRecord& r) {
+  if (impl_->flushed) throw std::logic_error("ParallelScanPipeline: feed after flush");
+  impl_->feeder.route(impl_->shards, r, "ParallelScanPipeline");
+}
+
+void ParallelScanPipeline::flush() { impl_->flush(); }
+
+int ParallelScanPipeline::threads() const noexcept {
+  return static_cast<int>(impl_->shards.size());
+}
+
+std::uint64_t ParallelScanPipeline::packets_seen() const noexcept { return impl_->feeder.fed; }
+
+const std::vector<FilterDayStats>& ParallelScanPipeline::filter_stats() const noexcept {
+  return impl_->merged_stats;
+}
+
+// ---------------------------------------------------------------- //
+
+struct ParallelIds::Impl {
+  IdsConfig cfg;
+  AlertSink sink;
+  std::vector<std::vector<ScanEvent>> events;  ///< merged, serial order
+  AlertTracker tracker;
+  std::unique_ptr<util::SpscRing<sim::TimeUs>> barriers;
+  ShardList shards;
+  std::thread merger_thread;
+  std::exception_ptr merger_error;
+  Feeder feeder;
+  std::atomic<sim::TimeUs> final_now{0};
+  sim::TimeUs next_pass = 0;
+  bool flushed = false;
+
+  ~Impl() { join_all(shards, merger_thread); }  // backstop; flush() normally joined
+
+  void start(const IdsConfig& config, const ParallelConfig& parallel, AlertSink sink_in) {
+    if (!sink_in) throw std::invalid_argument("ParallelIds: null sink");
+    if (config.adaptive.ladder.empty())
+      throw std::invalid_argument("ParallelIds: empty aggregation ladder");
+    {  // borrow the serial front end's full validation
+      StreamingIds probe(config, [](const IdsAlert&) {});
+    }
+    cfg = config;
+    sink = std::move(sink_in);
+    events.resize(cfg.adaptive.ladder.size());
+    barriers = std::make_unique<util::SpscRing<sim::TimeUs>>(1 << 12);
+
+    feeder.shard_len = *std::min_element(cfg.adaptive.ladder.begin(), cfg.adaptive.ladder.end());
+    feeder.tick_interval =
+        parallel.tick_interval_us > 0 ? parallel.tick_interval_us : cfg.timeout_us;
+
+    const int n = resolve_threads(parallel.threads);
+    const std::size_t out_cap = std::max<std::size_t>(1024, parallel.ring_capacity / 4);
+    shards.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      shards.push_back(std::make_unique<Shard>(parallel.ring_capacity, out_cap));
+
+    for (auto& sp : shards) {
+      Shard& sh = *sp;
+      sh.thread = std::thread([&sh, config] { worker_main(sh, config); });
+    }
+    merger_thread = std::thread([this] {
+      try {
+        EventMerger merger(
+            shards, cfg.adaptive.ladder.size(), cfg.timeout_us,
+            [this](std::size_t level, ScanEvent&& ev) { events[level].push_back(std::move(ev)); },
+            barriers.get(),
+            [this](sim::TimeUs t) {
+              tracker.update(attribute_adaptive(events, cfg.adaptive), t, sink);
+            });
+        merger.run();
+        // The final pass the serial front end runs from flush().
+        tracker.update(attribute_adaptive(events, cfg.adaptive),
+                       final_now.load(std::memory_order_acquire), sink);
+      } catch (...) {
+        merger_error = std::current_exception();
+        discard_outputs(shards);
+      }
+    });
+  }
+
+  static void worker_main(Shard& sh, const IdsConfig& config) {
+    try {
+      bool flushing = false;
+      std::vector<std::unique_ptr<ScanDetector>> dets;
+      dets.reserve(config.adaptive.ladder.size());
+      for (std::size_t i = 0; i < config.adaptive.ladder.size(); ++i)
+        dets.push_back(std::make_unique<ScanDetector>(
+            DetectorConfig{.source_prefix_len = config.adaptive.ladder[i],
+                           .min_destinations = config.min_destinations,
+                           .timeout_us = config.timeout_us},
+            [&sh, &flushing, i](ScanEvent&& ev) {
+              sh.out.push(
+                  OutItem{slim_scan_event(ev), static_cast<std::uint16_t>(i), flushing});
+            }));
+      while (auto item = sh.in.pop()) {
+        if (item->tick)
+          for (auto& d : dets) d->advance(item->rec.ts_us);
+        else
+          for (auto& d : dets) d->feed(item->rec);
+        sh.watermark.store(item->rec.ts_us, std::memory_order_release);
+      }
+      sh.watermark.store(INT64_MAX, std::memory_order_release);
+      flushing = true;
+      for (auto& d : dets) d->flush();
+    } catch (...) {
+      sh.error = std::current_exception();
+      while (sh.in.pop()) {
+      }
+    }
+    sh.out.close();
+  }
+
+  void feed(const sim::LogRecord& r) {
+    if (flushed) throw std::logic_error("ParallelIds: feed after flush");
+    if (next_pass == 0) next_pass = r.ts_us + cfg.reattribution_period_us;
+    feeder.route(shards, r, "ParallelIds");
+    if (r.ts_us >= next_pass) {
+      // Exactly the serial trigger: a pass over everything finalized
+      // strictly before this record. The tick drives every shard's
+      // watermark to r.ts_us so the barrier can clear.
+      Feeder::broadcast_tick(shards, r.ts_us);
+      barriers->push(sim::TimeUs{r.ts_us});
+      next_pass = r.ts_us + cfg.reattribution_period_us;
+    }
+  }
+
+  void flush() {
+    if (flushed) return;
+    flushed = true;
+    final_now.store(next_pass, std::memory_order_release);
+    join_all(shards, merger_thread);
+    rethrow_first(shards, merger_error);
+  }
+};
+
+ParallelIds::ParallelIds(const IdsConfig& config, const ParallelConfig& parallel, AlertSink sink)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->start(config, parallel, std::move(sink));
+}
+
+ParallelIds::~ParallelIds() {
+  try {
+    impl_->flush();
+  } catch (...) {
+  }
+}
+
+void ParallelIds::feed(const sim::LogRecord& r) { impl_->feed(r); }
+
+void ParallelIds::flush() { impl_->flush(); }
+
+int ParallelIds::threads() const noexcept { return static_cast<int>(impl_->shards.size()); }
+
+const std::vector<Attribution>& ParallelIds::blocklist() const noexcept {
+  return impl_->tracker.blocklist();
+}
+
+}  // namespace v6sonar::core

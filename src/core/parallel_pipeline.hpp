@@ -1,0 +1,113 @@
+// Sharded parallel detection pipeline.
+//
+// Detection state is keyed purely by the aggregated source prefix
+// (§2.2), so the record stream shards cleanly by source: every record
+// of one aggregated source visits exactly one worker, and each worker
+// runs a private, completely ordinary serial detector over its shard.
+// The feeder thread hash-partitions records across bounded SPSC rings
+// (util/spsc_ring.hpp); a merger thread k-way merges the finalized
+// events of all shards back into one stream ordered by event end-time
+// — byte-identical, ordering included, to what the single-threaded
+// detector would have produced. Downstream analysis code cannot tell
+// the difference; docs/ARCHITECTURE.md derives the ordering guarantee.
+//
+// Three front ends are provided, mirroring the serial ones:
+//   ParallelScanPipeline           ==  ScanDetector
+//   ParallelScanPipeline(+filter)  ==  ArtifactFilter -> ScanDetector
+//   ParallelIds                    ==  StreamingIds
+//
+// Threading contract: feed()/flush() must be called from one thread;
+// the event/alert sink runs on the internal merger thread (it must not
+// call back into the pipeline). flush() joins all threads and rethrows
+// the first worker or sink exception, if any.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/artifact_filter.hpp"
+#include "core/detector.hpp"
+#include "core/streaming_ids.hpp"
+#include "sim/record.hpp"
+
+namespace v6sonar::core {
+
+struct ParallelConfig {
+  /// Worker threads (shards). 0 = one per hardware thread.
+  int threads = 0;
+  /// Records buffered per worker ring (rounded up to a power of two).
+  std::size_t ring_capacity = 1 << 14;
+  /// Broadcast a clock tick to every shard after this much stream
+  /// time, so shards that receive no traffic still advance and the
+  /// merger's reorder buffer stays bounded. 0 = one detection timeout.
+  sim::TimeUs tick_interval_us = 0;
+};
+
+/// Sharded equivalent of one ScanDetector (optionally fronted by the
+/// §2.1 artifact filter): same events, same order, N cores.
+class ParallelScanPipeline {
+ public:
+  using EventSink = ScanDetector::EventSink;
+
+  /// Plain sharded detection.
+  ParallelScanPipeline(const DetectorConfig& config, const ParallelConfig& parallel,
+                       EventSink sink);
+
+  /// Sharded ArtifactFilter -> ScanDetector chain. Each shard filters
+  /// its own sources (the 5-duplicate rule is per-source, so per-shard
+  /// filtering decides exactly as the serial filter does); per-day
+  /// filter statistics are summed across shards.
+  ParallelScanPipeline(const DetectorConfig& config, const ArtifactFilterConfig& filter,
+                       const ParallelConfig& parallel, EventSink sink);
+
+  ~ParallelScanPipeline();
+  ParallelScanPipeline(const ParallelScanPipeline&) = delete;
+  ParallelScanPipeline& operator=(const ParallelScanPipeline&) = delete;
+
+  /// Feed one record (non-decreasing time order, one thread).
+  void feed(const sim::LogRecord& r);
+
+  /// Close the shards, join all threads, rethrow any worker/sink
+  /// error. The sink has received every event once this returns.
+  void flush();
+
+  [[nodiscard]] int threads() const noexcept;
+  /// Records fed into the pipeline (pre-filter).
+  [[nodiscard]] std::uint64_t packets_seen() const noexcept;
+  /// Merged per-day artifact-filter statistics, sorted by day.
+  /// Valid after flush(); empty in plain (unfiltered) mode.
+  [[nodiscard]] const std::vector<FilterDayStats>& filter_stats() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Sharded equivalent of StreamingIds: the ladder detectors shard by
+/// the coarsest ladder prefix, the periodic attribution pass runs on
+/// the merger thread at exactly the serial trigger points, and the
+/// alert stream (order, is_new flags, timestamps) is identical.
+class ParallelIds {
+ public:
+  using AlertSink = AlertTracker::AlertSink;
+
+  ParallelIds(const IdsConfig& config, const ParallelConfig& parallel, AlertSink sink);
+
+  ~ParallelIds();
+  ParallelIds(const ParallelIds&) = delete;
+  ParallelIds& operator=(const ParallelIds&) = delete;
+
+  void feed(const sim::LogRecord& r);
+  void flush();
+
+  [[nodiscard]] int threads() const noexcept;
+  /// Final blocklist; valid after flush().
+  [[nodiscard]] const std::vector<Attribution>& blocklist() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace v6sonar::core

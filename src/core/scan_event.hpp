@@ -31,6 +31,8 @@ struct ScanEvent {
   /// the weekly time-series figures need the split.
   std::vector<std::pair<std::int32_t, std::uint64_t>> weekly_packets;
 
+  friend bool operator==(const ScanEvent&, const ScanEvent&) = default;
+
   [[nodiscard]] double duration_sec() const noexcept {
     return static_cast<double>(last_us - first_us) / 1e6;
   }

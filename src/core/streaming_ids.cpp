@@ -1,8 +1,40 @@
 #include "core/streaming_ids.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace v6sonar::core {
+
+ScanEvent slim_scan_event(const ScanEvent& ev) {
+  ScanEvent slim;
+  slim.source = ev.source;
+  slim.first_us = ev.first_us;
+  slim.last_us = ev.last_us;
+  slim.packets = ev.packets;
+  slim.distinct_dsts = ev.distinct_dsts;
+  slim.src_asn = ev.src_asn;
+  return slim;
+}
+
+void AlertTracker::update(std::vector<Attribution> attributions, sim::TimeUs now,
+                          const AlertSink& sink) {
+  blocklist_ = std::move(attributions);
+  for (const auto& a : blocklist_) {
+    const auto it = alerted_.find(a.source);
+    if (it != alerted_.end() && it->second == a.level) continue;  // already known
+    IdsAlert alert;
+    alert.attribution = a;
+    alert.at_us = now;
+    // Escalation: a previously alerted finer prefix is now covered by
+    // this coarser attribution.
+    bool covers_known = false;
+    for (const auto& [prefix, level] : alerted_)
+      covers_known |= a.source != prefix && a.source.contains(prefix);
+    alert.is_new = !covers_known && it == alerted_.end();
+    alerted_[a.source] = a.level;
+    sink(alert);
+  }
+}
 
 StreamingIds::StreamingIds(const IdsConfig& config, AlertSink sink)
     : config_(config), sink_(std::move(sink)) {
@@ -15,18 +47,7 @@ StreamingIds::StreamingIds(const IdsConfig& config, AlertSink sink)
         DetectorConfig{.source_prefix_len = config_.adaptive.ladder[i],
                        .min_destinations = config_.min_destinations,
                        .timeout_us = config_.timeout_us},
-        [this, i](ScanEvent&& ev) {
-          // Scan events carry heavy per-port vectors; the attribution
-          // pass only needs source/packets/asn, so slim them down.
-          ScanEvent slim;
-          slim.source = ev.source;
-          slim.first_us = ev.first_us;
-          slim.last_us = ev.last_us;
-          slim.packets = ev.packets;
-          slim.distinct_dsts = ev.distinct_dsts;
-          slim.src_asn = ev.src_asn;
-          events_[i].push_back(std::move(slim));
-        }));
+        [this, i](ScanEvent&& ev) { events_[i].push_back(slim_scan_event(ev)); }));
   }
 }
 
@@ -45,22 +66,7 @@ void StreamingIds::flush() {
 }
 
 void StreamingIds::reattribute(sim::TimeUs now) {
-  blocklist_ = attribute_adaptive(events_, config_.adaptive);
-  for (const auto& a : blocklist_) {
-    const auto it = alerted_.find(a.source);
-    if (it != alerted_.end() && it->second == a.level) continue;  // already known
-    IdsAlert alert;
-    alert.attribution = a;
-    alert.at_us = now;
-    // Escalation: a previously alerted finer prefix is now covered by
-    // this coarser attribution.
-    bool covers_known = false;
-    for (const auto& [prefix, level] : alerted_)
-      covers_known |= a.source != prefix && a.source.contains(prefix);
-    alert.is_new = !covers_known && it == alerted_.end();
-    alerted_[a.source] = a.level;
-    sink_(alert);
-  }
+  tracker_.update(attribute_adaptive(events_, config_.adaptive), now, sink_);
 }
 
 }  // namespace v6sonar::core

@@ -40,9 +40,34 @@ struct IdsAlert {
   sim::TimeUs at_us = 0;
 };
 
-class StreamingIds {
+/// Strip a scan event down to the fields the attribution pass reads
+/// (source/times/packets/dsts/asn) — events carry heavy per-port and
+/// per-week vectors that the IDS never looks at.
+[[nodiscard]] ScanEvent slim_scan_event(const ScanEvent& ev);
+
+/// The alert-diff state machine shared by the serial and the sharded
+/// IDS front ends: given a fresh attribution set, emit one IdsAlert
+/// per prefix that is new or escalated since the previous pass, and
+/// remember the current blocklist.
+class AlertTracker {
  public:
   using AlertSink = std::function<void(const IdsAlert&)>;
+
+  /// Diff `attributions` against everything alerted so far.
+  void update(std::vector<Attribution> attributions, sim::TimeUs now, const AlertSink& sink);
+
+  [[nodiscard]] const std::vector<Attribution>& blocklist() const noexcept {
+    return blocklist_;
+  }
+
+ private:
+  std::vector<Attribution> blocklist_;
+  std::map<net::Ipv6Prefix, int> alerted_;  ///< prefix -> level already alerted
+};
+
+class StreamingIds {
+ public:
+  using AlertSink = AlertTracker::AlertSink;
 
   StreamingIds(const IdsConfig& config, AlertSink sink);
 
@@ -55,7 +80,7 @@ class StreamingIds {
   /// Current blocklist: attributed scanning prefixes at their chosen
   /// aggregation level.
   [[nodiscard]] const std::vector<Attribution>& blocklist() const noexcept {
-    return blocklist_;
+    return tracker_.blocklist();
   }
 
  private:
@@ -65,8 +90,7 @@ class StreamingIds {
   AlertSink sink_;
   std::vector<std::unique_ptr<ScanDetector>> detectors_;
   std::vector<std::vector<ScanEvent>> events_;  ///< accumulated per ladder level
-  std::vector<Attribution> blocklist_;
-  std::map<net::Ipv6Prefix, int> alerted_;  ///< prefix -> level already alerted
+  AlertTracker tracker_;
   sim::TimeUs next_pass_us_ = 0;
 };
 

@@ -1,0 +1,115 @@
+// Bounded single-producer / single-consumer ring buffer.
+//
+// The hand-off primitive of the sharded detection pipeline: the feeder
+// thread pushes records into one ring per worker, and each worker
+// pushes finalized events into one ring back to the merger. Exactly
+// one thread may push and exactly one may pop; under that contract the
+// ring is lock-free — indices are published with release stores and
+// observed with acquire loads, and each side keeps a cached copy of
+// the other side's index so the fast path touches no shared cache
+// line at all.
+//
+// Capacity is rounded up to a power of two. Elements are moved in and
+// out, so move-only types work; T must be default-constructible (the
+// slots are value-initialized up front).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace v6sonar::util {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// `capacity` is a lower bound; the ring holds the next power of two.
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 8;
+    while (cap < capacity) cap *= 2;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Producer side. Returns false when the ring is full.
+  [[nodiscard]] bool try_push(T&& v) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ == capacity()) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ == capacity()) return false;
+    }
+    slots_[tail & mask_] = std::move(v);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side: block (spin, then yield) until there is room.
+  void push(T&& v) {
+    std::size_t spins = 0;
+    while (!try_push(std::move(v))) backoff(spins);
+  }
+
+  /// Producer side: no more pushes will follow. Idempotent.
+  void close() noexcept { closed_.store(true, std::memory_order_release); }
+
+  /// Consumer side. Empty ring yields nullopt (closed or not).
+  [[nodiscard]] std::optional<T> try_pop() {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return std::nullopt;
+    }
+    std::optional<T> v(std::move(slots_[head & mask_]));
+    head_.store(head + 1, std::memory_order_release);
+    return v;
+  }
+
+  /// Consumer side: block until an element arrives or the ring is
+  /// closed and drained; nullopt means end-of-stream.
+  [[nodiscard]] std::optional<T> pop() {
+    std::size_t spins = 0;
+    for (;;) {
+      // Order matters: read `closed` before re-checking emptiness, or
+      // a final push+close between the two loads would be lost.
+      const bool closed = closed_.load(std::memory_order_acquire);
+      if (auto v = try_pop()) return v;
+      if (closed) return std::nullopt;
+      backoff(spins);
+    }
+  }
+
+  /// Consumer-side view; racy for the producer (diagnostics only).
+  [[nodiscard]] bool drained() const noexcept {
+    return closed_.load(std::memory_order_acquire) &&
+           head_.load(std::memory_order_relaxed) == tail_.load(std::memory_order_acquire);
+  }
+
+ private:
+  static void backoff(std::size_t& spins) noexcept {
+    if (++spins < 64) return;  // stay on-core for short waits
+    std::this_thread::yield();
+  }
+
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+
+  // Producer-owned line: tail plus the producer's stale view of head.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::size_t head_cache_ = 0;
+
+  // Consumer-owned line: head plus the consumer's stale view of tail.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  std::size_t tail_cache_ = 0;
+
+  alignas(64) std::atomic<bool> closed_{false};
+};
+
+}  // namespace v6sonar::util

@@ -1,0 +1,206 @@
+// Determinism tests for the sharded pipeline: across 1/2/3/8 worker
+// threads, every front end must produce byte-identical output —
+// events, ordering, filter statistics, IDS alerts — to its serial
+// counterpart on a seeded multi-day workload.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/artifact_filter.hpp"
+#include "core/detector.hpp"
+#include "core/parallel_pipeline.hpp"
+#include "core/streaming_ids.hpp"
+#include "util/rng.hpp"
+#include "util/timebase.hpp"
+
+namespace v6sonar::core {
+namespace {
+
+constexpr sim::TimeUs kSec = 1'000'000;
+
+/// Seeded multi-day workload: ~300 source /64s of very different
+/// intensities, a handful of artifact-style sources hammering a tiny
+/// destination set (so the 5-duplicate filter has work to do), and a
+/// DNS-exposed slice. Spans ~2.3 days of stream time.
+std::vector<sim::LogRecord> workload(std::size_t records = 200'000, std::uint64_t seed = 7) {
+  constexpr std::size_t kSources = 300;
+  util::Xoshiro256 rng(seed);
+  std::vector<sim::LogRecord> out;
+  out.reserve(records);
+  sim::TimeUs t = sim::us_from_seconds(util::kWindowStart);
+  for (std::size_t i = 0; i < records; ++i) {
+    t += 1 + static_cast<sim::TimeUs>(rng.below(2 * kSec));
+    const std::uint64_t src_idx = rng.below(kSources);
+    sim::LogRecord r;
+    r.ts_us = t;
+    r.src = net::Ipv6Address{0x2A10'0000'0000'0000ULL | src_idx << 16, rng.below(4)};
+    const bool artifact = src_idx % 37 == 0;  // duplicate-heavy sources
+    r.dst = net::Ipv6Address{0x2600ULL << 48, artifact ? rng.below(8) : rng.below(1 << 17)};
+    r.proto = rng.below(10) == 0 ? wire::IpProto::kUdp : wire::IpProto::kTcp;
+    r.dst_port = static_cast<std::uint16_t>(artifact ? 443 : rng.below(50));
+    r.dst_in_dns = rng.below(10) == 0;
+    r.src_asn = static_cast<std::uint32_t>(1 + src_idx % 50);
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<ScanEvent> run_serial(const DetectorConfig& cfg,
+                                  const std::vector<sim::LogRecord>& records) {
+  std::vector<ScanEvent> events;
+  ScanDetector det(cfg, [&](ScanEvent&& ev) { events.push_back(std::move(ev)); });
+  for (const auto& r : records) det.feed(r);
+  det.flush();
+  return events;
+}
+
+std::vector<ScanEvent> run_parallel(const DetectorConfig& cfg, int threads,
+                                    const std::vector<sim::LogRecord>& records) {
+  std::vector<ScanEvent> events;
+  ParallelScanPipeline pipe(cfg, {.threads = threads},
+                            [&](ScanEvent&& ev) { events.push_back(std::move(ev)); });
+  for (const auto& r : records) pipe.feed(r);
+  pipe.flush();
+  return events;
+}
+
+TEST(ParallelScanPipeline, RejectsBadConfigAndInput) {
+  const auto sink = [](ScanEvent&&) {};
+  EXPECT_THROW(ParallelScanPipeline({.source_prefix_len = 129}, {.threads = 2}, sink),
+               std::invalid_argument);
+  EXPECT_THROW(ParallelScanPipeline({.min_destinations = 0}, {.threads = 2}, sink),
+               std::invalid_argument);
+  EXPECT_THROW(ParallelScanPipeline({}, {.threads = 2}, nullptr), std::invalid_argument);
+
+  ParallelScanPipeline pipe({}, {.threads = 2}, sink);
+  sim::LogRecord r;
+  r.ts_us = 100;
+  pipe.feed(r);
+  r.ts_us = 99;
+  EXPECT_THROW(pipe.feed(r), std::invalid_argument);
+  pipe.flush();
+  r.ts_us = 200;
+  EXPECT_THROW(pipe.feed(r), std::logic_error);
+}
+
+TEST(ParallelScanPipeline, EmptyStreamEmitsNothing) {
+  std::size_t events = 0;
+  ParallelScanPipeline pipe({}, {.threads = 4}, [&](ScanEvent&&) { ++events; });
+  pipe.flush();
+  pipe.flush();  // idempotent
+  EXPECT_EQ(events, 0u);
+}
+
+TEST(ParallelScanPipeline, MatchesSerialByteForByte) {
+  const auto records = workload();
+  for (const int agg : {128, 64, 48}) {
+    const DetectorConfig cfg{.source_prefix_len = agg};
+    const auto serial = run_serial(cfg, records);
+    ASSERT_FALSE(serial.empty()) << "workload produced no scans at /" << agg;
+    for (const int threads : {1, 2, 3, 8}) {
+      const auto parallel = run_parallel(cfg, threads, records);
+      ASSERT_EQ(serial.size(), parallel.size())
+          << "agg /" << agg << ", " << threads << " threads";
+      EXPECT_TRUE(serial == parallel)
+          << "event mismatch at agg /" << agg << ", " << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelScanPipeline, MatchesSerialWithTinyRings) {
+  // Stress the ring backpressure path: capacity rounds up to 8 slots,
+  // so feeder and workers block constantly.
+  const auto records = workload(30'000);
+  const DetectorConfig cfg{.source_prefix_len = 64};
+  const auto serial = run_serial(cfg, records);
+  std::vector<ScanEvent> parallel;
+  ParallelScanPipeline pipe(cfg, {.threads = 4, .ring_capacity = 8},
+                            [&](ScanEvent&& ev) { parallel.push_back(std::move(ev)); });
+  for (const auto& r : records) pipe.feed(r);
+  pipe.flush();
+  EXPECT_TRUE(serial == parallel);
+}
+
+TEST(ParallelScanPipeline, FilteredChainMatchesSerialChain) {
+  const auto records = workload();
+  const DetectorConfig dcfg{.source_prefix_len = 64};
+  const ArtifactFilterConfig fcfg{};
+
+  std::vector<ScanEvent> serial_events;
+  std::vector<FilterDayStats> serial_stats;
+  {
+    ScanDetector det(dcfg, [&](ScanEvent&& ev) { serial_events.push_back(std::move(ev)); });
+    ArtifactFilter filter(
+        fcfg, [&](const sim::LogRecord& r) { det.feed(r); },
+        [&](const FilterDayStats& s) { serial_stats.push_back(s); });
+    for (const auto& r : records) filter.feed(r);
+    filter.flush();
+    det.flush();
+  }
+  ASSERT_FALSE(serial_events.empty());
+  std::uint64_t serial_dropped = 0;
+  for (const auto& s : serial_stats) serial_dropped += s.packets_dropped;
+  ASSERT_GT(serial_dropped, 0u) << "workload exercised no filtering";
+
+  for (const int threads : {1, 2, 8}) {
+    std::vector<ScanEvent> parallel_events;
+    ParallelScanPipeline pipe(dcfg, fcfg, {.threads = threads},
+                              [&](ScanEvent&& ev) { parallel_events.push_back(std::move(ev)); });
+    for (const auto& r : records) pipe.feed(r);
+    pipe.flush();
+    EXPECT_TRUE(serial_events == parallel_events) << threads << " threads";
+
+    // Per-day statistics must sum across shards to the serial values.
+    const auto& stats = pipe.filter_stats();
+    ASSERT_EQ(stats.size(), serial_stats.size()) << threads << " threads";
+    for (std::size_t i = 0; i < stats.size(); ++i) {
+      EXPECT_EQ(stats[i].day, serial_stats[i].day);
+      EXPECT_EQ(stats[i].packets_in, serial_stats[i].packets_in);
+      EXPECT_EQ(stats[i].packets_dropped, serial_stats[i].packets_dropped);
+      EXPECT_EQ(stats[i].sources_seen, serial_stats[i].sources_seen);
+      EXPECT_EQ(stats[i].sources_dropped, serial_stats[i].sources_dropped);
+      EXPECT_EQ(stats[i].dropped_by_port, serial_stats[i].dropped_by_port);
+    }
+  }
+}
+
+TEST(ParallelIds, MatchesSerialAlertsAndBlocklist) {
+  const auto records = workload();
+  IdsConfig cfg;
+  cfg.reattribution_period_us = 6LL * 3'600 * kSec;  // ~9 passes over the workload
+
+  std::vector<IdsAlert> serial_alerts;
+  StreamingIds serial(cfg, [&](const IdsAlert& a) { serial_alerts.push_back(a); });
+  for (const auto& r : records) serial.feed(r);
+  serial.flush();
+  ASSERT_FALSE(serial_alerts.empty()) << "workload triggered no alerts";
+
+  for (const int threads : {2, 8}) {
+    std::vector<IdsAlert> parallel_alerts;
+    ParallelIds ids(cfg, {.threads = threads},
+                    [&](const IdsAlert& a) { parallel_alerts.push_back(a); });
+    for (const auto& r : records) ids.feed(r);
+    ids.flush();
+
+    ASSERT_EQ(serial_alerts.size(), parallel_alerts.size()) << threads << " threads";
+    for (std::size_t i = 0; i < serial_alerts.size(); ++i) {
+      EXPECT_TRUE(serial_alerts[i].attribution == parallel_alerts[i].attribution)
+          << "alert " << i << ", " << threads << " threads";
+      EXPECT_EQ(serial_alerts[i].is_new, parallel_alerts[i].is_new) << "alert " << i;
+      EXPECT_EQ(serial_alerts[i].at_us, parallel_alerts[i].at_us) << "alert " << i;
+    }
+    EXPECT_TRUE(serial.blocklist() == ids.blocklist()) << threads << " threads";
+  }
+}
+
+TEST(ParallelIds, EmptyStreamMatchesSerial) {
+  IdsConfig cfg;
+  std::size_t alerts = 0;
+  ParallelIds ids(cfg, {.threads = 2}, [&](const IdsAlert&) { ++alerts; });
+  ids.flush();
+  EXPECT_EQ(alerts, 0u);
+  EXPECT_TRUE(ids.blocklist().empty());
+}
+
+}  // namespace
+}  // namespace v6sonar::core

@@ -1,0 +1,96 @@
+// Tests for the SPSC ring: capacity behaviour, wraparound, close
+// semantics, move-only payloads, and the cross-thread blocking
+// hand-off the pipeline depends on.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "util/spsc_ring.hpp"
+
+namespace v6sonar::util {
+namespace {
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 8u);  // floor
+  EXPECT_EQ(SpscRing<int>(8).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(9).capacity(), 16u);
+  EXPECT_EQ(SpscRing<int>(1000).capacity(), 1024u);
+}
+
+TEST(SpscRing, EmptyPopsNothing) {
+  SpscRing<int> ring(8);
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+TEST(SpscRing, FullRejectsPush) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(ring.try_push(int{i}));
+  EXPECT_FALSE(ring.try_push(99));
+  // Freeing one slot admits exactly one more.
+  EXPECT_EQ(ring.try_pop(), 0);
+  EXPECT_TRUE(ring.try_push(8));
+  EXPECT_FALSE(ring.try_push(9));
+}
+
+TEST(SpscRing, FifoAcrossWraparound) {
+  SpscRing<int> ring(8);
+  int next_in = 0, next_out = 0;
+  // Cycle the indices far past the capacity with a partially-full ring.
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 5; ++i) ASSERT_TRUE(ring.try_push(int{next_in++}));
+    for (int i = 0; i < 5; ++i) ASSERT_EQ(ring.try_pop(), next_out++);
+  }
+  EXPECT_EQ(next_out, 500);
+}
+
+TEST(SpscRing, CloseDrainsThenEnds) {
+  SpscRing<int> ring(8);
+  ASSERT_TRUE(ring.try_push(1));
+  ASSERT_TRUE(ring.try_push(2));
+  ring.close();
+  EXPECT_EQ(ring.pop(), 1);  // buffered elements survive the close
+  EXPECT_EQ(ring.pop(), 2);
+  EXPECT_FALSE(ring.pop().has_value());  // then end-of-stream
+  EXPECT_TRUE(ring.drained());
+}
+
+TEST(SpscRing, MoveOnlyPayload) {
+  SpscRing<std::unique_ptr<int>> ring(8);
+  ring.push(std::make_unique<int>(42));
+  auto out = ring.try_pop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(**out, 42);
+}
+
+TEST(SpscRing, BlockingHandOffAcrossThreads) {
+  // The pipeline's actual pattern: one producer pushing a long
+  // sequence through a small ring, one consumer draining it. push()
+  // must block on full, pop() on empty, and nothing may be lost,
+  // duplicated, or reordered.
+  constexpr int kCount = 200'000;
+  SpscRing<int> ring(64);
+  std::uint64_t sum = 0;
+  int received = 0;
+  bool ordered = true;
+  std::thread consumer([&] {
+    int last = -1;
+    while (auto v = ring.pop()) {
+      ordered &= *v == last + 1;
+      last = *v;
+      sum += static_cast<std::uint64_t>(*v);
+      ++received;
+    }
+  });
+  for (int i = 0; i < kCount; ++i) ring.push(int{i});
+  ring.close();
+  consumer.join();
+  EXPECT_EQ(received, kCount);
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(sum, static_cast<std::uint64_t>(kCount) * (kCount - 1) / 2);
+}
+
+}  // namespace
+}  // namespace v6sonar::util

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Sanitized check of the threaded pipeline.
+#
+#   tools/check.sh [thread|address]    (default: thread)
+#
+# Configures a separate build tree (build-tsan/ or build-asan/) with
+# -DV6SONAR_SANITIZE=<kind>, builds the concurrency-sensitive targets,
+# and runs the SPSC-ring and parallel-pipeline test binaries under the
+# sanitizer. Exits non-zero on any sanitizer report or test failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+kind="${1:-thread}"
+case "$kind" in
+  thread)  tree=build-tsan ;;
+  address) tree=build-asan ;;
+  *) echo "usage: tools/check.sh [thread|address]" >&2; exit 2 ;;
+esac
+
+cmake -B "$tree" -S . -DV6SONAR_SANITIZE="$kind" > /dev/null
+cmake --build "$tree" -j"$(nproc)" \
+  --target util_spsc_ring_test core_parallel_pipeline_test
+
+# halt_on_error makes a single race fail the run instead of scrolling by.
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+export ASAN_OPTIONS="halt_on_error=1"
+
+"$tree/tests/util_spsc_ring_test"
+"$tree/tests/core_parallel_pipeline_test"
+
+echo "check.sh: $kind-sanitized pipeline tests passed"

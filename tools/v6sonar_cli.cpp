@@ -14,6 +14,8 @@
 //   v6sonar mawi-day  <YYYY-MM-DD> <out.pcap>   export a MAWI-style capture day
 //
 // Options for detect/fh: --agg <len>  --min-dsts <n>  --timeout <sec>  --top <n>
+// detect additionally accepts --threads <n> to run the sharded
+// parallel pipeline (identical output to the serial detector).
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +29,7 @@
 #include "core/artifact_filter.hpp"
 #include "core/detector.hpp"
 #include "core/fh_detector.hpp"
+#include "core/parallel_pipeline.hpp"
 #include "mawi/world.hpp"
 #include "scanner/hitlist.hpp"
 #include "sim/log_io.hpp"
@@ -43,6 +46,7 @@ struct Options {
   std::uint32_t min_dsts = 100;
   std::int64_t timeout_sec = 3'600;
   std::size_t top = 20;
+  int threads = 1;
 };
 
 [[noreturn]] void usage() {
@@ -63,7 +67,9 @@ struct Options {
       "  --agg <len>       source aggregation prefix length (default 64)\n"
       "  --min-dsts <n>    minimum distinct destinations (default 100)\n"
       "  --timeout <sec>   scan inter-packet timeout, detect only (default 3600)\n"
-      "  --top <n>         rows to print (default 20)\n",
+      "  --top <n>         rows to print (default 20)\n"
+      "  --threads <n>     detection worker threads, detect only (default 1);\n"
+      "                    output is identical to the serial detector\n",
       stderr);
   std::exit(2);
 }
@@ -109,6 +115,8 @@ Options parse_options(int argc, char** argv, int first) {
       o.timeout_sec = std::atoll(need_value("--timeout"));
     else if (std::strcmp(argv[i], "--top") == 0)
       o.top = static_cast<std::size_t>(std::atoi(need_value("--top")));
+    else if (std::strcmp(argv[i], "--threads") == 0)
+      o.threads = std::atoi(need_value("--threads"));
     else {
       std::fprintf(stderr, "error: unknown option %s\n", argv[i]);
       std::exit(2);
@@ -138,14 +146,20 @@ int cmd_info(const std::string& path) {
 
 int cmd_detect(const std::string& path, const Options& o) {
   const auto records = load_records(path);
+  const core::DetectorConfig cfg{.source_prefix_len = o.agg,
+                                 .min_destinations = o.min_dsts,
+                                 .timeout_us = o.timeout_sec * 1'000'000};
   std::vector<core::ScanEvent> events;
-  core::ScanDetector detector(
-      {.source_prefix_len = o.agg,
-       .min_destinations = o.min_dsts,
-       .timeout_us = o.timeout_sec * 1'000'000},
-      [&](core::ScanEvent&& ev) { events.push_back(std::move(ev)); });
-  for (const auto& r : records) detector.feed(r);
-  detector.flush();
+  const auto sink = [&](core::ScanEvent&& ev) { events.push_back(std::move(ev)); };
+  if (o.threads > 1) {
+    core::ParallelScanPipeline pipeline(cfg, {.threads = o.threads}, sink);
+    for (const auto& r : records) pipeline.feed(r);
+    pipeline.flush();
+  } else {
+    core::ScanDetector detector(cfg, sink);
+    for (const auto& r : records) detector.feed(r);
+    detector.flush();
+  }
 
   const auto t = analysis::totals(events);
   std::printf("%llu scans from %llu /%d sources (%llu packets attributed)\n",
