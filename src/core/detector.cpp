@@ -88,14 +88,20 @@ void ScanDetector::expire_up_to(sim::TimeUs now) {
     const auto it = states_.find(e.key);
     if (it == states_.end()) continue;
     const sim::TimeUs due = it->second.last_us + config_.timeout_us;
-    // Strictly-less: a gap of exactly the timeout still belongs to the
-    // same event (feed() uses the matching strict > to split).
-    if (due < now) {
-      finalize(e.key, it->second);
-      states_.erase(it);
-    } else {
+    if (due != e.at) {
+      // Stale: the source was active after this entry was pushed, so
+      // `at` is not the event's end time. Finalizing here would emit
+      // in heap-pop order of the stale `at`, not (due, key) order —
+      // re-queue at the true due time instead; if that is still < now
+      // the entry pops again later in this very sweep, in order.
       expiries_.push(Expiry{due, e.key});
+      continue;
     }
+    // Fresh entry with at == due < now: the gap strictly exceeds the
+    // timeout (a gap of exactly the timeout still belongs to the same
+    // event; feed() uses the matching strict > to split).
+    finalize(e.key, it->second);
+    states_.erase(it);
   }
 }
 

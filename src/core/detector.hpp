@@ -91,9 +91,11 @@ class ScanDetector {
   std::unordered_map<net::Ipv6Prefix, SourceState> states_;
 
   // Lazy expiry heap: (earliest possible expiry, key). Stale entries
-  // (source was active since the push) are re-pushed on pop. Ties on
-  // expiry time break by key, which makes the emission order a total
-  // order — the contract the parallel pipeline's k-way merge relies on.
+  // (source was active since the push) are re-pushed at their true due
+  // time on pop — never finalized directly, so finalization happens in
+  // exact (due, key) order. Ties on expiry time break by key, which
+  // makes the emission order a total order — the contract the parallel
+  // pipeline's k-way merge relies on.
   struct Expiry {
     sim::TimeUs at;
     net::Ipv6Prefix key;

@@ -27,6 +27,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -129,10 +130,20 @@ class EventMerger {
   }
 
   void run() {
+    std::size_t idle = 0;
     for (;;) {
       const bool progress = step();
       if (finished()) return;
-      if (!progress) std::this_thread::yield();
+      if (progress) {
+        idle = 0;
+      } else if (++idle < 256) {
+        std::this_thread::yield();
+      } else {
+        // A long quiet stretch (slow producer, e.g. a live-capture
+        // feed): park briefly instead of spinning a core. Batch runs
+        // make progress nearly every step and never reach here.
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
     }
   }
 
@@ -462,7 +473,12 @@ int ParallelScanPipeline::threads() const noexcept {
 
 std::uint64_t ParallelScanPipeline::packets_seen() const noexcept { return impl_->feeder.fed; }
 
-const std::vector<FilterDayStats>& ParallelScanPipeline::filter_stats() const noexcept {
+const std::vector<FilterDayStats>& ParallelScanPipeline::filter_stats() const {
+  // Before flush() the per-shard stats are still being appended to on
+  // the worker threads — reading them here would be a data race, not
+  // merely a stale view.
+  if (!impl_->flushed)
+    throw std::logic_error("ParallelScanPipeline: filter_stats before flush");
   return impl_->merged_stats;
 }
 
@@ -603,7 +619,10 @@ void ParallelIds::flush() { impl_->flush(); }
 
 int ParallelIds::threads() const noexcept { return static_cast<int>(impl_->shards.size()); }
 
-const std::vector<Attribution>& ParallelIds::blocklist() const noexcept {
+const std::vector<Attribution>& ParallelIds::blocklist() const {
+  // The merger thread mutates the tracker during barrier passes, so a
+  // pre-flush read is a data race, not merely a stale view.
+  if (!impl_->flushed) throw std::logic_error("ParallelIds: blocklist before flush");
   return impl_->tracker.blocklist();
 }
 

@@ -75,9 +75,11 @@ class ParallelScanPipeline {
   [[nodiscard]] int threads() const noexcept;
   /// Records fed into the pipeline (pre-filter).
   [[nodiscard]] std::uint64_t packets_seen() const noexcept;
-  /// Merged per-day artifact-filter statistics, sorted by day.
-  /// Valid after flush(); empty in plain (unfiltered) mode.
-  [[nodiscard]] const std::vector<FilterDayStats>& filter_stats() const noexcept;
+  /// Merged per-day artifact-filter statistics, sorted by day; empty
+  /// in plain (unfiltered) mode. Only valid after flush() — worker
+  /// threads still append to the per-shard stats before that, so this
+  /// throws std::logic_error on a pre-flush call instead of racing.
+  [[nodiscard]] const std::vector<FilterDayStats>& filter_stats() const;
 
  private:
   struct Impl;
@@ -102,8 +104,10 @@ class ParallelIds {
   void flush();
 
   [[nodiscard]] int threads() const noexcept;
-  /// Final blocklist; valid after flush().
-  [[nodiscard]] const std::vector<Attribution>& blocklist() const noexcept;
+  /// Final blocklist. Only valid after flush() — the merger thread
+  /// mutates the tracker during barrier passes before that, so this
+  /// throws std::logic_error on a pre-flush call instead of racing.
+  [[nodiscard]] const std::vector<Attribution>& blocklist() const;
 
  private:
   struct Impl;

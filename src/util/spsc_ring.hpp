@@ -15,6 +15,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <optional>
 #include <thread>
@@ -94,8 +95,16 @@ class SpscRing {
 
  private:
   static void backoff(std::size_t& spins) noexcept {
-    if (++spins < 64) return;  // stay on-core for short waits
-    std::this_thread::yield();
+    ++spins;
+    if (spins < 64) return;  // stay on-core for short waits
+    if (spins < 1024) {      // medium waits: let a peer run
+      std::this_thread::yield();
+      return;
+    }
+    // Long waits (slow producer, e.g. a live-capture feed): park
+    // briefly instead of burning the core. The contended fast path
+    // never reaches here.
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
   }
 
   std::vector<T> slots_;

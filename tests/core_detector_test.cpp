@@ -98,6 +98,29 @@ TEST(ScanDetector, GapJustUnderTimeoutDoesNotSplit) {
   EXPECT_EQ(events[0].distinct_dsts, 120u);
 }
 
+TEST(ScanDetector, TimedOutEventsEmitInEndTimeOrder) {
+  // Regression: a stale expiry-heap entry (its source was active after
+  // the push) must not be finalized in heap-pop order of the stale
+  // push time. A is active at t=0 and again at t=3, B once at t=1;
+  // with a 10 s timeout A's event ends at t=13 and B's at t=11, so B
+  // must emit first even though A's original heap entry (due t=10)
+  // sorts ahead of B's (due t=11).
+  std::vector<ScanEvent> events;
+  ScanDetector d({.source_prefix_len = 128, .min_destinations = 1, .timeout_us = 10 * kSec},
+                 [&](ScanEvent&& ev) { events.push_back(std::move(ev)); });
+  d.feed(probe(0, 1, 10));
+  d.feed(probe(1 * kSec, 2, 20));
+  d.feed(probe(3 * kSec, 1, 11));
+  d.feed(probe(30 * kSec, 3, 30));  // past both due times: one sweep finalizes A and B
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].last_us, 1 * kSec);  // B, due t=11
+  EXPECT_EQ(events[0].packets, 1u);
+  EXPECT_EQ(events[1].last_us, 3 * kSec);  // A, due t=13
+  EXPECT_EQ(events[1].packets, 2u);
+  d.flush();
+  ASSERT_EQ(events.size(), 3u);  // the t=30 source drains at flush
+}
+
 TEST(ScanDetector, SubThresholdBurstsVanishSilently) {
   // Two 60-destination bursts separated by 2h: neither qualifies alone.
   std::vector<LogRecord> recs;

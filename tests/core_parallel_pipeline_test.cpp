@@ -45,6 +45,51 @@ std::vector<sim::LogRecord> workload(std::size_t records = 200'000, std::uint64_
   return out;
 }
 
+/// Gap-heavy workload for the timeout and watermark paths: bursts of
+/// interleaved source activity separated by global quiet gaps longer
+/// than a 900 s detection timeout, so nearly every event finalizes by
+/// timing out mid-stream rather than at flush(). Within a burst the
+/// sources send in rounds with sub-timeout pauses, and later rounds
+/// drop sources at random — so the expiry heap accumulates stale
+/// entries whose push order inverts the true end-time order, the exact
+/// shape the merger's (end-time, source) contract must survive.
+std::vector<sim::LogRecord> gap_workload(std::uint64_t seed = 11) {
+  constexpr sim::TimeUs kTimeout = 900 * kSec;
+  constexpr std::size_t kSources = 48;
+  util::Xoshiro256 rng(seed);
+  std::vector<sim::LogRecord> out;
+  sim::TimeUs t = sim::us_from_seconds(util::kWindowStart);
+  for (int burst = 0; burst < 150; ++burst) {
+    std::vector<std::uint64_t> active;
+    for (std::size_t k = 0, n = 2 + rng.below(6); k < n; ++k)
+      active.push_back(rng.below(kSources));
+    for (std::size_t round = 0, rounds = 1 + rng.below(3); round < rounds; ++round) {
+      for (const std::uint64_t src_idx : active) {
+        if (round > 0 && rng.below(3) == 0) continue;  // drops: earlier end times
+        for (std::size_t p = 0, pkts = 12 + rng.below(20); p < pkts; ++p) {
+          t += 1 + static_cast<sim::TimeUs>(rng.below(kSec / 4));
+          sim::LogRecord r;
+          r.ts_us = t;
+          r.src = net::Ipv6Address{0x2A10'0000'0000'0000ULL | src_idx << 16, rng.below(4)};
+          r.dst = net::Ipv6Address{0x2600ULL << 48, rng.below(1 << 20)};
+          r.proto = wire::IpProto::kTcp;
+          r.dst_port = static_cast<std::uint16_t>(rng.below(50));
+          r.dst_in_dns = rng.below(10) == 0;
+          r.src_asn = static_cast<std::uint32_t>(1 + src_idx % 50);
+          out.push_back(r);
+        }
+      }
+      // Inter-round pause: below the timeout, so the burst stays one
+      // event per source while its heap entries go stale.
+      t += 200 * kSec + static_cast<sim::TimeUs>(rng.below(600 * kSec));
+    }
+    // Global quiet gap past the timeout: everything in flight expires
+    // before the next burst's first record arrives.
+    t += kTimeout + 200 * kSec + static_cast<sim::TimeUs>(rng.below(3'600 * kSec));
+  }
+  return out;
+}
+
 std::vector<ScanEvent> run_serial(const DetectorConfig& cfg,
                                   const std::vector<sim::LogRecord>& records) {
   std::vector<ScanEvent> events;
@@ -105,6 +150,41 @@ TEST(ParallelScanPipeline, MatchesSerialByteForByte) {
           << "event mismatch at agg /" << agg << ", " << threads << " threads";
     }
   }
+}
+
+TEST(ParallelScanPipeline, MatchesSerialAcrossQuietGaps) {
+  // The dense workload above rarely times out mid-stream (its gaps are
+  // far below the 1 h timeout), so it mostly exercises flush(). This
+  // one is the opposite: a short 900 s timeout and quiet gaps beyond
+  // it, so the timed-out emission path, stale expiry-heap entries, and
+  // the merger's watermark gating carry the byte-identical guarantee.
+  const auto records = gap_workload();
+  const DetectorConfig cfg{
+      .source_prefix_len = 64, .min_destinations = 10, .timeout_us = 900 * kSec};
+  std::vector<ScanEvent> serial;
+  std::size_t timed_out = 0;
+  {
+    ScanDetector det(cfg, [&](ScanEvent&& ev) { serial.push_back(std::move(ev)); });
+    for (const auto& r : records) det.feed(r);
+    timed_out = serial.size();  // emitted before flush(), i.e. by timeout
+    det.flush();
+  }
+  ASSERT_FALSE(serial.empty());
+  ASSERT_GT(timed_out, serial.size() * 9 / 10) << "workload lost its mid-stream timeouts";
+  for (const int threads : {1, 2, 3, 8}) {
+    const auto parallel = run_parallel(cfg, threads, records);
+    ASSERT_EQ(serial.size(), parallel.size()) << threads << " threads";
+    EXPECT_TRUE(serial == parallel) << "event mismatch at " << threads << " threads";
+  }
+}
+
+TEST(ParallelScanPipeline, FilterStatsBeforeFlushThrows) {
+  // Pre-flush the per-shard stats are still being written by workers;
+  // reading them would race, so the accessor refuses.
+  ParallelScanPipeline pipe({}, ArtifactFilterConfig{}, {.threads = 2}, [](ScanEvent&&) {});
+  EXPECT_THROW(pipe.filter_stats(), std::logic_error);
+  pipe.flush();
+  EXPECT_TRUE(pipe.filter_stats().empty());  // empty stream, but now readable
 }
 
 TEST(ParallelScanPipeline, MatchesSerialWithTinyRings) {
@@ -199,6 +279,15 @@ TEST(ParallelIds, EmptyStreamMatchesSerial) {
   ParallelIds ids(cfg, {.threads = 2}, [&](const IdsAlert&) { ++alerts; });
   ids.flush();
   EXPECT_EQ(alerts, 0u);
+  EXPECT_TRUE(ids.blocklist().empty());
+}
+
+TEST(ParallelIds, BlocklistBeforeFlushThrows) {
+  // The merger thread mutates the tracker during barrier passes, so a
+  // pre-flush read would race; the accessor refuses.
+  ParallelIds ids({}, {.threads = 2}, [](const IdsAlert&) {});
+  EXPECT_THROW(ids.blocklist(), std::logic_error);
+  ids.flush();
   EXPECT_TRUE(ids.blocklist().empty());
 }
 
