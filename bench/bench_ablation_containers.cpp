@@ -1,8 +1,9 @@
 // Ablation — the detector's hot-path containers: open-addressing
-// FlatSet/FlatMap vs the node-based std::unordered_* they replaced.
-// DESIGN.md calls this choice out; this bench quantifies it on the
-// exact workload (per-source destination sets and port maps fed by a
-// scan-shaped insert stream).
+// FlatSet/FlatMap vs the node-based std::unordered_* they replaced,
+// and the SlabPool arena vs the global allocator on the detector's
+// source-churn pattern (containers created, filled, and destroyed per
+// tracked source). DESIGN.md calls these choices out; this bench
+// quantifies them on the exact workloads.
 
 #include <benchmark/benchmark.h>
 
@@ -10,6 +11,7 @@
 #include <unordered_set>
 
 #include "net/ipv6.hpp"
+#include "util/arena.hpp"
 #include "util/flat_hash.hpp"
 #include "util/rng.hpp"
 
@@ -83,6 +85,56 @@ void BM_PortMap_Std(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100'000);
 }
 BENCHMARK(BM_PortMap_Std)->Unit(benchmark::kMicrosecond);
+
+// The detector's churn shape: one destination set + one port map per
+// source, filled to scan size and destroyed when the source expires.
+// The arena ablation compares global-allocator storage against
+// pool-recycled storage on exactly this create/fill/destroy loop.
+
+constexpr std::size_t kChurnGenerations = 2'000;
+constexpr std::size_t kChurnInserts = 150;  // paper threshold is 100 dsts
+
+void BM_SourceChurn_Heap(benchmark::State& state) {
+  const auto dsts = scan_destinations(kChurnInserts);
+  for (auto _ : state) {
+    std::uint64_t distinct = 0;
+    for (std::size_t gen = 0; gen < kChurnGenerations; ++gen) {
+      util::FlatSet<net::Ipv6Address> set;
+      util::FlatMap<std::uint32_t, std::uint64_t, util::IntHash> ports;
+      for (const auto& d : dsts) {
+        distinct += set.insert(d);
+        ++ports[static_cast<std::uint32_t>(d.lo() & 0x3FF)];
+      }
+    }
+    benchmark::DoNotOptimize(distinct);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kChurnGenerations * kChurnInserts));
+}
+BENCHMARK(BM_SourceChurn_Heap)->Unit(benchmark::kMillisecond);
+
+void BM_SourceChurn_Pooled(benchmark::State& state) {
+  const auto dsts = scan_destinations(kChurnInserts);
+  util::SlabPool pool;
+  for (auto _ : state) {
+    std::uint64_t distinct = 0;
+    for (std::size_t gen = 0; gen < kChurnGenerations; ++gen) {
+      util::FlatSet<net::Ipv6Address> set(&pool);
+      util::FlatMap<std::uint32_t, std::uint64_t, util::IntHash> ports(&pool);
+      for (const auto& d : dsts) {
+        distinct += set.insert(d);
+        ++ports[static_cast<std::uint32_t>(d.lo() & 0x3FF)];
+      }
+    }
+    benchmark::DoNotOptimize(distinct);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kChurnGenerations * kChurnInserts));
+  state.counters["recycled_pct"] =
+      100.0 * static_cast<double>(pool.recycled_blocks()) /
+      static_cast<double>(pool.recycled_blocks() + pool.fresh_blocks());
+}
+BENCHMARK(BM_SourceChurn_Pooled)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

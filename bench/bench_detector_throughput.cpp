@@ -1,11 +1,27 @@
 // Ablation / scaling — streaming detector throughput: packets/second
 // as a function of tracked-source population and aggregation level,
-// plus trie longest-prefix-match cost (the AS-attribution join).
+// trie longest-prefix-match cost (the AS-attribution join), and the
+// batched data plane's log-replay comparison: the seed record-at-a-
+// time stdio path vs batched stdio vs mmap + feed_batch, end to end
+// (read + detect) over the same on-disk log. Replay numbers land in
+// BENCH_pipeline.json.
 
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <functional>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "common.hpp"
 #include "core/detector.hpp"
 #include "net/trie.hpp"
+#include "sim/log_io.hpp"
 #include "util/rng.hpp"
 #include "util/timebase.hpp"
 
@@ -13,18 +29,21 @@ namespace {
 
 using namespace v6sonar;
 
-std::vector<sim::LogRecord> synthetic_traffic(std::size_t records, std::size_t sources) {
+std::vector<sim::LogRecord> synthetic_traffic(std::size_t records, std::size_t sources,
+                                              std::uint64_t max_gap_us = 200'000,
+                                              std::uint64_t dst_space = 1 << 18,
+                                              std::uint64_t port_space = 1'000) {
   util::Xoshiro256 rng(9);
   std::vector<sim::LogRecord> out;
   out.reserve(records);
   sim::TimeUs t = sim::us_from_seconds(util::kWindowStart);
   for (std::size_t i = 0; i < records; ++i) {
     sim::LogRecord r;
-    t += 1 + static_cast<sim::TimeUs>(rng.below(200'000));
+    t += 1 + static_cast<sim::TimeUs>(rng.below(max_gap_us));
     r.ts_us = t;
     r.src = net::Ipv6Address{0x2A10'0000'0000'0000ULL | rng.below(sources) << 16, rng.below(4)};
-    r.dst = net::Ipv6Address{0x2600ULL << 48, rng.below(1 << 18)};
-    r.dst_port = static_cast<std::uint16_t>(rng.below(1'000));
+    r.dst = net::Ipv6Address{0x2600ULL << 48, rng.below(dst_space)};
+    r.dst_port = static_cast<std::uint16_t>(rng.below(port_space));
     r.src_asn = 1;
     out.push_back(r);
   }
@@ -68,6 +87,210 @@ void BM_TrieLongestMatch(benchmark::State& state) {
 }
 BENCHMARK(BM_TrieLongestMatch)->Arg(1'000)->Arg(100'000)->Unit(benchmark::kMicrosecond);
 
+/// The seed tree's replay path, reproduced verbatim for the speedup
+/// baseline: one fread() per 52-byte record and a byte-at-a-time
+/// little-endian unpack (the shipped LogReader has since switched to
+/// single-load decoding, so it is no longer the seed baseline itself;
+/// both are reported below).
+class SeedLogReader {
+ public:
+  explicit SeedLogReader(const std::string& path) : f_(std::fopen(path.c_str(), "rb")) {
+    if (!f_) throw std::runtime_error("seed reader: cannot open " + path);
+    std::setvbuf(f_, nullptr, _IOFBF, 1 << 20);
+    std::uint8_t header[16];
+    if (std::fread(header, 1, 16, f_) != 16)
+      throw std::runtime_error("seed reader: bad header");
+  }
+  ~SeedLogReader() { std::fclose(f_); }
+
+  std::optional<sim::LogRecord> next() {
+    std::uint8_t buf[52];
+    const std::size_t got = std::fread(buf, 1, sizeof buf, f_);
+    if (got == 0) return std::nullopt;
+    if (got != sizeof buf) throw std::runtime_error("seed reader: truncated record");
+    const std::uint8_t* in = buf;
+    auto get = [&in](int bytes) {
+      std::uint64_t v = 0;
+      for (int i = 0; i < bytes; ++i) v |= static_cast<std::uint64_t>(*in++) << (8 * i);
+      return v;
+    };
+    sim::LogRecord r;
+    r.ts_us = static_cast<sim::TimeUs>(get(8));
+    const std::uint64_t shi = get(8), slo = get(8), dhi = get(8), dlo = get(8);
+    r.src = net::Ipv6Address{shi, slo};
+    r.dst = net::Ipv6Address{dhi, dlo};
+    r.src_asn = static_cast<std::uint32_t>(get(4));
+    r.src_port = static_cast<std::uint16_t>(get(2));
+    r.dst_port = static_cast<std::uint16_t>(get(2));
+    r.frame_len = static_cast<std::uint16_t>(get(2));
+    r.proto = static_cast<wire::IpProto>(get(1));
+    r.dst_in_dns = get(1) != 0;
+    return r;
+  }
+
+ private:
+  std::FILE* f_;
+};
+
+/// End-to-end replay (open, read every record, detect) of one on-disk
+/// log. One replay variant: passes are timed round-robin across all
+/// variants (see run_replays) so that slow host-level drift — CPU
+/// steal and frequency throttling swing single-shot wall-clock
+/// numbers by 20%+ on a shared vCPU — hits every variant equally
+/// instead of biasing whichever row runs last; the per-variant
+/// minimum is then the least contaminated estimate of its cost.
+struct ReplayVariant {
+  const char* label;
+  std::function<void(core::ScanDetector&)> replay;
+  double best_s = 0;
+  std::uint64_t events = 0;
+};
+
+void run_replays(std::vector<ReplayVariant>& variants) {
+  for (int pass = 0; pass < 3; ++pass) {
+    for (auto& v : variants) {
+      std::uint64_t events = 0;
+      core::ScanDetector det({.source_prefix_len = 64}, [&](core::ScanEvent&&) { ++events; });
+      const auto t0 = std::chrono::steady_clock::now();
+      v.replay(det);
+      det.flush();
+      const auto t1 = std::chrono::steady_clock::now();
+      const double s = std::chrono::duration<double>(t1 - t0).count();
+      if (pass == 0 || s < v.best_s) v.best_s = s;
+      v.events = events;
+    }
+  }
+}
+
+/// The acceptance comparison for the batched data plane: the seed
+/// tree's replay path (SeedLogReader above — one stdio read and a
+/// byte-loop unpack per record, feeding feed() one record at a time)
+/// against the shipped record-at-a-time readers and the batched
+/// stdio / mmap paths feeding feed_batch(). Same log, same detector
+/// config, so the deltas are the data plane and the batch-grouped
+/// detector apply path.
+void print_replay_comparison() {
+  constexpr std::size_t kRecords = 4'000'000;
+  constexpr std::size_t kSources = 100;
+  constexpr std::size_t kBatch = 16'384;
+
+  // Megascanner-shaped replay (the traffic class that dominates the
+  // paper's packet counts): a modest population of heavy sources, each
+  // hammering one service port across structured low-IID destinations
+  // — the paper's scans overwhelmingly target a single protocol/port.
+  // Every source clears the 100-distinct-destination bar. With ~100
+  // interleaved sources, a batch carries ~160-record runs per source,
+  // the regime where feed_batch()'s grouped path amortizes its per-run
+  // bookkeeping.
+  const std::string path = benchx::cache_dir() + "/replay_bench_mega.v6slog";
+  if (!std::filesystem::exists(path)) {
+    const auto traffic = synthetic_traffic(kRecords, kSources, /*max_gap_us=*/2'000,
+                                           /*dst_space=*/256, /*port_space=*/1);
+    sim::LogWriter w(path + ".tmp");
+    for (const auto& r : traffic) w.write(r);
+    w.close();
+    std::filesystem::rename(path + ".tmp", path);
+  }
+
+  // Pre-read the log once so every variant runs against a warm page
+  // cache; the comparison targets the read paths, not the disk.
+  auto all = [&] {
+    sim::MappedLogReader warm(path);
+    std::vector<sim::LogRecord> v(warm.total_records());
+    warm.next_batch(v.data(), v.size());
+    return v;
+  }();
+
+  // Read-only pass: the data-plane floor (decode cost with no detector).
+  const auto read_s = [&] {
+    double best = 0;
+    for (int pass = 0; pass < 3; ++pass) {
+      sim::MappedLogReader reader(path);
+      std::vector<sim::LogRecord> buf(kBatch);
+      std::uint64_t sum = 0;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::size_t n; (n = reader.next_batch(buf.data(), buf.size())) > 0;)
+        sum += static_cast<std::uint64_t>(buf[n - 1].ts_us);
+      benchmark::DoNotOptimize(sum);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double s = std::chrono::duration<double>(t1 - t0).count();
+      if (pass == 0 || s < best) best = s;
+    }
+    return best;
+  }();
+
+  std::vector<ReplayVariant> variants;
+  variants.push_back({"in-memory feed()", [&](core::ScanDetector& det) {
+                        for (const auto& r : all) det.feed(r);
+                      }});
+  variants.push_back({"seed next() + feed()", [&](core::ScanDetector& det) {
+                        SeedLogReader reader(path);
+                        while (auto r = reader.next()) det.feed(*r);
+                      }});
+  variants.push_back({"next() + feed()", [&](core::ScanDetector& det) {
+                        sim::LogReader reader(path);
+                        while (auto r = reader.next()) det.feed(*r);
+                      }});
+  variants.push_back({"next_batch (stdio)", [&](core::ScanDetector& det) {
+                        sim::LogReader reader(path);
+                        std::vector<sim::LogRecord> buf(kBatch);
+                        for (std::size_t n; (n = reader.next_batch(buf.data(), buf.size())) > 0;)
+                          det.feed_batch({buf.data(), n});
+                      }});
+  variants.push_back({"next_batch (mmap)", [&](core::ScanDetector& det) {
+                        sim::MappedLogReader reader(path);
+                        std::vector<sim::LogRecord> buf(kBatch);
+                        for (std::size_t n; (n = reader.next_batch(buf.data(), buf.size())) > 0;)
+                          det.feed_batch({buf.data(), n});
+                      }});
+  run_replays(variants);
+  const double mem_s = variants[0].best_s, seed_s = variants[1].best_s,
+               base_s = variants[2].best_s, stdio_s = variants[3].best_s,
+               mmap_s = variants[4].best_s;
+  const std::uint64_t mem_events = variants[0].events, seed_events = variants[1].events,
+                      base_events = variants[2].events, stdio_events = variants[3].events,
+                      mmap_events = variants[4].events;
+
+  const auto rps = [](double s) { return static_cast<double>(kRecords) / s; };
+  std::printf("log replay — %zu records, %zu /64 sources, end to end (read + detect)\n",
+              kRecords, kSources);
+  std::printf("  %-24s %10s %12s %9s  %s\n", "path", "seconds", "records/s", "speedup",
+              "events");
+  std::printf("  %-24s %10.3f %12.0f %8.2fx  %s\n", "mmap read only", read_s, rps(read_s),
+              seed_s / read_s, "-");
+  std::printf("  %-24s %10.3f %12.0f %8.2fx  %llu%s\n", "in-memory feed()", mem_s, rps(mem_s),
+              seed_s / mem_s, static_cast<unsigned long long>(mem_events),
+              mem_events == seed_events ? "" : "  EVENT MISMATCH");
+  std::printf("  %-24s %10.3f %12.0f %9s  %llu\n", "seed next() + feed()", seed_s, rps(seed_s),
+              "1.00x", static_cast<unsigned long long>(seed_events));
+  std::printf("  %-24s %10.3f %12.0f %8.2fx  %llu%s\n", "next() + feed()", base_s, rps(base_s),
+              seed_s / base_s, static_cast<unsigned long long>(base_events),
+              base_events == seed_events ? "" : "  EVENT MISMATCH");
+  std::printf("  %-24s %10.3f %12.0f %8.2fx  %llu%s\n", "next_batch (stdio)", stdio_s,
+              rps(stdio_s), seed_s / stdio_s, static_cast<unsigned long long>(stdio_events),
+              stdio_events == seed_events ? "" : "  EVENT MISMATCH");
+  std::printf("  %-24s %10.3f %12.0f %8.2fx  %llu%s\n", "next_batch (mmap)", mmap_s,
+              rps(mmap_s), seed_s / mmap_s, static_cast<unsigned long long>(mmap_events),
+              mmap_events == seed_events ? "" : "  EVENT MISMATCH");
+  std::printf("\n");
+
+  char json[320];
+  std::snprintf(json, sizeof json,
+                "{\"records\": %zu, \"seed_rps\": %.0f, \"next_rps\": %.0f, "
+                "\"stdio_batch_rps\": %.0f, \"mmap_batch_rps\": %.0f, "
+                "\"mmap_speedup_vs_seed\": %.2f, \"mmap_speedup_vs_next\": %.2f}",
+                kRecords, rps(seed_s), rps(base_s), rps(stdio_s), rps(mmap_s), seed_s / mmap_s,
+                base_s / mmap_s);
+  benchx::update_bench_json("BENCH_pipeline.json", "replay", json);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  print_replay_comparison();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

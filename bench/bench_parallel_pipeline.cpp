@@ -1,13 +1,19 @@
 // Scaling — sharded parallel detection pipeline vs the serial
-// detector on identical synthetic traffic. Prints a speedup table
-// (the acceptance target is >=3x at 8 threads), then runs the
+// detector on identical synthetic traffic, fed record-at-a-time and
+// through the batched feed path. Prints a speedup table (the
+// acceptance target is >=3x at 8 threads), writes the serial rate and
+// per-thread-count speedups to BENCH_pipeline.json, then runs the
 // google-benchmark kernels for items/sec detail.
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
+#include <span>
+#include <sstream>
+#include <string>
 
+#include "common.hpp"
 #include "core/detector.hpp"
 #include "core/parallel_pipeline.hpp"
 #include "util/rng.hpp"
@@ -45,18 +51,28 @@ std::uint64_t run_serial(const std::vector<sim::LogRecord>& traffic) {
   return events;
 }
 
-std::uint64_t run_parallel(const std::vector<sim::LogRecord>& traffic, int threads) {
+std::uint64_t run_parallel(const std::vector<sim::LogRecord>& traffic, int threads,
+                           std::size_t batch = 0) {
   std::uint64_t events = 0;
   core::ParallelScanPipeline pipe({.source_prefix_len = 64}, {.threads = threads},
                                   [&](core::ScanEvent&&) { ++events; });
-  for (const auto& r : traffic) pipe.feed(r);
+  if (batch == 0) {
+    for (const auto& r : traffic) pipe.feed(r);
+  } else {
+    const std::span<const sim::LogRecord> all(traffic);
+    for (std::size_t i = 0; i < all.size(); i += batch)
+      pipe.feed_batch(all.subspan(i, std::min(batch, all.size() - i)));
+  }
   pipe.flush();
   return events;
 }
 
 /// Wall-clock speedup table over one large pass; the acceptance gate
-/// for the sharded pipeline is the 8-thread row.
+/// for the sharded pipeline is the 8-thread row. Each thread count
+/// runs both record-at-a-time feed() and batched feed_batch() (4096
+/// records per call, per-shard run publication).
 void print_speedup_table() {
+  constexpr std::size_t kBatch = 4'096;
   const auto traffic = synthetic_traffic(4'000'000, 20'000);
   const auto time = [](auto&& fn) {
     const auto t0 = std::chrono::steady_clock::now();
@@ -66,20 +82,35 @@ void print_speedup_table() {
   };
 
   const auto [serial_s, serial_events] = time([&] { return run_serial(traffic); });
+  const double serial_rps = static_cast<double>(traffic.size()) / serial_s;
   std::printf("parallel pipeline scaling — %zu records, 20k /64 sources\n", traffic.size());
-  std::printf("  %-10s %10s %12s %9s  %s\n", "config", "seconds", "records/s", "speedup",
+  std::printf("  %-20s %10s %12s %9s  %s\n", "config", "seconds", "records/s", "speedup",
               "events");
-  std::printf("  %-10s %10.3f %12.0f %9s  %llu\n", "serial", serial_s,
-              static_cast<double>(traffic.size()) / serial_s, "1.00x",
+  std::printf("  %-20s %10.3f %12.0f %9s  %llu\n", "serial", serial_s, serial_rps, "1.00x",
               static_cast<unsigned long long>(serial_events));
-  for (const int threads : {1, 2, 4, 8}) {
-    const auto [par_s, par_events] = time([&] { return run_parallel(traffic, threads); });
-    std::printf("  %-2d threads %10.3f %12.0f %8.2fx  %llu%s\n", threads, par_s,
-                static_cast<double>(traffic.size()) / par_s, serial_s / par_s,
-                static_cast<unsigned long long>(par_events),
-                par_events == serial_events ? "" : "  EVENT MISMATCH");
+
+  std::ostringstream json;
+  json << "{\"records\": " << traffic.size() << ", \"serial_rps\": "
+       << static_cast<std::uint64_t>(serial_rps);
+  for (const int threads : {1, 2, 3, 8}) {
+    for (const bool batched : {false, true}) {
+      const auto [par_s, par_events] =
+          time([&] { return run_parallel(traffic, threads, batched ? kBatch : 0); });
+      char label[32];
+      std::snprintf(label, sizeof label, "%d threads%s", threads, batched ? " batched" : "");
+      std::printf("  %-20s %10.3f %12.0f %8.2fx  %llu%s\n", label, par_s,
+                  static_cast<double>(traffic.size()) / par_s, serial_s / par_s,
+                  static_cast<unsigned long long>(par_events),
+                  par_events == serial_events ? "" : "  EVENT MISMATCH");
+      char key[48];
+      std::snprintf(key, sizeof key, ", \"speedup_%dt%s\": %.2f", threads,
+                    batched ? "_batched" : "", serial_s / par_s);
+      json << key;
+    }
   }
+  json << "}";
   std::printf("\n");
+  benchx::update_bench_json("BENCH_pipeline.json", "parallel_pipeline", json.str());
 }
 
 void BM_SerialDetector(benchmark::State& state) {

@@ -66,4 +66,14 @@ class WorldMeta {
 /// paper baseline being reproduced.
 void banner(const std::string& experiment, const std::string& paper_claim);
 
+/// Merge one section into a flat JSON results file, e.g.
+/// update_bench_json("BENCH_pipeline.json", "mmap_replay",
+///                   "{\"records_per_sec\": 1.2e7}").
+/// The file holds one object with one section per line; the named
+/// section is replaced if present, appended otherwise, so several
+/// benches can write the same file without clobbering each other.
+/// `object_literal` must be a valid JSON value on a single line.
+void update_bench_json(const std::string& path, const std::string& section,
+                       const std::string& object_literal);
+
 }  // namespace v6sonar::benchx

@@ -26,7 +26,9 @@ void ArtifactFilter::feed(const sim::LogRecord& r) {
   }
 
   buffer_.push_back(r);
-  SourceDay& sd = sources_[net::Ipv6Prefix{r.src, config_.source_prefix_len}];
+  SourceDay& sd =
+      sources_.try_emplace(net::Ipv6Prefix{r.src, config_.source_prefix_len}, &pool_)
+          .first->second;
   ++sd.packets;
   if (++sd.hits[FlowKey{r.dst, proto_port_key(r.proto, r.dst_port)}] >
       config_.duplicate_threshold)

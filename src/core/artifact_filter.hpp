@@ -13,10 +13,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <span>
 #include <unordered_map>
 
 #include "net/prefix.hpp"
 #include "sim/record.hpp"
+#include "util/arena.hpp"
 #include "util/flat_hash.hpp"
 
 namespace v6sonar::core {
@@ -56,6 +58,12 @@ class ArtifactFilter {
   /// Feed one record; records must be in non-decreasing time order.
   void feed(const sim::LogRecord& r);
 
+  /// Feed a whole batch; exactly equivalent to feeding each record in
+  /// turn (same ordering contract).
+  void feed_batch(std::span<const sim::LogRecord> batch) {
+    for (const auto& r : batch) feed(r);
+  }
+
   /// Advance the clock without a packet: if `now` has moved past the
   /// buffered day, close it and release its clean records — exactly
   /// what the first record of a later day would have triggered. No-op
@@ -82,6 +90,10 @@ class ArtifactFilter {
   };
 
   struct SourceDay {
+    /// Hit-count storage comes from the filter's pool: a source's day
+    /// closing hands its array to the next day's sources.
+    explicit SourceDay(util::SlabPool* pool) noexcept : hits(pool) {}
+
     std::uint64_t packets = 0;
     std::uint64_t duplicates = 0;
     util::FlatMap<FlowKey, std::uint32_t, FlowKeyHash> hits;
@@ -92,6 +104,7 @@ class ArtifactFilter {
   StatsSink stats_;
   std::int64_t current_day_ = INT64_MIN;
   std::deque<sim::LogRecord> buffer_;
+  util::SlabPool pool_;  // declared before sources_: destroyed after its users
   std::unordered_map<net::Ipv6Prefix, SourceDay> sources_;
   sim::TimeUs last_ts_ = INT64_MIN;
 };

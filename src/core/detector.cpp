@@ -1,8 +1,12 @@
 #include "core/detector.hpp"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <memory>
+#include <new>
 #include <stdexcept>
+#include <utility>
 
 #include "util/timebase.hpp"
 
@@ -18,6 +22,22 @@ ScanDetector::ScanDetector(const DetectorConfig& config, EventSink sink)
   if (!sink_) throw std::invalid_argument("ScanDetector: null sink");
 }
 
+ScanDetector::~ScanDetector() {
+  // States are pool blocks holding live containers; destroy them
+  // explicitly (clear()ing the index only drops the pointers).
+  states_.for_each([this](const net::Ipv6Prefix&, SourceState* st) { delete_state(st); });
+}
+
+ScanDetector::SourceState* ScanDetector::new_state() {
+  void* p = pool_.acquire(sizeof(SourceState));
+  return new (p) SourceState(&pool_);
+}
+
+void ScanDetector::delete_state(SourceState* st) noexcept {
+  st->~SourceState();
+  pool_.release(st, sizeof(SourceState));
+}
+
 void ScanDetector::feed(const sim::LogRecord& r) {
   if (r.ts_us < last_ts_)
     throw std::invalid_argument("ScanDetector: records must be time-ordered");
@@ -27,26 +47,241 @@ void ScanDetector::feed(const sim::LogRecord& r) {
   expire_up_to(r.ts_us);
 
   const net::Ipv6Prefix key{r.src, config_.source_prefix_len};
-  auto [it, inserted] = states_.try_emplace(key);
-  SourceState& st = it->second;
-  if (inserted) {
-    st.first_us = r.ts_us;
-    st.asn = r.src_asn;
+  SourceState*& slot = states_[key];
+  if (slot == nullptr) {
+    slot = new_state();
+    slot->first_us = r.ts_us;
+    slot->asn = r.src_asn;
     expiries_.push(Expiry{r.ts_us + config_.timeout_us, key});
-  } else if (r.ts_us - st.last_us > config_.timeout_us) {
+  } else if (r.ts_us - slot->last_us > config_.timeout_us) {
     // The previous event of this source ended; finalize it and start a
-    // fresh one in place.
-    finalize(key, st);
-    st = SourceState{};
-    st.first_us = r.ts_us;
-    st.asn = r.src_asn;
+    // fresh one in place, reusing its container storage.
+    finalize(key, *slot);
+    slot->restart(r.ts_us, r.src_asn);
     expiries_.push(Expiry{r.ts_us + config_.timeout_us, key});
   }
+  SourceState& st = *slot;
   st.last_us = r.ts_us;
   ++st.packets;
   if (st.dsts.insert(r.dst) && r.dst_in_dns) ++st.dsts_in_dns;
   ++st.ports[r.dst_port];
-  ++st.weekly[static_cast<std::uint32_t>(util::window_week(sim::seconds_of(r.ts_us)))];
+  if (r.ts_us >= st.week_next_us || st.week_slot == nullptr) {
+    const std::int64_t week = util::window_week(sim::seconds_of(r.ts_us));
+    st.week_slot = &st.weekly[static_cast<std::uint32_t>(week)];
+    // Exact validity bound: the first microsecond of week+1. Weeks
+    // before the window start (truncating division) get no bound and
+    // recompute every record — correct, and never hit in practice.
+    st.week_next_us =
+        week >= 0 && r.ts_us >= 0
+            ? sim::us_from_seconds(util::kWindowStart + (week + 1) * util::kSecondsPerWeek)
+            : INT64_MIN;
+  }
+  ++*st.week_slot;
+}
+
+void ScanDetector::feed_batch(std::span<const sim::LogRecord> batch) {
+  const std::size_t n = batch.size();
+  if (n < 2) {
+    feed_serial(batch);
+    return;
+  }
+  // The grouped fast path reorders work across sources, which is only
+  // observable if something *finalizes* during the batch. Three guards
+  // prove nothing can:
+  //
+  //  1. The batch is internally time-sorted and starts at or after
+  //     last_ts_ (also ensures feed()'s order check would pass, so the
+  //     reordered path throws exactly when the serial one would — by
+  //     falling back to it).
+  //  2. No pre-existing expiry entry is due before the batch's last
+  //     timestamp, so expire_up_to() would pop nothing. Every live
+  //     event keeps a heap entry at <= last_us + timeout (pushed at
+  //     event start; stale pops re-push at the true due time), so this
+  //     also rules out a timeout *split* for any pre-existing source:
+  //     a gap > timeout inside the batch would imply a heap entry due
+  //     before the batch end.
+  //  3. The batch spans at most the timeout, so a source first seen
+  //     inside the batch cannot gap out within it, and entries pushed
+  //     during the batch (due >= batch[0] + timeout >= batch end)
+  //     cannot fire within it either.
+  //
+  // Under the guards no sink_ call, erase, or restart happens, and
+  // per-source updates commute across sources — grouping by source is
+  // output-identical to the serial order. (The heap then holds the
+  // same multiset of entries as after the serial order, and Expiry's
+  // comparator is a total order, so later pop order is identical too.)
+  //
+  // Guards 2 and 3 are O(1) and checked here; guard 1's scan is fused
+  // into feed_grouped()'s bucketing pass (which mutates only batch
+  // scratch, so bailing out to the serial path mid-pass is safe — the
+  // serial path then throws exactly where feed() would).
+  const sim::TimeUs last = batch[n - 1].ts_us;
+  const bool quiet = (expiries_.empty() || expiries_.top().at >= last) &&
+                     last - batch[0].ts_us <= config_.timeout_us;
+  if (!quiet || batch[0].ts_us < last_ts_ || !feed_grouped(batch)) feed_serial(batch);
+}
+
+void ScanDetector::feed_serial(std::span<const sim::LogRecord> batch) {
+  // With few tracked sources the per-source tables are cache-resident
+  // and lookahead would be pure overhead (an extra hash + probe per
+  // record); only a large state spills the caches and makes the
+  // prefetch pipeline pay.
+  if (states_.size() < kPrefetchMinSources) {
+    for (const auto& r : batch) feed(r);
+    return;
+  }
+  // Two-stage software pipeline, ~12 records ≈ one memory round-trip
+  // apart: the far stage prefetches the state-index slot for record
+  // i+2L so the near stage's find() at i+L hits cache; the near
+  // stage then prefetches that source's destination-set and port-map
+  // slots so feed() at i hits all three. Hints are read-only
+  // (prefetch + find), so output is identical to feed().
+  constexpr std::size_t kLookahead = 12;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (i + 2 * kLookahead < batch.size()) {
+      const auto& far = batch[i + 2 * kLookahead];
+      states_.prefetch(net::Ipv6Prefix{far.src, config_.source_prefix_len});
+    }
+    if (i + kLookahead < batch.size()) {
+      const auto& near = batch[i + kLookahead];
+      if (SourceState* const* p =
+              states_.find(net::Ipv6Prefix{near.src, config_.source_prefix_len})) {
+        (*p)->dsts.prefetch(near.dst);
+        (*p)->ports.prefetch(near.dst_port);
+      }
+    }
+    feed(batch[i]);
+  }
+}
+
+bool ScanDetector::feed_grouped(std::span<const sim::LogRecord> batch) {
+  const std::size_t n = batch.size();
+
+  // Pass 1 — bucket records by source with a batch-local
+  // open-addressed index (run_slots_ maps a cheap key hash to an index
+  // into runs_), accumulating per-run aggregates: length, first/last
+  // timestamp, first record's ASN. The hash only has to spread keys
+  // over an L1-resident table whose collisions are resolved by full
+  // key compare, so one multiply on the masked address is enough —
+  // much cheaper than the state index's std::hash probe. The pass also
+  // verifies the batch is internally time-sorted (guard 1); a false
+  // return means nothing was applied.
+  const std::size_t cap = std::bit_ceil(2 * n);
+  const int shift = 64 - std::countr_zero(cap);
+  if (run_slots_.size() < cap) run_slots_.assign(cap, 0);
+  if (++batch_epoch_ == 0) {
+    // Epoch wrapped: stale stamps could alias as live. Once per 2^32
+    // batches, pay the full reset.
+    std::fill(run_slots_.begin(), run_slots_.end(), 0);
+    batch_epoch_ = 1;
+  }
+  const std::uint64_t live = static_cast<std::uint64_t>(batch_epoch_) << 32;
+  runs_.clear();
+  runs_.reserve(64);
+  batch_run_.resize(n);
+  sim::TimeUs prev_ts = batch[0].ts_us;
+  bool sorted = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& r = batch[i];
+    sorted &= r.ts_us >= prev_ts;
+    prev_ts = r.ts_us;
+    const net::Ipv6Prefix key{r.src, config_.source_prefix_len};
+    const std::uint64_t h =
+        (key.address().hi() ^ key.address().lo()) * 0x9E3779B97F4A7C15ULL;
+    std::size_t s = static_cast<std::size_t>(h >> shift);
+    const std::size_t mask = cap - 1;
+    for (;; s = (s + 1) & mask) {
+      const std::uint64_t slot = run_slots_[s];
+      if ((slot & ~0xFFFF'FFFFULL) != live) {
+        const std::uint32_t run = static_cast<std::uint32_t>(runs_.size());
+        run_slots_[s] = live | run;
+        runs_.push_back(Run{key, 1, 0, r.ts_us, r.ts_us, r.src_asn});
+        batch_run_[i] = run;
+        break;
+      }
+      const std::uint32_t run = static_cast<std::uint32_t>(slot);
+      Run& rn = runs_[run];
+      if (rn.key == key) {
+        ++rn.len;
+        rn.last_ts = r.ts_us;
+        batch_run_[i] = run;
+        break;
+      }
+    }
+  }
+  if (!sorted) return false;
+
+  // Pass 2 — scatter the fields the apply loop needs into
+  // run-contiguous order (offset = prefix sum of run lengths), so each
+  // run reads its records sequentially instead of striding through the
+  // batch.
+  std::uint32_t off = 0;
+  for (Run& rn : runs_) {
+    rn.offset = off;
+    off += rn.len;
+  }
+  batch_entries_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& r = batch[i];
+    Run& rn = runs_[batch_run_[i]];
+    batch_entries_[rn.offset++] = BatchEntry{r.dst, r.ts_us, r.dst_port, r.dst_in_dns};
+  }
+  for (Run& rn : runs_) rn.offset -= rn.len;  // restore
+
+  // Pass 3 — apply each run with ONE state-index probe, and the
+  // bookkeeping feed() repeats per record hoisted to per run: packet
+  // count and last_us are run aggregates, and when the whole run lands
+  // in the cached week (last_ts is the run's max, so it bounds every
+  // record) the weekly histogram takes a single += len. The port
+  // counter is run-length encoded — a scan hammers one service port,
+  // so consecutive entries nearly always share it. The guards in
+  // feed_batch() guarantee no finalize/restart/expiry can occur here
+  // (the gap checks feed() performs are provably false), so only the
+  // insert-or-update half of feed() is replicated.
+  last_ts_ = batch[n - 1].ts_us;
+  packets_seen_ += n;
+  for (const Run& run : runs_) {
+    SourceState*& slot = states_[run.key];
+    if (slot == nullptr) {
+      slot = new_state();
+      slot->first_us = run.first_ts;
+      slot->asn = run.asn;
+      expiries_.push(Expiry{run.first_ts + config_.timeout_us, run.key});
+    }
+    SourceState& st = *slot;
+    st.last_us = run.last_ts;
+    st.packets += run.len;
+    const BatchEntry* e = batch_entries_.data() + run.offset;
+    const BatchEntry* const end = e + run.len;
+    if (st.week_slot != nullptr && run.last_ts < st.week_next_us) {
+      *st.week_slot += run.len;
+    } else {
+      for (const BatchEntry* w = e; w != end; ++w) {
+        if (w->ts >= st.week_next_us || st.week_slot == nullptr) {
+          const std::int64_t week = util::window_week(sim::seconds_of(w->ts));
+          st.week_slot = &st.weekly[static_cast<std::uint32_t>(week)];
+          st.week_next_us =
+              week >= 0 && w->ts >= 0
+                  ? sim::us_from_seconds(util::kWindowStart + (week + 1) * util::kSecondsPerWeek)
+                  : INT64_MIN;
+        }
+        ++*st.week_slot;
+      }
+    }
+    std::uint32_t run_port = e->port;
+    std::uint64_t port_n = 0;
+    for (; e != end; ++e) {
+      if (st.dsts.insert(e->dst) && e->dns) ++st.dsts_in_dns;
+      if (e->port != run_port) {
+        st.ports[run_port] += port_n;
+        run_port = e->port;
+        port_n = 0;
+      }
+      ++port_n;
+    }
+    st.ports[run_port] += port_n;
+  }
+  return true;
 }
 
 void ScanDetector::finalize(const net::Ipv6Prefix& key, SourceState& st) {
@@ -85,9 +320,10 @@ void ScanDetector::expire_up_to(sim::TimeUs now) {
   while (!expiries_.empty() && expiries_.top().at < now) {
     const Expiry e = expiries_.top();
     expiries_.pop();
-    const auto it = states_.find(e.key);
-    if (it == states_.end()) continue;
-    const sim::TimeUs due = it->second.last_us + config_.timeout_us;
+    SourceState* const* p = states_.find(e.key);
+    if (p == nullptr) continue;
+    SourceState* st = *p;
+    const sim::TimeUs due = st->last_us + config_.timeout_us;
     if (due != e.at) {
       // Stale: the source was active after this entry was pushed, so
       // `at` is not the event's end time. Finalizing here would emit
@@ -100,20 +336,24 @@ void ScanDetector::expire_up_to(sim::TimeUs now) {
     // Fresh entry with at == due < now: the gap strictly exceeds the
     // timeout (a gap of exactly the timeout still belongs to the same
     // event; feed() uses the matching strict > to split).
-    finalize(e.key, it->second);
-    states_.erase(it);
+    finalize(e.key, *st);
+    delete_state(st);
+    states_.erase(e.key);
   }
 }
 
 void ScanDetector::flush() {
   // Finalize in key order so flushed-event order is deterministic
   // regardless of hash-table iteration order.
-  std::vector<const net::Ipv6Prefix*> keys;
-  keys.reserve(states_.size());
-  for (const auto& [key, st] : states_) keys.push_back(&key);
-  std::sort(keys.begin(), keys.end(),
-            [](const net::Ipv6Prefix* a, const net::Ipv6Prefix* b) { return *a < *b; });
-  for (const auto* key : keys) finalize(*key, states_.at(*key));
+  std::vector<std::pair<net::Ipv6Prefix, SourceState*>> live;
+  live.reserve(states_.size());
+  states_.for_each([&](const net::Ipv6Prefix& key, SourceState* st) { live.emplace_back(key, st); });
+  std::sort(live.begin(), live.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [key, st] : live) {
+    finalize(key, *st);
+    delete_state(st);
+  }
   states_.clear();
   while (!expiries_.empty()) expiries_.pop();
 }
@@ -127,8 +367,10 @@ std::vector<std::vector<ScanEvent>> detect_multi(sim::RecordStream& stream,
     detectors.push_back(std::make_unique<ScanDetector>(
         configs[i], [&results, i](ScanEvent&& ev) { results[i].push_back(std::move(ev)); }));
   }
-  while (auto r = stream.next()) {
-    for (auto& d : detectors) d->feed(*r);
+  std::array<sim::LogRecord, 1024> batch;
+  for (std::size_t n; (n = stream.next_batch(batch.data(), batch.size())) > 0;) {
+    const std::span<const sim::LogRecord> span{batch.data(), n};
+    for (auto& d : detectors) d->feed_batch(span);
   }
   for (auto& d : detectors) d->flush();
   return results;

@@ -14,13 +14,13 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_map>
-#include <unordered_set>
+#include <span>
 #include <vector>
 
 #include "core/scan_event.hpp"
 #include "net/prefix.hpp"
 #include "sim/record.hpp"
+#include "util/arena.hpp"
 #include "util/flat_hash.hpp"
 
 namespace v6sonar::core {
@@ -50,11 +50,22 @@ class ScanDetector {
   /// sorted by source. core::ParallelScanPipeline reproduces exactly
   /// this order from its per-shard detectors.
   ScanDetector(const DetectorConfig& config, EventSink sink);
+  ~ScanDetector();
 
   /// Feed one record. Records must arrive in non-decreasing time order
   /// (out-of-order input throws std::invalid_argument — feeding a
   /// detector unsorted logs is a programming error, not a data error).
   void feed(const sim::LogRecord& r);
+
+  /// Feed a whole batch (same ordering contract as feed()). Output is
+  /// byte-identical to feeding each record in turn — verified by test
+  /// across batch sizes — but substantially faster: when the batch
+  /// provably contains no event boundary (see detector.cpp), updates
+  /// commute across sources, so records are grouped by source and each
+  /// source's run is applied with one state-index probe and cache-hot
+  /// per-source tables. Batches that may finalize an event fall back
+  /// to the strict record-at-a-time order.
+  void feed_batch(std::span<const sim::LogRecord> batch);
 
   /// Advance the clock without a packet: finalizes events whose source
   /// has been quiet past the timeout as of `now`. No-op if `now` is
@@ -70,25 +81,84 @@ class ScanDetector {
   /// Number of sources currently tracked (diagnostics / benchmarks).
   [[nodiscard]] std::size_t active_sources() const noexcept { return states_.size(); }
   [[nodiscard]] const DetectorConfig& config() const noexcept { return config_; }
+  /// The arena backing per-source container storage (diagnostics: its
+  /// recycled/fresh counters quantify allocator traffic avoided).
+  [[nodiscard]] const util::SlabPool& pool() const noexcept { return pool_; }
 
  private:
+  /// Below this many tracked sources, the serial fallback loop skips
+  /// its prefetch lookahead (the state fits in cache; hints would be
+  /// overhead).
+  static constexpr std::size_t kPrefetchMinSources = 1'024;
+
+  /// Multiplicative hash for the destination set — the hottest hash in
+  /// the pipeline (probed once per record). Scans sweep low-entropy
+  /// structured ranges, which the golden-ratio multiplies spread
+  /// evenly; std::hash's full-avalanche finalizer buys nothing here.
+  /// The set is never iterated (only counted), so distribution quality
+  /// has no observable effect beyond probe length.
+  struct DstHash {
+    std::size_t operator()(const net::Ipv6Address& a) const noexcept {
+      return static_cast<std::size_t>(
+          (a.hi() ^ (a.lo() * 0x9E3779B97F4A7C15ULL)) * 0x9E3779B97F4A7C15ULL);
+    }
+  };
+
   struct SourceState {
+    /// All slot storage comes from the detector's pool: an expiring
+    /// source hands its arrays straight to the next one appearing.
+    explicit SourceState(util::SlabPool* pool) noexcept
+        : dsts(pool), ports(pool), weekly(pool) {}
+
+    /// Start a fresh event in place (timeout split): counters zeroed,
+    /// container storage kept — the same source tends to reach a
+    /// similar size again, so re-growing from 8 slots is waste.
+    void restart(sim::TimeUs now, std::uint32_t src_asn) noexcept {
+      first_us = now;
+      last_us = 0;
+      packets = 0;
+      dsts_in_dns = 0;
+      asn = src_asn;
+      week_next_us = INT64_MIN;
+      week_slot = nullptr;
+      dsts.reset();
+      ports.reset();
+      weekly.reset();
+    }
+
     sim::TimeUs first_us = 0;
     sim::TimeUs last_us = 0;
     std::uint64_t packets = 0;
     std::uint32_t dsts_in_dns = 0;
     std::uint32_t asn = 0;
-    util::FlatSet<net::Ipv6Address> dsts;
+    // Cached weekly-histogram slot: the week index changes once per
+    // 604800 s while records arrive microseconds apart, so feed()
+    // only recomputes (and re-probes `weekly`) when the timestamp
+    // crosses `week_next_us`. Timestamps are monotonic, so a single
+    // upper bound is exact. Only refresh() writes to `weekly`, so the
+    // slot pointer can't be invalidated by growth between refreshes.
+    sim::TimeUs week_next_us = INT64_MIN;
+    std::uint64_t* week_slot = nullptr;
+    util::FlatSet<net::Ipv6Address, DstHash> dsts;
     util::FlatMap<std::uint32_t, std::uint64_t, util::IntHash> ports;
     util::FlatMap<std::uint32_t, std::uint64_t, util::IntHash> weekly;
   };
 
   void finalize(const net::Ipv6Prefix& key, SourceState& st);
   void expire_up_to(sim::TimeUs now);
+  [[nodiscard]] SourceState* new_state();
+  void delete_state(SourceState* st) noexcept;
+  void feed_serial(std::span<const sim::LogRecord> batch);
+  bool feed_grouped(std::span<const sim::LogRecord> batch);
 
   DetectorConfig config_;
   EventSink sink_;
-  std::unordered_map<net::Ipv6Prefix, SourceState> states_;
+  util::SlabPool pool_;  // declared before states_: destroyed after its users
+
+  // Flat open-addressed index of pool-allocated states. Flat so the
+  // batch path can prefetch the home slot from the key alone; the
+  // states live in pool blocks (stable addresses across rehash).
+  util::FlatMap<net::Ipv6Prefix, SourceState*> states_;
 
   // Lazy expiry heap: (earliest possible expiry, key). Stale entries
   // (source was active since the push) are re-pushed at their true due
@@ -108,6 +178,36 @@ class ScanDetector {
 
   sim::TimeUs last_ts_ = INT64_MIN;
   std::uint64_t packets_seen_ = 0;
+
+  // feed_batch() grouping scratch (capacity persists across batches;
+  // see feed_grouped in detector.cpp). A run is one source's records
+  // within the current batch; per-run aggregates let the apply loop
+  // update packets / last_us / weekly once per run instead of once per
+  // record.
+  struct Run {
+    net::Ipv6Prefix key;
+    std::uint32_t len;
+    std::uint32_t offset;  ///< start of this run's entries in batch_entries_
+    sim::TimeUs first_ts;
+    sim::TimeUs last_ts;
+    std::uint32_t asn;  ///< src_asn of the run's first record
+  };
+  /// The per-record fields the apply loop still needs, scattered
+  /// run-contiguously so each run reads sequentially.
+  struct BatchEntry {
+    net::Ipv6Address dst;
+    sim::TimeUs ts;
+    std::uint16_t port;
+    bool dns;
+  };
+  std::vector<Run> runs_;
+  std::vector<std::uint32_t> batch_run_;  ///< record index -> run index
+  std::vector<BatchEntry> batch_entries_;
+  /// Open-addressed key -> run index, epoch-stamped: a slot is live
+  /// only if its upper half matches batch_epoch_, so batches start
+  /// from an "empty" table without memsetting it.
+  std::vector<std::uint64_t> run_slots_;
+  std::uint32_t batch_epoch_ = 0;
 };
 
 /// Convenience: run a whole record stream through detectors at several

@@ -33,6 +33,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -273,25 +274,63 @@ class EventMerger {
 
 /// Feeder-side state shared by both pipelines: order validation,
 /// shard routing, and the periodic tick broadcast.
+///
+/// Batching: stage() appends records to per-shard pending runs instead
+/// of pushing them immediately; publish() then hands each run to its
+/// ring with a single producer release (util::SpscRing::push_n). This
+/// preserves the equivalence argument because (a) each shard's record
+/// subsequence is exactly the serial one — staging never reorders
+/// within a shard — and (b) every staged record is published before
+/// any tick or barrier carrying a later-or-equal timestamp is pushed
+/// (stage() publishes before its own tick broadcast; external barrier
+/// points must call publish() first). Ticks themselves only affect
+/// liveness — advance() finalizes exactly what would finalize anyway —
+/// so deferring publication between them changes no per-ring content.
 struct Feeder {
   int shard_len = 64;
   sim::TimeUs tick_interval = 0;
   sim::TimeUs next_tick = 0;
   sim::TimeUs last_ts = INT64_MIN;
   std::uint64_t fed = 0;
+  std::vector<std::vector<InItem>> staged;  ///< pending run per shard
 
-  void route(ShardList& shards, const sim::LogRecord& r, const char* who) {
+  /// Validate and stage one record; on crossing the tick boundary,
+  /// publish the staged runs (the tick must not overtake records that
+  /// precede it) and then broadcast the tick.
+  void stage(ShardList& shards, const sim::LogRecord& r, const char* who) {
     if (r.ts_us < last_ts)
       throw std::invalid_argument(std::string(who) + ": records must be time-ordered");
     last_ts = r.ts_us;
     ++fed;
-    shards[shard_of(r.src, shard_len, shards.size())]->in.push(InItem{r, false});
+    if (staged.size() != shards.size()) staged.resize(shards.size());
+    staged[shard_of(r.src, shard_len, shards.size())].push_back(InItem{r, false});
     if (next_tick == 0)
       next_tick = r.ts_us + tick_interval;
     else if (r.ts_us >= next_tick) {
+      publish(shards);
       broadcast_tick(shards, r.ts_us);
       next_tick = r.ts_us + tick_interval;
     }
+  }
+
+  /// Push every shard's staged run, one producer release per run.
+  void publish(ShardList& shards) {
+    for (std::size_t s = 0; s < staged.size(); ++s) {
+      auto& run = staged[s];
+      if (run.empty()) continue;
+      shards[s]->in.push_n(run.data(), run.size());
+      run.clear();
+    }
+  }
+
+  void route(ShardList& shards, const sim::LogRecord& r, const char* who) {
+    stage(shards, r, who);
+    publish(shards);
+  }
+
+  void route_batch(ShardList& shards, std::span<const sim::LogRecord> batch, const char* who) {
+    for (const auto& r : batch) stage(shards, r, who);
+    publish(shards);
   }
 
   static void broadcast_tick(ShardList& shards, sim::TimeUs t) {
@@ -420,6 +459,7 @@ struct ParallelScanPipeline::Impl {
   void flush() {
     if (flushed) return;
     flushed = true;
+    feeder.publish(shards);  // nothing stays staged past a flush
     join_all(shards, merger_thread);
 
     std::map<std::int64_t, FilterDayStats> by_day;
@@ -463,6 +503,11 @@ ParallelScanPipeline::~ParallelScanPipeline() {
 void ParallelScanPipeline::feed(const sim::LogRecord& r) {
   if (impl_->flushed) throw std::logic_error("ParallelScanPipeline: feed after flush");
   impl_->feeder.route(impl_->shards, r, "ParallelScanPipeline");
+}
+
+void ParallelScanPipeline::feed_batch(std::span<const sim::LogRecord> batch) {
+  if (impl_->flushed) throw std::logic_error("ParallelScanPipeline: feed after flush");
+  impl_->feeder.route_batch(impl_->shards, batch, "ParallelScanPipeline");
 }
 
 void ParallelScanPipeline::flush() { impl_->flush(); }
@@ -578,23 +623,39 @@ struct ParallelIds::Impl {
     sh.out.close();
   }
 
-  void feed(const sim::LogRecord& r) {
-    if (flushed) throw std::logic_error("ParallelIds: feed after flush");
+  /// Stage one record and fire the attribution barrier when it crosses
+  /// the reattribution boundary. Staged runs are published before the
+  /// barrier's tick so no ring sees the tick ahead of earlier records.
+  void stage(const sim::LogRecord& r) {
     if (next_pass == 0) next_pass = r.ts_us + cfg.reattribution_period_us;
-    feeder.route(shards, r, "ParallelIds");
+    feeder.stage(shards, r, "ParallelIds");
     if (r.ts_us >= next_pass) {
       // Exactly the serial trigger: a pass over everything finalized
       // strictly before this record. The tick drives every shard's
       // watermark to r.ts_us so the barrier can clear.
+      feeder.publish(shards);
       Feeder::broadcast_tick(shards, r.ts_us);
       barriers->push(sim::TimeUs{r.ts_us});
       next_pass = r.ts_us + cfg.reattribution_period_us;
     }
   }
 
+  void feed(const sim::LogRecord& r) {
+    if (flushed) throw std::logic_error("ParallelIds: feed after flush");
+    stage(r);
+    feeder.publish(shards);
+  }
+
+  void feed_batch(std::span<const sim::LogRecord> batch) {
+    if (flushed) throw std::logic_error("ParallelIds: feed after flush");
+    for (const auto& r : batch) stage(r);
+    feeder.publish(shards);
+  }
+
   void flush() {
     if (flushed) return;
     flushed = true;
+    feeder.publish(shards);  // nothing stays staged past a flush
     final_now.store(next_pass, std::memory_order_release);
     join_all(shards, merger_thread);
     rethrow_first(shards, merger_error);
@@ -614,6 +675,10 @@ ParallelIds::~ParallelIds() {
 }
 
 void ParallelIds::feed(const sim::LogRecord& r) { impl_->feed(r); }
+
+void ParallelIds::feed_batch(std::span<const sim::LogRecord> batch) {
+  impl_->feed_batch(batch);
+}
 
 void ParallelIds::flush() { impl_->flush(); }
 

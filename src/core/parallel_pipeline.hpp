@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/artifact_filter.hpp"
@@ -68,6 +69,13 @@ class ParallelScanPipeline {
   /// Feed one record (non-decreasing time order, one thread).
   void feed(const sim::LogRecord& r);
 
+  /// Feed a whole batch (same contract). The feeder partitions the
+  /// batch into per-shard runs and publishes each run to its ring with
+  /// a single producer release — identical per-ring sequences to
+  /// feeding one record at a time, so the output (order included) is
+  /// unchanged; only the synchronization per record is cheaper.
+  void feed_batch(std::span<const sim::LogRecord> batch);
+
   /// Close the shards, join all threads, rethrow any worker/sink
   /// error. The sink has received every event once this returns.
   void flush();
@@ -101,6 +109,10 @@ class ParallelIds {
   ParallelIds& operator=(const ParallelIds&) = delete;
 
   void feed(const sim::LogRecord& r);
+  /// Batched feed; same output (attribution barriers trigger at the
+  /// same records) with per-shard run publication as in
+  /// ParallelScanPipeline::feed_batch.
+  void feed_batch(std::span<const sim::LogRecord> batch);
   void flush();
 
   [[nodiscard]] int threads() const noexcept;

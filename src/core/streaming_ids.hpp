@@ -14,6 +14,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/adaptive.hpp"
@@ -73,6 +74,14 @@ class StreamingIds {
 
   /// Feed one record (time-ordered).
   void feed(const sim::LogRecord& r);
+
+  /// Feed a whole batch; exactly equivalent to feeding each record in
+  /// turn — reattribution passes trigger at the same records. (Records
+  /// are still routed one at a time internally: any record can cross
+  /// the reattribution boundary.)
+  void feed_batch(std::span<const sim::LogRecord> batch) {
+    for (const auto& r : batch) feed(r);
+  }
 
   /// Finalize all in-flight events and run a last attribution pass.
   void flush();

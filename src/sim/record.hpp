@@ -8,6 +8,7 @@
 // the simulator provides them and analyses must join the same way.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 
@@ -50,6 +51,22 @@ class RecordStream {
  public:
   virtual ~RecordStream() = default;
   [[nodiscard]] virtual std::optional<LogRecord> next() = 0;
+
+  /// Fill `out` with up to `max` records; returns how many were
+  /// written (0 = end of stream). The batched data plane pulls whole
+  /// batches per call instead of one virtual call + optional copy per
+  /// record; the default keeps every existing generator working, and
+  /// readers with cheap random access (sim::MappedLogReader) override
+  /// it with a direct decode loop.
+  virtual std::size_t next_batch(LogRecord* out, std::size_t max) {
+    std::size_t n = 0;
+    while (n < max) {
+      auto r = next();
+      if (!r) break;
+      out[n++] = *r;
+    }
+    return n;
+  }
 };
 
 }  // namespace v6sonar::sim

@@ -4,29 +4,72 @@
 // tracked source; node-based std::unordered_* containers spend most of
 // their time in per-node allocation and pointer chasing. These flat
 // linear-probing containers (power-of-two capacity, tombstone-free —
-// the pipeline only inserts and destroys whole containers) are 2-4x
-// faster for that workload; bench_ablation_containers quantifies it.
+// FlatMap::erase uses backward-shift deletion, so probe chains stay
+// dense) are 2-4x faster for that workload;
+// bench_ablation_containers quantifies it.
+//
+// Slot storage can be backed by a util::SlabPool so the per-source
+// create/destroy churn recycles slot arrays instead of hitting the
+// global allocator (pass the pool to the constructor; it must outlive
+// the container). reset() empties a container while keeping its slot
+// array, so a reused container does not re-grow from 8 slots;
+// clear() additionally releases the storage.
 //
 // Requirements: K and V trivially copyable; Hash must be avalanching
 // (the probe sequence is hash & mask).
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
+#include <new>
+#include <type_traits>
 #include <utility>
-#include <vector>
+
+#include "util/arena.hpp"
 
 namespace v6sonar::util {
 
 template <typename K, typename V, typename Hash = std::hash<K>>
 class FlatMap {
+  static_assert(std::is_trivially_copyable_v<K> && std::is_trivially_copyable_v<V>,
+                "FlatMap slots are managed as raw storage");
+
  public:
   FlatMap() = default;
+  /// Pool-backed: slot arrays come from / return to `pool` (which must
+  /// outlive this container).
+  explicit FlatMap(SlabPool* pool) noexcept : pool_(pool) {}
+
+  FlatMap(const FlatMap& o) : pool_(o.pool_) {
+    if (o.cap_ == 0) return;
+    slots_ = alloc_raw(o.cap_);
+    cap_ = o.cap_;
+    size_ = o.size_;
+    std::memcpy(static_cast<void*>(slots_), o.slots_, cap_ * sizeof(Slot));
+  }
+  FlatMap(FlatMap&& o) noexcept { steal(o); }
+  FlatMap& operator=(const FlatMap& o) {
+    if (this != &o) {
+      FlatMap copy(o);
+      destroy();
+      steal(copy);
+    }
+    return *this;
+  }
+  FlatMap& operator=(FlatMap&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      steal(o);
+    }
+    return *this;
+  }
+  ~FlatMap() { destroy(); }
 
   /// Returns a reference to the value for `key`, default-constructing
   /// it on first access (like operator[]).
   V& operator[](const K& key) {
-    if (slots_.empty() || (size_ + 1) * 4 > capacity() * 3) grow();
+    if (cap_ == 0 || (size_ + 1) * 4 > cap_ * 3) grow();
     const std::size_t idx = find_slot(key);
     Slot& s = slots_[idx];
     if (!s.used) {
@@ -39,24 +82,82 @@ class FlatMap {
   }
 
   [[nodiscard]] const V* find(const K& key) const noexcept {
-    if (slots_.empty()) return nullptr;
+    if (cap_ == 0) return nullptr;
     const std::size_t idx = find_slot(key);
     return slots_[idx].used ? &slots_[idx].kv.second : nullptr;
+  }
+  [[nodiscard]] V* find(const K& key) noexcept {
+    return const_cast<V*>(static_cast<const FlatMap*>(this)->find(key));
+  }
+
+  /// Remove `key`; returns whether it was present. Backward-shift
+  /// deletion: elements probing past the hole are slid back into it,
+  /// so chains stay dense and lookups never need tombstones.
+  bool erase(const K& key) noexcept {
+    if (cap_ == 0) return false;
+    std::size_t idx = find_slot(key);
+    if (!slots_[idx].used) return false;
+    const std::size_t mask = cap_ - 1;
+    std::size_t j = idx;
+    for (;;) {
+      j = (j + 1) & mask;
+      if (!slots_[j].used) break;
+      // The element at j may fill the hole at idx only if its home
+      // slot is cyclically at-or-before idx on the probe path to j —
+      // moving it earlier than its home would hide it from lookups.
+      const std::size_t home = Hash{}(slots_[j].kv.first) & mask;
+      if (((j - home) & mask) >= ((j - idx) & mask)) {
+        slots_[idx].kv = slots_[j].kv;
+        idx = j;
+      }
+    }
+    slots_[idx].used = false;
+    --size_;
+    return true;
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  /// Slot-array length (diagnostics; load factor is size/capacity).
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
 
-  void clear() {
-    slots_.clear();
+  /// Drop all entries and release the slot storage (to the pool when
+  /// pool-backed). Use reset() when the container will be refilled.
+  void clear() noexcept {
+    free_slots();
     size_ = 0;
+  }
+
+  /// Drop all entries but keep the slot array: a reused container
+  /// starts at its previous capacity instead of re-growing from 8.
+  void reset() noexcept {
+    for (std::size_t i = 0; i < cap_; ++i) slots_[i].used = false;
+    size_ = 0;
+  }
+
+  /// Ensure `n` entries fit without any further slot-array growth.
+  void reserve(std::size_t n) {
+    std::size_t cap = 8;
+    while (cap * 3 < n * 4) cap *= 2;  // inverse of the insert-time growth check
+    if (cap > cap_) rehash_to(cap);
   }
 
   /// Visit all (key, value) pairs (unspecified order).
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const auto& s : slots_)
-      if (s.used) fn(s.kv.first, s.kv.second);
+    for (std::size_t i = 0; i < cap_; ++i)
+      if (slots_[i].used) fn(slots_[i].kv.first, slots_[i].kv.second);
+  }
+
+  /// Hint the key's home slot into cache ahead of a lookup/insert.
+  /// Read-only and never required for correctness; batch consumers
+  /// issue it a few records ahead to hide the probe's cache miss.
+  void prefetch(const K& key) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    if (cap_ != 0) __builtin_prefetch(&slots_[Hash{}(key) & (cap_ - 1)]);
+#else
+    (void)key;
+#endif
   }
 
  private:
@@ -65,39 +166,107 @@ class FlatMap {
     bool used = false;
   };
 
-  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
-
   [[nodiscard]] std::size_t find_slot(const K& key) const noexcept {
-    const std::size_t mask = slots_.size() - 1;
+    const std::size_t mask = cap_ - 1;
     std::size_t idx = Hash{}(key)&mask;
     while (slots_[idx].used && !(slots_[idx].kv.first == key)) idx = (idx + 1) & mask;
     return idx;
   }
 
-  void grow() {
-    std::vector<Slot> old = std::move(slots_);
-    slots_.assign(old.empty() ? 8 : old.size() * 2, Slot{});
-    for (auto& s : old) {
-      if (!s.used) continue;
-      const std::size_t mask = slots_.size() - 1;
-      std::size_t idx = Hash{}(s.kv.first) & mask;
-      while (slots_[idx].used) idx = (idx + 1) & mask;
-      slots_[idx] = s;
-    }
+  [[nodiscard]] Slot* alloc_raw(std::size_t n) {
+    void* p = pool_ ? pool_->acquire(n * sizeof(Slot)) : ::operator new(n * sizeof(Slot));
+    return static_cast<Slot*>(p);
   }
 
-  std::vector<Slot> slots_;
+  [[nodiscard]] Slot* alloc_slots(std::size_t n) {
+    Slot* s = alloc_raw(n);
+    for (std::size_t i = 0; i < n; ++i) new (s + i) Slot{};
+    return s;
+  }
+
+  void free_slots() noexcept {
+    if (!slots_) return;
+    if (pool_)
+      pool_->release(slots_, cap_ * sizeof(Slot));
+    else
+      ::operator delete(slots_);
+    slots_ = nullptr;
+    cap_ = 0;
+  }
+
+  void rehash_to(std::size_t new_cap) {
+    Slot* ns = alloc_slots(new_cap);
+    const std::size_t mask = new_cap - 1;
+    for (std::size_t i = 0; i < cap_; ++i) {
+      const Slot& s = slots_[i];
+      if (!s.used) continue;
+      std::size_t idx = Hash{}(s.kv.first) & mask;
+      while (ns[idx].used) idx = (idx + 1) & mask;
+      ns[idx] = s;
+    }
+    free_slots();
+    slots_ = ns;
+    cap_ = new_cap;
+  }
+
+  void grow() { rehash_to(cap_ ? cap_ * 2 : 8); }
+
+  void destroy() noexcept { free_slots(); }
+  void steal(FlatMap& o) noexcept {
+    slots_ = o.slots_;
+    cap_ = o.cap_;
+    size_ = o.size_;
+    pool_ = o.pool_;
+    o.slots_ = nullptr;
+    o.cap_ = 0;
+    o.size_ = 0;
+  }
+
+  Slot* slots_ = nullptr;
+  std::size_t cap_ = 0;
   std::size_t size_ = 0;
+  SlabPool* pool_ = nullptr;
 };
 
 template <typename K, typename Hash = std::hash<K>>
 class FlatSet {
+  static_assert(std::is_trivially_copyable_v<K>,
+                "FlatSet slots are managed as raw storage");
+
  public:
   FlatSet() = default;
+  /// Pool-backed: slot arrays come from / return to `pool` (which must
+  /// outlive this container).
+  explicit FlatSet(SlabPool* pool) noexcept : pool_(pool) {}
+
+  FlatSet(const FlatSet& o) : pool_(o.pool_) {
+    if (o.cap_ == 0) return;
+    slots_ = alloc_raw(o.cap_);
+    cap_ = o.cap_;
+    size_ = o.size_;
+    std::memcpy(static_cast<void*>(slots_), o.slots_, cap_ * sizeof(Slot));
+  }
+  FlatSet(FlatSet&& o) noexcept { steal(o); }
+  FlatSet& operator=(const FlatSet& o) {
+    if (this != &o) {
+      FlatSet copy(o);
+      destroy();
+      steal(copy);
+    }
+    return *this;
+  }
+  FlatSet& operator=(FlatSet&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      steal(o);
+    }
+    return *this;
+  }
+  ~FlatSet() { destroy(); }
 
   /// Returns true if the key was newly inserted.
   bool insert(const K& key) {
-    if (slots_.empty() || (size_ + 1) * 4 > capacity() * 3) grow();
+    if (cap_ == 0 || (size_ + 1) * 4 > cap_ * 3) grow();
     const std::size_t idx = find_slot(key);
     Slot& s = slots_[idx];
     if (s.used) return false;
@@ -108,22 +277,51 @@ class FlatSet {
   }
 
   [[nodiscard]] bool contains(const K& key) const noexcept {
-    if (slots_.empty()) return false;
+    if (cap_ == 0) return false;
     return slots_[find_slot(key)].used;
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  /// Slot-array length (diagnostics; load factor is size/capacity).
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
 
-  void clear() {
-    slots_.clear();
+  /// Drop all entries and release the slot storage (to the pool when
+  /// pool-backed). Use reset() when the container will be refilled.
+  void clear() noexcept {
+    free_slots();
     size_ = 0;
+  }
+
+  /// Drop all entries but keep the slot array: a reused container
+  /// starts at its previous capacity instead of re-growing from 8.
+  void reset() noexcept {
+    for (std::size_t i = 0; i < cap_; ++i) slots_[i].used = false;
+    size_ = 0;
+  }
+
+  /// Ensure `n` entries fit without any further slot-array growth.
+  void reserve(std::size_t n) {
+    std::size_t cap = 8;
+    while (cap * 3 < n * 4) cap *= 2;  // inverse of the insert-time growth check
+    if (cap > cap_) rehash_to(cap);
   }
 
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const auto& s : slots_)
-      if (s.used) fn(s.key);
+    for (std::size_t i = 0; i < cap_; ++i)
+      if (slots_[i].used) fn(slots_[i].key);
+  }
+
+  /// Hint the key's home slot into cache ahead of a lookup/insert.
+  /// Read-only and never required for correctness; batch consumers
+  /// issue it a few records ahead to hide the probe's cache miss.
+  void prefetch(const K& key) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    if (cap_ != 0) __builtin_prefetch(&slots_[Hash{}(key) & (cap_ - 1)]);
+#else
+    (void)key;
+#endif
   }
 
  private:
@@ -132,29 +330,66 @@ class FlatSet {
     bool used = false;
   };
 
-  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
-
   [[nodiscard]] std::size_t find_slot(const K& key) const noexcept {
-    const std::size_t mask = slots_.size() - 1;
+    const std::size_t mask = cap_ - 1;
     std::size_t idx = Hash{}(key)&mask;
     while (slots_[idx].used && !(slots_[idx].key == key)) idx = (idx + 1) & mask;
     return idx;
   }
 
-  void grow() {
-    std::vector<Slot> old = std::move(slots_);
-    slots_.assign(old.empty() ? 8 : old.size() * 2, Slot{});
-    for (auto& s : old) {
-      if (!s.used) continue;
-      const std::size_t mask = slots_.size() - 1;
-      std::size_t idx = Hash{}(s.key) & mask;
-      while (slots_[idx].used) idx = (idx + 1) & mask;
-      slots_[idx] = s;
-    }
+  [[nodiscard]] Slot* alloc_raw(std::size_t n) {
+    void* p = pool_ ? pool_->acquire(n * sizeof(Slot)) : ::operator new(n * sizeof(Slot));
+    return static_cast<Slot*>(p);
   }
 
-  std::vector<Slot> slots_;
+  [[nodiscard]] Slot* alloc_slots(std::size_t n) {
+    Slot* s = alloc_raw(n);
+    for (std::size_t i = 0; i < n; ++i) new (s + i) Slot{};
+    return s;
+  }
+
+  void free_slots() noexcept {
+    if (!slots_) return;
+    if (pool_)
+      pool_->release(slots_, cap_ * sizeof(Slot));
+    else
+      ::operator delete(slots_);
+    slots_ = nullptr;
+    cap_ = 0;
+  }
+
+  void rehash_to(std::size_t new_cap) {
+    Slot* ns = alloc_slots(new_cap);
+    const std::size_t mask = new_cap - 1;
+    for (std::size_t i = 0; i < cap_; ++i) {
+      const Slot& s = slots_[i];
+      if (!s.used) continue;
+      std::size_t idx = Hash{}(s.key) & mask;
+      while (ns[idx].used) idx = (idx + 1) & mask;
+      ns[idx] = s;
+    }
+    free_slots();
+    slots_ = ns;
+    cap_ = new_cap;
+  }
+
+  void grow() { rehash_to(cap_ ? cap_ * 2 : 8); }
+
+  void destroy() noexcept { free_slots(); }
+  void steal(FlatSet& o) noexcept {
+    slots_ = o.slots_;
+    cap_ = o.cap_;
+    size_ = o.size_;
+    pool_ = o.pool_;
+    o.slots_ = nullptr;
+    o.cap_ = 0;
+    o.size_ = 0;
+  }
+
+  Slot* slots_ = nullptr;
+  std::size_t cap_ = 0;
   std::size_t size_ = 0;
+  SlabPool* pool_ = nullptr;
 };
 
 /// Avalanching hash for small integer keys (std::hash is identity for

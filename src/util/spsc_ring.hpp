@@ -58,6 +58,39 @@ class SpscRing {
     while (!try_push(std::move(v))) backoff(spins);
   }
 
+  /// Producer side: copy up to `n` elements from `v` into the ring,
+  /// publishing the whole run with a single tail release. Returns how
+  /// many were accepted (whatever fits; 0 when full). One release per
+  /// run instead of one per element is what makes batched feeding
+  /// cheaper than n try_push calls — same ordering, fewer fences.
+  [[nodiscard]] std::size_t try_push_n(const T* v, std::size_t n) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t room = capacity() - (tail - head_cache_);
+    if (room < n) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      room = capacity() - (tail - head_cache_);
+    }
+    const std::size_t take = n < room ? n : room;
+    for (std::size_t i = 0; i < take; ++i) slots_[(tail + i) & mask_] = v[i];
+    if (take > 0) tail_.store(tail + take, std::memory_order_release);
+    return take;
+  }
+
+  /// Producer side: block until all `n` elements are in. Publishes in
+  /// chunks as space frees up; each chunk is one tail release.
+  void push_n(const T* v, std::size_t n) {
+    std::size_t done = 0, spins = 0;
+    while (done < n) {
+      const std::size_t took = try_push_n(v + done, n - done);
+      if (took == 0) {
+        backoff(spins);
+        continue;
+      }
+      spins = 0;
+      done += took;
+    }
+  }
+
   /// Producer side: no more pushes will follow. Idempotent.
   void close() noexcept { closed_.store(true, std::memory_order_release); }
 

@@ -182,30 +182,6 @@ TEST_F(LogIoTest, RoundTripPreservesEveryField) {
   EXPECT_FALSE(reader.next().has_value());
 }
 
-TEST_F(LogIoTest, ReaderRejectsGarbage) {
-  const auto p = path("garbage.bin");
-  {
-    std::FILE* f = std::fopen(p.c_str(), "wb");
-    std::fputs("not a log", f);
-    std::fclose(f);
-  }
-  EXPECT_THROW(LogReader{p}, std::runtime_error);
-}
-
-TEST_F(LogIoTest, TruncatedRecordThrows) {
-  const auto p = path("trunc.bin");
-  {
-    LogWriter w(p);
-    w.write(rec(1));
-    w.write(rec(2));
-    w.close();
-  }
-  std::filesystem::resize_file(p, std::filesystem::file_size(p) - 5);
-  LogReader reader(p);
-  EXPECT_TRUE(reader.next().has_value());
-  EXPECT_THROW((void)reader.next(), std::runtime_error);
-}
-
 TEST_F(LogIoTest, ReaderIsARecordStream) {
   const auto p = path("stream.bin");
   {
@@ -216,6 +192,147 @@ TEST_F(LogIoTest, ReaderIsARecordStream) {
   LogReader reader(p);
   RecordStream& s = reader;
   EXPECT_EQ(drain(s).size(), 1u);
+}
+
+/// The open-time error message for a corrupt log must name the file —
+/// the operator locates data problems by path.
+template <typename Reader>
+std::string open_error(const std::string& p) {
+  try {
+    Reader reader(p);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return {};
+}
+
+/// Both readers enforce the same open-time contract: magic checked,
+/// header record count matched against the file size exactly, errors
+/// naming the path. The typed suite runs every case against each.
+template <typename Reader>
+class LogReaderContractTest : public LogIoTest {
+ protected:
+  /// A valid 3-record log at `name`.
+  std::string write_log(const char* name) {
+    const auto p = path(name);
+    LogWriter w(p);
+    for (TimeUs t : {10, 20, 30}) w.write(rec(t));
+    w.close();
+    return p;
+  }
+};
+
+using ReaderTypes = ::testing::Types<LogReader, MappedLogReader>;
+TYPED_TEST_SUITE(LogReaderContractTest, ReaderTypes);
+
+TYPED_TEST(LogReaderContractTest, RejectsBadMagic) {
+  const auto p = this->write_log("magic.bin");
+  {
+    std::FILE* f = std::fopen(p.c_str(), "r+b");
+    std::fputs("not a log", f);  // clobber the magic, keep the size
+    std::fclose(f);
+  }
+  const std::string msg = open_error<TypeParam>(p);
+  EXPECT_NE(msg.find("not a v6sonar log"), std::string::npos) << msg;
+  EXPECT_NE(msg.find(p), std::string::npos) << msg;
+}
+
+TYPED_TEST(LogReaderContractTest, RejectsTruncatedRecord) {
+  const auto p = this->write_log("trunc.bin");
+  std::filesystem::resize_file(p, std::filesystem::file_size(p) - 5);
+  const std::string msg = open_error<TypeParam>(p);
+  EXPECT_NE(msg.find("record"), std::string::npos) << msg;
+  EXPECT_NE(msg.find(p), std::string::npos) << msg;
+}
+
+TYPED_TEST(LogReaderContractTest, RejectsTruncatedHeader) {
+  const auto p = this->write_log("header.bin");
+  std::filesystem::resize_file(p, 7);  // not even a whole magic
+  const std::string msg = open_error<TypeParam>(p);
+  EXPECT_NE(msg.find("truncated header"), std::string::npos) << msg;
+  EXPECT_NE(msg.find(p), std::string::npos) << msg;
+}
+
+TYPED_TEST(LogReaderContractTest, RejectsCountMismatchingSize) {
+  const auto p = this->write_log("count.bin");
+  {
+    // Header claims one record more than the file holds.
+    std::FILE* f = std::fopen(p.c_str(), "r+b");
+    std::fseek(f, 8, SEEK_SET);
+    const std::uint8_t four[8] = {4, 0, 0, 0, 0, 0, 0, 0};
+    std::fwrite(four, 1, sizeof four, f);
+    std::fclose(f);
+  }
+  const std::string msg = open_error<TypeParam>(p);
+  EXPECT_NE(msg.find("claims 4 records"), std::string::npos) << msg;
+  EXPECT_NE(msg.find(p), std::string::npos) << msg;
+}
+
+TYPED_TEST(LogReaderContractTest, RejectsMissingFile) {
+  EXPECT_THROW(TypeParam{this->path("nonexistent.bin")}, std::runtime_error);
+}
+
+TYPED_TEST(LogReaderContractTest, BatchReadMatchesRecordAtATime) {
+  const auto p = this->write_log("batch.bin");
+  std::vector<LogRecord> one_by_one;
+  {
+    TypeParam r(p);
+    while (auto rr = r.next()) one_by_one.push_back(*rr);
+  }
+  ASSERT_EQ(one_by_one.size(), 3u);
+  for (std::size_t batch : {1u, 2u, 8u}) {
+    TypeParam r(p);
+    std::vector<LogRecord> got;
+    std::vector<LogRecord> buf(batch);
+    for (std::size_t n; (n = r.next_batch(buf.data(), batch)) > 0;)
+      got.insert(got.end(), buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(n));
+    EXPECT_EQ(got, one_by_one) << "batch size " << batch;
+    EXPECT_EQ(r.next_batch(buf.data(), batch), 0u);  // stays at end
+  }
+}
+
+TEST_F(LogIoTest, MappedReaderRoundTripAndRewind) {
+  const auto p = path("mmap.bin");
+  util::Xoshiro256 rng(7);
+  std::vector<LogRecord> original;
+  for (int i = 0; i < 257; ++i) {
+    LogRecord r = rec(static_cast<TimeUs>(i), rng());
+    r.src_asn = static_cast<std::uint32_t>(rng.below(1 << 30));
+    r.dst_in_dns = rng.chance(0.5);
+    original.push_back(r);
+  }
+  {
+    LogWriter w(p);
+    for (const auto& r : original) w.write(r);
+    w.close();
+  }
+  MappedLogReader reader(p);
+  EXPECT_EQ(reader.total_records(), original.size());
+  std::vector<LogRecord> got;
+  std::vector<LogRecord> buf(64);
+  for (std::size_t n; (n = reader.next_batch(buf.data(), buf.size())) > 0;)
+    got.insert(got.end(), buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(n));
+  EXPECT_EQ(got, original);
+  EXPECT_EQ(reader.position(), original.size());
+
+  reader.rewind();
+  EXPECT_EQ(reader.position(), 0u);
+  const auto first = reader.next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, original.front());
+}
+
+TEST_F(LogIoTest, MappedReaderHandlesEmptyLog) {
+  const auto p = path("empty.bin");
+  {
+    LogWriter w(p);
+    w.close();  // header only, zero records
+  }
+  MappedLogReader reader(p);
+  EXPECT_EQ(reader.total_records(), 0u);
+  EXPECT_FALSE(reader.next().has_value());
+  LogRecord buf;
+  EXPECT_EQ(reader.next_batch(&buf, 1), 0u);
 }
 
 }  // namespace

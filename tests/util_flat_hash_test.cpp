@@ -4,8 +4,10 @@
 
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "net/ipv6.hpp"
+#include "util/arena.hpp"
 #include "util/flat_hash.hpp"
 #include "util/rng.hpp"
 
@@ -55,6 +57,88 @@ TEST(FlatMap, OperatorBracketDefaultsAndAccumulates) {
   EXPECT_EQ(m.find(8), nullptr);
 }
 
+TEST(FlatMap, EraseBasics) {
+  FlatMap<std::uint32_t, std::uint64_t, IntHash> m;
+  EXPECT_FALSE(m.erase(1));  // empty map
+  m[1] = 10;
+  m[2] = 20;
+  EXPECT_TRUE(m.erase(1));
+  EXPECT_FALSE(m.erase(1));  // already gone
+  EXPECT_EQ(m.find(1), nullptr);
+  ASSERT_NE(m.find(2), nullptr);
+  EXPECT_EQ(*m.find(2), 20u);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+/// Backward-shift deletion must keep probe chains intact: keys that
+/// collided with (and probed past) the erased key stay findable.
+TEST(FlatMap, EraseKeepsCollidingChainReachable) {
+  // IntHash of equal values is equal, so force collisions with an
+  // identity-like functor: keys chosen within one small home bucket.
+  struct SameHome {
+    std::size_t operator()(std::uint32_t) const noexcept { return 3; }
+  };
+  FlatMap<std::uint32_t, std::uint64_t, SameHome> m;
+  for (std::uint32_t k = 0; k < 6; ++k) m[k] = k + 100;  // one long chain
+  EXPECT_TRUE(m.erase(0));  // head of the chain
+  for (std::uint32_t k = 1; k < 6; ++k) {
+    ASSERT_NE(m.find(k), nullptr) << k;
+    EXPECT_EQ(*m.find(k), k + 100u);
+  }
+  EXPECT_TRUE(m.erase(3));  // middle of the chain
+  for (std::uint32_t k : {1u, 2u, 4u, 5u}) {
+    ASSERT_NE(m.find(k), nullptr) << k;
+    EXPECT_EQ(*m.find(k), k + 100u);
+  }
+  EXPECT_EQ(m.size(), 4u);
+}
+
+/// Chains that wrap around the end of the slot array are the classic
+/// backward-shift bug; pin keys whose home slots sit at the top of the
+/// table so the probe sequence crosses index 0.
+TEST(FlatMap, EraseHandlesWraparoundChains) {
+  struct TopHome {
+    // Homes 6 and 7 in the initial 8-slot table, so a five-key chain
+    // occupies slots 6, 7, 0, 1, 2 — crossing the wrap point.
+    std::size_t operator()(std::uint32_t k) const noexcept { return 6 + (k & 1); }
+  };
+  FlatMap<std::uint32_t, std::uint64_t, TopHome> m;
+  for (std::uint32_t k = 0; k < 5; ++k) m[k] = k + 7;  // cap stays 8; chain wraps past slot 7
+  for (std::uint32_t victim = 0; victim < 5; ++victim) {
+    auto copy = m;
+    EXPECT_TRUE(copy.erase(victim));
+    EXPECT_EQ(copy.find(victim), nullptr);
+    for (std::uint32_t k = 0; k < 5; ++k) {
+      if (k == victim) continue;
+      ASSERT_NE(copy.find(k), nullptr) << "victim=" << victim << " k=" << k;
+      EXPECT_EQ(*copy.find(k), k + 7u);
+    }
+  }
+}
+
+/// Randomized interleaved insert/erase cross-checked against
+/// std::unordered_map (tombstone-free erase must agree under any
+/// interleaving).
+TEST(FlatMap, EraseAgreesWithStdUnderChurn) {
+  Xoshiro256 rng(77);
+  FlatMap<std::uint32_t, std::uint64_t, IntHash> flat;
+  std::unordered_map<std::uint32_t, std::uint64_t> ref;
+  for (int i = 0; i < 50'000; ++i) {
+    const auto k = static_cast<std::uint32_t>(rng.below(500));
+    if (rng.below(3) == 0) {
+      EXPECT_EQ(flat.erase(k), ref.erase(k) > 0) << "iter " << i;
+    } else {
+      ++flat[k];
+      ++ref[k];
+    }
+  }
+  EXPECT_EQ(flat.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    ASSERT_NE(flat.find(k), nullptr) << k;
+    EXPECT_EQ(*flat.find(k), v);
+  }
+}
+
 TEST(FlatMap, ForEachMatchesContents) {
   FlatMap<std::uint32_t, std::uint64_t, IntHash> m;
   for (std::uint32_t i = 0; i < 500; ++i) m[i] = i * 2;
@@ -64,6 +148,94 @@ TEST(FlatMap, ForEachMatchesContents) {
     ++n;
   });
   EXPECT_EQ(n, 500u);
+}
+
+TEST(FlatSet, ClearReleasesStorageResetKeepsIt) {
+  FlatSet<std::uint64_t, IntHash> s;
+  for (std::uint64_t i = 0; i < 1'000; ++i) s.insert(i);
+  const std::size_t grown = s.capacity();
+  ASSERT_GT(grown, 8u);
+
+  s.reset();  // empty, but the slot array survives
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.capacity(), grown);
+  for (std::uint64_t i = 0; i < 1'000; ++i) {
+    EXPECT_FALSE(s.contains(i));
+    EXPECT_TRUE(s.insert(i));
+  }
+  EXPECT_EQ(s.capacity(), grown);  // refill triggered no growth
+
+  s.clear();  // storage genuinely released
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.capacity(), 0u);
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_TRUE(s.insert(1));  // usable again from scratch
+}
+
+TEST(FlatMap, ReserveAvoidsGrowthDuringFill) {
+  FlatMap<std::uint32_t, std::uint64_t, IntHash> m;
+  m.reserve(1'000);
+  const std::size_t cap = m.capacity();
+  ASSERT_GT(cap, 0u);
+  for (std::uint32_t i = 0; i < 1'000; ++i) m[i] = i;
+  EXPECT_EQ(m.capacity(), cap);
+  EXPECT_EQ(m.size(), 1'000u);
+
+  m.reset();
+  EXPECT_EQ(m.find(5), nullptr);
+  m[5] = 7;
+  ASSERT_NE(m.find(5), nullptr);
+  EXPECT_EQ(*m.find(5), 7u);
+
+  m.clear();
+  EXPECT_EQ(m.capacity(), 0u);
+  m.reserve(10);  // small reserve still allocates the 8-slot floor
+  EXPECT_GE(m.capacity(), 8u);
+}
+
+TEST(FlatContainers, PoolRecyclesStorageAcrossLifetimes) {
+  SlabPool pool;
+  // First generation grows through several slot-array sizes...
+  {
+    FlatSet<std::uint64_t, IntHash> s(&pool);
+    for (std::uint64_t i = 0; i < 1'000; ++i) s.insert(i);
+  }
+  const auto fresh_after_first = pool.fresh_blocks();
+  EXPECT_GT(fresh_after_first, 0u);
+  // ...and every later same-shape generation runs entirely off the
+  // freelists: zero new allocator traffic.
+  for (int gen = 0; gen < 10; ++gen) {
+    FlatSet<std::uint64_t, IntHash> s(&pool);
+    for (std::uint64_t i = 0; i < 1'000; ++i) s.insert(i);
+    EXPECT_EQ(s.size(), 1'000u);
+  }
+  EXPECT_EQ(pool.fresh_blocks(), fresh_after_first);
+  EXPECT_GT(pool.recycled_blocks(), 0u);
+}
+
+TEST(FlatContainers, CopyAndMoveCarryContentsAndPool) {
+  SlabPool pool;
+  FlatMap<std::uint32_t, std::uint64_t, IntHash> a(&pool);
+  for (std::uint32_t i = 0; i < 100; ++i) a[i] = i * 3;
+
+  FlatMap<std::uint32_t, std::uint64_t, IntHash> b(a);  // copy
+  a.clear();
+  EXPECT_EQ(b.size(), 100u);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    ASSERT_NE(b.find(i), nullptr);
+    EXPECT_EQ(*b.find(i), i * 3u);
+  }
+
+  FlatMap<std::uint32_t, std::uint64_t, IntHash> c(std::move(b));  // move
+  EXPECT_EQ(c.size(), 100u);
+  EXPECT_EQ(b.size(), 0u);  // NOLINT(bugprone-use-after-move): defined empty
+  auto& self = c;
+  c = self;  // self-assignment is a no-op
+  EXPECT_EQ(c.size(), 100u);
+
+  FlatMap<std::uint32_t, std::uint64_t, IntHash> d;
+  d = c;  // copy-assign across pool/no-pool
+  EXPECT_EQ(d.size(), 100u);
 }
 
 // Property: FlatSet agrees with std::unordered_set on random streams

@@ -65,6 +65,64 @@ TEST(SpscRing, MoveOnlyPayload) {
   EXPECT_EQ(**out, 42);
 }
 
+TEST(SpscRing, TryPushNTakesWhatFits) {
+  SpscRing<int> ring(8);
+  std::vector<int> run(12);
+  std::iota(run.begin(), run.end(), 0);
+  // Only 8 slots: a 12-element run is accepted partially, in order.
+  EXPECT_EQ(ring.try_push_n(run.data(), run.size()), 8u);
+  EXPECT_EQ(ring.try_push_n(run.data() + 8, 4), 0u);  // full
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(ring.try_pop(), i);
+  EXPECT_EQ(ring.try_push_n(run.data() + 8, 4), 3u);  // fills the gap
+  for (int want = 3; want < 11; ++want) EXPECT_EQ(ring.try_pop(), want);
+  EXPECT_FALSE(ring.try_pop().has_value());
+}
+
+TEST(SpscRing, PushNAcrossWraparound) {
+  SpscRing<int> ring(8);
+  int next_in = 0, next_out = 0;
+  // Runs of 5 through an 8-slot ring cycle the indices past capacity.
+  for (int round = 0; round < 100; ++round) {
+    std::vector<int> run(5);
+    std::iota(run.begin(), run.end(), next_in);
+    next_in += 5;
+    ring.push_n(run.data(), run.size());
+    for (int i = 0; i < 5; ++i) ASSERT_EQ(ring.try_pop(), next_out++);
+  }
+  EXPECT_EQ(next_out, 500);
+}
+
+TEST(SpscRing, PushNBlocksUntilAllDelivered) {
+  // Batched variant of the pipeline hand-off: runs much larger than
+  // the ring must block and drip through in chunks without loss,
+  // duplication, or reordering.
+  constexpr int kCount = 200'000;
+  constexpr int kRun = 1'000;  // 15x the ring capacity
+  SpscRing<int> ring(64);
+  std::uint64_t sum = 0;
+  int received = 0;
+  bool ordered = true;
+  std::thread consumer([&] {
+    int last = -1;
+    while (auto v = ring.pop()) {
+      ordered &= *v == last + 1;
+      last = *v;
+      sum += static_cast<std::uint64_t>(*v);
+      ++received;
+    }
+  });
+  std::vector<int> run(kRun);
+  for (int base = 0; base < kCount; base += kRun) {
+    std::iota(run.begin(), run.end(), base);
+    ring.push_n(run.data(), run.size());
+  }
+  ring.close();
+  consumer.join();
+  EXPECT_EQ(received, kCount);
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(sum, static_cast<std::uint64_t>(kCount) * (kCount - 1) / 2);
+}
+
 TEST(SpscRing, BlockingHandOffAcrossThreads) {
   // The pipeline's actual pattern: one producer pushing a long
   // sequence through a small ring, one consumer draining it. push()

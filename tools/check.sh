@@ -1,31 +1,47 @@
 #!/usr/bin/env bash
-# Sanitized check of the threaded pipeline.
+# Sanitized check of the threaded pipeline and the batched data plane.
 #
-#   tools/check.sh [thread|address]    (default: thread)
+#   tools/check.sh [thread|address|all]    (default: thread)
 #
 # Configures a separate build tree (build-tsan/ or build-asan/) with
-# -DV6SONAR_SANITIZE=<kind>, builds the concurrency-sensitive targets,
-# and runs the SPSC-ring and parallel-pipeline test binaries under the
-# sanitizer. Exits non-zero on any sanitizer report or test failure.
+# -DV6SONAR_SANITIZE=<kind>, builds the relevant test binaries, and
+# runs them under the sanitizer. `thread` covers the concurrency-
+# sensitive targets (SPSC ring, parallel pipeline, batch feed);
+# `address` additionally covers the mmap log reader and the arena-
+# backed flat containers, whose bugs are memory bugs rather than
+# races. `all` runs both configs. Exits non-zero on any sanitizer
+# report or test failure.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 kind="${1:-thread}"
 case "$kind" in
-  thread)  tree=build-tsan ;;
-  address) tree=build-asan ;;
-  *) echo "usage: tools/check.sh [thread|address]" >&2; exit 2 ;;
+  thread|address) ;;
+  all) "$0" thread && exec "$0" address ;;
+  *) echo "usage: tools/check.sh [thread|address|all]" >&2; exit 2 ;;
+esac
+
+case "$kind" in
+  thread)
+    tree=build-tsan
+    targets=(util_spsc_ring_test core_parallel_pipeline_test core_batch_feed_test)
+    ;;
+  address)
+    tree=build-asan
+    targets=(util_spsc_ring_test core_parallel_pipeline_test core_batch_feed_test
+             sim_test util_flat_hash_test)
+    ;;
 esac
 
 cmake -B "$tree" -S . -DV6SONAR_SANITIZE="$kind" > /dev/null
-cmake --build "$tree" -j"$(nproc)" \
-  --target util_spsc_ring_test core_parallel_pipeline_test
+cmake --build "$tree" -j"$(nproc)" --target "${targets[@]}"
 
-# halt_on_error makes a single race fail the run instead of scrolling by.
+# halt_on_error makes a single report fail the run instead of scrolling by.
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
-export ASAN_OPTIONS="halt_on_error=1"
+export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1"
 
-"$tree/tests/util_spsc_ring_test"
-"$tree/tests/core_parallel_pipeline_test"
+for t in "${targets[@]}"; do
+  "$tree/tests/$t"
+done
 
-echo "check.sh: $kind-sanitized pipeline tests passed"
+echo "check.sh: $kind-sanitized tests passed (${targets[*]})"

@@ -15,11 +15,15 @@
 //
 // Options for detect/fh: --agg <len>  --min-dsts <n>  --timeout <sec>  --top <n>
 // detect additionally accepts --threads <n> to run the sharded
-// parallel pipeline (identical output to the serial detector).
+// parallel pipeline (identical output to the serial detector) and
+// --mmap to stream a .v6slog through the zero-copy mapped reader in
+// batches instead of materialising every record up front.
 
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -47,6 +51,7 @@ struct Options {
   std::int64_t timeout_sec = 3'600;
   std::size_t top = 20;
   int threads = 1;
+  bool mmap = false;
 };
 
 [[noreturn]] void usage() {
@@ -69,7 +74,9 @@ struct Options {
       "  --timeout <sec>   scan inter-packet timeout, detect only (default 3600)\n"
       "  --top <n>         rows to print (default 20)\n"
       "  --threads <n>     detection worker threads, detect only (default 1);\n"
-      "                    output is identical to the serial detector\n",
+      "                    output is identical to the serial detector\n"
+      "  --mmap            detect only: stream a .v6slog via the zero-copy mapped\n"
+      "                    reader in batches instead of loading it into memory\n",
       stderr);
   std::exit(2);
 }
@@ -117,6 +124,8 @@ Options parse_options(int argc, char** argv, int first) {
       o.top = static_cast<std::size_t>(std::atoi(need_value("--top")));
     else if (std::strcmp(argv[i], "--threads") == 0)
       o.threads = std::atoi(need_value("--threads"));
+    else if (std::strcmp(argv[i], "--mmap") == 0)
+      o.mmap = true;
     else {
       std::fprintf(stderr, "error: unknown option %s\n", argv[i]);
       std::exit(2);
@@ -145,19 +154,32 @@ int cmd_info(const std::string& path) {
 }
 
 int cmd_detect(const std::string& path, const Options& o) {
-  const auto records = load_records(path);
   const core::DetectorConfig cfg{.source_prefix_len = o.agg,
                                  .min_destinations = o.min_dsts,
                                  .timeout_us = o.timeout_sec * 1'000'000};
   std::vector<core::ScanEvent> events;
   const auto sink = [&](core::ScanEvent&& ev) { events.push_back(std::move(ev)); };
+
+  // With --mmap the log never gets materialised: batches are decoded
+  // straight out of the mapping into the batch feed.
+  const auto run = [&](auto&& feed_all) {
+    if (o.mmap) {
+      sim::MappedLogReader reader(path);
+      std::array<sim::LogRecord, 4'096> batch;
+      for (std::size_t n; (n = reader.next_batch(batch.data(), batch.size())) > 0;)
+        feed_all(std::span<const sim::LogRecord>{batch.data(), n});
+    } else {
+      const auto records = load_records(path);
+      feed_all(std::span<const sim::LogRecord>{records});
+    }
+  };
   if (o.threads > 1) {
     core::ParallelScanPipeline pipeline(cfg, {.threads = o.threads}, sink);
-    for (const auto& r : records) pipeline.feed(r);
+    run([&](std::span<const sim::LogRecord> batch) { pipeline.feed_batch(batch); });
     pipeline.flush();
   } else {
     core::ScanDetector detector(cfg, sink);
-    for (const auto& r : records) detector.feed(r);
+    run([&](std::span<const sim::LogRecord> batch) { detector.feed_batch(batch); });
     detector.flush();
   }
 
