@@ -22,6 +22,7 @@
 #include "core/detector.hpp"
 #include "net/trie.hpp"
 #include "sim/log_io.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/timebase.hpp"
 
@@ -274,13 +275,41 @@ void print_replay_comparison() {
               mmap_events == seed_events ? "" : "  EVENT MISMATCH");
   std::printf("\n");
 
-  char json[320];
+  // One extra instrumented pass (metrics stay off during the timed
+  // ones): did the replay actually ride the grouped batch path, and
+  // why did any batch fall back? The answer rides in the JSON row so
+  // a throughput regression can be read next to its routing cause.
+  util::metrics::reset();
+  util::metrics::enable(true);
+  {
+    core::ScanDetector det({.source_prefix_len = 64}, [](core::ScanEvent&&) {});
+    sim::MappedLogReader reader(path);
+    std::vector<sim::LogRecord> buf(kBatch);
+    for (std::size_t n; (n = reader.next_batch(buf.data(), buf.size())) > 0;)
+      det.feed_batch({buf.data(), n});
+    det.flush();
+  }
+  util::metrics::enable(false);
+  const auto snap = util::metrics::snapshot();
+  const auto grouped = snap.counter("detector.batch.grouped.records").value_or(0);
+  const auto serial = snap.counter("detector.batch.serial.records").value_or(0);
+  const auto fallbacks = snap.counter_sum("detector.batch.fallback.");
+  std::printf("  grouped-path records %llu, serial-fallback records %llu (%llu fallback batches)\n\n",
+              static_cast<unsigned long long>(grouped),
+              static_cast<unsigned long long>(serial),
+              static_cast<unsigned long long>(fallbacks));
+
+  char json[512];
   std::snprintf(json, sizeof json,
                 "{\"records\": %zu, \"seed_rps\": %.0f, \"next_rps\": %.0f, "
                 "\"stdio_batch_rps\": %.0f, \"mmap_batch_rps\": %.0f, "
-                "\"mmap_speedup_vs_seed\": %.2f, \"mmap_speedup_vs_next\": %.2f}",
+                "\"mmap_speedup_vs_seed\": %.2f, \"mmap_speedup_vs_next\": %.2f, "
+                "\"grouped_records\": %llu, \"serial_fallback_records\": %llu, "
+                "\"fallback_batches\": %llu}",
                 kRecords, rps(seed_s), rps(base_s), rps(stdio_s), rps(mmap_s), seed_s / mmap_s,
-                base_s / mmap_s);
+                base_s / mmap_s, static_cast<unsigned long long>(grouped),
+                static_cast<unsigned long long>(serial),
+                static_cast<unsigned long long>(fallbacks));
   benchx::update_bench_json("BENCH_pipeline.json", "replay", json);
 }
 

@@ -16,6 +16,7 @@
 #include "common.hpp"
 #include "core/detector.hpp"
 #include "core/parallel_pipeline.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/timebase.hpp"
 
@@ -108,8 +109,29 @@ void print_speedup_table() {
       json << key;
     }
   }
+  // One extra instrumented 8-thread batched pass (metrics stay off
+  // during the timed ones): ring occupancy and producer-stall context
+  // for the speedup rows — a scaling regression with a saturated
+  // in-ring high-water reads very differently from one without.
+  util::metrics::reset();
+  util::metrics::enable(true);
+  run_parallel(traffic, 8, kBatch);
+  util::metrics::enable(false);
+  const auto snap = util::metrics::snapshot();
+  const std::uint64_t in_hw = snap.gauge_max_of("pipeline.shard");
+  const std::uint64_t blocked = snap.counter("pipeline.in_ring.producer_blocked").value_or(0);
+  const std::uint64_t parks = snap.counter("pipeline.in_ring.producer_parks").value_or(0);
+  const std::uint64_t merger_hw = snap.gauge("pipeline.merger.queue_depth_hw").value_or(0);
+  std::printf("  8t batched telemetry: ring occupancy hw %llu, producer blocked %llu, "
+              "parks %llu, merger depth hw %llu\n\n",
+              static_cast<unsigned long long>(in_hw),
+              static_cast<unsigned long long>(blocked),
+              static_cast<unsigned long long>(parks),
+              static_cast<unsigned long long>(merger_hw));
+  json << ", \"ring_occupancy_hw_8t\": " << in_hw << ", \"producer_blocked_8t\": " << blocked
+       << ", \"producer_parks_8t\": " << parks << ", \"merger_depth_hw_8t\": " << merger_hw;
+
   json << "}";
-  std::printf("\n");
   benchx::update_bench_json("BENCH_pipeline.json", "parallel_pipeline", json.str());
 }
 

@@ -2,7 +2,33 @@
 
 #include <stdexcept>
 
+#include "util/metrics.hpp"
+
 namespace v6sonar::core {
+
+namespace {
+
+/// Per-day filter telemetry (names in docs/OBSERVABILITY.md). Recorded
+/// once per closed day — never on the per-record path.
+struct FilterMetrics {
+  util::metrics::Counter days_closed{"filter.days_closed"};
+  util::metrics::Counter packets_in{"filter.packets_in"};
+  util::metrics::Counter packets_dropped{"filter.packets_dropped"};
+  util::metrics::Counter duplicate_packets{"filter.duplicate_packets"};
+  util::metrics::Counter sources_seen{"filter.sources_seen"};
+  util::metrics::Counter sources_dropped{"filter.sources_dropped"};
+  /// Distribution of per-source daily duplicate fractions, in percent
+  /// (log2 bins: 0, 1, 2-3, 4-7, ... — enough to see how close the
+  /// population sits to the 30% drop line).
+  util::metrics::Histogram source_dup_pct{"filter.source_duplicate_pct"};
+};
+
+FilterMetrics& fm() {
+  static FilterMetrics m;
+  return m;
+}
+
+}  // namespace
 
 ArtifactFilter::ArtifactFilter(const ArtifactFilterConfig& config, RecordSink out,
                                StatsSink stats)
@@ -56,6 +82,8 @@ void ArtifactFilter::close_day() {
   stats.sources_seen = sources_.size();
 
   // Decide which sources to drop today.
+  const bool counting = util::metrics::enabled();
+  std::uint64_t duplicate_packets = 0;
   std::unordered_map<net::Ipv6Prefix, bool> dropped;
   dropped.reserve(sources_.size());
   for (const auto& [src, sd] : sources_) {
@@ -63,6 +91,10 @@ void ArtifactFilter::close_day() {
                       config_.max_duplicate_fraction * static_cast<double>(sd.packets);
     dropped.emplace(src, drop);
     stats.sources_dropped += drop;
+    if (counting) {
+      duplicate_packets += sd.duplicates;
+      fm().source_dup_pct.observe(sd.packets ? 100 * sd.duplicates / sd.packets : 0);
+    }
   }
 
   for (const auto& r : buffer_) {
@@ -75,6 +107,14 @@ void ArtifactFilter::close_day() {
   }
   buffer_.clear();
   sources_.clear();
+  if (counting) {
+    fm().days_closed.add();
+    fm().packets_in.add(stats.packets_in);
+    fm().packets_dropped.add(stats.packets_dropped);
+    fm().duplicate_packets.add(duplicate_packets);
+    fm().sources_seen.add(stats.sources_seen);
+    fm().sources_dropped.add(stats.sources_dropped);
+  }
   if (stats_) stats_(stats);
 }
 

@@ -8,9 +8,42 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/metrics.hpp"
 #include "util/timebase.hpp"
 
 namespace v6sonar::core {
+
+namespace {
+
+/// Lazily-registered handles for the detector's fast-path telemetry
+/// (docs/OBSERVABILITY.md documents each name). One guard check per
+/// dm() call; all record calls are gated on metrics::enabled().
+struct DetectorMetrics {
+  util::metrics::Counter batch_calls{"detector.batch.calls"};
+  util::metrics::Counter batch_records{"detector.batch.records"};
+  util::metrics::Counter grouped_batches{"detector.batch.grouped.batches"};
+  util::metrics::Counter grouped_records{"detector.batch.grouped.records"};
+  util::metrics::Counter grouped_runs{"detector.batch.grouped.runs"};
+  util::metrics::Counter serial_records{"detector.batch.serial.records"};
+  // Guard-failure breakdown: why a batch fell back to the serial loop.
+  util::metrics::Counter fb_small{"detector.batch.fallback.small_batch"};
+  util::metrics::Counter fb_expiry{"detector.batch.fallback.expiry_due"};
+  util::metrics::Counter fb_span{"detector.batch.fallback.span_exceeds_timeout"};
+  util::metrics::Counter fb_behind{"detector.batch.fallback.starts_before_last"};
+  util::metrics::Counter fb_unsorted{"detector.batch.fallback.unsorted"};
+  util::metrics::Counter expiry_pops{"detector.expiry.pops"};
+  util::metrics::Counter expiry_stale{"detector.expiry.stale_requeues"};
+  util::metrics::Counter expiry_dead{"detector.expiry.dead_keys"};
+  util::metrics::Counter expiry_finalized{"detector.expiry.finalized"};
+  util::metrics::Counter events_emitted{"detector.events.emitted"};
+};
+
+DetectorMetrics& dm() {
+  static DetectorMetrics m;
+  return m;
+}
+
+}  // namespace
 
 ScanDetector::ScanDetector(const DetectorConfig& config, EventSink sink)
     : config_(config), sink_(std::move(sink)) {
@@ -81,7 +114,16 @@ void ScanDetector::feed(const sim::LogRecord& r) {
 
 void ScanDetector::feed_batch(std::span<const sim::LogRecord> batch) {
   const std::size_t n = batch.size();
+  const bool counting = util::metrics::enabled();
+  if (counting) {
+    dm().batch_calls.add();
+    dm().batch_records.add(n);
+  }
   if (n < 2) {
+    if (counting) {
+      dm().fb_small.add();
+      dm().serial_records.add(n);
+    }
     feed_serial(batch);
     return;
   }
@@ -116,9 +158,31 @@ void ScanDetector::feed_batch(std::span<const sim::LogRecord> batch) {
   // scratch, so bailing out to the serial path mid-pass is safe — the
   // serial path then throws exactly where feed() would).
   const sim::TimeUs last = batch[n - 1].ts_us;
-  const bool quiet = (expiries_.empty() || expiries_.top().at >= last) &&
-                     last - batch[0].ts_us <= config_.timeout_us;
-  if (!quiet || batch[0].ts_us < last_ts_ || !feed_grouped(batch)) feed_serial(batch);
+  const bool expiry_due = !expiries_.empty() && expiries_.top().at < last;
+  const bool spans_timeout = last - batch[0].ts_us > config_.timeout_us;
+  const bool starts_behind = batch[0].ts_us < last_ts_;
+  if (!expiry_due && !spans_timeout && !starts_behind && feed_grouped(batch)) {
+    if (counting) {
+      dm().grouped_batches.add();
+      dm().grouped_records.add(n);
+      dm().grouped_runs.add(runs_.size());
+    }
+    return;
+  }
+  if (counting) {
+    // One reason per fallback, in guard order (the first failing guard
+    // is the one that decided).
+    if (expiry_due)
+      dm().fb_expiry.add();
+    else if (spans_timeout)
+      dm().fb_span.add();
+    else if (starts_behind)
+      dm().fb_behind.add();
+    else
+      dm().fb_unsorted.add();
+    dm().serial_records.add(n);
+  }
+  feed_serial(batch);
 }
 
 void ScanDetector::feed_serial(std::span<const sim::LogRecord> batch) {
@@ -304,6 +368,7 @@ void ScanDetector::finalize(const net::Ipv6Prefix& key, SourceState& st) {
     ev.weekly_packets.emplace_back(static_cast<std::int32_t>(week), n);
   });
   std::sort(ev.weekly_packets.begin(), ev.weekly_packets.end());
+  dm().events_emitted.add();
   sink_(std::move(ev));
 }
 
@@ -314,14 +379,22 @@ void ScanDetector::advance(sim::TimeUs now) {
 }
 
 void ScanDetector::expire_up_to(sim::TimeUs now) {
+  // Local tallies, flushed once after the sweep: expire_up_to() runs
+  // per record and usually pops nothing — the common case must stay a
+  // heap-top compare, not four metric calls.
+  std::uint64_t pops = 0, stale = 0, dead = 0, finalized = 0;
   // Strictly-less throughout: an entry due exactly now must neither be
   // finalized (its gap equals the timeout, which feed() keeps) nor
   // re-pushed-and-repopped at the same `at` (livelock).
   while (!expiries_.empty() && expiries_.top().at < now) {
     const Expiry e = expiries_.top();
     expiries_.pop();
+    ++pops;
     SourceState* const* p = states_.find(e.key);
-    if (p == nullptr) continue;
+    if (p == nullptr) {
+      ++dead;
+      continue;
+    }
     SourceState* st = *p;
     const sim::TimeUs due = st->last_us + config_.timeout_us;
     if (due != e.at) {
@@ -331,14 +404,22 @@ void ScanDetector::expire_up_to(sim::TimeUs now) {
       // re-queue at the true due time instead; if that is still < now
       // the entry pops again later in this very sweep, in order.
       expiries_.push(Expiry{due, e.key});
+      ++stale;
       continue;
     }
     // Fresh entry with at == due < now: the gap strictly exceeds the
     // timeout (a gap of exactly the timeout still belongs to the same
     // event; feed() uses the matching strict > to split).
     finalize(e.key, *st);
+    ++finalized;
     delete_state(st);
     states_.erase(e.key);
+  }
+  if (pops && util::metrics::enabled()) {
+    dm().expiry_pops.add(pops);
+    dm().expiry_stale.add(stale);
+    dm().expiry_dead.add(dead);
+    dm().expiry_finalized.add(finalized);
   }
 }
 

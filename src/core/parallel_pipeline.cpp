@@ -39,10 +39,25 @@
 #include <thread>
 #include <utility>
 
+#include "util/metrics.hpp"
 #include "util/spsc_ring.hpp"
 
 namespace v6sonar::core {
 namespace {
+
+/// Shared pipeline telemetry (names in docs/OBSERVABILITY.md). The
+/// feeder-side counters live here; per-shard ring stats are collected
+/// in SpscRingStats and folded into named metrics once, at flush.
+struct PipelineMetrics {
+  util::metrics::Counter feed_records{"pipeline.feed.records"};
+  util::metrics::Counter ticks{"pipeline.ticks"};
+  util::metrics::Counter barriers{"pipeline.barriers"};
+};
+
+PipelineMetrics& pm() {
+  static PipelineMetrics m;
+  return m;
+}
 
 /// One parcel on a feeder->worker ring: a record, or (tick=true) a
 /// bare clock advance whose time rides in rec.ts_us.
@@ -63,10 +78,15 @@ struct OutItem {
 /// shard emits from now on finalizes at or after it — and jumps to
 /// INT64_MAX when the shard's stream phase is over for good.
 struct Shard {
-  Shard(std::size_t in_cap, std::size_t out_cap) : in(in_cap), out(out_cap) {}
+  Shard(std::size_t in_cap, std::size_t out_cap) : in(in_cap), out(out_cap) {
+    in.set_stats(&in_stats);
+    out.set_stats(&out_stats);
+  }
 
   util::SpscRing<InItem> in;
   util::SpscRing<OutItem> out;
+  util::SpscRingStats in_stats;
+  util::SpscRingStats out_stats;
   alignas(64) std::atomic<sim::TimeUs> watermark{INT64_MIN};
   std::thread thread;
   std::exception_ptr error;
@@ -118,13 +138,15 @@ class EventMerger {
   EventMerger(ShardList& shards, std::size_t levels, sim::TimeUs timeout_us,
               std::function<void(std::size_t, ScanEvent&&)> emit,
               util::SpscRing<sim::TimeUs>* barriers = nullptr,
-              std::function<void(sim::TimeUs)> on_barrier = {})
+              std::function<void(sim::TimeUs)> on_barrier = {},
+              const char* metric_prefix = "pipeline")
       : shards_(shards),
         levels_(levels),
         timeout_us_(timeout_us),
         emit_(std::move(emit)),
         barriers_(barriers),
-        on_barrier_(std::move(on_barrier)) {
+        on_barrier_(std::move(on_barrier)),
+        metric_prefix_(metric_prefix) {
     bufs_.resize(shards_.size() * levels_);
     wm_.assign(shards_.size(), INT64_MIN);
     drained_.assign(shards_.size(), false);
@@ -134,7 +156,17 @@ class EventMerger {
     std::size_t idle = 0;
     for (;;) {
       const bool progress = step();
-      if (finished()) return;
+      if (finished()) {
+        // Cold path: one registration + store per run. How many events
+        // the merger had to hold back waiting on slower shards.
+        namespace m = util::metrics;
+        if (m::enabled())
+          m::gauge_max(
+              m::register_metric(std::string(metric_prefix_) + ".merger.queue_depth_hw",
+                                 m::Kind::kGauge),
+              buffered_hw_);
+        return;
+      }
       if (progress) {
         idle = 0;
       } else if (++idle < 256) {
@@ -163,9 +195,13 @@ class EventMerger {
       // stale watermark only delays a release, a fresh one paired
       // with an undrained ring could release out of order.
       wm_[s] = shards_[s]->watermark.load(std::memory_order_acquire);
-      while (auto it = shards_[s]->out.try_pop()) buf(s, it->level).push_back(std::move(*it));
+      while (auto it = shards_[s]->out.try_pop()) {
+        buf(s, it->level).push_back(std::move(*it));
+        ++buffered_;
+      }
       if (shards_[s]->out.drained()) drained_[s] = true;
     }
+    if (buffered_ > buffered_hw_) buffered_hw_ = buffered_;
   }
 
   /// Floor on the finalization time of any event not yet buffered
@@ -223,6 +259,7 @@ class EventMerger {
       if (due(head) < floor && due(head) < gate) {
         emit_(l, std::move(head.ev));
         buf(best, l).pop_front();
+        --buffered_;
         return true;
       }
       return false;
@@ -242,6 +279,7 @@ class EventMerger {
     if (fbest == SIZE_MAX) return false;
     emit_(l, std::move(buf(fbest, l).front().ev));
     buf(fbest, l).pop_front();
+    --buffered_;
     return true;
   }
 
@@ -265,11 +303,14 @@ class EventMerger {
   std::function<void(std::size_t, ScanEvent&&)> emit_;
   util::SpscRing<sim::TimeUs>* barriers_;
   std::function<void(sim::TimeUs)> on_barrier_;
+  const char* metric_prefix_;
 
   std::vector<std::deque<OutItem>> bufs_;
   std::vector<sim::TimeUs> wm_;
   std::vector<bool> drained_;
   std::optional<sim::TimeUs> pending_;
+  std::uint64_t buffered_ = 0;     ///< events currently held back
+  std::uint64_t buffered_hw_ = 0;  ///< high-water of buffered_
 };
 
 /// Feeder-side state shared by both pipelines: order validation,
@@ -315,12 +356,15 @@ struct Feeder {
 
   /// Push every shard's staged run, one producer release per run.
   void publish(ShardList& shards) {
+    std::uint64_t published = 0;
     for (std::size_t s = 0; s < staged.size(); ++s) {
       auto& run = staged[s];
       if (run.empty()) continue;
       shards[s]->in.push_n(run.data(), run.size());
+      published += run.size();
       run.clear();
     }
+    pm().feed_records.add(published);
   }
 
   void route(ShardList& shards, const sim::LogRecord& r, const char* who) {
@@ -334,6 +378,7 @@ struct Feeder {
   }
 
   static void broadcast_tick(ShardList& shards, sim::TimeUs t) {
+    pm().ticks.add();
     InItem item;
     item.rec.ts_us = t;
     item.tick = true;
@@ -346,6 +391,43 @@ void join_all(ShardList& shards, std::thread& merger) {
   for (auto& sp : shards)
     if (sp->thread.joinable()) sp->thread.join();
   if (merger.joinable()) merger.join();
+}
+
+/// Fold the per-shard ring stats into named metrics. Called once at
+/// flush, after the workers have joined, so every load is quiescent.
+/// Registers the per-shard gauge names lazily — the shard count is a
+/// runtime choice, so the names cannot be static handles.
+void report_ring_stats(const ShardList& shards, const char* prefix) {
+  namespace m = util::metrics;
+  if (!m::enabled()) return;
+  std::uint64_t in_blocked = 0, in_parks = 0, out_blocked = 0, out_parks = 0;
+  std::uint64_t in_consumer_parks = 0, out_consumer_parks = 0;
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    const util::SpscRingStats& in = shards[s]->in_stats;
+    const util::SpscRingStats& out = shards[s]->out_stats;
+    std::string base = prefix;
+    base += ".shard";
+    base += std::to_string(s);
+    m::gauge_max(m::register_metric(base + ".in_ring.occupancy_hw", m::Kind::kGauge),
+                 in.occupancy_hw.load(std::memory_order_relaxed));
+    m::gauge_max(m::register_metric(base + ".out_ring.occupancy_hw", m::Kind::kGauge),
+                 out.occupancy_hw.load(std::memory_order_relaxed));
+    in_blocked += in.producer_blocked.load(std::memory_order_relaxed);
+    in_parks += in.producer_parks.load(std::memory_order_relaxed);
+    in_consumer_parks += in.consumer_parks.load(std::memory_order_relaxed);
+    out_blocked += out.producer_blocked.load(std::memory_order_relaxed);
+    out_parks += out.producer_parks.load(std::memory_order_relaxed);
+    out_consumer_parks += out.consumer_parks.load(std::memory_order_relaxed);
+  }
+  const std::string p = prefix;
+  m::add(m::register_metric(p + ".in_ring.producer_blocked", m::Kind::kCounter), in_blocked);
+  m::add(m::register_metric(p + ".in_ring.producer_parks", m::Kind::kCounter), in_parks);
+  m::add(m::register_metric(p + ".in_ring.consumer_parks", m::Kind::kCounter),
+         in_consumer_parks);
+  m::add(m::register_metric(p + ".out_ring.producer_blocked", m::Kind::kCounter), out_blocked);
+  m::add(m::register_metric(p + ".out_ring.producer_parks", m::Kind::kCounter), out_parks);
+  m::add(m::register_metric(p + ".out_ring.consumer_parks", m::Kind::kCounter),
+         out_consumer_parks);
 }
 
 void rethrow_first(const ShardList& shards, const std::exception_ptr& merger_error) {
@@ -476,6 +558,7 @@ struct ParallelScanPipeline::Impl {
     merged_stats.reserve(by_day.size());
     for (auto& [day, s] : by_day) merged_stats.push_back(std::move(s));
 
+    report_ring_stats(shards, "pipeline");
     rethrow_first(shards, merger_error);
   }
 };
@@ -579,7 +662,8 @@ struct ParallelIds::Impl {
             barriers.get(),
             [this](sim::TimeUs t) {
               tracker.update(attribute_adaptive(events, cfg.adaptive), t, sink);
-            });
+            },
+            "ids.pipeline");
         merger.run();
         // The final pass the serial front end runs from flush().
         tracker.update(attribute_adaptive(events, cfg.adaptive),
@@ -636,6 +720,7 @@ struct ParallelIds::Impl {
       feeder.publish(shards);
       Feeder::broadcast_tick(shards, r.ts_us);
       barriers->push(sim::TimeUs{r.ts_us});
+      pm().barriers.add();
       next_pass = r.ts_us + cfg.reattribution_period_us;
     }
   }
@@ -658,6 +743,7 @@ struct ParallelIds::Impl {
     feeder.publish(shards);  // nothing stays staged past a flush
     final_now.store(next_pass, std::memory_order_release);
     join_all(shards, merger_thread);
+    report_ring_stats(shards, "ids.pipeline");
     rethrow_first(shards, merger_error);
   }
 };

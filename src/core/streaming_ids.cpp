@@ -3,7 +3,29 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/metrics.hpp"
+
 namespace v6sonar::core {
+
+namespace {
+
+/// IDS telemetry (names in docs/OBSERVABILITY.md). AlertTracker is the
+/// state machine both the serial and the sharded front ends funnel
+/// through, so counting here covers StreamingIds and ParallelIds alike.
+struct IdsMetrics {
+  util::metrics::Counter passes{"ids.reattribution.passes"};
+  util::metrics::Counter alerts{"ids.alerts.total"};
+  util::metrics::Counter alerts_new{"ids.alerts.new"};
+  util::metrics::Counter alerts_escalated{"ids.alerts.escalated"};
+  util::metrics::Gauge blocklist_size{"ids.blocklist.size_hw"};
+};
+
+IdsMetrics& im() {
+  static IdsMetrics m;
+  return m;
+}
+
+}  // namespace
 
 ScanEvent slim_scan_event(const ScanEvent& ev) {
   ScanEvent slim;
@@ -18,7 +40,9 @@ ScanEvent slim_scan_event(const ScanEvent& ev) {
 
 void AlertTracker::update(std::vector<Attribution> attributions, sim::TimeUs now,
                           const AlertSink& sink) {
+  im().passes.add();
   blocklist_ = std::move(attributions);
+  im().blocklist_size.note(blocklist_.size());
   for (const auto& a : blocklist_) {
     const auto it = alerted_.find(a.source);
     if (it != alerted_.end() && it->second == a.level) continue;  // already known
@@ -32,6 +56,8 @@ void AlertTracker::update(std::vector<Attribution> attributions, sim::TimeUs now
       covers_known |= a.source != prefix && a.source.contains(prefix);
     alert.is_new = !covers_known && it == alerted_.end();
     alerted_[a.source] = a.level;
+    im().alerts.add();
+    (alert.is_new ? im().alerts_new : im().alerts_escalated).add();
     sink(alert);
   }
 }

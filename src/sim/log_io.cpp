@@ -14,11 +14,31 @@
 #include <type_traits>
 #include <vector>
 
+#include "util/metrics.hpp"
+
 namespace v6sonar::sim {
 
 namespace {
 
 constexpr std::size_t kRecordBytes = kLogRecordBytes;
+
+/// Data-plane telemetry (names in docs/OBSERVABILITY.md). Recorded per
+/// open / per batch — the per-record next() paths stay untouched.
+struct LogIoMetrics {
+  util::metrics::Counter bytes_mapped{"log.mmap.bytes_mapped"};
+  util::metrics::Counter files_mapped{"log.mmap.files_mapped"};
+  util::metrics::Counter mmap_records{"log.mmap.batch_records"};
+  util::metrics::Counter stdio_records{"log.stdio.batch_records"};
+  /// Batch-size distributions: was the reader actually fed full
+  /// batches, or dribbling?
+  util::metrics::Histogram mmap_batch{"log.mmap.batch_size"};
+  util::metrics::Histogram stdio_batch{"log.stdio.batch_size"};
+};
+
+LogIoMetrics& lm() {
+  static LogIoMetrics m;
+  return m;
+}
 
 /// Little-endian load. On little-endian hosts this compiles to a
 /// single unaligned load; the byte loop is the big-endian fallback.
@@ -68,7 +88,10 @@ LogRecord decode(const std::uint8_t* p) noexcept {
     static_assert(offsetof(LogRecord, ts_us) == 0 && offsetof(LogRecord, src) == 8 &&
                   offsetof(LogRecord, dst) == 24);
     static_assert(std::is_trivially_copyable_v<LogRecord>);
-    std::memcpy(&r, p, 40);
+    // void* cast: the partial (40-byte) overwrite is intentional — the
+    // remaining fields are decoded right below — and trivially
+    // copyable per the assert; GCC's -Wclass-memaccess can't see that.
+    std::memcpy(static_cast<void*>(&r), p, 40);
   } else {
     r.ts_us = static_cast<TimeUs>(load_le<std::uint64_t>(p));
     r.src = net::Ipv6Address{load_le<std::uint64_t>(p + 8), load_le<std::uint64_t>(p + 16)};
@@ -196,6 +219,10 @@ std::size_t LogReader::next_batch(LogRecord* out, std::size_t max) {
     throw std::runtime_error("log_io: truncated record in " + impl_->path);
   const std::size_t n = got / kRecordBytes;
   for (std::size_t i = 0; i < n; ++i) out[i] = decode(buf.data() + i * kRecordBytes);
+  if (n && util::metrics::enabled()) {
+    lm().stdio_records.add(n);
+    lm().stdio_batch.observe(n);
+  }
   return n;
 }
 
@@ -231,6 +258,8 @@ struct MappedLogReader::Impl {
       unmap();
       throw;
     }
+    lm().files_mapped.add();
+    lm().bytes_mapped.add(map_len);
   }
   ~Impl() { unmap(); }
   void unmap() noexcept {
@@ -261,6 +290,10 @@ std::size_t MappedLogReader::next_batch(LogRecord* out, std::size_t max) {
   const std::uint8_t* p = impl_->base + kLogHeaderBytes + impl_->pos * kRecordBytes;
   for (std::size_t i = 0; i < n; ++i, p += kRecordBytes) out[i] = decode(p);
   impl_->pos += n;
+  if (n && util::metrics::enabled()) {
+    lm().mmap_records.add(n);
+    lm().mmap_batch.observe(n);
+  }
   return n;
 }
 

@@ -59,7 +59,7 @@ std::string LogHistogram2D::render(const std::string& x_label,
   out += '\n';
   out += "        ";
   for (std::size_t bx = 0; bx < dx_; ++bx) {
-    char cell[24];
+    char cell[32];
     std::snprintf(cell, sizeof cell, "%9s%zu", "10^", bx);
     out += cell;
   }

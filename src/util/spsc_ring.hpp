@@ -17,12 +17,38 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <thread>
 #include <utility>
 #include <vector>
 
 namespace v6sonar::util {
+
+/// Optional per-ring instrumentation, attached with set_stats() before
+/// concurrent use. All fields are relaxed atomics: the producer and
+/// consumer update disjoint fields, and readers only want totals.
+/// With no stats attached (the default) the hot paths pay one
+/// predictable null check.
+struct SpscRingStats {
+  /// Producer-side: push()/push_n() calls that found the ring full and
+  /// had to wait (counted once per blocked call, not per spin).
+  std::atomic<std::uint64_t> producer_blocked{0};
+  /// Producer-side: backoff escalations into an actual sleep — the
+  /// ring was full long enough to park the producer.
+  std::atomic<std::uint64_t> producer_parks{0};
+  /// Consumer-side park events (blocking pop on a quiet ring).
+  std::atomic<std::uint64_t> consumer_parks{0};
+  /// High-water of the producer-observed occupancy after a push
+  /// (tail - cached head: an upper bound on true occupancy, since the
+  /// cached head may lag). How close the ring ran to full.
+  std::atomic<std::uint64_t> occupancy_hw{0};
+
+  void note_occupancy(std::uint64_t occ) noexcept {
+    if (occ > occupancy_hw.load(std::memory_order_relaxed))
+      occupancy_hw.store(occ, std::memory_order_relaxed);
+  }
+};
 
 template <typename T>
 class SpscRing {
@@ -40,6 +66,11 @@ class SpscRing {
 
   [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
 
+  /// Attach instrumentation. Must happen before concurrent use; the
+  /// pointer must outlive the ring's last operation.
+  void set_stats(SpscRingStats* stats) noexcept { stats_ = stats; }
+  [[nodiscard]] SpscRingStats* stats() const noexcept { return stats_; }
+
   /// Producer side. Returns false when the ring is full.
   [[nodiscard]] bool try_push(T&& v) {
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
@@ -49,13 +80,17 @@ class SpscRing {
     }
     slots_[tail & mask_] = std::move(v);
     tail_.store(tail + 1, std::memory_order_release);
+    if (stats_) stats_->note_occupancy(tail + 1 - head_cache_);
     return true;
   }
 
   /// Producer side: block (spin, then yield) until there is room.
   void push(T&& v) {
     std::size_t spins = 0;
-    while (!try_push(std::move(v))) backoff(spins);
+    while (!try_push(std::move(v))) {
+      if (stats_ && spins == 0) stats_->producer_blocked.fetch_add(1, std::memory_order_relaxed);
+      backoff(spins, stats_ ? &stats_->producer_parks : nullptr);
+    }
   }
 
   /// Producer side: copy up to `n` elements from `v` into the ring,
@@ -72,7 +107,10 @@ class SpscRing {
     }
     const std::size_t take = n < room ? n : room;
     for (std::size_t i = 0; i < take; ++i) slots_[(tail + i) & mask_] = v[i];
-    if (take > 0) tail_.store(tail + take, std::memory_order_release);
+    if (take > 0) {
+      tail_.store(tail + take, std::memory_order_release);
+      if (stats_) stats_->note_occupancy(tail + take - head_cache_);
+    }
     return take;
   }
 
@@ -83,7 +121,9 @@ class SpscRing {
     while (done < n) {
       const std::size_t took = try_push_n(v + done, n - done);
       if (took == 0) {
-        backoff(spins);
+        if (stats_ && spins == 0)
+          stats_->producer_blocked.fetch_add(1, std::memory_order_relaxed);
+        backoff(spins, stats_ ? &stats_->producer_parks : nullptr);
         continue;
       }
       spins = 0;
@@ -116,7 +156,7 @@ class SpscRing {
       const bool closed = closed_.load(std::memory_order_acquire);
       if (auto v = try_pop()) return v;
       if (closed) return std::nullopt;
-      backoff(spins);
+      backoff(spins, stats_ ? &stats_->consumer_parks : nullptr);
     }
   }
 
@@ -127,7 +167,7 @@ class SpscRing {
   }
 
  private:
-  static void backoff(std::size_t& spins) noexcept {
+  static void backoff(std::size_t& spins, std::atomic<std::uint64_t>* parks) noexcept {
     ++spins;
     if (spins < 64) return;  // stay on-core for short waits
     if (spins < 1024) {      // medium waits: let a peer run
@@ -137,11 +177,13 @@ class SpscRing {
     // Long waits (slow producer, e.g. a live-capture feed): park
     // briefly instead of burning the core. The contended fast path
     // never reaches here.
+    if (parks) parks->fetch_add(1, std::memory_order_relaxed);
     std::this_thread::sleep_for(std::chrono::microseconds(50));
   }
 
   std::vector<T> slots_;
   std::size_t mask_ = 0;
+  SpscRingStats* stats_ = nullptr;
 
   // Producer-owned line: tail plus the producer's stale view of head.
   alignas(64) std::atomic<std::size_t> tail_{0};

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/fh_detector.hpp"
+#include "util/stats.hpp"
 
 namespace v6sonar::core {
 namespace {
@@ -74,6 +75,36 @@ TEST(FhDetector, NearConstantLengthPasses) {
   for (std::uint64_t i = 0; i < 400; ++i) w.push_back(pkt(1, i, 22, 74));
   w.push_back(pkt(1, 400, 22, 90));
   EXPECT_EQ(fh_detect(w, small()).size(), 1u);
+}
+
+TEST(FhDetector, EntropyExactlyAtThresholdDisqualifies) {
+  // §4 requires packet-length entropy *below* the bound, so a length
+  // mix whose normalized entropy exactly equals max_length_entropy is
+  // rejected. The threshold is set to the mix's own entropy — the
+  // exact double the detector computes — to pin the >= comparison.
+  std::vector<LogRecord> w;
+  for (std::uint64_t i = 0; i < 15; ++i) w.push_back(pkt(1, i, 22, 74));
+  for (std::uint64_t i = 15; i < 20; ++i) w.push_back(pkt(1, i, 22, 90));
+  const double h = util::normalized_entropy({15, 5});
+  ASSERT_GT(h, 0.0);
+  FhConfig cfg = small();
+  cfg.max_length_entropy = h;
+  EXPECT_TRUE(fh_detect(w, cfg).empty());
+  cfg.max_length_entropy = h + 1e-9;  // strictly above: qualifies
+  EXPECT_EQ(fh_detect(w, cfg).size(), 1u);
+}
+
+TEST(FhDetector, SingleLengthHasZeroEntropy) {
+  // All packets one length: normalized entropy is exactly 0 — the
+  // degenerate distribution qualifies under any positive bound and is
+  // rejected only by a zero bound (the >= comparison again).
+  std::vector<LogRecord> w;
+  for (std::uint64_t i = 0; i < 20; ++i) w.push_back(pkt(1, i, 22, 74));
+  EXPECT_EQ(util::normalized_entropy({20}), 0.0);
+  EXPECT_EQ(fh_detect(w, small()).size(), 1u);
+  FhConfig cfg = small();
+  cfg.max_length_entropy = 0.0;
+  EXPECT_TRUE(fh_detect(w, cfg).empty());
 }
 
 TEST(FhDetector, PortComponentsMergePerSource) {

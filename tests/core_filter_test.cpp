@@ -164,6 +164,37 @@ TEST(ArtifactFilter, SourceAggregationUsesSlash64) {
   EXPECT_TRUE(out.passed.empty());
 }
 
+TEST(ArtifactFilter, SixthPacketToSameFlowIsTheFirstDuplicate) {
+  // §2.1: "more than five packets to the same destination IP and
+  // port" — the 6th packet is the first duplicate. With zero tolerance
+  // for duplicates, the drop decision detects exactly that packet.
+  ArtifactFilterConfig cfg;
+  cfg.max_duplicate_fraction = 0.0;
+  std::vector<LogRecord> recs;
+  TimeUs t = 0;
+  for (int i = 0; i < 5; ++i) recs.push_back(rec(t += kSec, 1, 7, 25));
+  EXPECT_EQ(run_filter(recs, cfg).passed.size(), 5u);  // exactly 5 hits: no duplicate
+
+  recs.push_back(rec(t += kSec, 1, 7, 25));
+  EXPECT_TRUE(run_filter(recs, cfg).passed.empty());  // 6th hit: dropped
+}
+
+TEST(ArtifactFilter, ExactlyThirtyPercentDuplicatesIsKept) {
+  // The paper drops sources with *more than* 30% duplicates. One flow
+  // hit 8x (3 duplicates) plus 2 distinct = 10 packets, exactly 30%:
+  // kept.
+  std::vector<LogRecord> recs;
+  TimeUs t = 0;
+  for (int i = 0; i < 8; ++i) recs.push_back(rec(t += kSec, 1, 7, 25));
+  recs.push_back(rec(t += kSec, 1, 100, 25));
+  recs.push_back(rec(t += kSec, 1, 101, 25));
+  EXPECT_EQ(run_filter(recs).passed.size(), 10u);
+
+  // One more hit on the flow: 4/11 ≈ 36% > 30%: dropped.
+  recs.push_back(rec(t += kSec, 1, 7, 25));
+  EXPECT_TRUE(run_filter(recs).passed.empty());
+}
+
 TEST(ArtifactFilter, OutOfOrderThrows) {
   ArtifactFilter f({}, [](const sim::LogRecord&) {});
   f.feed(rec(kSec, 1, 1, 22));

@@ -1,0 +1,159 @@
+// Tests for the process-wide metrics registry: registration semantics,
+// per-kind merge rules, cross-thread sharding (live and exited
+// threads), the disabled gate, and the JSON snapshot shape.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "util/metrics.hpp"
+
+namespace v6sonar::util::metrics {
+namespace {
+
+/// Every test starts from zeroed slots with recording on, and leaves
+/// recording off (the registry is process-wide).
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reset();
+    enable(true);
+  }
+  void TearDown() override {
+    enable(false);
+    reset();
+  }
+};
+
+TEST_F(MetricsTest, CounterAccumulates) {
+  const Counter c("test.counter.accumulates");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(snapshot().counter("test.counter.accumulates"), 42u);
+}
+
+TEST_F(MetricsTest, RegistrationIsIdempotentByName) {
+  const Counter a("test.counter.shared");
+  const Counter b("test.counter.shared");  // same slot
+  a.add(1);
+  b.add(2);
+  EXPECT_EQ(snapshot().counter("test.counter.shared"), 3u);
+}
+
+TEST_F(MetricsTest, KindConflictThrows) {
+  register_metric("test.kind.conflict", Kind::kCounter);
+  EXPECT_THROW(register_metric("test.kind.conflict", Kind::kGauge), std::logic_error);
+}
+
+TEST_F(MetricsTest, DisabledRecordingIsDropped) {
+  const Counter c("test.counter.disabled");
+  enable(false);
+  c.add(100);
+  enable(true);
+  c.add(1);
+  // The metric is still listed (registered), but only the enabled
+  // increment landed.
+  EXPECT_EQ(snapshot().counter("test.counter.disabled"), 1u);
+}
+
+TEST_F(MetricsTest, UnregisteredLookupIsEmpty) {
+  EXPECT_FALSE(snapshot().counter("test.never.registered").has_value());
+  EXPECT_FALSE(snapshot().gauge("test.never.registered").has_value());
+}
+
+TEST_F(MetricsTest, GaugeKeepsHighWater) {
+  const Gauge g("test.gauge.hw");
+  g.note(7);
+  g.note(100);
+  g.note(13);
+  EXPECT_EQ(snapshot().gauge("test.gauge.hw"), 100u);
+}
+
+TEST_F(MetricsTest, HistogramBinsByBitWidth) {
+  const Histogram h("test.hist.bins");
+  h.observe(0);     // bin 0
+  h.observe(1);     // bin 1
+  h.observe(3);     // bin 2
+  h.observe(1024);  // bin 11
+  const auto snap = snapshot();
+  const auto it = std::find_if(snap.histograms.begin(), snap.histograms.end(),
+                               [](const auto& e) { return e.first == "test.hist.bins"; });
+  ASSERT_NE(it, snap.histograms.end());
+  const auto& data = it->second;
+  EXPECT_EQ(data.count, 4u);
+  EXPECT_EQ(data.sum, 1028u);
+  const std::vector<std::pair<int, std::uint64_t>> expected{{0, 1}, {1, 1}, {2, 1}, {11, 1}};
+  EXPECT_EQ(data.bins, expected);
+}
+
+TEST_F(MetricsTest, MergesAcrossLiveAndExitedThreads) {
+  const Counter c("test.counter.threads");
+  const Gauge g("test.gauge.threads");
+  c.add(1);
+  g.note(10);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i)
+    threads.emplace_back([&, i] {
+      c.add(100);  // each thread records into its own shard
+      g.note(static_cast<std::uint64_t>(i) * 50);
+    });
+  for (auto& t : threads) t.join();  // exited shards fold into `retired`
+  const auto snap = snapshot();
+  EXPECT_EQ(snap.counter("test.counter.threads"), 401u);
+  EXPECT_EQ(snap.gauge("test.gauge.threads"), 150u);
+}
+
+TEST_F(MetricsTest, PrefixAggregation) {
+  const Counter a("test.prefix.a");
+  const Counter b("test.prefix.b");
+  const Gauge ga("test.prefix.shard0.hw");
+  const Gauge gb("test.prefix.shard1.hw");
+  a.add(1);
+  b.add(2);
+  ga.note(5);
+  gb.note(9);
+  const auto snap = snapshot();
+  EXPECT_EQ(snap.counter_sum("test.prefix."), 3u);
+  EXPECT_EQ(snap.gauge_max_of("test.prefix.shard"), 9u);
+}
+
+TEST_F(MetricsTest, ResetZeroesEverything) {
+  const Counter c("test.counter.reset");
+  const Histogram h("test.hist.reset");
+  c.add(5);
+  h.observe(9);
+  reset();
+  const auto snap = snapshot();
+  EXPECT_EQ(snap.counter("test.counter.reset"), 0u);
+  const auto it = std::find_if(snap.histograms.begin(), snap.histograms.end(),
+                               [](const auto& e) { return e.first == "test.hist.reset"; });
+  ASSERT_NE(it, snap.histograms.end());
+  EXPECT_EQ(it->second.count, 0u);
+  EXPECT_TRUE(it->second.bins.empty());
+}
+
+TEST_F(MetricsTest, JsonShape) {
+  const Counter c("test.json.counter");
+  const Gauge g("test.json.gauge");
+  const Histogram h("test.json.hist");
+  c.add(3);
+  g.note(8);
+  h.observe(4);
+  const std::string json = snapshot().to_json();
+  EXPECT_NE(json.find("\"counters\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.counter\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.gauge\": 8"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.hist\": {\"count\": 1, \"sum\": 4, \"bins\": [[3, 1]]}"),
+            std::string::npos);
+  // Crude but effective structural check: balanced braces/brackets.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+}  // namespace
+}  // namespace v6sonar::util::metrics

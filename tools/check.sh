@@ -1,25 +1,84 @@
 #!/usr/bin/env bash
-# Sanitized check of the threaded pipeline and the batched data plane.
+# Sanitized check of the threaded pipeline and the batched data plane,
+# plus an end-to-end metrics smoke check.
 #
-#   tools/check.sh [thread|address|all]    (default: thread)
+#   tools/check.sh [thread|address|metrics|all]    (default: thread)
 #
-# Configures a separate build tree (build-tsan/ or build-asan/) with
-# -DV6SONAR_SANITIZE=<kind>, builds the relevant test binaries, and
-# runs them under the sanitizer. `thread` covers the concurrency-
-# sensitive targets (SPSC ring, parallel pipeline, batch feed);
-# `address` additionally covers the mmap log reader and the arena-
-# backed flat containers, whose bugs are memory bugs rather than
-# races. `all` runs both configs. Exits non-zero on any sanitizer
-# report or test failure.
+# `thread`/`address` configure a separate build tree (build-tsan/ or
+# build-asan/) with -DV6SONAR_SANITIZE=<kind>, build the relevant test
+# binaries, and run them under the sanitizer. `thread` covers the
+# concurrency-sensitive targets (SPSC ring, parallel pipeline, batch
+# feed); `address` additionally covers the mmap log reader and the
+# arena-backed flat containers, whose bugs are memory bugs rather than
+# races. `metrics` builds the instrumented targets with warnings as
+# errors (-DV6SONAR_WERROR=ON), generates a small world, runs
+# `v6sonar detect --mmap --threads 4 --metrics=…`, and validates the
+# JSON snapshot (nonzero ingestion/feed counters, per-shard ring
+# gauges, full guard-fallback breakdown). `all` runs every config.
+# Exits non-zero on any sanitizer report, test failure, new warning in
+# the metrics build, or missing/zero metric.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 kind="${1:-thread}"
 case "$kind" in
-  thread|address) ;;
-  all) "$0" thread && exec "$0" address ;;
-  *) echo "usage: tools/check.sh [thread|address|all]" >&2; exit 2 ;;
+  thread|address|metrics) ;;
+  all) "$0" thread && "$0" address && exec "$0" metrics ;;
+  *) echo "usage: tools/check.sh [thread|address|metrics|all]" >&2; exit 2 ;;
 esac
+
+if [[ "$kind" == metrics ]]; then
+  tree=build-metrics
+  # Targets touched by the observability layer: a fresh warning in any
+  # of them fails the build via -Werror before the smoke test runs.
+  targets=(v6sonar util_metrics_test core_metrics_test)
+  cmake -B "$tree" -S . -DV6SONAR_WERROR=ON > /dev/null
+  cmake --build "$tree" -j"$(nproc)" --target "${targets[@]}"
+
+  "$tree/tests/util_metrics_test" > /dev/null
+  "$tree/tests/core_metrics_test" > /dev/null
+
+  work="$(mktemp -d)"
+  trap 'rm -rf "$work"' EXIT
+  "$tree/tools/v6sonar" generate "$work/world.v6slog" --small > /dev/null
+  "$tree/tools/v6sonar" detect "$work/world.v6slog" --mmap --threads 4 \
+      --metrics="$work/metrics.json" > /dev/null
+
+  python3 - "$work/metrics.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as fh:
+    snap = json.load(fh)
+counters, gauges = snap["counters"], snap["gauges"]
+
+failures = []
+# The mmap replay and the sharded feed must actually have moved data.
+for name in ("log.mmap.bytes_mapped", "log.mmap.batch_records",
+             "pipeline.feed.records", "detector.events.emitted"):
+    if counters.get(name, 0) <= 0:
+        failures.append(f"counter {name} missing or zero")
+# Guard-fallback breakdown must be present (zero is fine: it means no
+# batch fell off the grouped path) so regressions are attributable.
+for reason in ("small_batch", "expiry_due", "span_exceeds_timeout",
+               "starts_before_last", "unsorted"):
+    if f"detector.batch.fallback.{reason}" not in counters:
+        failures.append(f"fallback counter {reason} missing")
+shard_gauges = [g for g in gauges if g.startswith("pipeline.shard")
+                and g.endswith(".in_ring.occupancy_hw")]
+if len(shard_gauges) != 4:
+    failures.append(f"expected 4 per-shard in-ring gauges, saw {len(shard_gauges)}")
+
+if failures:
+    print("metrics smoke check FAILED:", *failures, sep="\n  ", file=sys.stderr)
+    sys.exit(1)
+print(f"metrics snapshot ok: {len(counters)} counters, {len(gauges)} gauges, "
+      f"{counters['pipeline.feed.records']} records fed, "
+      f"{counters['detector.events.emitted']} events")
+PY
+
+  echo "check.sh: metrics smoke check passed (-Werror build + JSON validation)"
+  exit 0
+fi
 
 case "$kind" in
   thread)

@@ -20,11 +20,13 @@
 // batches instead of materialising every record up front.
 
 #include <array>
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <span>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "analysis/fingerprint.hpp"
@@ -38,6 +40,7 @@
 #include "scanner/hitlist.hpp"
 #include "sim/log_io.hpp"
 #include "telescope/world.hpp"
+#include "util/metrics.hpp"
 #include "util/table.hpp"
 #include "util/timebase.hpp"
 
@@ -50,7 +53,7 @@ struct Options {
   std::uint32_t min_dsts = 100;
   std::int64_t timeout_sec = 3'600;
   std::size_t top = 20;
-  int threads = 1;
+  int threads = 1;  ///< 1 = serial; 0 = auto (hardware threads)
   bool mmap = false;
 };
 
@@ -73,12 +76,36 @@ struct Options {
       "  --min-dsts <n>    minimum distinct destinations (default 100)\n"
       "  --timeout <sec>   scan inter-packet timeout, detect only (default 3600)\n"
       "  --top <n>         rows to print (default 20)\n"
-      "  --threads <n>     detection worker threads, detect only (default 1);\n"
-      "                    output is identical to the serial detector\n"
+      "  --threads <n>     detection worker threads, detect only (default 1;\n"
+      "                    0 = one per hardware thread); output is identical\n"
+      "                    to the serial detector\n"
       "  --mmap            detect only: stream a .v6slog via the zero-copy mapped\n"
-      "                    reader in batches instead of loading it into memory\n",
+      "                    reader in batches instead of loading it into memory\n"
+      "\n"
+      "global options (any command):\n"
+      "  --metrics[=FILE]  enable pipeline stage counters and dump the JSON\n"
+      "                    snapshot to FILE (default stdout) on exit\n",
       stderr);
   std::exit(2);
+}
+
+/// Parse the whole of `text` as an integer, or exit(2) with an error
+/// naming the flag. Rejects empty strings, non-numeric input, trailing
+/// garbage ("4x", "1.5"), and values that overflow T.
+template <typename T>
+T parse_int(const char* flag, const char* text) {
+  T value{};
+  const char* const end = text + std::strlen(text);
+  const auto [p, ec] = std::from_chars(text, end, value);
+  if (ec == std::errc::result_out_of_range) {
+    std::fprintf(stderr, "error: %s value '%s' is out of range\n", flag, text);
+    std::exit(2);
+  }
+  if (ec != std::errc{} || p != end) {
+    std::fprintf(stderr, "error: %s needs an integer, got '%s'\n", flag, text);
+    std::exit(2);
+  }
+  return value;
 }
 
 bool ends_with(const std::string& s, const char* suffix) {
@@ -114,19 +141,36 @@ Options parse_options(int argc, char** argv, int first) {
       }
       return argv[++i];
     };
-    if (std::strcmp(argv[i], "--agg") == 0)
-      o.agg = std::atoi(need_value("--agg"));
-    else if (std::strcmp(argv[i], "--min-dsts") == 0)
-      o.min_dsts = static_cast<std::uint32_t>(std::atoi(need_value("--min-dsts")));
-    else if (std::strcmp(argv[i], "--timeout") == 0)
-      o.timeout_sec = std::atoll(need_value("--timeout"));
-    else if (std::strcmp(argv[i], "--top") == 0)
-      o.top = static_cast<std::size_t>(std::atoi(need_value("--top")));
-    else if (std::strcmp(argv[i], "--threads") == 0)
-      o.threads = std::atoi(need_value("--threads"));
-    else if (std::strcmp(argv[i], "--mmap") == 0)
+    if (std::strcmp(argv[i], "--agg") == 0) {
+      o.agg = parse_int<int>("--agg", need_value("--agg"));
+      if (o.agg < 0 || o.agg > 128) {
+        std::fprintf(stderr, "error: --agg must be between 0 and 128, got %d\n", o.agg);
+        std::exit(2);
+      }
+    } else if (std::strcmp(argv[i], "--min-dsts") == 0) {
+      o.min_dsts = parse_int<std::uint32_t>("--min-dsts", need_value("--min-dsts"));
+      if (o.min_dsts == 0) {
+        std::fprintf(stderr, "error: --min-dsts must be at least 1\n");
+        std::exit(2);
+      }
+    } else if (std::strcmp(argv[i], "--timeout") == 0) {
+      o.timeout_sec = parse_int<std::int64_t>("--timeout", need_value("--timeout"));
+      if (o.timeout_sec < 1) {
+        std::fprintf(stderr, "error: --timeout must be at least 1 second\n");
+        std::exit(2);
+      }
+    } else if (std::strcmp(argv[i], "--top") == 0) {
+      o.top = parse_int<std::size_t>("--top", need_value("--top"));
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      o.threads = parse_int<int>("--threads", need_value("--threads"));
+      if (o.threads < 0) {
+        std::fprintf(stderr, "error: --threads must be >= 0 (0 = auto), got %d\n",
+                     o.threads);
+        std::exit(2);
+      }
+    } else if (std::strcmp(argv[i], "--mmap") == 0) {
       o.mmap = true;
-    else {
+    } else {
       std::fprintf(stderr, "error: unknown option %s\n", argv[i]);
       std::exit(2);
     }
@@ -173,7 +217,7 @@ int cmd_detect(const std::string& path, const Options& o) {
       feed_all(std::span<const sim::LogRecord>{records});
     }
   };
-  if (o.threads > 1) {
+  if (o.threads != 1) {  // 0 = auto resolves inside the pipeline
     core::ParallelScanPipeline pipeline(cfg, {.threads = o.threads}, sink);
     run([&](std::span<const sim::LogRecord> batch) { pipeline.feed_batch(batch); });
     pipeline.flush();
@@ -254,9 +298,14 @@ int cmd_adaptive(const std::string& path) {
   }
   const auto attributions = core::attribute_adaptive(events, {});
   util::TextTable table({"attributed prefix", "level", "packets", "covered sources"});
-  for (const auto& a : attributions)
-    table.add_row({a.source.to_string(), "/" + std::to_string(a.level),
-                   util::with_commas(a.packets), util::with_commas(a.children)});
+  for (const auto& a : attributions) {
+    // Built with += (not operator+) to dodge GCC 12's -Wrestrict false
+    // positive on const char* + std::string&&.
+    std::string level = "/";
+    level += std::to_string(a.level);
+    table.add_row({a.source.to_string(), std::move(level), util::with_commas(a.packets),
+                   util::with_commas(a.children)});
+  }
   std::printf("%s", table.render().c_str());
   return 0;
 }
@@ -332,12 +381,48 @@ int cmd_mawi_day(const std::string& date, const std::string& out) {
   return 0;
 }
 
+/// Write the metrics snapshot as JSON to `file` (stdout when empty).
+void dump_metrics(const std::string& file) {
+  const std::string json = util::metrics::snapshot().to_json();
+  if (file.empty()) {
+    std::printf("%s\n", json.c_str());
+    return;
+  }
+  std::FILE* f = std::fopen(file.c_str(), "wb");
+  if (!f) {
+    std::fprintf(stderr, "error: cannot write metrics to %s\n", file.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::fprintf(stderr, "metrics written to %s\n", file.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip --metrics[=FILE] wherever it appears, so every subcommand
+  // gets observability without each parser knowing about the flag.
+  bool metrics_on = false;
+  std::string metrics_file;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics_on = true;
+    } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+      metrics_on = true;
+      metrics_file = argv[i] + 10;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  if (metrics_on) util::metrics::enable(true);
+
   if (argc < 2) usage();
   const std::string cmd = argv[1];
-  try {
+  const auto dispatch = [&]() -> int {
     if (cmd == "info" && argc >= 3) return cmd_info(argv[2]);
     if (cmd == "detect" && argc >= 3) return cmd_detect(argv[2], parse_options(argc, argv, 3));
     if (cmd == "fh" && argc >= 3) return cmd_fh(argv[2], parse_options(argc, argv, 3));
@@ -348,9 +433,15 @@ int main(int argc, char** argv) {
     if (cmd == "generate" && argc >= 3)
       return cmd_generate(argv[2], argc >= 4 && std::strcmp(argv[3], "--small") == 0);
     if (cmd == "mawi-day" && argc >= 4) return cmd_mawi_day(argv[2], argv[3]);
+    usage();
+  };
+  int rc = 0;
+  try {
+    rc = dispatch();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    rc = 1;
   }
-  usage();
+  if (metrics_on) dump_metrics(metrics_file);
+  return rc;
 }
