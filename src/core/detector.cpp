@@ -135,13 +135,15 @@ void ScanDetector::feed_batch(std::span<const sim::LogRecord> batch) {
   //     last_ts_ (also ensures feed()'s order check would pass, so the
   //     reordered path throws exactly when the serial one would — by
   //     falling back to it).
-  //  2. No pre-existing expiry entry is due before the batch's last
-  //     timestamp, so expire_up_to() would pop nothing. Every live
-  //     event keeps a heap entry at <= last_us + timeout (pushed at
-  //     event start; stale pops re-push at the true due time), so this
-  //     also rules out a timeout *split* for any pre-existing source:
-  //     a gap > timeout inside the batch would imply a heap entry due
-  //     before the batch end.
+  //  2. No pre-existing source's *true* due time (last_us + timeout)
+  //     falls before the batch's last timestamp, so expire_up_to()
+  //     would finalize nothing. Every live event keeps a heap entry at
+  //     <= last_us + timeout (pushed at event start; stale pops
+  //     re-push at the true due time), so this also rules out a
+  //     timeout *split* for any pre-existing source: a gap > timeout
+  //     inside the batch would imply a true due time before the batch
+  //     end. Stale reminders due before the batch end are refined in
+  //     place by refine_expiries() rather than treated as failures.
   //  3. The batch spans at most the timeout, so a source first seen
   //     inside the batch cannot gap out within it, and entries pushed
   //     during the batch (due >= batch[0] + timeout >= batch end)
@@ -158,9 +160,19 @@ void ScanDetector::feed_batch(std::span<const sim::LogRecord> batch) {
   // scratch, so bailing out to the serial path mid-pass is safe — the
   // serial path then throws exactly where feed() would).
   const sim::TimeUs last = batch[n - 1].ts_us;
-  const bool expiry_due = !expiries_.empty() && expiries_.top().at < last;
   const bool spans_timeout = last - batch[0].ts_us > config_.timeout_us;
   const bool starts_behind = batch[0].ts_us < last_ts_;
+  // Guard 2 would go stale-positive on any long steady stream: after
+  // one timeout of stream time the heap always holds *stale* reminders
+  // due before the batch end (their sources were active since, so the
+  // true due time is later), and a literal heap-top check would exile
+  // every subsequent batch to the serial path. refine_expiries() pops
+  // those reminders and re-queues them at their current true due time
+  // — the exact no-output refinement expire_up_to() performs — and
+  // only reports a genuine guard failure when some source could
+  // actually finalize or split within the batch.
+  const bool expiry_due =
+      !spans_timeout && !starts_behind && !refine_expiries(last);
   if (!expiry_due && !spans_timeout && !starts_behind && feed_grouped(batch)) {
     if (counting) {
       dm().grouped_batches.add();
@@ -170,14 +182,15 @@ void ScanDetector::feed_batch(std::span<const sim::LogRecord> batch) {
     return;
   }
   if (counting) {
-    // One reason per fallback, in guard order (the first failing guard
-    // is the one that decided).
-    if (expiry_due)
-      dm().fb_expiry.add();
-    else if (spans_timeout)
+    // One reason per fallback. Span/behind report first — the expiry
+    // refinement only runs once they hold, so a true expiry_due here
+    // always means a possible genuine finalization inside the batch.
+    if (spans_timeout)
       dm().fb_span.add();
     else if (starts_behind)
       dm().fb_behind.add();
+    else if (expiry_due)
+      dm().fb_expiry.add();
     else
       dm().fb_unsorted.add();
     dm().serial_records.add(n);
@@ -304,7 +317,29 @@ bool ScanDetector::feed_grouped(std::span<const sim::LogRecord> batch) {
   // insert-or-update half of feed() is replicated.
   last_ts_ = batch[n - 1].ts_us;
   packets_seen_ += n;
-  for (const Run& run : runs_) {
+  // Same two-stage software pipeline as feed_serial(), one run ahead
+  // instead of one record: with a large state the per-run probe is a
+  // DRAM miss, and a random-source batch degenerates to one run per
+  // record — prefetching the state slot (far) and the run's first
+  // destination/port slots (near) hides most of that latency. Hints
+  // are read-only, so output is identical.
+  const bool pipelined = states_.size() >= kPrefetchMinSources;
+  constexpr std::size_t kRunLookahead = 8;
+  const std::size_t n_runs = runs_.size();
+  for (std::size_t ri = 0; ri < n_runs; ++ri) {
+    if (pipelined) {
+      if (ri + 2 * kRunLookahead < n_runs)
+        states_.prefetch(runs_[ri + 2 * kRunLookahead].key);
+      if (ri + kRunLookahead < n_runs) {
+        const Run& nr = runs_[ri + kRunLookahead];
+        if (SourceState* const* p = states_.find(nr.key)) {
+          const BatchEntry& fe = batch_entries_[nr.offset];
+          (*p)->dsts.prefetch(fe.dst);
+          (*p)->ports.prefetch(fe.port);
+        }
+      }
+    }
+    const Run& run = runs_[ri];
     SourceState*& slot = states_[run.key];
     if (slot == nullptr) {
       slot = new_state();
@@ -376,6 +411,49 @@ void ScanDetector::advance(sim::TimeUs now) {
   if (now < last_ts_) return;
   last_ts_ = now;
   expire_up_to(now);
+}
+
+bool ScanDetector::refine_expiries(sim::TimeUs last) {
+  // Batch-path companion of expire_up_to(): pops every reminder due
+  // before the batch end and either discards it (dead source),
+  // re-queues it at the source's current true due time (stale — the
+  // refinement expire_up_to() itself performs, which provably never
+  // emits), or reports failure when the true due time falls inside
+  // the batch, i.e. the source could genuinely finalize — or gap out
+  // across a batch-internal quiet stretch — before the batch ends.
+  // Only in that last case must the serial path take over. Re-queued
+  // entries land at >= `last`, so the loop pops each entry at most
+  // once. Heap-content note: the serial path would refine the same
+  // reminders a little later (possibly to an even later due time, if
+  // the source sends again mid-batch); both refinements are interim
+  // lower-bound alarms that get re-refined on the next pop, and
+  // finalization fires at the variant-independent (true due, key)
+  // point either way, so the output is unchanged.
+  std::uint64_t pops = 0, stale = 0, dead = 0;
+  bool ok = true;
+  while (!expiries_.empty() && expiries_.top().at < last) {
+    const Expiry e = expiries_.top();
+    SourceState* const* p = states_.find(e.key);
+    if (p == nullptr) {
+      expiries_.pop();
+      ++pops, ++dead;
+      continue;
+    }
+    const sim::TimeUs due = (*p)->last_us + config_.timeout_us;
+    if (due < last) {
+      ok = false;  // genuine finalization (or split) possible in-batch
+      break;
+    }
+    expiries_.pop();
+    expiries_.push(Expiry{due, e.key});
+    ++pops, ++stale;
+  }
+  if (pops && util::metrics::enabled()) {
+    dm().expiry_pops.add(pops);
+    dm().expiry_stale.add(stale);
+    dm().expiry_dead.add(dead);
+  }
+  return ok;
 }
 
 void ScanDetector::expire_up_to(sim::TimeUs now) {

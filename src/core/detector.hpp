@@ -146,6 +146,7 @@ class ScanDetector {
 
   void finalize(const net::Ipv6Prefix& key, SourceState& st);
   void expire_up_to(sim::TimeUs now);
+  [[nodiscard]] bool refine_expiries(sim::TimeUs last);
   [[nodiscard]] SourceState* new_state();
   void delete_state(SourceState* st) noexcept;
   void feed_serial(std::span<const sim::LogRecord> batch);

@@ -28,7 +28,6 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <deque>
 #include <exception>
 #include <functional>
 #include <map>
@@ -73,6 +72,35 @@ struct OutItem {
   bool flushed = false;     ///< emitted by flush(), not by timeout
 };
 
+/// FIFO of held-back events on one flat buffer: a vector plus a pop
+/// cursor, compacted only when the dead prefix dominates the live
+/// tail. Replaces std::deque in the merger — pushes reuse one grown
+/// allocation instead of churning map/chunk blocks, and front() is
+/// direct indexing into contiguous storage.
+class OutQueue {
+ public:
+  [[nodiscard]] bool empty() const noexcept { return head_ == items_.size(); }
+  [[nodiscard]] OutItem& front() noexcept { return items_[head_]; }
+  [[nodiscard]] const OutItem& front() const noexcept { return items_[head_]; }
+  void push_back(OutItem&& it) { items_.push_back(std::move(it)); }
+  void pop_front() {
+    ++head_;
+    if (head_ == items_.size()) {
+      items_.clear();
+      head_ = 0;
+    } else if (head_ >= 64 && head_ >= items_.size() - head_) {
+      // Amortized O(1): moving the <= head_ survivors is charged to
+      // the head_ pops that built up the dead prefix.
+      items_.erase(items_.begin(), items_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+
+ private:
+  std::vector<OutItem> items_;
+  std::size_t head_ = 0;
+};
+
 /// One shard: a worker thread plus its two rings. The watermark
 /// publishes the worker's detector clock — every timed-out event the
 /// shard emits from now on finalizes at or after it — and jumps to
@@ -108,6 +136,24 @@ int resolve_threads(int requested) {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw ? static_cast<int>(hw) : 4;
 }
+
+/// Reject configurations whose rings could not function: a zero or
+/// sub-minimum capacity either breaks the power-of-two rounding
+/// contract or thrashes every hand-off through backpressure one
+/// element at a time. 8 is SpscRing's own capacity floor.
+void validate_parallel(const ParallelConfig& parallel, const char* who) {
+  if (parallel.ring_capacity < 8)
+    throw std::invalid_argument(std::string(who) +
+                                ": ring_capacity must be at least 8 slots, got " +
+                                std::to_string(parallel.ring_capacity));
+}
+
+/// Items a worker pops from its input ring per blocking bulk consume;
+/// also the span cap for the contiguous record runs handed to
+/// feed_batch. Big enough to amortize the acquire/release pair and
+/// keep the grouped detector path fed, small enough that a chunk of
+/// InItems plus its record scratch stays comfortably L2-resident.
+constexpr std::size_t kWorkerChunk = 1024;
 
 /// The filter's release frontier at wall-time `ts`: records before the
 /// start of ts's UTC day have been released, the rest are buffered.
@@ -146,10 +192,14 @@ class EventMerger {
         emit_(std::move(emit)),
         barriers_(barriers),
         on_barrier_(std::move(on_barrier)),
-        metric_prefix_(metric_prefix) {
+        metric_prefix_(metric_prefix),
+        drain_hist_(util::metrics::register_metric(
+            std::string(metric_prefix) + ".merger.drain_size",
+            util::metrics::Kind::kHistogram)) {
     bufs_.resize(shards_.size() * levels_);
     wm_.assign(shards_.size(), INT64_MIN);
     drained_.assign(shards_.size(), false);
+    scratch_.resize(256);
   }
 
   void run() {
@@ -184,7 +234,7 @@ class EventMerger {
   [[nodiscard]] sim::TimeUs due(const OutItem& it) const noexcept {
     return it.ev.last_us + timeout_us_;
   }
-  [[nodiscard]] std::deque<OutItem>& buf(std::size_t s, std::size_t l) noexcept {
+  [[nodiscard]] OutQueue& buf(std::size_t s, std::size_t l) noexcept {
     return bufs_[s * levels_ + l];
   }
 
@@ -195,9 +245,18 @@ class EventMerger {
       // stale watermark only delays a release, a fresh one paired
       // with an undrained ring could release out of order.
       wm_[s] = shards_[s]->watermark.load(std::memory_order_acquire);
-      while (auto it = shards_[s]->out.try_pop()) {
-        buf(s, it->level).push_back(std::move(*it));
-        ++buffered_;
+      // Bulk drain: one head release per scratch-load instead of one
+      // per event, then route events to their (shard, level) queue.
+      std::uint64_t popped = 0;
+      for (std::size_t got;
+           (got = shards_[s]->out.try_pop_n(scratch_.data(), scratch_.size())) > 0;) {
+        for (std::size_t i = 0; i < got; ++i)
+          buf(s, scratch_[i].level).push_back(std::move(scratch_[i]));
+        popped += got;
+      }
+      if (popped) {
+        buffered_ += popped;
+        if (util::metrics::enabled()) util::metrics::observe(drain_hist_, popped);
       }
       if (shards_[s]->out.drained()) drained_[s] = true;
     }
@@ -305,7 +364,9 @@ class EventMerger {
   std::function<void(sim::TimeUs)> on_barrier_;
   const char* metric_prefix_;
 
-  std::vector<std::deque<OutItem>> bufs_;
+  std::vector<OutQueue> bufs_;
+  std::vector<OutItem> scratch_;  ///< bulk-drain staging buffer
+  util::metrics::MetricId drain_hist_;
   std::vector<sim::TimeUs> wm_;
   std::vector<bool> drained_;
   std::optional<sim::TimeUs> pending_;
@@ -335,6 +396,14 @@ struct Feeder {
   std::uint64_t fed = 0;
   std::vector<std::vector<InItem>> staged;  ///< pending run per shard
 
+  /// Size the per-shard staging vectors once, at pipeline start-up, so
+  /// stage() never re-checks them per record; pre-reserving skips the
+  /// first few growth reallocations of every run.
+  void init(std::size_t n_shards) {
+    staged.resize(n_shards);
+    for (auto& run : staged) run.reserve(1024);
+  }
+
   /// Validate and stage one record; on crossing the tick boundary,
   /// publish the staged runs (the tick must not overtake records that
   /// precede it) and then broadcast the tick.
@@ -343,7 +412,6 @@ struct Feeder {
       throw std::invalid_argument(std::string(who) + ": records must be time-ordered");
     last_ts = r.ts_us;
     ++fed;
-    if (staged.size() != shards.size()) staged.resize(shards.size());
     staged[shard_of(r.src, shard_len, shards.size())].push_back(InItem{r, false});
     if (next_tick == 0)
       next_tick = r.ts_us + tick_interval;
@@ -460,6 +528,7 @@ struct ParallelScanPipeline::Impl {
       ArtifactFilter probe(*filter, [](const sim::LogRecord&) {});
     }
     if (!sink_in) throw std::invalid_argument("ParallelScanPipeline: null sink");
+    validate_parallel(parallel, "ParallelScanPipeline");
     sink = std::move(sink_in);
 
     feeder.shard_len = filter ? std::min(config.source_prefix_len, filter->source_prefix_len)
@@ -472,10 +541,14 @@ struct ParallelScanPipeline::Impl {
     shards.reserve(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i)
       shards.push_back(std::make_unique<Shard>(parallel.ring_capacity, out_cap));
+    feeder.init(shards.size());
 
+    const util::metrics::MetricId batch_hist = util::metrics::register_metric(
+        "pipeline.worker.batch_size", util::metrics::Kind::kHistogram);
     for (auto& sp : shards) {
       Shard& sh = *sp;
-      sh.thread = std::thread([&sh, config, filter] { worker_main(sh, config, filter); });
+      sh.thread = std::thread(
+          [&sh, config, filter, batch_hist] { worker_main(sh, config, filter, batch_hist); });
     }
     merger_thread = std::thread([this, timeout = config.timeout_us] {
       try {
@@ -489,13 +562,33 @@ struct ParallelScanPipeline::Impl {
     });
   }
 
+  /// Bulk-consuming worker loop. Runs are popped from the input ring
+  /// in chunks (one consumer release per chunk), ticks are split from
+  /// records, and each contiguous record span goes through the
+  /// detector's (or filter's) batch path — recovering the grouped
+  /// per-source apply inside the shard. Emitted events are buffered
+  /// locally and flushed to the output ring with one producer release,
+  /// and the watermark is published once per consumed chunk.
+  ///
+  /// Ordering stays intact under both batchings: the watermark is the
+  /// detector clock at the *end* of the chunk, still a lower bound on
+  /// every future finalization, and emitted events are pushed to the
+  /// ring strictly before the watermark store — so the merger can
+  /// never observe a watermark that promises events it cannot yet see.
   static void worker_main(Shard& sh, const DetectorConfig& config,
-                          const std::optional<ArtifactFilterConfig>& filter) {
+                          const std::optional<ArtifactFilterConfig>& filter,
+                          util::metrics::MetricId batch_hist) {
     try {
       bool flushing = false;
       sim::TimeUs det_time = INT64_MIN;
-      ScanDetector det(config,
-                       [&](ScanEvent&& ev) { sh.out.push(OutItem{std::move(ev), 0, flushing}); });
+      std::vector<OutItem> out_buf;
+      const auto flush_out = [&] {
+        if (out_buf.empty()) return;
+        sh.out.push_n(out_buf.data(), out_buf.size());  // moving overload
+        out_buf.clear();
+      };
+      ScanDetector det(
+          config, [&](ScanEvent&& ev) { out_buf.push_back(OutItem{std::move(ev), 0, flushing}); });
       std::unique_ptr<ArtifactFilter> af;
       if (filter)
         af = std::make_unique<ArtifactFilter>(
@@ -505,31 +598,53 @@ struct ParallelScanPipeline::Impl {
               det_time = rr.ts_us;
             },
             [&](const FilterDayStats& s) { sh.day_stats.push_back(s); });
-      while (auto item = sh.in.pop()) {
-        const sim::TimeUs ts = item->rec.ts_us;
-        if (!af) {
-          if (item->tick)
-            det.advance(ts);
-          else
-            det.feed(item->rec);
-          det_time = ts;
-        } else {
-          if (item->tick)
-            af->advance(ts);
-          else
-            af->feed(item->rec);
-          // The detector clock follows the filter's release frontier,
-          // never the raw stream clock: the open day's records are
-          // still buffered behind it.
-          det.advance(day_start(ts));
-          det_time = std::max(det_time, day_start(ts));
+
+      std::vector<InItem> chunk(kWorkerChunk);
+      std::vector<sim::LogRecord> recs(kWorkerChunk);
+      for (std::size_t got; (got = sh.in.pop_n(chunk.data(), chunk.size())) > 0;) {
+        if (util::metrics::enabled()) util::metrics::observe(batch_hist, got);
+        std::size_t i = 0;
+        while (i < got) {
+          if (chunk[i].tick) {
+            const sim::TimeUs ts = chunk[i].rec.ts_us;
+            if (!af) {
+              det.advance(ts);
+              det_time = ts;
+            } else {
+              af->advance(ts);
+              det.advance(day_start(ts));
+              det_time = std::max(det_time, day_start(ts));
+            }
+            ++i;
+            continue;
+          }
+          // Contiguous record span up to the next tick (or chunk end).
+          std::size_t j = i;
+          for (; j < got && !chunk[j].tick; ++j) recs[j - i] = chunk[j].rec;
+          const std::span<const sim::LogRecord> span(recs.data(), j - i);
+          const sim::TimeUs ts = span.back().ts_us;
+          if (!af) {
+            det.feed_batch(span);
+            det_time = ts;
+          } else {
+            af->feed_batch(span);
+            // The detector clock follows the filter's release
+            // frontier, never the raw stream clock: the open day's
+            // records are still buffered behind it.
+            det.advance(day_start(ts));
+            det_time = std::max(det_time, day_start(ts));
+          }
+          i = j;
         }
+        flush_out();  // events must be visible before the watermark
         sh.watermark.store(det_time, std::memory_order_release);
       }
       if (af) af->flush();  // releases the final day into the detector
+      flush_out();          // final-day events precede the +inf watermark
       sh.watermark.store(INT64_MAX, std::memory_order_release);
       flushing = true;
       det.flush();
+      flush_out();
     } catch (...) {
       sh.error = std::current_exception();
       while (sh.in.pop()) {
@@ -632,6 +747,7 @@ struct ParallelIds::Impl {
     if (!sink_in) throw std::invalid_argument("ParallelIds: null sink");
     if (config.adaptive.ladder.empty())
       throw std::invalid_argument("ParallelIds: empty aggregation ladder");
+    validate_parallel(parallel, "ParallelIds");
     {  // borrow the serial front end's full validation
       StreamingIds probe(config, [](const IdsAlert&) {});
     }
@@ -649,10 +765,13 @@ struct ParallelIds::Impl {
     shards.reserve(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i)
       shards.push_back(std::make_unique<Shard>(parallel.ring_capacity, out_cap));
+    feeder.init(shards.size());
 
+    const util::metrics::MetricId batch_hist = util::metrics::register_metric(
+        "ids.pipeline.worker.batch_size", util::metrics::Kind::kHistogram);
     for (auto& sp : shards) {
       Shard& sh = *sp;
-      sh.thread = std::thread([&sh, config] { worker_main(sh, config); });
+      sh.thread = std::thread([&sh, config, batch_hist] { worker_main(sh, config, batch_hist); });
     }
     merger_thread = std::thread([this] {
       try {
@@ -675,9 +794,23 @@ struct ParallelIds::Impl {
     });
   }
 
-  static void worker_main(Shard& sh, const IdsConfig& config) {
+  /// Bulk-consuming IDS worker: same chunked pop / span split /
+  /// buffered emit / per-chunk watermark scheme as the scan pipeline's
+  /// worker, with every ladder level fed the same record span. Events
+  /// of different levels interleave differently on the output ring
+  /// than under per-record feeding, but the merger buffers and orders
+  /// per (shard, level), so only the per-level subsequences matter —
+  /// and those are unchanged.
+  static void worker_main(Shard& sh, const IdsConfig& config,
+                          util::metrics::MetricId batch_hist) {
     try {
       bool flushing = false;
+      std::vector<OutItem> out_buf;
+      const auto flush_out = [&] {
+        if (out_buf.empty()) return;
+        sh.out.push_n(out_buf.data(), out_buf.size());  // moving overload
+        out_buf.clear();
+      };
       std::vector<std::unique_ptr<ScanDetector>> dets;
       dets.reserve(config.adaptive.ladder.size());
       for (std::size_t i = 0; i < config.adaptive.ladder.size(); ++i)
@@ -685,20 +818,35 @@ struct ParallelIds::Impl {
             DetectorConfig{.source_prefix_len = config.adaptive.ladder[i],
                            .min_destinations = config.min_destinations,
                            .timeout_us = config.timeout_us},
-            [&sh, &flushing, i](ScanEvent&& ev) {
-              sh.out.push(
+            [&out_buf, &flushing, i](ScanEvent&& ev) {
+              out_buf.push_back(
                   OutItem{slim_scan_event(ev), static_cast<std::uint16_t>(i), flushing});
             }));
-      while (auto item = sh.in.pop()) {
-        if (item->tick)
-          for (auto& d : dets) d->advance(item->rec.ts_us);
-        else
-          for (auto& d : dets) d->feed(item->rec);
-        sh.watermark.store(item->rec.ts_us, std::memory_order_release);
+
+      std::vector<InItem> chunk(kWorkerChunk);
+      std::vector<sim::LogRecord> recs(kWorkerChunk);
+      for (std::size_t got; (got = sh.in.pop_n(chunk.data(), chunk.size())) > 0;) {
+        if (util::metrics::enabled()) util::metrics::observe(batch_hist, got);
+        std::size_t i = 0;
+        while (i < got) {
+          if (chunk[i].tick) {
+            for (auto& d : dets) d->advance(chunk[i].rec.ts_us);
+            ++i;
+            continue;
+          }
+          std::size_t j = i;
+          for (; j < got && !chunk[j].tick; ++j) recs[j - i] = chunk[j].rec;
+          const std::span<const sim::LogRecord> span(recs.data(), j - i);
+          for (auto& d : dets) d->feed_batch(span);
+          i = j;
+        }
+        flush_out();  // events must be visible before the watermark
+        sh.watermark.store(chunk[got - 1].rec.ts_us, std::memory_order_release);
       }
       sh.watermark.store(INT64_MAX, std::memory_order_release);
       flushing = true;
       for (auto& d : dets) d->flush();
+      flush_out();
     } catch (...) {
       sh.error = std::current_exception();
       while (sh.in.pop()) {

@@ -38,6 +38,8 @@ struct ParallelConfig {
   /// Worker threads (shards). 0 = one per hardware thread.
   int threads = 0;
   /// Records buffered per worker ring (rounded up to a power of two).
+  /// Must be at least 8 — the ring's own capacity floor; pipeline
+  /// constructors throw std::invalid_argument on smaller values.
   std::size_t ring_capacity = 1 << 14;
   /// Broadcast a clock tick to every shard after this much stream
   /// time, so shards that receive no traffic still advance and the

@@ -215,6 +215,12 @@ std::optional<std::uint64_t> MetricsSnapshot::gauge(std::string_view name) const
   return std::nullopt;
 }
 
+std::optional<HistogramData> MetricsSnapshot::histogram(std::string_view name) const {
+  for (const auto& [n, v] : histograms)
+    if (n == name) return v;
+  return std::nullopt;
+}
+
 std::uint64_t MetricsSnapshot::counter_sum(std::string_view prefix) const {
   std::uint64_t sum = 0;
   for (const auto& [n, v] : counters)

@@ -121,6 +121,7 @@ struct MetricsSnapshot {
   /// Lookup helpers (tests, bench reporting). nullopt if unregistered.
   [[nodiscard]] std::optional<std::uint64_t> counter(std::string_view name) const;
   [[nodiscard]] std::optional<std::uint64_t> gauge(std::string_view name) const;
+  [[nodiscard]] std::optional<HistogramData> histogram(std::string_view name) const;
   /// Sum of every counter whose name starts with `prefix`.
   [[nodiscard]] std::uint64_t counter_sum(std::string_view prefix) const;
   /// Max over every gauge whose name starts with `prefix` (0 if none).

@@ -12,6 +12,11 @@
 // Capacity is rounded up to a power of two. Elements are moved in and
 // out, so move-only types work; T must be default-constructible (the
 // slots are value-initialized up front).
+//
+// Both sides have bulk twins (try_push_n/push_n, try_pop_n/pop_n)
+// that transfer a whole run per acquire/release pair — the primitive
+// the batched pipeline leans on to make per-record synchronization
+// cost vanish.
 #pragma once
 
 #include <atomic>
@@ -20,6 +25,7 @@
 #include <cstdint>
 #include <optional>
 #include <thread>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -98,36 +104,47 @@ class SpscRing {
   /// many were accepted (whatever fits; 0 when full). One release per
   /// run instead of one per element is what makes batched feeding
   /// cheaper than n try_push calls — same ordering, fewer fences.
-  [[nodiscard]] std::size_t try_push_n(const T* v, std::size_t n) {
-    const std::size_t tail = tail_.load(std::memory_order_relaxed);
-    std::size_t room = capacity() - (tail - head_cache_);
-    if (room < n) {
-      head_cache_ = head_.load(std::memory_order_acquire);
-      room = capacity() - (tail - head_cache_);
-    }
-    const std::size_t take = n < room ? n : room;
-    for (std::size_t i = 0; i < take; ++i) slots_[(tail + i) & mask_] = v[i];
-    if (take > 0) {
-      tail_.store(tail + take, std::memory_order_release);
-      if (stats_) stats_->note_occupancy(tail + take - head_cache_);
-    }
-    return take;
-  }
+  [[nodiscard]] std::size_t try_push_n(const T* v, std::size_t n) { return push_run(v, n); }
+  /// Non-const overload: elements are moved into the ring (for
+  /// payloads that own storage, e.g. events carrying vectors).
+  [[nodiscard]] std::size_t try_push_n(T* v, std::size_t n) { return push_run(v, n); }
 
   /// Producer side: block until all `n` elements are in. Publishes in
   /// chunks as space frees up; each chunk is one tail release.
-  void push_n(const T* v, std::size_t n) {
-    std::size_t done = 0, spins = 0;
-    while (done < n) {
-      const std::size_t took = try_push_n(v + done, n - done);
-      if (took == 0) {
-        if (stats_ && spins == 0)
-          stats_->producer_blocked.fetch_add(1, std::memory_order_relaxed);
-        backoff(spins, stats_ ? &stats_->producer_parks : nullptr);
-        continue;
-      }
-      spins = 0;
-      done += took;
+  void push_n(const T* v, std::size_t n) { push_all(v, n); }
+  /// Non-const overload: moves elements in (see try_push_n).
+  void push_n(T* v, std::size_t n) { push_all(v, n); }
+
+  /// Consumer side: pop up to `n` elements into `out` (moved out),
+  /// consuming the whole run with a single head release. Returns how
+  /// many were taken (whatever is visible; 0 when empty). The bulk
+  /// twin of try_push_n: one acquire/release pair per run instead of
+  /// one per element.
+  [[nodiscard]] std::size_t try_pop_n(T* out, std::size_t n) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    std::size_t avail = tail_cache_ - head;
+    if (avail < n) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      avail = tail_cache_ - head;
+    }
+    const std::size_t take = n < avail ? n : avail;
+    for (std::size_t i = 0; i < take; ++i) out[i] = std::move(slots_[(head + i) & mask_]);
+    if (take > 0) head_.store(head + take, std::memory_order_release);
+    return take;
+  }
+
+  /// Consumer side: block until at least one element arrives or the
+  /// ring is closed and drained; returns how many (<= n) were popped
+  /// into `out`, 0 meaning end-of-stream.
+  [[nodiscard]] std::size_t pop_n(T* out, std::size_t n) {
+    std::size_t spins = 0;
+    for (;;) {
+      // Order matters, as in pop(): read `closed` before re-checking
+      // emptiness, or a final push+close between the loads is lost.
+      const bool closed = closed_.load(std::memory_order_acquire);
+      if (const std::size_t got = try_pop_n(out, n)) return got;
+      if (closed) return 0;
+      backoff(spins, stats_ ? &stats_->consumer_parks : nullptr);
     }
   }
 
@@ -167,6 +184,46 @@ class SpscRing {
   }
 
  private:
+  /// Shared body of try_push_n: copies from a const source, moves from
+  /// a mutable one (P is `const T` or `T`).
+  template <typename P>
+  [[nodiscard]] std::size_t push_run(P* v, std::size_t n) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t room = capacity() - (tail - head_cache_);
+    if (room < n) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      room = capacity() - (tail - head_cache_);
+    }
+    const std::size_t take = n < room ? n : room;
+    for (std::size_t i = 0; i < take; ++i) {
+      if constexpr (std::is_const_v<P>)
+        slots_[(tail + i) & mask_] = v[i];
+      else
+        slots_[(tail + i) & mask_] = std::move(v[i]);
+    }
+    if (take > 0) {
+      tail_.store(tail + take, std::memory_order_release);
+      if (stats_) stats_->note_occupancy(tail + take - head_cache_);
+    }
+    return take;
+  }
+
+  template <typename P>
+  void push_all(P* v, std::size_t n) {
+    std::size_t done = 0, spins = 0;
+    while (done < n) {
+      const std::size_t took = push_run(v + done, n - done);
+      if (took == 0) {
+        if (stats_ && spins == 0)
+          stats_->producer_blocked.fetch_add(1, std::memory_order_relaxed);
+        backoff(spins, stats_ ? &stats_->producer_parks : nullptr);
+        continue;
+      }
+      spins = 0;
+      done += took;
+    }
+  }
+
   static void backoff(std::size_t& spins, std::atomic<std::uint64_t>* parks) noexcept {
     ++spins;
     if (spins < 64) return;  // stay on-core for short waits

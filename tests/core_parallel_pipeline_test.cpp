@@ -4,6 +4,7 @@
 // counterpart on a seeded multi-day workload.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "core/artifact_filter.hpp"
@@ -128,6 +129,21 @@ TEST(ParallelScanPipeline, RejectsBadConfigAndInput) {
   EXPECT_THROW(pipe.feed(r), std::logic_error);
 }
 
+TEST(ParallelScanPipeline, RejectsBadRingCapacity) {
+  // Degenerate ring capacities are configuration errors, not silent
+  // round-ups: a 0- or 4-slot ring would deadlock or thrash.
+  const auto sink = [](ScanEvent&&) {};
+  EXPECT_THROW(ParallelScanPipeline({}, {.threads = 2, .ring_capacity = 0}, sink),
+               std::invalid_argument);
+  EXPECT_THROW(ParallelScanPipeline({}, {.threads = 2, .ring_capacity = 4}, sink),
+               std::invalid_argument);
+  EXPECT_THROW(ParallelIds({}, {.threads = 2, .ring_capacity = 7}, [](const IdsAlert&) {}),
+               std::invalid_argument);
+  // 8 is the documented floor and must be accepted.
+  ParallelScanPipeline ok({}, {.threads = 2, .ring_capacity = 8}, sink);
+  ok.flush();
+}
+
 TEST(ParallelScanPipeline, EmptyStreamEmitsNothing) {
   std::size_t events = 0;
   ParallelScanPipeline pipe({}, {.threads = 4}, [&](ScanEvent&&) { ++events; });
@@ -240,6 +256,57 @@ TEST(ParallelScanPipeline, FilteredChainMatchesSerialChain) {
       EXPECT_EQ(stats[i].sources_seen, serial_stats[i].sources_seen);
       EXPECT_EQ(stats[i].sources_dropped, serial_stats[i].sources_dropped);
       EXPECT_EQ(stats[i].dropped_by_port, serial_stats[i].dropped_by_port);
+    }
+  }
+}
+
+TEST(ParallelScanPipeline, FilteredChainMatchesSerialAcrossBatchSizes) {
+  // The bulk data plane has three batch boundaries — feeder runs,
+  // worker chunk pops, merger drains — and none of them may show
+  // through: every feed batch size must yield the serial chain's exact
+  // events and day statistics at every thread count.
+  const auto records = workload(60'000);
+  const DetectorConfig dcfg{.source_prefix_len = 64};
+  const ArtifactFilterConfig fcfg{};
+
+  std::vector<ScanEvent> serial_events;
+  std::vector<FilterDayStats> serial_stats;
+  {
+    ScanDetector det(dcfg, [&](ScanEvent&& ev) { serial_events.push_back(std::move(ev)); });
+    ArtifactFilter filter(
+        fcfg, [&](const sim::LogRecord& r) { det.feed(r); },
+        [&](const FilterDayStats& s) { serial_stats.push_back(s); });
+    for (const auto& r : records) filter.feed(r);
+    filter.flush();
+    det.flush();
+  }
+  ASSERT_FALSE(serial_events.empty());
+  std::uint64_t serial_dropped = 0;
+  for (const auto& s : serial_stats) serial_dropped += s.packets_dropped;
+  ASSERT_GT(serial_dropped, 0u) << "workload exercised no filtering";
+
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{7}, std::size_t{64}, records.size()}) {
+    for (const int threads : {1, 2, 3, 8}) {
+      std::vector<ScanEvent> parallel_events;
+      ParallelScanPipeline pipe(dcfg, fcfg, {.threads = threads},
+                                [&](ScanEvent&& ev) { parallel_events.push_back(std::move(ev)); });
+      for (std::size_t i = 0; i < records.size(); i += batch)
+        pipe.feed_batch({records.data() + i, std::min(batch, records.size() - i)});
+      pipe.flush();
+      EXPECT_TRUE(serial_events == parallel_events)
+          << "batch " << batch << ", " << threads << " threads";
+
+      const auto& stats = pipe.filter_stats();
+      ASSERT_EQ(stats.size(), serial_stats.size())
+          << "batch " << batch << ", " << threads << " threads";
+      for (std::size_t i = 0; i < stats.size(); ++i) {
+        EXPECT_EQ(stats[i].day, serial_stats[i].day);
+        EXPECT_EQ(stats[i].packets_in, serial_stats[i].packets_in);
+        EXPECT_EQ(stats[i].packets_dropped, serial_stats[i].packets_dropped);
+        EXPECT_EQ(stats[i].sources_seen, serial_stats[i].sources_seen);
+        EXPECT_EQ(stats[i].sources_dropped, serial_stats[i].sources_dropped);
+        EXPECT_EQ(stats[i].dropped_by_port, serial_stats[i].dropped_by_port);
+      }
     }
   }
 }

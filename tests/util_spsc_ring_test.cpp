@@ -3,6 +3,7 @@
 // hand-off the pipeline depends on.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <numeric>
 #include <thread>
@@ -121,6 +122,113 @@ TEST(SpscRing, PushNBlocksUntilAllDelivered) {
   EXPECT_EQ(received, kCount);
   EXPECT_TRUE(ordered);
   EXPECT_EQ(sum, static_cast<std::uint64_t>(kCount) * (kCount - 1) / 2);
+}
+
+TEST(SpscRing, TryPopNTakesWhatIsThere) {
+  SpscRing<int> ring(8);
+  std::vector<int> run{0, 1, 2, 3, 4};
+  ring.push_n(run.data(), run.size());
+  int out[8] = {};
+  // Asking for more than is buffered returns the partial run, in order.
+  EXPECT_EQ(ring.try_pop_n(out, 8), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(out[i], i);
+  EXPECT_EQ(ring.try_pop_n(out, 8), 0u);  // now empty
+  // Asking for less than is buffered takes exactly n.
+  ring.push_n(run.data(), run.size());
+  EXPECT_EQ(ring.try_pop_n(out, 2), 2u);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[1], 1);
+  EXPECT_EQ(ring.try_pop_n(out, 8), 3u);  // the remainder
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(out[i], i + 2);
+}
+
+TEST(SpscRing, PopNAcrossWraparound) {
+  SpscRing<int> ring(8);
+  int next_in = 0, next_out = 0;
+  // Runs of 5 through an 8-slot ring cycle the indices past capacity;
+  // each bulk pop must hand back the run contiguously and in order.
+  for (int round = 0; round < 100; ++round) {
+    std::vector<int> run(5);
+    std::iota(run.begin(), run.end(), next_in);
+    next_in += 5;
+    ring.push_n(run.data(), run.size());
+    int out[8] = {};
+    ASSERT_EQ(ring.try_pop_n(out, 8), 5u);
+    for (int i = 0; i < 5; ++i) ASSERT_EQ(out[i], next_out++);
+  }
+  EXPECT_EQ(next_out, 500);
+}
+
+TEST(SpscRing, PopNDrainsBufferedElementsAfterClose) {
+  SpscRing<int> ring(8);
+  std::vector<int> run{1, 2, 3};
+  ring.push_n(run.data(), run.size());
+  ring.close();
+  int out[8] = {};
+  // Buffered elements survive the close; only then end-of-stream.
+  EXPECT_EQ(ring.pop_n(out, 2), 2u);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 2);
+  EXPECT_EQ(ring.pop_n(out, 8), 1u);
+  EXPECT_EQ(out[0], 3);
+  EXPECT_EQ(ring.pop_n(out, 8), 0u);
+  EXPECT_TRUE(ring.drained());
+}
+
+TEST(SpscRing, MoveOnlyPayloadThroughBulkPaths) {
+  SpscRing<std::unique_ptr<int>> ring(8);
+  std::vector<std::unique_ptr<int>> run;
+  for (int i = 0; i < 5; ++i) run.push_back(std::make_unique<int>(i));
+  ring.push_n(run.data(), run.size());  // non-const overload: moves in
+  for (const auto& p : run) EXPECT_EQ(p, nullptr);
+  std::unique_ptr<int> out[8];
+  ASSERT_EQ(ring.try_pop_n(out, 8), 5u);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_NE(out[i], nullptr);
+    EXPECT_EQ(*out[i], i);
+  }
+}
+
+TEST(SpscRing, StatsCountOccupancyAndProducerBlocking) {
+  SpscRingStats stats;
+  SpscRing<int> ring(8);
+  ring.set_stats(&stats);
+  std::vector<int> run(8);
+  std::iota(run.begin(), run.end(), 0);
+  ring.push_n(run.data(), run.size());  // fills the ring exactly
+  EXPECT_EQ(stats.occupancy_hw.load(), 8u);
+  EXPECT_EQ(stats.producer_blocked.load(), 0u);
+  // A push into the full ring blocks until the consumer frees slots.
+  std::thread producer([&] {
+    std::vector<int> more{8, 9};
+    ring.push_n(more.data(), more.size());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  int out[16] = {};
+  std::size_t got = 0;
+  while (got < 10) got += ring.pop_n(out + got, 16 - got);
+  producer.join();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(out[i], i);
+  EXPECT_GE(stats.producer_blocked.load(), 1u);
+}
+
+TEST(SpscRing, StatsCountConsumerParks) {
+  SpscRingStats stats;
+  SpscRing<int> ring(8);
+  ring.set_stats(&stats);
+  std::thread consumer([&] {
+    int out[8] = {};
+    // Blocks on the empty ring long enough to escalate past the
+    // spin/yield phases into at least one park.
+    EXPECT_EQ(ring.pop_n(out, 8), 1u);
+    EXPECT_EQ(out[0], 7);
+    EXPECT_EQ(ring.pop_n(out, 8), 0u);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ring.push(7);
+  ring.close();
+  consumer.join();
+  EXPECT_GE(stats.consumer_parks.load(), 1u);
 }
 
 TEST(SpscRing, BlockingHandOffAcrossThreads) {

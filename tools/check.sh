@@ -2,7 +2,7 @@
 # Sanitized check of the threaded pipeline and the batched data plane,
 # plus an end-to-end metrics smoke check.
 #
-#   tools/check.sh [thread|address|metrics|all]    (default: thread)
+#   tools/check.sh [thread|address|metrics|perf|all]    (default: thread)
 #
 # `thread`/`address` configure a separate build tree (build-tsan/ or
 # build-asan/) with -DV6SONAR_SANITIZE=<kind>, build the relevant test
@@ -14,18 +14,76 @@
 # errors (-DV6SONAR_WERROR=ON), generates a small world, runs
 # `v6sonar detect --mmap --threads 4 --metrics=…`, and validates the
 # JSON snapshot (nonzero ingestion/feed counters, per-shard ring
-# gauges, full guard-fallback breakdown). `all` runs every config.
-# Exits non-zero on any sanitizer report, test failure, new warning in
-# the metrics build, or missing/zero metric.
+# gauges, full guard-fallback breakdown). `perf` builds the release
+# bench tree and runs `bench_parallel_pipeline` on a small record
+# count (V6SONAR_PIPELINE_RECORDS) in a scratch directory, verifying
+# the speedup and bulk-consumption fields land in the
+# `parallel_pipeline_bulk` section of BENCH_pipeline.json — a smoke
+# test for the bench plumbing, not a performance measurement. `all`
+# runs every config. Exits non-zero on any sanitizer report, test
+# failure, new warning in the metrics build, or missing/zero metric.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 kind="${1:-thread}"
 case "$kind" in
-  thread|address|metrics) ;;
-  all) "$0" thread && "$0" address && exec "$0" metrics ;;
-  *) echo "usage: tools/check.sh [thread|address|metrics|all]" >&2; exit 2 ;;
+  thread|address|metrics|perf) ;;
+  all) "$0" thread && "$0" address && "$0" metrics && exec "$0" perf ;;
+  *) echo "usage: tools/check.sh [thread|address|metrics|perf|all]" >&2; exit 2 ;;
 esac
+
+if [[ "$kind" == perf ]]; then
+  tree=build-perf
+  cmake -B "$tree" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+  cmake --build "$tree" -j"$(nproc)" --target bench_parallel_pipeline
+
+  # Run in a scratch directory: the bench writes BENCH_pipeline.json
+  # into its CWD, and smoke-run numbers must not clobber the repo's
+  # full-run records.
+  work="$(mktemp -d)"
+  trap 'rm -rf "$work"' EXIT
+  bench="$PWD/$tree/bench/bench_parallel_pipeline"
+  (cd "$work" && V6SONAR_PIPELINE_RECORDS=200000 "$bench")
+
+  python3 - "$work/BENCH_pipeline.json" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as fh:
+    bench = json.load(fh)
+
+failures = []
+row = bench.get("parallel_pipeline_bulk")
+if row is None:
+    failures.append("parallel_pipeline_bulk section missing")
+    row = {}
+# Every speedup the table prints must land in the JSON, batched and
+# record-at-a-time, so regressions in either feed path are visible.
+for t in (1, 2, 3, 8):
+    for suffix in ("", "_batched"):
+        key = f"speedup_{t}t{suffix}"
+        if row.get(key, 0) <= 0:
+            failures.append(f"field {key} missing or nonpositive")
+# Bulk-consumption telemetry: the instrumented pass must show worker
+# chunk pops actually carrying multiple records. (merger_drain_mean_8t
+# may be 0 here — a 200k-record smoke run emits few or no events.)
+if row.get("worker_batch_mean_8t", 0) <= 1:
+    failures.append("worker_batch_mean_8t missing or <=1: bulk pop path not engaged")
+if "merger_drain_mean_8t" not in row:
+    failures.append("merger_drain_mean_8t field missing")
+if row.get("serial_rps", 0) <= 0:
+    failures.append("serial_rps missing or zero")
+
+if failures:
+    print("perf smoke check FAILED:", *failures, sep="\n  ", file=sys.stderr)
+    sys.exit(1)
+print(f"perf smoke ok: serial {row['serial_rps']} rec/s, "
+      f"8t batched speedup {row['speedup_8t_batched']}x, "
+      f"mean worker chunk {row['worker_batch_mean_8t']} records")
+PY
+
+  echo "check.sh: perf smoke check passed (bench fields present in BENCH_pipeline.json)"
+  exit 0
+fi
 
 if [[ "$kind" == metrics ]]; then
   tree=build-metrics

@@ -54,6 +54,7 @@ struct Options {
   std::int64_t timeout_sec = 3'600;
   std::size_t top = 20;
   int threads = 1;  ///< 1 = serial; 0 = auto (hardware threads)
+  std::size_t ring_cap = 1 << 14;  ///< per-worker ring slots (parallel detect)
   bool mmap = false;
 };
 
@@ -79,6 +80,9 @@ struct Options {
       "  --threads <n>     detection worker threads, detect only (default 1;\n"
       "                    0 = one per hardware thread); output is identical\n"
       "                    to the serial detector\n"
+      "  --ring-cap <n>    records buffered per worker ring, parallel detect\n"
+      "                    only (default 16384, minimum 8; rounded up to a\n"
+      "                    power of two)\n"
       "  --mmap            detect only: stream a .v6slog via the zero-copy mapped\n"
       "                    reader in batches instead of loading it into memory\n"
       "\n"
@@ -168,6 +172,13 @@ Options parse_options(int argc, char** argv, int first) {
                      o.threads);
         std::exit(2);
       }
+    } else if (std::strcmp(argv[i], "--ring-cap") == 0) {
+      o.ring_cap = parse_int<std::size_t>("--ring-cap", need_value("--ring-cap"));
+      if (o.ring_cap < 8) {
+        std::fprintf(stderr, "error: --ring-cap must be at least 8 slots, got %zu\n",
+                     o.ring_cap);
+        std::exit(2);
+      }
     } else if (std::strcmp(argv[i], "--mmap") == 0) {
       o.mmap = true;
     } else {
@@ -218,7 +229,8 @@ int cmd_detect(const std::string& path, const Options& o) {
     }
   };
   if (o.threads != 1) {  // 0 = auto resolves inside the pipeline
-    core::ParallelScanPipeline pipeline(cfg, {.threads = o.threads}, sink);
+    core::ParallelScanPipeline pipeline(
+        cfg, {.threads = o.threads, .ring_capacity = o.ring_cap}, sink);
     run([&](std::span<const sim::LogRecord> batch) { pipeline.feed_batch(batch); });
     pipeline.flush();
   } else {
