@@ -38,9 +38,9 @@ void print_table2() {
   // Rank by paper-equivalent (re-weighted) packets at /64.
   std::vector<std::pair<double, std::uint32_t>> ranked;
   double total_eq = 0;
-  for (const auto& [asn, a] : by_as64) {
-    const double eq = meta.paper_equivalent(asn, a.packets);
-    ranked.push_back({eq, asn});
+  for (const auto& a : by_as64) {
+    const double eq = meta.paper_equivalent(a.asn, a.packets);
+    ranked.push_back({eq, a.asn});
     total_eq += eq;
   }
   std::sort(ranked.rbegin(), ranked.rend());
@@ -55,9 +55,12 @@ void print_table2() {
     const std::string label = info ? std::string(sim::to_string(info->type)) + " (" +
                                          info->country + ")"
                                    : "AS" + std::to_string(asn);
-    auto count_of = [&](const std::map<std::uint32_t, analysis::AsSources>& m) {
-      const auto it = m.find(asn);
-      return it == m.end() ? std::uint64_t{0} : it->second.sources;
+    auto count_of = [&](const std::vector<analysis::AsSources>& rows) {
+      // Rows are sorted by ASN.
+      const auto it = std::lower_bound(
+          rows.begin(), rows.end(), asn,
+          [](const analysis::AsSources& r, std::uint32_t key) { return r.asn < key; });
+      return it == rows.end() || it->asn != asn ? std::uint64_t{0} : it->sources;
     };
     table.add_row({"#" + std::to_string(i + 1), label,
                    util::compact_count(static_cast<std::uint64_t>(eq)),

@@ -1,0 +1,75 @@
+// Base class for the incremental (streaming) analyzers.
+//
+// Each analyzer is a core::EventSink that folds scan events into one
+// of the paper's characterization tables as they arrive, in memory
+// bounded by the number of distinct sources / ASes / ports / weeks —
+// never by the number of events. The legacy vector-folding entry
+// points (fold_sources, fold_by_as, weekly_series, ...) are thin
+// adapters that replay a materialized vector through the same
+// analyzer, so both paths produce bit-identical results by
+// construction.
+//
+// The base centralizes the sink-side telemetry (docs/OBSERVABILITY.md):
+//   analysis.sink.events        events consumed across all analyzers
+//   analysis.<name>.flush_us    per-analyzer flush() wall time
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <string_view>
+
+#include "core/event_sink.hpp"
+#include "util/metrics.hpp"
+
+namespace v6sonar::analysis {
+
+class Analyzer : public core::EventSink {
+ public:
+  /// Sink entry point: counts the event, then folds it via consume().
+  void on_event(core::ScanEvent&& ev) final { observe(ev); }
+
+  /// Same fold without taking ownership — the adapter path for
+  /// replaying an existing vector through the analyzer with no copies.
+  void observe(const core::ScanEvent& ev) {
+    sink_events().add();
+    consume(ev);
+  }
+
+  /// Stream complete: runs finish() and records its wall time in the
+  /// analyzer's flush_us histogram.
+  void flush() final {
+    if (!util::metrics::enabled()) {
+      finish();
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    finish();
+    const auto us =
+        std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() - t0)
+            .count();
+    util::metrics::observe(flush_us_, static_cast<std::uint64_t>(us));
+  }
+
+ protected:
+  /// `name` keys the flush histogram: analysis.<name>.flush_us.
+  explicit Analyzer(std::string_view name)
+      : flush_us_(util::metrics::register_metric(std::string("analysis.") + std::string(name) +
+                                                     ".flush_us",
+                                                 util::metrics::Kind::kHistogram)) {}
+
+  /// Fold one event into the accumulators.
+  virtual void consume(const core::ScanEvent& ev) = 0;
+  /// Finalize derived state (most analyzers are render-on-read and
+  /// need nothing here).
+  virtual void finish() {}
+
+ private:
+  static const util::metrics::Counter& sink_events() {
+    static const util::metrics::Counter c{"analysis.sink.events"};
+    return c;
+  }
+
+  util::metrics::MetricId flush_us_;
+};
+
+}  // namespace v6sonar::analysis

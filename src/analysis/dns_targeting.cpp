@@ -2,39 +2,41 @@
 
 namespace v6sonar::analysis {
 
-DnsTargetingReport dns_targeting(const std::vector<core::ScanEvent>& events,
-                                 std::uint32_t exclude_asn) {
-  struct Acc {
-    std::uint64_t dsts = 0;
-    std::uint64_t in_dns = 0;
-  };
-  std::map<net::Ipv6Prefix, Acc> by_source;
-  for (const auto& ev : events) {
-    if (exclude_asn != 0 && ev.src_asn == exclude_asn) continue;
-    auto& a = by_source[ev.source];
-    // Summing per-event distinct counts can double-count targets hit in
-    // several events of one source; the in/not-in ratio is what §3.3
-    // reports and it is preserved.
-    a.dsts += ev.distinct_dsts;
-    a.in_dns += ev.distinct_dsts_in_dns;
-  }
+void DnsTargetingAnalyzer::consume(const core::ScanEvent& ev) {
+  if (exclude_asn_ != 0 && ev.src_asn == exclude_asn_) return;
+  auto& a = by_source_[ev.source];
+  // Summing per-event distinct counts can double-count targets hit in
+  // several events of one source; the in/not-in ratio is what §3.3
+  // reports and it is preserved.
+  a.dsts += ev.distinct_dsts;
+  a.in_dns += ev.distinct_dsts_in_dns;
+}
 
+DnsTargetingReport DnsTargetingAnalyzer::report() const {
   DnsTargetingReport rep;
-  rep.sources = by_source.size();
-  if (by_source.empty()) return rep;
+  rep.sources = by_source_.size();
+  if (by_source_.empty()) return rep;
   std::size_t all_in = 0, third_not = 0;
-  for (const auto& [src, a] : by_source) {
+  by_source_.for_each([&](const net::Ipv6Prefix& src, const Acc& a) {
     const double not_in =
         a.dsts == 0 ? 0.0
                     : static_cast<double>(a.dsts - a.in_dns) / static_cast<double>(a.dsts);
     rep.not_in_dns_fraction.emplace(src, not_in);
     all_in += not_in == 0.0;
     third_not += not_in >= 1.0 / 3.0;
-  }
-  rep.all_in_dns_fraction = static_cast<double>(all_in) / static_cast<double>(by_source.size());
+  });
+  rep.all_in_dns_fraction = static_cast<double>(all_in) / static_cast<double>(by_source_.size());
   rep.third_not_in_dns_fraction =
-      static_cast<double>(third_not) / static_cast<double>(by_source.size());
+      static_cast<double>(third_not) / static_cast<double>(by_source_.size());
   return rep;
+}
+
+DnsTargetingReport dns_targeting(const std::vector<core::ScanEvent>& events,
+                                 std::uint32_t exclude_asn) {
+  DnsTargetingAnalyzer a(exclude_asn);
+  for (const auto& ev : events) a.observe(ev);
+  a.flush();
+  return a.report();
 }
 
 NearbyProbeAnalysis::NearbyProbeAnalysis(std::vector<net::Ipv6Prefix> sources,

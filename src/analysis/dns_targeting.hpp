@@ -9,9 +9,11 @@
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/analyzer.hpp"
 #include "core/scan_event.hpp"
 #include "net/prefix.hpp"
 #include "sim/record.hpp"
+#include "util/flat_hash.hpp"
 
 namespace v6sonar::analysis {
 
@@ -24,6 +26,28 @@ struct DnsTargetingReport {
   double third_not_in_dns_fraction = 0;
   /// Per-source not-in-DNS fraction, keyed by source (for drill-down).
   std::map<net::Ipv6Prefix, double> not_in_dns_fraction;
+};
+
+/// Streaming per-source DNS-targeting fold (§3.3); the incremental
+/// core behind dns_targeting() (see analyzer.hpp).
+class DnsTargetingAnalyzer final : public Analyzer {
+ public:
+  /// `exclude_asn` (0 = none) removes one AS (the paper reports AS #18
+  /// separately since it holds 80% of /64 sources).
+  explicit DnsTargetingAnalyzer(std::uint32_t exclude_asn = 0)
+      : Analyzer("dns_targeting"), exclude_asn_(exclude_asn) {}
+
+  [[nodiscard]] DnsTargetingReport report() const;
+
+ private:
+  void consume(const core::ScanEvent& ev) override;
+
+  struct Acc {
+    std::uint64_t dsts = 0;
+    std::uint64_t in_dns = 0;
+  };
+  std::uint32_t exclude_asn_;
+  util::FlatMap<net::Ipv6Prefix, Acc> by_source_;
 };
 
 /// `exclude_asn` (0 = none) removes one AS (the paper reports AS #18

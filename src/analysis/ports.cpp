@@ -1,10 +1,6 @@
 #include "analysis/ports.hpp"
 
 #include <algorithm>
-#include <map>
-#include <set>
-
-#include "net/prefix.hpp"
 
 namespace v6sonar::analysis {
 
@@ -26,81 +22,100 @@ std::string_view to_string(PortBucket b) noexcept {
   return "?";
 }
 
-PortBucketShares port_bucket_shares(const std::vector<core::ScanEvent>& events) {
+void PortBucketAnalyzer::consume(const core::ScanEvent& ev) {
+  const auto b = static_cast<std::uint32_t>(classify_ports(ev));
+  ++scans_[b];
+  packets_[b] += ev.packets;
+  ++total_scans_;
+  total_packets_ += ev.packets;
+  // A source that ever ran a multi-port scan counts in the widest
+  // bucket it exhibited.
+  std::uint32_t& widest = source_bucket_[ev.source];
+  widest = std::max(widest, b);
+}
+
+PortBucketShares PortBucketAnalyzer::shares() const {
   PortBucketShares out;
-  std::uint64_t scans[4] = {}, packets[4] = {};
-  std::map<net::Ipv6Prefix, int> source_bucket;  // source -> coarsest bucket seen
-  std::uint64_t total_packets = 0;
-
-  for (const auto& ev : events) {
-    const int b = static_cast<int>(classify_ports(ev));
-    ++scans[b];
-    packets[b] += ev.packets;
-    total_packets += ev.packets;
-    // A source that ever ran a multi-port scan counts in the widest
-    // bucket it exhibited.
-    auto [it, inserted] = source_bucket.try_emplace(ev.source, b);
-    if (!inserted) it->second = std::max(it->second, b);
-  }
   std::uint64_t sources[4] = {};
-  for (const auto& [src, b] : source_bucket) ++sources[static_cast<std::size_t>(b)];
+  source_bucket_.for_each(
+      [&](const net::Ipv6Prefix&, std::uint32_t b) { ++sources[b]; });
 
-  out.total_scans = events.size();
-  const double ns = static_cast<double>(events.size());
-  const double nsrc = static_cast<double>(source_bucket.size());
-  const double np = static_cast<double>(total_packets);
+  out.total_scans = total_scans_;
+  const double ns = static_cast<double>(total_scans_);
+  const double nsrc = static_cast<double>(source_bucket_.size());
+  const double np = static_cast<double>(total_packets_);
   for (int b = 0; b < 4; ++b) {
-    out.scans[b] = ns > 0 ? scans[b] / ns : 0;
-    out.sources[b] = nsrc > 0 ? sources[b] / nsrc : 0;
-    out.packets[b] = np > 0 ? static_cast<double>(packets[b]) / np : 0;
+    out.scans[b] = ns > 0 ? static_cast<double>(scans_[b]) / ns : 0;
+    out.sources[b] = nsrc > 0 ? static_cast<double>(sources[b]) / nsrc : 0;
+    out.packets[b] = np > 0 ? static_cast<double>(packets_[b]) / np : 0;
   }
+  return out;
+}
+
+PortBucketShares port_bucket_shares(const std::vector<core::ScanEvent>& events) {
+  PortBucketAnalyzer a;
+  for (const auto& ev : events) a.observe(ev);
+  a.flush();
+  return a.shares();
+}
+
+void TopPortsAnalyzer::consume(const core::ScanEvent& ev) {
+  if (exclude_ && exclude_(ev)) return;
+  ++total_scans_;
+  all_sources_.insert(ev.source);
+  for (const auto& [port, pkts] : ev.port_packets) {
+    auto& acc = by_port_[port];
+    acc.packets += pkts;
+    total_packets_ += pkts;
+    ++acc.scans;
+    if (port_source_seen_.insert({port, ev.source})) ++acc.sources;
+  }
+}
+
+TopPorts TopPortsAnalyzer::result() const {
+  // Collect port-ascending (matching the ordered-map fold), then
+  // stable-sort by share so ties keep port order, and truncate to n.
+  struct Entry {
+    std::uint32_t port;
+    Acc acc;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(by_port_.size());
+  by_port_.for_each([&](std::uint32_t port, const Acc& acc) { entries.push_back({port, acc}); });
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.port < b.port; });
+
+  const auto rank = [this](std::vector<TopPortsRow> rows) {
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const TopPortsRow& a, const TopPortsRow& b) { return a.share > b.share; });
+    if (rows.size() > n_) rows.resize(n_);
+    return rows;
+  };
+  const auto shares = [&entries](double denom, auto&& value_of) {
+    std::vector<TopPortsRow> rows;
+    rows.reserve(entries.size());
+    for (const auto& e : entries)
+      rows.push_back({static_cast<std::uint16_t>(e.port),
+                      denom > 0 ? value_of(e.acc) / denom : 0.0});
+    return rows;
+  };
+
+  TopPorts out;
+  out.by_packets = rank(shares(static_cast<double>(total_packets_),
+                               [](const Acc& a) { return static_cast<double>(a.packets); }));
+  out.by_scans = rank(shares(static_cast<double>(total_scans_),
+                             [](const Acc& a) { return static_cast<double>(a.scans); }));
+  out.by_sources = rank(shares(static_cast<double>(all_sources_.size()),
+                               [](const Acc& a) { return static_cast<double>(a.sources); }));
   return out;
 }
 
 TopPorts top_ports(const std::vector<core::ScanEvent>& events, std::size_t n,
                    const std::function<bool(const core::ScanEvent&)>& exclude) {
-  std::map<std::uint16_t, std::uint64_t> pkts_by_port;
-  std::map<std::uint16_t, std::uint64_t> scans_by_port;
-  std::map<std::uint16_t, std::set<net::Ipv6Prefix>> sources_by_port;
-  std::uint64_t total_packets = 0;
-  std::uint64_t total_scans = 0;
-  std::set<net::Ipv6Prefix> all_sources;
-
-  for (const auto& ev : events) {
-    if (exclude && exclude(ev)) continue;
-    ++total_scans;
-    all_sources.insert(ev.source);
-    for (const auto& [port, pkts] : ev.port_packets) {
-      pkts_by_port[port] += pkts;
-      total_packets += pkts;
-      ++scans_by_port[port];
-      sources_by_port[port].insert(ev.source);
-    }
-  }
-
-  auto rank = [n](std::vector<TopPortsRow> rows) {
-    std::stable_sort(rows.begin(), rows.end(),
-                     [](const TopPortsRow& a, const TopPortsRow& b) { return a.share > b.share; });
-    if (rows.size() > n) rows.resize(n);
-    return rows;
-  };
-  auto shares = [](const auto& m, double denom, auto&& value_of) {
-    std::vector<TopPortsRow> rows;
-    rows.reserve(m.size());
-    for (const auto& [port, v] : m)
-      rows.push_back({port, denom > 0 ? value_of(v) / denom : 0.0});
-    return rows;
-  };
-
-  TopPorts out;
-  out.by_packets = rank(shares(pkts_by_port, static_cast<double>(total_packets),
-                               [](std::uint64_t v) { return static_cast<double>(v); }));
-  out.by_scans = rank(shares(scans_by_port, static_cast<double>(total_scans),
-                             [](std::uint64_t v) { return static_cast<double>(v); }));
-  out.by_sources =
-      rank(shares(sources_by_port, static_cast<double>(all_sources.size()),
-                  [](const std::set<net::Ipv6Prefix>& v) { return static_cast<double>(v.size()); }));
-  return out;
+  TopPortsAnalyzer a(n, exclude);
+  for (const auto& ev : events) a.observe(ev);
+  a.flush();
+  return a.result();
 }
 
 }  // namespace v6sonar::analysis

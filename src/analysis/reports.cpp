@@ -1,58 +1,111 @@
 #include "analysis/reports.hpp"
 
 #include <algorithm>
-#include <set>
+#include <cmath>
 
 #include "util/stats.hpp"
 
 namespace v6sonar::analysis {
 
-std::vector<SourceReport> fold_sources(const std::vector<core::ScanEvent>& events) {
-  std::map<net::Ipv6Prefix, SourceReport> by_source;
-  for (const auto& ev : events) {
-    auto& s = by_source[ev.source];
-    s.source = ev.source;
-    s.asn = ev.src_asn;
-    ++s.scans;
-    s.packets += ev.packets;
-    s.distinct_dsts_max = std::max<std::uint64_t>(s.distinct_dsts_max, ev.distinct_dsts);
-  }
+void SourceAnalyzer::consume(const core::ScanEvent& ev) {
+  auto& s = by_source_[ev.source];
+  s.asn = ev.src_asn;  // last event wins, as in the vector fold
+  ++s.scans;
+  s.packets += ev.packets;
+  s.dsts_max = std::max<std::uint64_t>(s.dsts_max, ev.distinct_dsts);
+  ++scans_;
+  packets_ += ev.packets;
+  if (ev.src_asn != 0) ases_.insert(ev.src_asn);
+}
+
+std::vector<SourceReport> SourceAnalyzer::sources() const {
   std::vector<SourceReport> out;
-  out.reserve(by_source.size());
-  for (auto& [src, s] : by_source) out.push_back(s);
+  out.reserve(by_source_.size());
+  by_source_.for_each([&](const net::Ipv6Prefix& src, const Acc& a) {
+    out.push_back({src, a.asn, a.scans, a.packets, a.dsts_max});
+  });
+  std::sort(out.begin(), out.end(),
+            [](const SourceReport& a, const SourceReport& b) { return a.source < b.source; });
   return out;
 }
 
-AggregateTotals totals(const std::vector<core::ScanEvent>& events) {
-  AggregateTotals t;
-  std::set<net::Ipv6Prefix> sources;
-  std::set<std::uint32_t> ases;
-  for (const auto& ev : events) {
-    ++t.scans;
-    t.packets += ev.packets;
-    sources.insert(ev.source);
-    if (ev.src_asn != 0) ases.insert(ev.src_asn);
-  }
-  t.sources = sources.size();
-  t.ases = ases.size();
-  return t;
+AggregateTotals SourceAnalyzer::totals() const {
+  return {scans_, packets_, by_source_.size(), ases_.size()};
 }
 
-std::map<std::uint32_t, AsSources> fold_by_as(const std::vector<core::ScanEvent>& events) {
-  std::map<std::uint32_t, AsSources> by_as;
-  std::map<std::uint32_t, std::set<net::Ipv6Prefix>> sources;
-  for (const auto& ev : events) {
-    auto& a = by_as[ev.src_asn];
-    a.asn = ev.src_asn;
-    a.packets += ev.packets;
-    ++a.scans;
-    sources[ev.src_asn].insert(ev.source);
-  }
-  for (auto& [asn, a] : by_as) a.sources = sources[asn].size();
-  return by_as;
+std::vector<SourceReport> fold_sources(const std::vector<core::ScanEvent>& events) {
+  SourceAnalyzer a;
+  for (const auto& ev : events) a.observe(ev);
+  a.flush();
+  return a.sources();
+}
+
+AggregateTotals totals(const std::vector<core::ScanEvent>& events) {
+  SourceAnalyzer a;
+  for (const auto& ev : events) a.observe(ev);
+  a.flush();
+  return a.totals();
+}
+
+void AsAnalyzer::consume(const core::ScanEvent& ev) {
+  auto& a = by_as_[ev.src_asn];
+  a.packets += ev.packets;
+  ++a.scans;
+  if (seen_.insert({ev.src_asn, ev.source})) ++a.sources;
+}
+
+std::vector<AsSources> AsAnalyzer::by_as() const {
+  std::vector<AsSources> out;
+  out.reserve(by_as_.size());
+  by_as_.for_each([&](std::uint32_t asn, const Acc& a) {
+    out.push_back({asn, a.packets, a.sources, a.scans});
+  });
+  std::sort(out.begin(), out.end(),
+            [](const AsSources& a, const AsSources& b) { return a.asn < b.asn; });
+  return out;
+}
+
+std::vector<AsSources> fold_by_as(const std::vector<core::ScanEvent>& events) {
+  AsAnalyzer a;
+  for (const auto& ev : events) a.observe(ev);
+  a.flush();
+  return a.by_as();
+}
+
+void DurationAnalyzer::consume(const core::ScanEvent& ev) {
+  const double sec = ev.duration_sec();
+  hist_.add(static_cast<std::size_t>(sec));
+  ++events_;
+  max_sec_ = std::max(max_sec_, sec);
+}
+
+DurationStats DurationAnalyzer::stats() const {
+  DurationStats d;
+  d.events = events_;
+  if (events_ == 0) return d;
+  // Bin-resolution quantile: the type-7 rank is h = (n-1)q; the value
+  // at that rank lies in the first bin whose cumulative count exceeds
+  // floor(h) — report that bin's lower bound (whole seconds).
+  const auto bin_quantile = [this](double q) {
+    const auto rank =
+        static_cast<std::uint64_t>(std::floor(static_cast<double>(events_ - 1) * q));
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < hist_.bins(); ++b) {
+      cum += hist_.at(b);
+      if (cum > rank) return static_cast<double>(b);
+    }
+    return static_cast<double>(hist_.bins() - 1);
+  };
+  d.median_sec = bin_quantile(0.5);
+  d.p90_sec = bin_quantile(0.9);
+  d.max_sec = max_sec_;
+  return d;
 }
 
 DurationStats duration_stats(const std::vector<core::ScanEvent>& events) {
+  // Exact (type-7 interpolated) quantiles need every sample in hand,
+  // so this one stays a direct fold rather than an analyzer replay;
+  // DurationAnalyzer is the bounded-memory counterpart.
   DurationStats d;
   d.events = events.size();
   if (events.empty()) return d;

@@ -1,37 +1,46 @@
 #include "analysis/timeseries.hpp"
 
 #include <algorithm>
+#include <tuple>
 
 #include "util/stats.hpp"
 
 namespace v6sonar::analysis {
 
-namespace {
-
-/// week -> (source -> packets)
-using WeeklySources = std::map<std::int32_t, std::map<net::Ipv6Prefix, std::uint64_t>>;
-
-WeeklySources fold_weekly(const std::vector<core::ScanEvent>& events) {
-  WeeklySources ws;
-  for (const auto& ev : events)
-    for (const auto& [week, pkts] : ev.weekly_packets) ws[week][ev.source] += pkts;
-  return ws;
+void TimeSeriesAnalyzer::consume(const core::ScanEvent& ev) {
+  for (const auto& [week, pkts] : ev.weekly_packets)
+    week_source_packets_[{week, ev.source}] += pkts;
+  // Overall concentration counts ev.packets (not the weekly split), as
+  // the vector fold always has.
+  source_packets_[ev.source] += ev.packets;
 }
 
-}  // namespace
+std::vector<WeekPoint> TimeSeriesAnalyzer::weekly() const {
+  struct Entry {
+    std::int32_t week;
+    net::Ipv6Prefix source;
+    std::uint64_t packets;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(week_source_packets_.size());
+  week_source_packets_.for_each([&](const WeekSourceKey& k, std::uint64_t pkts) {
+    entries.push_back({k.week, k.source, pkts});
+  });
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return std::tie(a.week, a.source) < std::tie(b.week, b.source);
+  });
 
-std::vector<WeekPoint> weekly_series(const std::vector<core::ScanEvent>& events) {
   std::vector<WeekPoint> out;
-  for (const auto& [week, sources] : fold_weekly(events)) {
+  std::vector<std::uint64_t> counts;
+  for (std::size_t i = 0; i < entries.size();) {
     WeekPoint p;
-    p.week = week;
-    p.active_sources = sources.size();
-    std::vector<std::uint64_t> counts;
-    counts.reserve(sources.size());
-    for (const auto& [src, pkts] : sources) {
-      p.packets += pkts;
-      counts.push_back(pkts);
+    p.week = entries[i].week;
+    counts.clear();
+    for (; i < entries.size() && entries[i].week == p.week; ++i) {
+      p.packets += entries[i].packets;
+      counts.push_back(entries[i].packets);
     }
+    p.active_sources = counts.size();
     p.top1_share = util::top_k_share(counts, 1);
     p.top2_share = util::top_k_share(counts, 2);
     p.top3_share = util::top_k_share(counts, 3);
@@ -40,22 +49,42 @@ std::vector<WeekPoint> weekly_series(const std::vector<core::ScanEvent>& events)
   return out;
 }
 
-double overall_top_k_share(const std::vector<core::ScanEvent>& events, std::size_t k) {
-  std::map<net::Ipv6Prefix, std::uint64_t> per_source;
-  for (const auto& ev : events) per_source[ev.source] += ev.packets;
+double TimeSeriesAnalyzer::overall_top_k(std::size_t k) const {
   std::vector<std::uint64_t> counts;
-  counts.reserve(per_source.size());
-  for (const auto& [src, pkts] : per_source) counts.push_back(pkts);
+  counts.reserve(source_packets_.size());
+  source_packets_.for_each(
+      [&](const net::Ipv6Prefix&, std::uint64_t pkts) { counts.push_back(pkts); });
   return util::top_k_share(std::move(counts), k);
 }
 
-double mean_weekly_top_k_share(const std::vector<core::ScanEvent>& events, std::size_t k) {
-  const auto series = weekly_series(events);
+double TimeSeriesAnalyzer::mean_weekly_top_k(std::size_t k) const {
+  const auto series = weekly();
   if (series.empty()) return 0.0;
   double sum = 0;
   for (const auto& p : series)
     sum += k == 1 ? p.top1_share : (k == 2 ? p.top2_share : p.top3_share);
   return sum / static_cast<double>(series.size());
+}
+
+std::vector<WeekPoint> weekly_series(const std::vector<core::ScanEvent>& events) {
+  TimeSeriesAnalyzer a;
+  for (const auto& ev : events) a.observe(ev);
+  a.flush();
+  return a.weekly();
+}
+
+double overall_top_k_share(const std::vector<core::ScanEvent>& events, std::size_t k) {
+  TimeSeriesAnalyzer a;
+  for (const auto& ev : events) a.observe(ev);
+  a.flush();
+  return a.overall_top_k(k);
+}
+
+double mean_weekly_top_k_share(const std::vector<core::ScanEvent>& events, std::size_t k) {
+  TimeSeriesAnalyzer a;
+  for (const auto& ev : events) a.observe(ev);
+  a.flush();
+  return a.mean_weekly_top_k(k);
 }
 
 }  // namespace v6sonar::analysis

@@ -1,13 +1,17 @@
 // Weekly time series over scan events (Figs. 2 and 3) and traffic
 // concentration (top-k source share).
+//
+// TimeSeriesAnalyzer is the incremental core (a core::EventSink); the
+// vector entry points replay through it (see analyzer.hpp).
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
+#include "analysis/analyzer.hpp"
 #include "core/scan_event.hpp"
 #include "net/prefix.hpp"
+#include "util/flat_hash.hpp"
 
 namespace v6sonar::analysis {
 
@@ -19,6 +23,39 @@ struct WeekPoint {
   double top1_share = 0;             ///< fraction of packets from the busiest source
   double top2_share = 0;             ///< ... busiest two sources
   double top3_share = 0;
+};
+
+/// Streaming weekly fold: per-(week, source) packet counts in one flat
+/// map — memory proportional to active (week, source) pairs, not to
+/// the event count.
+class TimeSeriesAnalyzer final : public Analyzer {
+ public:
+  TimeSeriesAnalyzer() : Analyzer("timeseries") {}
+
+  /// Weekly series, sorted by week; weeks with no activity omitted.
+  [[nodiscard]] std::vector<WeekPoint> weekly() const;
+  /// Overall top-k packet share across sources.
+  [[nodiscard]] double overall_top_k(std::size_t k) const;
+  /// Mean of the weekly top-k shares.
+  [[nodiscard]] double mean_weekly_top_k(std::size_t k) const;
+
+ private:
+  void consume(const core::ScanEvent& ev) override;
+
+  struct WeekSourceKey {
+    std::int32_t week = 0;
+    net::Ipv6Prefix source;
+    friend bool operator==(const WeekSourceKey&, const WeekSourceKey&) = default;
+  };
+  struct WeekSourceHash {
+    std::size_t operator()(const WeekSourceKey& k) const noexcept {
+      return std::hash<net::Ipv6Prefix>{}(k.source) ^
+             (static_cast<std::size_t>(static_cast<std::uint32_t>(k.week)) *
+              0x9E3779B97F4A7C15ULL);
+    }
+  };
+  util::FlatMap<WeekSourceKey, std::uint64_t, WeekSourceHash> week_source_packets_;
+  util::FlatMap<net::Ipv6Prefix, std::uint64_t> source_packets_;
 };
 
 /// Weekly series from a set of qualified scan events. Weeks with no

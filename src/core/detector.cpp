@@ -45,14 +45,25 @@ DetectorMetrics& dm() {
 
 }  // namespace
 
-ScanDetector::ScanDetector(const DetectorConfig& config, EventSink sink)
-    : config_(config), sink_(std::move(sink)) {
+ScanDetector::ScanDetector(const DetectorConfig& config, EventSink& sink)
+    : config_(config), sink_(&sink) {
   if (config_.source_prefix_len < 0 || config_.source_prefix_len > 128)
     throw std::invalid_argument("ScanDetector: bad aggregation length");
   if (config_.min_destinations == 0)
     throw std::invalid_argument("ScanDetector: min_destinations must be positive");
   if (config_.timeout_us <= 0) throw std::invalid_argument("ScanDetector: bad timeout");
-  if (!sink_) throw std::invalid_argument("ScanDetector: null sink");
+}
+
+ScanDetector::ScanDetector(const DetectorConfig& config, EventFn fn)
+    : config_(config) {
+  if (config_.source_prefix_len < 0 || config_.source_prefix_len > 128)
+    throw std::invalid_argument("ScanDetector: bad aggregation length");
+  if (config_.min_destinations == 0)
+    throw std::invalid_argument("ScanDetector: min_destinations must be positive");
+  if (config_.timeout_us <= 0) throw std::invalid_argument("ScanDetector: bad timeout");
+  if (!fn) throw std::invalid_argument("ScanDetector: null sink");
+  owned_sink_ = std::make_unique<FunctionSink>(std::move(fn));
+  sink_ = owned_sink_.get();
 }
 
 ScanDetector::~ScanDetector() {
@@ -404,7 +415,7 @@ void ScanDetector::finalize(const net::Ipv6Prefix& key, SourceState& st) {
   });
   std::sort(ev.weekly_packets.begin(), ev.weekly_packets.end());
   dm().events_emitted.add();
-  sink_(std::move(ev));
+  sink_->on_event(std::move(ev));
 }
 
 void ScanDetector::advance(sim::TimeUs now) {
@@ -517,21 +528,39 @@ void ScanDetector::flush() {
   while (!expiries_.empty()) expiries_.pop();
 }
 
-std::vector<std::vector<ScanEvent>> detect_multi(sim::RecordStream& stream,
-                                                 const std::vector<DetectorConfig>& configs) {
-  std::vector<std::vector<ScanEvent>> results(configs.size());
+void detect_multi(sim::RecordStream& stream, const std::vector<DetectorConfig>& configs,
+                  const std::vector<EventSink*>& sinks) {
+  if (sinks.size() != configs.size())
+    throw std::invalid_argument("detect_multi: one sink per config required");
+  for (EventSink* s : sinks)
+    if (s == nullptr) throw std::invalid_argument("detect_multi: null sink");
   std::vector<std::unique_ptr<ScanDetector>> detectors;
   detectors.reserve(configs.size());
-  for (std::size_t i = 0; i < configs.size(); ++i) {
-    detectors.push_back(std::make_unique<ScanDetector>(
-        configs[i], [&results, i](ScanEvent&& ev) { results[i].push_back(std::move(ev)); }));
-  }
+  for (std::size_t i = 0; i < configs.size(); ++i)
+    detectors.push_back(std::make_unique<ScanDetector>(configs[i], *sinks[i]));
+  // ONE pass over the stream regardless of level count: each batch is
+  // fanned to every detector before the next batch is fetched.
   std::array<sim::LogRecord, 1024> batch;
   for (std::size_t n; (n = stream.next_batch(batch.data(), batch.size())) > 0;) {
     const std::span<const sim::LogRecord> span{batch.data(), n};
     for (auto& d : detectors) d->feed_batch(span);
   }
-  for (auto& d : detectors) d->flush();
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    detectors[i]->flush();
+    sinks[i]->flush();
+  }
+}
+
+std::vector<std::vector<ScanEvent>> detect_multi(sim::RecordStream& stream,
+                                                 const std::vector<DetectorConfig>& configs) {
+  std::vector<std::vector<ScanEvent>> results(configs.size());
+  std::vector<VectorSink> vec_sinks;
+  vec_sinks.reserve(configs.size());
+  for (auto& r : results) vec_sinks.emplace_back(r);
+  std::vector<EventSink*> sinks;
+  sinks.reserve(configs.size());
+  for (auto& s : vec_sinks) sinks.push_back(&s);
+  detect_multi(stream, configs, sinks);
   return results;
 }
 

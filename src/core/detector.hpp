@@ -13,10 +13,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <span>
 #include <vector>
 
+#include "core/event_sink.hpp"
 #include "core/scan_event.hpp"
 #include "net/prefix.hpp"
 #include "sim/record.hpp"
@@ -38,18 +40,24 @@ struct DetectorConfig {
 
 class ScanDetector {
  public:
-  using EventSink = std::function<void(ScanEvent&&)>;
+  /// Legacy callable sink; wrapped in a FunctionSink internally.
+  using EventFn = std::function<void(ScanEvent&&)>;
 
-  /// Events that qualify are passed to `sink` as they are finalized
+  /// Events that qualify are emitted into `sink` as they are finalized
   /// (i.e. when their source goes quiet past the timeout, or at
   /// flush()). Sub-threshold activity is counted but never reported.
+  /// `sink` is borrowed (it must outlive the detector) and is never
+  /// flush()ed by the detector — the chain's assembler flushes it
+  /// after the detector's own flush().
   ///
   /// Emission order is deterministic: timed-out events arrive sorted
   /// by (last_us, source) — expiry time is last_us + timeout, so due
   /// order is end-time order — and flush() then emits the remainder
   /// sorted by source. core::ParallelScanPipeline reproduces exactly
   /// this order from its per-shard detectors.
-  ScanDetector(const DetectorConfig& config, EventSink sink);
+  ScanDetector(const DetectorConfig& config, EventSink& sink);
+  /// Legacy adapter: wraps `fn` in an owned FunctionSink.
+  ScanDetector(const DetectorConfig& config, EventFn fn);
   ~ScanDetector();
 
   /// Feed one record. Records must arrive in non-decreasing time order
@@ -153,7 +161,8 @@ class ScanDetector {
   bool feed_grouped(std::span<const sim::LogRecord> batch);
 
   DetectorConfig config_;
-  EventSink sink_;
+  std::unique_ptr<FunctionSink> owned_sink_;  ///< legacy-adapter storage, if any
+  EventSink* sink_;
   util::SlabPool pool_;  // declared before states_: destroyed after its users
 
   // Flat open-addressed index of pool-allocated states. Flat so the
@@ -211,8 +220,16 @@ class ScanDetector {
   std::uint32_t batch_epoch_ = 0;
 };
 
-/// Convenience: run a whole record stream through detectors at several
-/// aggregation levels in one pass, collecting events per level.
+/// Run a whole record stream through detectors at several aggregation
+/// levels in ONE pass (the stream is visited exactly once regardless
+/// of how many levels run), emitting each level's events into its own
+/// sink chain. `sinks.size()` must equal `configs.size()`; every sink
+/// is flushed after its detector, in level order.
+void detect_multi(sim::RecordStream& stream, const std::vector<DetectorConfig>& configs,
+                  const std::vector<EventSink*>& sinks);
+
+/// Materializing adapter over the sink version: collects events per
+/// level into vectors (legacy bench/test entry point).
 [[nodiscard]] std::vector<std::vector<ScanEvent>> detect_multi(
     sim::RecordStream& stream, const std::vector<DetectorConfig>& configs);
 

@@ -3,11 +3,19 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "util/metrics.hpp"
+
 namespace v6sonar::core {
 
 namespace {
 
 constexpr std::uint64_t kMagic = 0x56'36'45'56'54'53'30'31ULL;  // "V6EVTS01"
+constexpr std::size_t kHeaderBytes = 16;  // magic + count
+/// Fixed bytes per event record (source hi/lo/len, timestamps,
+/// counters, and the two list-length prefixes).
+constexpr std::uint64_t kFixedEventBytes = 8 + 8 + 4 + 8 + 8 + 8 + 4 + 4 + 4 + 4 + 4;
+constexpr std::size_t kPortEntryBytes = 2 + 8;
+constexpr std::size_t kWeekEntryBytes = 4 + 8;
 
 struct File {
   std::FILE* f = nullptr;
@@ -41,70 +49,165 @@ T get_v(std::FILE* f) {
 
 }  // namespace
 
-void write_events(const std::string& path, const std::vector<ScanEvent>& events) {
-  File file(path, "wb");
-  std::setvbuf(file.f, nullptr, _IOFBF, 1 << 20);
-  put_v(file.f, kMagic);
-  put_v<std::uint64_t>(file.f, events.size());
-  for (const auto& ev : events) {
-    put_v(file.f, ev.source.address().hi());
-    put_v(file.f, ev.source.address().lo());
-    put_v<std::int32_t>(file.f, ev.source.length());
-    put_v(file.f, ev.first_us);
-    put_v(file.f, ev.last_us);
-    put_v(file.f, ev.packets);
-    put_v(file.f, ev.distinct_dsts);
-    put_v(file.f, ev.distinct_dsts_in_dns);
-    put_v(file.f, ev.src_asn);
-    put_v<std::uint32_t>(file.f, static_cast<std::uint32_t>(ev.port_packets.size()));
-    for (const auto& [port, n] : ev.port_packets) {
-      put_v(file.f, port);
-      put_v(file.f, n);
-    }
-    put_v<std::uint32_t>(file.f, static_cast<std::uint32_t>(ev.weekly_packets.size()));
-    for (const auto& [week, n] : ev.weekly_packets) {
-      put_v(file.f, week);
-      put_v(file.f, n);
-    }
+// ------------------------------------------------------------------ //
+
+struct EventWriter::Impl {
+  File file;
+  std::string path;
+  explicit Impl(const std::string& p) : file(p, "wb"), path(p) {}
+};
+
+EventWriter::EventWriter(const std::string& path) : impl_(std::make_unique<Impl>(path)) {
+  std::setvbuf(impl_->file.f, nullptr, _IOFBF, 1 << 20);
+  put_v(impl_->file.f, kMagic);
+  // Count placeholder; close() backpatches the real value, so an
+  // interrupted run is detectable (count 0 with trailing bytes).
+  put_v<std::uint64_t>(impl_->file.f, 0);
+}
+
+EventWriter::~EventWriter() {
+  try {
+    close();
+  } catch (...) {  // destructor must not throw; call close() to see errors
   }
 }
 
-std::vector<ScanEvent> read_events(const std::string& path) {
-  File file(path, "rb");
-  std::setvbuf(file.f, nullptr, _IOFBF, 1 << 20);
-  if (get_v<std::uint64_t>(file.f) != kMagic)
-    throw std::runtime_error("event_io: not an event file: " + path);
-  const auto count = get_v<std::uint64_t>(file.f);
-  std::vector<ScanEvent> events;
-  events.reserve(count);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    ScanEvent ev;
-    const auto hi = get_v<std::uint64_t>(file.f);
-    const auto lo = get_v<std::uint64_t>(file.f);
-    const auto len = get_v<std::int32_t>(file.f);
-    ev.source = net::Ipv6Prefix{net::Ipv6Address{hi, lo}, len};
-    ev.first_us = get_v<sim::TimeUs>(file.f);
-    ev.last_us = get_v<sim::TimeUs>(file.f);
-    ev.packets = get_v<std::uint64_t>(file.f);
-    ev.distinct_dsts = get_v<std::uint32_t>(file.f);
-    ev.distinct_dsts_in_dns = get_v<std::uint32_t>(file.f);
-    ev.src_asn = get_v<std::uint32_t>(file.f);
-    const auto nports = get_v<std::uint32_t>(file.f);
-    ev.port_packets.reserve(nports);
-    for (std::uint32_t p = 0; p < nports; ++p) {
-      const auto port = get_v<std::uint16_t>(file.f);
-      const auto n = get_v<std::uint64_t>(file.f);
-      ev.port_packets.emplace_back(port, n);
-    }
-    const auto nweeks = get_v<std::uint32_t>(file.f);
-    ev.weekly_packets.reserve(nweeks);
-    for (std::uint32_t w = 0; w < nweeks; ++w) {
-      const auto week = get_v<std::int32_t>(file.f);
-      const auto n = get_v<std::uint64_t>(file.f);
-      ev.weekly_packets.emplace_back(week, n);
-    }
-    events.push_back(std::move(ev));
+void EventWriter::on_event(ScanEvent&& ev) {
+  if (!impl_) throw std::runtime_error("event_io: writer closed");
+  std::FILE* f = impl_->file.f;
+  put_v(f, ev.source.address().hi());
+  put_v(f, ev.source.address().lo());
+  put_v<std::int32_t>(f, ev.source.length());
+  put_v(f, ev.first_us);
+  put_v(f, ev.last_us);
+  put_v(f, ev.packets);
+  put_v(f, ev.distinct_dsts);
+  put_v(f, ev.distinct_dsts_in_dns);
+  put_v(f, ev.src_asn);
+  put_v<std::uint32_t>(f, static_cast<std::uint32_t>(ev.port_packets.size()));
+  for (const auto& [port, n] : ev.port_packets) {
+    put_v(f, port);
+    put_v(f, n);
   }
+  put_v<std::uint32_t>(f, static_cast<std::uint32_t>(ev.weekly_packets.size()));
+  for (const auto& [week, n] : ev.weekly_packets) {
+    put_v(f, week);
+    put_v(f, n);
+  }
+  ++count_;
+}
+
+void EventWriter::close() {
+  if (!impl_) return;
+  auto impl = std::move(impl_);  // closed even if the finalize throws
+  if (std::fseek(impl->file.f, 8, SEEK_SET) != 0 ||
+      std::fwrite(&count_, 1, sizeof count_, impl->file.f) != sizeof count_ ||
+      std::fflush(impl->file.f) != 0)
+    throw std::runtime_error("event_io: header finalize failed for " + impl->path);
+}
+
+// ------------------------------------------------------------------ //
+
+struct EventReader::Impl {
+  File file;
+  std::string path;
+  long file_size = 0;
+  util::metrics::Histogram batch_size{"report.reader.batch_size"};
+  explicit Impl(const std::string& p) : file(p, "rb"), path(p) {}
+};
+
+EventReader::EventReader(const std::string& path) : impl_(std::make_unique<Impl>(path)) {
+  std::FILE* f = impl_->file.f;
+  std::setvbuf(f, nullptr, _IOFBF, 1 << 20);
+  if (std::fseek(f, 0, SEEK_END) != 0 || (impl_->file_size = std::ftell(f)) < 0 ||
+      std::fseek(f, 0, SEEK_SET) != 0)
+    throw std::runtime_error("event_io: cannot stat " + path);
+  if (static_cast<std::uint64_t>(impl_->file_size) < kHeaderBytes)
+    throw std::runtime_error("event_io: truncated header in " + path);
+  if (get_v<std::uint64_t>(f) != kMagic)
+    throw std::runtime_error("event_io: not an event file: " + path);
+  total_ = get_v<std::uint64_t>(f);
+  // Shape check in the MappedLogReader mold: every event occupies at
+  // least its fixed bytes, so a garbage count is caught at open
+  // instead of over-reserving downstream.
+  const std::uint64_t body = static_cast<std::uint64_t>(impl_->file_size) - kHeaderBytes;
+  if (total_ > body / kFixedEventBytes)
+    throw std::runtime_error("event_io: header claims " + std::to_string(total_) +
+                             " events but " + path + " has only " + std::to_string(body) +
+                             " payload bytes");
+}
+
+EventReader::~EventReader() = default;
+
+bool EventReader::next(ScanEvent& out) {
+  if (read_ >= total_) return false;
+  std::FILE* f = impl_->file.f;
+  ScanEvent ev;
+  const auto hi = get_v<std::uint64_t>(f);
+  const auto lo = get_v<std::uint64_t>(f);
+  const auto len = get_v<std::int32_t>(f);
+  if (len < 0 || len > 128)
+    throw std::runtime_error("event_io: corrupt prefix length in " + impl_->path);
+  ev.source = net::Ipv6Prefix{net::Ipv6Address{hi, lo}, len};
+  ev.first_us = get_v<sim::TimeUs>(f);
+  ev.last_us = get_v<sim::TimeUs>(f);
+  ev.packets = get_v<std::uint64_t>(f);
+  ev.distinct_dsts = get_v<std::uint32_t>(f);
+  ev.distinct_dsts_in_dns = get_v<std::uint32_t>(f);
+  ev.src_asn = get_v<std::uint32_t>(f);
+  // Bound each list length by the bytes actually left in the file, so
+  // a corrupt length throws instead of reserving gigabytes.
+  const auto remaining = [this, f] {
+    const long at = std::ftell(f);
+    return at < 0 ? std::size_t{0} : static_cast<std::size_t>(impl_->file_size - at);
+  };
+  const auto nports = get_v<std::uint32_t>(f);
+  if (nports > remaining() / kPortEntryBytes)
+    throw std::runtime_error("event_io: corrupt port count in " + impl_->path);
+  ev.port_packets.reserve(nports);
+  for (std::uint32_t p = 0; p < nports; ++p) {
+    const auto port = get_v<std::uint16_t>(f);
+    const auto n = get_v<std::uint64_t>(f);
+    ev.port_packets.emplace_back(port, n);
+  }
+  const auto nweeks = get_v<std::uint32_t>(f);
+  if (nweeks > remaining() / kWeekEntryBytes)
+    throw std::runtime_error("event_io: corrupt week count in " + impl_->path);
+  ev.weekly_packets.reserve(nweeks);
+  for (std::uint32_t w = 0; w < nweeks; ++w) {
+    const auto week = get_v<std::int32_t>(f);
+    const auto n = get_v<std::uint64_t>(f);
+    ev.weekly_packets.emplace_back(week, n);
+  }
+  ++read_;
+  out = std::move(ev);
+  return true;
+}
+
+std::size_t EventReader::next_batch(ScanEvent* out, std::size_t max) {
+  std::size_t n = 0;
+  while (n < max && next(out[n])) ++n;
+  if (n > 0) impl_->batch_size.observe(n);
+  return n;
+}
+
+// ------------------------------------------------------------------ //
+
+void write_events(const std::string& path, const std::vector<ScanEvent>& events) {
+  EventWriter writer(path);
+  for (const auto& ev : events) {
+    ScanEvent copy = ev;
+    writer.on_event(std::move(copy));
+  }
+  writer.close();
+}
+
+std::vector<ScanEvent> read_events(const std::string& path) {
+  EventReader reader(path);
+  std::vector<ScanEvent> events;
+  events.reserve(reader.total_events());
+  ScanEvent ev;
+  while (reader.next(ev)) events.push_back(std::move(ev));
   return events;
 }
 

@@ -1,0 +1,102 @@
+// Composable streaming consumers of scan events.
+//
+// Every producer of ScanEvents (ScanDetector, ParallelScanPipeline,
+// detect_multi) emits into an EventSink; every consumer — the
+// incremental analyzers in src/analysis, the event_io spill writer,
+// a plain vector — implements one. Chains are built from FanOutSink,
+// so one detection pass can feed any number of analyses in bounded
+// memory, which is what turns the batch "materialize all events, fold
+// offline" workflow into an always-on streaming one.
+//
+// Contract: on_event() receives finalized events in the producer's
+// deterministic emission order; flush() means "the stream is complete
+// — finalize derived state" and must be safe to call exactly once
+// after the last on_event(). Producers do NOT flush their sink (a sink
+// chain may outlive one producer, e.g. when several detectors share an
+// analyzer); whoever assembled the chain flushes it.
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/scan_event.hpp"
+
+namespace v6sonar::core {
+
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  /// Consume one finalized event. The sink owns the moved-from value.
+  virtual void on_event(ScanEvent&& ev) = 0;
+
+  /// The stream is complete; finalize derived state. Combinators
+  /// propagate the flush to their children in order.
+  virtual void flush() {}
+};
+
+/// Adapts a callable — the bridge from the legacy
+/// std::function-of-event constructors to the sink pipeline.
+class FunctionSink final : public EventSink {
+ public:
+  using Fn = std::function<void(ScanEvent&&)>;
+
+  explicit FunctionSink(Fn fn) : fn_(std::move(fn)) {
+    if (!fn_) throw std::invalid_argument("FunctionSink: null function");
+  }
+
+  void on_event(ScanEvent&& ev) override { fn_(std::move(ev)); }
+
+ private:
+  Fn fn_;
+};
+
+/// Appends to a caller-owned vector: the materializing endpoint the
+/// legacy vector-returning entry points are built from.
+class VectorSink final : public EventSink {
+ public:
+  explicit VectorSink(std::vector<ScanEvent>& out) noexcept : out_(&out) {}
+
+  void on_event(ScanEvent&& ev) override { out_->push_back(std::move(ev)); }
+
+ private:
+  std::vector<ScanEvent>* out_;
+};
+
+/// Fan-out/tee: delivers every event to every child, copying for all
+/// but the last and moving into the last (so a single-child chain is
+/// zero-copy). Children are non-owning and are visited in insertion
+/// order, for on_event and flush alike.
+class FanOutSink final : public EventSink {
+ public:
+  FanOutSink() = default;
+  explicit FanOutSink(std::vector<EventSink*> children) : children_(std::move(children)) {
+    for (EventSink* c : children_)
+      if (c == nullptr) throw std::invalid_argument("FanOutSink: null child");
+  }
+
+  /// Append a child; events arriving after this call reach it.
+  void add(EventSink& child) { children_.push_back(&child); }
+
+  [[nodiscard]] std::size_t children() const noexcept { return children_.size(); }
+
+  void on_event(ScanEvent&& ev) override {
+    if (children_.empty()) return;
+    for (std::size_t i = 0; i + 1 < children_.size(); ++i) {
+      ScanEvent copy = ev;
+      children_[i]->on_event(std::move(copy));
+    }
+    children_.back()->on_event(std::move(ev));
+  }
+
+  void flush() override {
+    for (EventSink* c : children_) c->flush();
+  }
+
+ private:
+  std::vector<EventSink*> children_;
+};
+
+}  // namespace v6sonar::core

@@ -1,58 +1,42 @@
 #include "core/fh_detector.hpp"
 
 #include <algorithm>
-#include <map>
-#include <unordered_map>
 #include <unordered_set>
 
 #include "util/stats.hpp"
 
 namespace v6sonar::core {
 
-namespace {
+void FhAccumulator::feed(const sim::LogRecord& r) {
+  const net::Ipv6Prefix src{r.src, cfg_.source_prefix_len};
+  Component& c = components_[{src, r.dst_port}];
+  ++c.packets;
+  c.icmpv6 |= r.proto == wire::IpProto::kIcmpv6;
+  ++c.per_dst[r.dst];
+  ++c.length_counts[r.frame_len];
+  asn_of_.emplace(src, r.src_asn);
+  ++records_seen_;
+}
 
-struct Component {
-  std::uint64_t packets = 0;
-  bool icmpv6 = false;
-  std::unordered_map<net::Ipv6Address, std::uint32_t> per_dst;
-  std::unordered_map<std::uint16_t, std::uint64_t> length_counts;
-};
-
-}  // namespace
-
-std::vector<FhScan> fh_detect(std::span<const sim::LogRecord> window, const FhConfig& cfg) {
-  // (source, port) -> component. std::map keeps output deterministic.
-  std::map<std::pair<net::Ipv6Prefix, std::uint16_t>, Component> components;
-  std::unordered_map<net::Ipv6Prefix, std::uint32_t> asn_of;
-
-  for (const auto& r : window) {
-    const net::Ipv6Prefix src{r.src, cfg.source_prefix_len};
-    Component& c = components[{src, r.dst_port}];
-    ++c.packets;
-    c.icmpv6 |= r.proto == wire::IpProto::kIcmpv6;
-    ++c.per_dst[r.dst];
-    ++c.length_counts[r.frame_len];
-    asn_of.emplace(src, r.src_asn);
-  }
-
+std::vector<FhScan> FhAccumulator::finish() const {
   std::map<net::Ipv6Prefix, FhScan> merged;
-  for (const auto& [key, c] : components) {
+  for (const auto& [key, c] : components_) {
     const auto& [src, port] = key;
-    if (c.per_dst.size() < cfg.min_destinations) continue;  // (i)
+    if (c.per_dst.size() < cfg_.min_destinations) continue;  // (i)
     // (iii): fewer than max packets on this port per destination IP.
     bool repeat_heavy = false;
-    for (const auto& [dst, n] : c.per_dst) repeat_heavy |= n >= cfg.max_packets_per_dst;
+    for (const auto& [dst, n] : c.per_dst) repeat_heavy |= n >= cfg_.max_packets_per_dst;
     if (repeat_heavy) continue;
     // (iv): near-constant packet length.
     std::vector<std::uint64_t> counts;
     counts.reserve(c.length_counts.size());
     for (const auto& [len, n] : c.length_counts) counts.push_back(n);
-    if (util::normalized_entropy(counts) >= cfg.max_length_entropy) continue;
+    if (util::normalized_entropy(counts) >= cfg_.max_length_entropy) continue;
 
     FhScan& scan = merged[src];
     if (scan.ports.empty()) {
       scan.source = src;
-      scan.src_asn = asn_of.at(src);
+      scan.src_asn = asn_of_.at(src);
     }
     scan.packets += c.packets;
     scan.ports.push_back(port);
@@ -63,7 +47,7 @@ std::vector<FhScan> fh_detect(std::span<const sim::LogRecord> window, const FhCo
   // Union of destinations across qualifying components per source.
   if (!merged.empty()) {
     std::unordered_map<net::Ipv6Prefix, std::unordered_set<net::Ipv6Address>> unions;
-    for (const auto& [key, c] : components) {
+    for (const auto& [key, c] : components_) {
       const auto it = merged.find(key.first);
       if (it == merged.end()) continue;
       if (!std::binary_search(it->second.ports.begin(), it->second.ports.end(), key.second))
@@ -82,6 +66,12 @@ std::vector<FhScan> fh_detect(std::span<const sim::LogRecord> window, const FhCo
     out.push_back(std::move(scan));
   }
   return out;
+}
+
+std::vector<FhScan> fh_detect(std::span<const sim::LogRecord> window, const FhConfig& cfg) {
+  FhAccumulator acc(cfg);
+  acc.feed_batch(window);
+  return acc.finish();
 }
 
 }  // namespace v6sonar::core

@@ -13,7 +13,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "net/prefix.hpp"
@@ -40,8 +42,47 @@ struct FhScan {
   bool icmpv6 = false;              ///< any qualifying component was ICMPv6
 };
 
-/// Analyze one capture window (e.g. a 15-minute MAWI slice). Records
-/// need not be sorted. Reports are ordered by source prefix.
+/// Streaming accumulator for one capture window: feed records (or
+/// batches) in any order as they come off the reader — nothing else is
+/// buffered, so a window can be analyzed without materializing its
+/// records — then finish() runs qualification and the per-source
+/// merge. Memory is proportional to distinct (source, port, dst)
+/// activity, not to the record count.
+class FhAccumulator {
+ public:
+  explicit FhAccumulator(const FhConfig& config) : cfg_(config) {}
+
+  void feed(const sim::LogRecord& r);
+  void feed_batch(std::span<const sim::LogRecord> batch) {
+    for (const auto& r : batch) feed(r);
+  }
+
+  /// Qualify components and merge per source; reports ordered by
+  /// source prefix. The accumulator can keep feeding afterwards
+  /// (finish() is a pure read).
+  [[nodiscard]] std::vector<FhScan> finish() const;
+
+  /// Records folded so far.
+  [[nodiscard]] std::uint64_t records_seen() const noexcept { return records_seen_; }
+
+ private:
+  struct Component {
+    std::uint64_t packets = 0;
+    bool icmpv6 = false;
+    std::unordered_map<net::Ipv6Address, std::uint32_t> per_dst;
+    std::unordered_map<std::uint16_t, std::uint64_t> length_counts;
+  };
+
+  FhConfig cfg_;
+  /// (source, port) -> component. std::map keeps output deterministic.
+  std::map<std::pair<net::Ipv6Prefix, std::uint16_t>, Component> components_;
+  std::unordered_map<net::Ipv6Prefix, std::uint32_t> asn_of_;
+  std::uint64_t records_seen_ = 0;
+};
+
+/// Analyze one fully materialized capture window (e.g. a 15-minute
+/// MAWI slice): a thin adapter over FhAccumulator. Records need not be
+/// sorted. Reports are ordered by source prefix.
 [[nodiscard]] std::vector<FhScan> fh_detect(std::span<const sim::LogRecord> window,
                                             const FhConfig& config);
 

@@ -509,7 +509,8 @@ void rethrow_first(const ShardList& shards, const std::exception_ptr& merger_err
 // ---------------------------------------------------------------- //
 
 struct ParallelScanPipeline::Impl {
-  EventSink sink;
+  std::unique_ptr<FunctionSink> owned_sink;  // legacy-adapter storage, if any
+  EventSink* sink = nullptr;
   std::vector<FilterDayStats> merged_stats;
   ShardList shards;
   std::thread merger_thread;
@@ -520,16 +521,15 @@ struct ParallelScanPipeline::Impl {
   ~Impl() { join_all(shards, merger_thread); }  // backstop; flush() normally joined
 
   void start(const DetectorConfig& config, const std::optional<ArtifactFilterConfig>& filter,
-             const ParallelConfig& parallel, EventSink sink_in) {
+             const ParallelConfig& parallel, EventSink& sink_in) {
     // Fail fast, on the caller's thread, with the serial classes' own
     // validation; the workers construct theirs later.
     { ScanDetector probe(config, [](ScanEvent&&) {}); }
     if (filter) {
       ArtifactFilter probe(*filter, [](const sim::LogRecord&) {});
     }
-    if (!sink_in) throw std::invalid_argument("ParallelScanPipeline: null sink");
     validate_parallel(parallel, "ParallelScanPipeline");
-    sink = std::move(sink_in);
+    sink = &sink_in;
 
     feeder.shard_len = filter ? std::min(config.source_prefix_len, filter->source_prefix_len)
                               : config.source_prefix_len;
@@ -553,7 +553,7 @@ struct ParallelScanPipeline::Impl {
     merger_thread = std::thread([this, timeout = config.timeout_us] {
       try {
         EventMerger merger(shards, 1, timeout,
-                           [this](std::size_t, ScanEvent&& ev) { sink(std::move(ev)); });
+                           [this](std::size_t, ScanEvent&& ev) { sink->on_event(std::move(ev)); });
         merger.run();
       } catch (...) {
         merger_error = std::current_exception();
@@ -678,17 +678,43 @@ struct ParallelScanPipeline::Impl {
   }
 };
 
+namespace {
+
+/// Legacy-ctor helper: validate + wrap the callable so the adapter
+/// ctors keep throwing the pipeline's own null-sink message.
+std::unique_ptr<FunctionSink> wrap_event_fn(ScanDetector::EventFn fn) {
+  if (!fn) throw std::invalid_argument("ParallelScanPipeline: null sink");
+  return std::make_unique<FunctionSink>(std::move(fn));
+}
+
+}  // namespace
+
 ParallelScanPipeline::ParallelScanPipeline(const DetectorConfig& config,
-                                           const ParallelConfig& parallel, EventSink sink)
+                                           const ParallelConfig& parallel, EventSink& sink)
     : impl_(std::make_unique<Impl>()) {
-  impl_->start(config, std::nullopt, parallel, std::move(sink));
+  impl_->start(config, std::nullopt, parallel, sink);
 }
 
 ParallelScanPipeline::ParallelScanPipeline(const DetectorConfig& config,
                                            const ArtifactFilterConfig& filter,
-                                           const ParallelConfig& parallel, EventSink sink)
+                                           const ParallelConfig& parallel, EventSink& sink)
     : impl_(std::make_unique<Impl>()) {
-  impl_->start(config, filter, parallel, std::move(sink));
+  impl_->start(config, filter, parallel, sink);
+}
+
+ParallelScanPipeline::ParallelScanPipeline(const DetectorConfig& config,
+                                           const ParallelConfig& parallel, EventFn fn)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->owned_sink = wrap_event_fn(std::move(fn));
+  impl_->start(config, std::nullopt, parallel, *impl_->owned_sink);
+}
+
+ParallelScanPipeline::ParallelScanPipeline(const DetectorConfig& config,
+                                           const ArtifactFilterConfig& filter,
+                                           const ParallelConfig& parallel, EventFn fn)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->owned_sink = wrap_event_fn(std::move(fn));
+  impl_->start(config, filter, parallel, *impl_->owned_sink);
 }
 
 ParallelScanPipeline::~ParallelScanPipeline() {

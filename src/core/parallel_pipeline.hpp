@@ -51,18 +51,27 @@ struct ParallelConfig {
 /// §2.1 artifact filter): same events, same order, N cores.
 class ParallelScanPipeline {
  public:
-  using EventSink = ScanDetector::EventSink;
+  /// Legacy callable sink; wrapped in a FunctionSink internally.
+  using EventFn = ScanDetector::EventFn;
 
-  /// Plain sharded detection.
+  /// Plain sharded detection. `sink` is borrowed (must outlive the
+  /// pipeline), receives events on the internal merger thread, and is
+  /// never flush()ed by the pipeline — flush it after
+  /// ParallelScanPipeline::flush() returns.
   ParallelScanPipeline(const DetectorConfig& config, const ParallelConfig& parallel,
-                       EventSink sink);
+                       EventSink& sink);
 
   /// Sharded ArtifactFilter -> ScanDetector chain. Each shard filters
   /// its own sources (the 5-duplicate rule is per-source, so per-shard
   /// filtering decides exactly as the serial filter does); per-day
   /// filter statistics are summed across shards.
   ParallelScanPipeline(const DetectorConfig& config, const ArtifactFilterConfig& filter,
-                       const ParallelConfig& parallel, EventSink sink);
+                       const ParallelConfig& parallel, EventSink& sink);
+
+  /// Legacy adapters: wrap `fn` in an owned FunctionSink.
+  ParallelScanPipeline(const DetectorConfig& config, const ParallelConfig& parallel, EventFn fn);
+  ParallelScanPipeline(const DetectorConfig& config, const ArtifactFilterConfig& filter,
+                       const ParallelConfig& parallel, EventFn fn);
 
   ~ParallelScanPipeline();
   ParallelScanPipeline(const ParallelScanPipeline&) = delete;

@@ -59,7 +59,8 @@ TEST(Reports, FoldByAsCountsSourcesAndScans) {
                                  ev("2a10:1:0:1::/64", 30, 120, 7),
                                  ev("2a10:1::/64", 20, 130, 7)});
   ASSERT_EQ(by_as.size(), 1u);
-  const auto& a = by_as.at(7);
+  const auto& a = by_as.front();
+  EXPECT_EQ(a.asn, 7u);
   EXPECT_EQ(a.packets, 150u);
   EXPECT_EQ(a.sources, 2u);
   EXPECT_EQ(a.scans, 3u);

@@ -67,6 +67,116 @@ TEST_F(EventIoTest, EmptySetRoundTrips) {
   EXPECT_TRUE(read_events(p).empty());
 }
 
+TEST_F(EventIoTest, StreamingWriterReaderRoundTrip) {
+  const auto original = random_events(11, 300);
+  const auto p = path("stream.v6ev");
+  {
+    EventWriter writer(p);
+    for (const auto& ev : original) {
+      ScanEvent copy = ev;
+      writer.on_event(std::move(copy));
+    }
+    EXPECT_EQ(writer.written(), original.size());
+    writer.close();
+    writer.close();  // idempotent
+  }
+
+  EventReader reader(p);
+  EXPECT_EQ(reader.total_events(), original.size());
+  std::vector<ScanEvent> back;
+  std::vector<ScanEvent> batch(64);
+  for (std::size_t n; (n = reader.next_batch(batch.data(), batch.size())) > 0;)
+    for (std::size_t i = 0; i < n; ++i) back.push_back(std::move(batch[i]));
+  ASSERT_EQ(back.size(), original.size());
+  for (std::size_t i = 0; i < back.size(); ++i) EXPECT_TRUE(equal(back[i], original[i])) << i;
+
+  // The streaming writer's output is also readable by the vector API.
+  const auto via_vector = read_events(p);
+  ASSERT_EQ(via_vector.size(), original.size());
+  for (std::size_t i = 0; i < via_vector.size(); ++i)
+    EXPECT_TRUE(equal(via_vector[i], original[i])) << i;
+}
+
+TEST_F(EventIoTest, StreamingZeroEventRoundTrip) {
+  const auto p = path("zero.v6ev");
+  {
+    EventWriter writer(p);
+    writer.flush();  // sink-contract finalize, same as close()
+    EXPECT_EQ(writer.written(), 0u);
+  }
+  EventReader reader(p);
+  EXPECT_EQ(reader.total_events(), 0u);
+  ScanEvent ev;
+  EXPECT_FALSE(reader.next(ev));
+  EXPECT_EQ(reader.next_batch(&ev, 1), 0u);
+  EXPECT_TRUE(read_events(p).empty());
+}
+
+TEST_F(EventIoTest, WriteAfterCloseThrows) {
+  const auto p = path("closed.v6ev");
+  EventWriter writer(p);
+  writer.close();
+  EXPECT_THROW(writer.on_event(ScanEvent{}), std::runtime_error);
+}
+
+TEST_F(EventIoTest, TruncatedHeaderRejected) {
+  // Shorter than the 16-byte magic+count header.
+  const auto p = path("hdr.v6ev");
+  {
+    std::FILE* f = std::fopen(p.c_str(), "wb");
+    std::fputs("V6EV", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW((void)read_events(p), std::runtime_error);
+  EXPECT_THROW((void)EventReader(p), std::runtime_error);
+}
+
+TEST_F(EventIoTest, BadMagicRejected) {
+  // Long enough to hold a header, but the magic is wrong.
+  const auto p = path("magic.v6ev");
+  {
+    std::FILE* f = std::fopen(p.c_str(), "wb");
+    const char junk[32] = {'X'};
+    std::fwrite(junk, 1, sizeof junk, f);
+    std::fclose(f);
+  }
+  EXPECT_THROW((void)read_events(p), std::runtime_error);
+  EXPECT_THROW((void)EventReader(p), std::runtime_error);
+}
+
+TEST_F(EventIoTest, ShortFinalRecordRejected) {
+  // Cut a few bytes off the last record: the header count is intact,
+  // so the failure must surface while streaming, not just at open.
+  const auto p = path("short.v6ev");
+  write_events(p, random_events(13, 20));
+  std::filesystem::resize_file(p, std::filesystem::file_size(p) - 3);
+  EXPECT_THROW((void)read_events(p), std::runtime_error);
+  EXPECT_THROW(
+      {
+        EventReader reader(p);
+        ScanEvent ev;
+        while (reader.next(ev)) {
+        }
+      },
+      std::runtime_error);
+}
+
+TEST_F(EventIoTest, OverclaimedHeaderCountRejectedAtOpen) {
+  // A corrupt count larger than the payload could possibly hold must
+  // fail at open (size lower bound), not by over-reserving downstream.
+  const auto p = path("overclaim.v6ev");
+  write_events(p, random_events(17, 5));
+  {
+    std::FILE* f = std::fopen(p.c_str(), "r+b");
+    ASSERT_EQ(std::fseek(f, 8, SEEK_SET), 0);
+    const std::uint64_t huge = 1ULL << 40;
+    std::fwrite(&huge, 1, sizeof huge, f);
+    std::fclose(f);
+  }
+  EXPECT_THROW((void)read_events(p), std::runtime_error);
+  EXPECT_THROW((void)EventReader(p), std::runtime_error);
+}
+
 TEST_F(EventIoTest, RejectsGarbageAndTruncation) {
   const auto p = path("garbage.v6ev");
   {

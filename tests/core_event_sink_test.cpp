@@ -1,0 +1,270 @@
+// Tests for the composable event-sink pipeline (core/event_sink): the
+// combinators themselves, the sink-emitting producer surfaces of the
+// detector, and the one-pass guarantee of detect_multi.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "core/detector.hpp"
+#include "core/event_sink.hpp"
+#include "sim/merge.hpp"
+#include "util/rng.hpp"
+
+namespace v6sonar::core {
+namespace {
+
+using net::Ipv6Address;
+using net::Ipv6Prefix;
+using sim::LogRecord;
+using sim::TimeUs;
+
+constexpr TimeUs kSec = 1'000'000;
+
+LogRecord probe(TimeUs ts, std::uint64_t src_lo, std::uint64_t dst_lo,
+                std::uint16_t port = 22) {
+  LogRecord r;
+  r.ts_us = ts;
+  r.src = Ipv6Address{0x2A10'0001'0000'0000ULL, src_lo};
+  r.dst = Ipv6Address{0x2600'0000'0000'0000ULL, dst_lo};
+  r.proto = wire::IpProto::kTcp;
+  r.dst_port = port;
+  r.src_asn = 7;
+  return r;
+}
+
+ScanEvent event(std::uint64_t src_lo, std::uint64_t packets) {
+  ScanEvent ev;
+  ev.source = Ipv6Prefix{Ipv6Address{0x2A10'0001'0000'0000ULL, src_lo}, 64};
+  ev.packets = packets;
+  ev.port_packets.emplace_back(std::uint16_t{443}, packets);
+  return ev;
+}
+
+bool equal(const ScanEvent& a, const ScanEvent& b) {
+  return a.source == b.source && a.first_us == b.first_us && a.last_us == b.last_us &&
+         a.packets == b.packets && a.distinct_dsts == b.distinct_dsts &&
+         a.distinct_dsts_in_dns == b.distinct_dsts_in_dns && a.src_asn == b.src_asn &&
+         a.port_packets == b.port_packets && a.weekly_packets == b.weekly_packets;
+}
+
+/// Records events, its visit order in a shared log, and flush calls.
+class RecordingSink final : public EventSink {
+ public:
+  RecordingSink(int id, std::vector<int>& order) : id_(id), order_(&order) {}
+
+  void on_event(ScanEvent&& ev) override {
+    order_->push_back(id_);
+    events.push_back(std::move(ev));
+  }
+  void flush() override {
+    order_->push_back(-id_);
+    ++flushes;
+  }
+
+  std::vector<ScanEvent> events;
+  int flushes = 0;
+
+ private:
+  int id_;
+  std::vector<int>* order_;
+};
+
+TEST(FunctionSink, ForwardsEvents) {
+  std::vector<ScanEvent> got;
+  FunctionSink sink([&](ScanEvent&& ev) { got.push_back(std::move(ev)); });
+  sink.on_event(event(1, 10));
+  sink.flush();  // default flush: no-op
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].packets, 10u);
+}
+
+TEST(FunctionSink, NullFunctionThrows) {
+  EXPECT_THROW(FunctionSink(nullptr), std::invalid_argument);
+}
+
+TEST(VectorSink, AppendsInOrder) {
+  std::vector<ScanEvent> out;
+  VectorSink sink(out);
+  sink.on_event(event(1, 10));
+  sink.on_event(event(2, 20));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].packets, 10u);
+  EXPECT_EQ(out[1].packets, 20u);
+}
+
+TEST(FanOutSink, DeliversToAllChildrenInInsertionOrder) {
+  std::vector<int> order;
+  RecordingSink a(1, order), b(2, order), c(3, order);
+  FanOutSink fan;
+  fan.add(a);
+  fan.add(b);
+  fan.add(c);
+  EXPECT_EQ(fan.children(), 3u);
+
+  fan.on_event(event(9, 77));
+  fan.on_event(event(8, 55));
+  fan.flush();
+
+  // Events visit children 1,2,3 per event; flush propagates in the
+  // same order afterwards.
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 1, 2, 3, -1, -2, -3}));
+  for (const RecordingSink* s : {&a, &b, &c}) {
+    ASSERT_EQ(s->events.size(), 2u);
+    EXPECT_TRUE(equal(s->events[0], event(9, 77)));
+    EXPECT_TRUE(equal(s->events[1], event(8, 55)));
+    EXPECT_EQ(s->flushes, 1);
+  }
+}
+
+TEST(FanOutSink, NullChildInConstructorThrows) {
+  EXPECT_THROW(FanOutSink({nullptr}), std::invalid_argument);
+}
+
+TEST(FanOutSink, EmptyFanDropsEvents) {
+  FanOutSink fan;
+  fan.on_event(event(1, 1));  // no children: must not crash
+  fan.flush();
+  EXPECT_EQ(fan.children(), 0u);
+}
+
+std::vector<LogRecord> random_traffic(std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<LogRecord> recs;
+  TimeUs t = 0;
+  for (int burst = 0; burst < 40; ++burst) {
+    const std::uint64_t src = rng.below(6);
+    const std::uint64_t n = 20 + rng.below(250);
+    for (std::uint64_t i = 0; i < n; ++i)
+      recs.push_back(probe(t += kSec, src, rng.below(500),
+                           static_cast<std::uint16_t>(rng.below(1024))));
+    t += static_cast<TimeUs>(rng.below(5'000)) * kSec;
+  }
+  return recs;
+}
+
+TEST(DetectorSink, SinkConstructorMatchesLegacyCallback) {
+  const auto recs = random_traffic(42);
+  const DetectorConfig cfg{.min_destinations = 50};
+
+  std::vector<ScanEvent> via_callback;
+  {
+    ScanDetector d(cfg, [&](ScanEvent&& ev) { via_callback.push_back(std::move(ev)); });
+    for (const auto& r : recs) d.feed(r);
+    d.flush();
+  }
+
+  std::vector<ScanEvent> via_sink;
+  {
+    VectorSink sink(via_sink);
+    ScanDetector d(cfg, sink);
+    for (const auto& r : recs) d.feed(r);
+    d.flush();
+  }
+
+  ASSERT_EQ(via_sink.size(), via_callback.size());
+  for (std::size_t i = 0; i < via_sink.size(); ++i)
+    EXPECT_TRUE(equal(via_sink[i], via_callback[i])) << i;
+}
+
+TEST(DetectorSink, DetectorDoesNotFlushItsSink) {
+  // Producers borrow the sink; whoever assembled the chain flushes it
+  // (a chain may outlive one producer). detector.flush() must emit the
+  // remaining events without propagating a sink flush.
+  std::vector<int> order;
+  RecordingSink sink(1, order);
+  ScanDetector d({.min_destinations = 10}, sink);
+  for (std::uint64_t i = 0; i < 20; ++i) d.feed(probe(i * kSec, 1, i));
+  d.flush();
+  EXPECT_EQ(sink.events.size(), 1u);
+  EXPECT_EQ(sink.flushes, 0);
+}
+
+TEST(DetectorSink, NullLegacyCallbackThrows) {
+  EXPECT_THROW(ScanDetector({}, nullptr), std::invalid_argument);
+}
+
+/// Counts how many records the wrapped stream actually hands out, so a
+/// test can assert the stream was drained exactly once.
+class CountingStream final : public sim::RecordStream {
+ public:
+  explicit CountingStream(std::vector<LogRecord> recs) : inner_(std::move(recs)) {}
+
+  std::optional<LogRecord> next() override {
+    auto r = inner_.next();
+    records_out_ += r.has_value();
+    return r;
+  }
+  std::size_t next_batch(LogRecord* out, std::size_t max) override {
+    const std::size_t n = inner_.next_batch(out, max);
+    records_out_ += n;
+    return n;
+  }
+
+  [[nodiscard]] std::uint64_t records_out() const noexcept { return records_out_; }
+
+ private:
+  sim::VectorStream inner_;
+  std::uint64_t records_out_ = 0;
+};
+
+TEST(DetectMulti, SinkOverloadMatchesVectorOverloadAndVisitsStreamOnce) {
+  const auto recs = random_traffic(7);
+  const std::vector<DetectorConfig> configs = {{.source_prefix_len = 128},
+                                               {.source_prefix_len = 64},
+                                               {.source_prefix_len = 48}};
+
+  sim::VectorStream vstream(recs);
+  const auto via_vectors = detect_multi(vstream, configs);
+
+  std::vector<std::vector<ScanEvent>> via_sinks(configs.size());
+  std::vector<VectorSink> vec_sinks;
+  vec_sinks.reserve(configs.size());
+  for (auto& out : via_sinks) vec_sinks.emplace_back(out);
+  std::vector<EventSink*> sinks;
+  for (auto& s : vec_sinks) sinks.push_back(&s);
+
+  CountingStream counted(recs);
+  detect_multi(counted, configs, sinks);
+
+  // One pass over the stream regardless of how many levels run.
+  EXPECT_EQ(counted.records_out(), recs.size());
+
+  ASSERT_EQ(via_sinks.size(), via_vectors.size());
+  for (std::size_t level = 0; level < via_sinks.size(); ++level) {
+    ASSERT_EQ(via_sinks[level].size(), via_vectors[level].size()) << level;
+    for (std::size_t i = 0; i < via_sinks[level].size(); ++i)
+      EXPECT_TRUE(equal(via_sinks[level][i], via_vectors[level][i])) << level << ":" << i;
+  }
+
+  // Per-level results equal a dedicated serial detector per level.
+  for (std::size_t level = 0; level < configs.size(); ++level) {
+    std::vector<ScanEvent> solo;
+    ScanDetector d(configs[level], [&](ScanEvent&& ev) { solo.push_back(std::move(ev)); });
+    for (const auto& r : recs) d.feed(r);
+    d.flush();
+    ASSERT_EQ(via_sinks[level].size(), solo.size()) << level;
+    for (std::size_t i = 0; i < solo.size(); ++i)
+      EXPECT_TRUE(equal(via_sinks[level][i], solo[i])) << level << ":" << i;
+  }
+}
+
+TEST(DetectMulti, RejectsMismatchedOrNullSinks) {
+  sim::VectorStream stream({});
+  std::vector<ScanEvent> out;
+  VectorSink sink(out);
+  EXPECT_THROW(detect_multi(stream, {{}, {}}, {&sink}), std::invalid_argument);
+  EXPECT_THROW(detect_multi(stream, {{}}, {nullptr}), std::invalid_argument);
+}
+
+TEST(DetectMulti, SinksAreFlushedInLevelOrder) {
+  std::vector<int> order;
+  RecordingSink a(1, order), b(2, order);
+  sim::VectorStream stream({});
+  detect_multi(stream, {{.source_prefix_len = 64}, {.source_prefix_len = 48}}, {&a, &b});
+  EXPECT_EQ(order, (std::vector<int>{-1, -2}));
+  EXPECT_EQ(a.flushes, 1);
+  EXPECT_EQ(b.flushes, 1);
+}
+
+}  // namespace
+}  // namespace v6sonar::core

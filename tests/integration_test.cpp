@@ -92,7 +92,7 @@ TEST_F(IntegrationTest, TrafficConcentration) {
 TEST_F(IntegrationTest, TopTwoAsesAreTheCnDatacenters) {
   const auto by_as = analysis::fold_by_as(at64());
   std::vector<std::pair<std::uint64_t, std::uint32_t>> ranked;
-  for (const auto& [asn, a] : by_as) ranked.push_back({a.packets, asn});
+  for (const auto& a : by_as) ranked.push_back({a.packets, a.asn});
   std::sort(ranked.rbegin(), ranked.rend());
   ASSERT_GE(ranked.size(), 2u);
   const std::set<std::uint32_t> top = {ranked[0].second, ranked[1].second};

@@ -2,7 +2,7 @@
 # Sanitized check of the threaded pipeline and the batched data plane,
 # plus an end-to-end metrics smoke check.
 #
-#   tools/check.sh [thread|address|metrics|perf|all]    (default: thread)
+#   tools/check.sh [thread|address|metrics|perf|report|all]    (default: thread)
 #
 # `thread`/`address` configure a separate build tree (build-tsan/ or
 # build-asan/) with -DV6SONAR_SANITIZE=<kind>, build the relevant test
@@ -19,17 +19,22 @@
 # count (V6SONAR_PIPELINE_RECORDS) in a scratch directory, verifying
 # the speedup and bulk-consumption fields land in the
 # `parallel_pipeline_bulk` section of BENCH_pipeline.json — a smoke
-# test for the bench plumbing, not a performance measurement. `all`
-# runs every config. Exits non-zero on any sanitizer report, test
-# failure, new warning in the metrics build, or missing/zero metric.
+# test for the bench plumbing, not a performance measurement. `report`
+# exercises the streaming analytics path end to end: generate a small
+# world, run `detect --mmap --report --events` (analyzer chain inline,
+# event stream spilled), replay the spill with `report`, and assert
+# the two reports are byte-for-byte identical — the sink pipeline's
+# equivalence guarantee. `all` runs every config. Exits non-zero on
+# any sanitizer report, test failure, new warning in the metrics
+# build, missing/zero metric, or report mismatch.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 kind="${1:-thread}"
 case "$kind" in
-  thread|address|metrics|perf) ;;
-  all) "$0" thread && "$0" address && "$0" metrics && exec "$0" perf ;;
-  *) echo "usage: tools/check.sh [thread|address|metrics|perf|all]" >&2; exit 2 ;;
+  thread|address|metrics|perf|report) ;;
+  all) "$0" thread && "$0" address && "$0" metrics && "$0" report && exec "$0" perf ;;
+  *) echo "usage: tools/check.sh [thread|address|metrics|perf|report|all]" >&2; exit 2 ;;
 esac
 
 if [[ "$kind" == perf ]]; then
@@ -82,6 +87,45 @@ print(f"perf smoke ok: serial {row['serial_rps']} rec/s, "
 PY
 
   echo "check.sh: perf smoke check passed (bench fields present in BENCH_pipeline.json)"
+  exit 0
+fi
+
+if [[ "$kind" == report ]]; then
+  tree=build-report
+  cmake -B "$tree" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+  cmake --build "$tree" -j"$(nproc)" --target v6sonar
+
+  work="$(mktemp -d)"
+  trap 'rm -rf "$work"' EXIT
+  v6sonar="$tree/tools/v6sonar"
+  "$v6sonar" generate "$work/world.v6slog" --small > /dev/null
+
+  # Inline: detector -> fan-out -> analyzers, spilling the event
+  # stream on the side. Replay: EventReader -> the same analyzers.
+  "$v6sonar" detect "$work/world.v6slog" --mmap --report \
+      --events "$work/spill.v6ev" > "$work/inline.txt"
+  "$v6sonar" report "$work/spill.v6ev" > "$work/replay.txt"
+
+  if ! cmp -s "$work/inline.txt" "$work/replay.txt"; then
+    echo "report smoke check FAILED: detect --report and report differ" >&2
+    diff "$work/inline.txt" "$work/replay.txt" | head -40 >&2
+    exit 1
+  fi
+  if [[ ! -s "$work/inline.txt" ]]; then
+    echo "report smoke check FAILED: empty report output" >&2
+    exit 1
+  fi
+
+  # The serial and parallel detectors must stream the same report.
+  "$v6sonar" detect "$work/world.v6slog" --mmap --report --threads 2 \
+      > "$work/parallel.txt"
+  if ! cmp -s "$work/inline.txt" "$work/parallel.txt"; then
+    echo "report smoke check FAILED: --threads 2 report differs from serial" >&2
+    diff "$work/inline.txt" "$work/parallel.txt" | head -40 >&2
+    exit 1
+  fi
+
+  echo "check.sh: report smoke check passed (inline == spill-replay, serial == parallel)"
   exit 0
 fi
 
@@ -146,7 +190,8 @@ case "$kind" in
   address)
     tree=build-asan
     targets=(util_spsc_ring_test core_parallel_pipeline_test core_batch_feed_test
-             sim_test util_flat_hash_test)
+             sim_test util_flat_hash_test core_event_sink_test core_event_io_test
+             analysis_streaming_test)
     ;;
 esac
 

@@ -6,6 +6,7 @@
 //
 //   v6sonar info      <file>                    identify + count records
 //   v6sonar detect    <file> [options]          large-scale scan detection (§2.2)
+//   v6sonar report    <events.v6ev> [options]   re-analyze spilled scan events
 //   v6sonar fh        <file> [options]          Fukuda-Heidemann detection (§4)
 //   v6sonar filter    <in> <out.v6slog>         5-duplicate artifact filter (§2.1)
 //   v6sonar adaptive  <file>                    multi-level adaptive attribution (§5)
@@ -15,25 +16,36 @@
 //
 // Options for detect/fh: --agg <len>  --min-dsts <n>  --timeout <sec>  --top <n>
 // detect additionally accepts --threads <n> to run the sharded
-// parallel pipeline (identical output to the serial detector) and
-// --mmap to stream a .v6slog through the zero-copy mapped reader in
-// batches instead of materialising every record up front.
+// parallel pipeline (identical output to the serial detector),
+// --report to run the full streaming analyzer chain inline,
+// and --events <file> to spill the event stream for later `report`
+// runs. detect/fh/fingerprint accept --mmap to stream a .v6slog
+// through the zero-copy mapped reader in batches instead of
+// materialising every record up front — detection and analysis run in
+// memory bounded by active sources, never by records or events.
 
+#include <algorithm>
 #include <array>
 #include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <span>
 #include <string>
 #include <system_error>
 #include <vector>
 
+#include "analysis/dns_targeting.hpp"
 #include "analysis/fingerprint.hpp"
+#include "analysis/ports.hpp"
 #include "analysis/reports.hpp"
+#include "analysis/timeseries.hpp"
 #include "core/adaptive.hpp"
 #include "core/artifact_filter.hpp"
 #include "core/detector.hpp"
+#include "core/event_io.hpp"
+#include "core/event_sink.hpp"
 #include "core/fh_detector.hpp"
 #include "core/parallel_pipeline.hpp"
 #include "mawi/world.hpp"
@@ -56,6 +68,8 @@ struct Options {
   int threads = 1;  ///< 1 = serial; 0 = auto (hardware threads)
   std::size_t ring_cap = 1 << 14;  ///< per-worker ring slots (parallel detect)
   bool mmap = false;
+  bool report = false;     ///< detect: render the full analyzer report
+  std::string events_out;  ///< detect: spill events here (--events)
 };
 
 [[noreturn]] void usage() {
@@ -65,6 +79,7 @@ struct Options {
       "commands:\n"
       "  info      <file>                   identify a .v6slog/.pcap file and count records\n"
       "  detect    <file> [options]         large-scale scan detection (>=100 dsts, 1h timeout)\n"
+      "  report    <events.v6ev> [options]  streaming analyzer report over spilled events\n"
       "  fh        <file> [options]         Fukuda-Heidemann per-window scan detection\n"
       "  filter    <in> <out.v6slog>        remove 5-duplicate artifact traffic\n"
       "  adaptive  <file>                   adaptive source-aggregation attribution\n"
@@ -83,8 +98,14 @@ struct Options {
       "  --ring-cap <n>    records buffered per worker ring, parallel detect\n"
       "                    only (default 16384, minimum 8; rounded up to a\n"
       "                    power of two)\n"
-      "  --mmap            detect only: stream a .v6slog via the zero-copy mapped\n"
-      "                    reader in batches instead of loading it into memory\n"
+      "  --mmap            detect/fh/fingerprint: stream a .v6slog via the zero-copy\n"
+      "                    mapped reader in batches instead of loading it into memory\n"
+      "  --report          detect only: print the full streaming analyzer report\n"
+      "                    (sources, ASes, durations, ports, weekly, DNS) instead\n"
+      "                    of the top-sources table; byte-identical to running\n"
+      "                    `report` over the same events\n"
+      "  --events <file>   detect only: spill the event stream to <file> for\n"
+      "                    later `report` runs (no in-memory event set)\n"
       "\n"
       "global options (any command):\n"
       "  --metrics[=FILE]  enable pipeline stage counters and dump the JSON\n"
@@ -135,6 +156,30 @@ std::vector<sim::LogRecord> load_records(const std::string& path) {
   return records;
 }
 
+/// Stream every record of `path` through `fn`, batch by batch,
+/// without materializing the log: --mmap uses the zero-copy mapped
+/// reader, otherwise the buffered log reader streams in chunks. pcap
+/// inputs have no streaming parser and fall back to one in-memory
+/// pass (fed as a single batch).
+template <typename Fn>
+void for_each_record_batch(const std::string& path, bool use_mmap, Fn&& fn) {
+  if (ends_with(path, ".pcap") || ends_with(path, ".cap")) {
+    const auto records = load_records(path);
+    fn(std::span<const sim::LogRecord>{records});
+    return;
+  }
+  std::array<sim::LogRecord, 4'096> batch;
+  if (use_mmap) {
+    sim::MappedLogReader reader(path);
+    for (std::size_t n; (n = reader.next_batch(batch.data(), batch.size())) > 0;)
+      fn(std::span<const sim::LogRecord>{batch.data(), n});
+  } else {
+    sim::LogReader reader(path);
+    for (std::size_t n; (n = reader.next_batch(batch.data(), batch.size())) > 0;)
+      fn(std::span<const sim::LogRecord>{batch.data(), n});
+  }
+}
+
 Options parse_options(int argc, char** argv, int first) {
   Options o;
   for (int i = first; i < argc; ++i) {
@@ -181,6 +226,10 @@ Options parse_options(int argc, char** argv, int first) {
       }
     } else if (std::strcmp(argv[i], "--mmap") == 0) {
       o.mmap = true;
+    } else if (std::strcmp(argv[i], "--report") == 0) {
+      o.report = true;
+    } else if (std::strcmp(argv[i], "--events") == 0) {
+      o.events_out = need_value("--events");
     } else {
       std::fprintf(stderr, "error: unknown option %s\n", argv[i]);
       std::exit(2);
@@ -208,44 +257,172 @@ int cmd_info(const std::string& path) {
   return 0;
 }
 
+/// The full streaming analyzer bundle — one incremental analyzer per
+/// paper table, all hanging off one fan-out so a single pass over the
+/// event stream feeds every analysis in bounded memory.
+struct ReportAnalyzers {
+  analysis::SourceAnalyzer sources;
+  analysis::AsAnalyzer by_as;
+  analysis::DurationAnalyzer durations;
+  analysis::TimeSeriesAnalyzer timeseries;
+  analysis::PortBucketAnalyzer port_buckets;
+  analysis::TopPortsAnalyzer top_ports;
+  analysis::DnsTargetingAnalyzer dns;
+
+  explicit ReportAnalyzers(std::size_t top) : top_ports(top) {}
+
+  void attach(core::FanOutSink& fan) {
+    fan.add(sources);
+    fan.add(by_as);
+    fan.add(durations);
+    fan.add(timeseries);
+    fan.add(port_buckets);
+    fan.add(top_ports);
+    fan.add(dns);
+  }
+};
+
+/// Render the analyzer bundle. Shared by `detect --report` and
+/// `report`, so the two paths are byte-identical by construction —
+/// anything run-specific (e.g. the spill note) goes to stderr.
+void print_report(const ReportAnalyzers& a, std::size_t top) {
+  const auto t = a.sources.totals();
+  std::printf("%llu scans from %llu sources in %llu ASes (%llu packets attributed)\n",
+              static_cast<unsigned long long>(t.scans),
+              static_cast<unsigned long long>(t.sources),
+              static_cast<unsigned long long>(t.ases),
+              static_cast<unsigned long long>(t.packets));
+
+  auto sources = a.sources.sources();
+  std::sort(sources.begin(), sources.end(),
+            [](const analysis::SourceReport& x, const analysis::SourceReport& y) {
+              return x.packets > y.packets;
+            });
+  std::printf("\ntop sources by packets:\n");
+  util::TextTable st({"source", "AS", "scans", "packets", "max dsts/scan"});
+  for (std::size_t i = 0; i < std::min(top, sources.size()); ++i) {
+    const auto& s = sources[i];
+    st.add_row({s.source.to_string(), std::to_string(s.asn), util::with_commas(s.scans),
+                util::with_commas(s.packets), util::with_commas(s.distinct_dsts_max)});
+  }
+  std::printf("%s", st.render().c_str());
+  if (sources.size() > top) std::printf("(+%zu more sources)\n", sources.size() - top);
+
+  auto by_as = a.by_as.by_as();
+  std::stable_sort(by_as.begin(), by_as.end(),
+                   [](const analysis::AsSources& x, const analysis::AsSources& y) {
+                     return x.packets > y.packets;
+                   });
+  std::printf("\ntop ASes by packets:\n");
+  util::TextTable at({"AS", "packets", "sources", "scans"});
+  for (std::size_t i = 0; i < std::min(top, by_as.size()); ++i) {
+    const auto& r = by_as[i];
+    at.add_row({std::to_string(r.asn), util::with_commas(r.packets),
+                util::with_commas(r.sources), util::with_commas(r.scans)});
+  }
+  std::printf("%s", at.render().c_str());
+  if (by_as.size() > top) std::printf("(+%zu more ASes)\n", by_as.size() - top);
+
+  const auto d = a.durations.stats();
+  std::printf("\nscan durations (%zu events): median %ss  p90 %ss  max %ss\n", d.events,
+              util::fixed(d.median_sec, 1).c_str(), util::fixed(d.p90_sec, 1).c_str(),
+              util::fixed(d.max_sec, 1).c_str());
+
+  const auto pb = a.port_buckets.shares();
+  std::printf("\nport targeting breadth (share of scans / sources / packets):\n");
+  util::TextTable pt({"ports per scan", "scans", "sources", "packets"});
+  for (int b = 0; b < 4; ++b)
+    pt.add_row({std::string(analysis::to_string(static_cast<analysis::PortBucket>(b))),
+                util::percent(pb.scans[b]), util::percent(pb.sources[b]),
+                util::percent(pb.packets[b])});
+  std::printf("%s", pt.render().c_str());
+
+  const auto tp = a.top_ports.result();
+  const std::size_t port_rows =
+      std::max({tp.by_packets.size(), tp.by_scans.size(), tp.by_sources.size()});
+  std::printf("\ntop ports, ranked three ways:\n");
+  util::TextTable tt({"rank", "by packets", "by scans", "by sources"});
+  const auto port_cell = [](const std::vector<analysis::TopPortsRow>& rows, std::size_t i) {
+    if (i >= rows.size()) return std::string{};
+    return std::to_string(rows[i].port) + " (" + util::percent(rows[i].share) + ")";
+  };
+  for (std::size_t i = 0; i < port_rows; ++i)
+    tt.add_row({std::to_string(i + 1), port_cell(tp.by_packets, i),
+                port_cell(tp.by_scans, i), port_cell(tp.by_sources, i)});
+  std::printf("%s", tt.render().c_str());
+
+  const auto weeks = a.timeseries.weekly();
+  std::printf("\nweekly activity (%zu weeks): overall top-2 share %s, mean weekly top-2 %s\n",
+              weeks.size(), util::percent(a.timeseries.overall_top_k(2)).c_str(),
+              util::percent(a.timeseries.mean_weekly_top_k(2)).c_str());
+  util::TextTable wt({"week", "active sources", "packets", "top1", "top2"});
+  for (const auto& w : weeks)
+    wt.add_row({std::to_string(w.week), util::with_commas(w.active_sources),
+                util::with_commas(w.packets), util::percent(w.top1_share),
+                util::percent(w.top2_share)});
+  std::printf("%s", wt.render().c_str());
+
+  const auto dns = a.dns.report();
+  std::printf("\nDNS targeting: %zu sources, %s all-in-DNS, %s with >=1/3 not-in-DNS\n",
+              dns.sources, util::percent(dns.all_in_dns_fraction).c_str(),
+              util::percent(dns.third_not_in_dns_fraction).c_str());
+}
+
 int cmd_detect(const std::string& path, const Options& o) {
   const core::DetectorConfig cfg{.source_prefix_len = o.agg,
                                  .min_destinations = o.min_dsts,
                                  .timeout_us = o.timeout_sec * 1'000'000};
-  std::vector<core::ScanEvent> events;
-  const auto sink = [&](core::ScanEvent&& ev) { events.push_back(std::move(ev)); };
 
-  // With --mmap the log never gets materialised: batches are decoded
-  // straight out of the mapping into the batch feed.
-  const auto run = [&](auto&& feed_all) {
-    if (o.mmap) {
-      sim::MappedLogReader reader(path);
-      std::array<sim::LogRecord, 4'096> batch;
-      for (std::size_t n; (n = reader.next_batch(batch.data(), batch.size())) > 0;)
-        feed_all(std::span<const sim::LogRecord>{batch.data(), n});
-    } else {
-      const auto records = load_records(path);
-      feed_all(std::span<const sim::LogRecord>{records});
-    }
-  };
-  if (o.threads != 1) {  // 0 = auto resolves inside the pipeline
-    core::ParallelScanPipeline pipeline(
-        cfg, {.threads = o.threads, .ring_capacity = o.ring_cap}, sink);
-    run([&](std::span<const sim::LogRecord> batch) { pipeline.feed_batch(batch); });
-    pipeline.flush();
+  // Assemble the sink chain. Events stream from the detector straight
+  // into the analyzers (and the optional spill writer) — no event set
+  // is ever materialized, so memory is bounded by active sources.
+  core::FanOutSink fan;
+  analysis::SourceAnalyzer sources_only;
+  std::optional<ReportAnalyzers> report;
+  if (o.report) {
+    report.emplace(o.top);
+    report->attach(fan);
   } else {
-    core::ScanDetector detector(cfg, sink);
-    run([&](std::span<const sim::LogRecord> batch) { detector.feed_batch(batch); });
-    detector.flush();
+    fan.add(sources_only);
+  }
+  std::optional<core::EventWriter> spill;
+  if (!o.events_out.empty()) {
+    spill.emplace(o.events_out);
+    fan.add(*spill);
   }
 
-  const auto t = analysis::totals(events);
+  if (o.threads != 1) {  // 0 = auto resolves inside the pipeline
+    core::ParallelScanPipeline pipeline(
+        cfg, {.threads = o.threads, .ring_capacity = o.ring_cap}, fan);
+    for_each_record_batch(
+        path, o.mmap,
+        [&](std::span<const sim::LogRecord> batch) { pipeline.feed_batch(batch); });
+    pipeline.flush();
+  } else {
+    core::ScanDetector detector(cfg, fan);
+    for_each_record_batch(
+        path, o.mmap,
+        [&](std::span<const sim::LogRecord> batch) { detector.feed_batch(batch); });
+    detector.flush();
+  }
+  fan.flush();
+
+  if (spill)
+    std::fprintf(stderr, "spilled %llu events to %s\n",
+                 static_cast<unsigned long long>(spill->written()), o.events_out.c_str());
+
+  if (o.report) {
+    print_report(*report, o.top);
+    return 0;
+  }
+
+  const auto t = sources_only.totals();
   std::printf("%llu scans from %llu /%d sources (%llu packets attributed)\n",
               static_cast<unsigned long long>(t.scans),
               static_cast<unsigned long long>(t.sources), o.agg,
               static_cast<unsigned long long>(t.packets));
 
-  auto sources = analysis::fold_sources(events);
+  auto sources = sources_only.sources();
   std::sort(sources.begin(), sources.end(),
             [](const analysis::SourceReport& a, const analysis::SourceReport& b) {
               return a.packets > b.packets;
@@ -261,10 +438,29 @@ int cmd_detect(const std::string& path, const Options& o) {
   return 0;
 }
 
+int cmd_report(const std::string& path, const Options& o) {
+  core::FanOutSink fan;
+  ReportAnalyzers analyzers(o.top);
+  analyzers.attach(fan);
+
+  core::EventReader reader(path);
+  std::vector<core::ScanEvent> batch(256);
+  for (std::size_t n; (n = reader.next_batch(batch.data(), batch.size())) > 0;)
+    for (std::size_t i = 0; i < n; ++i) fan.on_event(std::move(batch[i]));
+  fan.flush();
+
+  std::fprintf(stderr, "replayed %llu events from %s\n",
+               static_cast<unsigned long long>(reader.total_events()), path.c_str());
+  print_report(analyzers, o.top);
+  return 0;
+}
+
 int cmd_fh(const std::string& path, const Options& o) {
-  const auto records = load_records(path);
-  const auto scans = core::fh_detect(
-      records, {.source_prefix_len = o.agg, .min_destinations = o.min_dsts});
+  core::FhAccumulator acc({.source_prefix_len = o.agg, .min_destinations = o.min_dsts});
+  for_each_record_batch(path, o.mmap, [&](std::span<const sim::LogRecord> batch) {
+    acc.feed_batch(batch);
+  });
+  const auto scans = acc.finish();
   std::printf("%zu Fukuda-Heidemann scan sources (window treated as one capture)\n",
               scans.size());
   util::TextTable table({"source", "packets", "dsts", "ports", "ICMPv6"});
@@ -323,22 +519,38 @@ int cmd_adaptive(const std::string& path) {
 }
 
 int cmd_fingerprint(const std::string& path, const Options& o) {
-  const auto records = load_records(path);
+  // pcap inputs have no streaming parser: parse once and reuse the
+  // records across both passes. .v6slog inputs are streamed twice in
+  // batches, so memory stays bounded by active sources.
+  const bool is_pcap = ends_with(path, ".pcap") || ends_with(path, ".cap");
+  std::vector<sim::LogRecord> pcap_records;
+  if (is_pcap) pcap_records = load_records(path);
+  const auto each_batch = [&](auto&& fn) {
+    if (is_pcap)
+      fn(std::span<const sim::LogRecord>{pcap_records});
+    else
+      for_each_record_batch(path, o.mmap, fn);
+  };
 
-  // Pass 1: find the scan sources worth fingerprinting.
-  std::vector<core::ScanEvent> events;
-  core::ScanDetector detector(
-      {.source_prefix_len = o.agg, .min_destinations = o.min_dsts},
-      [&](core::ScanEvent&& ev) { events.push_back(std::move(ev)); });
-  for (const auto& r : records) detector.feed(r);
-  detector.flush();
+  // Pass 1: find the scan sources worth fingerprinting. The detector
+  // streams into a per-source analyzer — no event set in memory.
+  analysis::SourceAnalyzer per_source;
+  {
+    core::ScanDetector detector(
+        {.source_prefix_len = o.agg, .min_destinations = o.min_dsts}, per_source);
+    each_batch([&](std::span<const sim::LogRecord> batch) { detector.feed_batch(batch); });
+    detector.flush();
+    per_source.flush();
+  }
   std::vector<net::Ipv6Prefix> sources;
-  for (const auto& s : analysis::fold_sources(events)) sources.push_back(s.source);
+  for (const auto& s : per_source.sources()) sources.push_back(s.source);
   std::printf("fingerprinting %zu scan sources\n", sources.size());
 
   // Pass 2: behavioural features.
   analysis::FingerprintCollector fc(sources, o.agg);
-  for (const auto& r : records) fc.feed(r);
+  each_batch([&](std::span<const sim::LogRecord> batch) {
+    for (const auto& r : batch) fc.feed(r);
+  });
   const auto fps = fc.fingerprints();
 
   util::TextTable table({"source", "pkts", "ports", "port H", "IID HW", "in-DNS",
@@ -437,6 +649,7 @@ int main(int argc, char** argv) {
   const auto dispatch = [&]() -> int {
     if (cmd == "info" && argc >= 3) return cmd_info(argv[2]);
     if (cmd == "detect" && argc >= 3) return cmd_detect(argv[2], parse_options(argc, argv, 3));
+    if (cmd == "report" && argc >= 3) return cmd_report(argv[2], parse_options(argc, argv, 3));
     if (cmd == "fh" && argc >= 3) return cmd_fh(argv[2], parse_options(argc, argv, 3));
     if (cmd == "filter" && argc >= 4) return cmd_filter(argv[2], argv[3]);
     if (cmd == "adaptive" && argc >= 3) return cmd_adaptive(argv[2]);
