@@ -2,17 +2,22 @@
 // detector on identical synthetic traffic, fed record-at-a-time and
 // through the batched feed path. Prints a speedup table (the
 // acceptance target is >=3x at 8 threads), writes the serial rate and
-// per-thread-count speedups to BENCH_pipeline.json, then runs the
-// google-benchmark kernels for items/sec detail.
+// per-thread-count speedups to BENCH_pipeline.json (section
+// "parallel_pipeline_bulk"), races the two event-delivery disciplines
+// (total-order merger vs sharded ownership, section
+// "parallel_pipeline_sharded"), then runs the google-benchmark
+// kernels for items/sec detail.
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <span>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common.hpp"
 #include "core/detector.hpp"
@@ -66,6 +71,41 @@ std::uint64_t run_parallel(const std::vector<sim::LogRecord>& traffic, int threa
       pipe.feed_batch(all.subspan(i, std::min(batch, all.size() - i)));
   }
   pipe.flush();
+  return events;
+}
+
+/// Minimal per-shard sink for sharded-ownership runs: counts its
+/// shard's events on the worker thread, no rendezvous until the sum at
+/// the end — the cheapest possible stand-in for a per-shard analyzer
+/// chain.
+class CountingSink final : public core::EventSink {
+ public:
+  void on_event(core::ScanEvent&&) override { ++events_; }
+  [[nodiscard]] std::uint64_t events() const noexcept { return events_; }
+
+ private:
+  std::uint64_t events_ = 0;
+};
+
+std::uint64_t run_sharded(const std::vector<sim::LogRecord>& traffic, int threads,
+                          std::size_t batch = 0) {
+  std::vector<std::unique_ptr<CountingSink>> sinks;
+  core::ParallelScanPipeline pipe(
+      {.source_prefix_len = 64}, {.threads = threads},
+      core::ParallelScanPipeline::ShardSinkFactory([&](std::size_t) -> core::EventSink& {
+        sinks.push_back(std::make_unique<CountingSink>());
+        return *sinks.back();
+      }));
+  if (batch == 0) {
+    for (const auto& r : traffic) pipe.feed(r);
+  } else {
+    const std::span<const sim::LogRecord> all(traffic);
+    for (std::size_t i = 0; i < all.size(); i += batch)
+      pipe.feed_batch(all.subspan(i, std::min(batch, all.size() - i)));
+  }
+  pipe.flush();
+  std::uint64_t events = 0;
+  for (const auto& s : sinks) events += s->events();
   return events;
 }
 
@@ -168,6 +208,56 @@ void print_speedup_table() {
   benchx::update_bench_json("BENCH_pipeline.json", "parallel_pipeline_bulk", json.str());
 }
 
+/// Head-to-head of the two event-delivery disciplines on the batched
+/// feed path: total-order (merger thread funnels every event) vs
+/// sharded ownership (per-shard sinks, rendezvous only at flush).
+/// Events must agree with serial in both modes — sharded as a sum over
+/// the per-shard counts. Results land in the "parallel_pipeline_sharded"
+/// JSON section; docs/BENCHMARKS.md explains how to read it.
+void print_sharded_table() {
+  constexpr std::size_t kBatch = 4'096;
+  const auto traffic = synthetic_traffic(table_records(), 20'000);
+  const auto time = [](auto&& fn) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t events = fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::pair{std::chrono::duration<double>(t1 - t0).count(), events};
+  };
+
+  const auto [serial_s, serial_events] = time([&] { return run_serial(traffic); });
+  std::printf("order modes head to head — %zu records, batched feed\n", traffic.size());
+  std::printf("  %-20s %10s %9s  %s\n", "config", "seconds", "speedup", "events");
+  std::printf("  %-20s %10.3f %9s  %llu\n", "serial", serial_s, "1.00x",
+              static_cast<unsigned long long>(serial_events));
+
+  std::ostringstream json;
+  json << "{\"records\": " << traffic.size() << ", \"serial_s\": ";
+  char val[32];
+  std::snprintf(val, sizeof val, "%.3f", serial_s);
+  json << val;
+  for (const int threads : {1, 2, 3, 8}) {
+    for (const bool sharded : {false, true}) {
+      const auto [par_s, par_events] = time([&] {
+        return sharded ? run_sharded(traffic, threads, kBatch)
+                       : run_parallel(traffic, threads, kBatch);
+      });
+      char label[32];
+      std::snprintf(label, sizeof label, "%d threads %s", threads,
+                    sharded ? "sharded" : "total");
+      std::printf("  %-20s %10.3f %8.2fx  %llu%s\n", label, par_s, serial_s / par_s,
+                  static_cast<unsigned long long>(par_events),
+                  par_events == serial_events ? "" : "  EVENT MISMATCH");
+      char key[56];
+      std::snprintf(key, sizeof key, ", \"speedup_%s_%dt\": %.2f",
+                    sharded ? "sharded" : "total", threads, serial_s / par_s);
+      json << key;
+    }
+  }
+  std::printf("\n");
+  json << "}";
+  benchx::update_bench_json("BENCH_pipeline.json", "parallel_pipeline_sharded", json.str());
+}
+
 void BM_SerialDetector(benchmark::State& state) {
   const auto traffic = synthetic_traffic(1'000'000, 20'000);
   for (auto _ : state) benchmark::DoNotOptimize(run_serial(traffic));
@@ -189,6 +279,7 @@ BENCHMARK(BM_ParallelPipeline)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::
 
 int main(int argc, char** argv) {
   print_speedup_table();
+  print_sharded_table();
   // Smoke runs (V6SONAR_PIPELINE_RECORDS set) only need the speedup
   // table and its JSON section; skip the google-benchmark kernels.
   if (std::getenv("V6SONAR_PIPELINE_RECORDS")) return 0;

@@ -12,6 +12,17 @@
 // The base centralizes the sink-side telemetry (docs/OBSERVABILITY.md):
 //   analysis.sink.events        events consumed across all analyzers
 //   analysis.<name>.flush_us    per-analyzer flush() wall time
+//   analysis.merge_us           per-merge() wall time, all analyzers
+//
+// Analyzers are mergeable: every accumulator is a sum, a set union, or
+// a max over per-key integer state, so feeding a stream through N
+// analyzers and merge()ing them is equivalent to feeding one analyzer
+// the whole stream. This is what lets the sharded-ownership pipeline
+// mode (core/parallel_pipeline) run a private analyzer chain per shard
+// and rendezvous only at flush. The single order-sensitive field —
+// SourceReport::asn, "last event wins" — merges as "other wins", so
+// equivalence requires merging in stream order; the sharded pipeline
+// keys shards by source, making per-source state disjoint anyway.
 #pragma once
 
 #include <chrono>
@@ -50,6 +61,24 @@ class Analyzer : public core::EventSink {
     util::metrics::observe(flush_us_, static_cast<std::uint64_t>(us));
   }
 
+  /// Absorb another analyzer's accumulated state into this one. Both
+  /// analyzers must be the same concrete type with the same
+  /// configuration (throws std::bad_cast on a type mismatch); `other`
+  /// is left in a consumed state and must not be fed again. Wall time
+  /// is recorded in the shared analysis.merge_us histogram.
+  void merge(Analyzer&& other) {
+    if (!util::metrics::enabled()) {
+      merge_from(other);
+      return;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    merge_from(other);
+    const auto us =
+        std::chrono::duration_cast<std::chrono::microseconds>(std::chrono::steady_clock::now() - t0)
+            .count();
+    util::metrics::observe(merge_us(), static_cast<std::uint64_t>(us));
+  }
+
  protected:
   /// `name` keys the flush histogram: analysis.<name>.flush_us.
   explicit Analyzer(std::string_view name)
@@ -63,10 +92,22 @@ class Analyzer : public core::EventSink {
   /// need nothing here).
   virtual void finish() {}
 
+  /// Fold `other`'s accumulators into this analyzer's. `other` is
+  /// guaranteed by merge() to be the same dynamic type after the
+  /// implementation's own dynamic_cast; summing counters, unioning
+  /// sets, and maxing maxima keeps single-stream equivalence.
+  virtual void merge_from(Analyzer& other) = 0;
+
  private:
   static const util::metrics::Counter& sink_events() {
     static const util::metrics::Counter c{"analysis.sink.events"};
     return c;
+  }
+
+  static util::metrics::MetricId merge_us() {
+    static const util::metrics::MetricId id =
+        util::metrics::register_metric("analysis.merge_us", util::metrics::Kind::kHistogram);
+    return id;
   }
 
   util::metrics::MetricId flush_us_;

@@ -12,6 +12,15 @@ void DnsTargetingAnalyzer::consume(const core::ScanEvent& ev) {
   a.in_dns += ev.distinct_dsts_in_dns;
 }
 
+void DnsTargetingAnalyzer::merge_from(Analyzer& other_base) {
+  auto& other = dynamic_cast<DnsTargetingAnalyzer&>(other_base);
+  other.by_source_.for_each([&](const net::Ipv6Prefix& src, const Acc& o) {
+    auto& a = by_source_[src];
+    a.dsts += o.dsts;
+    a.in_dns += o.in_dns;
+  });
+}
+
 DnsTargetingReport DnsTargetingAnalyzer::report() const {
   DnsTargetingReport rep;
   rep.sources = by_source_.size();

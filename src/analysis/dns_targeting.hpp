@@ -41,6 +41,7 @@ class DnsTargetingAnalyzer final : public Analyzer {
 
  private:
   void consume(const core::ScanEvent& ev) override;
+  void merge_from(Analyzer& other) override;
 
   struct Acc {
     std::uint64_t dsts = 0;

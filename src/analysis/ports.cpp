@@ -34,6 +34,20 @@ void PortBucketAnalyzer::consume(const core::ScanEvent& ev) {
   widest = std::max(widest, b);
 }
 
+void PortBucketAnalyzer::merge_from(Analyzer& other_base) {
+  auto& other = dynamic_cast<PortBucketAnalyzer&>(other_base);
+  for (int b = 0; b < 4; ++b) {
+    scans_[b] += other.scans_[b];
+    packets_[b] += other.packets_[b];
+  }
+  total_scans_ += other.total_scans_;
+  total_packets_ += other.total_packets_;
+  other.source_bucket_.for_each([&](const net::Ipv6Prefix& src, std::uint32_t b) {
+    std::uint32_t& widest = source_bucket_[src];
+    widest = std::max(widest, b);
+  });
+}
+
 PortBucketShares PortBucketAnalyzer::shares() const {
   PortBucketShares out;
   std::uint64_t sources[4] = {};
@@ -70,6 +84,23 @@ void TopPortsAnalyzer::consume(const core::ScanEvent& ev) {
     ++acc.scans;
     if (port_source_seen_.insert({port, ev.source})) ++acc.sources;
   }
+}
+
+void TopPortsAnalyzer::merge_from(Analyzer& other_base) {
+  // Both analyzers must share n_ and the exclude predicate; exclusion
+  // already happened in consume(), so only the accumulators merge.
+  auto& other = dynamic_cast<TopPortsAnalyzer&>(other_base);
+  other.by_port_.for_each([&](std::uint32_t port, const Acc& o) {
+    auto& acc = by_port_[port];
+    acc.packets += o.packets;
+    acc.scans += o.scans;
+  });
+  other.port_source_seen_.for_each([&](const PortSourceKey& k) {
+    if (port_source_seen_.insert(k)) ++by_port_[k.port].sources;
+  });
+  other.all_sources_.for_each([&](const net::Ipv6Prefix& src) { all_sources_.insert(src); });
+  total_packets_ += other.total_packets_;
+  total_scans_ += other.total_scans_;
 }
 
 TopPorts TopPortsAnalyzer::result() const {

@@ -48,6 +48,7 @@ class PortBucketAnalyzer final : public Analyzer {
 
  private:
   void consume(const core::ScanEvent& ev) override;
+  void merge_from(Analyzer& other) override;
 
   std::uint64_t scans_[4] = {};
   std::uint64_t packets_[4] = {};
@@ -84,6 +85,7 @@ class TopPortsAnalyzer final : public Analyzer {
 
  private:
   void consume(const core::ScanEvent& ev) override;
+  void merge_from(Analyzer& other) override;
 
   struct Acc {
     std::uint64_t packets = 0;

@@ -18,6 +18,20 @@ void SourceAnalyzer::consume(const core::ScanEvent& ev) {
   if (ev.src_asn != 0) ases_.insert(ev.src_asn);
 }
 
+void SourceAnalyzer::merge_from(Analyzer& other_base) {
+  auto& other = dynamic_cast<SourceAnalyzer&>(other_base);
+  other.by_source_.for_each([&](const net::Ipv6Prefix& src, const Acc& o) {
+    auto& s = by_source_[src];
+    s.asn = o.asn;  // other wins, matching last-event-wins in stream order
+    s.scans += o.scans;
+    s.packets += o.packets;
+    s.dsts_max = std::max(s.dsts_max, o.dsts_max);
+  });
+  other.ases_.for_each([&](std::uint32_t asn) { ases_.insert(asn); });
+  scans_ += other.scans_;
+  packets_ += other.packets_;
+}
+
 std::vector<SourceReport> SourceAnalyzer::sources() const {
   std::vector<SourceReport> out;
   out.reserve(by_source_.size());
@@ -54,6 +68,21 @@ void AsAnalyzer::consume(const core::ScanEvent& ev) {
   if (seen_.insert({ev.src_asn, ev.source})) ++a.sources;
 }
 
+void AsAnalyzer::merge_from(Analyzer& other_base) {
+  auto& other = dynamic_cast<AsAnalyzer&>(other_base);
+  other.by_as_.for_each([&](std::uint32_t asn, const Acc& o) {
+    auto& a = by_as_[asn];
+    a.packets += o.packets;
+    a.scans += o.scans;
+  });
+  // Distinct (asn, source) pairs union through the same insert that
+  // consume() uses, so per-AS source counts stay exact even when both
+  // sides saw the same source.
+  other.seen_.for_each([&](const AsSourceKey& k) {
+    if (seen_.insert(k)) ++by_as_[k.asn].sources;
+  });
+}
+
 std::vector<AsSources> AsAnalyzer::by_as() const {
   std::vector<AsSources> out;
   out.reserve(by_as_.size());
@@ -77,6 +106,13 @@ void DurationAnalyzer::consume(const core::ScanEvent& ev) {
   hist_.add(static_cast<std::size_t>(sec));
   ++events_;
   max_sec_ = std::max(max_sec_, sec);
+}
+
+void DurationAnalyzer::merge_from(Analyzer& other_base) {
+  auto& other = dynamic_cast<DurationAnalyzer&>(other_base);
+  hist_.merge(other.hist_);
+  events_ += other.events_;
+  max_sec_ = std::max(max_sec_, other.max_sec_);
 }
 
 DurationStats DurationAnalyzer::stats() const {

@@ -48,6 +48,7 @@ class SourceAnalyzer final : public Analyzer {
 
  private:
   void consume(const core::ScanEvent& ev) override;
+  void merge_from(Analyzer& other) override;
 
   struct Acc {
     std::uint32_t asn = 0;
@@ -86,6 +87,7 @@ class AsAnalyzer final : public Analyzer {
 
  private:
   void consume(const core::ScanEvent& ev) override;
+  void merge_from(Analyzer& other) override;
 
   struct Acc {
     std::uint64_t packets = 0;
@@ -137,6 +139,7 @@ class DurationAnalyzer final : public Analyzer {
   static constexpr std::size_t kBins = 7 * 24 * 3600;
 
   void consume(const core::ScanEvent& ev) override;
+  void merge_from(Analyzer& other) override;
 
   util::Histogram1D hist_;
   std::size_t events_ = 0;

@@ -15,6 +15,14 @@ void TimeSeriesAnalyzer::consume(const core::ScanEvent& ev) {
   source_packets_[ev.source] += ev.packets;
 }
 
+void TimeSeriesAnalyzer::merge_from(Analyzer& other_base) {
+  auto& other = dynamic_cast<TimeSeriesAnalyzer&>(other_base);
+  other.week_source_packets_.for_each(
+      [&](const WeekSourceKey& k, std::uint64_t pkts) { week_source_packets_[k] += pkts; });
+  other.source_packets_.for_each(
+      [&](const net::Ipv6Prefix& src, std::uint64_t pkts) { source_packets_[src] += pkts; });
+}
+
 std::vector<WeekPoint> TimeSeriesAnalyzer::weekly() const {
   struct Entry {
     std::int32_t week;

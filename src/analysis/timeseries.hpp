@@ -41,6 +41,7 @@ class TimeSeriesAnalyzer final : public Analyzer {
 
  private:
   void consume(const core::ScanEvent& ev) override;
+  void merge_from(Analyzer& other) override;
 
   struct WeekSourceKey {
     std::int32_t week = 0;

@@ -30,6 +30,7 @@
 #include <chrono>
 #include <exception>
 #include <functional>
+#include <iterator>
 #include <map>
 #include <optional>
 #include <span>
@@ -119,6 +120,10 @@ struct Shard {
   std::thread thread;
   std::exception_ptr error;
   std::vector<FilterDayStats> day_stats;  ///< filter mode; closed in day order
+  /// Events this shard's detector(s) emitted. Written only by the
+  /// worker thread; read after join, when it folds into the per-shard
+  /// pipeline.shard<N>.events counters.
+  std::uint64_t events_emitted = 0;
 };
 
 using ShardList = std::vector<std::unique_ptr<Shard>>;
@@ -140,11 +145,17 @@ int resolve_threads(int requested) {
 /// Reject configurations whose rings could not function: a zero or
 /// sub-minimum capacity either breaks the power-of-two rounding
 /// contract or thrashes every hand-off through backpressure one
-/// element at a time. 8 is SpscRing's own capacity floor.
+/// element at a time. 8 is SpscRing's own capacity floor. Messages
+/// name the CLI flag alongside the field so a failed `v6sonar detect
+/// --ring-cap 4` is actionable without reading this file.
 void validate_parallel(const ParallelConfig& parallel, const char* who) {
+  if (parallel.threads < 0)
+    throw std::invalid_argument(std::string(who) + ": threads (--threads) must be >= 0, got " +
+                                std::to_string(parallel.threads) +
+                                " (0 means one per hardware thread)");
   if (parallel.ring_capacity < 8)
     throw std::invalid_argument(std::string(who) +
-                                ": ring_capacity must be at least 8 slots, got " +
+                                ": ring_capacity (--ring-cap) must be at least 8 slots, got " +
                                 std::to_string(parallel.ring_capacity));
 }
 
@@ -480,6 +491,7 @@ void report_ring_stats(const ShardList& shards, const char* prefix) {
                  in.occupancy_hw.load(std::memory_order_relaxed));
     m::gauge_max(m::register_metric(base + ".out_ring.occupancy_hw", m::Kind::kGauge),
                  out.occupancy_hw.load(std::memory_order_relaxed));
+    m::add(m::register_metric(base + ".events", m::Kind::kCounter), shards[s]->events_emitted);
     in_blocked += in.producer_blocked.load(std::memory_order_relaxed);
     in_parks += in.producer_parks.load(std::memory_order_relaxed);
     in_consumer_parks += in.consumer_parks.load(std::memory_order_relaxed);
@@ -511,6 +523,7 @@ void rethrow_first(const ShardList& shards, const std::exception_ptr& merger_err
 struct ParallelScanPipeline::Impl {
   std::unique_ptr<FunctionSink> owned_sink;  // legacy-adapter storage, if any
   EventSink* sink = nullptr;
+  std::vector<EventSink*> shard_sinks;  ///< sharded mode: one borrowed sink per shard
   std::vector<FilterDayStats> merged_stats;
   ShardList shards;
   std::thread merger_thread;
@@ -520,8 +533,11 @@ struct ParallelScanPipeline::Impl {
 
   ~Impl() { join_all(shards, merger_thread); }  // backstop; flush() normally joined
 
+  /// Exactly one of `sink_in` (total-order mode) and `per_shard`
+  /// (sharded-ownership mode) is set.
   void start(const DetectorConfig& config, const std::optional<ArtifactFilterConfig>& filter,
-             const ParallelConfig& parallel, EventSink& sink_in) {
+             const ParallelConfig& parallel, EventSink* sink_in,
+             ShardSinkFactory per_shard = {}) {
     // Fail fast, on the caller's thread, with the serial classes' own
     // validation; the workers construct theirs later.
     { ScanDetector probe(config, [](ScanEvent&&) {}); }
@@ -529,7 +545,8 @@ struct ParallelScanPipeline::Impl {
       ArtifactFilter probe(*filter, [](const sim::LogRecord&) {});
     }
     validate_parallel(parallel, "ParallelScanPipeline");
-    sink = &sink_in;
+    const bool sharded = static_cast<bool>(per_shard);
+    sink = sink_in;
 
     feeder.shard_len = filter ? std::min(config.source_prefix_len, filter->source_prefix_len)
                               : config.source_prefix_len;
@@ -537,19 +554,31 @@ struct ParallelScanPipeline::Impl {
         parallel.tick_interval_us > 0 ? parallel.tick_interval_us : config.timeout_us;
 
     const int n = resolve_threads(parallel.threads);
-    const std::size_t out_cap = std::max<std::size_t>(1024, parallel.ring_capacity / 4);
+    // Sharded mode never touches the output rings; keep them at the
+    // ring's own floor instead of provisioning merger-sized buffers.
+    const std::size_t out_cap =
+        sharded ? 8 : std::max<std::size_t>(1024, parallel.ring_capacity / 4);
     shards.reserve(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i)
       shards.push_back(std::make_unique<Shard>(parallel.ring_capacity, out_cap));
     feeder.init(shards.size());
+    if (sharded) {
+      // Resolve every per-shard sink on the caller's thread, before
+      // any worker can race the factory.
+      shard_sinks.reserve(shards.size());
+      for (std::size_t s = 0; s < shards.size(); ++s) shard_sinks.push_back(&per_shard(s));
+    }
 
     const util::metrics::MetricId batch_hist = util::metrics::register_metric(
         "pipeline.worker.batch_size", util::metrics::Kind::kHistogram);
-    for (auto& sp : shards) {
-      Shard& sh = *sp;
-      sh.thread = std::thread(
-          [&sh, config, filter, batch_hist] { worker_main(sh, config, filter, batch_hist); });
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      Shard& sh = *shards[s];
+      EventSink* shard_sink = sharded ? shard_sinks[s] : nullptr;
+      sh.thread = std::thread([&sh, config, filter, batch_hist, shard_sink] {
+        worker_main(sh, config, filter, batch_hist, shard_sink);
+      });
     }
+    if (sharded) return;  // no merger: workers rendezvous only at flush
     merger_thread = std::thread([this, timeout = config.timeout_us] {
       try {
         EventMerger merger(shards, 1, timeout,
@@ -575,9 +604,16 @@ struct ParallelScanPipeline::Impl {
   /// every future finalization, and emitted events are pushed to the
   /// ring strictly before the watermark store — so the merger can
   /// never observe a watermark that promises events it cannot yet see.
+  ///
+  /// Sharded-ownership mode (`shard_sink` non-null): events bypass the
+  /// output ring entirely and go straight into the shard's own sink,
+  /// still on this thread — the sink sees this shard's events in the
+  /// shard's serial order, and nothing else. Watermarks keep being
+  /// published (they are cheap and keep the two modes' loops
+  /// identical) but have no consumer.
   static void worker_main(Shard& sh, const DetectorConfig& config,
                           const std::optional<ArtifactFilterConfig>& filter,
-                          util::metrics::MetricId batch_hist) {
+                          util::metrics::MetricId batch_hist, EventSink* shard_sink) {
     try {
       bool flushing = false;
       sim::TimeUs det_time = INT64_MIN;
@@ -587,8 +623,14 @@ struct ParallelScanPipeline::Impl {
         sh.out.push_n(out_buf.data(), out_buf.size());  // moving overload
         out_buf.clear();
       };
-      ScanDetector det(
-          config, [&](ScanEvent&& ev) { out_buf.push_back(OutItem{std::move(ev), 0, flushing}); });
+      ScanDetector det(config, shard_sink ? ScanDetector::EventFn([&sh, shard_sink](ScanEvent&& ev) {
+        ++sh.events_emitted;
+        shard_sink->on_event(std::move(ev));
+      })
+                                          : ScanDetector::EventFn([&](ScanEvent&& ev) {
+                                              ++sh.events_emitted;
+                                              out_buf.push_back(OutItem{std::move(ev), 0, flushing});
+                                            }));
       std::unique_ptr<ArtifactFilter> af;
       if (filter)
         af = std::make_unique<ArtifactFilter>(
@@ -692,21 +734,21 @@ std::unique_ptr<FunctionSink> wrap_event_fn(ScanDetector::EventFn fn) {
 ParallelScanPipeline::ParallelScanPipeline(const DetectorConfig& config,
                                            const ParallelConfig& parallel, EventSink& sink)
     : impl_(std::make_unique<Impl>()) {
-  impl_->start(config, std::nullopt, parallel, sink);
+  impl_->start(config, std::nullopt, parallel, &sink);
 }
 
 ParallelScanPipeline::ParallelScanPipeline(const DetectorConfig& config,
                                            const ArtifactFilterConfig& filter,
                                            const ParallelConfig& parallel, EventSink& sink)
     : impl_(std::make_unique<Impl>()) {
-  impl_->start(config, filter, parallel, sink);
+  impl_->start(config, filter, parallel, &sink);
 }
 
 ParallelScanPipeline::ParallelScanPipeline(const DetectorConfig& config,
                                            const ParallelConfig& parallel, EventFn fn)
     : impl_(std::make_unique<Impl>()) {
   impl_->owned_sink = wrap_event_fn(std::move(fn));
-  impl_->start(config, std::nullopt, parallel, *impl_->owned_sink);
+  impl_->start(config, std::nullopt, parallel, impl_->owned_sink.get());
 }
 
 ParallelScanPipeline::ParallelScanPipeline(const DetectorConfig& config,
@@ -714,7 +756,24 @@ ParallelScanPipeline::ParallelScanPipeline(const DetectorConfig& config,
                                            const ParallelConfig& parallel, EventFn fn)
     : impl_(std::make_unique<Impl>()) {
   impl_->owned_sink = wrap_event_fn(std::move(fn));
-  impl_->start(config, filter, parallel, *impl_->owned_sink);
+  impl_->start(config, filter, parallel, impl_->owned_sink.get());
+}
+
+ParallelScanPipeline::ParallelScanPipeline(const DetectorConfig& config,
+                                           const ParallelConfig& parallel,
+                                           ShardSinkFactory per_shard)
+    : impl_(std::make_unique<Impl>()) {
+  if (!per_shard) throw std::invalid_argument("ParallelScanPipeline: null shard sink factory");
+  impl_->start(config, std::nullopt, parallel, nullptr, std::move(per_shard));
+}
+
+ParallelScanPipeline::ParallelScanPipeline(const DetectorConfig& config,
+                                           const ArtifactFilterConfig& filter,
+                                           const ParallelConfig& parallel,
+                                           ShardSinkFactory per_shard)
+    : impl_(std::make_unique<Impl>()) {
+  if (!per_shard) throw std::invalid_argument("ParallelScanPipeline: null shard sink factory");
+  impl_->start(config, filter, parallel, nullptr, std::move(per_shard));
 }
 
 ParallelScanPipeline::~ParallelScanPipeline() {
@@ -755,8 +814,12 @@ const std::vector<FilterDayStats>& ParallelScanPipeline::filter_stats() const {
 
 struct ParallelIds::Impl {
   IdsConfig cfg;
+  OrderMode order = OrderMode::kTotal;
   AlertSink sink;
   std::vector<std::vector<ScanEvent>> events;  ///< merged, serial order
+  /// Sharded mode: each worker's private per-level slim events,
+  /// [shard][level]; folded into `events` at flush.
+  std::vector<std::vector<std::vector<OutItem>>> shard_events;
   AlertTracker tracker;
   std::unique_ptr<util::SpscRing<sim::TimeUs>> barriers;
   ShardList shards;
@@ -769,7 +832,8 @@ struct ParallelIds::Impl {
 
   ~Impl() { join_all(shards, merger_thread); }  // backstop; flush() normally joined
 
-  void start(const IdsConfig& config, const ParallelConfig& parallel, AlertSink sink_in) {
+  void start(const IdsConfig& config, const ParallelConfig& parallel, AlertSink sink_in,
+             OrderMode order_in) {
     if (!sink_in) throw std::invalid_argument("ParallelIds: null sink");
     if (config.adaptive.ladder.empty())
       throw std::invalid_argument("ParallelIds: empty aggregation ladder");
@@ -778,27 +842,36 @@ struct ParallelIds::Impl {
       StreamingIds probe(config, [](const IdsAlert&) {});
     }
     cfg = config;
+    order = order_in;
     sink = std::move(sink_in);
     events.resize(cfg.adaptive.ladder.size());
-    barriers = std::make_unique<util::SpscRing<sim::TimeUs>>(1 << 12);
+    const bool sharded = order == OrderMode::kSharded;
+    if (!sharded) barriers = std::make_unique<util::SpscRing<sim::TimeUs>>(1 << 12);
 
     feeder.shard_len = *std::min_element(cfg.adaptive.ladder.begin(), cfg.adaptive.ladder.end());
     feeder.tick_interval =
         parallel.tick_interval_us > 0 ? parallel.tick_interval_us : cfg.timeout_us;
 
     const int n = resolve_threads(parallel.threads);
-    const std::size_t out_cap = std::max<std::size_t>(1024, parallel.ring_capacity / 4);
+    const std::size_t out_cap =
+        sharded ? 8 : std::max<std::size_t>(1024, parallel.ring_capacity / 4);
     shards.reserve(static_cast<std::size_t>(n));
     for (int i = 0; i < n; ++i)
       shards.push_back(std::make_unique<Shard>(parallel.ring_capacity, out_cap));
     feeder.init(shards.size());
+    if (sharded)
+      shard_events.assign(shards.size(),
+                          std::vector<std::vector<OutItem>>(cfg.adaptive.ladder.size()));
 
     const util::metrics::MetricId batch_hist = util::metrics::register_metric(
         "ids.pipeline.worker.batch_size", util::metrics::Kind::kHistogram);
-    for (auto& sp : shards) {
-      Shard& sh = *sp;
-      sh.thread = std::thread([&sh, config, batch_hist] { worker_main(sh, config, batch_hist); });
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+      Shard& sh = *shards[s];
+      auto* collect = sharded ? &shard_events[s] : nullptr;
+      sh.thread = std::thread(
+          [&sh, config, batch_hist, collect] { worker_main(sh, config, batch_hist, collect); });
     }
+    if (sharded) return;  // no merger, no barriers: one pass at flush
     merger_thread = std::thread([this] {
       try {
         EventMerger merger(
@@ -827,8 +900,13 @@ struct ParallelIds::Impl {
   /// than under per-record feeding, but the merger buffers and orders
   /// per (shard, level), so only the per-level subsequences matter —
   /// and those are unchanged.
-  static void worker_main(Shard& sh, const IdsConfig& config,
-                          util::metrics::MetricId batch_hist) {
+  ///
+  /// Sharded mode (`collect` non-null): events accumulate in the
+  /// shard's private per-level vectors — each holding the shard's
+  /// serial two-run order (timed-out events, then flush()ed events) —
+  /// and the output ring stays untouched; flush() re-merges the runs.
+  static void worker_main(Shard& sh, const IdsConfig& config, util::metrics::MetricId batch_hist,
+                          std::vector<std::vector<OutItem>>* collect) {
     try {
       bool flushing = false;
       std::vector<OutItem> out_buf;
@@ -844,10 +922,16 @@ struct ParallelIds::Impl {
             DetectorConfig{.source_prefix_len = config.adaptive.ladder[i],
                            .min_destinations = config.min_destinations,
                            .timeout_us = config.timeout_us},
-            [&out_buf, &flushing, i](ScanEvent&& ev) {
-              out_buf.push_back(
+            collect ? ScanDetector::EventFn([&sh, collect, &flushing, i](ScanEvent&& ev) {
+              ++sh.events_emitted;
+              (*collect)[i].push_back(
                   OutItem{slim_scan_event(ev), static_cast<std::uint16_t>(i), flushing});
-            }));
+            })
+                    : ScanDetector::EventFn([&sh, &out_buf, &flushing, i](ScanEvent&& ev) {
+                        ++sh.events_emitted;
+                        out_buf.push_back(
+                            OutItem{slim_scan_event(ev), static_cast<std::uint16_t>(i), flushing});
+                      })));
 
       std::vector<InItem> chunk(kWorkerChunk);
       std::vector<sim::LogRecord> recs(kWorkerChunk);
@@ -888,13 +972,17 @@ struct ParallelIds::Impl {
     if (next_pass == 0) next_pass = r.ts_us + cfg.reattribution_period_us;
     feeder.stage(shards, r, "ParallelIds");
     if (r.ts_us >= next_pass) {
-      // Exactly the serial trigger: a pass over everything finalized
-      // strictly before this record. The tick drives every shard's
-      // watermark to r.ts_us so the barrier can clear.
-      feeder.publish(shards);
-      Feeder::broadcast_tick(shards, r.ts_us);
-      barriers->push(sim::TimeUs{r.ts_us});
-      pm().barriers.add();
+      if (order == OrderMode::kTotal) {
+        // Exactly the serial trigger: a pass over everything finalized
+        // strictly before this record. The tick drives every shard's
+        // watermark to r.ts_us so the barrier can clear.
+        feeder.publish(shards);
+        Feeder::broadcast_tick(shards, r.ts_us);
+        barriers->push(sim::TimeUs{r.ts_us});
+        pm().barriers.add();
+      }
+      // Sharded mode trades the mid-stream pass away, but tracks the
+      // trigger times so the flush pass uses the serial timestamp.
       next_pass = r.ts_us + cfg.reattribution_period_us;
     }
   }
@@ -917,14 +1005,47 @@ struct ParallelIds::Impl {
     feeder.publish(shards);  // nothing stays staged past a flush
     final_now.store(next_pass, std::memory_order_release);
     join_all(shards, merger_thread);
+    if (order == OrderMode::kSharded && !shard_events.empty()) {
+      merge_shard_events();
+      // The single attribution pass, at the same timestamp the serial
+      // front end's flush pass would use. attribute_adaptive folds the
+      // events order-insensitively (per-source sums; last-wins ASN is
+      // restored by the re-merge above), so the blocklist matches the
+      // serial one exactly; only the mid-stream alert cadence is lost.
+      tracker.update(attribute_adaptive(events, cfg.adaptive), next_pass, sink);
+    }
     report_ring_stats(shards, "ids.pipeline");
     rethrow_first(shards, merger_error);
   }
+
+  /// Reconstruct each level's serial event order from the per-shard
+  /// runs: every shard emits two sorted runs — timed-out events in
+  /// (end-time, source) order, then flush()ed events in source order —
+  /// and the serial detector's stream is exactly their merge.
+  void merge_shard_events() {
+    for (std::size_t l = 0; l < events.size(); ++l) {
+      std::vector<ScanEvent> stream_run, flush_run;
+      for (auto& per_level : shard_events)
+        for (auto& it : per_level[l])
+          (it.flushed ? flush_run : stream_run).push_back(std::move(it.ev));
+      std::sort(stream_run.begin(), stream_run.end(), [](const ScanEvent& a, const ScanEvent& b) {
+        if (a.last_us != b.last_us) return a.last_us < b.last_us;
+        return a.source < b.source;
+      });
+      std::sort(flush_run.begin(), flush_run.end(),
+                [](const ScanEvent& a, const ScanEvent& b) { return a.source < b.source; });
+      events[l] = std::move(stream_run);
+      events[l].insert(events[l].end(), std::make_move_iterator(flush_run.begin()),
+                       std::make_move_iterator(flush_run.end()));
+    }
+    shard_events.clear();
+  }
 };
 
-ParallelIds::ParallelIds(const IdsConfig& config, const ParallelConfig& parallel, AlertSink sink)
+ParallelIds::ParallelIds(const IdsConfig& config, const ParallelConfig& parallel, AlertSink sink,
+                         OrderMode order)
     : impl_(std::make_unique<Impl>()) {
-  impl_->start(config, parallel, std::move(sink));
+  impl_->start(config, parallel, std::move(sink), order);
 }
 
 ParallelIds::~ParallelIds() {

@@ -5,11 +5,22 @@
 // of one aggregated source visits exactly one worker, and each worker
 // runs a private, completely ordinary serial detector over its shard.
 // The feeder thread hash-partitions records across bounded SPSC rings
-// (util/spsc_ring.hpp); a merger thread k-way merges the finalized
-// events of all shards back into one stream ordered by event end-time
-// — byte-identical, ordering included, to what the single-threaded
-// detector would have produced. Downstream analysis code cannot tell
-// the difference; docs/ARCHITECTURE.md derives the ordering guarantee.
+// (util/spsc_ring.hpp). Two event-delivery disciplines are offered:
+//
+//   OrderMode::kTotal — a merger thread k-way merges the finalized
+//   events of all shards back into one stream ordered by event
+//   end-time: byte-identical, ordering included, to what the
+//   single-threaded detector would have produced. Downstream code
+//   cannot tell the difference, at the cost of every event funneling
+//   through one thread.
+//
+//   OrderMode::kSharded — each worker owns its slice of state end to
+//   end: detection, artifact filtering, expiry, and a caller-supplied
+//   per-shard EventSink chain, all on the worker thread. Workers
+//   never rendezvous until flush(). Event total order across shards
+//   is relaxed (each shard's own stream stays serial-ordered);
+//   mergeable sinks (analysis::Analyzer::merge) recover bit-identical
+//   *reports* at flush. docs/ARCHITECTURE.md §3.5 has the argument.
 //
 // Three front ends are provided, mirroring the serial ones:
 //   ParallelScanPipeline           ==  ScanDetector
@@ -17,12 +28,15 @@
 //   ParallelIds                    ==  StreamingIds
 //
 // Threading contract: feed()/flush() must be called from one thread;
-// the event/alert sink runs on the internal merger thread (it must not
-// call back into the pipeline). flush() joins all threads and rethrows
-// the first worker or sink exception, if any.
+// in total-order mode the event/alert sink runs on the internal
+// merger thread, in sharded mode each per-shard sink runs on its
+// worker thread (sinks must not call back into the pipeline). flush()
+// joins all threads and rethrows the first worker or sink exception,
+// if any.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -33,6 +47,12 @@
 #include "sim/record.hpp"
 
 namespace v6sonar::core {
+
+/// Event-delivery discipline of the parallel front ends (see the file
+/// comment). kTotal restores the serial total order through a merger
+/// thread; kSharded keeps events on their worker and rendezvouses
+/// only at flush.
+enum class OrderMode { kTotal, kSharded };
 
 struct ParallelConfig {
   /// Worker threads (shards). 0 = one per hardware thread.
@@ -54,6 +74,14 @@ class ParallelScanPipeline {
   /// Legacy callable sink; wrapped in a FunctionSink internally.
   using EventFn = ScanDetector::EventFn;
 
+  /// Sharded-ownership sink factory: called once per shard, on the
+  /// constructing thread, before any worker starts. The returned sink
+  /// is borrowed (must outlive the pipeline), receives that shard's
+  /// events on the worker thread in the shard's serial order, and is
+  /// never flush()ed by the pipeline — merge and flush the per-shard
+  /// chains after ParallelScanPipeline::flush() returns.
+  using ShardSinkFactory = std::function<EventSink&(std::size_t shard)>;
+
   /// Plain sharded detection. `sink` is borrowed (must outlive the
   /// pipeline), receives events on the internal merger thread, and is
   /// never flush()ed by the pipeline — flush it after
@@ -72,6 +100,15 @@ class ParallelScanPipeline {
   ParallelScanPipeline(const DetectorConfig& config, const ParallelConfig& parallel, EventFn fn);
   ParallelScanPipeline(const DetectorConfig& config, const ArtifactFilterConfig& filter,
                        const ParallelConfig& parallel, EventFn fn);
+
+  /// Sharded-ownership mode (OrderMode::kSharded): no merger thread;
+  /// each worker drives its own sink from `per_shard`. Event total
+  /// order across shards is relaxed — pair with mergeable sinks
+  /// (analysis::Analyzer) when downstream output must match serial.
+  ParallelScanPipeline(const DetectorConfig& config, const ParallelConfig& parallel,
+                       ShardSinkFactory per_shard);
+  ParallelScanPipeline(const DetectorConfig& config, const ArtifactFilterConfig& filter,
+                       const ParallelConfig& parallel, ShardSinkFactory per_shard);
 
   ~ParallelScanPipeline();
   ParallelScanPipeline(const ParallelScanPipeline&) = delete;
@@ -106,14 +143,20 @@ class ParallelScanPipeline {
 };
 
 /// Sharded equivalent of StreamingIds: the ladder detectors shard by
-/// the coarsest ladder prefix, the periodic attribution pass runs on
-/// the merger thread at exactly the serial trigger points, and the
-/// alert stream (order, is_new flags, timestamps) is identical.
+/// the coarsest ladder prefix. In total-order mode the periodic
+/// attribution pass runs on the merger thread at exactly the serial
+/// trigger points, and the alert stream (order, is_new flags,
+/// timestamps) is identical. In sharded mode workers accumulate their
+/// slim events privately and one attribution pass runs at flush():
+/// the final blocklist() is identical to serial, but the mid-stream
+/// alert cadence is traded away — every alert is emitted from the
+/// single flush-time pass.
 class ParallelIds {
  public:
   using AlertSink = AlertTracker::AlertSink;
 
-  ParallelIds(const IdsConfig& config, const ParallelConfig& parallel, AlertSink sink);
+  ParallelIds(const IdsConfig& config, const ParallelConfig& parallel, AlertSink sink,
+              OrderMode order = OrderMode::kTotal);
 
   ~ParallelIds();
   ParallelIds(const ParallelIds&) = delete;

@@ -20,6 +20,14 @@ class Histogram1D {
     counts_[bin] += weight;
   }
 
+  /// Bin-wise sum of another histogram with the same bin count
+  /// (mismatched widths are a programming error; the extra bins are
+  /// clamped into the edge bin like any out-of-range sample).
+  void merge(const Histogram1D& other) noexcept {
+    for (std::size_t b = 0; b < other.counts_.size(); ++b)
+      if (other.counts_[b] != 0) add(b, other.counts_[b]);
+  }
+
   [[nodiscard]] std::uint64_t at(std::size_t bin) const { return counts_.at(bin); }
   [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
   [[nodiscard]] std::uint64_t total() const noexcept {

@@ -2,7 +2,7 @@
 # Sanitized check of the threaded pipeline and the batched data plane,
 # plus an end-to-end metrics smoke check.
 #
-#   tools/check.sh [thread|address|metrics|perf|report|all]    (default: thread)
+#   tools/check.sh [thread|address|metrics|perf|report|docs|all]    (default: thread)
 #
 # `thread`/`address` configure a separate build tree (build-tsan/ or
 # build-asan/) with -DV6SONAR_SANITIZE=<kind>, build the relevant test
@@ -24,18 +24,55 @@
 # world, run `detect --mmap --report --events` (analyzer chain inline,
 # event stream spilled), replay the spill with `report`, and assert
 # the two reports are byte-for-byte identical — the sink pipeline's
-# equivalence guarantee. `all` runs every config. Exits non-zero on
-# any sanitizer report, test failure, new warning in the metrics
-# build, missing/zero metric, or report mismatch.
+# equivalence guarantee. `docs` is a grep-based lint needing no build:
+# every metric-name literal in src/ must appear in
+# docs/OBSERVABILITY.md and every CLI flag in tools/v6sonar_cli.cpp
+# must appear in README.md, so the reference docs cannot silently fall
+# behind the code. `all` runs every config. Exits non-zero on any
+# sanitizer report, test failure, new warning in the metrics build,
+# missing/zero metric, report mismatch, or undocumented name.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 kind="${1:-thread}"
 case "$kind" in
-  thread|address|metrics|perf|report) ;;
-  all) "$0" thread && "$0" address && "$0" metrics && "$0" report && exec "$0" perf ;;
-  *) echo "usage: tools/check.sh [thread|address|metrics|perf|report|all]" >&2; exit 2 ;;
+  thread|address|metrics|perf|report|docs) ;;
+  all) "$0" docs && "$0" thread && "$0" address && "$0" metrics && "$0" report \
+       && exec "$0" perf ;;
+  *) echo "usage: tools/check.sh [thread|address|metrics|perf|report|docs|all]" >&2; exit 2 ;;
 esac
+
+if [[ "$kind" == docs ]]; then
+  fail=0
+
+  # Every dotted metric-name literal in src/ — full names and the
+  # suffix fragments of composed names (pipeline.shard<N>.*,
+  # analysis.<name>.flush_us) alike — must appear somewhere in
+  # docs/OBSERVABILITY.md. Substring match: the doc's placeholder rows
+  # contain every fragment the code concatenates.
+  while IFS= read -r name; do
+    if ! grep -qF "$name" docs/OBSERVABILITY.md; then
+      echo "docs lint: metric name '$name' missing from docs/OBSERVABILITY.md" >&2
+      fail=1
+    fi
+  done < <(grep -rhoE '"[a-z_]*\.[a-z_0-9.]+"' src --include='*.cpp' --include='*.hpp' \
+           | tr -d '"' | sort -u)
+
+  # Every flag the CLI parses must be documented in the README.
+  while IFS= read -r flag; do
+    if ! grep -qF -- "$flag" README.md; then
+      echo "docs lint: CLI flag '$flag' missing from README.md" >&2
+      fail=1
+    fi
+  done < <(grep -oE -- '"--[a-z][a-z-]*' tools/v6sonar_cli.cpp | tr -d '"' | sort -u)
+
+  if [[ "$fail" -ne 0 ]]; then
+    echo "check.sh: docs lint FAILED" >&2
+    exit 1
+  fi
+  echo "check.sh: docs lint passed (metric names in OBSERVABILITY.md, CLI flags in README.md)"
+  exit 0
+fi
 
 if [[ "$kind" == perf ]]; then
   tree=build-perf

@@ -7,6 +7,7 @@
 //   v6sonar info      <file>                    identify + count records
 //   v6sonar detect    <file> [options]          large-scale scan detection (§2.2)
 //   v6sonar report    <events.v6ev> [options]   re-analyze spilled scan events
+//   v6sonar ids       <file> [options]          streaming multi-level IDS + blocklist (§5)
 //   v6sonar fh        <file> [options]          Fukuda-Heidemann detection (§4)
 //   v6sonar filter    <in> <out.v6slog>         5-duplicate artifact filter (§2.1)
 //   v6sonar adaptive  <file>                    multi-level adaptive attribution (§5)
@@ -15,14 +16,18 @@
 //   v6sonar mawi-day  <YYYY-MM-DD> <out.pcap>   export a MAWI-style capture day
 //
 // Options for detect/fh: --agg <len>  --min-dsts <n>  --timeout <sec>  --top <n>
-// detect additionally accepts --threads <n> to run the sharded
-// parallel pipeline (identical output to the serial detector),
-// --report to run the full streaming analyzer chain inline,
-// and --events <file> to spill the event stream for later `report`
-// runs. detect/fh/fingerprint accept --mmap to stream a .v6slog
-// through the zero-copy mapped reader in batches instead of
-// materialising every record up front — detection and analysis run in
-// memory bounded by active sources, never by records or events.
+// detect/ids additionally accept --threads <n> to run the sharded
+// parallel pipeline and --order total|sharded to pick its
+// event-delivery discipline (sharded ownership is the default: each
+// worker owns its slice end to end and state merges at flush; total
+// order funnels every event through a merger thread, matching the
+// serial event stream byte for byte). detect also accepts --report to
+// run the full streaming analyzer chain inline and --events <file> to
+// spill the event stream for later `report` runs. detect/ids/fh/
+// fingerprint accept --mmap to stream a .v6slog through the zero-copy
+// mapped reader in batches instead of materialising every record up
+// front — detection and analysis run in memory bounded by active
+// sources, never by records or events.
 
 #include <algorithm>
 #include <array>
@@ -64,9 +69,11 @@ struct Options {
   int agg = 64;
   std::uint32_t min_dsts = 100;
   std::int64_t timeout_sec = 3'600;
+  std::int64_t period_sec = 86'400;  ///< ids: reattribution period
   std::size_t top = 20;
   int threads = 1;  ///< 1 = serial; 0 = auto (hardware threads)
   std::size_t ring_cap = 1 << 14;  ///< per-worker ring slots (parallel detect)
+  core::OrderMode order = core::OrderMode::kSharded;  ///< parallel event delivery
   bool mmap = false;
   bool report = false;     ///< detect: render the full analyzer report
   std::string events_out;  ///< detect: spill events here (--events)
@@ -80,6 +87,7 @@ struct Options {
       "  info      <file>                   identify a .v6slog/.pcap file and count records\n"
       "  detect    <file> [options]         large-scale scan detection (>=100 dsts, 1h timeout)\n"
       "  report    <events.v6ev> [options]  streaming analyzer report over spilled events\n"
+      "  ids       <file> [options]         streaming multi-level IDS: alerts + final blocklist\n"
       "  fh        <file> [options]         Fukuda-Heidemann per-window scan detection\n"
       "  filter    <in> <out.v6slog>        remove 5-duplicate artifact traffic\n"
       "  adaptive  <file>                   adaptive source-aggregation attribution\n"
@@ -92,13 +100,20 @@ struct Options {
       "  --min-dsts <n>    minimum distinct destinations (default 100)\n"
       "  --timeout <sec>   scan inter-packet timeout, detect only (default 3600)\n"
       "  --top <n>         rows to print (default 20)\n"
-      "  --threads <n>     detection worker threads, detect only (default 1;\n"
-      "                    0 = one per hardware thread); output is identical\n"
-      "                    to the serial detector\n"
-      "  --ring-cap <n>    records buffered per worker ring, parallel detect\n"
+      "  --threads <n>     detection worker threads, detect/ids only (default 1;\n"
+      "                    0 = one per hardware thread); reports are identical\n"
+      "                    to the serial detector in either --order mode\n"
+      "  --order <mode>    parallel event delivery, detect/ids only:\n"
+      "                    'sharded' (default) keeps each worker's events on\n"
+      "                    its own analyzer chain and merges state at flush;\n"
+      "                    'total' restores the serial event order through a\n"
+      "                    merger thread (needed for a deterministic --events\n"
+      "                    spill; detect falls back to it automatically then)\n"
+      "  --ring-cap <n>    records buffered per worker ring, parallel detect/ids\n"
       "                    only (default 16384, minimum 8; rounded up to a\n"
       "                    power of two)\n"
-      "  --mmap            detect/fh/fingerprint: stream a .v6slog via the zero-copy\n"
+      "  --period <sec>    ids only: reattribution pass period (default 86400)\n"
+      "  --mmap            detect/ids/fh/fingerprint: stream a .v6slog via the zero-copy\n"
       "                    mapped reader in batches instead of loading it into memory\n"
       "  --report          detect only: print the full streaming analyzer report\n"
       "                    (sources, ASes, durations, ports, weekly, DNS) instead\n"
@@ -224,6 +239,22 @@ Options parse_options(int argc, char** argv, int first) {
                      o.ring_cap);
         std::exit(2);
       }
+    } else if (std::strcmp(argv[i], "--order") == 0) {
+      const char* mode = need_value("--order");
+      if (std::strcmp(mode, "total") == 0) {
+        o.order = core::OrderMode::kTotal;
+      } else if (std::strcmp(mode, "sharded") == 0) {
+        o.order = core::OrderMode::kSharded;
+      } else {
+        std::fprintf(stderr, "error: --order must be 'total' or 'sharded', got '%s'\n", mode);
+        std::exit(2);
+      }
+    } else if (std::strcmp(argv[i], "--period") == 0) {
+      o.period_sec = parse_int<std::int64_t>("--period", need_value("--period"));
+      if (o.period_sec < 1) {
+        std::fprintf(stderr, "error: --period must be at least 1 second\n");
+        std::exit(2);
+      }
     } else if (std::strcmp(argv[i], "--mmap") == 0) {
       o.mmap = true;
     } else if (std::strcmp(argv[i], "--report") == 0) {
@@ -279,6 +310,36 @@ struct ReportAnalyzers {
     fan.add(port_buckets);
     fan.add(top_ports);
     fan.add(dns);
+  }
+
+  /// Absorb another bundle's state, member-wise — the sharded-mode
+  /// rendezvous: per-shard bundles fold into one before rendering.
+  void merge(ReportAnalyzers&& other) {
+    sources.merge(std::move(other.sources));
+    by_as.merge(std::move(other.by_as));
+    durations.merge(std::move(other.durations));
+    timeseries.merge(std::move(other.timeseries));
+    port_buckets.merge(std::move(other.port_buckets));
+    top_ports.merge(std::move(other.top_ports));
+    dns.merge(std::move(other.dns));
+  }
+};
+
+/// One shard's private sink chain in sharded-ownership mode: the same
+/// fan-out/analyzer assembly cmd_detect builds for the whole stream,
+/// instantiated per shard and merged after flush.
+struct ShardChain {
+  core::FanOutSink fan;
+  analysis::SourceAnalyzer sources_only;
+  std::optional<ReportAnalyzers> report;
+
+  ShardChain(bool full_report, std::size_t top) {
+    if (full_report) {
+      report.emplace(top);
+      report->attach(fan);
+    } else {
+      fan.add(sources_only);
+    }
   }
 };
 
@@ -373,56 +434,92 @@ int cmd_detect(const std::string& path, const Options& o) {
                                  .min_destinations = o.min_dsts,
                                  .timeout_us = o.timeout_sec * 1'000'000};
 
+  const bool parallel = o.threads != 1;  // 0 = auto resolves inside the pipeline
+  bool sharded = parallel && o.order == core::OrderMode::kSharded;
+  if (sharded && !o.events_out.empty()) {
+    // A deterministic spill file needs the serial event order; state
+    // merging only recovers reports, not the stream itself.
+    std::fprintf(stderr, "note: --events needs the serial event order; using --order total\n");
+    sharded = false;
+  }
+
   // Assemble the sink chain. Events stream from the detector straight
   // into the analyzers (and the optional spill writer) — no event set
-  // is ever materialized, so memory is bounded by active sources.
+  // is ever materialized, so memory is bounded by active sources. In
+  // sharded-ownership mode each worker gets a private copy of the
+  // chain and the analyzer states merge after flush; either way the
+  // rendered report is byte-identical to the serial run.
   core::FanOutSink fan;
   analysis::SourceAnalyzer sources_only;
   std::optional<ReportAnalyzers> report;
-  if (o.report) {
-    report.emplace(o.top);
-    report->attach(fan);
-  } else {
-    fan.add(sources_only);
-  }
   std::optional<core::EventWriter> spill;
-  if (!o.events_out.empty()) {
-    spill.emplace(o.events_out);
-    fan.add(*spill);
-  }
+  std::vector<std::unique_ptr<ShardChain>> chains;
 
-  if (o.threads != 1) {  // 0 = auto resolves inside the pipeline
+  if (sharded) {
     core::ParallelScanPipeline pipeline(
-        cfg, {.threads = o.threads, .ring_capacity = o.ring_cap}, fan);
+        cfg, {.threads = o.threads, .ring_capacity = o.ring_cap},
+        core::ParallelScanPipeline::ShardSinkFactory([&](std::size_t) -> core::EventSink& {
+          chains.push_back(std::make_unique<ShardChain>(o.report, o.top));
+          return chains.back()->fan;
+        }));
     for_each_record_batch(
         path, o.mmap,
         [&](std::span<const sim::LogRecord> batch) { pipeline.feed_batch(batch); });
     pipeline.flush();
+    // The rendezvous: fold every shard's state into shard 0's chain,
+    // then flush that chain once, exactly like the single-chain path.
+    for (std::size_t s = 1; s < chains.size(); ++s) {
+      if (o.report)
+        chains[0]->report->merge(std::move(*chains[s]->report));
+      else
+        chains[0]->sources_only.merge(std::move(chains[s]->sources_only));
+    }
+    chains[0]->fan.flush();
   } else {
-    core::ScanDetector detector(cfg, fan);
-    for_each_record_batch(
-        path, o.mmap,
-        [&](std::span<const sim::LogRecord> batch) { detector.feed_batch(batch); });
-    detector.flush();
+    if (o.report) {
+      report.emplace(o.top);
+      report->attach(fan);
+    } else {
+      fan.add(sources_only);
+    }
+    if (!o.events_out.empty()) {
+      spill.emplace(o.events_out);
+      fan.add(*spill);
+    }
+    if (parallel) {
+      core::ParallelScanPipeline pipeline(
+          cfg, {.threads = o.threads, .ring_capacity = o.ring_cap}, fan);
+      for_each_record_batch(
+          path, o.mmap,
+          [&](std::span<const sim::LogRecord> batch) { pipeline.feed_batch(batch); });
+      pipeline.flush();
+    } else {
+      core::ScanDetector detector(cfg, fan);
+      for_each_record_batch(
+          path, o.mmap,
+          [&](std::span<const sim::LogRecord> batch) { detector.feed_batch(batch); });
+      detector.flush();
+    }
+    fan.flush();
   }
-  fan.flush();
 
   if (spill)
     std::fprintf(stderr, "spilled %llu events to %s\n",
                  static_cast<unsigned long long>(spill->written()), o.events_out.c_str());
 
   if (o.report) {
-    print_report(*report, o.top);
+    print_report(sharded ? *chains[0]->report : *report, o.top);
     return 0;
   }
 
-  const auto t = sources_only.totals();
+  const analysis::SourceAnalyzer& merged = sharded ? chains[0]->sources_only : sources_only;
+  const auto t = merged.totals();
   std::printf("%llu scans from %llu /%d sources (%llu packets attributed)\n",
               static_cast<unsigned long long>(t.scans),
               static_cast<unsigned long long>(t.sources), o.agg,
               static_cast<unsigned long long>(t.packets));
 
-  auto sources = sources_only.sources();
+  auto sources = merged.sources();
   std::sort(sources.begin(), sources.end(),
             [](const analysis::SourceReport& a, const analysis::SourceReport& b) {
               return a.packets > b.packets;
@@ -452,6 +549,55 @@ int cmd_report(const std::string& path, const Options& o) {
   std::fprintf(stderr, "replayed %llu events from %s\n",
                static_cast<unsigned long long>(reader.total_events()), path.c_str());
   print_report(analyzers, o.top);
+  return 0;
+}
+
+/// Streaming multi-level IDS (§5): alert lines as attribution passes
+/// fire, then the final blocklist. --threads selects the parallel
+/// front end; with --order sharded the mid-stream passes are traded
+/// away and every alert comes from the single flush-time pass — the
+/// final blocklist is identical in every mode.
+int cmd_ids(const std::string& path, const Options& o) {
+  core::IdsConfig cfg;
+  cfg.min_destinations = o.min_dsts;
+  cfg.timeout_us = o.timeout_sec * 1'000'000;
+  cfg.reattribution_period_us = o.period_sec * 1'000'000;
+
+  std::uint64_t alerts = 0;
+  const auto sink = [&](const core::IdsAlert& a) {
+    ++alerts;
+    std::printf("alert %-10s %s  %s /%d  packets=%llu\n", a.is_new ? "new" : "escalation",
+                util::format_datetime(sim::seconds_of(a.at_us)).c_str(),
+                a.attribution.source.to_string().c_str(), a.attribution.level,
+                static_cast<unsigned long long>(a.attribution.packets));
+  };
+
+  std::vector<core::Attribution> blocklist;
+  if (o.threads != 1) {  // 0 = auto resolves inside the pipeline
+    core::ParallelIds ids(cfg, {.threads = o.threads, .ring_capacity = o.ring_cap}, sink,
+                          o.order);
+    for_each_record_batch(
+        path, o.mmap, [&](std::span<const sim::LogRecord> batch) { ids.feed_batch(batch); });
+    ids.flush();
+    blocklist = ids.blocklist();
+  } else {
+    core::StreamingIds ids(cfg, sink);
+    for_each_record_batch(
+        path, o.mmap, [&](std::span<const sim::LogRecord> batch) { ids.feed_batch(batch); });
+    ids.flush();
+    blocklist = ids.blocklist();
+  }
+
+  std::printf("%llu alerts; final blocklist (%zu entries):\n",
+              static_cast<unsigned long long>(alerts), blocklist.size());
+  util::TextTable table({"blocked prefix", "level", "packets", "covered sources"});
+  for (const auto& a : blocklist) {
+    std::string level = "/";
+    level += std::to_string(a.level);
+    table.add_row({a.source.to_string(), std::move(level), util::with_commas(a.packets),
+                   util::with_commas(a.children)});
+  }
+  std::printf("%s", table.render().c_str());
   return 0;
 }
 
@@ -650,6 +796,7 @@ int main(int argc, char** argv) {
     if (cmd == "info" && argc >= 3) return cmd_info(argv[2]);
     if (cmd == "detect" && argc >= 3) return cmd_detect(argv[2], parse_options(argc, argv, 3));
     if (cmd == "report" && argc >= 3) return cmd_report(argv[2], parse_options(argc, argv, 3));
+    if (cmd == "ids" && argc >= 3) return cmd_ids(argv[2], parse_options(argc, argv, 3));
     if (cmd == "fh" && argc >= 3) return cmd_fh(argv[2], parse_options(argc, argv, 3));
     if (cmd == "filter" && argc >= 4) return cmd_filter(argv[2], argv[3]);
     if (cmd == "adaptive" && argc >= 3) return cmd_adaptive(argv[2]);
