@@ -7,9 +7,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
+#include "common.hpp"
 #include "net/ipv6.hpp"
 #include "util/arena.hpp"
 #include "util/flat_hash.hpp"
@@ -136,6 +140,88 @@ void BM_SourceChurn_Pooled(benchmark::State& state) {
 }
 BENCHMARK(BM_SourceChurn_Pooled)->Unit(benchmark::kMillisecond);
 
+// Probe-scheme microbench: the same destination-set workload run
+// against both probe-group implementations compiled into this binary
+// — the SSE2 16-byte group and the portable SWAR 8-byte fallback — so
+// the vectorization win (and the cost of building with
+// V6SONAR_FORCE_SWAR) is a measured number, not an assumption. The
+// results land machine-readable in BENCH_pipeline.json under
+// "flat_hash"; tools/check.sh perf asserts the section materializes.
+
+template <class Group>
+std::pair<double, double> probe_group_pass(const std::vector<net::Ipv6Address>& dsts) {
+  util::FlatSet<net::Ipv6Address, std::hash<net::Ipv6Address>, Group> set;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t distinct = 0;
+  for (const auto& d : dsts) distinct += set.insert(d);
+  const auto t1 = std::chrono::steady_clock::now();
+  // Find pass: every inserted key (hits) plus a perturbed copy
+  // (overwhelmingly misses — the probe must walk to an empty).
+  std::uint64_t hits = 0;
+  for (const auto& d : dsts) {
+    hits += set.contains(d);
+    hits += set.contains(net::Ipv6Address{d.hi(), d.lo() ^ 0x8000'0000ULL});
+  }
+  const auto t2 = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(distinct);
+  benchmark::DoNotOptimize(hits);
+  return {std::chrono::duration<double>(t1 - t0).count(),
+          std::chrono::duration<double>(t2 - t1).count()};
+}
+
+void print_flat_hash_section() {
+  const auto dsts = scan_destinations(1'000'000);
+  // Passes interleave round-robin across schemes (the run_replays
+  // pattern from bench_detector_throughput) so bursty host drift hits
+  // both equally instead of biasing whichever ran last; per-scheme
+  // minimum is the least contaminated estimate.
+  double swar_ins_s = 0, swar_find_s = 0, sse2_ins_s = 0, sse2_find_s = 0;
+  for (int pass = 0; pass < 5; ++pass) {
+    const auto [si, sf] = probe_group_pass<util::detail::GroupSwar>(dsts);
+    if (pass == 0 || si < swar_ins_s) swar_ins_s = si;
+    if (pass == 0 || sf < swar_find_s) swar_find_s = sf;
+#if defined(__SSE2__)
+    const auto [vi, vf] = probe_group_pass<util::detail::GroupSse2>(dsts);
+    if (pass == 0 || vi < sse2_ins_s) sse2_ins_s = vi;
+    if (pass == 0 || vf < sse2_find_s) sse2_find_s = vf;
+#endif
+  }
+  const double n = static_cast<double>(dsts.size());
+  const double swar_insert = n / swar_ins_s / 1e6, swar_find = 2 * n / swar_find_s / 1e6;
+  const double sse2_insert = sse2_ins_s > 0 ? n / sse2_ins_s / 1e6 : 0;
+  const double sse2_find = sse2_find_s > 0 ? 2 * n / sse2_find_s / 1e6 : 0;
+  using DefaultSet = util::FlatSet<net::Ipv6Address>;
+
+  std::printf("flat-hash probe groups — %zu telescope-shaped destinations, Mops/s\n",
+              dsts.size());
+  std::printf("  %-16s %6s %12s %12s\n", "scheme", "width", "insert", "find");
+  std::printf("  %-16s %6zu %12.1f %12.1f\n", util::detail::GroupSwar::kName,
+              util::detail::GroupSwar::kWidth, swar_insert, swar_find);
+#if defined(__SSE2__)
+  std::printf("  %-16s %6zu %12.1f %12.1f\n", util::detail::GroupSse2::kName,
+              util::detail::GroupSse2::kWidth, sse2_insert, sse2_find);
+#endif
+  std::printf("  default scheme: %s\n\n", DefaultSet::probe_scheme());
+
+  char json[512];
+  std::snprintf(json, sizeof json,
+                "{\"default_scheme\": \"%s\", \"group_width\": %zu, "
+                "\"swar\": {\"insert_mops\": %.1f, \"find_mops\": %.1f}, "
+                "\"sse2\": {\"insert_mops\": %.1f, \"find_mops\": %.1f}, "
+                "\"sse2_find_speedup\": %.2f}",
+                DefaultSet::probe_scheme(), DefaultSet::kGroupWidth, swar_insert,
+                swar_find, sse2_insert, sse2_find,
+                swar_find > 0 ? sse2_find / swar_find : 0.0);
+  benchx::update_bench_json("BENCH_pipeline.json", "flat_hash", json);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  print_flat_hash_section();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -32,7 +32,8 @@ FilterMetrics& fm() {
 
 ArtifactFilter::ArtifactFilter(const ArtifactFilterConfig& config, RecordSink out,
                                StatsSink stats)
-    : config_(config), out_(std::move(out)), stats_(std::move(stats)) {
+    : config_(config), deriver_(config.source_prefix_len), out_(std::move(out)),
+      stats_(std::move(stats)) {
   if (!out_) throw std::invalid_argument("ArtifactFilter: null output sink");
   if (config_.max_duplicate_fraction < 0 || config_.max_duplicate_fraction > 1)
     throw std::invalid_argument("ArtifactFilter: bad duplicate fraction");
@@ -40,7 +41,35 @@ ArtifactFilter::ArtifactFilter(const ArtifactFilterConfig& config, RecordSink ou
     throw std::invalid_argument("ArtifactFilter: bad aggregation length");
 }
 
+ArtifactFilter::~ArtifactFilter() {
+  // SourceDays are pool blocks holding live containers; destroy them
+  // explicitly (clearing the index would only drop the pointers).
+  destroy_days();
+}
+
+ArtifactFilter::SourceDay* ArtifactFilter::new_day() {
+  void* p = pool_.acquire(sizeof(SourceDay));
+  return new (p) SourceDay(&pool_);
+}
+
+void ArtifactFilter::delete_day(SourceDay* sd) noexcept {
+  sd->~SourceDay();
+  pool_.release(sd, sizeof(SourceDay));
+}
+
+void ArtifactFilter::destroy_days() noexcept {
+  sources_.for_each([this](const net::Ipv6Prefix&, SourceDay* sd) { delete_day(sd); });
+  sources_.reset();
+}
+
 void ArtifactFilter::feed(const sim::LogRecord& r) {
+  const net::PrefixKeyDeriver::Derived d = deriver_(r.src);
+  feed_one(r, d.key, d.hash,
+           FlowKeyHash{}(FlowKey{r.dst, proto_port_key(r.proto, r.dst_port)}));
+}
+
+void ArtifactFilter::feed_one(const sim::LogRecord& r, const net::Ipv6Prefix& key,
+                              std::size_t key_hash, std::size_t flow_hash) {
   if (r.ts_us < last_ts_)
     throw std::invalid_argument("ArtifactFilter: records must be time-ordered");
   last_ts_ = r.ts_us;
@@ -52,13 +81,51 @@ void ArtifactFilter::feed(const sim::LogRecord& r) {
   }
 
   buffer_.push_back(r);
-  SourceDay& sd =
-      sources_.try_emplace(net::Ipv6Prefix{r.src, config_.source_prefix_len}, &pool_)
-          .first->second;
+  SourceDay*& slot = sources_.insert_hashed(key, key_hash);
+  if (slot == nullptr) slot = new_day();
+  SourceDay& sd = *slot;
   ++sd.packets;
-  if (++sd.hits[FlowKey{r.dst, proto_port_key(r.proto, r.dst_port)}] >
-      config_.duplicate_threshold)
+  if (++sd.hits.insert_hashed(FlowKey{r.dst, proto_port_key(r.proto, r.dst_port)},
+                              flow_hash) > config_.duplicate_threshold)
     ++sd.duplicates;
+}
+
+void ArtifactFilter::feed_batch(std::span<const sim::LogRecord> batch) {
+  const std::size_t n = batch.size();
+  batch_keys_.resize(n);
+  batch_key_hashes_.resize(n);
+  batch_flow_hashes_.resize(n);
+  // Vectorizable pre-pass: mask + multiply per record, no table
+  // probes. Both hashes are derived exactly once and reused by the
+  // prefetch stages and the insert probes below.
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& r = batch[i];
+    const net::PrefixKeyDeriver::Derived d = deriver_(r.src);
+    batch_keys_[i] = d.key;
+    batch_key_hashes_[i] = d.hash;
+    batch_flow_hashes_[i] =
+        FlowKeyHash{}(FlowKey{r.dst, proto_port_key(r.proto, r.dst_port)});
+  }
+  if (sources_.size() < kPrefetchMinSources) {
+    for (std::size_t i = 0; i < n; ++i)
+      feed_one(batch[i], batch_keys_[i], batch_key_hashes_[i], batch_flow_hashes_[i]);
+    return;
+  }
+  // Same two-stage software pipeline as the detector's serial path:
+  // far stage warms the source-index slot, near stage resolves it and
+  // warms the day's hit-table slot. Hints are read-only, so output is
+  // identical to feed(). A day boundary inside the batch only makes
+  // later hints miss (the index was rebuilt), never changes output.
+  constexpr std::size_t kLookahead = 12;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + 2 * kLookahead < n) sources_.prefetch_hash(batch_key_hashes_[i + 2 * kLookahead]);
+    if (i + kLookahead < n) {
+      if (SourceDay* const* p =
+              sources_.find_hashed(batch_keys_[i + kLookahead], batch_key_hashes_[i + kLookahead]))
+        (*p)->hits.prefetch_hash(batch_flow_hashes_[i + kLookahead]);
+    }
+    feed_one(batch[i], batch_keys_[i], batch_key_hashes_[i], batch_flow_hashes_[i]);
+  }
 }
 
 void ArtifactFilter::advance(sim::TimeUs now) {
@@ -73,7 +140,7 @@ void ArtifactFilter::advance(sim::TimeUs now) {
 
 void ArtifactFilter::close_day() {
   if (buffer_.empty()) {
-    sources_.clear();
+    destroy_days();
     return;
   }
   FilterDayStats stats;
@@ -81,24 +148,28 @@ void ArtifactFilter::close_day() {
   stats.packets_in = buffer_.size();
   stats.sources_seen = sources_.size();
 
-  // Decide which sources to drop today.
+  // Decide which sources to drop today. The verdict is stored on the
+  // SourceDay itself (index iteration order is unspecified, but every
+  // per-source quantity here is an order-independent sum/observation).
   const bool counting = util::metrics::enabled();
   std::uint64_t duplicate_packets = 0;
-  std::unordered_map<net::Ipv6Prefix, bool> dropped;
-  dropped.reserve(sources_.size());
-  for (const auto& [src, sd] : sources_) {
-    const bool drop = static_cast<double>(sd.duplicates) >
-                      config_.max_duplicate_fraction * static_cast<double>(sd.packets);
-    dropped.emplace(src, drop);
+  sources_.for_each([&](const net::Ipv6Prefix&, SourceDay* sd) {
+    const bool drop = static_cast<double>(sd->duplicates) >
+                      config_.max_duplicate_fraction * static_cast<double>(sd->packets);
+    sd->dropped = drop;
     stats.sources_dropped += drop;
     if (counting) {
-      duplicate_packets += sd.duplicates;
-      fm().source_dup_pct.observe(sd.packets ? 100 * sd.duplicates / sd.packets : 0);
+      duplicate_packets += sd->duplicates;
+      fm().source_dup_pct.observe(sd->packets ? 100 * sd->duplicates / sd->packets : 0);
     }
-  }
+  });
 
+  // Release (or account) the buffered records in arrival order; the
+  // verdict lookup reuses the hash-once derivation.
   for (const auto& r : buffer_) {
-    if (dropped.at(net::Ipv6Prefix{r.src, config_.source_prefix_len})) {
+    const net::PrefixKeyDeriver::Derived d = deriver_(r.src);
+    SourceDay* const* p = sources_.find_hashed(d.key, d.hash);
+    if ((*p)->dropped) {
       ++stats.packets_dropped;
       ++stats.dropped_by_port[proto_port_key(r.proto, r.dst_port)];
     } else {
@@ -106,7 +177,7 @@ void ArtifactFilter::close_day() {
     }
   }
   buffer_.clear();
-  sources_.clear();
+  destroy_days();
   if (counting) {
     fm().days_closed.add();
     fm().packets_in.add(stats.packets_in);

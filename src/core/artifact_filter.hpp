@@ -15,6 +15,7 @@
 #include <functional>
 #include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "net/prefix.hpp"
 #include "sim/record.hpp"
@@ -54,15 +55,17 @@ class ArtifactFilter {
   /// (whole days at a time). `stats` (optional) receives one summary
   /// per completed day.
   ArtifactFilter(const ArtifactFilterConfig& config, RecordSink out, StatsSink stats = {});
+  ~ArtifactFilter();
 
   /// Feed one record; records must be in non-decreasing time order.
   void feed(const sim::LogRecord& r);
 
   /// Feed a whole batch; exactly equivalent to feeding each record in
-  /// turn (same ordering contract).
-  void feed_batch(std::span<const sim::LogRecord> batch) {
-    for (const auto& r : batch) feed(r);
-  }
+  /// turn (same ordering contract), but faster: source keys, their
+  /// hashes, and the flow-key hashes are derived for the whole batch
+  /// in one vectorizable pre-pass, and a two-stage prefetch pipeline
+  /// hides the source-index and hit-table probe misses.
+  void feed_batch(std::span<const sim::LogRecord> batch);
 
   /// Advance the clock without a packet: if `now` has moved past the
   /// buffered day, close it and release its clean records — exactly
@@ -74,6 +77,10 @@ class ArtifactFilter {
   void flush();
 
  private:
+  /// Below this many tracked sources the per-day tables are
+  /// cache-resident and batch lookahead would be pure overhead.
+  static constexpr std::size_t kPrefetchMinSources = 1'024;
+
   void close_day();
 
   /// (dst address, proto+port) composite flow key.
@@ -82,10 +89,14 @@ class ArtifactFilter {
     std::uint32_t proto_port = 0;
     friend bool operator==(const FlowKey&, const FlowKey&) = default;
   };
+  /// Mixed multiplier-lane combine (shared with the prefix hash): the
+  /// old XOR of two independent hashes canceled structure between the
+  /// address and port lanes; this one avalanches the 20-byte key as a
+  /// whole, which the flat table's control tags depend on.
   struct FlowKeyHash {
     std::size_t operator()(const FlowKey& k) const noexcept {
-      return std::hash<net::Ipv6Address>{}(k.dst) ^
-             util::IntHash{}(0x9E37'0000ULL + k.proto_port);
+      return static_cast<std::size_t>(
+          net::prefix_hash_mix(k.dst.hi(), k.dst.lo(), k.proto_port));
     }
   };
 
@@ -96,17 +107,40 @@ class ArtifactFilter {
 
     std::uint64_t packets = 0;
     std::uint64_t duplicates = 0;
+    bool dropped = false;  ///< close_day verdict, read by the release loop
     util::FlatMap<FlowKey, std::uint32_t, FlowKeyHash> hits;
   };
 
+  /// feed() with the source key, its hash, and the flow-key hash
+  /// already derived — the single per-record update both feed paths
+  /// funnel through.
+  void feed_one(const sim::LogRecord& r, const net::Ipv6Prefix& key, std::size_t key_hash,
+                std::size_t flow_hash);
+  [[nodiscard]] SourceDay* new_day();
+  void delete_day(SourceDay* sd) noexcept;
+  /// Destroy all SourceDay objects and empty the index, keeping its
+  /// slot array (day-over-day population is similar).
+  void destroy_days() noexcept;
+
   ArtifactFilterConfig config_;
+  net::PrefixKeyDeriver deriver_;
   RecordSink out_;
   StatsSink stats_;
   std::int64_t current_day_ = INT64_MIN;
   std::deque<sim::LogRecord> buffer_;
   util::SlabPool pool_;  // declared before sources_: destroyed after its users
-  std::unordered_map<net::Ipv6Prefix, SourceDay> sources_;
+
+  // Flat open-addressed index of pool-allocated per-day source
+  // accounting, mirroring the detector's state index: flat so the
+  // batch path can prefetch from the precomputed hash alone, pointers
+  // so growth never moves a SourceDay.
+  util::FlatMap<net::Ipv6Prefix, SourceDay*> sources_;
   sim::TimeUs last_ts_ = INT64_MIN;
+
+  // feed_batch() derivation scratch (capacity persists across batches).
+  std::vector<net::Ipv6Prefix> batch_keys_;
+  std::vector<std::size_t> batch_key_hashes_;
+  std::vector<std::size_t> batch_flow_hashes_;
 };
 
 /// Proto-qualified port key used in FilterDayStats::dropped_by_port.

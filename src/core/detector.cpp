@@ -46,7 +46,7 @@ DetectorMetrics& dm() {
 }  // namespace
 
 ScanDetector::ScanDetector(const DetectorConfig& config, EventSink& sink)
-    : config_(config), sink_(&sink) {
+    : config_(config), deriver_(config.source_prefix_len), sink_(&sink) {
   if (config_.source_prefix_len < 0 || config_.source_prefix_len > 128)
     throw std::invalid_argument("ScanDetector: bad aggregation length");
   if (config_.min_destinations == 0)
@@ -55,7 +55,7 @@ ScanDetector::ScanDetector(const DetectorConfig& config, EventSink& sink)
 }
 
 ScanDetector::ScanDetector(const DetectorConfig& config, EventFn fn)
-    : config_(config) {
+    : config_(config), deriver_(config.source_prefix_len) {
   if (config_.source_prefix_len < 0 || config_.source_prefix_len > 128)
     throw std::invalid_argument("ScanDetector: bad aggregation length");
   if (config_.min_destinations == 0)
@@ -83,6 +83,12 @@ void ScanDetector::delete_state(SourceState* st) noexcept {
 }
 
 void ScanDetector::feed(const sim::LogRecord& r) {
+  const net::PrefixKeyDeriver::Derived d = deriver_(r.src);
+  feed_one(r, d.key, d.hash);
+}
+
+void ScanDetector::feed_one(const sim::LogRecord& r, const net::Ipv6Prefix& key,
+                            std::size_t key_hash) {
   if (r.ts_us < last_ts_)
     throw std::invalid_argument("ScanDetector: records must be time-ordered");
   last_ts_ = r.ts_us;
@@ -90,19 +96,18 @@ void ScanDetector::feed(const sim::LogRecord& r) {
 
   expire_up_to(r.ts_us);
 
-  const net::Ipv6Prefix key{r.src, config_.source_prefix_len};
-  SourceState*& slot = states_[key];
+  SourceState*& slot = states_.insert_hashed(key, key_hash);
   if (slot == nullptr) {
     slot = new_state();
     slot->first_us = r.ts_us;
     slot->asn = r.src_asn;
-    expiries_.push(Expiry{r.ts_us + config_.timeout_us, key});
+    expiries_.push(Expiry{r.ts_us + config_.timeout_us, key, key_hash});
   } else if (r.ts_us - slot->last_us > config_.timeout_us) {
     // The previous event of this source ended; finalize it and start a
     // fresh one in place, reusing its container storage.
     finalize(key, *slot);
     slot->restart(r.ts_us, r.src_asn);
-    expiries_.push(Expiry{r.ts_us + config_.timeout_us, key});
+    expiries_.push(Expiry{r.ts_us + config_.timeout_us, key, key_hash});
   }
   SourceState& st = *slot;
   st.last_us = r.ts_us;
@@ -209,51 +214,72 @@ void ScanDetector::feed_batch(std::span<const sim::LogRecord> batch) {
   feed_serial(batch);
 }
 
+void ScanDetector::derive_batch(std::span<const sim::LogRecord> batch) {
+  const std::size_t n = batch.size();
+  batch_keys_.resize(n);
+  batch_hashes_.resize(n);
+  // Tight mask+multiply pre-pass over the source addresses: no table
+  // probes, no branches beyond the deriver's level check (constant per
+  // detector), so the compiler can pipeline/unroll it freely. Every
+  // downstream probe, prefetch, and expiry entry reuses these values —
+  // the "hash once per record" half of the hot-path contract.
+  for (std::size_t i = 0; i < n; ++i) {
+    const net::PrefixKeyDeriver::Derived d = deriver_(batch[i].src);
+    batch_keys_[i] = d.key;
+    batch_hashes_[i] = d.hash;
+  }
+}
+
 void ScanDetector::feed_serial(std::span<const sim::LogRecord> batch) {
+  derive_batch(batch);
   // With few tracked sources the per-source tables are cache-resident
-  // and lookahead would be pure overhead (an extra hash + probe per
-  // record); only a large state spills the caches and makes the
-  // prefetch pipeline pay.
+  // and lookahead would be pure overhead (an extra probe per record);
+  // only a large state spills the caches and makes the prefetch
+  // pipeline pay.
   if (states_.size() < kPrefetchMinSources) {
-    for (const auto& r : batch) feed(r);
+    for (std::size_t i = 0; i < batch.size(); ++i)
+      feed_one(batch[i], batch_keys_[i], batch_hashes_[i]);
     return;
   }
   // Two-stage software pipeline, ~12 records ≈ one memory round-trip
   // apart: the far stage prefetches the state-index slot for record
   // i+2L so the near stage's find() at i+L hits cache; the near
   // stage then prefetches that source's destination-set and port-map
-  // slots so feed() at i hits all three. Hints are read-only
+  // slots so the update at i hits all three. Hints are read-only
   // (prefetch + find), so output is identical to feed().
   constexpr std::size_t kLookahead = 12;
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    if (i + 2 * kLookahead < batch.size()) {
-      const auto& far = batch[i + 2 * kLookahead];
-      states_.prefetch(net::Ipv6Prefix{far.src, config_.source_prefix_len});
-    }
+    if (i + 2 * kLookahead < batch.size())
+      states_.prefetch_hash(batch_hashes_[i + 2 * kLookahead]);
     if (i + kLookahead < batch.size()) {
       const auto& near = batch[i + kLookahead];
       if (SourceState* const* p =
-              states_.find(net::Ipv6Prefix{near.src, config_.source_prefix_len})) {
+              states_.find_hashed(batch_keys_[i + kLookahead], batch_hashes_[i + kLookahead])) {
         (*p)->dsts.prefetch(near.dst);
         (*p)->ports.prefetch(near.dst_port);
       }
     }
-    feed(batch[i]);
+    feed_one(batch[i], batch_keys_[i], batch_hashes_[i]);
   }
 }
 
 bool ScanDetector::feed_grouped(std::span<const sim::LogRecord> batch) {
   const std::size_t n = batch.size();
 
+  // Pass 0 — derive every record's aggregation key and hash in one
+  // vectorizable sweep; passes 1 and 3 (and the serial fallback, which
+  // re-derives only if this pass was skipped) consume the arrays.
+  derive_batch(batch);
+
   // Pass 1 — bucket records by source with a batch-local
-  // open-addressed index (run_slots_ maps a cheap key hash to an index
+  // open-addressed index (run_slots_ maps the key hash to an index
   // into runs_), accumulating per-run aggregates: length, first/last
-  // timestamp, first record's ASN. The hash only has to spread keys
-  // over an L1-resident table whose collisions are resolved by full
-  // key compare, so one multiply on the masked address is enough —
-  // much cheaper than the state index's std::hash probe. The pass also
-  // verifies the batch is internally time-sorted (guard 1); a false
-  // return means nothing was applied.
+  // timestamp, first record's ASN. The bucketing reuses the top bits
+  // of the precomputed state-index hash — the bottom bits pick the
+  // state-index slot, so both ends of the same value are spent and no
+  // extra hash is computed per record. The pass also verifies the
+  // batch is internally time-sorted (guard 1); a false return means
+  // nothing was applied.
   const std::size_t cap = std::bit_ceil(2 * n);
   const int shift = 64 - std::countr_zero(cap);
   if (run_slots_.size() < cap) run_slots_.assign(cap, 0);
@@ -273,9 +299,8 @@ bool ScanDetector::feed_grouped(std::span<const sim::LogRecord> batch) {
     const auto& r = batch[i];
     sorted &= r.ts_us >= prev_ts;
     prev_ts = r.ts_us;
-    const net::Ipv6Prefix key{r.src, config_.source_prefix_len};
-    const std::uint64_t h =
-        (key.address().hi() ^ key.address().lo()) * 0x9E3779B97F4A7C15ULL;
+    const net::Ipv6Prefix& key = batch_keys_[i];
+    const std::uint64_t h = batch_hashes_[i];
     std::size_t s = static_cast<std::size_t>(h >> shift);
     const std::size_t mask = cap - 1;
     for (;; s = (s + 1) & mask) {
@@ -283,7 +308,7 @@ bool ScanDetector::feed_grouped(std::span<const sim::LogRecord> batch) {
       if ((slot & ~0xFFFF'FFFFULL) != live) {
         const std::uint32_t run = static_cast<std::uint32_t>(runs_.size());
         run_slots_[s] = live | run;
-        runs_.push_back(Run{key, 1, 0, r.ts_us, r.ts_us, r.src_asn});
+        runs_.push_back(Run{key, h, 1, 0, r.ts_us, r.ts_us, r.src_asn});
         batch_run_[i] = run;
         break;
       }
@@ -312,7 +337,8 @@ bool ScanDetector::feed_grouped(std::span<const sim::LogRecord> batch) {
   for (std::size_t i = 0; i < n; ++i) {
     const auto& r = batch[i];
     Run& rn = runs_[batch_run_[i]];
-    batch_entries_[rn.offset++] = BatchEntry{r.dst, r.ts_us, r.dst_port, r.dst_in_dns};
+    batch_entries_[rn.offset++] =
+        BatchEntry{r.dst, DstHash{}(r.dst), r.ts_us, r.dst_port, r.dst_in_dns};
   }
   for (Run& rn : runs_) rn.offset -= rn.len;  // restore
 
@@ -340,23 +366,23 @@ bool ScanDetector::feed_grouped(std::span<const sim::LogRecord> batch) {
   for (std::size_t ri = 0; ri < n_runs; ++ri) {
     if (pipelined) {
       if (ri + 2 * kRunLookahead < n_runs)
-        states_.prefetch(runs_[ri + 2 * kRunLookahead].key);
+        states_.prefetch_hash(runs_[ri + 2 * kRunLookahead].key_hash);
       if (ri + kRunLookahead < n_runs) {
         const Run& nr = runs_[ri + kRunLookahead];
-        if (SourceState* const* p = states_.find(nr.key)) {
+        if (SourceState* const* p = states_.find_hashed(nr.key, nr.key_hash)) {
           const BatchEntry& fe = batch_entries_[nr.offset];
-          (*p)->dsts.prefetch(fe.dst);
+          (*p)->dsts.prefetch_hash(fe.dst_hash);
           (*p)->ports.prefetch(fe.port);
         }
       }
     }
     const Run& run = runs_[ri];
-    SourceState*& slot = states_[run.key];
+    SourceState*& slot = states_.insert_hashed(run.key, run.key_hash);
     if (slot == nullptr) {
       slot = new_state();
       slot->first_us = run.first_ts;
       slot->asn = run.asn;
-      expiries_.push(Expiry{run.first_ts + config_.timeout_us, run.key});
+      expiries_.push(Expiry{run.first_ts + config_.timeout_us, run.key, run.key_hash});
     }
     SourceState& st = *slot;
     st.last_us = run.last_ts;
@@ -381,7 +407,7 @@ bool ScanDetector::feed_grouped(std::span<const sim::LogRecord> batch) {
     std::uint32_t run_port = e->port;
     std::uint64_t port_n = 0;
     for (; e != end; ++e) {
-      if (st.dsts.insert(e->dst) && e->dns) ++st.dsts_in_dns;
+      if (st.dsts.insert_hashed(e->dst, e->dst_hash) && e->dns) ++st.dsts_in_dns;
       if (e->port != run_port) {
         st.ports[run_port] += port_n;
         run_port = e->port;
@@ -444,7 +470,7 @@ bool ScanDetector::refine_expiries(sim::TimeUs last) {
   bool ok = true;
   while (!expiries_.empty() && expiries_.top().at < last) {
     const Expiry e = expiries_.top();
-    SourceState* const* p = states_.find(e.key);
+    SourceState* const* p = states_.find_hashed(e.key, e.key_hash);
     if (p == nullptr) {
       expiries_.pop();
       ++pops, ++dead;
@@ -456,7 +482,7 @@ bool ScanDetector::refine_expiries(sim::TimeUs last) {
       break;
     }
     expiries_.pop();
-    expiries_.push(Expiry{due, e.key});
+    expiries_.push(Expiry{due, e.key, e.key_hash});
     ++pops, ++stale;
   }
   if (pops && util::metrics::enabled()) {
@@ -479,7 +505,7 @@ void ScanDetector::expire_up_to(sim::TimeUs now) {
     const Expiry e = expiries_.top();
     expiries_.pop();
     ++pops;
-    SourceState* const* p = states_.find(e.key);
+    SourceState* const* p = states_.find_hashed(e.key, e.key_hash);
     if (p == nullptr) {
       ++dead;
       continue;
@@ -492,7 +518,7 @@ void ScanDetector::expire_up_to(sim::TimeUs now) {
       // in heap-pop order of the stale `at`, not (due, key) order —
       // re-queue at the true due time instead; if that is still < now
       // the entry pops again later in this very sweep, in order.
-      expiries_.push(Expiry{due, e.key});
+      expiries_.push(Expiry{due, e.key, e.key_hash});
       ++stale;
       continue;
     }
@@ -502,7 +528,7 @@ void ScanDetector::expire_up_to(sim::TimeUs now) {
     finalize(e.key, *st);
     ++finalized;
     delete_state(st);
-    states_.erase(e.key);
+    states_.erase_hashed(e.key, e.key_hash);
   }
   if (pops && util::metrics::enabled()) {
     dm().expiry_pops.add(pops);

@@ -157,10 +157,25 @@ class ScanDetector {
   [[nodiscard]] bool refine_expiries(sim::TimeUs last);
   [[nodiscard]] SourceState* new_state();
   void delete_state(SourceState* st) noexcept;
+  /// feed() with the aggregation key and its hash already derived —
+  /// the single definition of the per-record update; every feed path
+  /// funnels through it so key/hash derivation happens exactly once
+  /// per record.
+  void feed_one(const sim::LogRecord& r, const net::Ipv6Prefix& key, std::size_t key_hash);
+  /// Fill batch_keys_/batch_hashes_ for the whole batch: a tight
+  /// mask-and-multiply loop over the source addresses (two ANDs, two
+  /// or three multiplies, one finalizer per record) that the compiler
+  /// can software-pipeline, feeding both the grouped and the serial
+  /// path below.
+  void derive_batch(std::span<const sim::LogRecord> batch);
   void feed_serial(std::span<const sim::LogRecord> batch);
   bool feed_grouped(std::span<const sim::LogRecord> batch);
 
   DetectorConfig config_;
+  /// Precomputed masks + salt for config_.source_prefix_len; derives
+  /// (key, hash) pairs bit-identical to std::hash<Ipv6Prefix>, so the
+  /// *_hashed container entry points interoperate with plain ones.
+  net::PrefixKeyDeriver deriver_;
   std::unique_ptr<FunctionSink> owned_sink_;  ///< legacy-adapter storage, if any
   EventSink* sink_;
   util::SlabPool pool_;  // declared before states_: destroyed after its users
@@ -179,6 +194,10 @@ class ScanDetector {
   struct Expiry {
     sim::TimeUs at;
     net::Ipv6Prefix key;
+    /// std::hash<Ipv6Prefix>(key), carried so the sweep's per-pop
+    /// state-index probe (and the final erase) reuses the hash
+    /// computed when the event started.
+    std::size_t key_hash;
     friend bool operator<(const Expiry& a, const Expiry& b) noexcept {
       if (a.at != b.at) return a.at > b.at;
       return a.key > b.key;
@@ -196,6 +215,7 @@ class ScanDetector {
   // record.
   struct Run {
     net::Ipv6Prefix key;
+    std::size_t key_hash;  ///< std::hash<Ipv6Prefix>(key), derived once in pass 1
     std::uint32_t len;
     std::uint32_t offset;  ///< start of this run's entries in batch_entries_
     sim::TimeUs first_ts;
@@ -203,9 +223,12 @@ class ScanDetector {
     std::uint32_t asn;  ///< src_asn of the run's first record
   };
   /// The per-record fields the apply loop still needs, scattered
-  /// run-contiguously so each run reads sequentially.
+  /// run-contiguously so each run reads sequentially. The destination
+  /// hash rides along from the scatter pass so the apply loop's set
+  /// insert (and the lookahead prefetch) never re-hashes.
   struct BatchEntry {
     net::Ipv6Address dst;
+    std::size_t dst_hash;  ///< DstHash{}(dst)
     sim::TimeUs ts;
     std::uint16_t port;
     bool dns;
@@ -213,6 +236,10 @@ class ScanDetector {
   std::vector<Run> runs_;
   std::vector<std::uint32_t> batch_run_;  ///< record index -> run index
   std::vector<BatchEntry> batch_entries_;
+  /// Per-record derived aggregation keys and their hashes (see
+  /// derive_batch); hot scratch reused across batches.
+  std::vector<net::Ipv6Prefix> batch_keys_;
+  std::vector<std::size_t> batch_hashes_;
   /// Open-addressed key -> run index, epoch-stamped: a slot is live
   /// only if its upper half matches batch_epoch_, so batches start
   /// from an "empty" table without memsetting it.

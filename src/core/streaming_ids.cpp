@@ -86,6 +86,33 @@ void StreamingIds::feed(const sim::LogRecord& r) {
   }
 }
 
+void StreamingIds::feed_batch(std::span<const sim::LogRecord> batch) {
+  // Slice at reattribution boundaries: a pass must run after the
+  // triggering record is fed to every detector and before the next
+  // record is fed to any, exactly as the record-at-a-time loop does.
+  // Records within a slice never trigger, so each slice can take the
+  // detectors' batched fast path. Detectors are independent, so
+  // feeding d1 the whole slice before d2 produces the same per-level
+  // event streams as interleaving record by record.
+  while (!batch.empty()) {
+    if (next_pass_us_ == 0) next_pass_us_ = batch[0].ts_us + config_.reattribution_period_us;
+    std::size_t cut = batch.size();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].ts_us >= next_pass_us_) {
+        cut = i + 1;  // the triggering record itself is fed first
+        break;
+      }
+    }
+    const std::span<const sim::LogRecord> slice = batch.first(cut);
+    for (auto& d : detectors_) d->feed_batch(slice);
+    if (batch[cut - 1].ts_us >= next_pass_us_) {
+      reattribute(batch[cut - 1].ts_us);
+      next_pass_us_ = batch[cut - 1].ts_us + config_.reattribution_period_us;
+    }
+    batch = batch.subspan(cut);
+  }
+}
+
 void StreamingIds::flush() {
   for (auto& d : detectors_) d->flush();
   reattribute(next_pass_us_);

@@ -76,12 +76,12 @@ class StreamingIds {
   void feed(const sim::LogRecord& r);
 
   /// Feed a whole batch; exactly equivalent to feeding each record in
-  /// turn — reattribution passes trigger at the same records. (Records
-  /// are still routed one at a time internally: any record can cross
-  /// the reattribution boundary.)
-  void feed_batch(std::span<const sim::LogRecord> batch) {
-    for (const auto& r : batch) feed(r);
-  }
+  /// turn — reattribution passes trigger at the same records. The
+  /// batch is sliced at reattribution boundaries and each slice is fed
+  /// through the detectors' batched path (grouped updates, hash-once
+  /// key derivation), so the ladder no longer pays the record-at-a-time
+  /// fan-out cost between passes.
+  void feed_batch(std::span<const sim::LogRecord> batch);
 
   /// Finalize all in-flight events and run a last attribution pass.
   void flush();

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <compare>
 #include <cstdint>
 #include <functional>
@@ -15,6 +16,23 @@
 #include <string_view>
 
 namespace v6sonar::net {
+
+/// The two 64-bit mask words selecting the first `len` bits of an
+/// address. Precomputable once per aggregation level, so batch
+/// consumers mask a record with two ANDs instead of re-deriving the
+/// masks per call (see PrefixKeyDeriver in net/prefix.hpp).
+struct PrefixMask {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+};
+
+/// Masks for a /len prefix; len is clamped to [0, 128].
+[[nodiscard]] constexpr PrefixMask prefix_mask(int len) noexcept {
+  if (len <= 0) return {};
+  if (len >= 128) return {~0ULL, ~0ULL};
+  if (len <= 64) return {len == 64 ? ~0ULL : ~(~0ULL >> len), 0};
+  return {~0ULL, ~(~0ULL >> (len - 64))};
+}
 
 class Ipv6Address {
  public:
@@ -83,14 +101,8 @@ class Ipv6Address {
   /// Address with all bits below the first `len` bits cleared
   /// (the network address for a /len prefix). len in [0, 128].
   [[nodiscard]] constexpr Ipv6Address masked(int len) const noexcept {
-    if (len <= 0) return {};
-    if (len >= 128) return *this;
-    if (len <= 64) {
-      const std::uint64_t m = len == 64 ? ~0ULL : ~(~0ULL >> len);
-      return {hi_ & m, 0};
-    }
-    const std::uint64_t m = ~(~0ULL >> (len - 64));
-    return {hi_, lo_ & m};
+    const PrefixMask m = prefix_mask(len);
+    return {hi_ & m.hi, lo_ & m.lo};
   }
 
   /// Length of the common prefix with another address, in bits [0,128].
@@ -129,18 +141,10 @@ class Ipv6Address {
 
  private:
   [[nodiscard]] static constexpr int countl_zero64(std::uint64_t v) noexcept {
-    if (v == 0) return 64;
-    int n = 0;
-    for (std::uint64_t m = 1ULL << 63; (v & m) == 0; m >>= 1) ++n;
-    return n;
+    return std::countl_zero(v);
   }
   [[nodiscard]] static constexpr int popcount64(std::uint64_t v) noexcept {
-    int n = 0;
-    while (v) {
-      v &= v - 1;
-      ++n;
-    }
-    return n;
+    return std::popcount(v);
   }
 
   std::uint64_t hi_ = 0;

@@ -23,6 +23,19 @@ class Ipv6Prefix {
   constexpr Ipv6Prefix(const Ipv6Address& addr, int len) noexcept
       : len_(len < 0 ? 0 : (len > 128 ? 128 : len)), addr_(addr.masked(len_)) {}
 
+  /// Construct from an address that is already masked to `len` bits,
+  /// skipping re-canonicalization. Precondition (caller-checked):
+  /// addr.masked(len) == addr and len in [0, 128]. The batch
+  /// key-derivation path uses this after masking with a precomputed
+  /// PrefixMask.
+  [[nodiscard]] static constexpr Ipv6Prefix from_masked(const Ipv6Address& addr,
+                                                        int len) noexcept {
+    Ipv6Prefix p;
+    p.len_ = len;
+    p.addr_ = addr;
+    return p;
+  }
+
   /// Parse "2001:db8::/32". Returns nullopt on malformed input.
   [[nodiscard]] static std::optional<Ipv6Prefix> parse(std::string_view text) noexcept;
 
@@ -77,12 +90,78 @@ class Ipv6Prefix {
   Ipv6Address addr_;
 };
 
+/// Multiplier lanes and finalizer of the shared prefix hash. Each of
+/// the three inputs (hi word, lo word, salt) gets its own odd
+/// multiplier before the xor-combine so sibling prefixes — same
+/// address, different length, or one flipped host word — land far
+/// apart, then a SplitMix64 finalizer avalanches the result. The flat
+/// containers take both the probe start (low bits) and the control
+/// tag (top 7 bits) from this value, so full avalanche is load-bearing,
+/// not cosmetic.
+inline constexpr std::uint64_t kPrefixHashHiMul = 0x9e3779b97f4a7c15ULL;
+inline constexpr std::uint64_t kPrefixHashLoMul = 0xc2b2ae3d27d4eb4fULL;
+inline constexpr std::uint64_t kPrefixHashSaltMul = 0x165667b19e3779f9ULL;
+
+[[nodiscard]] constexpr std::uint64_t prefix_hash_finish(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// The shared prefix hash: std::hash<Ipv6Prefix> and the batch
+/// PrefixKeyDeriver both compute exactly this, so precomputed-hash
+/// container entry points interoperate with the plain ones on the
+/// same table.
+[[nodiscard]] constexpr std::uint64_t prefix_hash_mix(std::uint64_t hi, std::uint64_t lo,
+                                                      std::uint64_t salt) noexcept {
+  return prefix_hash_finish(hi * kPrefixHashHiMul ^ lo * kPrefixHashLoMul ^
+                            salt * kPrefixHashSaltMul);
+}
+
+/// Derives the aggregation key (source prefix at a fixed length) and
+/// its hash for a stream of addresses, hashing each record once. The
+/// mask words are precomputed per level; for /64-and-shorter levels
+/// the low word masks to zero, so its multiplier lane is skipped and
+/// coarse aggregation (/64, /48) hashes only the high word — the cheap
+/// per-level re-mix of the hash-once pipeline. The hash is
+/// bit-identical to std::hash<Ipv6Prefix> of the produced key.
+class PrefixKeyDeriver {
+ public:
+  struct Derived {
+    Ipv6Prefix key;
+    std::size_t hash;
+  };
+
+  constexpr PrefixKeyDeriver() noexcept : PrefixKeyDeriver(128) {}
+  explicit constexpr PrefixKeyDeriver(int len) noexcept
+      : len_(len < 0 ? 0 : (len > 128 ? 128 : len)), mask_(prefix_mask(len_)) {}
+
+  [[nodiscard]] constexpr int length() const noexcept { return len_; }
+
+  [[nodiscard]] constexpr Derived operator()(const Ipv6Address& a) const noexcept {
+    const std::uint64_t hi = a.hi() & mask_.hi;
+    std::uint64_t lo = 0;
+    std::uint64_t z = hi * kPrefixHashHiMul ^
+                      static_cast<std::uint64_t>(len_) * kPrefixHashSaltMul;
+    if (mask_.lo != 0) {  // /65 and longer: the low word carries key bits
+      lo = a.lo() & mask_.lo;
+      z ^= lo * kPrefixHashLoMul;
+    }
+    return {Ipv6Prefix::from_masked({hi, lo}, len_),
+            static_cast<std::size_t>(prefix_hash_finish(z))};
+  }
+
+ private:
+  int len_;
+  PrefixMask mask_;
+};
+
 }  // namespace v6sonar::net
 
 template <>
 struct std::hash<v6sonar::net::Ipv6Prefix> {
   std::size_t operator()(const v6sonar::net::Ipv6Prefix& p) const noexcept {
-    return std::hash<v6sonar::net::Ipv6Address>{}(p.address()) ^
-           (static_cast<std::size_t>(p.length()) * 0x9e3779b97f4a7c15ULL);
+    return static_cast<std::size_t>(v6sonar::net::prefix_hash_mix(
+        p.address().hi(), p.address().lo(), static_cast<std::uint64_t>(p.length())));
   }
 };

@@ -21,6 +21,13 @@
 // callers construct/destroy their own objects in them; the pool only
 // recycles bytes. All storage is returned to the system when the pool
 // is destroyed, so the pool must outlive every container it backs.
+//
+// Block contents are opaque: the flat containers co-allocate their
+// slot array and its probe-control byte array (plus mirror tail) in
+// ONE block, so acquire/release see a single composite byte count.
+// Callers must release with exactly the byte count they acquired —
+// the pool recomputes the size class from it. Blocks are aligned to
+// their size class (>= 64 bytes), which covers any slot alignment.
 #pragma once
 
 #include <sys/mman.h>

@@ -3,22 +3,41 @@
 // The scan detector keeps one destination set and one port map per
 // tracked source; node-based std::unordered_* containers spend most of
 // their time in per-node allocation and pointer chasing. These flat
-// linear-probing containers (power-of-two capacity, tombstone-free —
-// FlatMap::erase uses backward-shift deletion, so probe chains stay
-// dense) are 2-4x faster for that workload;
-// bench_ablation_containers quantifies it.
+// containers probe SwissTable-style: alongside the slot array lives a
+// 1-byte control array holding, per slot, either "empty" (0x80) or the
+// top 7 bits of the slot key's hash (the H2 tag, 0x00-0x7F). A lookup
+// walks the control array a group at a time — 16 bytes per step with
+// SSE2 (`_mm_cmpeq_epi8` + movemask), 8 bytes per step with a portable
+// SWAR fallback — and only dereferences slots whose tag matches, so a
+// probe chain of a dozen slots costs one 16-byte compare and usually
+// zero or one full-key comparison instead of a dozen. Capacity is a
+// power of two and erase is tombstone-free (backward-shift deletion
+// keeps chains dense), so probe sequences are plain slot-granular
+// linear probing underneath — the groups are just a vectorized window
+// onto it. bench_ablation_containers quantifies the win and the
+// SIMD-vs-SWAR gap.
 //
 // Slot storage can be backed by a util::SlabPool so the per-source
 // create/destroy churn recycles slot arrays instead of hitting the
 // global allocator (pass the pool to the constructor; it must outlive
-// the container). reset() empties a container while keeping its slot
-// array, so a reused container does not re-grow from 8 slots;
-// clear() additionally releases the storage.
+// the container). Slots and control bytes are co-allocated in one
+// block, so pool recycling and the copy constructor handle both with
+// a single acquire/release/memcpy. reset() empties a container while
+// keeping its slot array, so a reused container does not re-grow from
+// minimum capacity; clear() additionally releases the storage.
+//
+// The *_hashed entry points (find_hashed/insert_hashed/erase_hashed/
+// contains_hashed/prefetch_hash) take a precomputed hash so batch
+// consumers can hash each record once and reuse the value across the
+// source-index probe, the prefetch pipeline, and the expiry sweep.
+// The caller must pass exactly Hash{}(key) — a mismatched hash makes
+// the key unfindable and can duplicate it.
 //
 // Requirements: K and V trivially copyable; Hash must be avalanching
-// (the probe sequence is hash & mask).
+// (the probe start is hash & mask and the tag is the hash's top bits).
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <functional>
@@ -26,16 +45,149 @@
 #include <type_traits>
 #include <utility>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 #include "util/arena.hpp"
+#include "util/metrics.hpp"
 
 namespace v6sonar::util {
+namespace detail {
 
-template <typename K, typename V, typename Hash = std::hash<K>>
+/// Control byte for an unoccupied slot. Full slots hold the hash's top
+/// 7 bits, so their control byte is 0x00-0x7F and the high bit alone
+/// distinguishes empty from full.
+inline constexpr std::uint8_t kCtrlEmpty = 0x80;
+
+/// The 7-bit tag stored in the control byte of a full slot.
+[[nodiscard]] inline constexpr std::uint8_t ctrl_tag(std::size_t h) noexcept {
+  return static_cast<std::uint8_t>(h >> (sizeof(std::size_t) * 8 - 7));
+}
+
+/// Set of candidate offsets within a group, iterated lowest-first.
+/// SSE2 yields one bit per byte (Shift = 0); SWAR yields the byte's
+/// MSB, i.e. bit 8*offset+7 (Shift = 3). Offsets come out in slot
+/// order either way, which insert relies on for first-empty placement.
+template <unsigned Shift>
+struct ProbeMask {
+  std::uint64_t bits = 0;
+  [[nodiscard]] bool any() const noexcept { return bits != 0; }
+  [[nodiscard]] std::size_t offset() const noexcept {
+    return static_cast<std::size_t>(std::countr_zero(bits)) >> Shift;
+  }
+  void advance() noexcept { bits &= bits - 1; }
+};
+
+[[nodiscard]] inline std::uint64_t load_le64(const std::uint8_t* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  if constexpr (std::endian::native == std::endian::big) {
+#if defined(__GNUC__) || defined(__clang__)
+    v = __builtin_bswap64(v);
+#else
+    v = ((v & 0x00000000000000ffULL) << 56) | ((v & 0x000000000000ff00ULL) << 40) |
+        ((v & 0x0000000000ff0000ULL) << 24) | ((v & 0x00000000ff000000ULL) << 8) |
+        ((v & 0x000000ff00000000ULL) >> 8) | ((v & 0x0000ff0000000000ULL) >> 24) |
+        ((v & 0x00ff000000000000ULL) >> 40) | ((v & 0xff00000000000000ULL) >> 56);
+#endif
+  }
+  return v;
+}
+
+/// Portable 8-byte group: one 64-bit load, zero-byte detection via the
+/// classic SWAR trick. match() may report false positives (a byte one
+/// greater than the tag under borrow propagation), but only ever on
+/// full slots — empty bytes have the high bit set, which `~x` always
+/// clears — so the full-key compare filters them and garbage keys in
+/// empty slots are never read.
+struct GroupSwar {
+  static constexpr std::size_t kWidth = 8;
+  static constexpr const char* kName = "swar_group8";
+  static constexpr std::uint64_t kLsbs = 0x0101010101010101ULL;
+  static constexpr std::uint64_t kMsbs = 0x8080808080808080ULL;
+
+  explicit GroupSwar(const std::uint8_t* p) noexcept : ctrl_(load_le64(p)) {}
+
+  [[nodiscard]] ProbeMask<3> match(std::uint8_t tag) const noexcept {
+    const std::uint64_t x = ctrl_ ^ (kLsbs * tag);
+    return {(x - kLsbs) & ~x & kMsbs};
+  }
+  [[nodiscard]] ProbeMask<3> empty_mask() const noexcept { return {ctrl_ & kMsbs}; }
+  [[nodiscard]] bool has_empty() const noexcept { return (ctrl_ & kMsbs) != 0; }
+
+ private:
+  std::uint64_t ctrl_;
+};
+
+#if defined(__SSE2__)
+/// 16-byte group: one unaligned vector load; tag matches and the empty
+/// mask each cost one compare + movemask (empty bytes are the only
+/// ones with the high bit set, so movemask of the raw control bytes IS
+/// the empty mask).
+struct GroupSse2 {
+  static constexpr std::size_t kWidth = 16;
+  static constexpr const char* kName = "sse2_group16";
+
+  explicit GroupSse2(const std::uint8_t* p) noexcept
+      : ctrl_(_mm_loadu_si128(reinterpret_cast<const __m128i*>(p))) {}
+
+  [[nodiscard]] ProbeMask<0> match(std::uint8_t tag) const noexcept {
+    const __m128i eq = _mm_cmpeq_epi8(ctrl_, _mm_set1_epi8(static_cast<char>(tag)));
+    return {static_cast<std::uint32_t>(_mm_movemask_epi8(eq))};
+  }
+  [[nodiscard]] ProbeMask<0> empty_mask() const noexcept {
+    return {static_cast<std::uint32_t>(_mm_movemask_epi8(ctrl_))};
+  }
+  [[nodiscard]] bool has_empty() const noexcept { return _mm_movemask_epi8(ctrl_) != 0; }
+
+ private:
+  __m128i ctrl_;
+};
+#endif
+
+#if defined(__SSE2__) && !defined(V6SONAR_FLAT_HASH_SWAR)
+using DefaultGroup = GroupSse2;
+#else
+using DefaultGroup = GroupSwar;
+#endif
+
+/// Shared (across all container instantiations) rehash counter and
+/// sampled probe-length histogram. Registration happens lazily on the
+/// first record call, so merely including this header registers
+/// nothing.
+struct ProbeStats {
+  metrics::Counter rehashes{"util.flatmap.rehashes"};
+  metrics::Histogram probe_groups{"util.flatmap.probe_groups"};
+};
+[[nodiscard]] inline const ProbeStats& probe_stats() {
+  static ProbeStats s;
+  return s;
+}
+/// Sampled 1-in-64: the probe path runs several times per record, so
+/// even the gated histogram observe would be measurable at full rate.
+inline void note_probe(std::size_t groups) noexcept {
+  if (!metrics::enabled()) return;
+  thread_local std::uint32_t tick = 0;
+  if ((++tick & 63u) == 0) probe_stats().probe_groups.observe(groups);
+}
+inline void note_rehash() noexcept {
+  if (metrics::enabled()) probe_stats().rehashes.add();
+}
+
+}  // namespace detail
+
+template <typename K, typename V, typename Hash = std::hash<K>,
+          typename Group = detail::DefaultGroup>
 class FlatMap {
   static_assert(std::is_trivially_copyable_v<K> && std::is_trivially_copyable_v<V>,
                 "FlatMap slots are managed as raw storage");
 
  public:
+  static constexpr std::size_t kGroupWidth = Group::kWidth;
+  /// Probe-scheme identifier for diagnostics/bench JSON.
+  [[nodiscard]] static constexpr const char* probe_scheme() noexcept { return Group::kName; }
+
   FlatMap() = default;
   /// Pool-backed: slot arrays come from / return to `pool` (which must
   /// outlive this container).
@@ -43,10 +195,10 @@ class FlatMap {
 
   FlatMap(const FlatMap& o) : pool_(o.pool_) {
     if (o.cap_ == 0) return;
-    slots_ = alloc_raw(o.cap_);
-    cap_ = o.cap_;
+    Slot* block = alloc_raw(o.cap_);
+    adopt_block(block, o.cap_);
     size_ = o.size_;
-    std::memcpy(static_cast<void*>(slots_), o.slots_, cap_ * sizeof(Slot));
+    std::memcpy(static_cast<void*>(slots_), o.slots_, block_bytes(cap_));
   }
   FlatMap(FlatMap&& o) noexcept { steal(o); }
   FlatMap& operator=(const FlatMap& o) {
@@ -68,12 +220,15 @@ class FlatMap {
 
   /// Returns a reference to the value for `key`, default-constructing
   /// it on first access (like operator[]).
-  V& operator[](const K& key) {
+  V& operator[](const K& key) { return insert_hashed(key, Hash{}(key)); }
+
+  /// operator[] with a precomputed hash (must equal Hash{}(key)).
+  V& insert_hashed(const K& key, std::size_t h) {
     if (cap_ == 0 || (size_ + 1) * 4 > cap_ * 3) grow();
-    const std::size_t idx = find_slot(key);
-    Slot& s = slots_[idx];
-    if (!s.used) {
-      s.used = true;
+    const Locate loc = locate(key, h);
+    Slot& s = slots_[loc.idx];
+    if (!loc.found) {
+      set_ctrl(loc.idx, detail::ctrl_tag(h));
       s.kv.first = key;
       s.kv.second = V{};
       ++size_;
@@ -82,36 +237,47 @@ class FlatMap {
   }
 
   [[nodiscard]] const V* find(const K& key) const noexcept {
-    if (cap_ == 0) return nullptr;
-    const std::size_t idx = find_slot(key);
-    return slots_[idx].used ? &slots_[idx].kv.second : nullptr;
+    return find_hashed(key, Hash{}(key));
   }
-  [[nodiscard]] V* find(const K& key) noexcept {
-    return const_cast<V*>(static_cast<const FlatMap*>(this)->find(key));
+  [[nodiscard]] V* find(const K& key) noexcept { return find_hashed(key, Hash{}(key)); }
+
+  /// find() with a precomputed hash (must equal Hash{}(key)).
+  [[nodiscard]] const V* find_hashed(const K& key, std::size_t h) const noexcept {
+    if (cap_ == 0) return nullptr;
+    const std::size_t idx = find_index(key, h);
+    return idx == kNpos ? nullptr : &slots_[idx].kv.second;
+  }
+  [[nodiscard]] V* find_hashed(const K& key, std::size_t h) noexcept {
+    return const_cast<V*>(static_cast<const FlatMap*>(this)->find_hashed(key, h));
   }
 
   /// Remove `key`; returns whether it was present. Backward-shift
-  /// deletion: elements probing past the hole are slid back into it,
-  /// so chains stay dense and lookups never need tombstones.
-  bool erase(const K& key) noexcept {
+  /// deletion: elements probing past the hole are slid back into it
+  /// (slot and control byte together), so chains stay dense and
+  /// lookups never need tombstones.
+  bool erase(const K& key) noexcept { return erase_hashed(key, Hash{}(key)); }
+
+  /// erase() with a precomputed hash (must equal Hash{}(key)).
+  bool erase_hashed(const K& key, std::size_t h) noexcept {
     if (cap_ == 0) return false;
-    std::size_t idx = find_slot(key);
-    if (!slots_[idx].used) return false;
+    std::size_t idx = find_index(key, h);
+    if (idx == kNpos) return false;
     const std::size_t mask = cap_ - 1;
     std::size_t j = idx;
     for (;;) {
       j = (j + 1) & mask;
-      if (!slots_[j].used) break;
+      if (ctrl_[j] & detail::kCtrlEmpty) break;
       // The element at j may fill the hole at idx only if its home
       // slot is cyclically at-or-before idx on the probe path to j —
       // moving it earlier than its home would hide it from lookups.
       const std::size_t home = Hash{}(slots_[j].kv.first) & mask;
       if (((j - home) & mask) >= ((j - idx) & mask)) {
-        slots_[idx].kv = slots_[j].kv;
+        slots_[idx] = slots_[j];
+        set_ctrl(idx, ctrl_[j]);
         idx = j;
       }
     }
-    slots_[idx].used = false;
+    set_ctrl(idx, detail::kCtrlEmpty);
     --size_;
     return true;
   }
@@ -124,20 +290,21 @@ class FlatMap {
   /// Drop all entries and release the slot storage (to the pool when
   /// pool-backed). Use reset() when the container will be refilled.
   void clear() noexcept {
-    free_slots();
+    free_block();
     size_ = 0;
   }
 
   /// Drop all entries but keep the slot array: a reused container
-  /// starts at its previous capacity instead of re-growing from 8.
+  /// starts at its previous capacity instead of re-growing from the
+  /// minimum.
   void reset() noexcept {
-    for (std::size_t i = 0; i < cap_; ++i) slots_[i].used = false;
+    if (slots_) std::memset(ctrl_, detail::kCtrlEmpty, ctrl_bytes(cap_));
     size_ = 0;
   }
 
   /// Ensure `n` entries fit without any further slot-array growth.
   void reserve(std::size_t n) {
-    std::size_t cap = 8;
+    std::size_t cap = kMinCap;
     while (cap * 3 < n * 4) cap *= 2;  // inverse of the insert-time growth check
     if (cap > cap_) rehash_to(cap);
   }
@@ -146,94 +313,194 @@ class FlatMap {
   template <typename Fn>
   void for_each(Fn&& fn) const {
     for (std::size_t i = 0; i < cap_; ++i)
-      if (slots_[i].used) fn(slots_[i].kv.first, slots_[i].kv.second);
+      if (!(ctrl_[i] & detail::kCtrlEmpty)) fn(slots_[i].kv.first, slots_[i].kv.second);
   }
 
-  /// Hint the key's home slot into cache ahead of a lookup/insert.
+  /// Hint the key's home group into cache ahead of a lookup/insert.
   /// Read-only and never required for correctness; batch consumers
-  /// issue it a few records ahead to hide the probe's cache miss.
-  void prefetch(const K& key) const noexcept {
+  /// issue it a few records ahead to hide the probe's cache misses.
+  void prefetch(const K& key) const noexcept { prefetch_hash(Hash{}(key)); }
+  void prefetch_hash(std::size_t h) const noexcept {
 #if defined(__GNUC__) || defined(__clang__)
-    if (cap_ != 0) __builtin_prefetch(&slots_[Hash{}(key) & (cap_ - 1)]);
+    if (cap_ != 0) {
+      const std::size_t idx = h & (cap_ - 1);
+      __builtin_prefetch(ctrl_ + idx);
+      __builtin_prefetch(slots_ + idx);
+    }
 #else
-    (void)key;
+    (void)h;
 #endif
   }
 
  private:
   struct Slot {
     std::pair<K, V> kv;
-    bool used = false;
+  };
+  static constexpr std::size_t kMinCap = 16;
+  static_assert(kMinCap >= Group::kWidth && kMinCap % Group::kWidth == 0,
+                "group loads at stride kWidth must tile the table");
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  struct Locate {
+    std::size_t idx;
+    bool found;
   };
 
-  [[nodiscard]] std::size_t find_slot(const K& key) const noexcept {
-    const std::size_t mask = cap_ - 1;
-    std::size_t idx = Hash{}(key)&mask;
-    while (slots_[idx].used && !(slots_[idx].kv.first == key)) idx = (idx + 1) & mask;
-    return idx;
+  /// Control bytes: one per slot plus a mirrored tail of kWidth-1
+  /// bytes so an unaligned group load starting near the end never
+  /// reads past the array (set_ctrl keeps the mirror in sync).
+  [[nodiscard]] static constexpr std::size_t ctrl_bytes(std::size_t cap) noexcept {
+    return cap + Group::kWidth - 1;
+  }
+  /// Slots and control bytes live in one allocation so pool recycling
+  /// and copies handle both with a single acquire/release/memcpy.
+  [[nodiscard]] static constexpr std::size_t block_bytes(std::size_t cap) noexcept {
+    return cap * sizeof(Slot) + ctrl_bytes(cap);
   }
 
-  [[nodiscard]] Slot* alloc_raw(std::size_t n) {
-    void* p = pool_ ? pool_->acquire(n * sizeof(Slot)) : ::operator new(n * sizeof(Slot));
+  [[nodiscard]] std::size_t find_index(const K& key, std::size_t h) const noexcept {
+    const std::size_t mask = cap_ - 1;
+    const std::uint8_t tag = detail::ctrl_tag(h);
+    std::size_t idx = h & mask;
+    std::size_t groups = 1;
+    for (;;) {
+      const Group g(ctrl_ + idx);
+      for (auto m = g.match(tag); m.any(); m.advance()) {
+        const std::size_t p = (idx + m.offset()) & mask;
+        if (slots_[p].kv.first == key) {
+          detail::note_probe(groups);
+          return p;
+        }
+      }
+      // A present key's probe chain from its home slot never crosses
+      // an empty slot (insert fills the first empty; backward-shift
+      // erase preserves this), so an empty anywhere in the group ends
+      // the search.
+      if (g.has_empty()) {
+        detail::note_probe(groups);
+        return kNpos;
+      }
+      idx = (idx + Group::kWidth) & mask;
+      ++groups;
+    }
+  }
+
+  [[nodiscard]] Locate locate(const K& key, std::size_t h) const noexcept {
+    const std::size_t mask = cap_ - 1;
+    const std::uint8_t tag = detail::ctrl_tag(h);
+    std::size_t idx = h & mask;
+    std::size_t groups = 1;
+    for (;;) {
+      const Group g(ctrl_ + idx);
+      for (auto m = g.match(tag); m.any(); m.advance()) {
+        const std::size_t p = (idx + m.offset()) & mask;
+        if (slots_[p].kv.first == key) {
+          detail::note_probe(groups);
+          return {p, true};
+        }
+      }
+      const auto e = g.empty_mask();
+      if (e.any()) {
+        detail::note_probe(groups);
+        return {(idx + e.offset()) & mask, false};
+      }
+      idx = (idx + Group::kWidth) & mask;
+      ++groups;
+    }
+  }
+
+  void set_ctrl(std::size_t i, std::uint8_t v) noexcept {
+    ctrl_[i] = v;
+    if (i < Group::kWidth - 1) ctrl_[cap_ + i] = v;
+  }
+
+  [[nodiscard]] Slot* alloc_raw(std::size_t cap) {
+    void* p = pool_ ? pool_->acquire(block_bytes(cap)) : ::operator new(block_bytes(cap));
     return static_cast<Slot*>(p);
   }
 
-  [[nodiscard]] Slot* alloc_slots(std::size_t n) {
-    Slot* s = alloc_raw(n);
-    for (std::size_t i = 0; i < n; ++i) new (s + i) Slot{};
-    return s;
+  void adopt_block(Slot* block, std::size_t cap) noexcept {
+    slots_ = block;
+    ctrl_ = reinterpret_cast<std::uint8_t*>(block + cap);
+    cap_ = cap;
   }
 
-  void free_slots() noexcept {
+  void free_block() noexcept {
     if (!slots_) return;
     if (pool_)
-      pool_->release(slots_, cap_ * sizeof(Slot));
+      pool_->release(slots_, block_bytes(cap_));
     else
       ::operator delete(slots_);
     slots_ = nullptr;
+    ctrl_ = nullptr;
     cap_ = 0;
   }
 
   void rehash_to(std::size_t new_cap) {
-    Slot* ns = alloc_slots(new_cap);
+    Slot* old_slots = slots_;
+    const std::uint8_t* old_ctrl = ctrl_;
+    const std::size_t old_cap = cap_;
+    const bool pool_backed = pool_ != nullptr;
+    adopt_block(alloc_raw(new_cap), new_cap);
+    std::memset(ctrl_, detail::kCtrlEmpty, ctrl_bytes(new_cap));
     const std::size_t mask = new_cap - 1;
-    for (std::size_t i = 0; i < cap_; ++i) {
-      const Slot& s = slots_[i];
-      if (!s.used) continue;
-      std::size_t idx = Hash{}(s.kv.first) & mask;
-      while (ns[idx].used) idx = (idx + 1) & mask;
-      ns[idx] = s;
+    for (std::size_t i = 0; i < old_cap; ++i) {
+      if (old_ctrl[i] & detail::kCtrlEmpty) continue;
+      const std::size_t h = Hash{}(old_slots[i].kv.first);
+      std::size_t idx = h & mask;
+      for (;;) {
+        const Group g(ctrl_ + idx);
+        const auto e = g.empty_mask();
+        if (e.any()) {
+          idx = (idx + e.offset()) & mask;
+          break;
+        }
+        idx = (idx + Group::kWidth) & mask;
+      }
+      set_ctrl(idx, detail::ctrl_tag(h));
+      slots_[idx] = old_slots[i];
     }
-    free_slots();
-    slots_ = ns;
-    cap_ = new_cap;
+    if (old_slots) {
+      if (pool_backed)
+        pool_->release(old_slots, block_bytes(old_cap));
+      else
+        ::operator delete(old_slots);
+      detail::note_rehash();
+    }
   }
 
-  void grow() { rehash_to(cap_ ? cap_ * 2 : 8); }
+  void grow() { rehash_to(cap_ ? cap_ * 2 : kMinCap); }
 
-  void destroy() noexcept { free_slots(); }
+  void destroy() noexcept { free_block(); }
   void steal(FlatMap& o) noexcept {
     slots_ = o.slots_;
+    ctrl_ = o.ctrl_;
     cap_ = o.cap_;
     size_ = o.size_;
     pool_ = o.pool_;
     o.slots_ = nullptr;
+    o.ctrl_ = nullptr;
     o.cap_ = 0;
     o.size_ = 0;
   }
 
   Slot* slots_ = nullptr;
+  std::uint8_t* ctrl_ = nullptr;
   std::size_t cap_ = 0;
   std::size_t size_ = 0;
   SlabPool* pool_ = nullptr;
 };
 
-template <typename K, typename Hash = std::hash<K>>
+template <typename K, typename Hash = std::hash<K>, typename Group = detail::DefaultGroup>
 class FlatSet {
   static_assert(std::is_trivially_copyable_v<K>,
                 "FlatSet slots are managed as raw storage");
 
  public:
+  static constexpr std::size_t kGroupWidth = Group::kWidth;
+  /// Probe-scheme identifier for diagnostics/bench JSON.
+  [[nodiscard]] static constexpr const char* probe_scheme() noexcept { return Group::kName; }
+
   FlatSet() = default;
   /// Pool-backed: slot arrays come from / return to `pool` (which must
   /// outlive this container).
@@ -241,10 +508,10 @@ class FlatSet {
 
   FlatSet(const FlatSet& o) : pool_(o.pool_) {
     if (o.cap_ == 0) return;
-    slots_ = alloc_raw(o.cap_);
-    cap_ = o.cap_;
+    Slot* block = alloc_raw(o.cap_);
+    adopt_block(block, o.cap_);
     size_ = o.size_;
-    std::memcpy(static_cast<void*>(slots_), o.slots_, cap_ * sizeof(Slot));
+    std::memcpy(static_cast<void*>(slots_), o.slots_, block_bytes(cap_));
   }
   FlatSet(FlatSet&& o) noexcept { steal(o); }
   FlatSet& operator=(const FlatSet& o) {
@@ -265,20 +532,26 @@ class FlatSet {
   ~FlatSet() { destroy(); }
 
   /// Returns true if the key was newly inserted.
-  bool insert(const K& key) {
+  bool insert(const K& key) { return insert_hashed(key, Hash{}(key)); }
+
+  /// insert() with a precomputed hash (must equal Hash{}(key)).
+  bool insert_hashed(const K& key, std::size_t h) {
     if (cap_ == 0 || (size_ + 1) * 4 > cap_ * 3) grow();
-    const std::size_t idx = find_slot(key);
-    Slot& s = slots_[idx];
-    if (s.used) return false;
-    s.used = true;
-    s.key = key;
+    const Locate loc = locate(key, h);
+    if (loc.found) return false;
+    set_ctrl(loc.idx, detail::ctrl_tag(h));
+    slots_[loc.idx].key = key;
     ++size_;
     return true;
   }
 
   [[nodiscard]] bool contains(const K& key) const noexcept {
+    return contains_hashed(key, Hash{}(key));
+  }
+  /// contains() with a precomputed hash (must equal Hash{}(key)).
+  [[nodiscard]] bool contains_hashed(const K& key, std::size_t h) const noexcept {
     if (cap_ == 0) return false;
-    return slots_[find_slot(key)].used;
+    return find_index(key, h) != kNpos;
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
@@ -289,20 +562,21 @@ class FlatSet {
   /// Drop all entries and release the slot storage (to the pool when
   /// pool-backed). Use reset() when the container will be refilled.
   void clear() noexcept {
-    free_slots();
+    free_block();
     size_ = 0;
   }
 
   /// Drop all entries but keep the slot array: a reused container
-  /// starts at its previous capacity instead of re-growing from 8.
+  /// starts at its previous capacity instead of re-growing from the
+  /// minimum.
   void reset() noexcept {
-    for (std::size_t i = 0; i < cap_; ++i) slots_[i].used = false;
+    if (slots_) std::memset(ctrl_, detail::kCtrlEmpty, ctrl_bytes(cap_));
     size_ = 0;
   }
 
   /// Ensure `n` entries fit without any further slot-array growth.
   void reserve(std::size_t n) {
-    std::size_t cap = 8;
+    std::size_t cap = kMinCap;
     while (cap * 3 < n * 4) cap *= 2;  // inverse of the insert-time growth check
     if (cap > cap_) rehash_to(cap);
   }
@@ -310,83 +584,170 @@ class FlatSet {
   template <typename Fn>
   void for_each(Fn&& fn) const {
     for (std::size_t i = 0; i < cap_; ++i)
-      if (slots_[i].used) fn(slots_[i].key);
+      if (!(ctrl_[i] & detail::kCtrlEmpty)) fn(slots_[i].key);
   }
 
-  /// Hint the key's home slot into cache ahead of a lookup/insert.
+  /// Hint the key's home group into cache ahead of a lookup/insert.
   /// Read-only and never required for correctness; batch consumers
-  /// issue it a few records ahead to hide the probe's cache miss.
-  void prefetch(const K& key) const noexcept {
+  /// issue it a few records ahead to hide the probe's cache misses.
+  void prefetch(const K& key) const noexcept { prefetch_hash(Hash{}(key)); }
+  void prefetch_hash(std::size_t h) const noexcept {
 #if defined(__GNUC__) || defined(__clang__)
-    if (cap_ != 0) __builtin_prefetch(&slots_[Hash{}(key) & (cap_ - 1)]);
+    if (cap_ != 0) {
+      const std::size_t idx = h & (cap_ - 1);
+      __builtin_prefetch(ctrl_ + idx);
+      __builtin_prefetch(slots_ + idx);
+    }
 #else
-    (void)key;
+    (void)h;
 #endif
   }
 
  private:
   struct Slot {
     K key;
-    bool used = false;
+  };
+  static constexpr std::size_t kMinCap = 16;
+  static_assert(kMinCap >= Group::kWidth && kMinCap % Group::kWidth == 0,
+                "group loads at stride kWidth must tile the table");
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  struct Locate {
+    std::size_t idx;
+    bool found;
   };
 
-  [[nodiscard]] std::size_t find_slot(const K& key) const noexcept {
-    const std::size_t mask = cap_ - 1;
-    std::size_t idx = Hash{}(key)&mask;
-    while (slots_[idx].used && !(slots_[idx].key == key)) idx = (idx + 1) & mask;
-    return idx;
+  [[nodiscard]] static constexpr std::size_t ctrl_bytes(std::size_t cap) noexcept {
+    return cap + Group::kWidth - 1;
+  }
+  [[nodiscard]] static constexpr std::size_t block_bytes(std::size_t cap) noexcept {
+    return cap * sizeof(Slot) + ctrl_bytes(cap);
   }
 
-  [[nodiscard]] Slot* alloc_raw(std::size_t n) {
-    void* p = pool_ ? pool_->acquire(n * sizeof(Slot)) : ::operator new(n * sizeof(Slot));
+  [[nodiscard]] std::size_t find_index(const K& key, std::size_t h) const noexcept {
+    const std::size_t mask = cap_ - 1;
+    const std::uint8_t tag = detail::ctrl_tag(h);
+    std::size_t idx = h & mask;
+    std::size_t groups = 1;
+    for (;;) {
+      const Group g(ctrl_ + idx);
+      for (auto m = g.match(tag); m.any(); m.advance()) {
+        const std::size_t p = (idx + m.offset()) & mask;
+        if (slots_[p].key == key) {
+          detail::note_probe(groups);
+          return p;
+        }
+      }
+      if (g.has_empty()) {
+        detail::note_probe(groups);
+        return kNpos;
+      }
+      idx = (idx + Group::kWidth) & mask;
+      ++groups;
+    }
+  }
+
+  [[nodiscard]] Locate locate(const K& key, std::size_t h) const noexcept {
+    const std::size_t mask = cap_ - 1;
+    const std::uint8_t tag = detail::ctrl_tag(h);
+    std::size_t idx = h & mask;
+    std::size_t groups = 1;
+    for (;;) {
+      const Group g(ctrl_ + idx);
+      for (auto m = g.match(tag); m.any(); m.advance()) {
+        const std::size_t p = (idx + m.offset()) & mask;
+        if (slots_[p].key == key) {
+          detail::note_probe(groups);
+          return {p, true};
+        }
+      }
+      const auto e = g.empty_mask();
+      if (e.any()) {
+        detail::note_probe(groups);
+        return {(idx + e.offset()) & mask, false};
+      }
+      idx = (idx + Group::kWidth) & mask;
+      ++groups;
+    }
+  }
+
+  void set_ctrl(std::size_t i, std::uint8_t v) noexcept {
+    ctrl_[i] = v;
+    if (i < Group::kWidth - 1) ctrl_[cap_ + i] = v;
+  }
+
+  [[nodiscard]] Slot* alloc_raw(std::size_t cap) {
+    void* p = pool_ ? pool_->acquire(block_bytes(cap)) : ::operator new(block_bytes(cap));
     return static_cast<Slot*>(p);
   }
 
-  [[nodiscard]] Slot* alloc_slots(std::size_t n) {
-    Slot* s = alloc_raw(n);
-    for (std::size_t i = 0; i < n; ++i) new (s + i) Slot{};
-    return s;
+  void adopt_block(Slot* block, std::size_t cap) noexcept {
+    slots_ = block;
+    ctrl_ = reinterpret_cast<std::uint8_t*>(block + cap);
+    cap_ = cap;
   }
 
-  void free_slots() noexcept {
+  void free_block() noexcept {
     if (!slots_) return;
     if (pool_)
-      pool_->release(slots_, cap_ * sizeof(Slot));
+      pool_->release(slots_, block_bytes(cap_));
     else
       ::operator delete(slots_);
     slots_ = nullptr;
+    ctrl_ = nullptr;
     cap_ = 0;
   }
 
   void rehash_to(std::size_t new_cap) {
-    Slot* ns = alloc_slots(new_cap);
+    Slot* old_slots = slots_;
+    const std::uint8_t* old_ctrl = ctrl_;
+    const std::size_t old_cap = cap_;
+    const bool pool_backed = pool_ != nullptr;
+    adopt_block(alloc_raw(new_cap), new_cap);
+    std::memset(ctrl_, detail::kCtrlEmpty, ctrl_bytes(new_cap));
     const std::size_t mask = new_cap - 1;
-    for (std::size_t i = 0; i < cap_; ++i) {
-      const Slot& s = slots_[i];
-      if (!s.used) continue;
-      std::size_t idx = Hash{}(s.key) & mask;
-      while (ns[idx].used) idx = (idx + 1) & mask;
-      ns[idx] = s;
+    for (std::size_t i = 0; i < old_cap; ++i) {
+      if (old_ctrl[i] & detail::kCtrlEmpty) continue;
+      const std::size_t h = Hash{}(old_slots[i].key);
+      std::size_t idx = h & mask;
+      for (;;) {
+        const Group g(ctrl_ + idx);
+        const auto e = g.empty_mask();
+        if (e.any()) {
+          idx = (idx + e.offset()) & mask;
+          break;
+        }
+        idx = (idx + Group::kWidth) & mask;
+      }
+      set_ctrl(idx, detail::ctrl_tag(h));
+      slots_[idx].key = old_slots[i].key;
     }
-    free_slots();
-    slots_ = ns;
-    cap_ = new_cap;
+    if (old_slots) {
+      if (pool_backed)
+        pool_->release(old_slots, block_bytes(old_cap));
+      else
+        ::operator delete(old_slots);
+      detail::note_rehash();
+    }
   }
 
-  void grow() { rehash_to(cap_ ? cap_ * 2 : 8); }
+  void grow() { rehash_to(cap_ ? cap_ * 2 : kMinCap); }
 
-  void destroy() noexcept { free_slots(); }
+  void destroy() noexcept { free_block(); }
   void steal(FlatSet& o) noexcept {
     slots_ = o.slots_;
+    ctrl_ = o.ctrl_;
     cap_ = o.cap_;
     size_ = o.size_;
     pool_ = o.pool_;
     o.slots_ = nullptr;
+    o.ctrl_ = nullptr;
     o.cap_ = 0;
     o.size_ = 0;
   }
 
   Slot* slots_ = nullptr;
+  std::uint8_t* ctrl_ = nullptr;
   std::size_t cap_ = 0;
   std::size_t size_ = 0;
   SlabPool* pool_ = nullptr;

@@ -98,12 +98,12 @@ TEST(FlatMap, EraseKeepsCollidingChainReachable) {
 /// table so the probe sequence crosses index 0.
 TEST(FlatMap, EraseHandlesWraparoundChains) {
   struct TopHome {
-    // Homes 6 and 7 in the initial 8-slot table, so a five-key chain
-    // occupies slots 6, 7, 0, 1, 2 — crossing the wrap point.
-    std::size_t operator()(std::uint32_t k) const noexcept { return 6 + (k & 1); }
+    // Homes 14 and 15 in the initial 16-slot table, so a five-key chain
+    // occupies slots 14, 15, 0, 1, 2 — crossing the wrap point.
+    std::size_t operator()(std::uint32_t k) const noexcept { return 14 + (k & 1); }
   };
   FlatMap<std::uint32_t, std::uint64_t, TopHome> m;
-  for (std::uint32_t k = 0; k < 5; ++k) m[k] = k + 7;  // cap stays 8; chain wraps past slot 7
+  for (std::uint32_t k = 0; k < 5; ++k) m[k] = k + 7;  // cap stays 16; chain wraps past slot 15
   for (std::uint32_t victim = 0; victim < 5; ++victim) {
     auto copy = m;
     EXPECT_TRUE(copy.erase(victim));

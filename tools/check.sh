@@ -2,7 +2,7 @@
 # Sanitized check of the threaded pipeline and the batched data plane,
 # plus an end-to-end metrics smoke check.
 #
-#   tools/check.sh [thread|address|metrics|perf|report|docs|all]    (default: thread)
+#   tools/check.sh [thread|address|metrics|perf|bench-guard|report|docs|all]    (default: thread)
 #
 # `thread`/`address` configure a separate build tree (build-tsan/ or
 # build-asan/) with -DV6SONAR_SANITIZE=<kind>, build the relevant test
@@ -19,7 +19,13 @@
 # count (V6SONAR_PIPELINE_RECORDS) in a scratch directory, verifying
 # the speedup and bulk-consumption fields land in the
 # `parallel_pipeline_bulk` section of BENCH_pipeline.json — a smoke
-# test for the bench plumbing, not a performance measurement. `report`
+# test for the bench plumbing, not a performance measurement.
+# `bench-guard` is the actual performance gate: it replays the
+# standard 4 M-record serial-detector workload (bench_detector_
+# throughput's detector_serial section, min-of-3 passes) and fails if
+# either the record-at-a-time or the batched-replay records/s falls
+# more than 10% below the committed BENCH_pipeline.json baseline.
+# `report`
 # exercises the streaming analytics path end to end: generate a small
 # world, run `detect --mmap --report --events` (analyzer chain inline,
 # event stream spilled), replay the spill with `report`, and assert
@@ -36,10 +42,10 @@ cd "$(dirname "$0")/.."
 
 kind="${1:-thread}"
 case "$kind" in
-  thread|address|metrics|perf|report|docs) ;;
+  thread|address|metrics|perf|bench-guard|report|docs) ;;
   all) "$0" docs && "$0" thread && "$0" address && "$0" metrics && "$0" report \
-       && exec "$0" perf ;;
-  *) echo "usage: tools/check.sh [thread|address|metrics|perf|report|docs|all]" >&2; exit 2 ;;
+       && "$0" perf && exec "$0" bench-guard ;;
+  *) echo "usage: tools/check.sh [thread|address|metrics|perf|bench-guard|report|docs|all]" >&2; exit 2 ;;
 esac
 
 if [[ "$kind" == docs ]]; then
@@ -124,6 +130,58 @@ print(f"perf smoke ok: serial {row['serial_rps']} rec/s, "
 PY
 
   echo "check.sh: perf smoke check passed (bench fields present in BENCH_pipeline.json)"
+  exit 0
+fi
+
+if [[ "$kind" == bench-guard ]]; then
+  tree=build-perf
+  cmake -B "$tree" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+  cmake --build "$tree" -j"$(nproc)" --target bench_detector_throughput
+
+  # Scratch CWD so the guard run's numbers never clobber the repo's
+  # committed records; V6SONAR_DETECTOR_SERIAL_ONLY skips the replay
+  # comparison and microbench kernels — only the gated section runs.
+  work="$(mktemp -d)"
+  trap 'rm -rf "$work"' EXIT
+  bench="$PWD/$tree/bench/bench_detector_throughput"
+  (cd "$work" && V6SONAR_DETECTOR_SERIAL_ONLY=1 "$bench")
+
+  python3 - "$work/BENCH_pipeline.json" BENCH_pipeline.json <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as fh:
+    measured = json.load(fh).get("detector_serial")
+with open(sys.argv[2]) as fh:
+    committed = json.load(fh).get("detector_serial")
+
+failures = []
+if measured is None:
+    failures.append("measured detector_serial section missing")
+if committed is None:
+    failures.append("committed detector_serial baseline missing from BENCH_pipeline.json")
+if not failures:
+    if measured.get("records", 0) != committed.get("records", -1):
+        failures.append(
+            f"record counts differ (measured {measured.get('records')}, "
+            f"committed {committed.get('records')}): not comparable")
+    for key in ("feed_rps", "replay_rps"):
+        base, got = committed.get(key, 0), measured.get(key, 0)
+        if base <= 0:
+            failures.append(f"committed baseline {key} missing or zero")
+        elif got < 0.9 * base:
+            failures.append(
+                f"{key} regressed >10%: measured {got:.0f} rec/s vs committed "
+                f"{base:.0f} rec/s ({100 * got / base:.1f}%)")
+
+if failures:
+    print("bench-guard FAILED:", *failures, sep="\n  ", file=sys.stderr)
+    sys.exit(1)
+print(f"bench-guard ok ({measured['probe_scheme']}): "
+      f"feed {measured['feed_rps']:.0f} rec/s (baseline {committed['feed_rps']:.0f}), "
+      f"replay {measured['replay_rps']:.0f} rec/s (baseline {committed['replay_rps']:.0f})")
+PY
+
+  echo "check.sh: bench-guard passed (serial detector within 10% of committed baseline)"
   exit 0
 fi
 
@@ -222,13 +280,14 @@ fi
 case "$kind" in
   thread)
     tree=build-tsan
-    targets=(util_spsc_ring_test core_parallel_pipeline_test core_batch_feed_test)
+    targets=(util_spsc_ring_test core_parallel_pipeline_test core_batch_feed_test
+             util_flat_hash_fuzz_test)
     ;;
   address)
     tree=build-asan
     targets=(util_spsc_ring_test core_parallel_pipeline_test core_batch_feed_test
-             sim_test util_flat_hash_test core_event_sink_test core_event_io_test
-             analysis_streaming_test)
+             sim_test util_flat_hash_test util_flat_hash_fuzz_test
+             core_event_sink_test core_event_io_test analysis_streaming_test)
     ;;
 esac
 
