@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "util/fdio.hpp"
 #include "util/metrics.hpp"
 
 namespace v6sonar::core {
@@ -31,20 +32,9 @@ void put(std::FILE* f, const void* p, std::size_t n) {
   if (std::fwrite(p, 1, n, f) != n) throw std::runtime_error("event_io: write failed");
 }
 
-void get(std::FILE* f, void* p, std::size_t n) {
-  if (std::fread(p, 1, n, f) != n) throw std::runtime_error("event_io: truncated file");
-}
-
 template <typename T>
 void put_v(std::FILE* f, T v) {
   put(f, &v, sizeof v);
-}
-
-template <typename T>
-T get_v(std::FILE* f) {
-  T v{};
-  get(f, &v, sizeof v);
-  return v;
 }
 
 }  // namespace
@@ -100,10 +90,19 @@ void EventWriter::on_event(ScanEvent&& ev) {
 void EventWriter::close() {
   if (!impl_) return;
   auto impl = std::move(impl_);  // closed even if the finalize throws
+  // Backpatch the count, then push it all the way to stable storage:
+  // an fflush alone leaves the header (and the tail of the event
+  // stream) in page cache, where a crash after close() returned
+  // success could still drop it — leaving a header that claims N
+  // events backed by nothing.
   if (std::fseek(impl->file.f, 8, SEEK_SET) != 0 ||
       std::fwrite(&count_, 1, sizeof count_, impl->file.f) != sizeof count_ ||
-      std::fflush(impl->file.f) != 0)
+      !util::flush_to_disk(impl->file.f))
     throw std::runtime_error("event_io: header finalize failed for " + impl->path);
+  std::FILE* f = impl->file.f;
+  impl->file.f = nullptr;  // File dtor must not double-close
+  if (std::fclose(f) != 0)
+    throw std::runtime_error("event_io: close failed for " + impl->path);
 }
 
 // ------------------------------------------------------------------ //
@@ -111,26 +110,56 @@ void EventWriter::close() {
 struct EventReader::Impl {
   File file;
   std::string path;
-  long file_size = 0;
+  std::uint64_t file_size = 0;
+  /// Bytes consumed so far (header included). Tracked explicitly so
+  /// the "does this list length fit in the file" corruption checks
+  /// never consult ftell — a transient ftell/fread failure used to be
+  /// indistinguishable from a corrupt count.
+  std::uint64_t pos = 0;
   util::metrics::Histogram batch_size{"report.reader.batch_size"};
   explicit Impl(const std::string& p) : file(p, "rb"), path(p) {}
+
+  /// Read exactly n bytes. Distinguishes an I/O error (ferror) from
+  /// running out of file (truncation) in the thrown message.
+  void read_bytes(void* p, std::size_t n) {
+    if (std::fread(p, 1, n, file.f) != n) {
+      if (std::ferror(file.f))
+        throw std::runtime_error("event_io: read failed (I/O error) in " + path);
+      throw std::runtime_error("event_io: truncated file " + path);
+    }
+    pos += n;
+  }
+
+  template <typename T>
+  T get() {
+    T v{};
+    read_bytes(&v, sizeof v);
+    return v;
+  }
+
+  /// Payload bytes left in the file after the current position.
+  [[nodiscard]] std::uint64_t remaining() const noexcept {
+    return pos > file_size ? 0 : file_size - pos;
+  }
 };
 
 EventReader::EventReader(const std::string& path) : impl_(std::make_unique<Impl>(path)) {
   std::FILE* f = impl_->file.f;
   std::setvbuf(f, nullptr, _IOFBF, 1 << 20);
-  if (std::fseek(f, 0, SEEK_END) != 0 || (impl_->file_size = std::ftell(f)) < 0 ||
+  long size = 0;
+  if (std::fseek(f, 0, SEEK_END) != 0 || (size = std::ftell(f)) < 0 ||
       std::fseek(f, 0, SEEK_SET) != 0)
     throw std::runtime_error("event_io: cannot stat " + path);
-  if (static_cast<std::uint64_t>(impl_->file_size) < kHeaderBytes)
+  impl_->file_size = static_cast<std::uint64_t>(size);
+  if (impl_->file_size < kHeaderBytes)
     throw std::runtime_error("event_io: truncated header in " + path);
-  if (get_v<std::uint64_t>(f) != kMagic)
+  if (impl_->get<std::uint64_t>() != kMagic)
     throw std::runtime_error("event_io: not an event file: " + path);
-  total_ = get_v<std::uint64_t>(f);
+  total_ = impl_->get<std::uint64_t>();
   // Shape check in the MappedLogReader mold: every event occupies at
   // least its fixed bytes, so a garbage count is caught at open
   // instead of over-reserving downstream.
-  const std::uint64_t body = static_cast<std::uint64_t>(impl_->file_size) - kHeaderBytes;
+  const std::uint64_t body = impl_->file_size - kHeaderBytes;
   if (total_ > body / kFixedEventBytes)
     throw std::runtime_error("event_io: header claims " + std::to_string(total_) +
                              " events but " + path + " has only " + std::to_string(body) +
@@ -141,42 +170,41 @@ EventReader::~EventReader() = default;
 
 bool EventReader::next(ScanEvent& out) {
   if (read_ >= total_) return false;
-  std::FILE* f = impl_->file.f;
+  Impl& im = *impl_;
   ScanEvent ev;
-  const auto hi = get_v<std::uint64_t>(f);
-  const auto lo = get_v<std::uint64_t>(f);
-  const auto len = get_v<std::int32_t>(f);
+  const auto hi = im.get<std::uint64_t>();
+  const auto lo = im.get<std::uint64_t>();
+  const auto len = im.get<std::int32_t>();
   if (len < 0 || len > 128)
-    throw std::runtime_error("event_io: corrupt prefix length in " + impl_->path);
+    throw std::runtime_error("event_io: corrupt prefix length in " + im.path);
   ev.source = net::Ipv6Prefix{net::Ipv6Address{hi, lo}, len};
-  ev.first_us = get_v<sim::TimeUs>(f);
-  ev.last_us = get_v<sim::TimeUs>(f);
-  ev.packets = get_v<std::uint64_t>(f);
-  ev.distinct_dsts = get_v<std::uint32_t>(f);
-  ev.distinct_dsts_in_dns = get_v<std::uint32_t>(f);
-  ev.src_asn = get_v<std::uint32_t>(f);
+  ev.first_us = im.get<sim::TimeUs>();
+  ev.last_us = im.get<sim::TimeUs>();
+  ev.packets = im.get<std::uint64_t>();
+  ev.distinct_dsts = im.get<std::uint32_t>();
+  ev.distinct_dsts_in_dns = im.get<std::uint32_t>();
+  ev.src_asn = im.get<std::uint32_t>();
   // Bound each list length by the bytes actually left in the file, so
-  // a corrupt length throws instead of reserving gigabytes.
-  const auto remaining = [this, f] {
-    const long at = std::ftell(f);
-    return at < 0 ? std::size_t{0} : static_cast<std::size_t>(impl_->file_size - at);
-  };
-  const auto nports = get_v<std::uint32_t>(f);
-  if (nports > remaining() / kPortEntryBytes)
-    throw std::runtime_error("event_io: corrupt port count in " + impl_->path);
+  // a corrupt length throws instead of reserving gigabytes. remaining()
+  // is derived from the tracked offset, never from ftell — an I/O
+  // failure surfaces from read_bytes() as "read failed", and can no
+  // longer masquerade as a corrupt count.
+  const auto nports = im.get<std::uint32_t>();
+  if (nports > im.remaining() / kPortEntryBytes)
+    throw std::runtime_error("event_io: corrupt port count in " + im.path);
   ev.port_packets.reserve(nports);
   for (std::uint32_t p = 0; p < nports; ++p) {
-    const auto port = get_v<std::uint16_t>(f);
-    const auto n = get_v<std::uint64_t>(f);
+    const auto port = im.get<std::uint16_t>();
+    const auto n = im.get<std::uint64_t>();
     ev.port_packets.emplace_back(port, n);
   }
-  const auto nweeks = get_v<std::uint32_t>(f);
-  if (nweeks > remaining() / kWeekEntryBytes)
-    throw std::runtime_error("event_io: corrupt week count in " + impl_->path);
+  const auto nweeks = im.get<std::uint32_t>();
+  if (nweeks > im.remaining() / kWeekEntryBytes)
+    throw std::runtime_error("event_io: corrupt week count in " + im.path);
   ev.weekly_packets.reserve(nweeks);
   for (std::uint32_t w = 0; w < nweeks; ++w) {
-    const auto week = get_v<std::int32_t>(f);
-    const auto n = get_v<std::uint64_t>(f);
+    const auto week = im.get<std::int32_t>();
+    const auto n = im.get<std::uint64_t>();
     ev.weekly_packets.emplace_back(week, n);
   }
   ++read_;

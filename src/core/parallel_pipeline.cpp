@@ -420,7 +420,10 @@ struct Feeder {
   /// precede it) and then broadcast the tick.
   void stage(ShardList& shards, const sim::LogRecord& r, const char* who) {
     if (r.ts_us < last_ts)
-      throw std::invalid_argument(std::string(who) + ": records must be time-ordered");
+      throw std::invalid_argument(std::string(who) +
+                                  ": records must be time-ordered (got ts " +
+                                  std::to_string(r.ts_us) + " after " +
+                                  std::to_string(last_ts) + ")");
     last_ts = r.ts_us;
     ++fed;
     staged[shard_of(r.src, shard_len, shards.size())].push_back(InItem{r, false});

@@ -1,0 +1,132 @@
+#include "daemon/log_tail.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/metrics.hpp"
+
+namespace v6sonar::daemon {
+
+namespace {
+
+struct TailMetrics {
+  util::metrics::Counter records{"daemon.tail.records"};
+  util::metrics::Counter bytes{"daemon.tail.bytes"};
+  util::metrics::Counter rotations{"daemon.tail.rotations"};
+  util::metrics::Counter truncations{"daemon.tail.truncations"};
+};
+
+TailMetrics& tail_metrics() {
+  static TailMetrics m;
+  return m;
+}
+
+}  // namespace
+
+LogTailer::LogTailer(std::string path) : path_(std::move(path)) {}
+
+void LogTailer::close_current() noexcept {
+  fd_.close();
+  ino_ = dev_ = 0;
+  offset_ = 0;
+  header_ok_ = false;
+  pending_.clear();
+}
+
+bool LogTailer::ensure_open() {
+  if (fd_.get() >= 0) return true;
+  const int fd = ::open(path_.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;  // not created yet — not an error
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return false;
+  }
+  fd_ = util::UniqueFd(fd);
+  ino_ = st.st_ino;
+  dev_ = st.st_dev;
+  offset_ = 0;
+  header_ok_ = false;
+  pending_.clear();
+  return true;
+}
+
+std::size_t LogTailer::drain_fd(const RecordFn& fn) {
+  std::size_t delivered = 0;
+  std::array<std::uint8_t, 64 * 1024> buf;
+  for (;;) {
+    ssize_t got = ::pread(fd_.get(), buf.data(), buf.size(),
+                          static_cast<off_t>(offset_));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("log_tail: read failed on " + path_);
+    }
+    if (got == 0) break;
+    offset_ += static_cast<std::uint64_t>(got);
+    tail_metrics().bytes.add(static_cast<std::uint64_t>(got));
+    pending_.insert(pending_.end(), buf.data(), buf.data() + got);
+
+    std::size_t pos = 0;
+    if (!header_ok_) {
+      if (pending_.size() < sim::kLogHeaderBytes) continue;
+      std::uint64_t magic = 0;
+      std::memcpy(&magic, pending_.data(), sizeof magic);
+      if (magic != sim::kLogMagic)
+        throw std::runtime_error("log_tail: " + path_ + " is not a .v6slog file");
+      header_ok_ = true;
+      pos = sim::kLogHeaderBytes;  // count field ignored: live files say 0
+    }
+    while (pending_.size() - pos >= sim::kLogRecordBytes) {
+      fn(sim::decode_record(pending_.data() + pos));
+      pos += sim::kLogRecordBytes;
+      ++delivered;
+    }
+    if (pos > 0) pending_.erase(pending_.begin(), pending_.begin() + static_cast<long>(pos));
+  }
+  if (delivered) {
+    records_ += delivered;
+    tail_metrics().records.add(delivered);
+  }
+  return delivered;
+}
+
+std::size_t LogTailer::poll(const RecordFn& fn) {
+  if (!ensure_open()) return 0;
+
+  // Truncation: the current file shrank below what we consumed. The
+  // overwritten tail is gone; restart from the (new) header.
+  struct stat cur{};
+  if (::fstat(fd_.get(), &cur) == 0 &&
+      static_cast<std::uint64_t>(cur.st_size) < offset_) {
+    ++truncations_;
+    tail_metrics().truncations.add();
+    const int keep = fd_.release();
+    close_current();
+    fd_ = util::UniqueFd(keep);  // same file, restart at byte 0
+    ino_ = cur.st_ino;
+    dev_ = cur.st_dev;
+  }
+
+  std::size_t delivered = drain_fd(fn);
+
+  // Rotation: the path now names a different inode. The old fd was
+  // just drained to EOF above, so switching loses nothing.
+  struct stat now{};
+  if (::stat(path_.c_str(), &now) == 0 &&
+      (static_cast<std::uint64_t>(now.st_ino) != ino_ ||
+       static_cast<std::uint64_t>(now.st_dev) != dev_)) {
+    ++rotations_;
+    tail_metrics().rotations.add();
+    close_current();
+    if (ensure_open()) delivered += drain_fd(fn);
+  }
+  return delivered;
+}
+
+}  // namespace v6sonar::daemon

@@ -1,0 +1,70 @@
+// Rotation-surviving .v6slog tailer — v6sonard's file ingestion path.
+//
+// A telescope collector appends fixed 52-byte records behind the
+// 16-byte header; the daemon follows the file like `tail -F`:
+//
+//   - poll() reads whatever complete records have appeared since the
+//     last call and hands them to the caller. A partial record at EOF
+//     stays buffered until its remaining bytes arrive — appends are
+//     not assumed atomic.
+//   - Rotation (the collector renames the file away and starts a new
+//     one at the same path) is detected by inode change: the old file
+//     is drained to EOF first, then the tailer switches to the new
+//     file from its header. No records are lost or reordered.
+//   - Truncation (size shrank below our offset) restarts from the
+//     header; the overwritten tail cannot be recovered and is counted.
+//   - A path that does not exist yet is not an error — poll() simply
+//     returns 0 until the collector creates it.
+//
+// The header's record count is ignored: live files carry the
+// placeholder 0 until LogWriter::close() backpatches it. The magic is
+// verified once per file; a wrong magic throws (tailing a non-log file
+// is a configuration error, not a transient).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/log_io.hpp"
+#include "sim/record.hpp"
+#include "util/fdio.hpp"
+
+namespace v6sonar::daemon {
+
+class LogTailer {
+ public:
+  using RecordFn = std::function<void(const sim::LogRecord&)>;
+
+  explicit LogTailer(std::string path);
+
+  /// Decode every complete record currently available (draining a
+  /// rotated-away file before switching) and call `fn` for each, in
+  /// file order. Returns the number of records delivered. Never
+  /// blocks.
+  std::size_t poll(const RecordFn& fn);
+
+  [[nodiscard]] std::uint64_t records() const noexcept { return records_; }
+  [[nodiscard]] std::uint64_t rotations() const noexcept { return rotations_; }
+  [[nodiscard]] std::uint64_t truncations() const noexcept { return truncations_; }
+
+ private:
+  bool ensure_open();
+  void close_current() noexcept;
+  std::size_t drain_fd(const RecordFn& fn);
+
+  std::string path_;
+  util::UniqueFd fd_;
+  std::uint64_t ino_ = 0;
+  std::uint64_t dev_ = 0;
+  std::uint64_t offset_ = 0;   ///< bytes consumed of the current file
+  bool header_ok_ = false;     ///< magic verified for the current file
+  std::vector<std::uint8_t> pending_;  ///< partial record/header bytes
+
+  std::uint64_t records_ = 0;
+  std::uint64_t rotations_ = 0;
+  std::uint64_t truncations_ = 0;
+};
+
+}  // namespace v6sonar::daemon

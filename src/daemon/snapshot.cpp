@@ -1,0 +1,110 @@
+#include "daemon/snapshot.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "util/metrics.hpp"
+
+namespace v6sonar::daemon {
+
+namespace {
+
+struct SnapshotMetrics {
+  util::metrics::Counter publishes{"daemon.snapshot.publishes"};
+  util::metrics::Counter merges{"daemon.snapshot.merges"};
+  util::metrics::Counter events{"daemon.snapshot.events"};
+  util::metrics::Counter coalesced{"daemon.snapshot.coalesced"};
+  util::metrics::Histogram merge_us{"daemon.snapshot.merge_us"};
+};
+
+SnapshotMetrics& snap_metrics() {
+  static SnapshotMetrics m;
+  return m;
+}
+
+}  // namespace
+
+void ShardSnapshotSlot::publish(analysis::ReportBundle&& delta, std::uint64_t events) {
+  std::lock_guard lock(mu_);
+  if (pending_) {
+    // Server hasn't taken the previous delta: coalesce. Same-shard
+    // deltas merge in publication order, preserving the per-shard
+    // stream order the Analyzer merge contract needs.
+    pending_->merge(std::move(delta));
+    pending_events_ += events;
+    snap_metrics().coalesced.add();
+  } else {
+    pending_.emplace(std::move(delta));
+    pending_events_ = events;
+  }
+  snap_metrics().publishes.add();
+}
+
+std::optional<analysis::ReportBundle> ShardSnapshotSlot::take(std::uint64_t& events_out) {
+  std::lock_guard lock(mu_);
+  events_out = pending_events_;
+  pending_events_ = 0;
+  auto out = std::move(pending_);
+  pending_.reset();
+  return out;
+}
+
+SnapshotPublisher::SnapshotPublisher(ShardSnapshotSlot& slot, std::size_t publish_every,
+                                     std::size_t top)
+    : slot_(&slot),
+      publish_every_(publish_every == 0 ? 1 : publish_every),
+      top_(top),
+      delta_(top) {}
+
+void SnapshotPublisher::on_event(core::ScanEvent&& ev) {
+  delta_.observe(ev);
+  if (++delta_events_ >= publish_every_) publish();
+}
+
+void SnapshotPublisher::flush() {
+  if (delta_events_ > 0) publish();
+}
+
+void SnapshotPublisher::publish() {
+  analysis::ReportBundle fresh(top_);
+  std::swap(fresh, delta_);
+  slot_->publish(std::move(fresh), delta_events_);
+  delta_events_ = 0;
+}
+
+SnapshotHub::SnapshotHub(std::size_t shards, std::size_t top) : top_(top), master_(top) {
+  slots_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i)
+    slots_.push_back(std::make_unique<ShardSnapshotSlot>(top));
+}
+
+ShardSnapshotSlot& SnapshotHub::add_slot() {
+  slots_.push_back(std::make_unique<ShardSnapshotSlot>(top_));
+  return *slots_.back();
+}
+
+std::uint64_t SnapshotHub::drain() {
+  std::uint64_t folded = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto& slot : slots_) {
+    std::uint64_t events = 0;
+    if (auto delta = slot->take(events)) {
+      // Cross-shard merge order is free: per-source state never spans
+      // shards (records shard by aggregated source).
+      master_.merge(std::move(*delta));
+      folded += events;
+      snap_metrics().merges.add();
+    }
+  }
+  if (folded) {
+    events_folded_ += folded;
+    snap_metrics().events.add(folded);
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    snap_metrics().merge_us.observe(static_cast<std::uint64_t>(us));
+  }
+  return folded;
+}
+
+}  // namespace v6sonar::daemon

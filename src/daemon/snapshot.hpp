@@ -1,0 +1,112 @@
+// The daemon's snapshot/read seam between ingestion and queries.
+//
+// Queries must see in-flight analyzer state without ever stalling the
+// detection hot path, and the hot path must never block on a reader.
+// The seam is built from the Analyzer merge contract (PR 6): each
+// pipeline shard folds its finalized events into a *private* delta
+// ReportBundle on its worker thread, and every `publish_every` events
+// moves that delta into a per-shard mailbox (one mutex'd slot; the
+// only cross-thread touch, held for a pointer swap). The server thread
+// drains the mailboxes on demand and merges the deltas into the master
+// bundle queries render from.
+//
+//   worker:  observe .. observe   publish(move delta)   observe ..
+//                                     |  (slot mutex, O(1))
+//   server:          drain() -> master.merge(delta) .. render
+//
+// Freshness: a query reflects every event published before the drain;
+// at most `publish_every - 1` events per shard (plus whatever the
+// detector still holds as in-flight scans) are not yet visible.
+// Correctness: per-source state is disjoint across shards and each
+// shard's deltas are merged in publication order, so the merged master
+// equals a serial fold of the same events — the snapshot-seam test
+// asserts exactly this, and render_report makes the rendered bytes
+// independent of merge interleaving.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "analysis/report_render.hpp"
+#include "core/event_sink.hpp"
+
+namespace v6sonar::daemon {
+
+/// One shard's mailbox: worker publishes, server takes. If the server
+/// is slow, consecutive deltas merge in place — the slot never grows.
+class ShardSnapshotSlot {
+ public:
+  explicit ShardSnapshotSlot(std::size_t top) : top_(top) {}
+
+  /// Worker side: move `delta` into the slot (merging with a pending
+  /// one the server has not taken yet).
+  void publish(analysis::ReportBundle&& delta, std::uint64_t events);
+
+  /// Server side: take the pending delta, if any. Returns events
+  /// folded into it via the out-param.
+  std::optional<analysis::ReportBundle> take(std::uint64_t& events_out);
+
+ private:
+  std::size_t top_;
+  std::mutex mu_;
+  std::optional<analysis::ReportBundle> pending_;
+  std::uint64_t pending_events_ = 0;
+};
+
+/// Per-shard EventSink half of the seam: folds events into a private
+/// delta and publishes it every `publish_every` events. flush()
+/// publishes the remainder — the daemon calls it during drain, after
+/// the pipeline has joined its workers.
+class SnapshotPublisher final : public core::EventSink {
+ public:
+  SnapshotPublisher(ShardSnapshotSlot& slot, std::size_t publish_every, std::size_t top);
+
+  void on_event(core::ScanEvent&& ev) override;
+  void flush() override;
+
+ private:
+  void publish();
+
+  ShardSnapshotSlot* slot_;
+  std::size_t publish_every_;
+  std::size_t top_;
+  analysis::ReportBundle delta_;
+  std::uint64_t delta_events_ = 0;
+};
+
+/// The server-side rendezvous: owns every shard's slot and the master
+/// bundle. Single-threaded (server thread) apart from the slots.
+class SnapshotHub {
+ public:
+  SnapshotHub(std::size_t shards, std::size_t top);
+
+  /// Append one more shard slot (factory-time registration: the
+  /// pipeline's sink factory calls this once per shard, on the
+  /// constructing thread, before any worker starts).
+  ShardSnapshotSlot& add_slot();
+
+  [[nodiscard]] ShardSnapshotSlot& slot(std::size_t shard) { return *slots_[shard]; }
+  [[nodiscard]] std::size_t shards() const noexcept { return slots_.size(); }
+
+  /// Pull every pending delta into the master bundle. Returns the
+  /// number of events newly folded.
+  std::uint64_t drain();
+
+  /// State queries render from. Reflects everything drained so far.
+  [[nodiscard]] const analysis::ReportBundle& master() const noexcept { return master_; }
+
+  /// Events folded into master over the hub's lifetime.
+  [[nodiscard]] std::uint64_t events_folded() const noexcept { return events_folded_; }
+
+ private:
+  std::size_t top_;
+  std::vector<std::unique_ptr<ShardSnapshotSlot>> slots_;
+  analysis::ReportBundle master_;
+  std::uint64_t events_folded_ = 0;
+};
+
+}  // namespace v6sonar::daemon

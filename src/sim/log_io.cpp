@@ -14,6 +14,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "util/fdio.hpp"
 #include "util/metrics.hpp"
 
 namespace v6sonar::sim {
@@ -137,6 +138,10 @@ std::uint64_t validate_header(const std::string& path, const std::uint8_t* heade
 
 }  // namespace
 
+void encode_record(const LogRecord& r, std::uint8_t* out) noexcept { pack(r, out); }
+
+LogRecord decode_record(const std::uint8_t* p) noexcept { return decode(p); }
+
 struct LogWriter::Impl {
   explicit Impl(const std::string& path) : file(path, "wb") {
     std::setvbuf(file.f, nullptr, _IOFBF, 1 << 20);
@@ -169,12 +174,17 @@ void LogWriter::write(const LogRecord& r) {
 
 void LogWriter::close() {
   if (!impl_) return;
+  auto impl = std::move(impl_);  // closed even if the finalize throws
   std::uint8_t count[8];
   for (int i = 0; i < 8; ++i) count[i] = static_cast<std::uint8_t>(count_ >> (8 * i));
-  if (std::fseek(impl_->file.f, 8, SEEK_SET) != 0 ||
-      std::fwrite(count, 1, 8, impl_->file.f) != 8)
+  // Same durability contract as EventWriter::close: the backpatched
+  // header must reach stable storage before close() reports success.
+  if (std::fseek(impl->file.f, 8, SEEK_SET) != 0 ||
+      std::fwrite(count, 1, 8, impl->file.f) != 8 || !util::flush_to_disk(impl->file.f))
     throw std::runtime_error("log_io: header finalize failed");
-  impl_.reset();
+  std::FILE* f = impl->file.f;
+  impl->file.f = nullptr;  // File dtor must not double-close
+  if (std::fclose(f) != 0) throw std::runtime_error("log_io: close failed");
 }
 
 struct LogReader::Impl {

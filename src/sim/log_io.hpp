@@ -37,6 +37,15 @@ inline constexpr std::size_t kLogRecordBytes = 52;
 /// File header: magic + record count.
 inline constexpr std::size_t kLogHeaderBytes = 16;
 
+/// Serialize one record into a kLogRecordBytes buffer (the fixed
+/// little-endian wire layout shared by the log files and the daemon's
+/// socket-ingest frames).
+void encode_record(const LogRecord& r, std::uint8_t* out) noexcept;
+
+/// Decode one record from a kLogRecordBytes buffer. The layout has no
+/// invalid encodings, so this cannot fail.
+[[nodiscard]] LogRecord decode_record(const std::uint8_t* p) noexcept;
+
 /// Streaming writer. Throws std::runtime_error on I/O errors.
 class LogWriter {
  public:

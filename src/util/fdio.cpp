@@ -1,0 +1,50 @@
+#include "util/fdio.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace v6sonar::util {
+
+void UniqueFd::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool set_nonblocking(int fd, bool on) noexcept {
+  const int flags = ::fcntl(fd, F_GETFL);
+  if (flags < 0) return false;
+  const int next = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, next) == 0;
+}
+
+bool flush_to_disk(std::FILE* f) noexcept {
+  if (std::fflush(f) != 0) return false;
+  return sync_fd(::fileno(f));
+}
+
+bool sync_fd(int fd) noexcept {
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  return rc == 0;
+}
+
+bool write_fully(int fd, const void* data, std::size_t n) noexcept {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t got = ::write(fd, p, n);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+}  // namespace v6sonar::util

@@ -1,0 +1,79 @@
+#include "util/signal_drain.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+
+namespace v6sonar::util {
+
+namespace {
+
+// All state the handler touches is async-signal-safe: two atomics and
+// a write() on a pre-opened pipe fd.
+std::atomic<int> g_signal{0};
+std::atomic<bool> g_installed{false};
+int g_wake_pipe[2] = {-1, -1};
+
+void drain_handler(int signo) {
+  int expected = 0;
+  if (!g_signal.compare_exchange_strong(expected, signo)) {
+    // Second drain signal: the cooperative path is wedged (or the
+    // operator is impatient). _exit is async-signal-safe; 128+signo is
+    // the shell convention for death-by-signal.
+    _exit(128 + signo);
+  }
+  if (g_wake_pipe[1] >= 0) {
+    const char byte = 1;
+    // Best effort: a full pipe still leaves the fd readable.
+    [[maybe_unused]] const auto ignored = ::write(g_wake_pipe[1], &byte, 1);
+  }
+}
+
+}  // namespace
+
+void ShutdownSignal::install() {
+  bool expected = false;
+  if (!g_installed.compare_exchange_strong(expected, true)) return;
+  if (::pipe(g_wake_pipe) == 0) {
+    for (const int fd : g_wake_pipe) {
+      ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+      ::fcntl(fd, F_SETFL, O_NONBLOCK);
+    }
+  }
+  struct sigaction sa = {};
+  sa.sa_handler = drain_handler;
+  sigemptyset(&sa.sa_mask);
+  // No SA_RESTART: a drain signal should interrupt blocking reads so
+  // tailing/serving loops notice promptly instead of after the next
+  // record arrives.
+  sa.sa_flags = 0;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool ShutdownSignal::requested() noexcept {
+  return g_signal.load(std::memory_order_relaxed) != 0;
+}
+
+int ShutdownSignal::signal() noexcept { return g_signal.load(std::memory_order_relaxed); }
+
+int ShutdownSignal::exit_code() noexcept {
+  const int s = signal();
+  return s == 0 ? 0 : 128 + s;
+}
+
+int ShutdownSignal::wake_fd() noexcept { return g_wake_pipe[0]; }
+
+void ShutdownSignal::reset() noexcept {
+  g_signal.store(0, std::memory_order_relaxed);
+  if (g_wake_pipe[0] >= 0) {
+    char buf[64];
+    while (::read(g_wake_pipe[0], buf, sizeof buf) > 0) {
+    }
+  }
+}
+
+}  // namespace v6sonar::util

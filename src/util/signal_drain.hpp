@@ -1,0 +1,52 @@
+// Graceful-drain signal handling, shared by the batch CLI and the
+// v6sonard daemon.
+//
+// Before this existed, a Ctrl-C during a multi-hour replay killed the
+// process mid-write: --metrics output was lost entirely and an
+// --events spill was left with a zero-count header (the backpatch in
+// EventWriter::close never ran). ShutdownSignal turns SIGINT/SIGTERM
+// into a cooperative drain request instead: the handler records which
+// signal arrived and writes one byte to a self-pipe, and the
+// long-running loops check requested() between batches (the CLI) or
+// poll() on wake_fd() (the daemon) and run their normal finalize path.
+//
+// A second SIGINT/SIGTERM while a drain is pending force-exits with
+// the conventional 128+signo code — the escape hatch when the drain
+// itself wedges. exit_code() returns that same 128+signo value for the
+// cooperative path, so "interrupted but finalized" and "force-killed"
+// are distinguishable only by whether the output files were finalized
+// (they are, on the cooperative path). See README "Interrupting long
+// runs" for the exit-code contract.
+#pragma once
+
+namespace v6sonar::util {
+
+class ShutdownSignal {
+ public:
+  /// Install SIGINT + SIGTERM handlers (idempotent). Must be called
+  /// before any thread that should observe requested() starts.
+  static void install();
+
+  /// True once a drain signal has been delivered.
+  [[nodiscard]] static bool requested() noexcept;
+
+  /// The signal that triggered the drain (SIGINT/SIGTERM), 0 if none.
+  [[nodiscard]] static int signal() noexcept;
+
+  /// Conventional exit code for an interrupted-but-drained run:
+  /// 128 + signo (130 for SIGINT, 143 for SIGTERM); 0 if no signal.
+  [[nodiscard]] static int exit_code() noexcept;
+
+  /// Read end of the self-pipe: becomes readable when a drain signal
+  /// arrives, so event loops can poll() on it instead of busy-checking
+  /// requested(). Never drained by this class; readers may consume the
+  /// bytes or just use readability as a level trigger. -1 before
+  /// install().
+  [[nodiscard]] static int wake_fd() noexcept;
+
+  /// Clear the pending-signal state (tests only; handlers stay
+  /// installed).
+  static void reset() noexcept;
+};
+
+}  // namespace v6sonar::util

@@ -1,6 +1,8 @@
 // Tests for scan-event binary serialization (core/event_io).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <filesystem>
 
 #include "core/event_io.hpp"
@@ -12,7 +14,10 @@ namespace {
 class EventIoTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "v6sonar_eventio_test";
+    // Per-process dir: ctest runs each test as its own process, and a
+    // shared dir would let one test's TearDown delete another's file.
+    dir_ = std::filesystem::temp_directory_path() /
+           ("v6sonar_eventio_test_" + std::to_string(::getpid()));
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }
@@ -175,6 +180,45 @@ TEST_F(EventIoTest, OverclaimedHeaderCountRejectedAtOpen) {
   }
   EXPECT_THROW((void)read_events(p), std::runtime_error);
   EXPECT_THROW((void)EventReader(p), std::runtime_error);
+}
+
+TEST_F(EventIoTest, IoErrorIsDistinguishedFromCorruption) {
+  // Regression: a failing read used to be reported with the same
+  // message as a short file, so a flaky disk looked like data
+  // corruption. Reading a *directory* is the portable way to make
+  // fread fail with ferror set (EISDIR on Linux) while fopen succeeds.
+  const auto d = dir_ / "actually_a_directory";
+  std::filesystem::create_directories(d);
+  try {
+    EventReader reader(d.string());
+    FAIL() << "opened a directory as an event file";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("I/O error"), std::string::npos) << msg;
+    EXPECT_EQ(msg.find("truncated"), std::string::npos) << msg;
+  }
+}
+
+TEST_F(EventIoTest, TruncationMessageNamesTruncationNotIoError) {
+  // The flip side of the regression above: running out of file is
+  // truncation, and must not claim an I/O error. The last event gets
+  // empty port/week lists so the 2-byte cut lands inside a list-count
+  // field — a short *read*, not a list length that fails the
+  // fits-in-file check (which reports "corrupt ... count" instead).
+  const auto p = path("shortmsg.v6ev");
+  auto events = random_events(23, 8);
+  events.back().port_packets.clear();
+  events.back().weekly_packets.clear();
+  write_events(p, events);
+  std::filesystem::resize_file(p, std::filesystem::file_size(p) - 2);
+  try {
+    (void)read_events(p);
+    FAIL() << "truncated file accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("truncated"), std::string::npos) << msg;
+    EXPECT_EQ(msg.find("I/O error"), std::string::npos) << msg;
+  }
 }
 
 TEST_F(EventIoTest, RejectsGarbageAndTruncation) {

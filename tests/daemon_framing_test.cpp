@@ -1,0 +1,205 @@
+// Tests for the daemon wire framing (daemon/framing) — the corruption
+// battery mirrors core_event_io_test: well-formed frames round-trip
+// through any stream split, and input that can never become a valid
+// frame is rejected without taking the decoder (or the daemon) down.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "daemon/framing.hpp"
+
+namespace v6sonar::daemon {
+namespace {
+
+Frame make_frame(std::uint8_t verb, std::uint16_t seq, std::string payload) {
+  Frame f;
+  f.verb = verb;
+  f.status = 0;
+  f.seq = seq;
+  f.payload = std::move(payload);
+  return f;
+}
+
+/// Raw 8-byte header with an arbitrary length prefix — for crafting
+/// input encode_frame refuses to produce.
+std::string raw_header(std::uint32_t len, std::uint8_t verb = 1, std::uint8_t status = 0,
+                       std::uint16_t seq = 0) {
+  std::string out;
+  out.push_back(static_cast<char>(len & 0xFF));
+  out.push_back(static_cast<char>((len >> 8) & 0xFF));
+  out.push_back(static_cast<char>((len >> 16) & 0xFF));
+  out.push_back(static_cast<char>((len >> 24) & 0xFF));
+  out.push_back(static_cast<char>(verb));
+  out.push_back(static_cast<char>(status));
+  out.push_back(static_cast<char>(seq & 0xFF));
+  out.push_back(static_cast<char>(seq >> 8));
+  return out;
+}
+
+TEST(Framing, RoundTripPreservesEverything) {
+  Frame in = make_frame(3, 0xBEEF, "top-sources payload \x00\x01\x02");
+  in.status = 0x80;
+  const std::string wire = encode_frame(in);
+  ASSERT_EQ(wire.size(), kFrameHeaderBytes + in.payload.size());
+
+  FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  Frame out;
+  ASSERT_EQ(dec.next(out), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(out, in);
+  EXPECT_EQ(dec.buffered(), 0u);
+  EXPECT_EQ(dec.next(out), FrameDecoder::Result::kNeedMore);
+}
+
+TEST(Framing, EmptyPayloadRoundTrips) {
+  const std::string wire = encode_frame(make_frame(1, 7, ""));
+  EXPECT_EQ(wire.size(), kFrameHeaderBytes);
+  FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  Frame out;
+  ASSERT_EQ(dec.next(out), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(out.verb, 1);
+  EXPECT_EQ(out.seq, 7);
+  EXPECT_TRUE(out.payload.empty());
+}
+
+TEST(Framing, ByteAtATimeFeedProducesTheSameFrame) {
+  const Frame in = make_frame(9, 4242, "subscription event line\n");
+  const std::string wire = encode_frame(in);
+  FrameDecoder dec;
+  Frame out;
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    dec.feed(wire.data() + i, 1);
+    EXPECT_EQ(dec.next(out), FrameDecoder::Result::kNeedMore) << "byte " << i;
+  }
+  dec.feed(wire.data() + wire.size() - 1, 1);
+  ASSERT_EQ(dec.next(out), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(out, in);
+}
+
+TEST(Framing, SplitMidHeaderAndMidPayload) {
+  const Frame in = make_frame(2, 1, std::string(1000, 'x'));
+  const std::string wire = encode_frame(in);
+  // Every split point, including inside the 8-byte header.
+  for (const std::size_t cut : {std::size_t{1}, std::size_t{4}, std::size_t{7},
+                                std::size_t{8}, std::size_t{9}, wire.size() - 1}) {
+    FrameDecoder dec;
+    Frame out;
+    dec.feed(wire.data(), cut);
+    EXPECT_EQ(dec.next(out), FrameDecoder::Result::kNeedMore) << "cut " << cut;
+    dec.feed(wire.data() + cut, wire.size() - cut);
+    ASSERT_EQ(dec.next(out), FrameDecoder::Result::kFrame) << "cut " << cut;
+    EXPECT_EQ(out, in);
+  }
+}
+
+TEST(Framing, MultipleFramesInOneFeed) {
+  std::string wire;
+  std::vector<Frame> in;
+  for (std::uint16_t i = 0; i < 5; ++i) {
+    in.push_back(make_frame(static_cast<std::uint8_t>(i + 1), i, std::string(i * 3, 'a')));
+    wire += encode_frame(in.back());
+  }
+  FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  Frame out;
+  for (const auto& expect : in) {
+    ASSERT_EQ(dec.next(out), FrameDecoder::Result::kFrame);
+    EXPECT_EQ(out, expect);
+  }
+  EXPECT_EQ(dec.next(out), FrameDecoder::Result::kNeedMore);
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(Framing, TruncatedFrameStaysPending) {
+  // Header claims 10 payload bytes; only 4 ever arrive. The decoder
+  // must keep waiting (a stalled client is the timeout path's job to
+  // kill), never produce a short frame.
+  const std::string wire = raw_header(10) + "abcd";
+  FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  Frame out;
+  EXPECT_EQ(dec.next(out), FrameDecoder::Result::kNeedMore);
+  EXPECT_EQ(dec.buffered(), wire.size());
+}
+
+TEST(Framing, OversizedLengthPrefixIsStickyMalformed) {
+  const std::string wire = raw_header(kMaxPayload + 1);
+  FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  Frame out;
+  ASSERT_EQ(dec.next(out), FrameDecoder::Result::kMalformed);
+  EXPECT_FALSE(dec.error().empty());
+  // Sticky: even a subsequent well-formed frame cannot resynchronize
+  // the stream — the connection must be dropped.
+  const std::string good = encode_frame(make_frame(1, 0, "ping"));
+  dec.feed(good.data(), good.size());
+  EXPECT_EQ(dec.next(out), FrameDecoder::Result::kMalformed);
+}
+
+TEST(Framing, GarbageLengthPrefixIsMalformed) {
+  // 0xFFFFFFFF — the classic "read text into a binary port" symptom.
+  const std::string wire = raw_header(0xFFFFFFFFu);
+  FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  Frame out;
+  EXPECT_EQ(dec.next(out), FrameDecoder::Result::kMalformed);
+}
+
+TEST(Framing, MaxPayloadBoundaryIsAccepted) {
+  const Frame in = make_frame(10, 3, std::string(kMaxPayload, 'r'));
+  const std::string wire = encode_frame(in);
+  FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  Frame out;
+  ASSERT_EQ(dec.next(out), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(out.payload.size(), kMaxPayload);
+}
+
+TEST(Framing, EncodeRejectsOversizedPayload) {
+  Frame f = make_frame(3, 0, "");
+  f.payload.assign(kMaxPayload + 1, 'x');
+  EXPECT_THROW((void)encode_frame(f), std::length_error);
+}
+
+TEST(Framing, UnknownVerbStillFramesCleanly) {
+  // Verb validation is the server's job, not the framing layer's: a
+  // garbage verb must decode into a frame (so the server can answer
+  // with a kError response) rather than poison the stream.
+  const std::string wire = raw_header(0, /*verb=*/0xEE);
+  FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  Frame out;
+  ASSERT_EQ(dec.next(out), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(out.verb, 0xEE);
+}
+
+TEST(Framing, LongStreamInterleavedFeedAndDecode) {
+  // Exercise buffer compaction: many mid-sized frames fed in chunks
+  // while frames are drained between feeds.
+  std::string wire;
+  std::vector<Frame> in;
+  for (std::uint16_t i = 0; i < 64; ++i) {
+    in.push_back(make_frame(5, i, std::string(16 * 1024 + i, static_cast<char>('A' + i % 26))));
+    wire += encode_frame(in.back());
+  }
+  FrameDecoder dec;
+  std::vector<Frame> out;
+  std::size_t fed = 0;
+  const std::size_t chunk = 40'000;
+  while (fed < wire.size()) {
+    const std::size_t n = std::min(chunk, wire.size() - fed);
+    dec.feed(wire.data() + fed, n);
+    fed += n;
+    Frame f;
+    while (dec.next(f) == FrameDecoder::Result::kFrame) out.push_back(std::move(f));
+  }
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) EXPECT_EQ(out[i], in[i]) << i;
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+}  // namespace
+}  // namespace v6sonar::daemon

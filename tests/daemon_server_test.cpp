@@ -1,0 +1,512 @@
+// End-to-end tests for the v6sonard daemon (daemon/server): real
+// Unix-domain socket, real wire frames, the full verb set, the
+// snapshot seam's byte-identity against a serial fold, malformed-input
+// isolation, and the graceful drain with a finalized spill.
+#include <gtest/gtest.h>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/report_render.hpp"
+#include "core/detector.hpp"
+#include "core/event_io.hpp"
+#include "daemon/framing.hpp"
+#include "daemon/protocol.hpp"
+#include "daemon/server.hpp"
+#include "sim/log_io.hpp"
+#include "util/signal_drain.hpp"
+
+namespace v6sonar::daemon {
+namespace {
+
+using core::ScanEvent;
+using sim::LogRecord;
+using namespace std::chrono_literals;
+
+constexpr sim::TimeUs kSec = 1'000'000;
+
+LogRecord probe(sim::TimeUs ts, std::uint64_t src_hi_lo, std::uint64_t dst_lo,
+                std::uint16_t port = 443) {
+  LogRecord r;
+  r.ts_us = ts;
+  // Distinct hi bits => distinct /64 aggregates => sources spread
+  // across pipeline shards.
+  r.src = net::Ipv6Address{0x2A10'0000'0000'0000ULL + src_hi_lo, 1};
+  r.dst = net::Ipv6Address{0x2600'0000'0000'0000ULL, dst_lo};
+  r.dst_port = port;
+  r.src_asn = static_cast<std::uint32_t>(7 + src_hi_lo % 3);
+  return r;
+}
+
+/// The shared workload: 4 scanning sources x 6 destinations (min_dsts
+/// 5), then a sentinel probe far past the timeout so every scan
+/// finalizes deterministically inside the live daemon — the sentinel's
+/// own source sends one packet and never becomes an event.
+std::vector<LogRecord> workload() {
+  std::vector<LogRecord> recs;
+  sim::TimeUs ts = 1'000 * kSec;
+  for (std::uint64_t d = 0; d < 6; ++d)
+    for (std::uint64_t s = 0; s < 4; ++s)
+      recs.push_back(probe(ts += kSec, s, d, static_cast<std::uint16_t>(443 + s)));
+  recs.push_back(probe(ts + 200 * kSec, 0x9999, 0));  // sentinel
+  return recs;
+}
+
+core::DetectorConfig test_detector() {
+  return {.source_prefix_len = 64, .min_destinations = 5, .timeout_us = 60 * kSec};
+}
+
+/// Serial reference: one ScanDetector fold over the same records.
+struct SerialFold {
+  analysis::ReportBundle bundle{10};
+  std::vector<ScanEvent> events;
+};
+
+SerialFold serial_fold(const std::vector<LogRecord>& recs) {
+  SerialFold out;
+  core::ScanDetector det(test_detector(), [&](ScanEvent&& ev) {
+    out.bundle.observe(ev);
+    out.events.push_back(std::move(ev));
+  });
+  for (const auto& r : recs) det.feed(r);
+  det.flush();
+  return out;
+}
+
+std::string encode_records(const std::vector<LogRecord>& recs) {
+  std::string out(recs.size() * sim::kLogRecordBytes, '\0');
+  auto* p = reinterpret_cast<std::uint8_t*>(out.data());
+  for (const auto& r : recs) {
+    sim::encode_record(r, p);
+    p += sim::kLogRecordBytes;
+  }
+  return out;
+}
+
+/// Blocking test-side client speaking the wire protocol.
+struct TestClient {
+  int fd = -1;
+  FrameDecoder dec;
+
+  explicit TestClient(const std::string& path) {
+    const auto deadline = std::chrono::steady_clock::now() + 5s;
+    while (std::chrono::steady_clock::now() < deadline) {
+      const int s = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+      if (::connect(s, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0) {
+        fd = s;
+        return;
+      }
+      ::close(s);
+      std::this_thread::sleep_for(10ms);
+    }
+  }
+  ~TestClient() { close(); }
+  void close() {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+
+  void send_raw(const std::string& bytes) const {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  void request(Verb verb, std::uint16_t seq, std::string payload = "") const {
+    Frame f;
+    f.verb = static_cast<std::uint8_t>(verb);
+    f.status = static_cast<std::uint8_t>(Status::kRequest);
+    f.seq = seq;
+    f.payload = std::move(payload);
+    send_raw(encode_frame(f));
+  }
+
+  /// Read one frame; false on timeout or peer close.
+  bool read_frame(Frame& out, int timeout_ms = 10'000) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      if (dec.next(out) == FrameDecoder::Result::kFrame) return true;
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) return false;
+      pollfd p{fd, POLLIN, 0};
+      if (::poll(&p, 1, static_cast<int>(std::min<long long>(left.count(), 250))) <= 0)
+        continue;
+      char buf[16 * 1024];
+      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      if (n <= 0) return false;  // closed (or reset) by the daemon
+      dec.feed(buf, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// Request/response helper; fails the test on timeout.
+  Frame roundtrip(Verb verb, std::uint16_t seq, std::string payload = "") {
+    request(verb, seq, std::move(payload));
+    Frame resp;
+    EXPECT_TRUE(read_frame(resp)) << "no response to " << verb_name(verb);
+    return resp;
+  }
+
+  /// True once the daemon has closed this connection.
+  bool wait_closed(int timeout_ms = 5'000) const {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      pollfd p{fd, POLLIN, 0};
+      if (::poll(&p, 1, 100) > 0) {
+        char buf[4096];
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n <= 0) return true;
+      }
+    }
+    return false;
+  }
+};
+
+std::optional<unsigned long long> status_value(const std::string& text,
+                                               const std::string& key) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string line = text.substr(pos, eol - pos);
+    if (line.size() > key.size() + 1 && line.compare(0, key.size(), key) == 0 &&
+        line[key.size()] == ' ')
+      return std::stoull(line.substr(key.size() + 1));
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+  return std::nullopt;
+}
+
+/// Daemon on a background thread; joined (via request_stop) at scope
+/// exit so a failing test can't leak the server.
+struct RunningDaemon {
+  Daemon d;
+  std::thread t;
+  int rc = -1;
+  bool joined = false;
+
+  explicit RunningDaemon(DaemonOptions opts) : d(std::move(opts)) {
+    t = std::thread([this] {
+      try {
+        rc = d.run();
+      } catch (...) {
+        rc = -2;
+      }
+    });
+  }
+  int stop_and_join() {
+    if (!joined) {
+      d.request_stop();
+      t.join();
+      joined = true;
+    }
+    return rc;
+  }
+  ~RunningDaemon() { stop_and_join(); }
+};
+
+class DaemonServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::ShutdownSignal::install();
+    util::ShutdownSignal::reset();
+    // Per-process dir: concurrent ctest processes must not remove_all
+    // each other's sockets. Keep the socket name short — sun_path
+    // holds at most ~107 bytes.
+    dir_ = std::filesystem::temp_directory_path() /
+           ("v6sonar_daemon_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+    sock_ = (dir_ / "d.sock").string();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] DaemonOptions options() const {
+    DaemonOptions o;
+    o.socket_path = sock_;
+    o.detector = test_detector();
+    o.threads = 2;
+    o.ring_capacity = 64;
+    o.top = 10;
+    o.snapshot_every = 1;
+    o.poll_interval_ms = 10;
+    return o;
+  }
+
+  /// Poll status until events_folded reaches `n` (kStatus drains the
+  /// hub first, so this is an exact rendezvous with the publishers).
+  static bool wait_folded(TestClient& c, unsigned long long n, int timeout_ms = 10'000) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    std::uint16_t seq = 1000;
+    while (std::chrono::steady_clock::now() < deadline) {
+      Frame resp = c.roundtrip(Verb::kStatus, seq++);
+      const auto folded = status_value(resp.payload, "events_folded");
+      if (folded && *folded >= n) return true;
+      std::this_thread::sleep_for(20ms);
+    }
+    return false;
+  }
+
+  std::filesystem::path dir_;
+  std::string sock_;
+};
+
+TEST_F(DaemonServerTest, PingEchoesPayloadAndSeq) {
+  RunningDaemon rd(options());
+  TestClient c(sock_);
+  ASSERT_GE(c.fd, 0);
+  const Frame resp = c.roundtrip(Verb::kPing, 0xABCD, "are you there");
+  EXPECT_EQ(resp.verb, static_cast<std::uint8_t>(Verb::kPing));
+  EXPECT_EQ(resp.status, static_cast<std::uint8_t>(Status::kOk));
+  EXPECT_EQ(resp.seq, 0xABCD);
+  EXPECT_EQ(resp.payload, "are you there");
+  EXPECT_EQ(rd.stop_and_join(), 0);
+}
+
+TEST_F(DaemonServerTest, StatusReportsLiveState) {
+  RunningDaemon rd(options());
+  TestClient c(sock_);
+  ASSERT_GE(c.fd, 0);
+  Frame resp = c.roundtrip(Verb::kStatus, 1);
+  ASSERT_EQ(resp.status, static_cast<std::uint8_t>(Status::kOk));
+  EXPECT_TRUE(status_value(resp.payload, "ingested_records").has_value()) << resp.payload;
+  EXPECT_EQ(status_value(resp.payload, "events_folded"), 0u);
+  EXPECT_EQ(status_value(resp.payload, "snapshot_shards"), 2u);
+  EXPECT_EQ(status_value(resp.payload, "clients"), 1u);
+  EXPECT_EQ(status_value(resp.payload, "draining"), 0u);
+
+  const auto recs = workload();
+  resp = c.roundtrip(Verb::kIngest, 2, encode_records(recs));
+  ASSERT_EQ(resp.status, static_cast<std::uint8_t>(Status::kOk));
+  EXPECT_EQ(resp.payload, std::to_string(recs.size()) + "\n");
+  ASSERT_TRUE(wait_folded(c, 4));
+  resp = c.roundtrip(Verb::kStatus, 3);
+  EXPECT_EQ(status_value(resp.payload, "ingested_records"), recs.size());
+  EXPECT_EQ(rd.stop_and_join(), 0);
+}
+
+TEST_F(DaemonServerTest, QueriesMatchSerialFoldByteForByte) {
+  // The tentpole acceptance: a live daemon's report over in-flight
+  // snapshot state is byte-identical to one serial fold of the same
+  // records — readers never see merge-order artifacts.
+  const auto recs = workload();
+  const SerialFold serial = serial_fold(recs);
+  ASSERT_EQ(serial.events.size(), 4u) << "workload must finalize 4 scans";
+
+  RunningDaemon rd(options());
+  TestClient c(sock_);
+  ASSERT_GE(c.fd, 0);
+  Frame resp = c.roundtrip(Verb::kIngest, 1, encode_records(recs));
+  ASSERT_EQ(resp.status, static_cast<std::uint8_t>(Status::kOk));
+  ASSERT_TRUE(wait_folded(c, serial.events.size()));
+
+  resp = c.roundtrip(Verb::kReport, 2);
+  ASSERT_EQ(resp.status, static_cast<std::uint8_t>(Status::kOk));
+  EXPECT_EQ(resp.payload, analysis::render_report(serial.bundle, 10));
+
+  // Report verbs accept an ASCII row count as payload.
+  resp = c.roundtrip(Verb::kReport, 3, "2");
+  EXPECT_EQ(resp.payload, analysis::render_report(serial.bundle, 2));
+
+  resp = c.roundtrip(Verb::kTopSources, 4);
+  EXPECT_EQ(resp.payload, analysis::render_top_sources(serial.bundle, 10));
+  resp = c.roundtrip(Verb::kTopPorts, 5);
+  EXPECT_EQ(resp.payload, analysis::render_top_ports(serial.bundle));
+  resp = c.roundtrip(Verb::kAsReport, 6);
+  EXPECT_EQ(resp.payload, analysis::render_as_report(serial.bundle, 10));
+
+  resp = c.roundtrip(Verb::kBlocklist, 7);
+  EXPECT_EQ(resp.status, static_cast<std::uint8_t>(Status::kOk));
+  EXPECT_FALSE(resp.payload.empty());
+  resp = c.roundtrip(Verb::kMetrics, 8);
+  EXPECT_EQ(resp.status, static_cast<std::uint8_t>(Status::kOk));
+  EXPECT_EQ(rd.stop_and_join(), 0);
+}
+
+TEST_F(DaemonServerTest, SubscriberReceivesEveryEvent) {
+  const auto recs = workload();
+  const SerialFold serial = serial_fold(recs);
+
+  RunningDaemon rd(options());
+  TestClient sub(sock_);
+  ASSERT_GE(sub.fd, 0);
+  Frame resp = sub.roundtrip(Verb::kSubscribe, 1);
+  ASSERT_EQ(resp.status, static_cast<std::uint8_t>(Status::kOk));
+
+  TestClient feeder(sock_);
+  ASSERT_GE(feeder.fd, 0);
+  resp = feeder.roundtrip(Verb::kIngest, 2, encode_records(recs));
+  ASSERT_EQ(resp.status, static_cast<std::uint8_t>(Status::kOk));
+
+  std::vector<std::string> pushed;
+  while (pushed.size() < serial.events.size()) {
+    Frame ev;
+    ASSERT_TRUE(sub.read_frame(ev)) << "only " << pushed.size() << " events pushed";
+    ASSERT_EQ(ev.status, static_cast<std::uint8_t>(Status::kEvent));
+    EXPECT_EQ(ev.verb, static_cast<std::uint8_t>(Verb::kSubscribe));
+    pushed.push_back(ev.payload);
+  }
+  std::vector<std::string> expected;
+  expected.reserve(serial.events.size());
+  for (const auto& ev : serial.events) expected.push_back(format_event_line(ev));
+  std::sort(pushed.begin(), pushed.end());
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(pushed, expected);
+  EXPECT_EQ(rd.stop_and_join(), 0);
+}
+
+TEST_F(DaemonServerTest, UnknownVerbGetsErrorButConnectionSurvives) {
+  RunningDaemon rd(options());
+  TestClient c(sock_);
+  ASSERT_GE(c.fd, 0);
+  Frame req;
+  req.verb = 77;
+  req.seq = 9;
+  c.send_raw(encode_frame(req));
+  Frame resp;
+  ASSERT_TRUE(c.read_frame(resp));
+  EXPECT_EQ(resp.status, static_cast<std::uint8_t>(Status::kError));
+  EXPECT_EQ(resp.seq, 9);
+
+  // Same connection keeps working: verb validation is per-frame.
+  resp = c.roundtrip(Verb::kPing, 10, "still here");
+  EXPECT_EQ(resp.payload, "still here");
+  EXPECT_EQ(rd.stop_and_join(), 0);
+}
+
+TEST_F(DaemonServerTest, MalformedFrameKillsTheClientNotTheDaemon) {
+  RunningDaemon rd(options());
+  TestClient bad(sock_);
+  ASSERT_GE(bad.fd, 0);
+  // A length prefix beyond kMaxPayload can never frame; the daemon
+  // must answer with the reason and cut only this connection.
+  std::string wire(kFrameHeaderBytes, '\0');
+  wire[0] = wire[1] = wire[2] = wire[3] = '\xFF';
+  bad.send_raw(wire);
+  Frame resp;
+  ASSERT_TRUE(bad.read_frame(resp));
+  EXPECT_EQ(resp.status, static_cast<std::uint8_t>(Status::kError));
+  EXPECT_NE(resp.payload.find("malformed"), std::string::npos) << resp.payload;
+  EXPECT_TRUE(bad.wait_closed());
+
+  // The daemon sails on for everyone else.
+  TestClient good(sock_);
+  ASSERT_GE(good.fd, 0);
+  resp = good.roundtrip(Verb::kPing, 1, "alive");
+  EXPECT_EQ(resp.payload, "alive");
+  EXPECT_EQ(rd.stop_and_join(), 0);
+}
+
+TEST_F(DaemonServerTest, IngestRejectsPartialRecords) {
+  RunningDaemon rd(options());
+  TestClient c(sock_);
+  ASSERT_GE(c.fd, 0);
+  Frame resp = c.roundtrip(Verb::kIngest, 1, "not 52 bytes");
+  EXPECT_EQ(resp.status, static_cast<std::uint8_t>(Status::kError));
+  resp = c.roundtrip(Verb::kIngest, 2, "");
+  EXPECT_EQ(resp.status, static_cast<std::uint8_t>(Status::kError));
+  EXPECT_EQ(rd.stop_and_join(), 0);
+}
+
+TEST_F(DaemonServerTest, DisconnectMidRequestIsHarmless) {
+  RunningDaemon rd(options());
+  {
+    TestClient half(sock_);
+    ASSERT_GE(half.fd, 0);
+    const std::string wire = encode_frame([] {
+      Frame f;
+      f.verb = static_cast<std::uint8_t>(Verb::kReport);
+      f.payload = "10";
+      return f;
+    }());
+    half.send_raw(wire.substr(0, 5));  // mid-header, then vanish
+  }
+  TestClient c(sock_);
+  ASSERT_GE(c.fd, 0);
+  const Frame resp = c.roundtrip(Verb::kPing, 1, "ok");
+  EXPECT_EQ(resp.payload, "ok");
+  EXPECT_EQ(rd.stop_and_join(), 0);
+}
+
+TEST_F(DaemonServerTest, StalledMidFrameClientIsDropped) {
+  auto opts = options();
+  opts.client_timeout_ms = 100;
+  RunningDaemon rd(std::move(opts));
+  TestClient stalled(sock_);
+  ASSERT_GE(stalled.fd, 0);
+  stalled.send_raw(std::string(4, 'x'));  // forever mid-frame
+  EXPECT_TRUE(stalled.wait_closed()) << "stalled client never dropped";
+  EXPECT_EQ(rd.stop_and_join(), 0);
+}
+
+TEST_F(DaemonServerTest, ShutdownVerbDrainsAndFinalizesSpill) {
+  const auto recs = workload();
+  const SerialFold serial = serial_fold(recs);
+  const std::string spill = (dir_ / "drain.v6ev").string();
+
+  auto opts = options();
+  opts.events_out = spill;
+  RunningDaemon rd(std::move(opts));
+  TestClient c(sock_);
+  ASSERT_GE(c.fd, 0);
+  Frame resp = c.roundtrip(Verb::kIngest, 1, encode_records(recs));
+  ASSERT_EQ(resp.status, static_cast<std::uint8_t>(Status::kOk));
+  ASSERT_TRUE(wait_folded(c, serial.events.size()));
+
+  resp = c.roundtrip(Verb::kShutdown, 2);
+  EXPECT_EQ(resp.status, static_cast<std::uint8_t>(Status::kOk));
+  EXPECT_EQ(resp.payload, "draining\n");
+  EXPECT_EQ(rd.stop_and_join(), 0);
+
+  // Clean drain: socket unlinked, spill finalized (valid header count)
+  // and equivalent to the serial fold.
+  EXPECT_FALSE(std::filesystem::exists(sock_));
+  const auto spilled = core::read_events(spill);
+  ASSERT_EQ(spilled.size(), serial.events.size());
+  analysis::ReportBundle from_spill(10);
+  for (const auto& ev : spilled) from_spill.observe(ev);
+  EXPECT_EQ(analysis::render_report(from_spill, 10),
+            analysis::render_report(serial.bundle, 10));
+}
+
+TEST_F(DaemonServerTest, IngestAfterShutdownIsRejected) {
+  // A second client's ingest racing the drain must never be silently
+  // dropped into a dead pipeline: once draining, the verb errors.
+  RunningDaemon rd(options());
+  TestClient c(sock_);
+  ASSERT_GE(c.fd, 0);
+  // Stop via the API (as SIGTERM would); the poll loop notices within
+  // one interval and drains. The socket disappears once drained.
+  rd.d.request_stop();
+  EXPECT_EQ(rd.stop_and_join(), 0);
+  EXPECT_FALSE(std::filesystem::exists(sock_));
+}
+
+TEST_F(DaemonServerTest, OverlongSocketPathIsRejected) {
+  DaemonOptions opts = options();
+  opts.socket_path = (dir_ / std::string(200, 'x')).string();
+  Daemon d(std::move(opts));
+  EXPECT_THROW((void)d.run(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace v6sonar::daemon

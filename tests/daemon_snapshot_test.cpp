@@ -1,0 +1,149 @@
+// Unit tests for the snapshot/read seam (daemon/snapshot): the
+// publisher's cadence, the slot's coalescing, and the core acceptance
+// property — the hub's merged master renders byte-identically to a
+// serial fold of the same events. The daemon server test asserts the
+// same property end to end over the socket.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/report_render.hpp"
+#include "daemon/snapshot.hpp"
+
+namespace v6sonar::daemon {
+namespace {
+
+using core::ScanEvent;
+
+/// Deterministic plausible event: one source per (shard, i), a few
+/// ports and weeks so every report section has rows.
+ScanEvent make_event(std::uint64_t shard, std::uint64_t i) {
+  ScanEvent ev;
+  ev.source = net::Ipv6Prefix{
+      net::Ipv6Address{0x2A10'0000'0000'0000ULL + (shard << 32) + i, 0}, 64};
+  ev.first_us = static_cast<sim::TimeUs>(1'640'995'200'000'000LL + i * 1'000'000);
+  ev.last_us = ev.first_us + static_cast<sim::TimeUs>((i % 7 + 1) * 60'000'000);
+  ev.packets = 100 + 13 * i;
+  ev.distinct_dsts = 100 + static_cast<std::uint32_t>(i);
+  ev.distinct_dsts_in_dns = static_cast<std::uint32_t>(i % 40);
+  ev.src_asn = static_cast<std::uint32_t>(7 + shard * 100 + i % 3);
+  ev.port_packets = {{443, 60 + i}, {8080, 40 + 12 * i}};
+  ev.weekly_packets = {{static_cast<std::int32_t>(52 + i % 4), ev.packets}};
+  return ev;
+}
+
+TEST(SnapshotSlot, TakeReturnsNothingWhenEmpty) {
+  ShardSnapshotSlot slot(10);
+  std::uint64_t events = 99;
+  EXPECT_FALSE(slot.take(events).has_value());
+  EXPECT_EQ(events, 0u);
+}
+
+TEST(SnapshotSlot, CoalescesWhenServerIsSlow) {
+  ShardSnapshotSlot slot(10);
+  analysis::ReportBundle a(10), b(10);
+  a.observe(make_event(0, 1));
+  b.observe(make_event(0, 2));
+  slot.publish(std::move(a), 1);
+  slot.publish(std::move(b), 1);  // server never took the first delta
+
+  std::uint64_t events = 0;
+  auto merged = slot.take(events);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(events, 2u);
+  EXPECT_EQ(merged->sources.sources().size(), 2u);
+
+  // The slot is now empty again.
+  EXPECT_FALSE(slot.take(events).has_value());
+  EXPECT_EQ(events, 0u);
+}
+
+TEST(SnapshotPublisher, PublishesEveryNAndRemainderOnFlush) {
+  ShardSnapshotSlot slot(10);
+  SnapshotPublisher pub(slot, /*publish_every=*/4, /*top=*/10);
+  std::uint64_t events = 0;
+
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    ScanEvent ev = make_event(0, i);
+    pub.on_event(std::move(ev));
+  }
+  EXPECT_FALSE(slot.take(events).has_value()) << "published before the cadence";
+
+  ScanEvent fourth = make_event(0, 3);
+  pub.on_event(std::move(fourth));
+  auto delta = slot.take(events);
+  ASSERT_TRUE(delta.has_value());
+  EXPECT_EQ(events, 4u);
+
+  // Two more events sit in the private delta until flush().
+  for (std::uint64_t i = 4; i < 6; ++i) {
+    ScanEvent ev = make_event(0, i);
+    pub.on_event(std::move(ev));
+  }
+  EXPECT_FALSE(slot.take(events).has_value());
+  pub.flush();
+  delta = slot.take(events);
+  ASSERT_TRUE(delta.has_value());
+  EXPECT_EQ(events, 2u);
+
+  pub.flush();  // nothing pending: must not publish an empty delta
+  EXPECT_FALSE(slot.take(events).has_value());
+}
+
+TEST(SnapshotHub, MergedMasterEqualsSerialFold) {
+  // Two shards with disjoint sources (the pipeline shards by
+  // aggregated source), deltas taken at awkward moments — the merged
+  // master must render byte-identically to one serial fold.
+  constexpr std::size_t kTop = 10;
+  constexpr std::uint64_t kPerShard = 25;
+
+  SnapshotHub hub(0, kTop);
+  SnapshotPublisher pub0(hub.add_slot(), /*publish_every=*/3, kTop);
+  SnapshotPublisher pub1(hub.add_slot(), /*publish_every=*/7, kTop);
+
+  analysis::ReportBundle serial(kTop);
+  for (std::uint64_t i = 0; i < kPerShard; ++i) {
+    // Interleave the shards, as concurrent workers would.
+    for (std::uint64_t shard = 0; shard < 2; ++shard) {
+      const ScanEvent ev = make_event(shard, i);
+      serial.observe(ev);
+      ScanEvent copy = ev;
+      (shard == 0 ? pub0 : pub1).on_event(std::move(copy));
+    }
+    if (i == 10) hub.drain();  // a query lands mid-stream: partial drain is fine
+  }
+  pub0.flush();
+  pub1.flush();
+  hub.drain();
+
+  EXPECT_EQ(hub.events_folded(), 2 * kPerShard);
+  EXPECT_EQ(analysis::render_report(hub.master(), kTop),
+            analysis::render_report(serial, kTop));
+  EXPECT_EQ(analysis::render_top_sources(hub.master(), kTop),
+            analysis::render_top_sources(serial, kTop));
+  EXPECT_EQ(analysis::render_top_ports(hub.master()),
+            analysis::render_top_ports(serial));
+  EXPECT_EQ(analysis::render_as_report(hub.master(), kTop),
+            analysis::render_as_report(serial, kTop));
+}
+
+TEST(SnapshotHub, DrainIsIncremental) {
+  SnapshotHub hub(0, 10);
+  SnapshotPublisher pub(hub.add_slot(), 1, 10);
+
+  ScanEvent first = make_event(0, 0);
+  pub.on_event(std::move(first));
+  EXPECT_EQ(hub.drain(), 1u);
+  EXPECT_EQ(hub.drain(), 0u) << "nothing new published";
+
+  ScanEvent second = make_event(0, 1);
+  pub.on_event(std::move(second));
+  EXPECT_EQ(hub.drain(), 1u);
+  EXPECT_EQ(hub.events_folded(), 2u);
+  EXPECT_EQ(hub.master().sources.sources().size(), 2u);
+}
+
+}  // namespace
+}  // namespace v6sonar::daemon

@@ -1,0 +1,69 @@
+// Tests for the graceful-drain signal seam (util/signal_drain). The
+// second-signal force-exit path is deliberately not raised here — it
+// would _exit the test process; the daemon smoke covers the cooperative
+// path end to end instead.
+#include <gtest/gtest.h>
+
+#include <poll.h>
+#include <signal.h>
+
+#include "util/signal_drain.hpp"
+
+namespace v6sonar::util {
+namespace {
+
+bool readable(int fd, int timeout_ms) {
+  pollfd p{fd, POLLIN, 0};
+  return ::poll(&p, 1, timeout_ms) == 1 && (p.revents & POLLIN);
+}
+
+TEST(ShutdownSignal, StartsQuiet) {
+  ShutdownSignal::install();
+  ShutdownSignal::install();  // idempotent
+  ShutdownSignal::reset();
+  EXPECT_FALSE(ShutdownSignal::requested());
+  EXPECT_EQ(ShutdownSignal::signal(), 0);
+  EXPECT_EQ(ShutdownSignal::exit_code(), 0);
+  ASSERT_GE(ShutdownSignal::wake_fd(), 0);
+  EXPECT_FALSE(readable(ShutdownSignal::wake_fd(), 0));
+}
+
+TEST(ShutdownSignal, SigintRecordsDrainRequestAndWakes) {
+  ShutdownSignal::install();
+  ShutdownSignal::reset();
+  ASSERT_EQ(::raise(SIGINT), 0);
+  EXPECT_TRUE(ShutdownSignal::requested());
+  EXPECT_EQ(ShutdownSignal::signal(), SIGINT);
+  EXPECT_EQ(ShutdownSignal::exit_code(), 130);  // 128 + SIGINT
+  // The self-pipe lets poll() loops notice without busy-checking.
+  EXPECT_TRUE(readable(ShutdownSignal::wake_fd(), 1000));
+  ShutdownSignal::reset();
+  EXPECT_FALSE(ShutdownSignal::requested());
+  EXPECT_FALSE(readable(ShutdownSignal::wake_fd(), 0));
+}
+
+TEST(ShutdownSignal, SigtermUsesItsOwnExitCode) {
+  ShutdownSignal::install();
+  ShutdownSignal::reset();
+  ASSERT_EQ(::raise(SIGTERM), 0);
+  EXPECT_TRUE(ShutdownSignal::requested());
+  EXPECT_EQ(ShutdownSignal::signal(), SIGTERM);
+  EXPECT_EQ(ShutdownSignal::exit_code(), 143);  // 128 + SIGTERM
+  ShutdownSignal::reset();
+}
+
+TEST(ShutdownSignal, FirstSignalWins) {
+  // The recorded signal is the one that started the drain; exit_code()
+  // must stay stable while the drain runs. (A *second* delivery of
+  // SIGINT/SIGTERM force-exits by design — not raisable in-process
+  // here, so this test only pins the first-writer-wins state.)
+  ShutdownSignal::install();
+  ShutdownSignal::reset();
+  ASSERT_EQ(::raise(SIGTERM), 0);
+  EXPECT_EQ(ShutdownSignal::signal(), SIGTERM);
+  EXPECT_EQ(ShutdownSignal::exit_code(), 143);
+  ShutdownSignal::reset();
+}
+
+}  // namespace
+}  // namespace v6sonar::util

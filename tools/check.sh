@@ -2,15 +2,16 @@
 # Sanitized check of the threaded pipeline and the batched data plane,
 # plus an end-to-end metrics smoke check.
 #
-#   tools/check.sh [thread|address|metrics|perf|bench-guard|report|docs|all]    (default: thread)
+#   tools/check.sh [thread|address|metrics|perf|bench-guard|report|daemon|docs|all]    (default: thread)
 #
 # `thread`/`address` configure a separate build tree (build-tsan/ or
 # build-asan/) with -DV6SONAR_SANITIZE=<kind>, build the relevant test
 # binaries, and run them under the sanitizer. `thread` covers the
 # concurrency-sensitive targets (SPSC ring, parallel pipeline, batch
-# feed); `address` additionally covers the mmap log reader and the
-# arena-backed flat containers, whose bugs are memory bugs rather than
-# races. `metrics` builds the instrumented targets with warnings as
+# feed, the daemon's snapshot seam and socket server); `address`
+# additionally covers the mmap log reader, the arena-backed flat
+# containers, and the daemon's framing/tailing paths, whose bugs are
+# memory bugs rather than races. `metrics` builds the instrumented targets with warnings as
 # errors (-DV6SONAR_WERROR=ON), generates a small world, runs
 # `v6sonar detect --mmap --threads 4 --metrics=…`, and validates the
 # JSON snapshot (nonzero ingestion/feed counters, per-shard ring
@@ -30,7 +31,13 @@
 # world, run `detect --mmap --report --events` (analyzer chain inline,
 # event stream spilled), replay the spill with `report`, and assert
 # the two reports are byte-for-byte identical — the sink pipeline's
-# equivalence guarantee. `docs` is a grep-based lint needing no build:
+# equivalence guarantee. `daemon` is the v6sonard smoke: the daemon
+# tails a log that appears, grows, and rotates underneath it while a
+# subscriber and concurrent query clients are attached; the live
+# report must be byte-identical to a batch `detect --report` over the
+# same records, and SIGTERM must drain cleanly — exit 0, socket
+# unlinked, spill finalized, metrics written. `docs` is a grep-based
+# lint needing no build:
 # every metric-name literal in src/ must appear in
 # docs/OBSERVABILITY.md and every CLI flag in tools/v6sonar_cli.cpp
 # must appear in README.md, so the reference docs cannot silently fall
@@ -42,10 +49,10 @@ cd "$(dirname "$0")/.."
 
 kind="${1:-thread}"
 case "$kind" in
-  thread|address|metrics|perf|bench-guard|report|docs) ;;
+  thread|address|metrics|perf|bench-guard|report|daemon|docs) ;;
   all) "$0" docs && "$0" thread && "$0" address && "$0" metrics && "$0" report \
-       && "$0" perf && exec "$0" bench-guard ;;
-  *) echo "usage: tools/check.sh [thread|address|metrics|perf|bench-guard|report|docs|all]" >&2; exit 2 ;;
+       && "$0" daemon && "$0" perf && exec "$0" bench-guard ;;
+  *) echo "usage: tools/check.sh [thread|address|metrics|perf|bench-guard|report|daemon|docs|all]" >&2; exit 2 ;;
 esac
 
 if [[ "$kind" == docs ]]; then
@@ -224,6 +231,205 @@ if [[ "$kind" == report ]]; then
   exit 0
 fi
 
+if [[ "$kind" == daemon ]]; then
+  tree=build-daemon
+  cmake -B "$tree" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+  cmake --build "$tree" -j"$(nproc)" --target v6sonar v6sonard
+
+  work="$(mktemp -d)"
+  daemon_pid=""
+  cleanup() {
+    if [[ -n "$daemon_pid" ]]; then
+      kill "$daemon_pid" 2> /dev/null || true
+      wait "$daemon_pid" 2> /dev/null || true
+    fi
+    rm -rf "$work"
+  }
+  trap cleanup EXIT
+  v6sonar="$PWD/$tree/tools/v6sonar"
+  v6sonard="$PWD/$tree/tools/v6sonard"
+  sock="$work/v6sonard.sock"
+
+  "$v6sonar" generate "$work/world.v6slog" --small > /dev/null
+
+  # Split the world into two live-append chunks plus a rotated-in file
+  # carrying one sentinel probe two detection timeouts past the last
+  # record: it forces every in-flight scan in the live daemon to
+  # finalize, but is a single packet, so it never becomes a scan event
+  # itself. The batch reference sees the identical record set.
+  total_records=$(python3 - "$work" <<'PY'
+import os, struct, sys
+
+work = sys.argv[1]
+with open(os.path.join(work, "world.v6slog"), "rb") as fh:
+    blob = fh.read()
+magic, body = blob[:8], blob[16:]
+n = len(body) // 52
+assert n > 0 and n * 52 == len(body), "world log has partial records"
+
+last_ts = struct.unpack_from("<q", body, (n - 1) * 52)[0]
+sentinel = struct.pack("<q", last_ts + 2 * 3600 * 1_000_000)
+sentinel += struct.pack("<QQ", 0x20010DB800000BAD, 1)   # src hi, lo
+sentinel += struct.pack("<QQ", 0x2600000000000000, 99)  # dst hi, lo
+sentinel += struct.pack("<IHHH", 0, 40000, 443, 60)     # asn, sport, dport, len
+sentinel += bytes([6, 0])                               # proto tcp, not in DNS
+assert len(sentinel) == 52
+
+live_header = magic + struct.pack("<Q", 0)  # count 0, like a still-open writer
+half = n // 2
+with open(os.path.join(work, "tail_part1.bin"), "wb") as fh:
+    fh.write(live_header + body[: half * 52])
+with open(os.path.join(work, "tail_part2.bin"), "wb") as fh:
+    fh.write(body[half * 52 :])  # raw append bytes, no header
+with open(os.path.join(work, "tail_rotated.bin"), "wb") as fh:
+    fh.write(live_header + sentinel)
+with open(os.path.join(work, "batch_all.v6slog"), "wb") as fh:
+    fh.write(magic + struct.pack("<Q", n + 1) + body + sentinel)
+print(n + 1)
+PY
+)
+
+  # Batch reference over the same records, spilling the event stream.
+  "$v6sonar" detect "$work/batch_all.v6slog" --report --top 10 \
+      --events "$work/ref.v6ev" > "$work/batch_report.txt"
+  expected=$(python3 - "$work/ref.v6ev" <<'PY'
+import struct, sys
+with open(sys.argv[1], "rb") as fh:
+    print(struct.unpack("<Q", fh.read(16)[8:])[0])
+PY
+)
+  if [[ "$expected" -le 0 ]]; then
+    echo "daemon smoke check FAILED: batch reference produced no events" >&2
+    exit 1
+  fi
+
+  # Start the daemon before its tail file even exists: a missing path
+  # means "not created yet", not an error.
+  # --top must match the batch reference: the top-ports ranking width
+  # is analyzer state fixed at construction, not a render parameter.
+  "$v6sonard" --socket "$sock" --tail "$work/tail.v6slog" --threads 2 \
+      --snapshot-every 1 --top 10 \
+      --events "$work/spill.v6ev" --metrics="$work/metrics.json" \
+      2> "$work/daemon.stderr" &
+  daemon_pid=$!
+
+  for _ in $(seq 1 100); do
+    [[ -S "$sock" ]] && break
+    sleep 0.1
+  done
+  "$v6sonar" query "$sock" ping smoke-hello | grep -q smoke-hello
+
+  # A subscriber rides along while the log grows underneath it.
+  "$v6sonar" query "$sock" subscribe --count 1 --timeout-sec 60 \
+      > "$work/sub.txt" &
+  sub_pid=$!
+
+  # The log appears, grows, and rotates: the old file moves away and a
+  # fresh log (carrying the sentinel) replaces it at the same path.
+  cp "$work/tail_part1.bin" "$work/tail.v6slog"
+  cat "$work/tail_part2.bin" >> "$work/tail.v6slog"
+  # Honour the tailer's rotation contract (docs/DAEMON.md): the writer
+  # stops appending, pauses one poll interval, then renames.
+  sleep 1
+  mv "$work/tail.v6slog" "$work/tail.v6slog.1"
+  cp "$work/tail_rotated.bin" "$work/tail.v6slog"
+
+  # Exact rendezvous: block until every batch event has been folded
+  # into the master snapshot (the status verb drains before replying).
+  "$v6sonar" query "$sock" status --wait-key events_folded \
+      --wait-min "$expected" --timeout-sec 60 > /dev/null
+
+  # The live report must be byte-identical to the batch reference.
+  "$v6sonar" query "$sock" report --top 10 > "$work/daemon_report.txt"
+  if ! cmp -s "$work/batch_report.txt" "$work/daemon_report.txt"; then
+    echo "daemon smoke check FAILED: live report differs from batch detect --report" >&2
+    diff "$work/batch_report.txt" "$work/daemon_report.txt" | head -40 >&2
+    exit 1
+  fi
+
+  "$v6sonar" query "$sock" status > "$work/status.txt"
+  if ! grep -q '^tail_rotations 1$' "$work/status.txt"; then
+    echo "daemon smoke check FAILED: rotation not observed in status:" >&2
+    cat "$work/status.txt" >&2
+    exit 1
+  fi
+
+  if ! wait "$sub_pid"; then
+    echo "daemon smoke check FAILED: subscriber exited non-zero" >&2
+    exit 1
+  fi
+  if [[ ! -s "$work/sub.txt" ]]; then
+    echo "daemon smoke check FAILED: subscriber received no events" >&2
+    exit 1
+  fi
+
+  # Graceful drain: SIGTERM -> exit 0, socket unlinked, outputs final.
+  kill -TERM "$daemon_pid"
+  rc=0
+  wait "$daemon_pid" || rc=$?
+  daemon_pid=""
+  if [[ "$rc" -ne 0 ]]; then
+    echo "daemon smoke check FAILED: daemon exited $rc after SIGTERM" >&2
+    cat "$work/daemon.stderr" >&2
+    exit 1
+  fi
+  if [[ -e "$sock" ]]; then
+    echo "daemon smoke check FAILED: socket not unlinked after drain" >&2
+    exit 1
+  fi
+
+  # The spill was finalized (count header patched + fsync'd) and holds
+  # exactly the batch event count; replaying it through the batch
+  # analyzers reproduces the reference report byte for byte.
+  spilled=$(python3 - "$work/spill.v6ev" <<'PY'
+import struct, sys
+with open(sys.argv[1], "rb") as fh:
+    print(struct.unpack("<Q", fh.read(16)[8:])[0])
+PY
+)
+  if [[ "$spilled" -ne "$expected" ]]; then
+    echo "daemon smoke check FAILED: spill holds $spilled events, batch made $expected" >&2
+    exit 1
+  fi
+  "$v6sonar" report "$work/spill.v6ev" --top 10 > "$work/spill_report.txt"
+  if ! cmp -s "$work/batch_report.txt" "$work/spill_report.txt"; then
+    echo "daemon smoke check FAILED: spill replay differs from batch report" >&2
+    diff "$work/batch_report.txt" "$work/spill_report.txt" | head -40 >&2
+    exit 1
+  fi
+
+  python3 - "$work/metrics.json" "$total_records" <<'PY'
+import json, sys
+
+with open(sys.argv[1]) as fh:
+    snap = json.load(fh)
+counters, gauges = snap["counters"], snap["gauges"]
+total = int(sys.argv[2])
+
+failures = []
+if counters.get("daemon.tail.records", 0) != total:
+    failures.append(f"daemon.tail.records {counters.get('daemon.tail.records')} != {total}")
+if counters.get("daemon.tail.rotations", 0) != 1:
+    failures.append("daemon.tail.rotations != 1")
+for name in ("daemon.snapshot.publishes", "daemon.snapshot.merges",
+             "daemon.queries.served", "daemon.frames.rx", "daemon.frames.tx",
+             "daemon.clients.accepted", "daemon.subscribe.events_tx"):
+    if counters.get(name, 0) <= 0:
+        failures.append(f"counter {name} missing or zero")
+if "daemon.drain.duration_us" not in gauges:
+    failures.append("daemon.drain.duration_us gauge missing")
+
+if failures:
+    print("daemon metrics check FAILED:", *failures, sep="\n  ", file=sys.stderr)
+    sys.exit(1)
+print(f"daemon metrics ok: {counters['daemon.tail.records']} records tailed, "
+      f"{counters['daemon.queries.served']} queries served")
+PY
+
+  echo "check.sh: daemon smoke check passed (live report == batch, rotation survived, clean drain)"
+  exit 0
+fi
+
 if [[ "$kind" == metrics ]]; then
   tree=build-metrics
   # Targets touched by the observability layer: a fresh warning in any
@@ -281,13 +487,15 @@ case "$kind" in
   thread)
     tree=build-tsan
     targets=(util_spsc_ring_test core_parallel_pipeline_test core_batch_feed_test
-             util_flat_hash_fuzz_test)
+             util_flat_hash_fuzz_test daemon_snapshot_test daemon_server_test)
     ;;
   address)
     tree=build-asan
     targets=(util_spsc_ring_test core_parallel_pipeline_test core_batch_feed_test
              sim_test util_flat_hash_test util_flat_hash_fuzz_test
-             core_event_sink_test core_event_io_test analysis_streaming_test)
+             core_event_sink_test core_event_io_test analysis_streaming_test
+             daemon_framing_test daemon_tail_test daemon_snapshot_test
+             daemon_server_test util_signal_test)
     ;;
 esac
 

@@ -14,6 +14,7 @@
 //   v6sonar fingerprint <file> [options]        behavioural fingerprints + actor links (§5/A.4)
 //   v6sonar generate  <out.v6slog> [--small]    simulate the CDN telescope world
 //   v6sonar mawi-day  <YYYY-MM-DD> <out.pcap>   export a MAWI-style capture day
+//   v6sonar query     <socket> <verb> [arg]     client for a running v6sonard daemon
 //
 // Options for detect/fh: --agg <len>  --min-dsts <n>  --timeout <sec>  --top <n>
 // detect/ids additionally accept --threads <n> to run the sharded
@@ -29,9 +30,15 @@
 // front — detection and analysis run in memory bounded by active
 // sources, never by records or events.
 
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <array>
 #include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,11 +46,13 @@
 #include <span>
 #include <string>
 #include <system_error>
+#include <thread>
 #include <vector>
 
 #include "analysis/dns_targeting.hpp"
 #include "analysis/fingerprint.hpp"
 #include "analysis/ports.hpp"
+#include "analysis/report_render.hpp"
 #include "analysis/reports.hpp"
 #include "analysis/timeseries.hpp"
 #include "core/adaptive.hpp"
@@ -53,11 +62,15 @@
 #include "core/event_sink.hpp"
 #include "core/fh_detector.hpp"
 #include "core/parallel_pipeline.hpp"
+#include "daemon/framing.hpp"
+#include "daemon/protocol.hpp"
 #include "mawi/world.hpp"
 #include "scanner/hitlist.hpp"
 #include "sim/log_io.hpp"
 #include "telescope/world.hpp"
+#include "util/fdio.hpp"
 #include "util/metrics.hpp"
+#include "util/signal_drain.hpp"
 #include "util/table.hpp"
 #include "util/timebase.hpp"
 
@@ -94,6 +107,11 @@ struct Options {
       "  fingerprint <file> [options]       behavioural fingerprints + common-actor links\n"
       "  generate  <out.v6slog> [--small]   simulate the 15-month CDN telescope world\n"
       "  mawi-day  <YYYY-MM-DD> <out.pcap>  export one simulated MAWI capture day\n"
+      "  query     <socket> <verb> [arg]    query a running v6sonard (see docs/DAEMON.md);\n"
+      "                                     verbs: ping status report top-sources top-ports\n"
+      "                                     as-report blocklist metrics subscribe ingest\n"
+      "                                     shutdown; options: --top <n> --count <n>\n"
+      "                                     --timeout-sec <s> --wait-key <key> --wait-min <n>\n"
       "\n"
       "options (detect/fh):\n"
       "  --agg <len>       source aggregation prefix length (default 64)\n"
@@ -176,22 +194,32 @@ std::vector<sim::LogRecord> load_records(const std::string& path) {
 /// reader, otherwise the buffered log reader streams in chunks. pcap
 /// inputs have no streaming parser and fall back to one in-memory
 /// pass (fed as a single batch).
+/// Streaming loops check the drain signal between batches: on
+/// SIGINT/SIGTERM the feed stops early and the caller's normal
+/// flush/finalize path runs over what was read so far — spill files
+/// get a real (fsync'd) count header and --metrics still dumps.
+/// main() then maps the partial run to exit code 128+signo.
 template <typename Fn>
 void for_each_record_batch(const std::string& path, bool use_mmap, Fn&& fn) {
   if (ends_with(path, ".pcap") || ends_with(path, ".cap")) {
     const auto records = load_records(path);
+    if (util::ShutdownSignal::requested()) return;
     fn(std::span<const sim::LogRecord>{records});
     return;
   }
   std::array<sim::LogRecord, 4'096> batch;
   if (use_mmap) {
     sim::MappedLogReader reader(path);
-    for (std::size_t n; (n = reader.next_batch(batch.data(), batch.size())) > 0;)
+    for (std::size_t n; (n = reader.next_batch(batch.data(), batch.size())) > 0;) {
+      if (util::ShutdownSignal::requested()) return;
       fn(std::span<const sim::LogRecord>{batch.data(), n});
+    }
   } else {
     sim::LogReader reader(path);
-    for (std::size_t n; (n = reader.next_batch(batch.data(), batch.size())) > 0;)
+    for (std::size_t n; (n = reader.next_batch(batch.data(), batch.size())) > 0;) {
+      if (util::ShutdownSignal::requested()) return;
       fn(std::span<const sim::LogRecord>{batch.data(), n});
+    }
   }
 }
 
@@ -288,50 +316,15 @@ int cmd_info(const std::string& path) {
   return 0;
 }
 
-/// The full streaming analyzer bundle — one incremental analyzer per
-/// paper table, all hanging off one fan-out so a single pass over the
-/// event stream feeds every analysis in bounded memory.
-struct ReportAnalyzers {
-  analysis::SourceAnalyzer sources;
-  analysis::AsAnalyzer by_as;
-  analysis::DurationAnalyzer durations;
-  analysis::TimeSeriesAnalyzer timeseries;
-  analysis::PortBucketAnalyzer port_buckets;
-  analysis::TopPortsAnalyzer top_ports;
-  analysis::DnsTargetingAnalyzer dns;
-
-  explicit ReportAnalyzers(std::size_t top) : top_ports(top) {}
-
-  void attach(core::FanOutSink& fan) {
-    fan.add(sources);
-    fan.add(by_as);
-    fan.add(durations);
-    fan.add(timeseries);
-    fan.add(port_buckets);
-    fan.add(top_ports);
-    fan.add(dns);
-  }
-
-  /// Absorb another bundle's state, member-wise — the sharded-mode
-  /// rendezvous: per-shard bundles fold into one before rendering.
-  void merge(ReportAnalyzers&& other) {
-    sources.merge(std::move(other.sources));
-    by_as.merge(std::move(other.by_as));
-    durations.merge(std::move(other.durations));
-    timeseries.merge(std::move(other.timeseries));
-    port_buckets.merge(std::move(other.port_buckets));
-    top_ports.merge(std::move(other.top_ports));
-    dns.merge(std::move(other.dns));
-  }
-};
-
 /// One shard's private sink chain in sharded-ownership mode: the same
 /// fan-out/analyzer assembly cmd_detect builds for the whole stream,
-/// instantiated per shard and merged after flush.
+/// instantiated per shard and merged after flush. The bundle itself
+/// (analysis::ReportBundle) and the renderer live in
+/// analysis/report_render.hpp, shared with the v6sonard query plane.
 struct ShardChain {
   core::FanOutSink fan;
   analysis::SourceAnalyzer sources_only;
-  std::optional<ReportAnalyzers> report;
+  std::optional<analysis::ReportBundle> report;
 
   ShardChain(bool full_report, std::size_t top) {
     if (full_report) {
@@ -343,90 +336,13 @@ struct ShardChain {
   }
 };
 
-/// Render the analyzer bundle. Shared by `detect --report` and
-/// `report`, so the two paths are byte-identical by construction —
-/// anything run-specific (e.g. the spill note) goes to stderr.
-void print_report(const ReportAnalyzers& a, std::size_t top) {
-  const auto t = a.sources.totals();
-  std::printf("%llu scans from %llu sources in %llu ASes (%llu packets attributed)\n",
-              static_cast<unsigned long long>(t.scans),
-              static_cast<unsigned long long>(t.sources),
-              static_cast<unsigned long long>(t.ases),
-              static_cast<unsigned long long>(t.packets));
-
-  auto sources = a.sources.sources();
-  std::sort(sources.begin(), sources.end(),
-            [](const analysis::SourceReport& x, const analysis::SourceReport& y) {
-              return x.packets > y.packets;
-            });
-  std::printf("\ntop sources by packets:\n");
-  util::TextTable st({"source", "AS", "scans", "packets", "max dsts/scan"});
-  for (std::size_t i = 0; i < std::min(top, sources.size()); ++i) {
-    const auto& s = sources[i];
-    st.add_row({s.source.to_string(), std::to_string(s.asn), util::with_commas(s.scans),
-                util::with_commas(s.packets), util::with_commas(s.distinct_dsts_max)});
-  }
-  std::printf("%s", st.render().c_str());
-  if (sources.size() > top) std::printf("(+%zu more sources)\n", sources.size() - top);
-
-  auto by_as = a.by_as.by_as();
-  std::stable_sort(by_as.begin(), by_as.end(),
-                   [](const analysis::AsSources& x, const analysis::AsSources& y) {
-                     return x.packets > y.packets;
-                   });
-  std::printf("\ntop ASes by packets:\n");
-  util::TextTable at({"AS", "packets", "sources", "scans"});
-  for (std::size_t i = 0; i < std::min(top, by_as.size()); ++i) {
-    const auto& r = by_as[i];
-    at.add_row({std::to_string(r.asn), util::with_commas(r.packets),
-                util::with_commas(r.sources), util::with_commas(r.scans)});
-  }
-  std::printf("%s", at.render().c_str());
-  if (by_as.size() > top) std::printf("(+%zu more ASes)\n", by_as.size() - top);
-
-  const auto d = a.durations.stats();
-  std::printf("\nscan durations (%zu events): median %ss  p90 %ss  max %ss\n", d.events,
-              util::fixed(d.median_sec, 1).c_str(), util::fixed(d.p90_sec, 1).c_str(),
-              util::fixed(d.max_sec, 1).c_str());
-
-  const auto pb = a.port_buckets.shares();
-  std::printf("\nport targeting breadth (share of scans / sources / packets):\n");
-  util::TextTable pt({"ports per scan", "scans", "sources", "packets"});
-  for (int b = 0; b < 4; ++b)
-    pt.add_row({std::string(analysis::to_string(static_cast<analysis::PortBucket>(b))),
-                util::percent(pb.scans[b]), util::percent(pb.sources[b]),
-                util::percent(pb.packets[b])});
-  std::printf("%s", pt.render().c_str());
-
-  const auto tp = a.top_ports.result();
-  const std::size_t port_rows =
-      std::max({tp.by_packets.size(), tp.by_scans.size(), tp.by_sources.size()});
-  std::printf("\ntop ports, ranked three ways:\n");
-  util::TextTable tt({"rank", "by packets", "by scans", "by sources"});
-  const auto port_cell = [](const std::vector<analysis::TopPortsRow>& rows, std::size_t i) {
-    if (i >= rows.size()) return std::string{};
-    return std::to_string(rows[i].port) + " (" + util::percent(rows[i].share) + ")";
-  };
-  for (std::size_t i = 0; i < port_rows; ++i)
-    tt.add_row({std::to_string(i + 1), port_cell(tp.by_packets, i),
-                port_cell(tp.by_scans, i), port_cell(tp.by_sources, i)});
-  std::printf("%s", tt.render().c_str());
-
-  const auto weeks = a.timeseries.weekly();
-  std::printf("\nweekly activity (%zu weeks): overall top-2 share %s, mean weekly top-2 %s\n",
-              weeks.size(), util::percent(a.timeseries.overall_top_k(2)).c_str(),
-              util::percent(a.timeseries.mean_weekly_top_k(2)).c_str());
-  util::TextTable wt({"week", "active sources", "packets", "top1", "top2"});
-  for (const auto& w : weeks)
-    wt.add_row({std::to_string(w.week), util::with_commas(w.active_sources),
-                util::with_commas(w.packets), util::percent(w.top1_share),
-                util::percent(w.top2_share)});
-  std::printf("%s", wt.render().c_str());
-
-  const auto dns = a.dns.report();
-  std::printf("\nDNS targeting: %zu sources, %s all-in-DNS, %s with >=1/3 not-in-DNS\n",
-              dns.sources, util::percent(dns.all_in_dns_fraction).c_str(),
-              util::percent(dns.third_not_in_dns_fraction).c_str());
+/// Print the shared rendering. `detect --report`, `report`, and the
+/// daemon's report verb all emit render_report's bytes, so the three
+/// paths are byte-identical by construction — anything run-specific
+/// (e.g. the spill note) goes to stderr.
+void print_report(const analysis::ReportBundle& a, std::size_t top) {
+  const std::string text = analysis::render_report(a, top);
+  std::fwrite(text.data(), 1, text.size(), stdout);
 }
 
 int cmd_detect(const std::string& path, const Options& o) {
@@ -451,7 +367,7 @@ int cmd_detect(const std::string& path, const Options& o) {
   // rendered report is byte-identical to the serial run.
   core::FanOutSink fan;
   analysis::SourceAnalyzer sources_only;
-  std::optional<ReportAnalyzers> report;
+  std::optional<analysis::ReportBundle> report;
   std::optional<core::EventWriter> spill;
   std::vector<std::unique_ptr<ShardChain>> chains;
 
@@ -503,9 +419,14 @@ int cmd_detect(const std::string& path, const Options& o) {
     fan.flush();
   }
 
-  if (spill)
+  if (spill) {
+    // Explicit close: the count header is backpatched and fsync'd
+    // before we report success (interrupted runs included — the drain
+    // above stopped the feed, not the finalize).
+    spill->close();
     std::fprintf(stderr, "spilled %llu events to %s\n",
                  static_cast<unsigned long long>(spill->written()), o.events_out.c_str());
+  }
 
   if (o.report) {
     print_report(sharded ? *chains[0]->report : *report, o.top);
@@ -537,13 +458,15 @@ int cmd_detect(const std::string& path, const Options& o) {
 
 int cmd_report(const std::string& path, const Options& o) {
   core::FanOutSink fan;
-  ReportAnalyzers analyzers(o.top);
+  analysis::ReportBundle analyzers(o.top);
   analyzers.attach(fan);
 
   core::EventReader reader(path);
   std::vector<core::ScanEvent> batch(256);
-  for (std::size_t n; (n = reader.next_batch(batch.data(), batch.size())) > 0;)
+  for (std::size_t n; (n = reader.next_batch(batch.data(), batch.size())) > 0;) {
+    if (util::ShutdownSignal::requested()) break;
     for (std::size_t i = 0; i < n; ++i) fan.on_event(std::move(batch[i]));
+  }
   fan.flush();
 
   std::fprintf(stderr, "replayed %llu events from %s\n",
@@ -627,7 +550,13 @@ int cmd_filter(const std::string& in, const std::string& out) {
   core::ArtifactFilter filter(
       {}, [&](const sim::LogRecord& r) { writer.write(r); },
       [&](const core::FilterDayStats& s) { dropped += s.packets_dropped; });
-  while (auto r = reader.next()) filter.feed(*r);
+  std::uint64_t seen = 0;
+  while (auto r = reader.next()) {
+    // Drain check every 4096 records: a Ctrl-C stops the feed and the
+    // flush/close below still writes a finalized (fsync'd) output.
+    if ((++seen & 0xFFF) == 0 && util::ShutdownSignal::requested()) break;
+    filter.feed(*r);
+  }
   filter.flush();
   writer.close();
   std::printf("kept %llu records, dropped %llu 5-duplicate artifact records -> %s\n",
@@ -723,7 +652,19 @@ int cmd_generate(const std::string& out, bool small) {
   telescope::CdnWorld world(small ? telescope::WorldConfig::small()
                                   : telescope::WorldConfig{});
   sim::LogWriter writer(out);
-  world.run([&](const sim::LogRecord& r) { writer.write(r); });
+  // Interrupting a multi-hour generation keeps the prefix: the drain
+  // exception unwinds out of run(), and close() below finalizes the
+  // count header over what was written (fsync'd).
+  struct DrainRequested {};
+  std::uint64_t seen = 0;
+  try {
+    world.run([&](const sim::LogRecord& r) {
+      if ((++seen & 0xFFF) == 0 && util::ShutdownSignal::requested()) throw DrainRequested{};
+      writer.write(r);
+    });
+  } catch (const DrainRequested&) {
+    std::fprintf(stderr, "interrupted; finalizing partial log\n");
+  }
   writer.close();
   std::printf("wrote %llu records to %s\n",
               static_cast<unsigned long long>(writer.written()), out.c_str());
@@ -752,6 +693,9 @@ int cmd_mawi_day(const std::string& date, const std::string& out) {
 }
 
 /// Write the metrics snapshot as JSON to `file` (stdout when empty).
+/// File output is fsync'd before success is reported — the metrics
+/// dump is a run's only record of what the pipeline did, and it often
+/// happens right before process exit (including interrupted runs).
 void dump_metrics(const std::string& file) {
   const std::string json = util::metrics::snapshot().to_json();
   if (file.empty()) {
@@ -763,15 +707,260 @@ void dump_metrics(const std::string& file) {
     std::fprintf(stderr, "error: cannot write metrics to %s\n", file.c_str());
     return;
   }
-  std::fwrite(json.data(), 1, json.size(), f);
-  std::fputc('\n', f);
-  std::fclose(f);
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size() &&
+                  std::fputc('\n', f) != EOF && util::flush_to_disk(f);
+  if (std::fclose(f) != 0 || !ok) {
+    std::fprintf(stderr, "error: metrics write to %s failed\n", file.c_str());
+    return;
+  }
   std::fprintf(stderr, "metrics written to %s\n", file.c_str());
+}
+
+// ------------------------------------------------------------------ //
+// v6sonard query client
+
+struct QueryOptions {
+  std::size_t top = 0;       ///< 0 = daemon default
+  std::size_t count = 1;     ///< subscribe: events to print before exiting
+  double timeout_sec = 10;   ///< overall deadline (connect + request)
+  std::string wait_key;      ///< status: poll until this key ...
+  std::uint64_t wait_min = 1;  ///< ... reaches at least this value
+};
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// Connect to the daemon socket, retrying until the deadline — the
+/// daemon may still be starting up.
+util::UniqueFd query_connect(const std::string& path, SteadyClock::time_point deadline) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof addr.sun_path) {
+    std::fprintf(stderr, "error: socket path empty or too long: %s\n", path.c_str());
+    return {};
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  for (;;) {
+    util::UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (fd.valid() &&
+        ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0)
+      return fd;
+    if (SteadyClock::now() >= deadline || util::ShutdownSignal::requested()) {
+      std::fprintf(stderr, "error: cannot connect to %s\n", path.c_str());
+      return {};
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+bool query_send(int fd, daemon::Verb verb, const std::string& payload, std::uint16_t seq) {
+  daemon::Frame f;
+  f.verb = static_cast<std::uint8_t>(verb);
+  f.seq = seq;
+  f.payload = payload;
+  const std::string wire = daemon::encode_frame(f);
+  if (util::write_fully(fd, wire.data(), wire.size())) return true;
+  std::fprintf(stderr, "error: send failed\n");
+  return false;
+}
+
+/// Read one frame, blocking up to the deadline.
+bool query_read(int fd, daemon::FrameDecoder& decoder, daemon::Frame& out,
+                SteadyClock::time_point deadline) {
+  for (;;) {
+    switch (decoder.next(out)) {
+      case daemon::FrameDecoder::Result::kFrame:
+        return true;
+      case daemon::FrameDecoder::Result::kMalformed:
+        std::fprintf(stderr, "error: malformed response: %s\n", decoder.error().c_str());
+        return false;
+      case daemon::FrameDecoder::Result::kNeedMore:
+        break;
+    }
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - SteadyClock::now());
+    if (left.count() <= 0) {
+      std::fprintf(stderr, "error: timed out waiting for response\n");
+      return false;
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, static_cast<int>(std::min<long long>(left.count(), 1000)));
+    if (rc < 0 && errno != EINTR) return false;
+    if (rc <= 0) continue;
+    char buf[16 * 1024];
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n == 0) {
+      std::fprintf(stderr, "error: daemon closed the connection\n");
+      return false;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "error: recv failed\n");
+      return false;
+    }
+    decoder.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+/// Extract "key value" from a status payload; false if absent.
+bool status_value(const std::string& text, const std::string& key, std::uint64_t& out) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    if (line.size() > key.size() + 1 && line.compare(0, key.size(), key) == 0 &&
+        line[key.size()] == ' ') {
+      out = std::strtoull(line.c_str() + key.size() + 1, nullptr, 10);
+      return true;
+    }
+    pos = eol + 1;
+  }
+  return false;
+}
+
+/// `v6sonar query <socket> <verb> [arg] [options]` — the daemon's
+/// client. Prints the response payload to stdout; exit 0 on kOk.
+int cmd_query(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: v6sonar query <socket> <verb> [arg] [--top <n>] [--count <n>]\n"
+                 "       [--timeout-sec <s>] [--wait-key <key> [--wait-min <n>]]\n"
+                 "verbs: ping status report top-sources top-ports as-report blocklist\n"
+                 "       metrics subscribe ingest shutdown\n");
+    return 2;
+  }
+  const std::string sock = argv[2];
+  const std::string verb_str = argv[3];
+  daemon::Verb verb;
+  if (!daemon::parse_verb(verb_str, verb)) {
+    std::fprintf(stderr, "error: unknown verb '%s'\n", verb_str.c_str());
+    return 2;
+  }
+  QueryOptions q;
+  std::string arg;  // ping payload / ingest file
+  for (int i = 4; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--top") == 0) {
+      q.top = parse_int<std::size_t>("--top", need_value("--top"));
+    } else if (std::strcmp(argv[i], "--count") == 0) {
+      q.count = parse_int<std::size_t>("--count", need_value("--count"));
+    } else if (std::strcmp(argv[i], "--timeout-sec") == 0) {
+      q.timeout_sec = parse_int<std::size_t>("--timeout-sec", need_value("--timeout-sec"));
+    } else if (std::strcmp(argv[i], "--wait-key") == 0) {
+      q.wait_key = need_value("--wait-key");
+    } else if (std::strcmp(argv[i], "--wait-min") == 0) {
+      q.wait_min = parse_int<std::uint64_t>("--wait-min", need_value("--wait-min"));
+    } else if (argv[i][0] != '-' && arg.empty()) {
+      arg = argv[i];
+    } else {
+      std::fprintf(stderr, "error: unknown query option %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  const auto deadline =
+      SteadyClock::now() + std::chrono::milliseconds(static_cast<long>(q.timeout_sec * 1000));
+  util::UniqueFd fd = query_connect(sock, deadline);
+  if (!fd.valid()) return 1;
+  daemon::FrameDecoder decoder;
+  std::uint16_t seq = 1;
+
+  // status --wait-key KEY --wait-min N: poll until the daemon's state
+  // reaches the threshold (the smoke test's synchronization verb).
+  if (!q.wait_key.empty()) {
+    for (;;) {
+      if (!query_send(fd.get(), daemon::Verb::kStatus, "", seq)) return 1;
+      daemon::Frame resp;
+      if (!query_read(fd.get(), decoder, resp, deadline)) return 1;
+      std::uint64_t value = 0;
+      if (resp.status == static_cast<std::uint8_t>(daemon::Status::kOk) &&
+          status_value(resp.payload, q.wait_key, value) && value >= q.wait_min) {
+        std::printf("%s %llu\n", q.wait_key.c_str(), static_cast<unsigned long long>(value));
+        return 0;
+      }
+      if (SteadyClock::now() >= deadline) {
+        std::fprintf(stderr, "error: timed out waiting for %s >= %llu\n", q.wait_key.c_str(),
+                     static_cast<unsigned long long>(q.wait_min));
+        return 1;
+      }
+      ++seq;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+
+  // ingest <file.v6slog>: push the file's records through the socket
+  // in chunks, awaiting the ack for each.
+  if (verb == daemon::Verb::kIngest) {
+    if (arg.empty()) {
+      std::fprintf(stderr, "error: ingest needs a .v6slog file argument\n");
+      return 2;
+    }
+    sim::LogReader reader(arg);
+    std::array<sim::LogRecord, 4'096> batch;
+    std::uint64_t pushed = 0;
+    for (std::size_t n; (n = reader.next_batch(batch.data(), batch.size())) > 0;) {
+      std::string payload(n * sim::kLogRecordBytes, '\0');
+      for (std::size_t i = 0; i < n; ++i)
+        sim::encode_record(batch[i],
+                           reinterpret_cast<std::uint8_t*>(payload.data()) +
+                               i * sim::kLogRecordBytes);
+      if (!query_send(fd.get(), verb, payload, seq)) return 1;
+      daemon::Frame resp;
+      if (!query_read(fd.get(), decoder, resp, deadline)) return 1;
+      if (resp.status != static_cast<std::uint8_t>(daemon::Status::kOk)) {
+        std::fprintf(stderr, "error: %s", resp.payload.c_str());
+        return 1;
+      }
+      pushed += n;
+      ++seq;
+    }
+    std::printf("ingested %llu records\n", static_cast<unsigned long long>(pushed));
+    return 0;
+  }
+
+  // Single request/response (plus the pushed-event stream after a
+  // subscribe ack).
+  std::string payload = arg;
+  if (q.top > 0 &&
+      (verb == daemon::Verb::kReport || verb == daemon::Verb::kTopSources ||
+       verb == daemon::Verb::kAsReport))
+    payload = std::to_string(q.top);
+  if (!query_send(fd.get(), verb, payload, seq)) return 1;
+  daemon::Frame resp;
+  if (!query_read(fd.get(), decoder, resp, deadline)) return 1;
+  if (resp.status != static_cast<std::uint8_t>(daemon::Status::kOk)) {
+    std::fprintf(stderr, "error: %s", resp.payload.c_str());
+    return 1;
+  }
+  if (verb != daemon::Verb::kSubscribe) {
+    std::fwrite(resp.payload.data(), 1, resp.payload.size(), stdout);
+    return 0;
+  }
+  // Subscribed: print pushed event lines until --count is reached.
+  for (std::size_t got = 0; got < q.count;) {
+    daemon::Frame ev;
+    if (!query_read(fd.get(), decoder, ev, deadline)) return 1;
+    if (ev.status != static_cast<std::uint8_t>(daemon::Status::kEvent)) continue;
+    std::fwrite(ev.payload.data(), 1, ev.payload.size(), stdout);
+    std::fflush(stdout);
+    ++got;
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Cooperative drain on SIGINT/SIGTERM: streaming loops stop early,
+  // writers finalize (fsync'd), metrics still dump, and the process
+  // exits 128+signo. A second signal force-exits immediately.
+  v6sonar::util::ShutdownSignal::install();
   // Strip --metrics[=FILE] wherever it appears, so every subcommand
   // gets observability without each parser knowing about the flag.
   bool metrics_on = false;
@@ -805,6 +994,7 @@ int main(int argc, char** argv) {
     if (cmd == "generate" && argc >= 3)
       return cmd_generate(argv[2], argc >= 4 && std::strcmp(argv[3], "--small") == 0);
     if (cmd == "mawi-day" && argc >= 4) return cmd_mawi_day(argv[2], argv[3]);
+    if (cmd == "query") return cmd_query(argc, argv);
     usage();
   };
   int rc = 0;
@@ -815,5 +1005,10 @@ int main(int argc, char** argv) {
     rc = 1;
   }
   if (metrics_on) dump_metrics(metrics_file);
+  // Interrupted-but-drained runs report the conventional 128+signo
+  // (130 SIGINT, 143 SIGTERM): outputs are finalized, analysis is
+  // partial. See README "Interrupting long runs".
+  if (rc == 0 && v6sonar::util::ShutdownSignal::requested())
+    rc = v6sonar::util::ShutdownSignal::exit_code();
   return rc;
 }
