@@ -26,6 +26,7 @@
 #include "sim/log_io.hpp"
 #include "util/flat_hash.hpp"
 #include "util/metrics.hpp"
+#include "util/process_stats.hpp"
 #include "util/rng.hpp"
 #include "util/timebase.hpp"
 
@@ -389,6 +390,121 @@ void print_detector_serial() {
   benchx::update_bench_json("BENCH_pipeline.json", "detector_serial", json);
 }
 
+/// Hot/cold state tiering (--cold-after): a replay over the
+/// population shape the cold tier exists for — a small set of heavy
+/// scanners probing continuously plus a long tail of sources that
+/// send one packet and go silent. The tail demotes once and never
+/// churns back; the heavies never go idle long enough to demote.
+/// Reports throughput cost and memory effect side by side. Peak RSS
+/// is process-monotone, so the tiered replay runs FIRST (and this
+/// whole section runs before the 4 M-record replay sections, whose
+/// working set would otherwise set the process peak); the untiered
+/// replay can only push the peak higher, and the delta between the
+/// two readings is the hot-state footprint the cold tier avoided.
+void print_state_tiering() {
+  std::size_t records = 4'000'000;
+  if (const char* env = std::getenv("V6SONAR_DETECTOR_RECORDS")) {
+    const std::size_t n = std::strtoull(env, nullptr, 10);
+    if (n > 0) records = n;
+  }
+  constexpr std::size_t kHeavies = 1'000;
+  constexpr std::size_t kBatch = 4'096;
+  constexpr sim::TimeUs kTimeoutUs = 7'200'000'000;    // 2 h
+  constexpr sim::TimeUs kDemoteIdleUs = 600'000'000;   // 10 min
+  // ~0.9 ms mean gap => the whole replay spans under one detection
+  // timeout: no source expires, so state only accumulates — tail
+  // sources sit hot (untiered) or demote after 10 min idle (tiered).
+  const auto traffic = [&] {
+    util::Xoshiro256 rng(11);
+    std::vector<sim::LogRecord> out;
+    out.reserve(records);
+    sim::TimeUs t = sim::us_from_seconds(util::kWindowStart);
+    std::uint64_t next_tail = 0;
+    for (std::size_t i = 0; i < records; ++i) {
+      sim::LogRecord r;
+      t += 1 + static_cast<sim::TimeUs>(rng.below(1'800));
+      r.ts_us = t;
+      // 80% of packets from the heavies, 20% one-shot tail sources.
+      const bool heavy = rng.below(5) != 0;
+      const std::uint64_t src = heavy ? rng.below(kHeavies) : kHeavies + next_tail++;
+      r.src = net::Ipv6Address{0x2A10'0000'0000'0000ULL | src << 16, 0};
+      r.dst = net::Ipv6Address{0x2600ULL << 48, rng.below(1 << 18)};
+      r.dst_port = 443;
+      r.src_asn = 1;
+      out.push_back(r);
+    }
+    return out;
+  }();
+
+  struct TierRun {
+    double best_s = 0;
+    std::uint64_t events = 0;
+    std::size_t hot = 0, cold = 0;  ///< populations at end of replay, pre-flush
+    std::uint64_t rss_kb = 0;       ///< process peak RSS after this run
+  };
+  const auto run = [&](sim::TimeUs demote_idle) {
+    TierRun out;
+    for (int pass = 0; pass < 3; ++pass) {
+      std::uint64_t ev = 0;
+      core::ScanDetector det({.source_prefix_len = 64,
+                              .timeout_us = kTimeoutUs,
+                              .demote_idle_us = demote_idle},
+                             [&](core::ScanEvent&&) { ++ev; });
+      const std::span<const sim::LogRecord> all(traffic);
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < all.size(); i += kBatch)
+        det.feed_batch(all.subspan(i, std::min(kBatch, all.size() - i)));
+      const auto t1 = std::chrono::steady_clock::now();
+      out.hot = det.hot_sources();
+      out.cold = det.cold_sources();
+      det.flush();
+      const double s = std::chrono::duration<double>(t1 - t0).count();
+      if (pass == 0 || s < out.best_s) out.best_s = s;
+      out.events = ev;
+    }
+    out.rss_kb = util::max_rss_kb();
+    return out;
+  };
+
+  const TierRun tiered = run(kDemoteIdleUs);  // must run first (RSS is monotone)
+  const TierRun untiered = run(0);
+
+  const auto rps = [&](double s) { return static_cast<double>(records) / s; };
+  std::printf("state tiering — %zu records, %zu heavy + one-shot tail /64 sources, "
+              "demote after %llds idle\n",
+              records, kHeavies,
+              static_cast<long long>(kDemoteIdleUs / 1'000'000));
+  std::printf("  %-12s %10s %12s %10s %10s %12s\n", "detector", "seconds", "records/s",
+              "hot@end", "cold@end", "peak RSS kB");
+  std::printf("  %-12s %10.3f %12.0f %10zu %10zu %12llu\n", "tiered", tiered.best_s,
+              rps(tiered.best_s), tiered.hot, tiered.cold,
+              static_cast<unsigned long long>(tiered.rss_kb));
+  std::printf("  %-12s %10.3f %12.0f %10zu %10zu %12llu%s\n", "untiered", untiered.best_s,
+              rps(untiered.best_s), untiered.hot, untiered.cold,
+              static_cast<unsigned long long>(untiered.rss_kb),
+              untiered.events == tiered.events ? "" : "  EVENT MISMATCH");
+  std::printf("  tiering cost %.1f%%, hot-state RSS delta %lld kB\n\n",
+              (tiered.best_s / untiered.best_s - 1.0) * 100.0,
+              static_cast<long long>(untiered.rss_kb) -
+                  static_cast<long long>(tiered.rss_kb));
+
+  char json[512];
+  std::snprintf(json, sizeof json,
+                "{\"records\": %zu, \"heavy_sources\": %zu, \"demote_idle_s\": %lld, "
+                "\"untiered_rps\": %.0f, \"tiered_rps\": %.0f, \"tiering_cost\": %.3f, "
+                "\"hot_end_untiered\": %zu, \"hot_end_tiered\": %zu, "
+                "\"cold_end_tiered\": %zu, \"peak_rss_tiered_kb\": %llu, "
+                "\"peak_rss_untiered_kb\": %llu, \"rss_delta_kb\": %lld}",
+                records, kHeavies, static_cast<long long>(kDemoteIdleUs / 1'000'000),
+                rps(untiered.best_s), rps(tiered.best_s),
+                tiered.best_s / untiered.best_s, untiered.hot, tiered.hot, tiered.cold,
+                static_cast<unsigned long long>(tiered.rss_kb),
+                static_cast<unsigned long long>(untiered.rss_kb),
+                static_cast<long long>(untiered.rss_kb) -
+                    static_cast<long long>(tiered.rss_kb));
+  benchx::update_bench_json("BENCH_pipeline.json", "state_tiering", json);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -400,6 +516,7 @@ int main(int argc, char** argv) {
     print_detector_serial();
     return 0;
   }
+  print_state_tiering();  // first: its peak-RSS readings need a quiet baseline
   print_replay_comparison();
   print_detector_serial();
   benchmark::Initialize(&argc, argv);

@@ -30,11 +30,17 @@
 #include <string_view>
 
 #include "core/event_sink.hpp"
+#include "core/state_codec.hpp"
 #include "util/metrics.hpp"
 
 namespace v6sonar::analysis {
 
-class Analyzer : public core::EventSink {
+/// Analyzers are also checkpointable (core::StateCodec): every
+/// accumulator is per-key integer state in flat containers, so save()
+/// dumps contents and load() reinserts them — the same order-
+/// independence argument that makes merge() sound makes a thawed
+/// analyzer equivalent to the frozen one.
+class Analyzer : public core::EventSink, public core::StateCodec {
  public:
   /// Sink entry point: counts the event, then folds it via consume().
   void on_event(core::ScanEvent&& ev) final { observe(ev); }

@@ -40,6 +40,19 @@ DnsTargetingReport DnsTargetingAnalyzer::report() const {
   return rep;
 }
 
+void DnsTargetingAnalyzer::save(util::StateWriter& w) const {
+  w.u32(exclude_asn_);
+  util::save_flat(w, by_source_);
+}
+
+void DnsTargetingAnalyzer::load(util::StateReader& r) {
+  if (!by_source_.empty())
+    throw std::runtime_error("DnsTargetingAnalyzer::load: analyzer already fed");
+  if (r.u32() != exclude_asn_)
+    throw std::runtime_error("DnsTargetingAnalyzer::load: configuration mismatch");
+  util::load_flat(r, by_source_);
+}
+
 DnsTargetingReport dns_targeting(const std::vector<core::ScanEvent>& events,
                                  std::uint32_t exclude_asn) {
   DnsTargetingAnalyzer a(exclude_asn);

@@ -39,6 +39,9 @@ class DnsTargetingAnalyzer final : public Analyzer {
 
   [[nodiscard]] DnsTargetingReport report() const;
 
+  void save(util::StateWriter& w) const override;
+  void load(util::StateReader& r) override;
+
  private:
   void consume(const core::ScanEvent& ev) override;
   void merge_from(Analyzer& other) override;

@@ -66,6 +66,24 @@ PortBucketShares PortBucketAnalyzer::shares() const {
   return out;
 }
 
+void PortBucketAnalyzer::save(util::StateWriter& w) const {
+  for (int b = 0; b < 4; ++b) w.u64(scans_[b]);
+  for (int b = 0; b < 4; ++b) w.u64(packets_[b]);
+  w.u64(total_scans_);
+  w.u64(total_packets_);
+  util::save_flat(w, source_bucket_);
+}
+
+void PortBucketAnalyzer::load(util::StateReader& r) {
+  if (total_scans_ != 0)
+    throw std::runtime_error("PortBucketAnalyzer::load: analyzer already fed");
+  for (int b = 0; b < 4; ++b) scans_[b] = r.u64();
+  for (int b = 0; b < 4; ++b) packets_[b] = r.u64();
+  total_scans_ = r.u64();
+  total_packets_ = r.u64();
+  util::load_flat(r, source_bucket_);
+}
+
 PortBucketShares port_bucket_shares(const std::vector<core::ScanEvent>& events) {
   PortBucketAnalyzer a;
   for (const auto& ev : events) a.observe(ev);
@@ -139,6 +157,28 @@ TopPorts TopPortsAnalyzer::result() const {
   out.by_sources = rank(shares(static_cast<double>(all_sources_.size()),
                                [](const Acc& a) { return static_cast<double>(a.sources); }));
   return out;
+}
+
+void TopPortsAnalyzer::save(util::StateWriter& w) const {
+  w.u64(n_);
+  w.u8(exclude_ ? 1 : 0);
+  util::save_flat(w, by_port_);
+  util::save_flat(w, port_source_seen_);
+  util::save_flat(w, all_sources_);
+  w.u64(total_packets_);
+  w.u64(total_scans_);
+}
+
+void TopPortsAnalyzer::load(util::StateReader& r) {
+  if (total_scans_ != 0)
+    throw std::runtime_error("TopPortsAnalyzer::load: analyzer already fed");
+  if (r.u64() != n_ || (r.u8() != 0) != static_cast<bool>(exclude_))
+    throw std::runtime_error("TopPortsAnalyzer::load: configuration mismatch");
+  util::load_flat(r, by_port_);
+  util::load_flat(r, port_source_seen_);
+  util::load_flat(r, all_sources_);
+  total_packets_ = r.u64();
+  total_scans_ = r.u64();
 }
 
 TopPorts top_ports(const std::vector<core::ScanEvent>& events, std::size_t n,

@@ -46,6 +46,9 @@ class PortBucketAnalyzer final : public Analyzer {
 
   [[nodiscard]] PortBucketShares shares() const;
 
+  void save(util::StateWriter& w) const override;
+  void load(util::StateReader& r) override;
+
  private:
   void consume(const core::ScanEvent& ev) override;
   void merge_from(Analyzer& other) override;
@@ -82,6 +85,12 @@ class TopPortsAnalyzer final : public Analyzer {
       : Analyzer("top_ports"), n_(n), exclude_(std::move(exclude)) {}
 
   [[nodiscard]] TopPorts result() const;
+
+  /// The exclude predicate is opaque and NOT serialized; load()
+  /// requires the thawed instance to be constructed with the same
+  /// predicate presence (and, by the StateCodec contract, semantics).
+  void save(util::StateWriter& w) const override;
+  void load(util::StateReader& r) override;
 
  private:
   void consume(const core::ScanEvent& ev) override;

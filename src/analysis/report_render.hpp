@@ -72,6 +72,28 @@ struct ReportBundle {
     top_ports.merge(std::move(other.top_ports));
     dns.merge(std::move(other.dns));
   }
+
+  /// Freeze/thaw, member-wise in declaration order (core::StateCodec
+  /// contracts apply per analyzer: load onto a same-configured fresh
+  /// bundle).
+  void save(util::StateWriter& w) const {
+    sources.save(w);
+    by_as.save(w);
+    durations.save(w);
+    timeseries.save(w);
+    port_buckets.save(w);
+    top_ports.save(w);
+    dns.save(w);
+  }
+  void load(util::StateReader& r) {
+    sources.load(r);
+    by_as.load(r);
+    durations.load(r);
+    timeseries.load(r);
+    port_buckets.load(r);
+    top_ports.load(r);
+    dns.load(r);
+  }
 };
 
 /// Render the full report (sources, ASes, durations, ports, weekly,

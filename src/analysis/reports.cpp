@@ -47,6 +47,22 @@ AggregateTotals SourceAnalyzer::totals() const {
   return {scans_, packets_, by_source_.size(), ases_.size()};
 }
 
+void SourceAnalyzer::save(util::StateWriter& w) const {
+  util::save_flat(w, by_source_);
+  util::save_flat(w, ases_);
+  w.u64(scans_);
+  w.u64(packets_);
+}
+
+void SourceAnalyzer::load(util::StateReader& r) {
+  if (scans_ != 0 || !by_source_.empty())
+    throw std::runtime_error("SourceAnalyzer::load: analyzer already fed");
+  util::load_flat(r, by_source_);
+  util::load_flat(r, ases_);
+  scans_ = r.u64();
+  packets_ = r.u64();
+}
+
 std::vector<SourceReport> fold_sources(const std::vector<core::ScanEvent>& events) {
   SourceAnalyzer a;
   for (const auto& ev : events) a.observe(ev);
@@ -94,6 +110,17 @@ std::vector<AsSources> AsAnalyzer::by_as() const {
   return out;
 }
 
+void AsAnalyzer::save(util::StateWriter& w) const {
+  util::save_flat(w, by_as_);
+  util::save_flat(w, seen_);
+}
+
+void AsAnalyzer::load(util::StateReader& r) {
+  if (!by_as_.empty()) throw std::runtime_error("AsAnalyzer::load: analyzer already fed");
+  util::load_flat(r, by_as_);
+  util::load_flat(r, seen_);
+}
+
 std::vector<AsSources> fold_by_as(const std::vector<core::ScanEvent>& events) {
   AsAnalyzer a;
   for (const auto& ev : events) a.observe(ev);
@@ -136,6 +163,32 @@ DurationStats DurationAnalyzer::stats() const {
   d.p90_sec = bin_quantile(0.9);
   d.max_sec = max_sec_;
   return d;
+}
+
+void DurationAnalyzer::save(util::StateWriter& w) const {
+  w.u64(events_);
+  w.f64(max_sec_);
+  const auto& counts = hist_.counts();
+  std::uint64_t nonzero = 0;
+  for (const auto c : counts) nonzero += c != 0;
+  w.u64(nonzero);
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    w.u32(static_cast<std::uint32_t>(b));
+    w.u64(counts[b]);
+  }
+}
+
+void DurationAnalyzer::load(util::StateReader& r) {
+  if (events_ != 0) throw std::runtime_error("DurationAnalyzer::load: analyzer already fed");
+  events_ = r.u64();
+  max_sec_ = r.f64();
+  const std::uint64_t nonzero = r.count(12);
+  for (std::uint64_t i = 0; i < nonzero; ++i) {
+    const std::uint32_t bin = r.u32();
+    if (bin >= kBins) throw std::runtime_error("DurationAnalyzer::load: bin out of range");
+    hist_.add(bin, r.u64());
+  }
 }
 
 DurationStats duration_stats(const std::vector<core::ScanEvent>& events) {

@@ -46,6 +46,9 @@ class SourceAnalyzer final : public Analyzer {
   [[nodiscard]] std::vector<SourceReport> sources() const;
   [[nodiscard]] AggregateTotals totals() const;
 
+  void save(util::StateWriter& w) const override;
+  void load(util::StateReader& r) override;
+
  private:
   void consume(const core::ScanEvent& ev) override;
   void merge_from(Analyzer& other) override;
@@ -84,6 +87,9 @@ class AsAnalyzer final : public Analyzer {
 
   /// Per-AS rows, sorted by ASN ascending.
   [[nodiscard]] std::vector<AsSources> by_as() const;
+
+  void save(util::StateWriter& w) const override;
+  void load(util::StateReader& r) override;
 
  private:
   void consume(const core::ScanEvent& ev) override;
@@ -131,6 +137,12 @@ class DurationAnalyzer final : public Analyzer {
   DurationAnalyzer() : Analyzer("durations"), hist_(kBins) {}
 
   [[nodiscard]] DurationStats stats() const;
+
+  /// The week-span histogram is serialized sparsely (nonzero bins
+  /// only) — it is a 604800-entry array that is near-empty in
+  /// practice.
+  void save(util::StateWriter& w) const override;
+  void load(util::StateReader& r) override;
 
  private:
   /// One bin per second for a week: 604800 bins (~4.6 MB) — the

@@ -74,6 +74,18 @@ double TimeSeriesAnalyzer::mean_weekly_top_k(std::size_t k) const {
   return sum / static_cast<double>(series.size());
 }
 
+void TimeSeriesAnalyzer::save(util::StateWriter& w) const {
+  util::save_flat(w, week_source_packets_);
+  util::save_flat(w, source_packets_);
+}
+
+void TimeSeriesAnalyzer::load(util::StateReader& r) {
+  if (!source_packets_.empty())
+    throw std::runtime_error("TimeSeriesAnalyzer::load: analyzer already fed");
+  util::load_flat(r, week_source_packets_);
+  util::load_flat(r, source_packets_);
+}
+
 std::vector<WeekPoint> weekly_series(const std::vector<core::ScanEvent>& events) {
   TimeSeriesAnalyzer a;
   for (const auto& ev : events) a.observe(ev);

@@ -39,6 +39,9 @@ class TimeSeriesAnalyzer final : public Analyzer {
   /// Mean of the weekly top-k shares.
   [[nodiscard]] double mean_weekly_top_k(std::size_t k) const;
 
+  void save(util::StateWriter& w) const override;
+  void load(util::StateReader& r) override;
+
  private:
   void consume(const core::ScanEvent& ev) override;
   void merge_from(Analyzer& other) override;

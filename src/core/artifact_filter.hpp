@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/state_codec.hpp"
 #include "net/prefix.hpp"
 #include "sim/record.hpp"
 #include "util/arena.hpp"
@@ -46,7 +47,7 @@ struct FilterDayStats {
   std::unordered_map<std::uint32_t, std::uint64_t> dropped_by_port;
 };
 
-class ArtifactFilter {
+class ArtifactFilter : public StateCodec {
  public:
   using RecordSink = std::function<void(const sim::LogRecord&)>;
   using StatsSink = std::function<void(const FilterDayStats&)>;
@@ -75,6 +76,13 @@ class ArtifactFilter {
 
   /// Flush the final partial day.
   void flush();
+
+  /// Freeze/thaw (core::StateCodec). Only the clock and the buffered
+  /// (incomplete) day are serialized — the per-source hit tables are a
+  /// pure function of the buffered records, so load() rebuilds them by
+  /// replaying the buffer through the same accounting as feed().
+  void save(util::StateWriter& w) const override;
+  void load(util::StateReader& r) override;
 
  private:
   /// Below this many tracked sources the per-day tables are

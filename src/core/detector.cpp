@@ -36,6 +36,12 @@ struct DetectorMetrics {
   util::metrics::Counter expiry_dead{"detector.expiry.dead_keys"};
   util::metrics::Counter expiry_finalized{"detector.expiry.finalized"};
   util::metrics::Counter events_emitted{"detector.events.emitted"};
+  // Hot/cold tiering traffic and high-water tier sizes (gauges are
+  // high-water marks; noted per sweep/batch, not per record).
+  util::metrics::Counter demotions{"detector.state.demotions"};
+  util::metrics::Counter promotions{"detector.state.promotions"};
+  util::metrics::Gauge hot_sources{"detector.state.hot_sources"};
+  util::metrics::Gauge cold_sources{"detector.state.cold_sources"};
 };
 
 DetectorMetrics& dm() {
@@ -43,24 +49,28 @@ DetectorMetrics& dm() {
   return m;
 }
 
+void validate_config(const DetectorConfig& config) {
+  if (config.source_prefix_len < 0 || config.source_prefix_len > 128)
+    throw std::invalid_argument("ScanDetector: bad aggregation length");
+  if (config.min_destinations == 0)
+    throw std::invalid_argument("ScanDetector: min_destinations must be positive");
+  if (config.timeout_us <= 0) throw std::invalid_argument("ScanDetector: bad timeout");
+  if (config.demote_idle_us < 0 ||
+      (config.demote_idle_us > 0 && config.demote_idle_us >= config.timeout_us))
+    throw std::invalid_argument(
+        "ScanDetector: demote_idle_us must be 0 or in (0, timeout_us)");
+}
+
 }  // namespace
 
 ScanDetector::ScanDetector(const DetectorConfig& config, EventSink& sink)
     : config_(config), deriver_(config.source_prefix_len), sink_(&sink) {
-  if (config_.source_prefix_len < 0 || config_.source_prefix_len > 128)
-    throw std::invalid_argument("ScanDetector: bad aggregation length");
-  if (config_.min_destinations == 0)
-    throw std::invalid_argument("ScanDetector: min_destinations must be positive");
-  if (config_.timeout_us <= 0) throw std::invalid_argument("ScanDetector: bad timeout");
+  validate_config(config_);
 }
 
 ScanDetector::ScanDetector(const DetectorConfig& config, EventFn fn)
     : config_(config), deriver_(config.source_prefix_len) {
-  if (config_.source_prefix_len < 0 || config_.source_prefix_len > 128)
-    throw std::invalid_argument("ScanDetector: bad aggregation length");
-  if (config_.min_destinations == 0)
-    throw std::invalid_argument("ScanDetector: min_destinations must be positive");
-  if (config_.timeout_us <= 0) throw std::invalid_argument("ScanDetector: bad timeout");
+  validate_config(config_);
   if (!fn) throw std::invalid_argument("ScanDetector: null sink");
   owned_sink_ = std::make_unique<FunctionSink>(std::move(fn));
   sink_ = owned_sink_.get();
@@ -70,6 +80,7 @@ ScanDetector::~ScanDetector() {
   // States are pool blocks holding live containers; destroy them
   // explicitly (clear()ing the index only drops the pointers).
   states_.for_each([this](const net::Ipv6Prefix&, SourceState* st) { delete_state(st); });
+  cold_.for_each([](const net::Ipv6Prefix&, ColdState* cs) { delete cs; });
 }
 
 ScanDetector::SourceState* ScanDetector::new_state() {
@@ -95,13 +106,25 @@ void ScanDetector::feed_one(const sim::LogRecord& r, const net::Ipv6Prefix& key,
   ++packets_seen_;
 
   expire_up_to(r.ts_us);
+  if (config_.demote_idle_us > 0) demote_up_to(r.ts_us);
 
   SourceState*& slot = states_.insert_hashed(key, key_hash);
   if (slot == nullptr) {
-    slot = new_state();
-    slot->first_us = r.ts_us;
-    slot->asn = r.src_asn;
-    expiries_.push(Expiry{r.ts_us + config_.timeout_us, key, key_hash});
+    // A miss is either a brand-new source or a cold one waking up. A
+    // cold source found here cannot have gapped out: expire_up_to()
+    // just finalized every source (either tier) whose true due time
+    // precedes r.ts_us, so the surviving cold record continues its
+    // event — rehydrate it and skip the split check.
+    if (SourceState* thawed = promote(key, key_hash)) {
+      slot = thawed;
+    } else {
+      slot = new_state();
+      slot->first_us = r.ts_us;
+      slot->asn = r.src_asn;
+      expiries_.push(Expiry{r.ts_us + config_.timeout_us, key, key_hash});
+      if (config_.demote_idle_us > 0)
+        demotions_.push(Expiry{r.ts_us + config_.demote_idle_us, key, key_hash});
+    }
   } else if (r.ts_us - slot->last_us > config_.timeout_us) {
     // The previous event of this source ended; finalize it and start a
     // fresh one in place, reusing its container storage.
@@ -134,6 +157,15 @@ void ScanDetector::feed_batch(std::span<const sim::LogRecord> batch) {
   if (counting) {
     dm().batch_calls.add();
     dm().batch_records.add(n);
+  }
+  // Demotion is output-invisible (no event, no expiry-heap change), so
+  // sweeping at batch start keeps the grouped path — which never calls
+  // the per-record sweep — demoting on schedule. A demoted source with
+  // records inside this batch simply promotes again at its first probe.
+  if (config_.demote_idle_us > 0 && n > 0) demote_up_to(batch[0].ts_us);
+  if (counting) {
+    dm().hot_sources.note(states_.size());
+    dm().cold_sources.note(cold_.size());
   }
   if (n < 2) {
     if (counting) {
@@ -379,10 +411,20 @@ bool ScanDetector::feed_grouped(std::span<const sim::LogRecord> batch) {
     const Run& run = runs_[ri];
     SourceState*& slot = states_.insert_hashed(run.key, run.key_hash);
     if (slot == nullptr) {
-      slot = new_state();
-      slot->first_us = run.first_ts;
-      slot->asn = run.asn;
-      expiries_.push(Expiry{run.first_ts + config_.timeout_us, run.key, run.key_hash});
+      // Cold source inside a grouped batch: guard 2 (via the cold-aware
+      // refine_expiries) proved its event cannot finalize or split
+      // before the batch ends, so rehydrating and appending the run is
+      // exactly what the serial path would do.
+      if (SourceState* thawed = promote(run.key, run.key_hash)) {
+        slot = thawed;
+      } else {
+        slot = new_state();
+        slot->first_us = run.first_ts;
+        slot->asn = run.asn;
+        expiries_.push(Expiry{run.first_ts + config_.timeout_us, run.key, run.key_hash});
+        if (config_.demote_idle_us > 0)
+          demotions_.push(Expiry{run.first_ts + config_.demote_idle_us, run.key, run.key_hash});
+      }
     }
     SourceState& st = *slot;
     st.last_us = run.last_ts;
@@ -448,6 +490,97 @@ void ScanDetector::advance(sim::TimeUs now) {
   if (now < last_ts_) return;
   last_ts_ = now;
   expire_up_to(now);
+  if (config_.demote_idle_us > 0) demote_up_to(now);
+}
+
+void ScanDetector::finalize_cold(const net::Ipv6Prefix& key, const ColdState& cs) {
+  if (cs.dsts.size() < config_.min_destinations) return;
+  ScanEvent ev;
+  ev.source = key;
+  ev.first_us = cs.first_us;
+  ev.last_us = cs.last_us;
+  ev.packets = cs.packets;
+  ev.distinct_dsts = static_cast<std::uint32_t>(cs.dsts.size());
+  ev.distinct_dsts_in_dns = cs.dsts_in_dns;
+  ev.src_asn = cs.asn;
+  ev.port_packets.reserve(cs.ports.size());
+  for (const auto& [port, n] : cs.ports)
+    ev.port_packets.emplace_back(static_cast<std::uint16_t>(port), n);
+  std::sort(ev.port_packets.begin(), ev.port_packets.end());
+  ev.weekly_packets.reserve(cs.weekly.size());
+  for (const auto& [week, n] : cs.weekly)
+    ev.weekly_packets.emplace_back(static_cast<std::int32_t>(week), n);
+  std::sort(ev.weekly_packets.begin(), ev.weekly_packets.end());
+  dm().events_emitted.add();
+  sink_->on_event(std::move(ev));
+}
+
+void ScanDetector::demote_up_to(sim::TimeUs now) {
+  std::uint64_t demoted = 0;
+  while (!demotions_.empty() && demotions_.top().at < now) {
+    const Expiry e = demotions_.top();
+    demotions_.pop();
+    SourceState* const* p = states_.find_hashed(e.key, e.key_hash);
+    if (p == nullptr) continue;  // already cold, or finalized
+    const sim::TimeUs due = (*p)->last_us + config_.demote_idle_us;
+    if (due != e.at) {
+      // Stale reminder: the source was active since. Re-queue at its
+      // current true demote time, same discipline as the expiry heap.
+      demotions_.push(Expiry{due, e.key, e.key_hash});
+      continue;
+    }
+    demote(e.key, e.key_hash, *p);
+    ++demoted;
+  }
+  if (demoted && util::metrics::enabled()) {
+    dm().demotions.add(demoted);
+    dm().cold_sources.note(cold_.size());
+  }
+}
+
+void ScanDetector::demote(const net::Ipv6Prefix& key, std::size_t key_hash, SourceState* st) {
+  auto cs = std::make_unique<ColdState>();
+  cs->first_us = st->first_us;
+  cs->last_us = st->last_us;
+  cs->packets = st->packets;
+  cs->dsts_in_dns = st->dsts_in_dns;
+  cs->asn = st->asn;
+  cs->dsts.reserve(st->dsts.size());
+  st->dsts.for_each([&](const net::Ipv6Address& a) { cs->dsts.push_back(a); });
+  cs->ports.reserve(st->ports.size());
+  st->ports.for_each(
+      [&](std::uint32_t port, std::uint64_t n) { cs->ports.emplace_back(port, n); });
+  cs->weekly.reserve(st->weekly.size());
+  st->weekly.for_each(
+      [&](std::uint32_t week, std::uint64_t n) { cs->weekly.emplace_back(week, n); });
+  delete_state(st);
+  states_.erase_hashed(key, key_hash);
+  cold_.insert_hashed(key, key_hash) = cs.release();
+}
+
+ScanDetector::SourceState* ScanDetector::promote(const net::Ipv6Prefix& key,
+                                                 std::size_t key_hash) {
+  ColdState** p = cold_.find_hashed(key, key_hash);
+  if (p == nullptr) return nullptr;
+  std::unique_ptr<ColdState> cs(*p);
+  cold_.erase_hashed(key, key_hash);
+  SourceState* st = new_state();
+  st->first_us = cs->first_us;
+  st->last_us = cs->last_us;
+  st->packets = cs->packets;
+  st->dsts_in_dns = cs->dsts_in_dns;
+  st->asn = cs->asn;
+  st->dsts.reserve(cs->dsts.size());
+  for (const auto& a : cs->dsts) st->dsts.insert(a);
+  st->ports.reserve(cs->ports.size());
+  for (const auto& [port, n] : cs->ports) st->ports[port] = n;
+  st->weekly.reserve(cs->weekly.size());
+  for (const auto& [week, n] : cs->weekly) st->weekly[week] = n;
+  // week_slot stays null — the next record recomputes the cached
+  // weekly-histogram slot lazily, against the rebuilt `weekly` map.
+  demotions_.push(Expiry{cs->last_us + config_.demote_idle_us, key, key_hash});
+  if (util::metrics::enabled()) dm().promotions.add();
+  return st;
 }
 
 bool ScanDetector::refine_expiries(sim::TimeUs last) {
@@ -471,12 +604,19 @@ bool ScanDetector::refine_expiries(sim::TimeUs last) {
   while (!expiries_.empty() && expiries_.top().at < last) {
     const Expiry e = expiries_.top();
     SourceState* const* p = states_.find_hashed(e.key, e.key_hash);
-    if (p == nullptr) {
+    sim::TimeUs due;
+    if (p != nullptr) {
+      due = (*p)->last_us + config_.timeout_us;
+    } else if (ColdState* const* cp = cold_.find_hashed(e.key, e.key_hash)) {
+      // Cold sources keep their expiry reminders; the record is
+      // immutable, so its true due time is exact — refine or fail by
+      // the same rule as a hot source.
+      due = (*cp)->last_us + config_.timeout_us;
+    } else {
       expiries_.pop();
       ++pops, ++dead;
       continue;
     }
-    const sim::TimeUs due = (*p)->last_us + config_.timeout_us;
     if (due < last) {
       ok = false;  // genuine finalization (or split) possible in-batch
       break;
@@ -507,7 +647,24 @@ void ScanDetector::expire_up_to(sim::TimeUs now) {
     ++pops;
     SourceState* const* p = states_.find_hashed(e.key, e.key_hash);
     if (p == nullptr) {
-      ++dead;
+      // Not hot: a cold-tier source finalizes straight from its packed
+      // record, with the identical stale-requeue discipline (the
+      // record is immutable, so `due` is exact).
+      if (ColdState** cp = cold_.find_hashed(e.key, e.key_hash)) {
+        ColdState* cs = *cp;
+        const sim::TimeUs due = cs->last_us + config_.timeout_us;
+        if (due != e.at) {
+          expiries_.push(Expiry{due, e.key, e.key_hash});
+          ++stale;
+        } else {
+          finalize_cold(e.key, *cs);
+          ++finalized;
+          delete cs;
+          cold_.erase_hashed(e.key, e.key_hash);
+        }
+      } else {
+        ++dead;
+      }
       continue;
     }
     SourceState* st = *p;
@@ -540,18 +697,196 @@ void ScanDetector::expire_up_to(sim::TimeUs now) {
 
 void ScanDetector::flush() {
   // Finalize in key order so flushed-event order is deterministic
-  // regardless of hash-table iteration order.
-  std::vector<std::pair<net::Ipv6Prefix, SourceState*>> live;
-  live.reserve(states_.size());
-  states_.for_each([&](const net::Ipv6Prefix& key, SourceState* st) { live.emplace_back(key, st); });
-  std::sort(live.begin(), live.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  for (auto& [key, st] : live) {
-    finalize(key, *st);
-    delete_state(st);
+  // regardless of hash-table iteration order. Hot and cold sources
+  // interleave in one key-sorted pass — the tier a source happens to
+  // sit in at flush time never shows in the output.
+  struct Live {
+    net::Ipv6Prefix key;
+    SourceState* hot;
+    ColdState* cold;
+  };
+  std::vector<Live> live;
+  live.reserve(states_.size() + cold_.size());
+  states_.for_each(
+      [&](const net::Ipv6Prefix& key, SourceState* st) { live.push_back({key, st, nullptr}); });
+  cold_.for_each(
+      [&](const net::Ipv6Prefix& key, ColdState* cs) { live.push_back({key, nullptr, cs}); });
+  std::sort(live.begin(), live.end(), [](const Live& a, const Live& b) { return a.key < b.key; });
+  for (auto& l : live) {
+    if (l.hot != nullptr) {
+      finalize(l.key, *l.hot);
+      delete_state(l.hot);
+    } else {
+      finalize_cold(l.key, *l.cold);
+      delete l.cold;
+    }
   }
   states_.clear();
+  cold_.clear();
   while (!expiries_.empty()) expiries_.pop();
+  while (!demotions_.empty()) demotions_.pop();
+}
+
+void ScanDetector::save(util::StateWriter& w) const {
+  // Configuration fingerprint first — load() rejects an instance whose
+  // knobs differ, since per-source state is only meaningful under the
+  // aggregation/timeout that produced it.
+  w.i32(config_.source_prefix_len);
+  w.u32(config_.min_destinations);
+  w.i64(config_.timeout_us);
+  w.i64(config_.demote_idle_us);
+  w.i64(last_ts_);
+  w.u64(packets_seen_);
+  const auto put_key = [&w](const net::Ipv6Prefix& key) {
+    w.u64(key.address().hi());
+    w.u64(key.address().lo());
+    w.i32(key.length());
+  };
+  w.u64(states_.size());
+  states_.for_each([&](const net::Ipv6Prefix& key, SourceState* st) {
+    put_key(key);
+    w.i64(st->first_us);
+    w.i64(st->last_us);
+    w.u64(st->packets);
+    w.u32(st->dsts_in_dns);
+    w.u32(st->asn);
+    w.u64(st->dsts.size());
+    st->dsts.for_each([&](const net::Ipv6Address& a) {
+      w.u64(a.hi());
+      w.u64(a.lo());
+    });
+    w.u64(st->ports.size());
+    st->ports.for_each([&](std::uint32_t port, std::uint64_t n) {
+      w.u32(port);
+      w.u64(n);
+    });
+    w.u64(st->weekly.size());
+    st->weekly.for_each([&](std::uint32_t week, std::uint64_t n) {
+      w.u32(week);
+      w.u64(n);
+    });
+  });
+  w.u64(cold_.size());
+  cold_.for_each([&](const net::Ipv6Prefix& key, ColdState* cs) {
+    put_key(key);
+    w.i64(cs->first_us);
+    w.i64(cs->last_us);
+    w.u64(cs->packets);
+    w.u32(cs->dsts_in_dns);
+    w.u32(cs->asn);
+    w.u64(cs->dsts.size());
+    for (const auto& a : cs->dsts) {
+      w.u64(a.hi());
+      w.u64(a.lo());
+    }
+    w.u64(cs->ports.size());
+    for (const auto& [port, n] : cs->ports) {
+      w.u32(port);
+      w.u64(n);
+    }
+    w.u64(cs->weekly.size());
+    for (const auto& [week, n] : cs->weekly) {
+      w.u32(week);
+      w.u64(n);
+    }
+  });
+}
+
+void ScanDetector::load(util::StateReader& r) {
+  if (packets_seen_ != 0 || !states_.empty() || !cold_.empty())
+    throw std::runtime_error("ScanDetector::load: detector already fed");
+  if (r.i32() != config_.source_prefix_len || r.u32() != config_.min_destinations ||
+      r.i64() != config_.timeout_us || r.i64() != config_.demote_idle_us)
+    throw std::runtime_error("ScanDetector::load: configuration mismatch");
+  last_ts_ = r.i64();
+  packets_seen_ = r.u64();
+  const auto get_key = [&r] {
+    const std::uint64_t hi = r.u64();
+    const std::uint64_t lo = r.u64();
+    const int len = r.i32();
+    if (len < 0 || len > 128)
+      throw std::runtime_error("ScanDetector::load: bad prefix length");
+    return net::Ipv6Prefix(net::Ipv6Address{hi, lo}, len);
+  };
+  // The reminder heaps are rebuilt, not restored: one entry per live
+  // source at its exact current due time. The original heap may have
+  // held earlier (stale) reminders, but those are interim alarms that
+  // only ever get re-queued — finalization and demotion fire at the
+  // (true due, key) point either way, so emitted output is unchanged.
+  const std::uint64_t hot_n = r.count(64);
+  states_.reserve(static_cast<std::size_t>(hot_n));
+  for (std::uint64_t i = 0; i < hot_n; ++i) {
+    const net::Ipv6Prefix key = get_key();
+    const std::size_t key_hash = std::hash<net::Ipv6Prefix>{}(key);
+    SourceState*& slot = states_.insert_hashed(key, key_hash);
+    if (slot != nullptr) throw std::runtime_error("ScanDetector::load: duplicate source");
+    SourceState* st = new_state();
+    slot = st;
+    st->first_us = r.i64();
+    st->last_us = r.i64();
+    st->packets = r.u64();
+    st->dsts_in_dns = r.u32();
+    st->asn = r.u32();
+    const std::uint64_t n_dsts = r.count(16);
+    st->dsts.reserve(static_cast<std::size_t>(n_dsts));
+    for (std::uint64_t d = 0; d < n_dsts; ++d) {
+      const std::uint64_t hi = r.u64();
+      st->dsts.insert(net::Ipv6Address{hi, r.u64()});
+    }
+    const std::uint64_t n_ports = r.count(12);
+    st->ports.reserve(static_cast<std::size_t>(n_ports));
+    for (std::uint64_t d = 0; d < n_ports; ++d) {
+      const std::uint32_t port = r.u32();
+      st->ports[port] = r.u64();
+    }
+    const std::uint64_t n_weeks = r.count(12);
+    st->weekly.reserve(static_cast<std::size_t>(n_weeks));
+    for (std::uint64_t d = 0; d < n_weeks; ++d) {
+      const std::uint32_t week = r.u32();
+      st->weekly[week] = r.u64();
+    }
+    expiries_.push(Expiry{st->last_us + config_.timeout_us, key, key_hash});
+    if (config_.demote_idle_us > 0)
+      demotions_.push(Expiry{st->last_us + config_.demote_idle_us, key, key_hash});
+  }
+  const std::uint64_t cold_n = r.count(64);
+  cold_.reserve(static_cast<std::size_t>(cold_n));
+  for (std::uint64_t i = 0; i < cold_n; ++i) {
+    const net::Ipv6Prefix key = get_key();
+    const std::size_t key_hash = std::hash<net::Ipv6Prefix>{}(key);
+    if (states_.find_hashed(key, key_hash) != nullptr ||
+        cold_.find_hashed(key, key_hash) != nullptr)
+      throw std::runtime_error("ScanDetector::load: duplicate source");
+    auto cs = std::make_unique<ColdState>();
+    cs->first_us = r.i64();
+    cs->last_us = r.i64();
+    cs->packets = r.u64();
+    cs->dsts_in_dns = r.u32();
+    cs->asn = r.u32();
+    const std::uint64_t n_dsts = r.count(16);
+    cs->dsts.reserve(static_cast<std::size_t>(n_dsts));
+    for (std::uint64_t d = 0; d < n_dsts; ++d) {
+      const std::uint64_t hi = r.u64();
+      cs->dsts.emplace_back(net::Ipv6Address{hi, r.u64()});
+    }
+    const std::uint64_t n_ports = r.count(12);
+    cs->ports.reserve(static_cast<std::size_t>(n_ports));
+    for (std::uint64_t d = 0; d < n_ports; ++d) {
+      const std::uint32_t port = r.u32();
+      cs->ports.emplace_back(port, r.u64());
+    }
+    const std::uint64_t n_weeks = r.count(12);
+    cs->weekly.reserve(static_cast<std::size_t>(n_weeks));
+    for (std::uint64_t d = 0; d < n_weeks; ++d) {
+      const std::uint32_t week = r.u32();
+      cs->weekly.emplace_back(week, r.u64());
+    }
+    expiries_.push(Expiry{cs->last_us + config_.timeout_us, key, key_hash});
+    cold_.insert_hashed(key, key_hash) = cs.release();
+  }
+  // No expect_end(): this payload may be embedded mid-section (the IDS
+  // serializes one detector per ladder level); the outermost section
+  // consumer asserts end-of-section.
 }
 
 void detect_multi(sim::RecordStream& stream, const std::vector<DetectorConfig>& configs,

@@ -20,6 +20,7 @@
 
 #include "core/event_sink.hpp"
 #include "core/scan_event.hpp"
+#include "core/state_codec.hpp"
 #include "net/prefix.hpp"
 #include "sim/record.hpp"
 #include "util/arena.hpp"
@@ -36,9 +37,17 @@ struct DetectorConfig {
   /// Maximum packet inter-arrival gap within one scan (paper: 3600 s;
   /// sensitivity analysis: 1800 s, 900 s).
   sim::TimeUs timeout_us = 3'600LL * 1'000'000;
+  /// Hot/cold state tiering: demote a source's arena-backed hot state
+  /// into a compact immutable cold record once it has been idle this
+  /// long (0 = tiering off). Must be positive and strictly less than
+  /// timeout_us when set — past the timeout the event finalizes
+  /// instead. Demotion and the transparent promotion on the source's
+  /// next packet are output-invisible: emitted events, their order,
+  /// and every counter are byte-identical to an untiered run.
+  sim::TimeUs demote_idle_us = 0;
 };
 
-class ScanDetector {
+class ScanDetector : public StateCodec {
  public:
   /// Legacy callable sink; wrapped in a FunctionSink internally.
   using EventFn = std::function<void(ScanEvent&&)>;
@@ -84,10 +93,27 @@ class ScanDetector {
   /// Finalize all in-flight events. Call once after the last record.
   void flush();
 
+  /// Freeze/thaw (core::StateCodec): save() serializes configuration
+  /// fingerprint plus every live source (hot and cold tier alike);
+  /// load() reconstructs into a freshly constructed, identically
+  /// configured detector. The expiry and demotion reminder heaps are
+  /// NOT serialized — load() re-seeds one reminder per live source at
+  /// its true due time, which is output-identical because finalization
+  /// always fires at the (true due, key) point regardless of how many
+  /// interim stale reminders preceded it.
+  void save(util::StateWriter& w) const override;
+  void load(util::StateReader& r) override;
+
   /// Counters over everything seen (pre-qualification).
   [[nodiscard]] std::uint64_t packets_seen() const noexcept { return packets_seen_; }
-  /// Number of sources currently tracked (diagnostics / benchmarks).
-  [[nodiscard]] std::size_t active_sources() const noexcept { return states_.size(); }
+  /// Number of sources currently tracked across both tiers
+  /// (diagnostics / benchmarks).
+  [[nodiscard]] std::size_t active_sources() const noexcept {
+    return states_.size() + cold_.size();
+  }
+  /// Tier split: arena-backed hot states vs compact cold records.
+  [[nodiscard]] std::size_t hot_sources() const noexcept { return states_.size(); }
+  [[nodiscard]] std::size_t cold_sources() const noexcept { return cold_.size(); }
   [[nodiscard]] const DetectorConfig& config() const noexcept { return config_; }
   /// The arena backing per-source container storage (diagnostics: its
   /// recycled/fresh counters quantify allocator traffic avoided).
@@ -152,8 +178,39 @@ class ScanDetector {
     util::FlatMap<std::uint32_t, std::uint64_t, util::IntHash> weekly;
   };
 
+  /// Cold-tier record: an idle source's state packed into exact-size
+  /// heap arrays. Immutable while cold; the hot state's FlatSet/FlatMap
+  /// blocks (power-of-two slab classes at <= 75% load) go back to the
+  /// pool for the next hot source, so steady-state arena growth is
+  /// bounded by the *concurrently hot* working set, not by every live
+  /// source. The destination list keeps full contents (promotion must
+  /// keep deduplicating future inserts); ports/weekly keep (key, count)
+  /// pairs. Everything an emitted event needs is preserved exactly —
+  /// finalize sorts the lists either way — so tiering never changes
+  /// output.
+  struct ColdState {
+    sim::TimeUs first_us = 0;
+    sim::TimeUs last_us = 0;
+    std::uint64_t packets = 0;
+    std::uint32_t dsts_in_dns = 0;
+    std::uint32_t asn = 0;
+    std::vector<net::Ipv6Address> dsts;
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> ports;
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> weekly;
+  };
+
   void finalize(const net::Ipv6Prefix& key, SourceState& st);
+  void finalize_cold(const net::Ipv6Prefix& key, const ColdState& cs);
   void expire_up_to(sim::TimeUs now);
+  /// Pop demotion reminders due before `now`: stale ones (source active
+  /// since) re-queue at the true demote time, fresh ones demote. Runs
+  /// only with tiering enabled; demotion is output-invisible, so the
+  /// sweep may run at any point between records.
+  void demote_up_to(sim::TimeUs now);
+  void demote(const net::Ipv6Prefix& key, std::size_t key_hash, SourceState* st);
+  /// Rehydrate `key`'s cold record into a hot state (nullptr if the
+  /// source is not cold). The caller owns wiring it into states_.
+  [[nodiscard]] SourceState* promote(const net::Ipv6Prefix& key, std::size_t key_hash);
   [[nodiscard]] bool refine_expiries(sim::TimeUs last);
   [[nodiscard]] SourceState* new_state();
   void delete_state(SourceState* st) noexcept;
@@ -204,6 +261,14 @@ class ScanDetector {
     }
   };
   std::priority_queue<Expiry> expiries_;
+
+  // Cold tier (demote_idle_us > 0 only): key -> packed record, plus a
+  // second lazy reminder heap driving demotion, run with the same
+  // stale-requeue discipline as expiries_. Cold sources keep their
+  // entries in expiries_, so finalization order is untouched; the
+  // expiry sweep finalizes them straight from the packed arrays.
+  util::FlatMap<net::Ipv6Prefix, ColdState*> cold_;
+  std::priority_queue<Expiry> demotions_;
 
   sim::TimeUs last_ts_ = INT64_MIN;
   std::uint64_t packets_seen_ = 0;

@@ -44,15 +44,39 @@ void put_v(std::FILE* f, T v) {
 struct EventWriter::Impl {
   File file;
   std::string path;
-  explicit Impl(const std::string& p) : file(p, "wb"), path(p) {}
+  /// Append position in bytes, header included — tracked explicitly
+  /// (never via ftell) so checkpoint_sync() can seek back after the
+  /// header backpatch and offset() is cheap.
+  std::uint64_t pos = 0;
+  Impl(const std::string& p, const char* mode) : file(p, mode), path(p) {}
 };
 
-EventWriter::EventWriter(const std::string& path) : impl_(std::make_unique<Impl>(path)) {
+EventWriter::EventWriter(const std::string& path)
+    : impl_(std::make_unique<Impl>(path, "wb")) {
   std::setvbuf(impl_->file.f, nullptr, _IOFBF, 1 << 20);
   put_v(impl_->file.f, kMagic);
   // Count placeholder; close() backpatches the real value, so an
   // interrupted run is detectable (count 0 with trailing bytes).
   put_v<std::uint64_t>(impl_->file.f, 0);
+  impl_->pos = kHeaderBytes;
+}
+
+EventWriter::EventWriter(const std::string& path, std::uint64_t resume_count,
+                         std::uint64_t resume_offset)
+    : impl_(std::make_unique<Impl>(path, "r+b")), count_(resume_count) {
+  if (resume_offset < kHeaderBytes)
+    throw std::runtime_error("event_io: bad resume offset for " + path);
+  std::FILE* f = impl_->file.f;
+  std::setvbuf(f, nullptr, _IOFBF, 1 << 20);
+  std::uint64_t magic = 0;
+  if (std::fread(&magic, 1, sizeof magic, f) != sizeof magic || magic != kMagic)
+    throw std::runtime_error("event_io: not an event file: " + path);
+  // Drop anything written after the checkpoint — those events will be
+  // re-emitted by the resumed run.
+  if (util::truncate_file(f, resume_offset) != 0 ||
+      std::fseek(f, static_cast<long>(resume_offset), SEEK_SET) != 0)
+    throw std::runtime_error("event_io: cannot truncate " + path + " for resume");
+  impl_->pos = resume_offset;
 }
 
 EventWriter::~EventWriter() {
@@ -85,6 +109,20 @@ void EventWriter::on_event(ScanEvent&& ev) {
     put_v(f, n);
   }
   ++count_;
+  impl_->pos += kFixedEventBytes + ev.port_packets.size() * kPortEntryBytes +
+                ev.weekly_packets.size() * kWeekEntryBytes;
+}
+
+std::uint64_t EventWriter::offset() const noexcept { return impl_ ? impl_->pos : 0; }
+
+void EventWriter::checkpoint_sync() {
+  if (!impl_) throw std::runtime_error("event_io: writer closed");
+  std::FILE* f = impl_->file.f;
+  if (std::fseek(f, 8, SEEK_SET) != 0 ||
+      std::fwrite(&count_, 1, sizeof count_, f) != sizeof count_ ||
+      !util::flush_to_disk(f) ||
+      std::fseek(f, static_cast<long>(impl_->pos), SEEK_SET) != 0)
+    throw std::runtime_error("event_io: checkpoint sync failed for " + impl_->path);
 }
 
 void EventWriter::close() {

@@ -35,6 +35,15 @@ namespace v6sonar::core {
 class EventWriter final : public EventSink {
  public:
   explicit EventWriter(const std::string& path);
+
+  /// Resume an interrupted spill at a checkpointed position: the
+  /// existing file is truncated to `resume_offset` bytes (discarding
+  /// any events written after the checkpoint) and writing continues
+  /// from there with the count restored to `resume_count`. Both values
+  /// come from a prior checkpoint_sync()/written() pair.
+  EventWriter(const std::string& path, std::uint64_t resume_count,
+              std::uint64_t resume_offset);
+
   /// Closes (best effort — errors are swallowed; call close() first
   /// if you need them reported).
   ~EventWriter() override;
@@ -47,7 +56,17 @@ class EventWriter final : public EventSink {
   /// Idempotent close; throws on finalize failure.
   void close();
 
+  /// Make everything written so far durable without closing:
+  /// backpatches the header count, pushes the file to stable storage,
+  /// and returns to the append position. After a crash, the file is a
+  /// valid event file holding at least the events present at the last
+  /// checkpoint_sync(); the resume constructor truncates the rest.
+  void checkpoint_sync();
+
   [[nodiscard]] std::uint64_t written() const noexcept { return count_; }
+  /// Current append position in bytes (header included) — the
+  /// resume_offset to checkpoint alongside written().
+  [[nodiscard]] std::uint64_t offset() const noexcept;
 
  private:
   struct Impl;

@@ -28,10 +28,12 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <exception>
 #include <functional>
 #include <iterator>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <stdexcept>
@@ -59,11 +61,33 @@ PipelineMetrics& pm() {
   return m;
 }
 
-/// One parcel on a feeder->worker ring: a record, or (tick=true) a
-/// bare clock advance whose time rides in rec.ts_us.
+/// Control block of one checkpoint rendezvous: every worker runs the
+/// visitor against its private state, and the last arrival releases
+/// the waiting feeder thread. A worker that is already dead (error
+/// path) arrives with its stored exception instead of running the
+/// visitor, so the caller never deadlocks on a shard that cannot
+/// comply — it gets the shard's real error rethrown.
+struct BarrierCtl {
+  const ParallelScanPipeline::ShardStateFn* fn = nullptr;
+  std::mutex m;
+  std::condition_variable cv;
+  std::size_t remaining = 0;
+  std::exception_ptr error;  ///< first visitor/shard failure
+
+  void arrive(std::exception_ptr err) {
+    std::lock_guard lk(m);
+    if (err && !error) error = std::move(err);
+    if (--remaining == 0) cv.notify_one();
+  }
+};
+
+/// One parcel on a feeder->worker ring: a record, a bare clock advance
+/// (tick=true, time rides in rec.ts_us), or a checkpoint barrier
+/// (barrier non-null; scan pipeline, sharded mode only).
 struct InItem {
   sim::LogRecord rec;
   bool tick = false;
+  BarrierCtl* barrier = nullptr;
 };
 
 /// One parcel on a worker->merger ring.
@@ -577,8 +601,8 @@ struct ParallelScanPipeline::Impl {
     for (std::size_t s = 0; s < shards.size(); ++s) {
       Shard& sh = *shards[s];
       EventSink* shard_sink = sharded ? shard_sinks[s] : nullptr;
-      sh.thread = std::thread([&sh, config, filter, batch_hist, shard_sink] {
-        worker_main(sh, config, filter, batch_hist, shard_sink);
+      sh.thread = std::thread([&sh, s, config, filter, batch_hist, shard_sink] {
+        worker_main(sh, s, config, filter, batch_hist, shard_sink);
       });
     }
     if (sharded) return;  // no merger: workers rendezvous only at flush
@@ -614,7 +638,7 @@ struct ParallelScanPipeline::Impl {
   /// shard's serial order, and nothing else. Watermarks keep being
   /// published (they are cheap and keep the two modes' loops
   /// identical) but have no consumer.
-  static void worker_main(Shard& sh, const DetectorConfig& config,
+  static void worker_main(Shard& sh, std::size_t shard_idx, const DetectorConfig& config,
                           const std::optional<ArtifactFilterConfig>& filter,
                           util::metrics::MetricId batch_hist, EventSink* shard_sink) {
     try {
@@ -650,6 +674,22 @@ struct ParallelScanPipeline::Impl {
         if (util::metrics::enabled()) util::metrics::observe(batch_hist, got);
         std::size_t i = 0;
         while (i < got) {
+          if (chunk[i].barrier) {
+            // Checkpoint rendezvous: everything fed before the barrier
+            // has been applied, so the visitor sees exactly the state
+            // after the first K records — the quiesced point the
+            // resume-equivalence contract is built on.
+            flush_out();
+            std::exception_ptr err;
+            try {
+              (*chunk[i].barrier->fn)(shard_idx, det, af.get());
+            } catch (...) {
+              err = std::current_exception();
+            }
+            chunk[i].barrier->arrive(std::move(err));
+            ++i;
+            continue;
+          }
           if (chunk[i].tick) {
             const sim::TimeUs ts = chunk[i].rec.ts_us;
             if (!af) {
@@ -663,9 +703,10 @@ struct ParallelScanPipeline::Impl {
             ++i;
             continue;
           }
-          // Contiguous record span up to the next tick (or chunk end).
+          // Contiguous record span up to the next tick/barrier (or
+          // chunk end).
           std::size_t j = i;
-          for (; j < got && !chunk[j].tick; ++j) recs[j - i] = chunk[j].rec;
+          for (; j < got && !chunk[j].tick && !chunk[j].barrier; ++j) recs[j - i] = chunk[j].rec;
           const std::span<const sim::LogRecord> span(recs.data(), j - i);
           const sim::TimeUs ts = span.back().ts_us;
           if (!af) {
@@ -692,10 +733,36 @@ struct ParallelScanPipeline::Impl {
       flush_out();
     } catch (...) {
       sh.error = std::current_exception();
-      while (sh.in.pop()) {
-      }  // keep the feeder unblocked
+      // Keep the feeder unblocked; a barrier must still be arrived at
+      // (with this shard's error) or with_shard_state would deadlock.
+      while (auto it = sh.in.pop())
+        if (it->barrier) it->barrier->arrive(sh.error);
     }
     sh.out.close();
+  }
+
+  void with_shard_state(const ParallelScanPipeline::ShardStateFn& fn) {
+    if (flushed)
+      throw std::logic_error("ParallelScanPipeline: with_shard_state after flush");
+    if (sink)
+      throw std::logic_error(
+          "ParallelScanPipeline: with_shard_state requires sharded-ownership mode "
+          "(total-order mode holds in-flight merger state)");
+    // The barrier must not overtake records staged before it — same
+    // publish-first rule as the tick broadcast.
+    feeder.publish(shards);
+    BarrierCtl ctl;
+    ctl.fn = &fn;
+    ctl.remaining = shards.size();
+    pm().barriers.add();
+    for (auto& sp : shards) {
+      InItem item;
+      item.barrier = &ctl;
+      sp->in.push(std::move(item));
+    }
+    std::unique_lock lk(ctl.m);
+    ctl.cv.wait(lk, [&] { return ctl.remaining == 0; });
+    if (ctl.error) std::rethrow_exception(ctl.error);
   }
 
   void flush() {
@@ -797,6 +864,11 @@ void ParallelScanPipeline::feed_batch(std::span<const sim::LogRecord> batch) {
 }
 
 void ParallelScanPipeline::flush() { impl_->flush(); }
+
+void ParallelScanPipeline::with_shard_state(const ShardStateFn& fn) {
+  if (!fn) throw std::invalid_argument("ParallelScanPipeline: null shard state visitor");
+  impl_->with_shard_state(fn);
+}
 
 int ParallelScanPipeline::threads() const noexcept {
   return static_cast<int>(impl_->shards.size());

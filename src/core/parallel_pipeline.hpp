@@ -110,6 +110,14 @@ class ParallelScanPipeline {
   ParallelScanPipeline(const DetectorConfig& config, const ArtifactFilterConfig& filter,
                        const ParallelConfig& parallel, ShardSinkFactory per_shard);
 
+  /// Per-shard state visitor for the checkpoint rendezvous: invoked on
+  /// the shard's own worker thread against its private detector and
+  /// (in filtered mode) artifact filter; `filter` is nullptr in plain
+  /// mode. The visitor may read or mutate the state freely — the
+  /// worker is quiesced for the duration of its call.
+  using ShardStateFn =
+      std::function<void(std::size_t shard, ScanDetector& detector, ArtifactFilter* filter)>;
+
   ~ParallelScanPipeline();
   ParallelScanPipeline(const ParallelScanPipeline&) = delete;
   ParallelScanPipeline& operator=(const ParallelScanPipeline&) = delete;
@@ -127,6 +135,18 @@ class ParallelScanPipeline {
   /// Close the shards, join all threads, rethrow any worker/sink
   /// error. The sink has received every event once this returns.
   void flush();
+
+  /// Checkpoint rendezvous (sharded-ownership mode only): publish any
+  /// staged records, push a barrier through every shard's ring, and
+  /// run `fn(shard, detector, filter)` on each worker thread once that
+  /// worker has consumed everything fed before the barrier. Blocks the
+  /// feeding thread until every shard has run the visitor, then
+  /// rethrows the first visitor exception, if any. Used both to save
+  /// per-shard state mid-stream (checkpoint) and to load it before the
+  /// first record (resume). Throws std::logic_error in total-order
+  /// mode — the merger holds in-flight events there, so a quiesced
+  /// point that captures all state does not exist — and after flush().
+  void with_shard_state(const ShardStateFn& fn);
 
   [[nodiscard]] int threads() const noexcept;
   /// Records fed into the pipeline (pre-filter).

@@ -1,0 +1,141 @@
+#include "core/state_codec.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/crc32.hpp"
+#include "util/fdio.hpp"
+
+namespace v6sonar::core {
+
+namespace {
+
+constexpr char kMagic[8] = {'V', '6', 'C', 'K', 'P', 'T', '0', '1'};
+constexpr std::uint32_t kFormatVersion = 1;
+
+[[nodiscard]] std::string dir_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash + 1);
+}
+
+}  // namespace
+
+void CheckpointWriter::add(const std::string& name, util::StateWriter&& w) {
+  for (const auto& [n, bytes] : sections_)
+    if (n == name) throw std::runtime_error("checkpoint: duplicate section " + name);
+  sections_.emplace_back(name, std::move(w).take());
+}
+
+void CheckpointWriter::commit(const std::string& path) const {
+  // Assemble the whole container in memory: checkpoints are MBs, not
+  // GBs, and a single buffer keeps the tmp-file write all-or-nothing.
+  util::StateWriter out;
+  out.raw(kMagic, sizeof kMagic);
+  out.u32(kFormatVersion);
+  out.u32(kCheckpointStateVersion);
+  out.u32(static_cast<std::uint32_t>(sections_.size()));
+  for (const auto& [name, payload] : sections_) {
+    out.str(name);
+    out.u64(payload.size());
+    out.u32(util::crc32(payload.data(), payload.size()));
+    out.raw(payload.data(), payload.size());
+  }
+
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw std::runtime_error("checkpoint: cannot create " + tmp);
+  util::UniqueFd file(fd);
+  const auto& bytes = out.bytes();
+  if (!util::write_fully(fd, bytes.data(), bytes.size()) || !util::sync_fd(fd)) {
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("checkpoint: write failed for " + tmp);
+  }
+  file.close();
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("checkpoint: rename to " + path + " failed: " +
+                             std::strerror(errno));
+  }
+  // fsync the directory so the rename itself survives a crash; best
+  // effort on filesystems that reject directory fsync.
+  const int dfd = ::open(dir_of(path).c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    util::UniqueFd dir(dfd);
+    (void)util::sync_fd(dfd);
+  }
+}
+
+CheckpointReader::CheckpointReader(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw std::runtime_error("checkpoint: cannot open " + path);
+  std::vector<std::uint8_t> bytes;
+  if (std::fseek(f, 0, SEEK_END) == 0) {
+    const long size = std::ftell(f);
+    if (size > 0) bytes.reserve(static_cast<std::size_t>(size));
+    std::rewind(f);
+  }
+  std::uint8_t buf[1 << 16];
+  for (std::size_t n; (n = std::fread(buf, 1, sizeof buf, f)) > 0;)
+    bytes.insert(bytes.end(), buf, buf + n);
+  const bool io_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (io_error) throw std::runtime_error("checkpoint: read failed for " + path);
+
+  util::StateReader r(bytes);
+  char magic[sizeof kMagic];
+  if (bytes.size() < sizeof kMagic)
+    throw std::runtime_error("checkpoint: " + path + " is not a checkpoint file");
+  r.raw(magic, sizeof magic);
+  if (std::memcmp(magic, kMagic, sizeof kMagic) != 0)
+    throw std::runtime_error("checkpoint: bad magic in " + path);
+  const std::uint32_t format = r.u32();
+  if (format != kFormatVersion)
+    throw std::runtime_error("checkpoint: unsupported container format " +
+                             std::to_string(format) + " in " + path);
+  const std::uint32_t state_version = r.u32();
+  if (state_version != kCheckpointStateVersion)
+    throw std::runtime_error("checkpoint: state version " + std::to_string(state_version) +
+                             " does not match this build's " +
+                             std::to_string(kCheckpointStateVersion) + " in " + path);
+  const std::uint32_t n_sections = r.u32();
+  for (std::uint32_t i = 0; i < n_sections; ++i) {
+    std::string name = r.str();
+    const std::uint64_t len = r.u64();
+    const std::uint32_t crc = r.u32();
+    if (len > r.remaining())
+      throw std::runtime_error("checkpoint: truncated section " + name + " in " + path);
+    std::vector<std::uint8_t> payload(static_cast<std::size_t>(len));
+    r.raw(payload.data(), payload.size());
+    if (util::crc32(payload.data(), payload.size()) != crc)
+      throw std::runtime_error("checkpoint: CRC mismatch in section " + name + " of " + path);
+    sections_.emplace_back(std::move(name), std::move(payload));
+  }
+  r.expect_end();
+}
+
+bool CheckpointReader::has(const std::string& name) const noexcept {
+  for (const auto& [n, bytes] : sections_)
+    if (n == name) return true;
+  return false;
+}
+
+util::StateReader CheckpointReader::section(const std::string& name) const {
+  for (const auto& [n, bytes] : sections_)
+    if (n == name) return util::StateReader(bytes);
+  throw std::runtime_error("checkpoint: missing section " + name);
+}
+
+std::vector<std::string> CheckpointReader::names() const {
+  std::vector<std::string> out;
+  out.reserve(sections_.size());
+  for (const auto& [n, bytes] : sections_) out.push_back(n);
+  return out;
+}
+
+}  // namespace v6sonar::core

@@ -122,4 +122,69 @@ void StreamingIds::reattribute(sim::TimeUs now) {
   tracker_.update(attribute_adaptive(events_, config_.adaptive), now, sink_);
 }
 
+void AlertTracker::save(util::StateWriter& w) const {
+  w.u64(blocklist_.size());
+  for (const auto& a : blocklist_) save_attribution(w, a);
+  // std::map iterates in key order, so this part is deterministic.
+  w.u64(alerted_.size());
+  for (const auto& [prefix, level] : alerted_) {
+    save_prefix(w, prefix);
+    w.i32(level);
+  }
+}
+
+void AlertTracker::load(util::StateReader& r) {
+  const std::uint64_t n_block = r.count(41);
+  blocklist_.reserve(static_cast<std::size_t>(n_block));
+  for (std::uint64_t i = 0; i < n_block; ++i) blocklist_.push_back(load_attribution(r));
+  const std::uint64_t n_alerted = r.count(24);
+  for (std::uint64_t i = 0; i < n_alerted; ++i) {
+    const net::Ipv6Prefix prefix = load_prefix(r);
+    alerted_[prefix] = r.i32();
+  }
+}
+
+void StreamingIds::save(util::StateWriter& w) const {
+  w.u64(config_.adaptive.ladder.size());
+  for (const int level : config_.adaptive.ladder) w.i32(level);
+  w.f64(config_.adaptive.absorb_ratio);
+  w.u64(config_.adaptive.max_children_absorbed);
+  w.u32(config_.min_destinations);
+  w.i64(config_.timeout_us);
+  w.i64(config_.reattribution_period_us);
+  w.i64(next_pass_us_);
+  for (std::size_t i = 0; i < detectors_.size(); ++i) {
+    detectors_[i]->save(w);
+    w.u64(events_[i].size());
+    for (const auto& ev : events_[i]) save_scan_event(w, ev);
+  }
+  tracker_.save(w);
+}
+
+void StreamingIds::load(util::StateReader& r) {
+  if (next_pass_us_ != 0)
+    throw std::runtime_error("StreamingIds::load: IDS already fed");
+  const std::uint64_t ladder_n = r.count(4);
+  bool config_ok = ladder_n == config_.adaptive.ladder.size();
+  for (std::uint64_t i = 0; i < ladder_n; ++i) {
+    const int level = r.i32();
+    config_ok = config_ok && i < config_.adaptive.ladder.size() &&
+                level == config_.adaptive.ladder[static_cast<std::size_t>(i)];
+  }
+  config_ok = config_ok && r.f64() == config_.adaptive.absorb_ratio &&
+              r.u64() == config_.adaptive.max_children_absorbed &&
+              r.u32() == config_.min_destinations && r.i64() == config_.timeout_us &&
+              r.i64() == config_.reattribution_period_us;
+  if (!config_ok) throw std::runtime_error("StreamingIds::load: configuration mismatch");
+  next_pass_us_ = r.i64();
+  for (std::size_t i = 0; i < detectors_.size(); ++i) {
+    detectors_[i]->load(r);
+    const std::uint64_t n_events = r.count(47);
+    events_[i].reserve(static_cast<std::size_t>(n_events));
+    for (std::uint64_t e = 0; e < n_events; ++e) events_[i].push_back(load_scan_event(r));
+  }
+  tracker_.load(r);
+  // No expect_end(): the outermost section consumer asserts it.
+}
+
 }  // namespace v6sonar::core

@@ -61,12 +61,17 @@ class AlertTracker {
     return blocklist_;
   }
 
+  /// Freeze/thaw the diff state (blocklist + already-alerted map) so a
+  /// resumed IDS does not re-emit alerts for known actors.
+  void save(util::StateWriter& w) const;
+  void load(util::StateReader& r);
+
  private:
   std::vector<Attribution> blocklist_;
   std::map<net::Ipv6Prefix, int> alerted_;  ///< prefix -> level already alerted
 };
 
-class StreamingIds {
+class StreamingIds : public StateCodec {
  public:
   using AlertSink = AlertTracker::AlertSink;
 
@@ -91,6 +96,12 @@ class StreamingIds {
   [[nodiscard]] const std::vector<Attribution>& blocklist() const noexcept {
     return tracker_.blocklist();
   }
+
+  /// Freeze/thaw (core::StateCodec): per-level detector state, the
+  /// accumulated slim events awaiting the next attribution pass, the
+  /// alert tracker, and the pass clock.
+  void save(util::StateWriter& w) const override;
+  void load(util::StateReader& r) override;
 
  private:
   void reattribute(sim::TimeUs now);

@@ -14,6 +14,10 @@
 //   kSubscribe   switch the connection to live scan-event push
 //   kIngest      push raw 52-byte .v6slog records into the pipeline
 //   kShutdown    request a graceful drain (same path as SIGTERM)
+//   kSetPeriod   change the re-attribution period (ASCII seconds;
+//                0 disables the periodic pass)
+//   kCheckpoint  freeze full daemon state into the checkpoint file
+//                (payload overrides the configured path)
 //
 // Responses reuse the request's verb and seq, with status kOk/kError;
 // pushed subscription events use Verb::kSubscribe with status kEvent.
@@ -38,6 +42,8 @@ enum class Verb : std::uint8_t {
   kSubscribe = 9,
   kIngest = 10,
   kShutdown = 11,
+  kSetPeriod = 12,
+  kCheckpoint = 13,
 };
 
 enum class Status : std::uint8_t {

@@ -25,6 +25,7 @@
 #include "core/event_io.hpp"
 #include "core/event_sink.hpp"
 #include "core/parallel_pipeline.hpp"
+#include "core/state_codec.hpp"
 #include "core/streaming_ids.hpp"
 #include "daemon/framing.hpp"
 #include "daemon/log_tail.hpp"
@@ -33,7 +34,9 @@
 #include "sim/log_io.hpp"
 #include "util/fdio.hpp"
 #include "util/metrics.hpp"
+#include "util/process_stats.hpp"
 #include "util/signal_drain.hpp"
+#include "util/state_io.hpp"
 
 namespace v6sonar::daemon {
 
@@ -55,6 +58,8 @@ struct ServerMetrics {
   util::metrics::Counter socket_records{"daemon.ingest.socket_records"};
   util::metrics::Counter events_tx{"daemon.subscribe.events_tx"};
   util::metrics::Gauge drain_us{"daemon.drain.duration_us"};
+  util::metrics::Counter checkpoints{"daemon.checkpoints.written"};
+  util::metrics::Counter reattributions{"daemon.reattribution.passes"};
 };
 
 ServerMetrics& server_metrics() {
@@ -182,6 +187,8 @@ struct Daemon::Impl {
   std::condition_variable ingest_cv;
   std::vector<sim::LogRecord> pushed_records;  ///< guarded by ingest_mu
   std::atomic<bool> ingest_stop{false};
+  std::atomic<bool> ingest_pause{false};  ///< checkpoint quiesce request
+  bool ingest_paused = false;             ///< guarded by ingest_mu
   std::atomic<std::uint64_t> ingested{0};
   std::atomic<std::uint64_t> tail_rotations{0}, tail_truncations{0}, tail_records{0};
   std::mutex error_mu;
@@ -192,9 +199,20 @@ struct Daemon::Impl {
   std::uint64_t events_seen = 0;
   bool draining = false;
 
+  // Re-attribution control plane (server thread only). With a period
+  // set, the blocklist is recomputed on that cadence and kBlocklist
+  // serves the cached pass; at 0 every kBlocklist computes on demand.
+  std::int64_t period_s = 0;
+  Clock::time_point next_pass{};
+  std::string cached_blocklist;
+  bool blocklist_cached = false;
+
   // The stop pipe must exist before run() is called: request_stop()
   // may race with startup from another thread, and it reads stop_wr.
-  explicit Impl(DaemonOptions o) : opts(std::move(o)), hub(0, opts.top) { setup_stop_pipe(); }
+  explicit Impl(DaemonOptions o) : opts(std::move(o)), hub(0, opts.top) {
+    period_s = opts.reattribution_period_s;
+    setup_stop_pipe();
+  }
 
   // ---------------- setup ----------------
 
@@ -275,6 +293,19 @@ struct Daemon::Impl {
     std::vector<sim::LogRecord> tail_batch, push_batch;
     try {
       while (!ingest_stop.load(std::memory_order_relaxed)) {
+        if (ingest_pause.load(std::memory_order_acquire)) {
+          // Checkpoint quiesce: park between batches so the server
+          // thread is the only one touching the pipeline's feeder.
+          std::unique_lock lock(ingest_mu);
+          ingest_paused = true;
+          ingest_cv.notify_all();
+          ingest_cv.wait(lock, [this] {
+            return !ingest_pause.load(std::memory_order_acquire) ||
+                   ingest_stop.load(std::memory_order_relaxed);
+          });
+          ingest_paused = false;
+          continue;
+        }
         std::size_t n = feed_tail_once(tail_batch);
         n += feed_pushed_once(push_batch);
         if (n > 0) {
@@ -301,6 +332,116 @@ struct Daemon::Impl {
     } catch (const std::exception& e) {
       set_ingest_error(e.what());
     }
+  }
+
+  // ---------------- checkpoint / re-attribution ----------------
+
+  /// Park the ingest thread between batches; true once it is parked.
+  /// The caller must resume_ingest() afterwards, success or not.
+  [[nodiscard]] bool pause_ingest() {
+    ingest_pause.store(true, std::memory_order_release);
+    ingest_cv.notify_all();
+    std::unique_lock lock(ingest_mu);
+    return ingest_cv.wait_for(lock, std::chrono::seconds(10),
+                              [this] { return ingest_paused; });
+  }
+
+  void resume_ingest() {
+    ingest_pause.store(false, std::memory_order_release);
+    ingest_cv.notify_all();
+  }
+
+  /// Freeze the whole daemon into `path`. Caller holds the ingest
+  /// pause, so the server thread owns the pipeline feeder: the shard
+  /// barrier saves each detector on its own worker thread and flushes
+  /// the snapshot publishers, then the queue/hub drains make the
+  /// server-side state (slim events, master bundle) current before
+  /// the container commits. Returns a one-line summary payload.
+  [[nodiscard]] std::string checkpoint_now(const std::string& path) {
+    const std::size_t shards = static_cast<std::size_t>(pipeline->threads());
+    std::vector<util::StateWriter> det_w(shards);
+    pipeline->with_shard_state(
+        [&](std::size_t s, core::ScanDetector& det, core::ArtifactFilter*) {
+          det.save(det_w[s]);
+          chains[s]->publisher.flush();
+        });
+    deliver_events();  // barrier-pushed events -> slim_events + spill
+    hub.drain();       // barrier-published deltas -> master
+    core::CheckpointWriter ck;
+    util::StateWriter meta;
+    meta.u32(static_cast<std::uint32_t>(shards));
+    meta.u64(ingested.load(std::memory_order_relaxed));
+    meta.u64(events_seen);
+    meta.i64(period_s);
+    meta.u8(spill ? 1 : 0);
+    if (spill) {
+      // Spilled events must be durable before the checkpoint that
+      // references their count/offset (the resume constructor
+      // truncates whatever follows them).
+      spill->checkpoint_sync();
+      meta.u64(spill->written());
+      meta.u64(spill->offset());
+    } else {
+      meta.u64(0);
+      meta.u64(0);
+    }
+    ck.add("daemon.meta", std::move(meta));
+    for (std::size_t s = 0; s < shards; ++s)
+      ck.add("shard" + std::to_string(s) + ".detector", std::move(det_w[s]));
+    util::StateWriter mw;
+    hub.save_master(mw);
+    ck.add("master", std::move(mw));
+    util::StateWriter ew;
+    ew.u64(slim_events.size());
+    for (const auto& ev : slim_events) core::save_scan_event(ew, ev);
+    ck.add("events", std::move(ew));
+    ck.commit(path);
+    server_metrics().checkpoints.add();
+    std::string out;
+    appendf(out, "checkpointed %zu shards, %llu records, %llu events\n", shards,
+            static_cast<unsigned long long>(ingested.load(std::memory_order_relaxed)),
+            static_cast<unsigned long long>(events_seen));
+    return out;
+  }
+
+  /// Restore-on-start counterpart: called from run() after
+  /// start_pipeline() and before the ingest thread exists, so no
+  /// quiesce is needed. The caller already adopted the checkpoint's
+  /// shard count and resumed the spill from the saved offsets.
+  void restore_checkpoint(const core::CheckpointReader& ck, std::uint64_t meta_ingested,
+                          std::uint64_t meta_events_seen) {
+    pipeline->with_shard_state(
+        [&](std::size_t s, core::ScanDetector& det, core::ArtifactFilter*) {
+          auto dr = ck.section("shard" + std::to_string(s) + ".detector");
+          det.load(dr);
+          dr.expect_end();
+        });
+    auto mr = ck.section("master");
+    hub.restore_master(mr);
+    mr.expect_end();
+    auto er = ck.section("events");
+    const std::uint64_t n = er.count(47);
+    slim_events.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i)
+      slim_events.push_back(core::load_scan_event(er));
+    er.expect_end();
+    ingested.store(meta_ingested, std::memory_order_relaxed);
+    events_seen = meta_events_seen;
+  }
+
+  [[nodiscard]] std::string render_blocklist_now() {
+    const core::AdaptiveConfig cfg{.ladder = {opts.detector.source_prefix_len}};
+    return analysis::render_blocklist(core::attribute_adaptive({slim_events}, cfg));
+  }
+
+  /// Periodic pass (poll-loop housekeeping): recompute the cached
+  /// blocklist on the configured cadence.
+  void maybe_reattribute() {
+    if (period_s <= 0 || Clock::now() < next_pass) return;
+    cached_blocklist = render_blocklist_now();
+    blocklist_cached = true;
+    next_pass = Clock::now() + std::chrono::seconds(period_s);
+    server_metrics().reattributions.add();
   }
 
   // ---------------- client IO ----------------
@@ -367,6 +508,7 @@ struct Daemon::Impl {
                 tail_truncations.load(std::memory_order_relaxed)));
     appendf(out, "spill_events %llu\n",
             static_cast<unsigned long long>(spill ? spill->written() : 0));
+    appendf(out, "reattribution_period_s %lld\n", static_cast<long long>(period_s));
     appendf(out, "draining %d\n", draining ? 1 : 0);
     return out;
   }
@@ -414,13 +556,15 @@ struct Daemon::Impl {
         respond(c, req, Status::kOk,
                 analysis::render_as_report(hub.master(), parse_top(req.payload)));
         break;
-      case Verb::kBlocklist: {
-        const core::AdaptiveConfig cfg{.ladder = {opts.detector.source_prefix_len}};
-        const auto attributions = core::attribute_adaptive({slim_events}, cfg);
-        respond(c, req, Status::kOk, analysis::render_blocklist(attributions));
+      case Verb::kBlocklist:
+        // Periodic mode serves the cached pass (the period is the
+        // staleness contract); on-demand mode recomputes per query.
+        respond(c, req, Status::kOk,
+                period_s > 0 && blocklist_cached ? cached_blocklist
+                                                 : render_blocklist_now());
         break;
-      }
       case Verb::kMetrics:
+        util::note_max_rss();
         respond(c, req, Status::kOk, util::metrics::snapshot().to_json() + "\n");
         break;
       case Verb::kSubscribe:
@@ -454,6 +598,47 @@ struct Daemon::Impl {
         respond(c, req, Status::kOk, "draining\n");
         request_stop_impl();
         break;
+      case Verb::kSetPeriod: {
+        char* end = nullptr;
+        const long long v = std::strtoll(req.payload.c_str(), &end, 10);
+        if (req.payload.empty() || end == req.payload.c_str() || *end != '\0' || v < 0) {
+          respond(c, req, Status::kError,
+                  "set-period payload must be a non-negative ASCII second count\n");
+          break;
+        }
+        period_s = v;
+        blocklist_cached = false;  // next pass recomputes under the new cadence
+        next_pass = Clock::now() + std::chrono::seconds(v);
+        respond(c, req, Status::kOk, "period " + std::to_string(v) + "\n");
+        break;
+      }
+      case Verb::kCheckpoint: {
+        if (draining) {
+          respond(c, req, Status::kError, "draining; checkpoint rejected\n");
+          break;
+        }
+        const std::string path = req.payload.empty() ? opts.checkpoint_path : req.payload;
+        if (path.empty()) {
+          respond(c, req, Status::kError,
+                  "no checkpoint path: pass one or start with --checkpoint\n");
+          break;
+        }
+        if (!pause_ingest()) {
+          resume_ingest();
+          respond(c, req, Status::kError, "checkpoint failed: ingest did not quiesce\n");
+          break;
+        }
+        try {
+          std::string summary = checkpoint_now(path);
+          resume_ingest();
+          respond(c, req, Status::kOk, std::move(summary));
+        } catch (const std::exception& e) {
+          resume_ingest();
+          respond(c, req, Status::kError,
+                  std::string("checkpoint failed: ") + e.what() + "\n");
+        }
+        break;
+      }
       default:
         respond(c, req, Status::kError,
                 "unknown verb " + std::to_string(req.verb) + "\n");
@@ -580,8 +765,43 @@ struct Daemon::Impl {
     util::ShutdownSignal::install();
     setup_listener();
     if (!opts.tail_path.empty()) tailer.emplace(opts.tail_path);
-    if (!opts.events_out.empty()) spill.emplace(opts.events_out);
+
+    // Restore-on-start: an existing --checkpoint file is the state of
+    // a previous incarnation (stop / upgrade / resume). Its shard
+    // count is adopted — shard routing is a function of the count, so
+    // per-shard detector state only loads back into the same layout.
+    std::optional<core::CheckpointReader> resume;
+    std::uint64_t meta_ingested = 0, meta_events_seen = 0;
+    std::uint64_t spill_count = 0, spill_offset = 0;
+    bool had_spill = false;
+    if (!opts.checkpoint_path.empty() &&
+        ::access(opts.checkpoint_path.c_str(), F_OK) == 0) {
+      resume.emplace(opts.checkpoint_path);
+      auto mr = resume->section("daemon.meta");
+      opts.threads = static_cast<int>(mr.u32());
+      meta_ingested = mr.u64();
+      meta_events_seen = mr.u64();
+      period_s = mr.i64();
+      had_spill = mr.u8() != 0;
+      spill_count = mr.u64();
+      spill_offset = mr.u64();
+      mr.expect_end();
+    }
+    if (!opts.events_out.empty()) {
+      if (resume && had_spill)
+        spill.emplace(opts.events_out, spill_count, spill_offset);
+      else
+        spill.emplace(opts.events_out);
+    }
     start_pipeline();
+    if (resume) {
+      restore_checkpoint(*resume, meta_ingested, meta_events_seen);
+      std::fprintf(stderr, "v6sonard: restored %s (%llu records, %llu events)\n",
+                   opts.checkpoint_path.c_str(),
+                   static_cast<unsigned long long>(meta_ingested),
+                   static_cast<unsigned long long>(meta_events_seen));
+    }
+    if (period_s > 0) next_pass = Clock::now() + std::chrono::seconds(period_s);
     ingest = std::thread([this] { ingest_main(); });
 
     while (!should_stop()) {
@@ -619,6 +839,7 @@ struct Daemon::Impl {
         if (!c.dead && (rev & POLLOUT)) try_send(c);
       }
       check_timeouts();
+      maybe_reattribute();
       reap_clients();
     }
     return drain();
@@ -675,6 +896,7 @@ struct Daemon::Impl {
   }
 
   [[nodiscard]] bool write_metrics_file() {
+    util::note_max_rss();
     const std::string json = util::metrics::snapshot().to_json();
     if (opts.metrics_out.empty() || opts.metrics_out == "-") {
       std::printf("%s\n", json.c_str());

@@ -1,6 +1,7 @@
 #include "daemon/snapshot.hpp"
 
 #include <chrono>
+#include <stdexcept>
 #include <utility>
 
 #include "util/metrics.hpp"
@@ -105,6 +106,18 @@ std::uint64_t SnapshotHub::drain() {
     snap_metrics().merge_us.observe(static_cast<std::uint64_t>(us));
   }
   return folded;
+}
+
+void SnapshotHub::save_master(util::StateWriter& w) const {
+  master_.save(w);
+  w.u64(events_folded_);
+}
+
+void SnapshotHub::restore_master(util::StateReader& r) {
+  if (events_folded_ != 0)
+    throw std::runtime_error("SnapshotHub::restore_master: hub already folded events");
+  master_.load(r);
+  events_folded_ = r.u64();
 }
 
 }  // namespace v6sonar::daemon

@@ -102,6 +102,15 @@ class SnapshotHub {
   /// Events folded into master over the hub's lifetime.
   [[nodiscard]] std::uint64_t events_folded() const noexcept { return events_folded_; }
 
+  /// Checkpoint half of the StateCodec seam: serialize the master
+  /// bundle + fold counter. Call after drain() with the workers
+  /// quiesced, so the master reflects every published delta.
+  void save_master(util::StateWriter& w) const;
+
+  /// Restore-on-start counterpart; the hub must be fresh (nothing
+  /// folded yet). Consumes exactly save_master()'s bytes.
+  void restore_master(util::StateReader& r);
+
  private:
   std::size_t top_;
   std::vector<std::unique_ptr<ShardSnapshotSlot>> slots_;

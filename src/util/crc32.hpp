@@ -1,0 +1,44 @@
+// CRC-32 (ISO-HDLC polynomial, the zlib/PNG variant) over byte spans.
+//
+// The checkpoint container stores one CRC per section so a torn or
+// bit-flipped file is rejected at load instead of silently thawing
+// corrupt analyzer state. Software slice-by-1 with a lazily built
+// 256-entry table is plenty: checksumming runs once per checkpoint,
+// never on the record path.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace v6sonar::util {
+
+namespace detail {
+
+[[nodiscard]] inline const std::array<std::uint32_t, 256>& crc32_table() noexcept {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c >> 1) ^ ((c & 1) ? 0xEDB88320u : 0);
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
+/// Incremental form: pass the previous return value as `seed` to
+/// extend a running checksum (seed 0 starts a fresh one).
+[[nodiscard]] inline std::uint32_t crc32(const void* data, std::size_t len,
+                                         std::uint32_t seed = 0) noexcept {
+  const auto& table = detail::crc32_table();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace v6sonar::util

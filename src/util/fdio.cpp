@@ -33,6 +33,15 @@ bool sync_fd(int fd) noexcept {
   return rc == 0;
 }
 
+int truncate_file(std::FILE* f, std::size_t len) noexcept {
+  if (std::fflush(f) != 0) return -1;
+  int rc;
+  do {
+    rc = ::ftruncate(::fileno(f), static_cast<off_t>(len));
+  } while (rc != 0 && errno == EINTR);
+  return rc;
+}
+
 bool write_fully(int fd, const void* data, std::size_t n) noexcept {
   const char* p = static_cast<const char*>(data);
   while (n > 0) {

@@ -58,4 +58,9 @@ bool sync_fd(int fd) noexcept;
 /// false on any other error (errno preserved). Blocking fds only.
 bool write_fully(int fd, const void* data, std::size_t n) noexcept;
 
+/// Truncate an open stdio stream's file to `len` bytes (fflush +
+/// ftruncate on the underlying descriptor). Returns 0 on success,
+/// nonzero with errno set on failure.
+int truncate_file(std::FILE* f, std::size_t len) noexcept;
+
 }  // namespace v6sonar::util

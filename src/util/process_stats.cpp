@@ -1,0 +1,23 @@
+#include "util/process_stats.hpp"
+
+#include <sys/resource.h>
+
+#include "util/metrics.hpp"
+
+namespace v6sonar::util {
+
+std::uint64_t max_rss_kb() noexcept {
+  struct rusage ru {};
+  if (::getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes already.
+  return static_cast<std::uint64_t>(ru.ru_maxrss);
+}
+
+void note_max_rss() {
+  namespace m = util::metrics;
+  if (!m::enabled()) return;
+  static const m::Gauge gauge{"process.maxrss_kb"};
+  gauge.note(max_rss_kb());
+}
+
+}  // namespace v6sonar::util

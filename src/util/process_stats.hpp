@@ -1,0 +1,18 @@
+// Process-level resource accounting for the observability surface:
+// the peak-RSS high-water mark the state-tiering work is judged by.
+#pragma once
+
+#include <cstdint>
+
+namespace v6sonar::util {
+
+/// Peak resident set size of this process in kilobytes, from
+/// getrusage(RUSAGE_SELF). Returns 0 if the call fails.
+[[nodiscard]] std::uint64_t max_rss_kb() noexcept;
+
+/// Record the current peak RSS into the `process.maxrss_kb` high-water
+/// gauge. Call at snapshot points (metrics dump, daemon metrics verb,
+/// bench end); a no-op while metrics are disabled.
+void note_max_rss();
+
+}  // namespace v6sonar::util

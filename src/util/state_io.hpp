@@ -1,0 +1,203 @@
+// In-memory serialization buffers for the state-lifecycle seam.
+//
+// StateWriter appends little-endian primitives (and raw POD images —
+// host == file layout on all supported targets, the same convention
+// event_io.cpp and log_io.cpp already commit to) into a growable byte
+// buffer; StateReader walks one back with a bounds check on every
+// read, so a truncated or corrupt checkpoint section surfaces as a
+// clean std::runtime_error, never as an out-of-bounds read. The
+// checkpoint container (core/state_codec.hpp) frames these buffers
+// into named, CRC-guarded file sections.
+//
+// The flat-container helpers serialize util::FlatMap / util::FlatSet
+// contents count-prefixed in iteration order. Iteration order is
+// unspecified, so two checkpoints of the same state need not be
+// byte-identical — what load_state() reconstructs is the *contents*,
+// and every consumer of those containers is order-independent (sorts
+// at finalize, or folds commutatively), which is the invariant the
+// resume-equivalence tests pin down.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "util/flat_hash.hpp"
+
+namespace v6sonar::util {
+
+class StateWriter {
+ public:
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void u16(std::uint16_t v) { le(v); }
+  void u32(std::uint32_t v) { le(v); }
+  void u64(std::uint64_t v) { le(v); }
+  void i32(std::int32_t v) { le(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { le(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    le(bits);
+  }
+
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+
+  /// Raw in-memory image of a trivially copyable value (host layout).
+  template <typename T>
+  void pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>, "pod() needs a trivially copyable type");
+    raw(&v, sizeof v);
+  }
+
+  void raw(const void* data, std::size_t len) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + len);
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void le(T v) {
+    std::uint8_t b[sizeof(T)];
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+      b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    raw(b, sizeof b);
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+class StateReader {
+ public:
+  StateReader(const void* data, std::size_t len) noexcept
+      : p_(static_cast<const std::uint8_t*>(data)), len_(len) {}
+  explicit StateReader(const std::vector<std::uint8_t>& buf) noexcept
+      : StateReader(buf.data(), buf.size()) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    need(1);
+    return p_[pos_++];
+  }
+  [[nodiscard]] std::uint16_t u16() { return le<std::uint16_t>(); }
+  [[nodiscard]] std::uint32_t u32() { return le<std::uint32_t>(); }
+  [[nodiscard]] std::uint64_t u64() { return le<std::uint64_t>(); }
+  [[nodiscard]] std::int32_t i32() { return static_cast<std::int32_t>(le<std::uint32_t>()); }
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(le<std::uint64_t>()); }
+  [[nodiscard]] double f64() {
+    const std::uint64_t bits = le<std::uint64_t>();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  [[nodiscard]] std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(p_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  template <typename T>
+  [[nodiscard]] T pod() {
+    static_assert(std::is_trivially_copyable_v<T>, "pod() needs a trivially copyable type");
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, p_ + pos_, sizeof v);
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  void raw(void* out, std::size_t len) {
+    need(len);
+    std::memcpy(out, p_ + pos_, len);
+    pos_ += len;
+  }
+
+  /// A count that is about to drive `count * elem_bytes` reads. Caps
+  /// the value against the bytes actually remaining so a corrupt count
+  /// throws here instead of driving a multi-gigabyte reserve().
+  [[nodiscard]] std::uint64_t count(std::size_t elem_bytes) {
+    const std::uint64_t n = u64();
+    if (elem_bytes != 0 && n > remaining() / elem_bytes)
+      throw std::runtime_error("state: element count exceeds section size");
+    return n;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return len_ - pos_; }
+  [[nodiscard]] bool at_end() const noexcept { return pos_ == len_; }
+
+  /// Throw unless the whole section was consumed — a length mismatch
+  /// means the payload does not match the schema the code expects.
+  void expect_end() const {
+    if (!at_end()) throw std::runtime_error("state: trailing bytes in section");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (n > len_ - pos_) throw std::runtime_error("state: truncated section");
+  }
+
+  template <typename T>
+  [[nodiscard]] T le() {
+    need(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+      v = static_cast<T>(v | (static_cast<T>(p_[pos_ + i]) << (8 * i)));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const std::uint8_t* p_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+};
+
+/// Flat-container content dumps: count-prefixed raw (key, value)
+/// images in iteration order. The load side inserts through the normal
+/// hashing path, so the reconstructed table is a valid (possibly
+/// differently laid out) table with identical contents.
+template <typename K, typename V, typename H, typename G>
+void save_flat(StateWriter& w, const FlatMap<K, V, H, G>& m) {
+  w.u64(m.size());
+  m.for_each([&](const K& k, const V& v) {
+    w.pod(k);
+    w.pod(v);
+  });
+}
+
+template <typename K, typename V, typename H, typename G>
+void load_flat(StateReader& r, FlatMap<K, V, H, G>& m) {
+  const std::uint64_t n = r.count(sizeof(K) + sizeof(V));
+  m.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const K k = r.template pod<K>();
+    m[k] = r.template pod<V>();
+  }
+}
+
+template <typename K, typename H, typename G>
+void save_flat(StateWriter& w, const FlatSet<K, H, G>& s) {
+  w.u64(s.size());
+  s.for_each([&](const K& k) { w.pod(k); });
+}
+
+template <typename K, typename H, typename G>
+void load_flat(StateReader& r, FlatSet<K, H, G>& s) {
+  const std::uint64_t n = r.count(sizeof(K));
+  s.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) s.insert(r.template pod<K>());
+}
+
+}  // namespace v6sonar::util

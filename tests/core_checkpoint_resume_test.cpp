@@ -1,0 +1,392 @@
+// Resume-equivalence property tests — the tentpole's non-negotiable
+// invariant: freeze state at record k, thaw into fresh instances, feed
+// records k.., and the combined output (events, rendered reports,
+// filter output, IDS alerts + blocklist) is byte-identical to one
+// uninterrupted run. k sweeps the interesting boundaries (0,
+// mid-batch, first record after an expiry gap, first record of a new
+// UTC day) and the parallel pipeline sweeps thread counts {1, 2, 8}.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/report_render.hpp"
+#include "core/artifact_filter.hpp"
+#include "core/detector.hpp"
+#include "core/parallel_pipeline.hpp"
+#include "core/state_codec.hpp"
+#include "core/streaming_ids.hpp"
+#include "util/state_io.hpp"
+
+namespace v6sonar::core {
+namespace {
+
+using sim::LogRecord;
+
+constexpr sim::TimeUs kSec = 1'000'000;
+constexpr sim::TimeUs kTimeout = 600 * kSec;
+
+LogRecord probe(sim::TimeUs ts, std::uint64_t src_id, std::uint64_t dst_lo,
+                std::uint16_t port = 443) {
+  LogRecord r;
+  r.ts_us = ts;
+  // Distinct hi bits => distinct /64 aggregates spread across shards.
+  r.src = net::Ipv6Address{0x2A10'0000'0000'0000ULL + src_id, 1};
+  r.dst = net::Ipv6Address{0x2600'0000'0000'0000ULL, dst_lo};
+  r.dst_port = port;
+  r.src_asn = static_cast<std::uint32_t>(7 + src_id % 5);
+  return r;
+}
+
+/// Three activity phases: A straddles the UTC day boundary, a silent
+/// gap longer than the detector timeout separates A from B (so every
+/// phase-A scan expires at the first B record), and C follows a second
+/// shorter gap. Sources reuse destinations enough for duplicate
+/// filtering to matter.
+std::vector<LogRecord> workload() {
+  std::vector<LogRecord> recs;
+  sim::TimeUs ts = 86'380 * kSec;  // 20 s before the day-0/day-1 boundary
+  for (std::uint64_t d = 0; d < 8; ++d)
+    for (std::uint64_t s = 0; s < 24; ++s)
+      recs.push_back(probe(ts += kSec / 4, s, d, static_cast<std::uint16_t>(443 + s % 7)));
+  // A lone heartbeat probe lands while the phase-A sources are idle
+  // past timeout/2 but not yet expired: with tiering enabled this is
+  // the moment they demote to the cold tier…
+  recs.push_back(probe(ts + (3 * kTimeout) / 4, 999, 0));
+  // …and one of them resumes probing from the cold tier (transparent
+  // promotion: the scan continues as if never demoted).
+  for (std::uint64_t d = 8; d < 11; ++d)
+    recs.push_back(probe(ts + (3 * kTimeout) / 4 + (d - 7) * kSec, 3, d));
+  ts += 2 * kTimeout;  // expiry gap
+  for (std::uint64_t d = 0; d < 6; ++d)
+    for (std::uint64_t s = 0; s < 16; ++s)
+      recs.push_back(probe(ts += kSec / 3, 100 + s, d));
+  ts += kTimeout + 30 * kSec;
+  for (std::uint64_t d = 0; d < 7; ++d)
+    for (std::uint64_t s = 0; s < 10; ++s) {
+      // Half the phase-C probes repeat destination 0: duplicate
+      // traffic for the artifact filter to chew on.
+      const std::uint64_t dst = s % 2 ? 0 : d;
+      recs.push_back(probe(ts += kSec / 2, 200 + s % 3, dst));
+    }
+  return recs;
+}
+
+/// First record index on a different UTC day than record 0.
+std::size_t day_boundary_k(const std::vector<LogRecord>& recs) {
+  const std::int64_t day0 = sim::seconds_of(recs[0].ts_us) / 86'400;
+  for (std::size_t i = 1; i < recs.size(); ++i)
+    if (sim::seconds_of(recs[i].ts_us) / 86'400 != day0) return i;
+  ADD_FAILURE() << "workload never crosses a day boundary";
+  return 0;
+}
+
+/// First record index following an inter-record gap > timeout.
+std::size_t expiry_boundary_k(const std::vector<LogRecord>& recs) {
+  for (std::size_t i = 1; i < recs.size(); ++i)
+    if (recs[i].ts_us - recs[i - 1].ts_us > kTimeout) return i;
+  ADD_FAILURE() << "workload has no expiry gap";
+  return 0;
+}
+
+std::vector<std::size_t> checkpoint_points(const std::vector<LogRecord>& recs) {
+  return {0, 37, expiry_boundary_k(recs), day_boundary_k(recs)};
+}
+
+DetectorConfig detector_config(sim::TimeUs demote_idle = 0) {
+  return {.source_prefix_len = 64,
+          .min_destinations = 5,
+          .timeout_us = kTimeout,
+          .demote_idle_us = demote_idle};
+}
+
+/// Events compare by their canonical serialized form — covers every
+/// field including the per-port and weekly vectors.
+std::vector<std::uint8_t> event_bytes(const std::vector<ScanEvent>& evs) {
+  util::StateWriter w;
+  for (const auto& ev : evs) save_scan_event(w, ev);
+  return w.take();
+}
+
+struct SerialRun {
+  std::vector<ScanEvent> events;
+  std::string report;
+};
+
+SerialRun serial_uninterrupted(const std::vector<LogRecord>& recs,
+                               const DetectorConfig& cfg) {
+  SerialRun out;
+  analysis::ReportBundle bundle(10);
+  ScanDetector det(cfg, [&](ScanEvent&& ev) {
+    bundle.observe(ev);
+    out.events.push_back(std::move(ev));
+  });
+  for (const auto& r : recs) det.feed(r);
+  det.flush();
+  out.report = analysis::render_report(bundle, 10);
+  return out;
+}
+
+SerialRun serial_resumed(const std::vector<LogRecord>& recs, const DetectorConfig& cfg,
+                         std::size_t k) {
+  SerialRun out;
+  util::StateWriter det_w, an_w;
+  {
+    analysis::ReportBundle bundle(10);
+    ScanDetector det(cfg, [&](ScanEvent&& ev) {
+      bundle.observe(ev);
+      out.events.push_back(std::move(ev));
+    });
+    for (std::size_t i = 0; i < k; ++i) det.feed(recs[i]);
+    det.save(det_w);
+    bundle.save(an_w);
+    // det + bundle die here: the process "crashed" after the save.
+  }
+  analysis::ReportBundle bundle(10);
+  ScanDetector det(cfg, [&](ScanEvent&& ev) {
+    bundle.observe(ev);
+    out.events.push_back(std::move(ev));
+  });
+  util::StateReader dr(det_w.bytes());
+  det.load(dr);
+  dr.expect_end();
+  util::StateReader ar(an_w.bytes());
+  bundle.load(ar);
+  ar.expect_end();
+  for (std::size_t i = k; i < recs.size(); ++i) det.feed(recs[i]);
+  det.flush();
+  out.report = analysis::render_report(bundle, 10);
+  return out;
+}
+
+TEST(CheckpointResume, SerialDetectorAndAnalyzersAtEveryBoundary) {
+  const auto recs = workload();
+  const auto base = serial_uninterrupted(recs, detector_config());
+  ASSERT_FALSE(base.events.empty());
+  for (const std::size_t k : checkpoint_points(recs)) {
+    const auto resumed = serial_resumed(recs, detector_config(), k);
+    EXPECT_EQ(event_bytes(resumed.events), event_bytes(base.events)) << "k=" << k;
+    EXPECT_EQ(resumed.report, base.report) << "k=" << k;
+  }
+}
+
+TEST(CheckpointResume, TieredDetectorMatchesUntieredAndResumes) {
+  const auto recs = workload();
+  const auto base = serial_uninterrupted(recs, detector_config());
+
+  // Tiering is output-invisible: demotion/promotion only moves state
+  // between representations.
+  const DetectorConfig tiered = detector_config(kTimeout / 2);
+  const auto tiered_run = serial_uninterrupted(recs, tiered);
+  EXPECT_EQ(event_bytes(tiered_run.events), event_bytes(base.events));
+  EXPECT_EQ(tiered_run.report, base.report);
+
+  // The cold tier actually engages on this workload…
+  std::size_t max_cold = 0;
+  {
+    ScanDetector det(tiered, [](ScanEvent&&) {});
+    for (const auto& r : recs) {
+      det.feed(r);
+      max_cold = std::max(max_cold, det.cold_sources());
+    }
+  }
+  EXPECT_GT(max_cold, 0u) << "workload never demoted a source";
+
+  // …and a checkpoint taken while sources sit in the cold tier thaws
+  // back to the identical stream.
+  for (const std::size_t k : checkpoint_points(recs)) {
+    const auto resumed = serial_resumed(recs, tiered, k);
+    EXPECT_EQ(event_bytes(resumed.events), event_bytes(base.events)) << "k=" << k;
+    EXPECT_EQ(resumed.report, base.report) << "k=" << k;
+  }
+}
+
+TEST(CheckpointResume, ArtifactFilterMidDay) {
+  const auto recs = workload();
+  const std::vector<std::size_t> ks = checkpoint_points(recs);
+  const ArtifactFilterConfig cfg{.duplicate_threshold = 3, .max_duplicate_fraction = 0.30,
+                                 .source_prefix_len = 64};
+
+  std::vector<LogRecord> base_out;
+  {
+    ArtifactFilter f(cfg, [&](const LogRecord& r) { base_out.push_back(r); });
+    for (const auto& r : recs) f.feed(r);
+    f.flush();
+  }
+  ASSERT_FALSE(base_out.empty());
+
+  for (const std::size_t k : ks) {
+    std::vector<LogRecord> out;
+    util::StateWriter w;
+    {
+      ArtifactFilter f(cfg, [&](const LogRecord& r) { out.push_back(r); });
+      for (std::size_t i = 0; i < k; ++i) f.feed(recs[i]);
+      f.save(w);
+    }
+    ArtifactFilter f(cfg, [&](const LogRecord& r) { out.push_back(r); });
+    util::StateReader r(w.bytes());
+    f.load(r);
+    r.expect_end();
+    for (std::size_t i = k; i < recs.size(); ++i) f.feed(recs[i]);
+    f.flush();
+
+    EXPECT_EQ(out, base_out) << "k=" << k;
+  }
+}
+
+struct IdsRun {
+  std::vector<std::string> alerts;  ///< "<prefix> level=<l> new=<b> at=<us>"
+  std::string blocklist;
+};
+
+std::string alert_line(const IdsAlert& a) {
+  return a.attribution.source.to_string() + " level=" + std::to_string(a.attribution.level) +
+         " new=" + std::to_string(a.is_new) + " at=" + std::to_string(a.at_us);
+}
+
+IdsConfig ids_config() {
+  IdsConfig cfg;
+  cfg.adaptive.ladder = {64, 48};  // finest to coarsest
+  cfg.min_destinations = 5;
+  cfg.timeout_us = kTimeout;
+  cfg.reattribution_period_us = 1'800 * kSec;
+  return cfg;
+}
+
+TEST(CheckpointResume, StreamingIdsAlertsAndBlocklist) {
+  const auto recs = workload();
+  IdsRun base;
+  {
+    StreamingIds ids(ids_config(), [&](const IdsAlert& a) { base.alerts.push_back(alert_line(a)); });
+    for (const auto& r : recs) ids.feed(r);
+    ids.flush();
+    base.blocklist = analysis::render_blocklist(ids.blocklist());
+  }
+  ASSERT_FALSE(base.alerts.empty());
+
+  for (const std::size_t k : checkpoint_points(recs)) {
+    IdsRun run;
+    util::StateWriter w;
+    {
+      StreamingIds ids(ids_config(),
+                       [&](const IdsAlert& a) { run.alerts.push_back(alert_line(a)); });
+      for (std::size_t i = 0; i < k; ++i) ids.feed(recs[i]);
+      ids.save(w);
+    }
+    StreamingIds ids(ids_config(),
+                     [&](const IdsAlert& a) { run.alerts.push_back(alert_line(a)); });
+    util::StateReader r(w.bytes());
+    ids.load(r);
+    r.expect_end();
+    for (std::size_t i = k; i < recs.size(); ++i) ids.feed(recs[i]);
+    ids.flush();
+    run.blocklist = analysis::render_blocklist(ids.blocklist());
+
+    EXPECT_EQ(run.alerts, base.alerts) << "k=" << k;
+    EXPECT_EQ(run.blocklist, base.blocklist) << "k=" << k;
+  }
+}
+
+// ---------------- parallel pipeline (sharded ownership) ----------------
+
+struct BundleSink final : EventSink {
+  analysis::ReportBundle bundle{10};
+  void on_event(ScanEvent&& ev) override { bundle.observe(ev); }
+};
+
+struct ShardedRun {
+  std::vector<std::unique_ptr<BundleSink>> sinks;
+  ParallelScanPipeline pipeline;
+
+  ShardedRun(const DetectorConfig& cfg, int threads)
+      : pipeline(cfg, ParallelConfig{.threads = threads, .ring_capacity = 64},
+                 ParallelScanPipeline::ShardSinkFactory([this](std::size_t) -> EventSink& {
+                   sinks.push_back(std::make_unique<BundleSink>());
+                   return *sinks.back();
+                 })) {}
+
+  std::string finish() {
+    pipeline.flush();
+    analysis::ReportBundle master(10);
+    for (auto& s : sinks) master.merge(std::move(s->bundle));
+    return analysis::render_report(master, 10);
+  }
+};
+
+TEST(CheckpointResume, ShardedPipelineAcrossThreadCounts) {
+  const auto recs = workload();
+  const std::string serial_report = serial_uninterrupted(recs, detector_config()).report;
+
+  for (const int threads : {1, 2, 8}) {
+    ShardedRun base(detector_config(), threads);
+    base.pipeline.feed_batch(recs);
+    const std::string base_report = base.finish();
+    EXPECT_EQ(base_report, serial_report) << "threads=" << threads;
+
+    for (const std::size_t k : checkpoint_points(recs)) {
+      const auto n = static_cast<std::size_t>(threads);
+      std::vector<util::StateWriter> det_w(n), an_w(n);
+      {
+        ShardedRun first(detector_config(), threads);
+        first.pipeline.feed_batch(std::span(recs).first(k));
+        first.pipeline.with_shard_state(
+            [&](std::size_t s, ScanDetector& det, ArtifactFilter*) {
+              det.save(det_w[s]);
+              first.sinks[s]->bundle.save(an_w[s]);
+            });
+        // Simulated crash: `first` is dropped mid-stream (its own
+        // destructor flush output is discarded).
+      }
+      ShardedRun second(detector_config(), threads);
+      second.pipeline.with_shard_state(
+          [&](std::size_t s, ScanDetector& det, ArtifactFilter*) {
+            util::StateReader dr(det_w[s].bytes());
+            det.load(dr);
+            dr.expect_end();
+            util::StateReader ar(an_w[s].bytes());
+            second.sinks[s]->bundle.load(ar);
+            ar.expect_end();
+          });
+      second.pipeline.feed_batch(std::span(recs).subspan(k));
+      EXPECT_EQ(second.finish(), base_report) << "threads=" << threads << " k=" << k;
+    }
+  }
+}
+
+TEST(CheckpointResume, TotalOrderModeRefusesShardState) {
+  std::vector<ScanEvent> sink;
+  ParallelScanPipeline p(detector_config(), ParallelConfig{.threads = 2, .ring_capacity = 64},
+                         [&](ScanEvent&& ev) { sink.push_back(std::move(ev)); });
+  EXPECT_THROW(
+      p.with_shard_state([](std::size_t, ScanDetector&, ArtifactFilter*) {}),
+      std::logic_error);
+}
+
+TEST(CheckpointResume, LoadRejectsMismatchedConfigAndFedInstances) {
+  const auto recs = workload();
+  util::StateWriter w;
+  {
+    ScanDetector det(detector_config(), [](ScanEvent&&) {});
+    for (std::size_t i = 0; i < 50; ++i) det.feed(recs[i]);
+    det.save(w);
+  }
+  {
+    DetectorConfig other = detector_config();
+    other.min_destinations = 99;
+    ScanDetector det(other, [](ScanEvent&&) {});
+    util::StateReader r(w.bytes());
+    EXPECT_THROW(det.load(r), std::runtime_error);
+  }
+  {
+    ScanDetector det(detector_config(), [](ScanEvent&&) {});
+    det.feed(recs[0]);
+    util::StateReader r(w.bytes());
+    EXPECT_THROW(det.load(r), std::runtime_error);
+  }
+}
+
+}  // namespace
+}  // namespace v6sonar::core

@@ -501,6 +501,96 @@ TEST_F(DaemonServerTest, IngestAfterShutdownIsRejected) {
   EXPECT_FALSE(std::filesystem::exists(sock_));
 }
 
+TEST_F(DaemonServerTest, SetPeriodVerbAdjustsReattributionCadence) {
+  RunningDaemon rd(options());
+  TestClient c(sock_);
+  ASSERT_GE(c.fd, 0);
+  Frame resp = c.roundtrip(Verb::kStatus, 1);
+  EXPECT_EQ(status_value(resp.payload, "reattribution_period_s"), 0u);
+
+  resp = c.roundtrip(Verb::kSetPeriod, 2, "5");
+  ASSERT_EQ(resp.status, static_cast<std::uint8_t>(Status::kOk));
+  EXPECT_EQ(resp.payload, "period 5\n");
+  resp = c.roundtrip(Verb::kStatus, 3);
+  EXPECT_EQ(status_value(resp.payload, "reattribution_period_s"), 5u);
+
+  // Junk, negative, and empty payloads are rejected without touching
+  // the configured period.
+  for (const char* bad : {"soon", "-3", "", "5x"}) {
+    resp = c.roundtrip(Verb::kSetPeriod, 4, bad);
+    EXPECT_EQ(resp.status, static_cast<std::uint8_t>(Status::kError)) << bad;
+  }
+  resp = c.roundtrip(Verb::kStatus, 5);
+  EXPECT_EQ(status_value(resp.payload, "reattribution_period_s"), 5u);
+
+  // Blocklist still answers in periodic mode, and 0 restores on-demand.
+  resp = c.roundtrip(Verb::kBlocklist, 6);
+  EXPECT_EQ(resp.status, static_cast<std::uint8_t>(Status::kOk));
+  resp = c.roundtrip(Verb::kSetPeriod, 7, "0");
+  EXPECT_EQ(resp.payload, "period 0\n");
+  EXPECT_EQ(rd.stop_and_join(), 0);
+}
+
+TEST_F(DaemonServerTest, CheckpointVerbAndRestoreOnStart) {
+  const auto recs = workload();
+  const SerialFold serial = serial_fold(recs);
+  const std::string ckpt = (dir_ / "d.v6ckpt").string();
+  std::string report_before;
+  {
+    auto opts = options();
+    opts.checkpoint_path = ckpt;
+    RunningDaemon rd(std::move(opts));
+    TestClient c(sock_);
+    ASSERT_GE(c.fd, 0);
+    Frame resp = c.roundtrip(Verb::kIngest, 1, encode_records(recs));
+    ASSERT_EQ(resp.status, static_cast<std::uint8_t>(Status::kOk));
+    ASSERT_TRUE(wait_folded(c, serial.events.size()));
+    resp = c.roundtrip(Verb::kSetPeriod, 2, "9");
+    ASSERT_EQ(resp.status, static_cast<std::uint8_t>(Status::kOk));
+    resp = c.roundtrip(Verb::kCheckpoint, 3);
+    ASSERT_EQ(resp.status, static_cast<std::uint8_t>(Status::kOk)) << resp.payload;
+    EXPECT_NE(resp.payload.find("checkpointed"), std::string::npos) << resp.payload;
+    resp = c.roundtrip(Verb::kReport, 4);
+    report_before = resp.payload;
+    // The daemon stays fully serviceable after a checkpoint.
+    resp = c.roundtrip(Verb::kPing, 5, "post-ckpt");
+    EXPECT_EQ(resp.payload, "post-ckpt");
+    EXPECT_EQ(rd.stop_and_join(), 0);
+  }
+  // A new incarnation restores the frozen state: counters, runtime-set
+  // period, and a byte-identical report (the check.sh smoke covers the
+  // SIGKILL variant; here the restart itself is under test).
+  {
+    auto opts = options();
+    opts.checkpoint_path = ckpt;
+    RunningDaemon rd(std::move(opts));
+    TestClient c(sock_);
+    ASSERT_GE(c.fd, 0);
+    Frame resp = c.roundtrip(Verb::kStatus, 1);
+    EXPECT_EQ(status_value(resp.payload, "ingested_records"), recs.size());
+    EXPECT_EQ(status_value(resp.payload, "events_seen"), serial.events.size());
+    EXPECT_EQ(status_value(resp.payload, "reattribution_period_s"), 9u);
+    resp = c.roundtrip(Verb::kReport, 2);
+    EXPECT_EQ(resp.payload, report_before);
+    EXPECT_EQ(resp.payload, analysis::render_report(serial.bundle, 10));
+    EXPECT_EQ(rd.stop_and_join(), 0);
+  }
+}
+
+TEST_F(DaemonServerTest, CheckpointVerbNeedsAPath) {
+  RunningDaemon rd(options());  // no --checkpoint configured
+  TestClient c(sock_);
+  ASSERT_GE(c.fd, 0);
+  Frame resp = c.roundtrip(Verb::kCheckpoint, 1);
+  EXPECT_EQ(resp.status, static_cast<std::uint8_t>(Status::kError));
+  // An explicit payload path works without the configured default.
+  const std::string ckpt = (dir_ / "explicit.v6ckpt").string();
+  resp = c.roundtrip(Verb::kCheckpoint, 2, ckpt);
+  EXPECT_EQ(resp.status, static_cast<std::uint8_t>(Status::kOk)) << resp.payload;
+  EXPECT_TRUE(std::filesystem::exists(ckpt));
+  EXPECT_EQ(rd.stop_and_join(), 0);
+}
+
 TEST_F(DaemonServerTest, OverlongSocketPathIsRejected) {
   DaemonOptions opts = options();
   opts.socket_path = (dir_ / std::string(200, 'x')).string();

@@ -2,7 +2,7 @@
 # Sanitized check of the threaded pipeline and the batched data plane,
 # plus an end-to-end metrics smoke check.
 #
-#   tools/check.sh [thread|address|metrics|perf|bench-guard|report|daemon|docs|all]    (default: thread)
+#   tools/check.sh [thread|address|metrics|perf|bench-guard|report|daemon|checkpoint|docs|all]    (default: thread)
 #
 # `thread`/`address` configure a separate build tree (build-tsan/ or
 # build-asan/) with -DV6SONAR_SANITIZE=<kind>, build the relevant test
@@ -36,7 +36,12 @@
 # subscriber and concurrent query clients are attached; the live
 # report must be byte-identical to a batch `detect --report` over the
 # same records, and SIGTERM must drain cleanly — exit 0, socket
-# unlinked, spill finalized, metrics written. `docs` is a grep-based
+# unlinked, spill finalized, metrics written. `checkpoint` is the
+# freeze/thaw durability smoke (docs/CHECKPOINT.md): a 4 M-record
+# replay is SIGKILLed mid-run while checkpointing every 250k records,
+# then resumed from the surviving checkpoint; the resumed report and
+# spilled event stream must be byte-identical to an uninterrupted
+# run, serial and sharded (--threads 2) alike. `docs` is a grep-based
 # lint needing no build:
 # every metric-name literal in src/ must appear in
 # docs/OBSERVABILITY.md and every CLI flag in tools/v6sonar_cli.cpp
@@ -49,10 +54,10 @@ cd "$(dirname "$0")/.."
 
 kind="${1:-thread}"
 case "$kind" in
-  thread|address|metrics|perf|bench-guard|report|daemon|docs) ;;
+  thread|address|metrics|perf|bench-guard|report|daemon|checkpoint|docs) ;;
   all) "$0" docs && "$0" thread && "$0" address && "$0" metrics && "$0" report \
-       && "$0" daemon && "$0" perf && exec "$0" bench-guard ;;
-  *) echo "usage: tools/check.sh [thread|address|metrics|perf|bench-guard|report|daemon|docs|all]" >&2; exit 2 ;;
+       && "$0" daemon && "$0" checkpoint && "$0" perf && exec "$0" bench-guard ;;
+  *) echo "usage: tools/check.sh [thread|address|metrics|perf|bench-guard|report|daemon|checkpoint|docs|all]" >&2; exit 2 ;;
 esac
 
 if [[ "$kind" == docs ]]; then
@@ -427,6 +432,127 @@ print(f"daemon metrics ok: {counters['daemon.tail.records']} records tailed, "
 PY
 
   echo "check.sh: daemon smoke check passed (live report == batch, rotation survived, clean drain)"
+  exit 0
+fi
+
+if [[ "$kind" == checkpoint ]]; then
+  tree=build-ckpt
+  cmake -B "$tree" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+  cmake --build "$tree" -j"$(nproc)" --target v6sonar
+
+  work="$(mktemp -d)"
+  victim_pid=""
+  cleanup() {
+    if [[ -n "$victim_pid" ]]; then
+      kill -9 "$victim_pid" 2> /dev/null || true
+      wait "$victim_pid" 2> /dev/null || true
+    fi
+    rm -rf "$work"
+  }
+  trap cleanup EXIT
+  v6sonar="$PWD/$tree/tools/v6sonar"
+
+  # 4 M records: the standard bench replay size, sliced from the small
+  # world so the smoke shares its traffic shape with everything else.
+  "$v6sonar" generate "$work/full.v6slog" --small > /dev/null
+  python3 - "$work" <<'PY'
+import os, struct, sys
+work = sys.argv[1]
+n = 4_000_000
+with open(os.path.join(work, "full.v6slog"), "rb") as fh:
+    header = fh.read(16)
+    body = fh.read(n * 52)
+assert len(body) == n * 52, "small world has fewer than 4M records"
+with open(os.path.join(work, "world.v6slog"), "wb") as fh:
+    fh.write(header[:8] + struct.pack("<Q", n) + body)
+PY
+  rm "$work/full.v6slog"
+
+  # Uninterrupted reference: report + spilled event stream.
+  "$v6sonar" detect "$work/world.v6slog" --mmap --report \
+      --events "$work/ref.v6ev" > "$work/ref_report.txt"
+  if [[ ! -s "$work/ref_report.txt" ]]; then
+    echo "checkpoint smoke FAILED: reference run produced no report" >&2
+    exit 1
+  fi
+
+  # Serial leg: checkpoint every 250k records, SIGKILL as soon as the
+  # first checkpoint lands (mid-replay), then resume from it.
+  "$v6sonar" detect "$work/world.v6slog" --mmap --report \
+      --events "$work/spill.v6ev" \
+      --checkpoint "$work/ck.v6ckpt" --checkpoint-every 250000 \
+      > /dev/null 2>&1 &
+  victim_pid=$!
+  for _ in $(seq 1 600); do
+    [[ -s "$work/ck.v6ckpt" ]] && break
+    sleep 0.05
+  done
+  kill -9 "$victim_pid" 2> /dev/null || true
+  wait "$victim_pid" 2> /dev/null || true
+  victim_pid=""
+  if [[ ! -s "$work/ck.v6ckpt" ]]; then
+    echo "checkpoint smoke FAILED: no checkpoint written before SIGKILL" >&2
+    exit 1
+  fi
+
+  "$v6sonar" detect "$work/world.v6slog" --mmap --report \
+      --events "$work/spill.v6ev" \
+      --checkpoint "$work/ck.v6ckpt" --resume > "$work/resumed_report.txt"
+  if ! cmp -s "$work/ref_report.txt" "$work/resumed_report.txt"; then
+    echo "checkpoint smoke FAILED: resumed serial report differs from uninterrupted run" >&2
+    diff "$work/ref_report.txt" "$work/resumed_report.txt" | head -40 >&2
+    exit 1
+  fi
+  if ! cmp -s "$work/ref.v6ev" "$work/spill.v6ev"; then
+    echo "checkpoint smoke FAILED: resumed spill differs from uninterrupted spill" >&2
+    exit 1
+  fi
+
+  # Sharded leg: same kill/resume dance under --threads 2 (sharded
+  # ownership), resuming with the checkpointed worker count.
+  rm -f "$work/ck2.v6ckpt"
+  "$v6sonar" detect "$work/world.v6slog" --mmap --report --threads 2 --order sharded \
+      --checkpoint "$work/ck2.v6ckpt" --checkpoint-every 250000 \
+      > /dev/null 2>&1 &
+  victim_pid=$!
+  for _ in $(seq 1 600); do
+    [[ -s "$work/ck2.v6ckpt" ]] && break
+    sleep 0.05
+  done
+  kill -9 "$victim_pid" 2> /dev/null || true
+  wait "$victim_pid" 2> /dev/null || true
+  victim_pid=""
+  if [[ ! -s "$work/ck2.v6ckpt" ]]; then
+    echo "checkpoint smoke FAILED: no sharded checkpoint written before SIGKILL" >&2
+    exit 1
+  fi
+
+  "$v6sonar" detect "$work/world.v6slog" --mmap --report --threads 2 --order sharded \
+      --checkpoint "$work/ck2.v6ckpt" --resume > "$work/resumed_sharded.txt"
+  if ! cmp -s "$work/ref_report.txt" "$work/resumed_sharded.txt"; then
+    echo "checkpoint smoke FAILED: resumed sharded report differs from uninterrupted run" >&2
+    diff "$work/ref_report.txt" "$work/resumed_sharded.txt" | head -40 >&2
+    exit 1
+  fi
+
+  # Corrupt checkpoints must be refused, not half-loaded.
+  cp "$work/ck.v6ckpt" "$work/bad.v6ckpt"
+  python3 - "$work/bad.v6ckpt" <<'PY'
+import sys
+path = sys.argv[1]
+with open(path, "r+b") as fh:
+    fh.seek(-1, 2)
+    last = fh.read(1)[0]
+    fh.seek(-1, 2)
+    fh.write(bytes([last ^ 0x01]))
+PY
+  if "$v6sonar" detect "$work/world.v6slog" --mmap --report \
+      --checkpoint "$work/bad.v6ckpt" --resume > /dev/null 2> "$work/bad.err"; then
+    echo "checkpoint smoke FAILED: corrupted checkpoint accepted" >&2
+    exit 1
+  fi
+
+  echo "check.sh: checkpoint smoke passed (SIGKILL + resume == uninterrupted, serial and sharded; corruption refused)"
   exit 0
 fi
 

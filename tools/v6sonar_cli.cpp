@@ -62,6 +62,7 @@
 #include "core/event_sink.hpp"
 #include "core/fh_detector.hpp"
 #include "core/parallel_pipeline.hpp"
+#include "core/state_codec.hpp"
 #include "daemon/framing.hpp"
 #include "daemon/protocol.hpp"
 #include "mawi/world.hpp"
@@ -70,7 +71,9 @@
 #include "telescope/world.hpp"
 #include "util/fdio.hpp"
 #include "util/metrics.hpp"
+#include "util/process_stats.hpp"
 #include "util/signal_drain.hpp"
+#include "util/state_io.hpp"
 #include "util/table.hpp"
 #include "util/timebase.hpp"
 
@@ -90,6 +93,10 @@ struct Options {
   bool mmap = false;
   bool report = false;     ///< detect: render the full analyzer report
   std::string events_out;  ///< detect: spill events here (--events)
+  std::string checkpoint;  ///< detect/ids: checkpoint container path
+  std::uint64_t checkpoint_every = 1'000'000;  ///< records between checkpoints
+  bool resume = false;            ///< restore from --checkpoint before feeding
+  std::int64_t cold_after_sec = 0;  ///< detect: demote idle sources (0 = off)
 };
 
 [[noreturn]] void usage() {
@@ -110,7 +117,8 @@ struct Options {
       "  query     <socket> <verb> [arg]    query a running v6sonard (see docs/DAEMON.md);\n"
       "                                     verbs: ping status report top-sources top-ports\n"
       "                                     as-report blocklist metrics subscribe ingest\n"
-      "                                     shutdown; options: --top <n> --count <n>\n"
+      "                                     shutdown set-period checkpoint; options:\n"
+      "                                     --top <n> --count <n>\n"
       "                                     --timeout-sec <s> --wait-key <key> --wait-min <n>\n"
       "\n"
       "options (detect/fh):\n"
@@ -139,6 +147,20 @@ struct Options {
       "                    `report` over the same events\n"
       "  --events <file>   detect only: spill the event stream to <file> for\n"
       "                    later `report` runs (no in-memory event set)\n"
+      "  --cold-after <sec> detect only: demote sources idle this long to a\n"
+      "                    compact cold record (promoted back transparently on\n"
+      "                    their next packet); must be shorter than --timeout.\n"
+      "                    Cuts steady-state memory; output is unchanged.\n"
+      "                    0 (default) disables tiering\n"
+      "  --checkpoint <file>  detect/ids: periodically freeze the complete\n"
+      "                    pipeline state to <file> (atomic replace; see\n"
+      "                    docs/CHECKPOINT.md). detect: serial or --order\n"
+      "                    sharded runs only; ids: serial (--threads 1) only\n"
+      "  --checkpoint-every <n>  records between checkpoints (default 1000000)\n"
+      "  --resume          restore state from --checkpoint before feeding and\n"
+      "                    skip the records it already covers; the completed\n"
+      "                    run's report/blocklist is byte-identical to an\n"
+      "                    uninterrupted run\n"
       "\n"
       "global options (any command):\n"
       "  --metrics[=FILE]  enable pipeline stage counters and dump the JSON\n"
@@ -289,6 +311,23 @@ Options parse_options(int argc, char** argv, int first) {
       o.report = true;
     } else if (std::strcmp(argv[i], "--events") == 0) {
       o.events_out = need_value("--events");
+    } else if (std::strcmp(argv[i], "--checkpoint") == 0) {
+      o.checkpoint = need_value("--checkpoint");
+    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0) {
+      o.checkpoint_every =
+          parse_int<std::uint64_t>("--checkpoint-every", need_value("--checkpoint-every"));
+      if (o.checkpoint_every == 0) {
+        std::fprintf(stderr, "error: --checkpoint-every must be at least 1 record\n");
+        std::exit(2);
+      }
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      o.resume = true;
+    } else if (std::strcmp(argv[i], "--cold-after") == 0) {
+      o.cold_after_sec = parse_int<std::int64_t>("--cold-after", need_value("--cold-after"));
+      if (o.cold_after_sec < 0) {
+        std::fprintf(stderr, "error: --cold-after must be >= 0 (0 = off)\n");
+        std::exit(2);
+      }
     } else {
       std::fprintf(stderr, "error: unknown option %s\n", argv[i]);
       std::exit(2);
@@ -345,10 +384,128 @@ void print_report(const analysis::ReportBundle& a, std::size_t top) {
   std::fwrite(text.data(), 1, text.size(), stdout);
 }
 
+// ------------------------------------------------------------------ //
+// Checkpoint plumbing (docs/CHECKPOINT.md). A detect checkpoint holds
+// a "meta" section describing the run shape and stream position, plus
+// the serialized state of every stage: "detector"/"analyzers" in
+// serial mode, "shard<i>.detector"/"shard<i>.analyzers" per worker in
+// sharded-ownership mode. `ids` checkpoints hold "meta" + "ids".
+
+struct DetectMeta {
+  std::uint8_t sharded = 0;
+  std::uint32_t threads = 0;  ///< resolved shard count; 0 when serial
+  std::uint8_t has_report = 0;
+  std::uint8_t has_spill = 0;
+  std::uint64_t records_fed = 0;
+  std::uint64_t spill_count = 0;   ///< EventWriter::written() at checkpoint
+  std::uint64_t spill_offset = 0;  ///< EventWriter::offset() at checkpoint
+};
+
+void save_detect_meta(util::StateWriter& w, const DetectMeta& m) {
+  w.u8(m.sharded);
+  w.u32(m.threads);
+  w.u8(m.has_report);
+  w.u8(m.has_spill);
+  w.u64(m.records_fed);
+  w.u64(m.spill_count);
+  w.u64(m.spill_offset);
+}
+
+DetectMeta load_detect_meta(util::StateReader& r) {
+  DetectMeta m;
+  m.sharded = r.u8();
+  m.threads = r.u32();
+  m.has_report = r.u8();
+  m.has_spill = r.u8();
+  m.records_fed = r.u64();
+  m.spill_count = r.u64();
+  m.spill_offset = r.u64();
+  r.expect_end();
+  return m;
+}
+
+void write_serial_detect_checkpoint(const std::string& path, std::uint64_t fed,
+                                    const core::ScanDetector& det,
+                                    const analysis::ReportBundle* report,
+                                    const analysis::SourceAnalyzer* sources,
+                                    core::EventWriter* spill) {
+  DetectMeta meta;
+  meta.has_report = report != nullptr;
+  meta.has_spill = spill != nullptr;
+  meta.records_fed = fed;
+  if (spill) {
+    // The spilled events must be durable before a checkpoint that
+    // references their count/offset becomes visible.
+    spill->checkpoint_sync();
+    meta.spill_count = spill->written();
+    meta.spill_offset = spill->offset();
+  }
+  core::CheckpointWriter ck;
+  util::StateWriter mw;
+  save_detect_meta(mw, meta);
+  ck.add("meta", std::move(mw));
+  util::StateWriter dw;
+  det.save(dw);
+  ck.add("detector", std::move(dw));
+  util::StateWriter aw;
+  if (report)
+    report->save(aw);
+  else
+    sources->save(aw);
+  ck.add("analyzers", std::move(aw));
+  ck.commit(path);
+}
+
+void write_sharded_detect_checkpoint(const std::string& path, std::uint64_t fed,
+                                     bool full_report, core::ParallelScanPipeline& pipeline,
+                                     std::vector<std::unique_ptr<ShardChain>>& chains) {
+  const std::size_t n = chains.size();
+  std::vector<util::StateWriter> det_w(n), an_w(n);
+  // Each visitor runs on its own worker thread while that worker is
+  // quiesced — shard s's chain is only ever written by worker s, so
+  // serializing it here is race-free.
+  pipeline.with_shard_state(
+      [&](std::size_t s, core::ScanDetector& det, core::ArtifactFilter*) {
+        det.save(det_w[s]);
+        if (full_report)
+          chains[s]->report->save(an_w[s]);
+        else
+          chains[s]->sources_only.save(an_w[s]);
+      });
+  DetectMeta meta;
+  meta.sharded = 1;
+  meta.threads = static_cast<std::uint32_t>(n);
+  meta.has_report = full_report;
+  meta.records_fed = fed;
+  core::CheckpointWriter ck;
+  util::StateWriter mw;
+  save_detect_meta(mw, meta);
+  ck.add("meta", std::move(mw));
+  for (std::size_t s = 0; s < n; ++s) {
+    ck.add("shard" + std::to_string(s) + ".detector", std::move(det_w[s]));
+    ck.add("shard" + std::to_string(s) + ".analyzers", std::move(an_w[s]));
+  }
+  ck.commit(path);
+}
+
+void write_ids_checkpoint(const std::string& path, std::uint64_t fed, std::uint64_t alerts,
+                          const core::StreamingIds& ids) {
+  core::CheckpointWriter ck;
+  util::StateWriter mw;
+  mw.u64(fed);
+  mw.u64(alerts);
+  ck.add("meta", std::move(mw));
+  util::StateWriter iw;
+  ids.save(iw);
+  ck.add("ids", std::move(iw));
+  ck.commit(path);
+}
+
 int cmd_detect(const std::string& path, const Options& o) {
   const core::DetectorConfig cfg{.source_prefix_len = o.agg,
                                  .min_destinations = o.min_dsts,
-                                 .timeout_us = o.timeout_sec * 1'000'000};
+                                 .timeout_us = o.timeout_sec * 1'000'000,
+                                 .demote_idle_us = o.cold_after_sec * 1'000'000};
 
   const bool parallel = o.threads != 1;  // 0 = auto resolves inside the pipeline
   bool sharded = parallel && o.order == core::OrderMode::kSharded;
@@ -357,6 +514,19 @@ int cmd_detect(const std::string& path, const Options& o) {
     // merging only recovers reports, not the stream itself.
     std::fprintf(stderr, "note: --events needs the serial event order; using --order total\n");
     sharded = false;
+  }
+  const bool checkpointing = !o.checkpoint.empty();
+  if (o.resume && !checkpointing) {
+    std::fprintf(stderr, "error: --resume needs --checkpoint <file>\n");
+    return 2;
+  }
+  if (checkpointing && parallel && !sharded) {
+    // The total-order merger holds in-flight events between shards and
+    // the sink; there is no quiesced point that captures all state.
+    std::fprintf(stderr,
+                 "error: --checkpoint needs the serial detector or --order sharded "
+                 "(total-order mode holds in-flight merger state)\n");
+    return 2;
   }
 
   // Assemble the sink chain. Events stream from the detector straight
@@ -372,15 +542,66 @@ int cmd_detect(const std::string& path, const Options& o) {
   std::vector<std::unique_ptr<ShardChain>> chains;
 
   if (sharded) {
+    std::optional<core::CheckpointReader> ck;
+    std::optional<DetectMeta> resumed;
+    int threads = o.threads;
+    if (o.resume) {
+      ck.emplace(o.checkpoint);
+      auto mr = ck->section("meta");
+      resumed = load_detect_meta(mr);
+      if (!resumed->sharded)
+        throw std::runtime_error(o.checkpoint +
+                                 " was written by a serial run; resume without --threads");
+      if ((resumed->has_report != 0) != o.report)
+        throw std::runtime_error("checkpoint --report setting does not match this run");
+      // Shard routing is a function of the shard count: resuming must
+      // run with exactly the checkpointed number of workers.
+      if (threads != 0 && static_cast<std::uint32_t>(threads) != resumed->threads)
+        throw std::runtime_error("checkpoint has " + std::to_string(resumed->threads) +
+                                 " shards; got --threads " + std::to_string(threads));
+      threads = static_cast<int>(resumed->threads);
+    }
     core::ParallelScanPipeline pipeline(
-        cfg, {.threads = o.threads, .ring_capacity = o.ring_cap},
+        cfg, {.threads = threads, .ring_capacity = o.ring_cap},
         core::ParallelScanPipeline::ShardSinkFactory([&](std::size_t) -> core::EventSink& {
           chains.push_back(std::make_unique<ShardChain>(o.report, o.top));
           return chains.back()->fan;
         }));
-    for_each_record_batch(
-        path, o.mmap,
-        [&](std::span<const sim::LogRecord> batch) { pipeline.feed_batch(batch); });
+    if (resumed) {
+      // Inject each shard's saved state on its own worker thread,
+      // before the first record reaches any ring.
+      pipeline.with_shard_state(
+          [&](std::size_t s, core::ScanDetector& det, core::ArtifactFilter*) {
+            auto dr = ck->section("shard" + std::to_string(s) + ".detector");
+            det.load(dr);
+            dr.expect_end();
+            auto ar = ck->section("shard" + std::to_string(s) + ".analyzers");
+            if (o.report)
+              chains[s]->report->load(ar);
+            else
+              chains[s]->sources_only.load(ar);
+            ar.expect_end();
+          });
+    }
+    std::uint64_t skip = resumed ? resumed->records_fed : 0;
+    std::uint64_t fed = skip;
+    std::uint64_t next_ckpt = checkpointing ? fed + o.checkpoint_every : UINT64_MAX;
+    for_each_record_batch(path, o.mmap, [&](std::span<const sim::LogRecord> batch) {
+      if (skip >= batch.size()) {
+        skip -= batch.size();
+        return;
+      }
+      if (skip) {
+        batch = batch.subspan(skip);
+        skip = 0;
+      }
+      pipeline.feed_batch(batch);
+      fed += batch.size();
+      if (fed >= next_ckpt) {
+        write_sharded_detect_checkpoint(o.checkpoint, fed, o.report, pipeline, chains);
+        next_ckpt = fed + o.checkpoint_every;
+      }
+    });
     pipeline.flush();
     // The rendezvous: fold every shard's state into shard 0's chain,
     // then flush that chain once, exactly like the single-chain path.
@@ -398,8 +619,27 @@ int cmd_detect(const std::string& path, const Options& o) {
     } else {
       fan.add(sources_only);
     }
+    std::optional<core::CheckpointReader> ck;
+    std::optional<DetectMeta> resumed;
+    if (o.resume) {
+      ck.emplace(o.checkpoint);
+      auto mr = ck->section("meta");
+      resumed = load_detect_meta(mr);
+      if (resumed->sharded)
+        throw std::runtime_error(o.checkpoint + " was written by a sharded run; resume with --threads " +
+                                 std::to_string(resumed->threads));
+      if ((resumed->has_report != 0) != o.report)
+        throw std::runtime_error("checkpoint --report setting does not match this run");
+      if ((resumed->has_spill != 0) != !o.events_out.empty())
+        throw std::runtime_error("checkpoint --events setting does not match this run");
+    }
     if (!o.events_out.empty()) {
-      spill.emplace(o.events_out);
+      if (resumed)
+        // Reopen at the checkpointed position: events written after the
+        // checkpoint are truncated away and re-emitted by the resumed run.
+        spill.emplace(o.events_out, resumed->spill_count, resumed->spill_offset);
+      else
+        spill.emplace(o.events_out);
       fan.add(*spill);
     }
     if (parallel) {
@@ -411,9 +651,39 @@ int cmd_detect(const std::string& path, const Options& o) {
       pipeline.flush();
     } else {
       core::ScanDetector detector(cfg, fan);
-      for_each_record_batch(
-          path, o.mmap,
-          [&](std::span<const sim::LogRecord> batch) { detector.feed_batch(batch); });
+      if (resumed) {
+        auto dr = ck->section("detector");
+        detector.load(dr);
+        dr.expect_end();
+        auto ar = ck->section("analyzers");
+        if (o.report)
+          report->load(ar);
+        else
+          sources_only.load(ar);
+        ar.expect_end();
+      }
+      std::uint64_t skip = resumed ? resumed->records_fed : 0;
+      std::uint64_t fed = skip;
+      std::uint64_t next_ckpt = checkpointing ? fed + o.checkpoint_every : UINT64_MAX;
+      for_each_record_batch(path, o.mmap, [&](std::span<const sim::LogRecord> batch) {
+        if (skip >= batch.size()) {
+          skip -= batch.size();
+          return;
+        }
+        if (skip) {
+          batch = batch.subspan(skip);
+          skip = 0;
+        }
+        detector.feed_batch(batch);
+        fed += batch.size();
+        if (fed >= next_ckpt) {
+          write_serial_detect_checkpoint(o.checkpoint, fed, detector,
+                                         o.report ? &*report : nullptr,
+                                         o.report ? nullptr : &sources_only,
+                                         spill ? &*spill : nullptr);
+          next_ckpt = fed + o.checkpoint_every;
+        }
+      });
       detector.flush();
     }
     fan.flush();
@@ -486,6 +756,17 @@ int cmd_ids(const std::string& path, const Options& o) {
   cfg.timeout_us = o.timeout_sec * 1'000'000;
   cfg.reattribution_period_us = o.period_sec * 1'000'000;
 
+  const bool checkpointing = !o.checkpoint.empty();
+  if (o.resume && !checkpointing) {
+    std::fprintf(stderr, "error: --resume needs --checkpoint <file>\n");
+    return 2;
+  }
+  if (checkpointing && o.threads != 1) {
+    std::fprintf(stderr,
+                 "error: ids --checkpoint needs the serial front end (--threads 1)\n");
+    return 2;
+  }
+
   std::uint64_t alerts = 0;
   const auto sink = [&](const core::IdsAlert& a) {
     ++alerts;
@@ -505,8 +786,35 @@ int cmd_ids(const std::string& path, const Options& o) {
     blocklist = ids.blocklist();
   } else {
     core::StreamingIds ids(cfg, sink);
-    for_each_record_batch(
-        path, o.mmap, [&](std::span<const sim::LogRecord> batch) { ids.feed_batch(batch); });
+    std::uint64_t skip = 0;
+    if (o.resume) {
+      core::CheckpointReader ck(o.checkpoint);
+      auto mr = ck.section("meta");
+      skip = mr.u64();
+      alerts = mr.u64();  // summary line counts the pre-checkpoint alerts too
+      mr.expect_end();
+      auto ir = ck.section("ids");
+      ids.load(ir);
+      ir.expect_end();
+    }
+    std::uint64_t fed = skip;
+    std::uint64_t next_ckpt = checkpointing ? fed + o.checkpoint_every : UINT64_MAX;
+    for_each_record_batch(path, o.mmap, [&](std::span<const sim::LogRecord> batch) {
+      if (skip >= batch.size()) {
+        skip -= batch.size();
+        return;
+      }
+      if (skip) {
+        batch = batch.subspan(skip);
+        skip = 0;
+      }
+      ids.feed_batch(batch);
+      fed += batch.size();
+      if (fed >= next_ckpt) {
+        write_ids_checkpoint(o.checkpoint, fed, alerts, ids);
+        next_ckpt = fed + o.checkpoint_every;
+      }
+    });
     ids.flush();
     blocklist = ids.blocklist();
   }
@@ -697,6 +1005,7 @@ int cmd_mawi_day(const std::string& date, const std::string& out) {
 /// dump is a run's only record of what the pipeline did, and it often
 /// happens right before process exit (including interrupted runs).
 void dump_metrics(const std::string& file) {
+  util::note_max_rss();  // peak RSS rides in every snapshot
   const std::string json = util::metrics::snapshot().to_json();
   if (file.empty()) {
     std::printf("%s\n", json.c_str());
@@ -826,7 +1135,7 @@ int cmd_query(int argc, char** argv) {
                  "usage: v6sonar query <socket> <verb> [arg] [--top <n>] [--count <n>]\n"
                  "       [--timeout-sec <s>] [--wait-key <key> [--wait-min <n>]]\n"
                  "verbs: ping status report top-sources top-ports as-report blocklist\n"
-                 "       metrics subscribe ingest shutdown\n");
+                 "       metrics subscribe ingest shutdown set-period checkpoint\n");
     return 2;
   }
   const std::string sock = argv[2];

@@ -51,7 +51,15 @@ using namespace v6sonar;
       "  --events <file.v6ev>   spill every scan event; finalized (fsync'd\n"
       "                         count header) during drain\n"
       "  --metrics[=FILE]       enable pipeline metrics; JSON written to\n"
-      "                         FILE (fsync'd) or stdout at drain\n",
+      "                         FILE (fsync'd) or stdout at drain\n"
+      "  --cold-after <sec>     demote sources idle this long to the compact\n"
+      "                         cold tier (must be < --timeout; default off)\n"
+      "  --checkpoint <file>    state checkpoint file: restored on start if\n"
+      "                         it exists, written by the checkpoint verb\n"
+      "                         (`v6sonar query <sock> checkpoint`)\n"
+      "  --period <sec>         blocklist re-attribution cadence (0 = on\n"
+      "                         demand only; the set-period verb adjusts\n"
+      "                         this at runtime)\n",
       stderr);
   std::exit(2);
 }
@@ -130,6 +138,21 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--events") == 0) {
       opts.events_out = need_value("--events");
+    } else if (std::strcmp(argv[i], "--cold-after") == 0) {
+      const auto sec = parse_int<std::int64_t>("--cold-after", need_value("--cold-after"));
+      if (sec < 0) {
+        std::fprintf(stderr, "error: --cold-after must be >= 0\n");
+        return 2;
+      }
+      opts.detector.demote_idle_us = sec * 1'000'000;
+    } else if (std::strcmp(argv[i], "--checkpoint") == 0) {
+      opts.checkpoint_path = need_value("--checkpoint");
+    } else if (std::strcmp(argv[i], "--period") == 0) {
+      opts.reattribution_period_s = parse_int<std::int64_t>("--period", need_value("--period"));
+      if (opts.reattribution_period_s < 0) {
+        std::fprintf(stderr, "error: --period must be >= 0\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       opts.write_metrics = true;
     } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
